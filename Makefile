@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples reproduce report selftest clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/gis_hotspots.exe
+	dune exec examples/line_map.exe
+	dune exec examples/capacity_planning.exe
+	dune exec examples/hashing_phasing.exe
+	dune exec examples/octree_cloud.exe
+	dune exec examples/polygon_map.exe
+	dune exec examples/map_overlay.exe
+	dune exec examples/rect_index.exe
+
+reproduce:
+	dune exec bin/popan.exe -- all
+
+report:
+	dune exec bin/popan.exe -- report -o reproduction_report.md
+
+selftest:
+	dune exec bin/popan.exe -- selftest
+
+clean:
+	dune clean

@@ -1,0 +1,238 @@
+(* Benchmark harness: one Bechamel test per table/figure of the paper
+   (micro-benchmarks of each experiment's kernel), followed by a full
+   regeneration of every table and figure with the paper's parameters.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Popan_experiments
+module Table = Popan_report.Table
+module Population = Popan_core.Population
+module Fixed_point = Popan_core.Fixed_point
+module Pr_model = Popan_core.Pr_model
+module Newton_model = Popan_core.Newton_model
+module Mc_transform = Popan_core.Mc_transform
+module Pr_quadtree = Popan_trees.Pr_quadtree
+module Ext_hash = Popan_trees.Ext_hash
+module Sampler = Popan_rng.Sampler
+module Xoshiro = Popan_rng.Xoshiro
+
+(* Pre-generated workloads so the benches measure the data structure and
+   solver, not the RNG. *)
+
+let uniform_points n =
+  let rng = Xoshiro.of_int_seed 1 in
+  Sampler.points rng Sampler.Uniform n
+
+let gaussian_points n =
+  let rng = Xoshiro.of_int_seed 2 in
+  Sampler.points rng (Sampler.Gaussian { sigma = 0.25 }) n
+
+let points_1000 = uniform_points 1000
+let points_1024 = uniform_points 1024
+let gaussian_1024 = gaussian_points 1024
+
+(* One kernel per table / figure. *)
+
+let bench_table1 =
+  (* Table 1's unit of work: build a 1000-point PR quadtree at a middle
+     capacity and extract its occupancy distribution. *)
+  Test.make ~name:"table1:build+distribution m=4"
+    (Staged.stage (fun () ->
+         let tree = Pr_quadtree.of_points ~capacity:4 points_1000 in
+         Sys.opaque_identity (Pr_quadtree.occupancy_histogram tree)))
+
+let bench_table2 =
+  (* Table 2's theoretical column: solve the fixed point at the largest
+     capacity. *)
+  Test.make ~name:"table2:fixed-point solve m=8"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Population.expected_distribution ~branching:4 ~capacity:8 ())))
+
+let bench_table3 =
+  Test.make ~name:"table3:depth profile m=1 depth<=9"
+    (Staged.stage (fun () ->
+         let tree = Pr_quadtree.of_points ~max_depth:9 ~capacity:1 points_1000 in
+         Sys.opaque_identity (Pr_quadtree.occupancy_by_depth tree)))
+
+let bench_table4_fig2 =
+  Test.make ~name:"table4+fig2:sweep step n=1024 uniform m=8"
+    (Staged.stage (fun () ->
+         let tree = Pr_quadtree.of_points ~capacity:8 points_1024 in
+         Sys.opaque_identity (Pr_quadtree.average_occupancy tree)))
+
+let bench_table5_fig3 =
+  Test.make ~name:"table5+fig3:sweep step n=1024 gaussian m=8"
+    (Staged.stage (fun () ->
+         let tree = Pr_quadtree.of_points ~capacity:8 gaussian_1024 in
+         Sys.opaque_identity (Pr_quadtree.average_occupancy tree)))
+
+let bench_solver_power =
+  let transform = Pr_model.transform ~branching:4 ~capacity:8 in
+  Test.make ~name:"ablation:power iteration m=8"
+    (Staged.stage (fun () -> Sys.opaque_identity (Fixed_point.solve transform)))
+
+let bench_solver_newton =
+  let transform = Pr_model.transform ~branching:4 ~capacity:8 in
+  Test.make ~name:"ablation:newton m=8"
+    (Staged.stage (fun () -> Sys.opaque_identity (Newton_model.solve transform)))
+
+let bench_mc_transform =
+  Test.make ~name:"ablation:monte-carlo transform m=3 (1000 trials)"
+    (Staged.stage (fun () ->
+         let rng = Xoshiro.of_int_seed 3 in
+         Sys.opaque_identity
+           (Mc_transform.estimate ~trials:1000 rng
+              (Mc_transform.pr_point_model ~capacity:3))))
+
+let bench_ext_hash =
+  Test.make ~name:"ext:extendible hashing insert 1024"
+    (Staged.stage (fun () ->
+         let table = Ext_hash.create ~bucket_size:8 () in
+         Ext_hash.insert_all table points_1024;
+         Sys.opaque_identity (Ext_hash.utilization table)))
+
+let bench_excell =
+  Test.make ~name:"ext:EXCELL insert 1024"
+    (Staged.stage (fun () ->
+         let table = Popan_trees.Excell.create ~bucket_size:8 () in
+         Popan_trees.Excell.insert_all table points_1024;
+         Sys.opaque_identity (Popan_trees.Excell.utilization table)))
+
+let bench_mx_cif =
+  let boxes =
+    let rng = Xoshiro.of_int_seed 4 in
+    List.init 1024 (fun _ ->
+        let cx = 0.05 +. (0.9 *. Xoshiro.float rng) in
+        let cy = 0.05 +. (0.9 *. Xoshiro.float rng) in
+        let h = 0.002 +. (0.02 *. Xoshiro.float rng) in
+        Popan_geom.Box.make ~xmin:(cx -. h) ~ymin:(cy -. h) ~xmax:(cx +. h)
+          ~ymax:(cy +. h))
+  in
+  Test.make ~name:"ext:MX-CIF insert 1024 rectangles"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Popan_trees.Mx_cif_quadtree.of_boxes boxes)))
+
+let bench_nearest_seq =
+  let tree = Pr_quadtree.of_points ~capacity:8 points_1024 in
+  let probe = Popan_geom.Point.make 0.5 0.5 in
+  Test.make ~name:"ext:incremental 10-NN from 1024 points"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (List.of_seq (Seq.take 10 (Pr_quadtree.nearest_seq tree probe)))))
+
+let bench_incremental_build =
+  Test.make ~name:"ablation:incremental build m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_quadtree.of_points ~capacity:8 points_1024)))
+
+let bench_bulk_build =
+  Test.make ~name:"ablation:bulk build m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_quadtree.of_points_bulk ~capacity:8 points_1024)))
+
+let all_benches =
+  Test.make_grouped ~name:"popan"
+    [
+      bench_table1; bench_table2; bench_table3; bench_table4_fig2;
+      bench_table5_fig3; bench_solver_power; bench_solver_newton;
+      bench_mc_transform; bench_ext_hash; bench_excell; bench_mx_cif;
+      bench_nearest_seq;
+      bench_incremental_build; bench_bulk_build;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let body =
+    List.map
+      (fun (name, ols) ->
+        let nanoseconds =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.0f" t
+          | Some [] | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; nanoseconds; r2 ])
+      rows
+  in
+  Table.print
+    (Table.make ~title:"micro-benchmarks (one kernel per table/figure)"
+       ~header:[ "bench"; "ns/run"; "r^2" ]
+       body)
+
+(* Full regeneration with the paper's parameters. *)
+
+let regenerate () =
+  let points = 1000 and trials = 10 and seed = 1987 in
+  let comparisons = Occupancy.table1 (Workload.make ~points ~trials ~seed ()) in
+  Table.print (Render.table1 comparisons);
+  Table.print (Render.table2 comparisons);
+  let workload = Workload.make ~points ~trials ~seed () in
+  Table.print (Render.table3 (Depth_profile.run workload));
+  let uniform = Sweep.run ~capacity:8 ~model:Sampler.Uniform ~trials ~seed () in
+  Table.print
+    (Render.sweep_table
+       ~title:"Table 4: variation of occupancy with tree size (uniform)"
+       ~paper:Paper_data.table4 uniform);
+  print_string
+    (Render.sweep_figure
+       ~title:"Figure 2: occupancy vs number of points (uniform)"
+       ~paper:Paper_data.table4 uniform);
+  print_newline ();
+  let gaussian =
+    Sweep.run ~capacity:8 ~model:(Sampler.Gaussian { sigma = 0.25 }) ~trials
+      ~seed ()
+  in
+  Table.print
+    (Render.sweep_table
+       ~title:"Table 5: variation of occupancy with tree size (Gaussian)"
+       ~paper:Paper_data.table5 gaussian);
+  print_string
+    (Render.sweep_figure
+       ~title:"Figure 3: occupancy vs number of points (Gaussian)"
+       ~paper:Paper_data.table5 gaussian);
+  print_newline ();
+  Table.print
+    (Render.branching_table (Ext.branching_study ~points ~trials ~seed ()));
+  Table.print (Render.pmr_table (Ext.pmr_study ~seed ~threshold:4 ()));
+  Table.print
+    (Render.hash_table
+       ~title:
+         "Extension: extendible hashing utilization (oscillates around ln 2 = 0.693)"
+       (Ext.ext_hash_sweep ~trials ~seed ()));
+  Table.print
+    (Render.hash_table ~title:"Extension: grid file utilization"
+       (Ext.grid_file_sweep ~trials:3 ~seed ()));
+  Table.print
+    (Render.hash_table
+       ~title:"Extension: EXCELL utilization (regular decomposition)"
+       (Ext.excell_sweep ~trials:3 ~seed ()));
+  Table.print
+    (Render.hash_model_table
+       (Ext.hash_model_study ~trials:5 ~seed ~bucket_size:8 ()));
+  Table.print
+    (Render.trajectory_table
+       ~title:"Extension: the sequence d_n vs the fixed point e (uniform data)"
+       (Trajectory.run ~capacity:8 ~model:Sampler.Uniform ~trials ~seed ()));
+  Table.print (Render.solver_table (Ext.solver_study ()));
+  Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
+
+let () =
+  Printf.printf "== popan bench: micro-benchmarks ==\n\n%!";
+  run_benchmarks ();
+  Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
+  regenerate ()

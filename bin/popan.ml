@@ -1,0 +1,776 @@
+(* popan: command-line front end regenerating every table and figure of
+   Nelson & Samet, "A Population Analysis for Hierarchical Data
+   Structures" (SIGMOD 1987), plus the extension experiments. *)
+
+open Popan_experiments
+module Table = Popan_report.Table
+module Csv = Popan_report.Csv
+module Distribution = Popan_core.Distribution
+module Fixed_point = Popan_core.Fixed_point
+module Population = Popan_core.Population
+
+(* Common command-line options *)
+
+open Cmdliner
+
+let points_term =
+  let doc = "Points per trial." in
+  Arg.(value & opt int 1000 & info [ "n"; "points" ] ~docv:"N" ~doc)
+
+let trials_term =
+  let doc = "Independent trials to average over (the paper used 10)." in
+  Arg.(value & opt int 10 & info [ "t"; "trials" ] ~docv:"TRIALS" ~doc)
+
+let seed_term =
+  let doc = "Master random seed; every experiment is deterministic given it." in
+  Arg.(value & opt int 1987 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let capacity_term ~default =
+  let doc = "Node capacity (bucket size) m." in
+  Arg.(value & opt int default & info [ "m"; "capacity" ] ~docv:"M" ~doc)
+
+let csv_term =
+  let doc = "Also write the regenerated series to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let gaussian_sigma = 0.25
+
+let write_csv path rows =
+  let header, body = Render.sweep_csv rows in
+  Csv.write path ~header body;
+  Printf.printf "wrote %s\n" path
+
+(* Commands *)
+
+let theory_cmd =
+  let run branching capacity solver_name =
+    let solver =
+      match solver_name with
+      | "power" -> Population.Power
+      | "newton" -> Population.Newton_raphson
+      | other -> failwith (Printf.sprintf "unknown solver %S" other)
+    in
+    let report =
+      Population.expected_distribution ~solver ~branching ~capacity ()
+    in
+    let d = report.Fixed_point.distribution in
+    Printf.printf "branching %d, capacity %d (%s solver)\n" branching capacity
+      solver_name;
+    Printf.printf "expected distribution: %s\n" (Distribution.to_string d);
+    Printf.printf "average occupancy:     %.4f\n"
+      (Distribution.average_occupancy d);
+    Printf.printf "storage utilization:   %.4f\n"
+      (Distribution.utilization d ~capacity);
+    Printf.printf "nodes per insertion a: %.4f\n" report.Fixed_point.eigenvalue;
+    Printf.printf "solver iterations:     %d (residual %.2e)\n"
+      report.Fixed_point.iterations report.Fixed_point.residual
+  in
+  let branching =
+    let doc = "Branching factor (2 bintree, 4 quadtree, 8 octree)." in
+    Arg.(value & opt int 4 & info [ "b"; "branching" ] ~docv:"B" ~doc)
+  in
+  let solver =
+    let doc = "Solver: power | newton." in
+    Arg.(value & opt string "power" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
+  let term = Term.(const run $ branching $ capacity_term ~default:1 $ solver) in
+  Cmd.v
+    (Cmd.info "theory" ~doc:"Solve the population model for one configuration.")
+    term
+
+let comparisons ~points ~trials ~seed =
+  Occupancy.table1 (Workload.make ~points ~trials ~seed ())
+
+let table1_cmd =
+  let run points trials seed =
+    Table.print (Render.table1 (comparisons ~points ~trials ~seed))
+  in
+  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table 1: expected distributions, theory vs experiment.")
+    term
+
+let table2_cmd =
+  let run points trials seed =
+    Table.print (Render.table2 (comparisons ~points ~trials ~seed))
+  in
+  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"Reproduce Table 2: average node occupancies and % differences.")
+    term
+
+let table3_cmd =
+  let run points trials seed =
+    let workload = Workload.make ~points ~trials ~seed () in
+    Table.print (Render.table3 (Depth_profile.run workload));
+    Printf.printf "post-split asymptote (capacity 1): %.2f\n"
+      (Depth_profile.post_split_asymptote ~capacity:1)
+  in
+  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce Table 3: occupancy by node size (aging).")
+    term
+
+let incremental_term =
+  let doc =
+    "Grow a single tree through the size grid per trial instead of building \
+     independent trees at every size."
+  in
+  Arg.(value & flag & info [ "incremental" ] ~doc)
+
+let sweep ?(incremental = false) ~model ~trials ~seed ~capacity () =
+  if incremental then Sweep.run_incremental ~capacity ~model ~trials ~seed ()
+  else Sweep.run ~capacity ~model ~trials ~seed ()
+
+let table4_cmd =
+  let run trials seed capacity csv incremental =
+    let rows =
+      sweep ~incremental ~model:Popan_rng.Sampler.Uniform ~trials ~seed
+        ~capacity ()
+    in
+    Table.print
+      (Render.sweep_table
+         ~title:"Table 4: variation of occupancy with tree size (uniform)"
+         ~paper:Paper_data.table4 rows);
+    Option.iter (fun path -> write_csv path rows) csv
+  in
+  let term =
+    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
+          $ csv_term $ incremental_term)
+  in
+  Cmd.v
+    (Cmd.info "table4"
+       ~doc:"Reproduce Table 4: occupancy vs N, uniform data (phasing).")
+    term
+
+let table5_cmd =
+  let run trials seed capacity csv incremental =
+    let rows =
+      sweep ~incremental
+        ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
+        ~trials ~seed ~capacity ()
+    in
+    Table.print
+      (Render.sweep_table
+         ~title:"Table 5: variation of occupancy with tree size (Gaussian)"
+         ~paper:Paper_data.table5 rows);
+    Option.iter (fun path -> write_csv path rows) csv
+  in
+  let term =
+    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
+          $ csv_term $ incremental_term)
+  in
+  Cmd.v
+    (Cmd.info "table5"
+       ~doc:"Reproduce Table 5: occupancy vs N, Gaussian data (damped phasing).")
+    term
+
+let figure ~number ~model ~paper ~title trials seed capacity csv =
+  ignore number;
+  let rows = sweep ~model ~trials ~seed ~capacity () in
+  print_string (Render.sweep_figure ~title ~paper rows);
+  let series = Sweep.series rows in
+  Printf.printf "\noscillation amplitude: %.3f  damping ratio: %.2f\n"
+    (Popan_core.Phasing.amplitude series)
+    (Popan_core.Phasing.damping_ratio series);
+  let ratios = Popan_core.Phasing.peak_ratios series in
+  if ratios <> [] then
+    Printf.printf "peak spacing ratios (phasing predicts ~4): %s\n"
+      (String.concat ", " (List.map (Printf.sprintf "%.2f") ratios));
+  Option.iter (fun path -> write_csv path rows) csv
+
+let fig2_cmd =
+  let run = figure ~number:2 ~model:Popan_rng.Sampler.Uniform
+      ~paper:Paper_data.table4
+      ~title:"Figure 2: occupancy vs number of points (uniform)"
+  in
+  let term =
+    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
+          $ csv_term)
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (ASCII).") term
+
+let fig3_cmd =
+  let run = figure ~number:3
+      ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
+      ~paper:Paper_data.table5
+      ~title:"Figure 3: occupancy vs number of points (Gaussian)"
+  in
+  let term =
+    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
+          $ csv_term)
+  in
+  Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (ASCII).") term
+
+let ext_branching_cmd =
+  let run points trials seed capacity =
+    Table.print
+      (Render.branching_table
+         (Ext.branching_study ~points ~trials ~seed ~capacity ()))
+  in
+  let term =
+    Term.(const run $ points_term $ trials_term $ seed_term
+          $ capacity_term ~default:4)
+  in
+  Cmd.v
+    (Cmd.info "ext-branching"
+       ~doc:"Extension: the model at branching factors 2, 4 and 8.")
+    term
+
+let ext_pmr_cmd =
+  let run seed threshold =
+    Table.print (Render.pmr_table (Ext.pmr_study ~seed ~threshold ()))
+  in
+  let threshold =
+    let doc = "PMR splitting threshold." in
+    Arg.(value & opt int 4 & info [ "threshold" ] ~docv:"Q" ~doc)
+  in
+  let term = Term.(const run $ seed_term $ threshold) in
+  Cmd.v
+    (Cmd.info "ext-pmr"
+       ~doc:"Extension: PMR quadtree population, model vs simulation.")
+    term
+
+let ext_pmr_sweep_cmd =
+  let run seed =
+    Table.print (Render.pmr_sweep_table (Ext.pmr_threshold_sweep ~seed ()))
+  in
+  let term = Term.(const run $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-pmr-sweep"
+       ~doc:"Extension: PMR model vs simulation across splitting thresholds.")
+    term
+
+let ext_bucketsweep_cmd =
+  let run trials seed =
+    Table.print
+      (Render.bucket_sweep_table (Ext.bucket_size_sweep ~trials ~seed ()))
+  in
+  let term = Term.(const run $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-bucketsweep"
+       ~doc:
+         "Extension: the b=2 model vs extendible hashing and EXCELL across \
+          bucket sizes.")
+    term
+
+let ext_exthash_cmd =
+  let run trials seed =
+    Table.print
+      (Render.hash_table
+         ~title:
+           "Extension: extendible hashing utilization (oscillates around ln 2 = 0.693)"
+         (Ext.ext_hash_sweep ~trials ~seed ()))
+  in
+  let term = Term.(const run $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-exthash"
+       ~doc:"Extension: phasing in extendible hashing (Fagin et al.).")
+    term
+
+let ext_gridfile_cmd =
+  let run trials seed =
+    Table.print
+      (Render.hash_table ~title:"Extension: grid file utilization"
+         (Ext.grid_file_sweep ~trials ~seed ()))
+  in
+  let term = Term.(const run $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-gridfile" ~doc:"Extension: grid file utilization sweep.")
+    term
+
+let ext_excell_cmd =
+  let run trials seed =
+    Table.print
+      (Render.hash_table
+         ~title:"Extension: EXCELL utilization (regular decomposition)"
+         (Ext.excell_sweep ~trials ~seed ()))
+  in
+  let term = Term.(const run $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-excell" ~doc:"Extension: EXCELL utilization sweep.")
+    term
+
+let ext_hashmodel_cmd =
+  let run trials seed bucket_size =
+    Table.print
+      (Render.hash_model_table
+         (Ext.hash_model_study ~trials ~seed ~bucket_size ()))
+  in
+  let bucket =
+    let doc = "Bucket capacity for the hash structures." in
+    Arg.(value & opt int 8 & info [ "bucket-size" ] ~docv:"B" ~doc)
+  in
+  let term = Term.(const run $ trials_term $ seed_term $ bucket) in
+  Cmd.v
+    (Cmd.info "ext-hashmodel"
+       ~doc:
+         "Extension: the b=2 population model predicts extendible hashing \
+          and EXCELL bucket occupancies.")
+    term
+
+let ext_trajectory_cmd =
+  let run trials seed capacity =
+    let uniform =
+      Trajectory.run ~capacity ~model:Popan_rng.Sampler.Uniform ~trials ~seed ()
+    in
+    Table.print
+      (Render.trajectory_table
+         ~title:
+           "Extension: the sequence d_n vs the fixed point e (uniform data)"
+         uniform);
+    let gaussian =
+      Trajectory.run ~capacity
+        ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
+        ~trials ~seed ()
+    in
+    Table.print
+      (Render.trajectory_table
+         ~title:
+           "Extension: the sequence d_n vs the fixed point e (Gaussian data)"
+         gaussian);
+    let tv_series rows =
+      Popan_core.Phasing.of_lists
+        (List.map (fun (r : Trajectory.row) -> float_of_int r.Trajectory.points) rows)
+        (List.map (fun (r : Trajectory.row) -> r.Trajectory.tv_to_theory) rows)
+    in
+    Printf.printf
+      "TV-to-e oscillation: uniform amplitude %.3f (damping %.2f) vs gaussian \
+       %.3f (damping %.2f).\n\
+       The uniform d_n keeps cycling around e with period 4 in N - the \
+       sequence has no limit, as SII reports; the Gaussian sequence \
+       de-synchronizes and narrows toward the aging-offset residual.\n"
+      (Trajectory.oscillation uniform)
+      (Popan_core.Phasing.damping_ratio (tv_series uniform))
+      (Trajectory.oscillation gaussian)
+      (Popan_core.Phasing.damping_ratio (tv_series gaussian))
+  in
+  let term =
+    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8)
+  in
+  Cmd.v
+    (Cmd.info "ext-trajectory"
+       ~doc:
+         "Extension: measure d_1, d_2, ... and show it never converges under \
+          uniform data (paper SII).")
+    term
+
+let ext_churn_cmd =
+  let run points trials seed capacity =
+    Table.print
+      (Render.churn_table
+         (Ext.churn_study ~points ~trials ~seed ~capacity ()))
+  in
+  let term =
+    Term.(const run $ points_term $ trials_term $ seed_term
+          $ capacity_term ~default:4)
+  in
+  Cmd.v
+    (Cmd.info "ext-churn"
+       ~doc:
+         "Extension: the node population at constant size under delete/insert \
+          churn vs the insert-only fixed point.")
+    term
+
+let ext_solvers_cmd =
+  let run () = Table.print (Render.solver_table (Ext.solver_study ())) in
+  let term = Term.(const run $ const ()) in
+  Cmd.v
+    (Cmd.info "ext-solvers"
+       ~doc:"Extension: power iteration vs Newton vs closed form.")
+    term
+
+let ext_aging_cmd =
+  let run points trials seed =
+    Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
+  in
+  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "ext-aging"
+       ~doc:"Extension: area-weighted aging correction vs Table 2's bias.")
+    term
+
+let all_cmd =
+  let run points trials seed =
+    let cs = comparisons ~points ~trials ~seed in
+    Table.print (Render.table1 cs);
+    Table.print (Render.table2 cs);
+    let workload = Workload.make ~points ~trials ~seed () in
+    Table.print (Render.table3 (Depth_profile.run workload));
+    let uniform =
+      sweep ~model:Popan_rng.Sampler.Uniform ~trials ~seed ~capacity:8 ()
+    in
+    Table.print
+      (Render.sweep_table
+         ~title:"Table 4: variation of occupancy with tree size (uniform)"
+         ~paper:Paper_data.table4 uniform);
+    print_string
+      (Render.sweep_figure
+         ~title:"Figure 2: occupancy vs number of points (uniform)"
+         ~paper:Paper_data.table4 uniform);
+    print_newline ();
+    let gaussian =
+      sweep
+        ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
+        ~trials ~seed ~capacity:8 ()
+    in
+    Table.print
+      (Render.sweep_table
+         ~title:"Table 5: variation of occupancy with tree size (Gaussian)"
+         ~paper:Paper_data.table5 gaussian);
+    print_string
+      (Render.sweep_figure
+         ~title:"Figure 3: occupancy vs number of points (Gaussian)"
+         ~paper:Paper_data.table5 gaussian);
+    print_newline ();
+    Table.print
+      (Render.branching_table (Ext.branching_study ~points ~trials ~seed ()));
+    Table.print (Render.pmr_table (Ext.pmr_study ~seed ~threshold:4 ()));
+    Table.print (Render.pmr_sweep_table (Ext.pmr_threshold_sweep ~seed ()));
+    Table.print
+      (Render.hash_table
+         ~title:
+           "Extension: extendible hashing utilization (oscillates around ln 2 = 0.693)"
+         (Ext.ext_hash_sweep ~trials ~seed ()));
+    Table.print
+      (Render.hash_table ~title:"Extension: grid file utilization"
+         (Ext.grid_file_sweep ~trials:3 ~seed ()));
+    Table.print
+      (Render.hash_table
+         ~title:"Extension: EXCELL utilization (regular decomposition)"
+         (Ext.excell_sweep ~trials ~seed ()));
+    Table.print
+      (Render.hash_model_table
+         (Ext.hash_model_study ~trials:5 ~seed ~bucket_size:8 ()));
+    Table.print
+      (Render.bucket_sweep_table (Ext.bucket_size_sweep ~trials:3 ~seed ()));
+    Table.print
+      (Render.trajectory_table
+         ~title:"Extension: the sequence d_n vs the fixed point e (uniform)"
+         (Trajectory.run ~capacity:8 ~model:Popan_rng.Sampler.Uniform ~trials
+            ~seed ()));
+    Table.print
+      (Render.churn_table (Ext.churn_study ~points ~trials:5 ~seed ~capacity:4 ()));
+    Table.print (Render.solver_table (Ext.solver_study ()));
+    Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
+  in
+  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table, figure and extension experiment.")
+    term
+
+let selftest_cmd =
+  let run seed rounds =
+    let master = Popan_rng.Xoshiro.of_int_seed seed in
+    let failures = ref 0 in
+    let check label violations =
+      if violations <> [] then begin
+        incr failures;
+        Printf.printf "FAIL %s:\n" label;
+        List.iter (fun v -> Printf.printf "  %s\n" v) violations
+      end
+    in
+    let rows = ref [] in
+    let structure name runner =
+      let start = ref 0 in
+      for round = 1 to rounds do
+        let rng = Popan_rng.Xoshiro.split master in
+        ignore round;
+        start := !start + runner rng
+      done;
+      rows := [ name; Table.cell_int rounds; Table.cell_int !start ] :: !rows
+    in
+    let points rng n =
+      Popan_rng.Sampler.points rng Popan_rng.Sampler.Uniform n
+    in
+    structure "PR quadtree" (fun rng ->
+        let capacity = 1 + Popan_rng.Xoshiro.int rng 8 in
+        let t =
+          Popan_trees.Pr_quadtree.of_points ~capacity (points rng 400)
+        in
+        check "pr_quadtree" (Popan_trees.Pr_quadtree.check_invariants t);
+        Popan_trees.Pr_quadtree.size t);
+    structure "bintree" (fun rng ->
+        let capacity = 1 + Popan_rng.Xoshiro.int rng 6 in
+        let t = Popan_trees.Bintree.of_points ~capacity (points rng 300) in
+        check "bintree" (Popan_trees.Bintree.check_invariants t);
+        Popan_trees.Bintree.size t);
+    structure "octree" (fun rng ->
+        let pts = Popan_rng.Sampler.points_nd rng ~dim:3 300 in
+        let t = Popan_trees.Md_tree.of_points ~capacity:4 ~dim:3 pts in
+        check "md_tree" (Popan_trees.Md_tree.check_invariants t);
+        Popan_trees.Md_tree.size t);
+    structure "PMR quadtree" (fun rng ->
+        let segs =
+          Popan_rng.Sampler.segments rng
+            (Popan_rng.Sampler.Uniform_segments { mean_length = 0.1 })
+            60
+        in
+        let t = Popan_trees.Pmr_quadtree.of_segments ~threshold:4 segs in
+        check "pmr_quadtree" (Popan_trees.Pmr_quadtree.check_invariants t);
+        Popan_trees.Pmr_quadtree.size t);
+    structure "extendible hashing" (fun rng ->
+        let t = Popan_trees.Ext_hash.create ~bucket_size:8 () in
+        Popan_trees.Ext_hash.insert_all t (points rng 500);
+        check "ext_hash" (Popan_trees.Ext_hash.check_invariants t);
+        Popan_trees.Ext_hash.size t);
+    structure "grid file" (fun rng ->
+        let t = Popan_trees.Grid_file.create ~bucket_size:8 () in
+        Popan_trees.Grid_file.insert_all t (points rng 500);
+        check "grid_file" (Popan_trees.Grid_file.check_invariants t);
+        Popan_trees.Grid_file.size t);
+    structure "EXCELL" (fun rng ->
+        let t = Popan_trees.Excell.create ~bucket_size:8 () in
+        Popan_trees.Excell.insert_all t (points rng 500);
+        check "excell" (Popan_trees.Excell.check_invariants t);
+        Popan_trees.Excell.size t);
+    structure "PM quadtree" (fun rng ->
+        let candidates =
+          Popan_rng.Sampler.segments rng
+            (Popan_rng.Sampler.Uniform_segments { mean_length = 0.15 })
+            20
+        in
+        let map =
+          List.fold_left
+            (fun m s ->
+              if Popan_trees.Pm_quadtree.would_cross m s then m
+              else Popan_trees.Pm_quadtree.insert_edge m s)
+            (Popan_trees.Pm_quadtree.create ~rule:Popan_trees.Pm_quadtree.Pm2 ())
+            candidates
+        in
+        check "pm_quadtree" (Popan_trees.Pm_quadtree.check_invariants map);
+        Popan_trees.Pm_quadtree.edge_count map);
+    structure "MX-CIF quadtree" (fun rng ->
+        let boxes =
+          List.init 150 (fun _ ->
+              let cx = 0.1 +. (0.8 *. Popan_rng.Xoshiro.float rng) in
+              let cy = 0.1 +. (0.8 *. Popan_rng.Xoshiro.float rng) in
+              let h = 0.003 +. (0.05 *. Popan_rng.Xoshiro.float rng) in
+              Popan_geom.Box.make ~xmin:(cx -. h) ~ymin:(cy -. h)
+                ~xmax:(cx +. h) ~ymax:(cy +. h))
+        in
+        let t = Popan_trees.Mx_cif_quadtree.of_boxes boxes in
+        check "mx_cif" (Popan_trees.Mx_cif_quadtree.check_invariants t);
+        Popan_trees.Mx_cif_quadtree.size t);
+    structure "region quadtree" (fun rng ->
+        let image =
+          Array.init 32 (fun _ ->
+              Array.init 32 (fun _ -> Popan_rng.Xoshiro.float rng < 0.4))
+        in
+        let t = Popan_trees.Region_quadtree.of_bitmap image in
+        check "region" (Popan_trees.Region_quadtree.check_invariants t);
+        Popan_trees.Region_quadtree.black_area t);
+    structure "solver residuals" (fun rng ->
+        let capacity = 1 + Popan_rng.Xoshiro.int rng 9 in
+        let branching = [| 2; 4; 8 |].(Popan_rng.Xoshiro.int rng 3) in
+        let report =
+          Population.expected_distribution ~branching ~capacity ()
+        in
+        if report.Fixed_point.residual > 1e-9 then
+          check "solver"
+            [ Printf.sprintf "residual %g at b=%d m=%d"
+                report.Fixed_point.residual branching capacity ];
+        capacity);
+    Table.print
+      (Table.make ~title:"self-test: randomized invariant checking"
+         ~header:[ "structure"; "rounds"; "items checked" ]
+         (List.rev !rows));
+    if !failures = 0 then print_endline "all invariants held"
+    else begin
+      Printf.printf "%d failures\n" !failures;
+      exit 1
+    end
+  in
+  let rounds =
+    let doc = "Randomized rounds per structure." in
+    Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"K" ~doc)
+  in
+  let term = Term.(const run $ seed_term $ rounds) in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:"Fuzz every data structure's invariants with random workloads.")
+    term
+
+let measure_cmd =
+  let run input capacity max_depth no_normalize =
+    let raw = Points_io.load input in
+    if raw = [] then failwith "measure: no points in input";
+    let points = if no_normalize then raw else Points_io.normalize raw in
+    List.iter
+      (fun p ->
+        if not (Popan_geom.Point.in_unit_square p) then
+          failwith
+            "measure: points outside the unit square (drop --no-normalize?)")
+      points;
+    let tree =
+      Popan_trees.Pr_quadtree.of_points_bulk ~max_depth ~capacity points
+    in
+    let n = List.length points in
+    let measured =
+      Distribution.of_weights
+        (Popan_trees.Tree_stats.proportions
+           (Popan_trees.Pr_quadtree.occupancy_histogram tree))
+    in
+    let report = Population.expected_distribution ~branching:4 ~capacity () in
+    let predicted = report.Fixed_point.distribution in
+    Printf.printf "dataset: %d points from %s%s\n" n input
+      (if no_normalize then "" else " (normalized to the unit square)");
+    Printf.printf "tree: capacity %d, %d leaves, height %d\n" capacity
+      (Popan_trees.Pr_quadtree.leaf_count tree)
+      (Popan_trees.Pr_quadtree.height tree);
+    Printf.printf "measured distribution:  %s\n" (Distribution.to_string measured);
+    Printf.printf "model (uniform data):   %s\n" (Distribution.to_string predicted);
+    Printf.printf "measured occupancy %.3f vs model %.3f (TV %.3f)\n"
+      (Popan_trees.Pr_quadtree.average_occupancy tree)
+      (Distribution.average_occupancy predicted)
+      (let classes =
+         max (Distribution.types measured) (Distribution.types predicted)
+       in
+       let pad d =
+         let v = Distribution.to_vec d in
+         Popan_numerics.Vec.init classes (fun i ->
+             if i < Popan_numerics.Vec.dim v then v.(i) else 0.0)
+       in
+       Distribution.total_variation
+         (Distribution.of_vec (pad measured))
+         (Distribution.of_vec (pad predicted)));
+    Printf.printf
+      "predicted leaves under uniformity: %.0f (actual %d; the gap measures \
+       the data's non-uniformity)\n"
+      (Population.predicted_nodes ~branching:4 ~capacity ~points:n)
+      (Popan_trees.Pr_quadtree.leaf_count tree)
+  in
+  let input =
+    let doc = "CSV file of points (two columns: x,y; header optional)." in
+    Arg.(required & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+  in
+  let max_depth =
+    let doc = "Maximum tree depth." in
+    Arg.(value & opt int 16 & info [ "max-depth" ] ~docv:"D" ~doc)
+  in
+  let no_normalize =
+    let doc = "Points are already in the unit square; do not rescale." in
+    Arg.(value & flag & info [ "no-normalize" ] ~doc)
+  in
+  let term =
+    Term.(const run $ input $ capacity_term ~default:8 $ max_depth
+          $ no_normalize)
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:
+         "Analyze a user-supplied CSV point dataset against the population \
+          model.")
+    term
+
+let report_cmd =
+  let run points trials seed output =
+    let buffer = Buffer.create 65536 in
+    let add s = Buffer.add_string buffer s in
+    let table t = add (Table.render_markdown t ^ "\n") in
+    let fenced s = add ("```\n" ^ s ^ "```\n\n") in
+    add "# popan reproduction report\n\n";
+    add
+      (Printf.sprintf
+         "Nelson & Samet, *A Population Analysis for Hierarchical Data \
+          Structures* (SIGMOD 1987).\n\n\
+          Parameters: %d points per trial, %d trials, seed %d. Regenerate \
+          with `popan report`.\n\n"
+         points trials seed);
+    let cs = comparisons ~points ~trials ~seed in
+    table (Render.table1 cs);
+    table (Render.table2 cs);
+    let workload = Workload.make ~points ~trials ~seed () in
+    table (Render.table3 (Depth_profile.run workload));
+    let uniform =
+      sweep ~model:Popan_rng.Sampler.Uniform ~trials ~seed ~capacity:8 ()
+    in
+    table
+      (Render.sweep_table
+         ~title:"Table 4: variation of occupancy with tree size (uniform)"
+         ~paper:Paper_data.table4 uniform);
+    add "### Figure 2: occupancy vs number of points (uniform)\n\n";
+    fenced
+      (Render.sweep_figure
+         ~title:"Figure 2: occupancy vs number of points (uniform)"
+         ~paper:Paper_data.table4 uniform);
+    let gaussian =
+      sweep
+        ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
+        ~trials ~seed ~capacity:8 ()
+    in
+    table
+      (Render.sweep_table
+         ~title:"Table 5: variation of occupancy with tree size (Gaussian)"
+         ~paper:Paper_data.table5 gaussian);
+    add "### Figure 3: occupancy vs number of points (Gaussian)\n\n";
+    fenced
+      (Render.sweep_figure
+         ~title:"Figure 3: occupancy vs number of points (Gaussian)"
+         ~paper:Paper_data.table5 gaussian);
+    add "## Extensions\n\n";
+    table (Render.branching_table (Ext.branching_study ~points ~trials ~seed ()));
+    table (Render.pmr_table (Ext.pmr_study ~seed ~threshold:4 ()));
+    table
+      (Render.hash_table
+         ~title:
+           "Extension: extendible hashing utilization (oscillates around ln 2 = 0.693)"
+         (Ext.ext_hash_sweep ~trials ~seed ()));
+    table
+      (Render.hash_table
+         ~title:"Extension: EXCELL utilization (regular decomposition)"
+         (Ext.excell_sweep ~trials ~seed ()));
+    table
+      (Render.hash_model_table
+         (Ext.hash_model_study ~trials:5 ~seed ~bucket_size:8 ()));
+    table
+      (Render.trajectory_table
+         ~title:"Extension: the sequence d_n vs the fixed point e (uniform)"
+         (Trajectory.run ~capacity:8 ~model:Popan_rng.Sampler.Uniform ~trials
+            ~seed ()));
+    table
+      (Render.churn_table (Ext.churn_study ~points ~trials:5 ~seed ~capacity:4 ()));
+    table (Render.solver_table (Ext.solver_study ()));
+    table (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()));
+    match output with
+    | None -> print_string (Buffer.contents buffer)
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Buffer.contents buffer));
+      Printf.printf "wrote %s\n" path
+  in
+  let output =
+    let doc = "Write the markdown report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(const run $ points_term $ trials_term $ seed_term $ output)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Generate a full markdown reproduction report (every table, figure \
+          and extension).")
+    term
+
+let main_cmd =
+  let doc =
+    "population analysis for hierarchical data structures (Nelson & Samet, \
+     SIGMOD 1987)"
+  in
+  Cmd.group
+    (Cmd.info "popan" ~version:"1.0.0" ~doc)
+    [
+      theory_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
+      fig2_cmd; fig3_cmd; ext_branching_cmd; ext_pmr_cmd; ext_pmr_sweep_cmd;
+      ext_bucketsweep_cmd; ext_exthash_cmd;
+      ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
+      ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;
+      report_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

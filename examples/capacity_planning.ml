@@ -1,0 +1,77 @@
+(* Capacity planning with the population model: the practical question
+   the paper's "typical case" numbers answer. Given a target dataset
+   size and a per-node overhead, pick the bucket capacity that minimizes
+   total storage, entirely from the model — then validate the choice by
+   simulation.
+
+   Storage model: a leaf costs [node_overhead] words plus [slot_cost]
+   words per bucket slot; total = leaves x (overhead + capacity x slot).
+   Larger buckets mean fewer, fatter leaves: the model's average
+   occupancy tells us exactly how many leaves N points need.
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+module Population = Popan_core.Population
+module Pr_quadtree = Popan_trees.Pr_quadtree
+module Sampler = Popan_rng.Sampler
+module Xoshiro = Popan_rng.Xoshiro
+module Table = Popan_report.Table
+
+let node_overhead = 16.0  (* words per leaf: pointers, block header *)
+let slot_cost = 4.0  (* words per point slot *)
+let n = 10_000
+
+let storage_words ~capacity ~leaves =
+  leaves *. (node_overhead +. (float_of_int capacity *. slot_cost))
+
+let () =
+  Printf.printf
+    "capacity planning for %d points (leaf overhead %.0f words, %.0f words \
+     per slot)\n\n" n node_overhead slot_cost;
+  let capacities = [ 1; 2; 3; 4; 6; 8; 12; 16 ] in
+  let rng = Xoshiro.of_int_seed 5 in
+  let points = Sampler.points rng Sampler.Uniform n in
+  let rows =
+    List.map
+      (fun capacity ->
+        let predicted_leaves =
+          Population.predicted_nodes ~branching:4 ~capacity ~points:n
+        in
+        let predicted_storage =
+          storage_words ~capacity ~leaves:predicted_leaves
+        in
+        let tree = Pr_quadtree.of_points ~capacity points in
+        let actual_leaves = float_of_int (Pr_quadtree.leaf_count tree) in
+        let actual_storage = storage_words ~capacity ~leaves:actual_leaves in
+        ( capacity,
+          predicted_leaves,
+          predicted_storage,
+          actual_storage,
+          Population.storage_utilization ~branching:4 ~capacity ))
+      capacities
+  in
+  let best_capacity, _, best_model, _, _ =
+    List.fold_left
+      (fun ((_, _, best, _, _) as best_row) ((_, _, cand, _, _) as row) ->
+        if cand < best then row else best_row)
+      (List.hd rows) (List.tl rows)
+  in
+  Table.print
+    (Table.make ~title:"model-driven storage forecast vs simulation"
+       ~header:
+         [ "capacity"; "leaves (model)"; "words (model)"; "words (actual)";
+           "utilization" ]
+       (List.map
+          (fun (capacity, leaves, model, actual, util) ->
+            [
+              Table.cell_int capacity;
+              Table.cell_float ~decimals:0 leaves;
+              Table.cell_float ~decimals:0 model;
+              Table.cell_float ~decimals:0 actual;
+              Table.cell_float util;
+            ])
+          rows));
+  Printf.printf
+    "model's choice: capacity %d (forecast %.0f words) - the forecast needed \
+     no simulation, only the fixed point of a %dx%d matrix\n"
+    best_capacity best_model (best_capacity + 1) (best_capacity + 1)

@@ -1,0 +1,72 @@
+(* The paper's "same principles apply to octrees" claim, exercised on a
+   synthetic 3-D point cloud: a terrain-like scan with points
+   concentrated near a ground surface plus uniform clutter, stored in a
+   PR octree (the d = 3 instance of Md_tree). The b = 8 population model
+   sizes the storage; box queries pull out slices.
+
+   Run with:  dune exec examples/octree_cloud.exe *)
+
+module Md_tree = Popan_trees.Md_tree
+module Xoshiro = Popan_rng.Xoshiro
+module Dist = Popan_rng.Dist
+module Population = Popan_core.Population
+module Table = Popan_report.Table
+
+(* Terrain-ish sample: x, y uniform; z near a gentle surface with a bit
+   of uniform clutter above it. *)
+let sample rng =
+  let x = Xoshiro.float rng in
+  let y = Xoshiro.float rng in
+  let surface =
+    0.3 +. (0.1 *. sin (6.0 *. x)) +. (0.08 *. cos (5.0 *. y))
+  in
+  let z =
+    if Dist.bernoulli rng ~p:0.85 then
+      Dist.truncated_gaussian rng ~mean:surface ~sigma:0.02 ~lo:0.0 ~hi:1.0
+    else Xoshiro.float rng
+  in
+  [| x; y; z |]
+
+let () =
+  let n = 20_000 in
+  let rng = Xoshiro.of_int_seed 31 in
+  let cloud = List.init n (fun _ -> sample rng) in
+
+  Printf.printf "octree demo: %d scan points (85%% on a terrain surface)\n\n" n;
+
+  let rows =
+    List.map
+      (fun capacity ->
+        let tree = Md_tree.of_points ~capacity ~dim:3 cloud in
+        [
+          Table.cell_int capacity;
+          Table.cell_float ~decimals:0
+            (Population.predicted_nodes ~branching:8 ~capacity ~points:n);
+          Table.cell_int (Md_tree.leaf_count tree);
+          Table.cell_float (Md_tree.average_occupancy tree);
+          Table.cell_float (Population.average_occupancy ~branching:8 ~capacity);
+          Table.cell_int (Md_tree.height tree);
+        ])
+      [ 2; 4; 8; 16 ]
+  in
+  Table.print
+    (Table.make
+       ~title:"PR octree storage: b=8 model (uniform assumption) vs terrain scan"
+       ~header:
+         [ "capacity"; "leaves (model)"; "leaves (actual)"; "occ (actual)";
+           "occ (model)"; "height" ]
+       rows);
+  print_endline
+    "the surface concentration makes the scan costlier than the uniform model\n\
+     predicts - same direction as the GIS example, now in three dimensions\n";
+
+  (* Slice query: everything within a thin horizontal slab. *)
+  let tree = Md_tree.of_points ~capacity:8 ~dim:3 cloud in
+  let slab_lo = [| 0.0; 0.0; 0.28 |] and slab_hi = [| 1.0; 1.0; 0.32 |] in
+  let slab = Md_tree.query_box tree ~lo:slab_lo ~hi:slab_hi in
+  Printf.printf
+    "slab z in [0.28, 0.32): %d points (%.1f%% of the cloud in %.0f%% of the \
+     volume - the surface shows up)\n"
+    (List.length slab)
+    (100.0 *. float_of_int (List.length slab) /. float_of_int n)
+    (100.0 *. 0.04)

@@ -1,0 +1,64 @@
+(* Quickstart: build a PR quadtree, measure its node population, and
+   compare with the paper's population-model prediction.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Pr_quadtree = Popan_trees.Pr_quadtree
+module Sampler = Popan_rng.Sampler
+module Xoshiro = Popan_rng.Xoshiro
+module Population = Popan_core.Population
+module Distribution = Popan_core.Distribution
+module Fixed_point = Popan_core.Fixed_point
+module Tree_stats = Popan_trees.Tree_stats
+
+let () =
+  let capacity = 4 in
+  let n = 2000 in
+
+  (* 1. Generate a reproducible random workload and build the tree. *)
+  let rng = Xoshiro.of_int_seed 42 in
+  let points = Sampler.points rng Sampler.Uniform n in
+  let tree = Pr_quadtree.of_points ~capacity points in
+  Printf.printf "built a PR quadtree: capacity %d, %d points, %d leaves, height %d\n"
+    capacity n (Pr_quadtree.leaf_count tree) (Pr_quadtree.height tree);
+
+  (* 2. Query it: points in a window, nearest neighbor. *)
+  let window =
+    Popan_geom.Box.make ~xmin:0.25 ~ymin:0.25 ~xmax:0.5 ~ymax:0.5
+  in
+  let hits = Pr_quadtree.query_box tree window in
+  Printf.printf "window %s holds %d points (expected ~%.0f for uniform data)\n"
+    (Popan_geom.Box.to_string window)
+    (List.length hits)
+    (float_of_int n *. Popan_geom.Box.area window);
+  (match Pr_quadtree.nearest tree (Popan_geom.Point.make 0.5 0.5) with
+   | Some p ->
+     Printf.printf "nearest stored point to the center: %s\n"
+       (Popan_geom.Point.to_string p)
+   | None -> ());
+
+  (* 3. Ask the population model what this tree should look like. *)
+  let report = Population.expected_distribution ~branching:4 ~capacity () in
+  let predicted = report.Fixed_point.distribution in
+  let measured =
+    Distribution.of_weights
+      (Tree_stats.proportions (Pr_quadtree.occupancy_histogram tree))
+  in
+  Printf.printf "predicted occupancy distribution: %s\n"
+    (Distribution.to_string predicted);
+  Printf.printf "measured  occupancy distribution: %s\n"
+    (Distribution.to_string measured);
+  Printf.printf "predicted average occupancy %.3f, measured %.3f\n"
+    (Distribution.average_occupancy predicted)
+    (Pr_quadtree.average_occupancy tree);
+  Printf.printf "predicted leaf count %.0f, actual %d\n"
+    (Population.predicted_nodes ~branching:4 ~capacity ~points:n)
+    (Pr_quadtree.leaf_count tree);
+
+  (* 4. Peek at a decomposition (a tiny tree, so the sketch fits). *)
+  let tiny =
+    Pr_quadtree.of_points ~capacity:1
+      (Popan_rng.Sampler.points (Xoshiro.of_int_seed 9) Sampler.Uniform 6)
+  in
+  print_endline "\na 6-point capacity-1 decomposition (cf. the paper's Figure 1):";
+  Format.printf "%a@." Pr_quadtree.pp_structure tiny

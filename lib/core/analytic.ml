@@ -1,0 +1,11 @@
+open Import
+
+let capacity_one ~branching =
+  if branching < 2 then invalid_arg "Analytic.capacity_one: branching < 2";
+  let full = 1.0 /. sqrt (float_of_int branching) in
+  Distribution.of_vec (Vec.of_list [ 1.0 -. full; full ])
+
+let quadtree_capacity_one = capacity_one ~branching:4
+
+let average_occupancy_capacity_one ~branching =
+  Distribution.average_occupancy (capacity_one ~branching)

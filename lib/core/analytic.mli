@@ -1,0 +1,19 @@
+(** Closed-form results available for small capacities, used as exact
+    cross-checks on the numerical solvers.
+
+    For capacity 1 and branching [b] the quadratic system collapses to
+    [b·e_1² = 1] under [e_0 + e_1 = 1], giving [e_1 = 1/√b]: the paper's
+    [(1/2, 1/2)] for the quadtree, and e.g. [(1 − 1/√2, 1/√2)] for the
+    bintree. *)
+
+(** [capacity_one ~branching] is the exact expected distribution
+    [(1 − 1/√b, 1/√b)]. Raises [Invalid_argument] when [branching < 2]. *)
+val capacity_one : branching:int -> Distribution.t
+
+(** [quadtree_capacity_one] is the paper's analytic solution
+    [(1/2, 1/2)]. *)
+val quadtree_capacity_one : Distribution.t
+
+(** [average_occupancy_capacity_one ~branching] is [1/√b] — 0.5 for the
+    quadtree, matching Table 2's theoretical occupancy at capacity 1. *)
+val average_occupancy_capacity_one : branching:int -> float

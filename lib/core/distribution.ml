@@ -1,0 +1,55 @@
+open Import
+
+type t = Vec.t  (* invariant: nonempty, nonnegative, sums to 1 *)
+
+let of_weights v =
+  if Vec.dim v = 0 then invalid_arg "Distribution.of_weights: empty vector";
+  if not (Vec.all_nonnegative v) then
+    invalid_arg "Distribution.of_weights: negative entry";
+  if Vec.sum v <= 0.0 then invalid_arg "Distribution.of_weights: zero total";
+  Vec.normalize1 v
+
+let of_vec v =
+  if Float.abs (Vec.sum v -. 1.0) > 1e-6 then
+    invalid_arg "Distribution.of_vec: proportions do not sum to 1";
+  of_weights v
+
+let uniform n =
+  if n <= 0 then invalid_arg "Distribution.uniform: n <= 0";
+  Vec.create n (1.0 /. float_of_int n)
+
+let to_vec = Vec.copy
+let types = Vec.dim
+let proportion d i = d.(i)
+
+let average_occupancy d =
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. (float_of_int i *. p)) d;
+  !acc
+
+let utilization d ~capacity =
+  if capacity <= 0 then invalid_arg "Distribution.utilization: capacity <= 0";
+  average_occupancy d /. float_of_int capacity
+
+let fraction_empty d = d.(0)
+let fraction_full d = d.(Vec.dim d - 1)
+
+let total_variation d1 d2 =
+  if Vec.dim d1 <> Vec.dim d2 then
+    invalid_arg "Distribution.total_variation: length mismatch";
+  0.5 *. Vec.norm1 (Vec.sub d1 d2)
+
+let equal ?tol d1 d2 = Vec.approx_equal ?tol d1 d2
+
+let pp ppf d =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf ", ";
+      let milli = int_of_float (Float.round (p *. 1000.0)) in
+      if milli >= 1000 then Format.fprintf ppf "%.3f" p
+      else Format.fprintf ppf ".%03d" milli)
+    d;
+  Format.fprintf ppf ")"
+
+let to_string d = Format.asprintf "%a" pp d

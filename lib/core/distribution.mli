@@ -1,0 +1,57 @@
+open Import
+
+(** Expected distributions — the state vectors [e = (p_0, ..., p_m)] of
+    the paper: proportions of nodes by occupancy, summing to 1. *)
+
+type t
+
+(** [of_vec v] validates that [v] is nonempty, nonnegative, and sums to 1
+    within [1e-6], renormalizes exactly, and wraps it. Raises
+    [Invalid_argument] otherwise. *)
+val of_vec : Vec.t -> t
+
+(** [of_weights v] normalizes any nonnegative, nonzero vector to sum 1.
+    Raises [Invalid_argument] on negative entries or zero total. *)
+val of_weights : Vec.t -> t
+
+(** [uniform n] is the uniform distribution over [n] types. *)
+val uniform : int -> t
+
+(** [to_vec d] is the proportion vector (a copy). *)
+val to_vec : t -> Vec.t
+
+(** [types d] is the number of occupancy classes. *)
+val types : t -> int
+
+(** [proportion d i] is [p_i]. *)
+val proportion : t -> int -> float
+
+(** [average_occupancy d] is [e · (0, 1, ..., m)] — the paper's summary
+    statistic. *)
+val average_occupancy : t -> float
+
+(** [utilization d ~capacity] is average occupancy divided by
+    [capacity]. Raises [Invalid_argument] when [capacity <= 0]. *)
+val utilization : t -> capacity:int -> float
+
+(** [fraction_empty d] is [p_0]. *)
+val fraction_empty : t -> float
+
+(** [fraction_full d] is [p_m] (the last component). *)
+val fraction_full : t -> float
+
+(** [total_variation d1 d2] is half the L1 distance — a standard measure
+    of disagreement between two distributions of equal length.
+    Raises [Invalid_argument] on length mismatch. *)
+val total_variation : t -> t -> float
+
+(** [equal ?tol d1 d2] compares componentwise within [tol]
+    (default 1e-9). *)
+val equal : ?tol:float -> t -> t -> bool
+
+(** [pp ppf d] prints the proportions to three decimals, in the style of
+    the paper's Table 1 (e.g. [(.278, .418, .304)]). *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string d] is [Format.asprintf "%a" pp d]. *)
+val to_string : t -> string

@@ -1,0 +1,93 @@
+open Import
+
+let step transform d =
+  Distribution.of_weights (Transform.apply transform (Distribution.to_vec d))
+
+let trajectory ?(steps = 32) transform ~start =
+  if steps < 0 then invalid_arg "Dynamics.trajectory: steps < 0";
+  let rec go acc d k =
+    if k = 0 then List.rev acc
+    else
+      let d' = step transform d in
+      go (d' :: acc) d' (k - 1)
+  in
+  go [ start ] start steps
+
+let distance_trajectory ?steps transform ~start =
+  let fixed = (Fixed_point.solve transform).Fixed_point.distribution in
+  List.map
+    (fun d -> Distribution.total_variation d fixed)
+    (trajectory ?steps transform ~start)
+
+type spectrum = {
+  dominant : float;
+  subdominant_modulus : float;
+  mixing_rate : float;
+}
+
+(* Spectral radius of [m] by the Gelfand limit ‖m^k x‖^(1/k): robust to
+   complex or negative subdominant eigenvalues, which plain power
+   iteration is not. The growth factors are averaged geometrically over
+   the tail to wash out the transient. *)
+let spectral_radius m =
+  let n = Matrix.rows m in
+  (* A deterministic start vector with all spectral components: avoid
+     accidental orthogonality by mixing signs and magnitudes. *)
+  let x = ref (Vec.init n (fun i -> 1.0 +. (0.37 *. float_of_int (i + 1)) *. (if i land 1 = 0 then 1.0 else -1.0))) in
+  let warmup = 200 in
+  let measured = 400 in
+  let log_growth = ref 0.0 in
+  (try
+     for k = 1 to warmup + measured do
+       let next = Matrix.mul_vec m !x in
+       let growth = Vec.norm1 next /. Vec.norm1 !x in
+       if growth = 0.0 || Float.is_nan growth then raise Exit;
+       if k > warmup then log_growth := !log_growth +. log growth;
+       x := Vec.scale (1.0 /. Vec.norm1 next) next
+     done
+   with Exit -> ());
+  if !log_growth = 0.0 && Vec.norm1 !x = 0.0 then 0.0
+  else exp (!log_growth /. float_of_int measured)
+
+let spectrum transform =
+  let a = Matrix.transpose (Transform.matrix transform) in
+  (* Dominant pair of A (right vector = left Perron vector of T). *)
+  let right =
+    match Eigen.dominant a with
+    | Convergence.Converged { value; _ } -> value
+    | Convergence.Diverged _ ->
+      failwith "Dynamics.spectrum: dominant iteration diverged"
+  in
+  let left =
+    (* Right Perron vector of T = left of A. *)
+    match Eigen.dominant (Transform.matrix transform) with
+    | Convergence.Converged { value; _ } -> value
+    | Convergence.Diverged _ ->
+      failwith "Dynamics.spectrum: adjoint iteration diverged"
+  in
+  let lambda1 = right.Eigen.eigenvalue in
+  let v = right.Eigen.eigenvector in
+  let w = left.Eigen.eigenvector in
+  let wv = Vec.dot w v in
+  if Float.abs wv < 1e-14 then
+    failwith "Dynamics.spectrum: degenerate dominant pair";
+  (* Deflate: B = A - lambda1 (v w^T) / (w . v); B kills v, keeps the
+     rest of the spectrum. *)
+  let n = Matrix.rows a in
+  let b =
+    Matrix.init n n (fun i j ->
+        Matrix.get a i j -. (lambda1 *. v.(i) *. w.(j) /. wv))
+  in
+  let lambda2 = spectral_radius b in
+  {
+    dominant = lambda1;
+    subdominant_modulus = lambda2;
+    mixing_rate = lambda2 /. lambda1;
+  }
+
+let steps_to_converge transform ~tolerance =
+  if tolerance <= 0.0 || tolerance >= 1.0 then
+    invalid_arg "Dynamics.steps_to_converge: tolerance outside (0, 1)";
+  let s = spectrum transform in
+  if s.mixing_rate <= 0.0 then None
+  else Some (int_of_float (Float.ceil (log tolerance /. log s.mixing_rate)))

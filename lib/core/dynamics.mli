@@ -1,0 +1,44 @@
+(** Transient dynamics of the population model: what the mean-field map
+    [e ↦ (e·T) / ‖e·T‖₁] does before it reaches the fixed point, and how
+    fast it gets there.
+
+    The convergence rate is spectral: the normalized map contracts
+    toward the Perron vector at asymptotic rate [|λ₂|/λ₁], the ratio of
+    the subdominant to the dominant eigenvalue of [T]. We obtain λ₂ by
+    deflating the dominant pair and re-running power iteration.
+
+    A caveat worth stating (and tested): real trees do *not* follow this
+    trajectory to convergence — phasing keeps the measured population
+    orbiting the fixed point (see {!Phasing} and the ext-trajectory
+    experiment). The mean-field dynamics describe the *average* pull
+    toward [e], not the synchronized oscillation around it. *)
+
+(** [trajectory ?steps transform ~start] iterates the normalized
+    insertion map [steps] times (default 32) from [start], returning the
+    successive distributions, starting with [start] itself
+    ([steps + 1] entries). *)
+val trajectory :
+  ?steps:int -> Transform.t -> start:Distribution.t -> Distribution.t list
+
+(** [distance_trajectory ?steps transform ~start] is the total-variation
+    distance of each trajectory entry to the fixed point. *)
+val distance_trajectory :
+  ?steps:int -> Transform.t -> start:Distribution.t -> float list
+
+type spectrum = {
+  dominant : float;  (** λ₁ = a, nodes created per insertion at the fixed point *)
+  subdominant_modulus : float;  (** |λ₂| *)
+  mixing_rate : float;  (** |λ₂|/λ₁ — per-step contraction factor *)
+}
+
+(** [spectrum transform] computes the dominant pair, deflates it, and
+    power-iterates the remainder for |λ₂|. Raises [Failure] when either
+    iteration fails to converge. *)
+val spectrum : Transform.t -> spectrum
+
+(** [steps_to_converge transform ~tolerance] is the predicted number of
+    map iterations to shrink the distance to the fixed point by a factor
+    [tolerance] (from the mixing rate); [None] when the map converges
+    superlinearly ([λ₂ = 0]). Raises [Invalid_argument] unless
+    [0 < tolerance < 1]. *)
+val steps_to_converge : Transform.t -> tolerance:float -> int option

@@ -1,0 +1,29 @@
+open Import
+
+type report = {
+  distribution : Distribution.t;
+  eigenvalue : float;
+  iterations : int;
+  residual : float;
+}
+
+let report_of_pair transform (pair : Eigen.eigenpair) ~iterations =
+  let e = pair.Eigen.eigenvector in
+  {
+    distribution = Distribution.of_vec e;
+    eigenvalue = pair.Eigen.eigenvalue;
+    iterations;
+    residual = Transform.fixed_point_residual transform e;
+  }
+
+let solve_opt ?criterion transform =
+  let matrix = Transform.matrix transform in
+  match Eigen.dominant_left ?criterion matrix with
+  | Convergence.Converged { value; iterations; _ } ->
+    Some (report_of_pair transform value ~iterations)
+  | Convergence.Diverged _ -> None
+
+let solve ?criterion transform =
+  match solve_opt ?criterion transform with
+  | Some report -> report
+  | None -> failwith "Fixed_point.solve: power iteration did not converge"

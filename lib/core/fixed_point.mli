@@ -1,0 +1,27 @@
+open Import
+
+(** The paper's fixed-point condition: the expected distribution [e] is
+    the positive solution of [e·T = a·e] with
+    [a = Σ_i e_i rowsum_i(T)] — the distribution unchanged by further
+    insertion. Since [a] equals the L1 norm of [e·T] whenever [e] sums
+    to 1, the solution is the left Perron vector of [T], and normalized
+    power iteration converges to it; [Nels86b] shows the positive
+    solution is unique, so any convergent method finds *the* expected
+    distribution. *)
+
+type report = {
+  distribution : Distribution.t;
+  eigenvalue : float;  (** the scalar [a]: expected nodes created per insertion *)
+  iterations : int;
+  residual : float;  (** [‖e·T − a·e‖∞] at the returned solution *)
+}
+
+(** [solve ?criterion transform] is the expected distribution of
+    [transform] by normalized power iteration from the uniform vector.
+    Raises [Failure] when the iteration limit is reached without
+    convergence (does not happen for valid PR-model matrices). *)
+val solve : ?criterion:Convergence.criterion -> Transform.t -> report
+
+(** [solve_opt ?criterion transform] is [Some] report, or [None] instead
+    of raising on non-convergence. *)
+val solve_opt : ?criterion:Convergence.criterion -> Transform.t -> report option

@@ -1,0 +1,15 @@
+(** Short names for the substrate modules used throughout this library. *)
+
+module Vec = Popan_numerics.Vec
+module Matrix = Popan_numerics.Matrix
+module Eigen = Popan_numerics.Eigen
+module Newton = Popan_numerics.Newton
+module Linsolve = Popan_numerics.Linsolve
+module Convergence = Popan_numerics.Convergence
+module Combin = Popan_numerics.Combin
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Segment = Popan_geom.Segment
+module Quadrant = Popan_geom.Quadrant
+module Xoshiro = Popan_rng.Xoshiro
+module Sampler = Popan_rng.Sampler

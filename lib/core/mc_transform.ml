@@ -1,0 +1,57 @@
+open Import
+
+type local_model = {
+  types : int;
+  simulate : Xoshiro.t -> occupancy:int -> int array;
+}
+
+let estimate_row ?(trials = 10_000) rng model ~occupancy =
+  if trials <= 0 then invalid_arg "Mc_transform.estimate_row: trials <= 0";
+  if model.types <= 0 then invalid_arg "Mc_transform: types <= 0";
+  let acc = Vec.create model.types 0.0 in
+  for _ = 1 to trials do
+    let produced = model.simulate rng ~occupancy in
+    Array.iteri
+      (fun j c -> acc.(j) <- acc.(j) +. float_of_int c)
+      produced
+  done;
+  Vec.scale (1.0 /. float_of_int trials) acc
+
+let estimate ?trials rng model =
+  let rows =
+    List.init model.types (fun i ->
+        Vec.to_list (estimate_row ?trials rng model ~occupancy:i))
+  in
+  Transform.of_rows rows
+
+(* Recursive uniform split of [pts] points in the unit block: returns the
+   histogram of leaf occupancies. Points are represented only by their
+   quadrant path, so we just recursively scatter counts. *)
+let pr_point_model ~capacity =
+  if capacity < 1 then invalid_arg "Mc_transform.pr_point_model: capacity < 1";
+  let types = capacity + 1 in
+  let simulate rng ~occupancy =
+    if occupancy < 0 || occupancy > capacity then
+      invalid_arg "Mc_transform.pr_point_model: occupancy out of range";
+    let produced = Array.make types 0 in
+    if occupancy < capacity then
+      produced.(occupancy + 1) <- 1
+    else begin
+      (* Scatter n points into 4 quadrants uniformly; split quadrants
+         holding more than [capacity] recursively. *)
+      let rec scatter n =
+        if n <= capacity then produced.(n) <- produced.(n) + 1
+        else begin
+          let counts = Array.make 4 0 in
+          for _ = 1 to n do
+            let q = Xoshiro.int rng 4 in
+            counts.(q) <- counts.(q) + 1
+          done;
+          Array.iter scatter counts
+        end
+      in
+      scatter (capacity + 1)
+    end;
+    produced
+  in
+  { types; simulate }

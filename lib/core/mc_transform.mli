@@ -1,0 +1,40 @@
+open Import
+
+(** Monte-Carlo estimation of transform matrices.
+
+    The population method only needs "the probabilities of the local
+    interaction of the data primitive with the quadrants of a node"
+    (paper §V). When those probabilities have no convenient closed form
+    (line segments, odd splitting rules), we estimate each transform
+    vector by simulating many single-node insertions and averaging the
+    node production counts. The estimated matrix then feeds the same
+    fixed-point machinery as an analytic one. *)
+
+type local_model = {
+  types : int;
+      (** number of occupancy classes; productions beyond the last class
+          are clamped into it *)
+  simulate : Xoshiro.t -> occupancy:int -> int array;
+      (** [simulate rng ~occupancy] performs one insertion into a node of
+          the given occupancy and returns the count of nodes of each
+          class produced (length [types]) *)
+}
+
+(** [estimate ?trials rng model] estimates the transform matrix by
+    averaging [trials] simulations per row (default 10_000).
+    Raises [Invalid_argument] when [trials <= 0] or [model.types <= 0],
+    and whatever the simulation raises. *)
+val estimate : ?trials:int -> Xoshiro.t -> local_model -> Transform.t
+
+(** [pr_point_model ~capacity] is the local model of the generalized PR
+    quadtree for uniform points: inserting into a node of occupancy
+    [capacity] scatters the [capacity + 1] points uniformly in the block
+    and splits recursively until every block holds at most [capacity].
+    Its estimate converges to {!Pr_model.transform} (branching 4) — the
+    estimator's calibration case. *)
+val pr_point_model : capacity:int -> local_model
+
+(** [estimate_row ?trials rng model ~occupancy] estimates a single
+    transform vector — convenient for tests. *)
+val estimate_row :
+  ?trials:int -> Xoshiro.t -> local_model -> occupancy:int -> Vec.t

@@ -1,0 +1,43 @@
+open Import
+
+let residual_system transform =
+  let n = Transform.types transform in
+  let sums = Transform.row_sums transform in
+  let residual e =
+    let et = Transform.apply transform e in
+    let a = Vec.dot e sums in
+    Vec.init n (fun j ->
+        if j = 0 then Vec.sum e -. 1.0 else et.(j) -. (a *. e.(j)))
+  in
+  let jacobian e =
+    let a = Vec.dot e sums in
+    Matrix.init n n (fun j k ->
+        if j = 0 then 1.0
+        else
+          Transform.get transform k j -. (sums.(k) *. e.(j))
+          -. if j = k then a else 0.0)
+  in
+  { Newton.residual; jacobian = Some jacobian }
+
+let solve ?criterion ?start transform =
+  let n = Transform.types transform in
+  let start =
+    match start with
+    | Some v -> Vec.copy v
+    | None -> Vec.create n (1.0 /. float_of_int n)
+  in
+  let problem = residual_system transform in
+  match Newton.solve ?criterion problem start with
+  | Convergence.Diverged { iterations; error; _ } ->
+    failwith
+      (Printf.sprintf "Newton_model.solve: stalled after %d iterations (%g)"
+         iterations error)
+  | Convergence.Converged { value = e; iterations; _ } ->
+    if not (Vec.all_nonnegative e) then
+      failwith "Newton_model.solve: converged to a non-positive solution";
+    {
+      Fixed_point.distribution = Distribution.of_vec e;
+      eigenvalue = Vec.dot e (Transform.row_sums transform);
+      iterations;
+      residual = Transform.fixed_point_residual transform e;
+    }

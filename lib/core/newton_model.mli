@@ -1,0 +1,23 @@
+open Import
+
+(** Independent solver for the paper's quadratic system, used to
+    cross-check {!Fixed_point}: Newton–Raphson on
+
+    [F_j(e) = (e·T)_j − a(e)·e_j]  for [j = 1 .. m],
+    [F_0(e) = Σ_i e_i − 1]         (normalization replaces one equation),
+
+    with the analytic Jacobian
+    [∂F_j/∂e_k = T_kj − rowsum_k·e_j − a(e)·δ_jk]. The system has up to
+    [2^(m+1)] solutions but a unique positive one; started from the
+    uniform vector Newton lands on it for every PR-model matrix we use. *)
+
+(** [solve ?criterion ?start transform] is the positive solution found by
+    damped Newton from [start] (default uniform). Raises [Failure] when
+    Newton stalls, diverges, or lands on a non-positive solution. *)
+val solve :
+  ?criterion:Convergence.criterion -> ?start:Vec.t -> Transform.t ->
+  Fixed_point.report
+
+(** [residual_system transform] exposes the function [F] (and analytic
+    Jacobian) so tests can probe the algebra directly. *)
+val residual_system : Transform.t -> Newton.problem

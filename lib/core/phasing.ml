@@ -1,0 +1,71 @@
+type series = (float * float) array
+
+let of_lists ns occs =
+  if List.length ns <> List.length occs then
+    invalid_arg "Phasing.of_lists: length mismatch";
+  if ns = [] then invalid_arg "Phasing.of_lists: empty series";
+  let arr = Array.of_list (List.combine ns occs) in
+  Array.iteri
+    (fun i (n, _) ->
+      if i > 0 && n <= fst arr.(i - 1) then
+        invalid_arg "Phasing.of_lists: ns not increasing")
+    arr;
+  arr
+
+let occupancies series = Array.map snd series
+
+let amplitude series =
+  let occ = occupancies series in
+  Array.fold_left Float.max Float.neg_infinity occ
+  -. Array.fold_left Float.min Float.infinity occ
+
+let mean series =
+  let occ = occupancies series in
+  Array.fold_left ( +. ) 0.0 occ /. float_of_int (Array.length occ)
+
+let local_maxima series =
+  let n = Array.length series in
+  let maxima = ref [] in
+  for i = 1 to n - 2 do
+    let _, prev = series.(i - 1) in
+    let x, v = series.(i) in
+    let _, next = series.(i + 1) in
+    if v > prev && v > next then maxima := x :: !maxima
+  done;
+  List.rev !maxima
+
+let peak_ratios series =
+  let rec ratios = function
+    | a :: (b :: _ as rest) -> (b /. a) :: ratios rest
+    | [ _ ] | [] -> []
+  in
+  ratios (local_maxima series)
+
+let damping_ratio series =
+  let n = Array.length series in
+  if n < 4 then invalid_arg "Phasing.damping_ratio: series too short";
+  let half = n / 2 in
+  let slice lo hi = Array.sub series lo (hi - lo) in
+  let a1 = amplitude (slice 0 half) in
+  let a2 = amplitude (slice half n) in
+  if a1 = 0.0 then Float.infinity else a2 /. a1
+
+let detrended_amplitude series =
+  (* Least-squares fit occupancy = alpha + beta ln n, then take the
+     amplitude of the residuals. *)
+  let n = float_of_int (Array.length series) in
+  let xs = Array.map (fun (x, _) -> log x) series in
+  let ys = occupancies series in
+  let sx = Array.fold_left ( +. ) 0.0 xs in
+  let sy = Array.fold_left ( +. ) 0.0 ys in
+  let sxx = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  let sxy = ref 0.0 in
+  Array.iteri (fun i x -> sxy := !sxy +. (x *. ys.(i))) xs;
+  let denom = (n *. sxx) -. (sx *. sx) in
+  let beta = if denom = 0.0 then 0.0 else ((n *. !sxy) -. (sx *. sy)) /. denom in
+  let alpha = (sy -. (beta *. sx)) /. n in
+  let residuals =
+    Array.mapi (fun i x -> ys.(i) -. alpha -. (beta *. x)) xs
+  in
+  Array.fold_left Float.max Float.neg_infinity residuals
+  -. Array.fold_left Float.min Float.infinity residuals

@@ -1,0 +1,42 @@
+(** Phasing (paper §IV): under uniform data, same-size blocks fill and
+    split almost in unison, so the average occupancy oscillates with a
+    period that is constant in log N (one cycle per factor of the
+    branching, 4 for quadtrees) and does not damp out; non-uniform data
+    de-synchronizes the blocks and the oscillation decays. This module
+    measures those properties on an occupancy-versus-N series (the data
+    of Tables 4–5 / Figures 2–3). *)
+
+type series = (float * float) array
+(** pairs [(n, occupancy)] in increasing [n] *)
+
+(** [of_lists ns occs] zips two equal-length lists into a series.
+    Raises [Invalid_argument] on mismatch, emptiness, or non-increasing
+    [ns]. *)
+val of_lists : float list -> float list -> series
+
+(** [amplitude series] is [max − min] of the occupancies. *)
+val amplitude : series -> float
+
+(** [mean series] is the mean occupancy. *)
+val mean : series -> float
+
+(** [local_maxima series] lists the [n] positions of strict interior
+    local maxima of the occupancy. *)
+val local_maxima : series -> float list
+
+(** [peak_ratios series] is the list of ratios between consecutive local
+    maxima positions; phasing predicts values near the branching factor
+    (4 for quadtrees). *)
+val peak_ratios : series -> float list
+
+(** [damping_ratio series] compares the occupancy amplitude over the
+    second half of the series (in index terms) to the first half:
+    ~1 for sustained oscillation (uniform data), < 1 when the
+    oscillation damps (Gaussian data). Raises [Invalid_argument] when the
+    series has fewer than 4 samples. *)
+val damping_ratio : series -> float
+
+(** [detrended_amplitude series] is the amplitude after removing the
+    best L2 linear fit of occupancy against ln n — isolates oscillation
+    from drift. *)
+val detrended_amplitude : series -> float

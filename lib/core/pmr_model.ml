@@ -1,0 +1,57 @@
+open Import
+
+type parameters = {
+  threshold : int;
+  relative_length : float;
+  types : int;
+}
+
+let default_parameters ~threshold =
+  { threshold; relative_length = 0.5; types = (4 * threshold) + 4 }
+
+let validate p =
+  if p.threshold < 1 then invalid_arg "Pmr_model: threshold < 1";
+  if p.relative_length <= 0.0 then invalid_arg "Pmr_model: relative_length <= 0";
+  if p.types <= p.threshold then invalid_arg "Pmr_model: types <= threshold"
+
+(* One resident segment: a random chord of the unit block (midpoint
+   uniform, direction uniform, exponential length), clipped to the
+   block. *)
+let resident_segment rng ~relative_length =
+  Sampler.segment rng
+    (Sampler.Uniform_segments { mean_length = relative_length })
+
+let local_model p =
+  validate p;
+  let child_boxes = Box.children Box.unit in
+  let simulate rng ~occupancy =
+    if occupancy < 0 || occupancy >= p.types then
+      invalid_arg "Pmr_model.local_model: occupancy out of range";
+    let produced = Array.make p.types 0 in
+    if occupancy + 1 <= p.threshold then
+      produced.(occupancy + 1) <- 1
+    else begin
+      (* The block splits exactly once; each of the occupancy + 1
+         segments enters every child it crosses. *)
+      let segments =
+        List.init (occupancy + 1) (fun _ ->
+            resident_segment rng ~relative_length:p.relative_length)
+      in
+      Array.iter
+        (fun child ->
+          let count =
+            List.length
+              (List.filter (fun s -> Segment.intersects_box s child) segments)
+          in
+          let count = min count (p.types - 1) in
+          produced.(count) <- produced.(count) + 1)
+        child_boxes
+    end;
+    produced
+  in
+  { Mc_transform.types = p.types; simulate }
+
+let transform ?trials rng p = Mc_transform.estimate ?trials rng (local_model p)
+
+let expected_distribution ?trials rng p =
+  Fixed_point.solve (transform ?trials rng p)

@@ -1,0 +1,45 @@
+open Import
+
+(** Population model of the PMR quadtree for line segments — our
+    reconstruction of the companion analysis the paper cites as
+    [Nels86b] (the technical report is not available, so the transform
+    probabilities are estimated by Monte Carlo rather than derived;
+    DESIGN.md records the substitution).
+
+    The local interaction: a node holds [q] segments; inserting one more
+    when [q + 1] exceeds the [threshold] splits the block exactly once,
+    and each segment lands in every child quadrant it crosses. Because a
+    segment can enter several children, occupancies above the threshold
+    are genuine populations, so the model tracks classes
+    [0 .. types − 1] with [types] comfortably above the threshold.
+
+    The resident segments of a block are modeled as independent random
+    chords: segments drawn from {!Sampler.Uniform_segments} with mean
+    length [relative_length] (in units of the block side) conditioned to
+    cross the block. *)
+
+type parameters = {
+  threshold : int;  (** PMR splitting threshold (>= 1) *)
+  relative_length : float;
+      (** mean segment length / block side (> 0); small values model maps
+          whose edges are short relative to the blocks that hold them *)
+  types : int;
+      (** occupancy classes tracked; must exceed [threshold] (a practical
+          choice is [4 * threshold]) *)
+}
+
+(** [default_parameters ~threshold] uses [relative_length = 0.5] and
+    [types = 4 * threshold + 4]. *)
+val default_parameters : threshold:int -> parameters
+
+(** [local_model params] is the Monte-Carlo local model described above.
+    Raises [Invalid_argument] on invalid parameters. *)
+val local_model : parameters -> Mc_transform.local_model
+
+(** [transform ?trials rng params] estimates the PMR transform matrix. *)
+val transform : ?trials:int -> Xoshiro.t -> parameters -> Transform.t
+
+(** [expected_distribution ?trials rng params] runs the full pipeline:
+    estimate the transform, solve the fixed point. *)
+val expected_distribution :
+  ?trials:int -> Xoshiro.t -> parameters -> Fixed_point.report

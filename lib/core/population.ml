@@ -1,0 +1,23 @@
+type solver = Power | Newton_raphson
+
+let expected_distribution ?(solver = Power) ?criterion ~branching ~capacity () =
+  let transform = Pr_model.transform ~branching ~capacity in
+  match solver with
+  | Power -> Fixed_point.solve ?criterion transform
+  | Newton_raphson -> Newton_model.solve ?criterion transform
+
+let average_occupancy ~branching ~capacity =
+  let report = expected_distribution ~branching ~capacity () in
+  Distribution.average_occupancy report.Fixed_point.distribution
+
+let storage_utilization ~branching ~capacity =
+  average_occupancy ~branching ~capacity /. float_of_int capacity
+
+let predicted_nodes ~branching ~capacity ~points =
+  float_of_int points /. average_occupancy ~branching ~capacity
+
+let theory_table ~branching ~capacities =
+  List.map
+    (fun capacity ->
+      (capacity, expected_distribution ~branching ~capacity ()))
+    capacities

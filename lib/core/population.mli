@@ -1,0 +1,33 @@
+open Import
+
+(** High-level entry points: one call from structure parameters to the
+    paper's predictions. This is the module most applications need;
+    the rest of the library is its machinery. *)
+
+type solver = Power | Newton_raphson
+
+(** [expected_distribution ?solver ?criterion ~branching ~capacity ()]
+    is the expected node-occupancy distribution of a generalized PR tree
+    with the given branching factor (4 = quadtree, 8 = octree, 2 =
+    bintree) and node capacity, solved by the chosen method (default
+    {!Power}). *)
+val expected_distribution :
+  ?solver:solver -> ?criterion:Convergence.criterion -> branching:int ->
+  capacity:int -> unit -> Fixed_point.report
+
+(** [average_occupancy ~branching ~capacity] is the predicted average
+    node occupancy — the "theoretical occupancy" column of Table 2. *)
+val average_occupancy : branching:int -> capacity:int -> float
+
+(** [storage_utilization ~branching ~capacity] is average occupancy over
+    capacity: the predicted fraction of bucket space in use. *)
+val storage_utilization : branching:int -> capacity:int -> float
+
+(** [predicted_nodes ~branching ~capacity ~points] is the predicted leaf
+    count for a tree of [points] items: points / average occupancy. *)
+val predicted_nodes : branching:int -> capacity:int -> points:int -> float
+
+(** [theory_table ~branching ~capacities] maps each capacity to its
+    report — the data behind the "thy" rows of Table 1. *)
+val theory_table :
+  branching:int -> capacities:int list -> (int * Fixed_point.report) list

@@ -1,0 +1,51 @@
+open Import
+
+let check ~branching ~capacity =
+  if branching < 2 then invalid_arg "Pr_model: branching < 2";
+  if capacity < 1 then invalid_arg "Pr_model: capacity < 1"
+
+(* P_i = C(m+1, i) (b-1)^(m+1-i) / b^m for i <= m; P_{m+1} = b^(-m).
+   These are the expected numbers of buckets holding i of the m+1 items
+   when each item falls uniformly into one of b buckets:
+   b * C(m+1, i) (1/b)^i ((b-1)/b)^(m+1-i). *)
+let split_distribution ~branching ~capacity =
+  check ~branching ~capacity;
+  let m = capacity in
+  let b = float_of_int branching in
+  let bm = Combin.pow_int b m in
+  Vec.init (m + 2) (fun i ->
+      if i = m + 1 then 1.0 /. bm
+      else Combin.binomial (m + 1) i *. Combin.pow_int (b -. 1.0) (m + 1 - i) /. bm)
+
+(* Resolving t_m = (P_0, ..., P_m) + P_{m+1} t_m gives
+   t_m = (P_0, ..., P_m) / (1 - b^(-m)), i.e. the closed form
+   T_m_i = C(m+1, i) (b-1)^(m+1-i) / (b^m - 1). *)
+let splitting_row ~branching ~capacity =
+  check ~branching ~capacity;
+  let m = capacity in
+  let b = float_of_int branching in
+  let denom = Combin.pow_int b m -. 1.0 in
+  Vec.init (m + 1) (fun i ->
+      Combin.binomial (m + 1) i *. Combin.pow_int (b -. 1.0) (m + 1 - i) /. denom)
+
+let transform ~branching ~capacity =
+  check ~branching ~capacity;
+  let m = capacity in
+  let split = splitting_row ~branching ~capacity in
+  let matrix =
+    Matrix.init (m + 1) (m + 1) (fun i j ->
+        if i < m then if j = i + 1 then 1.0 else 0.0 else split.(j))
+  in
+  Transform.of_matrix matrix
+
+let splitting_row_sum ~branching ~capacity =
+  check ~branching ~capacity;
+  let b = float_of_int branching in
+  let m = capacity in
+  (Combin.pow_int b (m + 1) -. 1.0) /. (Combin.pow_int b m -. 1.0)
+
+let post_split_occupancy ~branching ~capacity =
+  let row = splitting_row ~branching ~capacity in
+  let weighted = ref 0.0 in
+  Array.iteri (fun i x -> weighted := !weighted +. (float_of_int i *. x)) row;
+  !weighted /. Vec.sum row

@@ -1,0 +1,43 @@
+(** The analytic population model of the generalized PR quadtree
+    (paper §III), parameterized by branching factor so the same formulas
+    cover bintrees ([branching = 2]), quadtrees ([4]), octrees ([8]) and
+    any 2^d decomposition.
+
+    With node capacity [m] and branching [b]:
+
+    - inserting into a node of occupancy [i < m] yields one node of
+      occupancy [i + 1] (unit-shift transform vector);
+    - inserting into a full node splits it, possibly recursively. The
+      [m + 1] points scatter into the [b] children binomially, giving the
+      expected bucket counts [P_i = C(m+1, i) (b−1)^(m+1−i) / b^m] and
+      recursive-split probability [P_{m+1} = b^{−m}], whence the closed
+      form for the splitting row
+      [T_m_i = C(m+1, i) (b−1)^(m+1−i) / (b^m − 1)]. *)
+
+(** [split_distribution ~branching ~capacity] is the vector
+    [(P_0, ..., P_m, P_{m+1})] of expected bucket counts when
+    [capacity + 1] items scatter into [branching] buckets (last component
+    = probability that all land together, forcing a recursive split).
+    Raises [Invalid_argument] when [branching < 2] or [capacity < 1]. *)
+val split_distribution : branching:int -> capacity:int -> Popan_numerics.Vec.t
+
+(** [splitting_row ~branching ~capacity] is the transform vector [t_m]
+    of a full node (length [capacity + 1]): the closed-form resolution of
+    the recursive splitting. *)
+val splitting_row : branching:int -> capacity:int -> Popan_numerics.Vec.t
+
+(** [transform ~branching ~capacity] is the full transform matrix
+    [T^m]: unit shifts for rows [0 .. m−1], {!splitting_row} for row
+    [m]. *)
+val transform : branching:int -> capacity:int -> Transform.t
+
+(** [splitting_row_sum ~branching ~capacity] is the expected number of
+    nodes produced when a full node splits:
+    [(b^(m+1) − 1) / (b^m − 1)], slightly more than [b]. *)
+val splitting_row_sum : branching:int -> capacity:int -> float
+
+(** [post_split_occupancy ~branching ~capacity] is the average occupancy
+    of a freshly created generation of nodes —
+    [t_m · (0, ..., m) / Σ t_m] — the value Table 3's occupancy column
+    decays toward (0.4 for the quadtree with [capacity = 1]). *)
+val post_split_occupancy : branching:int -> capacity:int -> float

@@ -1,0 +1,61 @@
+open Import
+
+type t = {
+  transform : Transform.t;
+  fixed_point : Vec.t;
+  (* Columns of J^{-1}, i.e. J^{-1} applied to each basis vector; with n
+     small, storing the explicit inverse is simplest. *)
+  jacobian_inverse : Matrix.t;
+}
+
+let at transform =
+  let report = Fixed_point.solve transform in
+  let e = Distribution.to_vec report.Fixed_point.distribution in
+  let problem = Newton_model.residual_system transform in
+  let jacobian =
+    match problem.Newton.jacobian with
+    | Some j -> j e
+    | None -> assert false  (* residual_system always provides one *)
+  in
+  let jacobian_inverse =
+    try Linsolve.inverse jacobian
+    with Linsolve.Singular reason ->
+      failwith ("Sensitivity.at: singular Jacobian at the fixed point: " ^ reason)
+  in
+  { transform; fixed_point = e; jacobian_inverse }
+
+let distribution t = Distribution.of_vec t.fixed_point
+
+let distribution_derivative t ~row ~col =
+  let n = Vec.dim t.fixed_point in
+  if row < 0 || row >= n || col < 0 || col >= n then
+    invalid_arg "Sensitivity.distribution_derivative: index out of range";
+  let e = t.fixed_point in
+  (* dF_j = e_row (delta_{j,col} - e_j) for j >= 1; dF_0 = 0. *)
+  let df =
+    Vec.init n (fun j ->
+        if j = 0 then 0.0
+        else e.(row) *. ((if j = col then 1.0 else 0.0) -. e.(j)))
+  in
+  Vec.scale (-1.0) (Matrix.mul_vec t.jacobian_inverse df)
+
+let occupancy_gradient t =
+  let n = Vec.dim t.fixed_point in
+  Matrix.init n n (fun row col ->
+      let de = distribution_derivative t ~row ~col in
+      let acc = ref 0.0 in
+      Array.iteri (fun j d -> acc := !acc +. (float_of_int j *. d)) de;
+      !acc)
+
+let occupancy_error_bound t ~entry_error =
+  if entry_error < 0.0 then
+    invalid_arg "Sensitivity.occupancy_error_bound: negative error";
+  let g = occupancy_gradient t in
+  let n = Matrix.rows g in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      acc := !acc +. Float.abs (Matrix.get g i j)
+    done
+  done;
+  !acc *. entry_error

@@ -1,0 +1,42 @@
+open Import
+
+(** Sensitivity of the expected distribution to the transform matrix.
+
+    The fixed point [e(T)] is implicitly defined by [F(e, T) = 0] with
+    [F_0 = Σ e − 1] and [F_j = (e·T)_j − a(e)·e_j]. Differentiating
+    implicitly, [∂e/∂T_kl = −J⁻¹ · ∂F/∂T_kl] where [J] is the Newton
+    Jacobian at the solution and
+    [∂F_j/∂T_kl = e_k (δ_jl − e_j)] for [j ≥ 1] (zero for the
+    normalization row).
+
+    Why it matters: for data primitives where the transform is only
+    estimated (Monte Carlo, as in the PMR model), these derivatives say
+    how much a transform-estimation error moves the predicted occupancy
+    — the error bars of the whole method. *)
+
+type t
+
+(** [at transform] factors the Jacobian at the fixed point of
+    [transform] once; the queries below are then cheap.
+    Raises [Failure] when the fixed point cannot be found or the
+    Jacobian is singular there. *)
+val at : Transform.t -> t
+
+(** [distribution t] is the fixed point the sensitivities are taken
+    at. *)
+val distribution : t -> Distribution.t
+
+(** [distribution_derivative t ~row ~col] is [∂e/∂T_row,col]: how the
+    whole expected distribution moves per unit increase of one transform
+    entry. Raises [Invalid_argument] for indices out of range. *)
+val distribution_derivative : t -> row:int -> col:int -> Vec.t
+
+(** [occupancy_gradient t] is the matrix [∂μ/∂T_kl] of the average
+    occupancy's derivative with respect to every transform entry. *)
+val occupancy_gradient : t -> Matrix.t
+
+(** [occupancy_error_bound t ~entry_error] is a first-order bound on the
+    occupancy error when every transform entry may be off by up to
+    [entry_error] (L1 of the gradient times the error); used to judge
+    how many Monte-Carlo trials a model like {!Pmr_model} needs. *)
+val occupancy_error_bound : t -> entry_error:float -> float

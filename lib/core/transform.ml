@@ -1,0 +1,35 @@
+open Import
+
+type t = Matrix.t  (* validated: square, nonnegative, no all-zero row *)
+
+let of_matrix m =
+  if Matrix.rows m <> Matrix.cols m then
+    invalid_arg "Transform.of_matrix: matrix not square";
+  if not (Matrix.is_nonnegative m) then
+    invalid_arg "Transform.of_matrix: negative entry";
+  let sums = Matrix.row_sums m in
+  Array.iteri
+    (fun i s ->
+      if s <= 0.0 then
+        invalid_arg
+          (Printf.sprintf "Transform.of_matrix: row %d produces no nodes" i))
+    sums;
+  Matrix.copy m
+
+let of_rows rows = of_matrix (Matrix.of_rows rows)
+let types t = Matrix.rows t
+let matrix t = Matrix.copy t
+let get t i j = Matrix.get t i j
+let row t i = Matrix.row t i
+let row_sums t = Matrix.row_sums t
+let apply t v = Matrix.vec_mul v t
+
+let normalizer t e =
+  if Vec.dim e <> types t then invalid_arg "Transform.normalizer: dimension";
+  Vec.dot e (row_sums t)
+
+let fixed_point_residual t e =
+  let a = normalizer t e in
+  Vec.norm_inf (Vec.sub (apply t e) (Vec.scale a e))
+
+let pp = Matrix.pp

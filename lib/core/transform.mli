@@ -1,0 +1,52 @@
+open Import
+
+(** Transform matrices — the heart of the population model (paper §III).
+
+    Row [i] of a transform matrix is the transform vector [t_i]: the
+    average number of nodes of each occupancy produced when one datum is
+    inserted into a node of occupancy [i]. A matrix is valid when it is
+    square, nonnegative, and every row produces at least one node. *)
+
+type t
+
+(** [of_matrix m] validates and wraps [m].
+    Raises [Invalid_argument] when [m] is not square, has a negative
+    entry, or has an all-zero row. *)
+val of_matrix : Matrix.t -> t
+
+(** [of_rows rows] is [of_matrix (Matrix.of_rows rows)]. *)
+val of_rows : float list list -> t
+
+(** [types t] is the number of node types (occupancies 0 .. types−1). *)
+val types : t -> int
+
+(** [matrix t] is the underlying matrix (a copy; mutating it cannot
+    corrupt [t]). *)
+val matrix : t -> Matrix.t
+
+(** [get t i j] is the expected number of type-[j] nodes produced by an
+    insertion into a type-[i] node. *)
+val get : t -> int -> int -> float
+
+(** [row t i] is the transform vector [t_i]. *)
+val row : t -> int -> Vec.t
+
+(** [row_sums t] is the vector of expected node production per insertion
+    by type — 1 for non-splitting rows, > 1 for splitting rows. *)
+val row_sums : t -> Vec.t
+
+(** [apply t v] is the vector-matrix product [v·T]: the expected
+    production when insertions hit types with frequencies [v]. *)
+val apply : t -> Vec.t -> Vec.t
+
+(** [normalizer t e] is the scalar [a = Σ_i e_i · rowsum_i] of the
+    paper's equation [e·T = a·e]. *)
+val normalizer : t -> Vec.t -> float
+
+(** [fixed_point_residual t e] is [‖e·T − a·e‖∞] with [a] from
+    {!normalizer} — how far [e] is from being the expected
+    distribution. *)
+val fixed_point_residual : t -> Vec.t -> float
+
+(** [pp ppf t] prints the matrix. *)
+val pp : Format.formatter -> t -> unit

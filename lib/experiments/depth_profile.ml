@@ -1,0 +1,51 @@
+open Import
+
+type row = {
+  depth : int;
+  empty_leaves : float;
+  full_leaves : float;
+  occupancy : float;
+}
+
+let run ?(capacity = 1) ?(max_depth = 9) workload =
+  let trials = workload.Workload.trials in
+  (* Per depth: (empty leaf count, full leaf count, leaves, points). *)
+  let table = Hashtbl.create 16 in
+  Workload.map_trials workload ~f:(fun _ points ->
+      let tree = Pr_quadtree.of_points ~max_depth ~capacity points in
+      Pr_quadtree.fold_leaves tree ~init:() ~f:(fun () ~depth ~box:_ ~points ->
+          let occ = List.length points in
+          let empty, full, leaves, pts =
+            Option.value (Hashtbl.find_opt table depth) ~default:(0, 0, 0, 0)
+          in
+          Hashtbl.replace table depth
+            ( (empty + if occ = 0 then 1 else 0),
+              (full + if occ >= capacity then 1 else 0),
+              leaves + 1,
+              pts + occ )))
+  |> ignore;
+  Hashtbl.fold (fun depth cell acc -> (depth, cell) :: acc) table []
+  |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+  |> List.map (fun (depth, (empty, full, leaves, pts)) ->
+         let t = float_of_int trials in
+         {
+           depth;
+           empty_leaves = float_of_int empty /. t;
+           full_leaves = float_of_int full /. t;
+           occupancy = float_of_int pts /. float_of_int leaves;
+         })
+
+let post_split_asymptote ~capacity =
+  Pr_model.post_split_occupancy ~branching:4 ~capacity
+
+let monotone_prefix rows =
+  let rec go count last = function
+    | [] -> count
+    | row :: rest ->
+      if row.occupancy <= last +. 1e-9 then
+        go (count + 1) row.occupancy rest
+      else count
+  in
+  match rows with
+  | [] -> 0
+  | first :: rest -> go 1 first.occupancy rest

@@ -1,0 +1,366 @@
+open Import
+
+(* Branching-factor generality *)
+
+type branching_row = {
+  label : string;
+  branching : int;
+  capacity : int;
+  theory_occupancy : float;
+  measured_occupancy : float;
+  percent_difference : float;
+}
+
+let percent ~theory ~measured = 100.0 *. (theory -. measured) /. theory
+
+let branching_study ?(points = 1000) ?(trials = 10) ?(seed = 1987)
+    ?(capacity = 4) () =
+  let theory branching =
+    Population.average_occupancy ~branching ~capacity
+  in
+  let workload = Workload.make ~points ~trials ~seed () in
+  let bintree =
+    let m = Occupancy.measure_bintree workload ~capacity in
+    m.Occupancy.average_occupancy
+  in
+  let quadtree =
+    let m = Occupancy.measure_pr workload ~capacity in
+    m.Occupancy.average_occupancy
+  in
+  let octree =
+    let m =
+      Occupancy.measure_md ~dim:3 ~points ~trials ~seed ~capacity ()
+    in
+    m.Occupancy.average_occupancy
+  in
+  let row label branching measured =
+    {
+      label;
+      branching;
+      capacity;
+      theory_occupancy = theory branching;
+      measured_occupancy = measured;
+      percent_difference = percent ~theory:(theory branching) ~measured;
+    }
+  in
+  [
+    row "bintree (b=2)" 2 bintree;
+    row "PR quadtree (b=4)" 4 quadtree;
+    row "PR octree (b=8)" 8 octree;
+  ]
+
+(* PMR quadtree validation *)
+
+type pmr_result = {
+  threshold : int;
+  theory : Distribution.t;
+  measured : Distribution.t;
+  theory_occupancy : float;
+  measured_occupancy : float;
+  total_variation : float;
+}
+
+let pad_to vec n =
+  let v = Distribution.to_vec vec in
+  if Vec.dim v >= n then v
+  else Vec.init n (fun i -> if i < Vec.dim v then v.(i) else 0.0)
+
+let pmr_study ?(segments = 600) ?(trials = 5) ?(seed = 1987)
+    ?(mc_trials = 5000) ~threshold () =
+  let rng = Xoshiro.of_int_seed seed in
+  let parameters = Popan_core.Pmr_model.default_parameters ~threshold in
+  let report = Popan_core.Pmr_model.expected_distribution ~trials:mc_trials rng parameters in
+  let theory = report.Fixed_point.distribution in
+  (* Simulated PMR quadtrees on segments with matching relative length. *)
+  let histograms =
+    List.init trials (fun _ ->
+        let trial_rng = Xoshiro.split rng in
+        let model =
+          Sampler.Uniform_segments
+            { mean_length = parameters.Popan_core.Pmr_model.relative_length /. 8.0 }
+        in
+        let tree =
+          Pmr_quadtree.of_segments ~threshold
+            (Sampler.segments trial_rng model segments)
+        in
+        Pmr_quadtree.occupancy_histogram tree)
+  in
+  let measured = Distribution.of_weights (Tree_stats.mean_proportions histograms) in
+  let classes = max (Distribution.types theory) (Distribution.types measured) in
+  let theory_v = pad_to theory classes in
+  let measured_v = pad_to measured classes in
+  let theory = Distribution.of_vec theory_v in
+  let measured = Distribution.of_vec measured_v in
+  {
+    threshold;
+    theory;
+    measured;
+    theory_occupancy = Distribution.average_occupancy theory;
+    measured_occupancy = Distribution.average_occupancy measured;
+    total_variation = Distribution.total_variation theory measured;
+  }
+
+let pmr_threshold_sweep ?(thresholds = [ 2; 4; 6; 8 ]) ?segments ?trials
+    ?(seed = 1987) () =
+  List.mapi
+    (fun i threshold ->
+      pmr_study ?segments ?trials ~seed:(seed + i) ~threshold ())
+    thresholds
+
+(* Phasing in extendible hashing / grid file *)
+
+type hash_row = { keys : int; buckets : float; utilization : float }
+
+let bucket_sweep ~build ~trials ~seed ~sizes =
+  if trials <= 0 then invalid_arg "Ext: trials <= 0";
+  let master = Xoshiro.of_int_seed seed in
+  List.map
+    (fun keys ->
+      let measurements =
+        List.init trials (fun _ ->
+            let rng = Xoshiro.split master in
+            build rng keys)
+      in
+      {
+        keys;
+        buckets = Stats.mean (List.map fst measurements);
+        utilization = Stats.mean (List.map snd measurements);
+      })
+    sizes
+
+let ext_hash_sweep ?(bucket_size = 8) ?sizes ~trials ~seed () =
+  let sizes = match sizes with Some s -> s | None -> Paper_data.sweep_points in
+  bucket_sweep ~trials ~seed ~sizes ~build:(fun rng keys ->
+      let table = Ext_hash.create ~bucket_size () in
+      Ext_hash.insert_all table (Sampler.points rng Sampler.Uniform keys);
+      ( float_of_int (Ext_hash.bucket_count table),
+        Ext_hash.utilization table ))
+
+let grid_file_sweep ?(bucket_size = 8) ?sizes ~trials ~seed () =
+  let sizes = match sizes with Some s -> s | None -> Paper_data.sweep_points in
+  bucket_sweep ~trials ~seed ~sizes ~build:(fun rng keys ->
+      let gf = Grid_file.create ~bucket_size () in
+      Grid_file.insert_all gf (Sampler.points rng Sampler.Uniform keys);
+      (float_of_int (Grid_file.bucket_count gf), Grid_file.utilization gf))
+
+let excell_sweep ?(bucket_size = 8) ?sizes ~trials ~seed () =
+  let sizes = match sizes with Some s -> s | None -> Paper_data.sweep_points in
+  bucket_sweep ~trials ~seed ~sizes ~build:(fun rng keys ->
+      let ex = Popan_trees.Excell.create ~bucket_size () in
+      Popan_trees.Excell.insert_all ex (Sampler.points rng Sampler.Uniform keys);
+      ( float_of_int (Popan_trees.Excell.bucket_count ex),
+        Popan_trees.Excell.utilization ex ))
+
+(* The population model applied to hash-bit splitting (branching 2) *)
+
+type hash_model_result = {
+  bucket_size : int;
+  theory : Distribution.t;
+  hash_measured : Distribution.t;
+  excell_measured : Distribution.t;
+  theory_utilization : float;
+  hash_utilization : float;
+  excell_utilization : float;
+  hash_tv : float;
+  excell_tv : float;
+}
+
+let hash_model_study ?(keys = 4096) ?(trials = 5) ?(seed = 1987) ~bucket_size
+    () =
+  if bucket_size < 1 then invalid_arg "Ext.hash_model_study: bucket_size < 1";
+  let report =
+    Population.expected_distribution ~branching:2 ~capacity:bucket_size ()
+  in
+  let theory = report.Fixed_point.distribution in
+  let master = Xoshiro.of_int_seed seed in
+  let measure build =
+    let histograms =
+      List.init trials (fun _ ->
+          let rng = Xoshiro.split master in
+          build (Sampler.points rng Sampler.Uniform keys))
+    in
+    Distribution.of_weights (Tree_stats.mean_proportions histograms)
+  in
+  let hash_measured =
+    measure (fun pts ->
+        let t = Ext_hash.create ~bucket_size () in
+        Ext_hash.insert_all t pts;
+        Ext_hash.occupancy_histogram t)
+  in
+  let excell_measured =
+    measure (fun pts ->
+        let t = Popan_trees.Excell.create ~bucket_size () in
+        Popan_trees.Excell.insert_all t pts;
+        Popan_trees.Excell.occupancy_histogram t)
+  in
+  {
+    bucket_size;
+    theory;
+    hash_measured;
+    excell_measured;
+    theory_utilization = Distribution.utilization theory ~capacity:bucket_size;
+    hash_utilization =
+      Distribution.utilization hash_measured ~capacity:bucket_size;
+    excell_utilization =
+      Distribution.utilization excell_measured ~capacity:bucket_size;
+    hash_tv = Distribution.total_variation theory hash_measured;
+    excell_tv = Distribution.total_variation theory excell_measured;
+  }
+
+let bucket_size_sweep ?(bucket_sizes = [ 2; 4; 8; 16 ]) ?keys ?trials
+    ?(seed = 1987) () =
+  List.mapi
+    (fun i bucket_size ->
+      hash_model_study ?keys ?trials ~seed:(seed + i) ~bucket_size ())
+    bucket_sizes
+
+(* Churn *)
+
+type churn_row = {
+  label : string;
+  occupancy : float;
+  tv_to_theory : float;
+  leaves : float;
+}
+
+let churn_study ?(points = 1000) ?churn_steps ?(trials = 5) ?(seed = 1987)
+    ~capacity () =
+  if points <= 0 then invalid_arg "Ext.churn_study: points <= 0";
+  let churn_steps = Option.value churn_steps ~default:(4 * points) in
+  let theory =
+    (Population.expected_distribution ~branching:4 ~capacity ())
+      .Fixed_point.distribution
+  in
+  let master = Xoshiro.of_int_seed seed in
+  let trial () =
+    let rng = Xoshiro.split master in
+    let live = Array.of_list (Sampler.points rng Sampler.Uniform points) in
+    let tree = ref (Pr_quadtree.of_points ~capacity (Array.to_list live)) in
+    let before = !tree in
+    for _ = 1 to churn_steps do
+      (* Replace a uniformly chosen resident with a fresh point. *)
+      let victim_index = Xoshiro.int rng points in
+      let fresh = Sampler.point rng Sampler.Uniform in
+      tree := Pr_quadtree.insert (Pr_quadtree.remove !tree live.(victim_index)) fresh;
+      live.(victim_index) <- fresh
+    done;
+    (before, !tree)
+  in
+  let runs = List.init trials (fun _ -> trial ()) in
+  let summarize label trees =
+    let distribution =
+      Distribution.of_weights
+        (Tree_stats.mean_proportions
+           (List.map Pr_quadtree.occupancy_histogram trees))
+    in
+    {
+      label;
+      occupancy = Stats.mean (List.map Pr_quadtree.average_occupancy trees);
+      tv_to_theory = Distribution.total_variation distribution theory;
+      leaves =
+        Stats.mean
+          (List.map (fun t -> float_of_int (Pr_quadtree.leaf_count t)) trees);
+    }
+  in
+  [
+    summarize "insert-only" (List.map fst runs);
+    summarize "after churn" (List.map snd runs);
+    {
+      label = "model";
+      occupancy = Distribution.average_occupancy theory;
+      tv_to_theory = 0.0;
+      leaves = 0.0;
+    };
+  ]
+
+(* Solver ablation *)
+
+type solver_row = {
+  solver : string;
+  capacity : int;
+  occupancy : float;
+  iterations : int;
+  residual : float;
+}
+
+let solver_study ?(capacities = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () =
+  List.concat_map
+    (fun capacity ->
+      let of_report solver (r : Fixed_point.report) =
+        {
+          solver;
+          capacity;
+          occupancy = Distribution.average_occupancy r.Fixed_point.distribution;
+          iterations = r.Fixed_point.iterations;
+          residual = r.Fixed_point.residual;
+        }
+      in
+      let power =
+        Population.expected_distribution ~solver:Population.Power ~branching:4
+          ~capacity ()
+      in
+      let newton =
+        Population.expected_distribution ~solver:Population.Newton_raphson
+          ~branching:4 ~capacity ()
+      in
+      let closed_form =
+        if capacity = 1 then
+          [
+            {
+              solver = "closed form";
+              capacity;
+              occupancy =
+                Distribution.average_occupancy
+                  Popan_core.Analytic.quadtree_capacity_one;
+              iterations = 0;
+              residual = 0.0;
+            };
+          ]
+        else []
+      in
+      (of_report "power iteration" power :: of_report "Newton" newton
+       :: closed_form))
+    capacities
+
+(* Aging correction *)
+
+type aging_row = {
+  capacity : int;
+  plain_occupancy : float;
+  corrected_occupancy : float;
+  measured_occupancy : float;
+  plain_error_pct : float;
+  corrected_error_pct : float;
+}
+
+let aging_study ?(points = 1000) ?(trials = 10) ?(seed = 1987)
+    ?(capacities = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () =
+  List.map
+    (fun capacity ->
+      let workload = Workload.make ~points ~trials ~seed () in
+      let trees =
+        Workload.map_trials workload ~f:(fun _ pts ->
+            Pr_quadtree.of_points ~capacity pts)
+      in
+      let measured =
+        Stats.mean (List.map Pr_quadtree.average_occupancy trees)
+      in
+      let transform = Pr_model.transform ~branching:4 ~capacity in
+      let plain =
+        Distribution.average_occupancy
+          (Fixed_point.solve transform).Fixed_point.distribution
+      in
+      let weights = Aging.mean_area_weights trees in
+      let corrected =
+        Distribution.average_occupancy
+          (Aging.corrected_solve transform ~weights).Fixed_point.distribution
+      in
+      {
+        capacity;
+        plain_occupancy = plain;
+        corrected_occupancy = corrected;
+        measured_occupancy = measured;
+        plain_error_pct = percent ~theory:plain ~measured;
+        corrected_error_pct = percent ~theory:corrected ~measured;
+      })
+    capacities

@@ -1,0 +1,173 @@
+open Import
+
+(** Extension experiments: claims the paper makes in passing (§II, §IV,
+    §V) but does not tabulate. Each function returns plain data; see
+    {!Render} for the printable form. *)
+
+(** {1 Branching-factor generality} *)
+
+type branching_row = {
+  label : string;  (** e.g. "bintree (b=2)" *)
+  branching : int;
+  capacity : int;
+  theory_occupancy : float;
+  measured_occupancy : float;
+  percent_difference : float;  (** (thy − exp) / thy × 100 *)
+}
+
+(** [branching_study ?points ?trials ?seed ?capacity ()] solves the
+    population model at b = 2, 4, 8 and measures bintree, PR quadtree
+    and PR octree simulations against it (defaults: 1000 points, 10
+    trials, capacity 4). *)
+val branching_study :
+  ?points:int -> ?trials:int -> ?seed:int -> ?capacity:int -> unit ->
+  branching_row list
+
+(** {1 PMR quadtree validation} *)
+
+type pmr_result = {
+  threshold : int;
+  theory : Distribution.t;  (** Monte-Carlo transform + fixed point *)
+  measured : Distribution.t;  (** simulated PMR quadtree population *)
+  theory_occupancy : float;
+  measured_occupancy : float;
+  total_variation : float;
+}
+
+(** [pmr_study ?segments ?trials ?seed ?mc_trials ~threshold ()] compares
+    the reconstructed PMR population model against simulated PMR
+    quadtrees on uniform random segments (defaults: 600 segments, 5
+    trials). Distributions are compared over matching occupancy classes
+    (the shorter is padded). *)
+val pmr_study :
+  ?segments:int -> ?trials:int -> ?seed:int -> ?mc_trials:int ->
+  threshold:int -> unit -> pmr_result
+
+(** [pmr_threshold_sweep ?thresholds ?segments ?trials ?seed ()] runs
+    {!pmr_study} across thresholds (default 2, 4, 6, 8), showing that
+    the model tracks the simulator over the whole parameter range. *)
+val pmr_threshold_sweep :
+  ?thresholds:int list -> ?segments:int -> ?trials:int -> ?seed:int ->
+  unit -> pmr_result list
+
+(** {1 Phasing beyond quadtrees: extendible hashing} *)
+
+type hash_row = {
+  keys : int;
+  buckets : float;  (** mean over trials *)
+  utilization : float;  (** mean keys / (buckets × capacity) *)
+}
+
+(** [ext_hash_sweep ?bucket_size ?sizes ~trials ~seed ()] measures
+    storage utilization of extendible hashing over the paper's log grid;
+    Fagin et al. predict oscillation around ln 2 with period 1 in log2 N
+    per directory doubling — the same phasing phenomenon. Default bucket
+    size 8. *)
+val ext_hash_sweep :
+  ?bucket_size:int -> ?sizes:int list -> trials:int -> seed:int -> unit ->
+  hash_row list
+
+(** [grid_file_sweep ?bucket_size ?sizes ~trials ~seed ()] is the same
+    measurement for the grid file. *)
+val grid_file_sweep :
+  ?bucket_size:int -> ?sizes:int list -> trials:int -> seed:int -> unit ->
+  hash_row list
+
+(** [excell_sweep ?bucket_size ?sizes ~trials ~seed ()] is the same
+    measurement for EXCELL (regular decomposition, the paper's [Tamm81]
+    reference). *)
+val excell_sweep :
+  ?bucket_size:int -> ?sizes:int list -> trials:int -> seed:int -> unit ->
+  hash_row list
+
+(** {1 The population model predicts extendible hashing}
+
+    Splitting an extendible-hashing bucket divides its keys over one
+    more hash bit — branching factor 2. The general-b population model
+    therefore predicts bucket occupancies directly, and its utilization
+    should approach Fagin et al.'s ln 2 ~ 0.693. This experiment closes
+    the loop between the paper's §III model and the §IV citation of
+    extendible hashing. *)
+
+type hash_model_result = {
+  bucket_size : int;
+  theory : Distribution.t;  (** b = 2 population model, m = bucket_size *)
+  hash_measured : Distribution.t;  (** extendible hashing simulation *)
+  excell_measured : Distribution.t;  (** EXCELL simulation *)
+  theory_utilization : float;
+  hash_utilization : float;
+  excell_utilization : float;
+  hash_tv : float;  (** total variation, theory vs extendible hashing *)
+  excell_tv : float;
+}
+
+(** [hash_model_study ?keys ?trials ?seed ~bucket_size ()] solves the
+    b = 2 model and measures both bucket structures against it
+    (defaults: 4096 keys, 5 trials). *)
+val hash_model_study :
+  ?keys:int -> ?trials:int -> ?seed:int -> bucket_size:int -> unit ->
+  hash_model_result
+
+(** [bucket_size_sweep ?bucket_sizes ?keys ?trials ?seed ()] runs
+    {!hash_model_study} across bucket sizes (default 2, 4, 8, 16): the
+    b = 2 model's predicted utilization falls toward the Fagin plateau
+    as buckets grow, and both simulators follow. *)
+val bucket_size_sweep :
+  ?bucket_sizes:int list -> ?keys:int -> ?trials:int -> ?seed:int -> unit ->
+  hash_model_result list
+
+(** {1 Churn: the fixed point under deletions}
+
+    The paper models growth only; its fixed point is "stable under
+    insertion". This experiment probes what deletions do to the node
+    population: build a tree of N points, then run many delete-one /
+    insert-one steps (constant size, blocks merging on the way down and
+    splitting on the way up) and compare the churned population with
+    both the insert-only population and the model. *)
+
+type churn_row = {
+  label : string;  (** "insert-only" / "after churn" / "model" *)
+  occupancy : float;
+  tv_to_theory : float;  (** total variation from the fixed point *)
+  leaves : float;  (** mean leaf count (0 for the model row) *)
+}
+
+(** [churn_study ?points ?churn_steps ?trials ?seed ~capacity ()]
+    (defaults: 1000 points, 4x points churn steps, 5 trials). *)
+val churn_study :
+  ?points:int -> ?churn_steps:int -> ?trials:int -> ?seed:int ->
+  capacity:int -> unit -> churn_row list
+
+(** {1 Solver ablation} *)
+
+type solver_row = {
+  solver : string;
+  capacity : int;
+  occupancy : float;
+  iterations : int;
+  residual : float;
+}
+
+(** [solver_study ?capacities ()] runs power iteration, Newton, and (at
+    capacity 1) the closed form over the capacity range, recording
+    agreement and costs. *)
+val solver_study : ?capacities:int list -> unit -> solver_row list
+
+(** {1 Aging correction} *)
+
+type aging_row = {
+  capacity : int;
+  plain_occupancy : float;  (** uncorrected model *)
+  corrected_occupancy : float;  (** area-weighted model *)
+  measured_occupancy : float;
+  plain_error_pct : float;
+  corrected_error_pct : float;
+}
+
+(** [aging_study ?points ?trials ?seed ?capacities ()] measures how much
+    of Table 2's systematic over-prediction the area-weighted correction
+    removes, using area weights estimated from the simulated trees
+    themselves. *)
+val aging_study :
+  ?points:int -> ?trials:int -> ?seed:int -> ?capacities:int list -> unit ->
+  aging_row list

@@ -1,0 +1,23 @@
+(** Short names for the modules used throughout this library. *)
+
+module Vec = Popan_numerics.Vec
+module Stats = Popan_numerics.Stats
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Segment = Popan_geom.Segment
+module Xoshiro = Popan_rng.Xoshiro
+module Sampler = Popan_rng.Sampler
+module Pr_quadtree = Popan_trees.Pr_quadtree
+module Bintree = Popan_trees.Bintree
+module Md_tree = Popan_trees.Md_tree
+module Pmr_quadtree = Popan_trees.Pmr_quadtree
+module Ext_hash = Popan_trees.Ext_hash
+module Grid_file = Popan_trees.Grid_file
+module Tree_stats = Popan_trees.Tree_stats
+module Distribution = Popan_core.Distribution
+module Transform = Popan_core.Transform
+module Pr_model = Popan_core.Pr_model
+module Fixed_point = Popan_core.Fixed_point
+module Population = Popan_core.Population
+module Phasing = Popan_core.Phasing
+module Aging = Popan_core.Aging

@@ -1,0 +1,89 @@
+open Import
+
+type measurement = {
+  distribution : Distribution.t;
+  average_occupancy : float;
+  occupancy_stddev : float;
+  occupancy_ci : float * float;
+  leaf_count_mean : float;
+  trials : int;
+}
+
+let aggregate histograms occupancies leaf_counts =
+  let ci =
+    (* A fixed-seed bootstrap keeps the measurement deterministic. *)
+    let rng = Xoshiro.of_int_seed 0x5eed in
+    Stats.bootstrap_ci ~resamples:2000 ~confidence:0.95
+      ~rng:(fun n -> Xoshiro.int rng n)
+      occupancies
+  in
+  {
+    distribution = Distribution.of_weights (Tree_stats.mean_proportions histograms);
+    average_occupancy = Stats.mean occupancies;
+    occupancy_stddev = Stats.stddev occupancies;
+    occupancy_ci = ci;
+    leaf_count_mean = Stats.mean leaf_counts;
+    trials = List.length occupancies;
+  }
+
+let measure_pr ?max_depth workload ~capacity =
+  let trees =
+    Workload.map_trials workload ~f:(fun _ points ->
+        Pr_quadtree.of_points ?max_depth ~capacity points)
+  in
+  aggregate
+    (List.map Pr_quadtree.occupancy_histogram trees)
+    (List.map Pr_quadtree.average_occupancy trees)
+    (List.map (fun t -> float_of_int (Pr_quadtree.leaf_count t)) trees)
+
+let measure_bintree ?max_depth workload ~capacity =
+  let trees =
+    Workload.map_trials workload ~f:(fun _ points ->
+        Bintree.of_points ?max_depth ~capacity points)
+  in
+  aggregate
+    (List.map Bintree.occupancy_histogram trees)
+    (List.map Bintree.average_occupancy trees)
+    (List.map (fun t -> float_of_int (Bintree.leaf_count t)) trees)
+
+let measure_md ?max_depth ~dim ~points ~trials ~seed ~capacity () =
+  if points <= 0 then invalid_arg "Occupancy.measure_md: points <= 0";
+  if trials <= 0 then invalid_arg "Occupancy.measure_md: trials <= 0";
+  let master = Xoshiro.of_int_seed seed in
+  let trees =
+    List.init trials (fun _ ->
+        let rng = Xoshiro.split master in
+        Md_tree.of_points ?max_depth ~capacity ~dim
+          (Sampler.points_nd rng ~dim points))
+  in
+  aggregate
+    (List.map Md_tree.occupancy_histogram trees)
+    (List.map Md_tree.average_occupancy trees)
+    (List.map (fun t -> float_of_int (Md_tree.leaf_count t)) trees)
+
+type comparison = {
+  capacity : int;
+  theory : Distribution.t;
+  measured : measurement;
+  theory_occupancy : float;
+  percent_difference : float;
+}
+
+let compare_pr ?max_depth workload ~capacity =
+  let report = Population.expected_distribution ~branching:4 ~capacity () in
+  let theory = report.Fixed_point.distribution in
+  let measured = measure_pr ?max_depth workload ~capacity in
+  let theory_occupancy = Distribution.average_occupancy theory in
+  {
+    capacity;
+    theory;
+    measured;
+    theory_occupancy;
+    percent_difference =
+      100.0
+      *. (theory_occupancy -. measured.average_occupancy)
+      /. theory_occupancy;
+  }
+
+let table1 ?max_depth ?(capacities = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) workload =
+  List.map (fun capacity -> compare_pr ?max_depth workload ~capacity) capacities

@@ -1,0 +1,26 @@
+(** The numbers published in the paper, embedded verbatim so every
+    regenerated table can be printed next to its original. Proportions
+    are stored as floats (the paper prints them without leading zeros,
+    e.g. "278" for .278). *)
+
+(** Table 1, theoretical rows: capacity -> expected distribution. *)
+val table1_theory : (int * float list) list
+
+(** Table 1, experimental rows (10 trees x 1000 uniform points). *)
+val table1_experiment : (int * float list) list
+
+(** Table 2 rows: (capacity, experimental occupancy, theoretical
+    occupancy, percent difference as printed). *)
+val table2 : (int * float * float * float) list
+
+(** Table 3 rows (m = 1): (depth, n0 nodes, n1 nodes, occupancy). *)
+val table3 : (int * float * float * float) list
+
+(** Table 4 rows (m = 8, uniform): (points, nodes, occupancy). *)
+val table4 : (int * float * float) list
+
+(** Table 5 rows (m = 8, Gaussian): (points, nodes, occupancy). *)
+val table5 : (int * float * float) list
+
+(** The logarithmic sample-size grid shared by Tables 4 and 5. *)
+val sweep_points : int list

@@ -1,0 +1,85 @@
+open Import
+
+let parse_row line =
+  match Popan_report.Csv.parse_line line with
+  | [ x; y ] -> (
+    match (float_of_string_opt (String.trim x), float_of_string_opt (String.trim y)) with
+    | Some x, Some y -> Some (Point.make x y)
+    | _ -> None)
+  | _ -> None
+
+let of_csv_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> []
+  | first :: rest ->
+    (* The first line is a header only when it has exactly two cells
+       that are not both numeric (e.g. "x,y"); a malformed data row is
+       an error, not a header. *)
+    let is_header =
+      match Popan_report.Csv.parse_line first with
+      | [ _; _ ] -> parse_row first = None
+      | _ -> false
+    in
+    let body, offset = if is_header then (rest, 2) else (lines, 1) in
+    List.mapi
+      (fun i line ->
+        match parse_row line with
+        | Some p -> p
+        | None ->
+          failwith
+            (Printf.sprintf "Points_io: bad row on line %d: %S" (i + offset)
+               line))
+      body
+
+let to_csv_string points =
+  Popan_report.Csv.render ~header:[ "x"; "y" ]
+    (List.map
+       (fun (p : Point.t) ->
+         [ Printf.sprintf "%.17g" p.Point.x; Printf.sprintf "%.17g" p.Point.y ])
+       points)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv_string (really_input_string ic (in_channel_length ic)))
+
+let save path points =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv_string points))
+
+let normalize points =
+  match points with
+  | [] -> invalid_arg "Points_io.normalize: empty dataset"
+  | first :: _ ->
+    let xmin = ref first.Point.x and xmax = ref first.Point.x in
+    let ymin = ref first.Point.y and ymax = ref first.Point.y in
+    List.iter
+      (fun (p : Point.t) ->
+        xmin := Float.min !xmin p.Point.x;
+        xmax := Float.max !xmax p.Point.x;
+        ymin := Float.min !ymin p.Point.y;
+        ymax := Float.max !ymax p.Point.y)
+      points;
+    let span = Float.max (!xmax -. !xmin) (!ymax -. !ymin) in
+    if span = 0.0 then List.map (fun _ -> Point.make 0.5 0.5) points
+    else begin
+      (* Scale by the long axis, center the short one; keep strictly
+         inside [0, 1). *)
+      let scale = 1.0 /. span in
+      let x_offset = (1.0 -. ((!xmax -. !xmin) *. scale)) /. 2.0 in
+      let y_offset = (1.0 -. ((!ymax -. !ymin) *. scale)) /. 2.0 in
+      let clamp v = Float.min v (1.0 -. 1e-12) in
+      List.map
+        (fun (p : Point.t) ->
+          Point.make
+            (clamp (((p.Point.x -. !xmin) *. scale) +. x_offset))
+            (clamp (((p.Point.y -. !ymin) *. scale) +. y_offset)))
+        points
+    end

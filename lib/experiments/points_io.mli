@@ -1,0 +1,31 @@
+open Import
+
+(** Point-dataset I/O: read and write the 2-column CSV files a
+    downstream user would bring ("x,y" with an optional header). This
+    is the entry point for running the population analysis on real
+    data via [popan measure]. *)
+
+(** [of_csv_string text] parses a CSV document into points. The first
+    line is skipped when it does not parse as two floats (header
+    tolerance); blank lines are skipped.
+    Raises [Failure] with a line-numbered message on malformed rows or
+    rows with other than two columns. *)
+val of_csv_string : string -> Point.t list
+
+(** [to_csv_string points] is a CSV document with an "x,y" header. *)
+val to_csv_string : Point.t list -> string
+
+(** [load path] reads and parses the file. Raises [Sys_error] on I/O
+    problems, plus whatever {!of_csv_string} raises. *)
+val load : string -> Point.t list
+
+(** [save path points] writes {!to_csv_string}. *)
+val save : string -> Point.t list -> unit
+
+(** [normalize points] affinely maps the dataset's bounding box into
+    the unit square (preserving aspect ratio, centering the short
+    axis), which is what the analysis machinery expects. Points on the
+    upper edges are nudged just inside. Raises [Invalid_argument] on an
+    empty list; a degenerate (single-location) dataset maps to the
+    center. *)
+val normalize : Point.t list -> Point.t list

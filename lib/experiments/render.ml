@@ -1,0 +1,331 @@
+open Import
+module Table = Popan_report.Table
+module Plot = Popan_report.Plot
+
+let distribution_cells d =
+  Table.cell_vector (Vec.to_list (Distribution.to_vec d))
+
+let table1 comparisons =
+  let rows =
+    List.concat_map
+      (fun (c : Occupancy.comparison) ->
+        let paper_thy =
+          List.assoc_opt c.Occupancy.capacity Paper_data.table1_theory
+        in
+        let paper_exp =
+          List.assoc_opt c.Occupancy.capacity Paper_data.table1_experiment
+        in
+        let cell = function
+          | Some v -> Table.cell_vector v
+          | None -> "-"
+        in
+        [
+          [ Table.cell_int c.Occupancy.capacity; "thy (ours)";
+            distribution_cells c.Occupancy.theory ];
+          [ ""; "thy (paper)"; cell paper_thy ];
+          [ ""; "exp (ours)";
+            distribution_cells c.Occupancy.measured.Occupancy.distribution ];
+          [ ""; "exp (paper)"; cell paper_exp ];
+        ])
+      comparisons
+  in
+  Table.make ~title:"Table 1: expected distribution in PR quadtrees"
+    ~header:[ "bucket size"; "row"; "expected distribution vector" ]
+    rows
+
+let table2 comparisons =
+  let rows =
+    List.map
+      (fun (c : Occupancy.comparison) ->
+        let paper =
+          List.find_opt
+            (fun (m, _, _, _) -> m = c.Occupancy.capacity)
+            Paper_data.table2
+        in
+        let paper_exp, paper_pct =
+          match paper with
+          | Some (_, e, _, p) -> (Table.cell_float e, Table.cell_percent p)
+          | None -> ("-", "-")
+        in
+        let lo, hi = c.Occupancy.measured.Occupancy.occupancy_ci in
+        [
+          Table.cell_int c.Occupancy.capacity;
+          Table.cell_float c.Occupancy.measured.Occupancy.average_occupancy;
+          Printf.sprintf "[%.2f, %.2f]" lo hi;
+          Table.cell_float c.Occupancy.theory_occupancy;
+          Table.cell_percent c.Occupancy.percent_difference;
+          paper_exp;
+          paper_pct;
+        ])
+      comparisons
+  in
+  Table.make ~title:"Table 2: average node occupancy"
+    ~header:
+      [ "capacity"; "exp (ours)"; "95% CI"; "thy"; "% diff (ours)";
+        "exp (paper)"; "% diff (paper)" ]
+    rows
+
+let table3 rows =
+  let paper_cell depth pick =
+    match List.find_opt (fun (d, _, _, _) -> d = depth) Paper_data.table3 with
+    | Some row -> Table.cell_float (pick row)
+    | None -> "-"
+  in
+  let body =
+    List.map
+      (fun (r : Depth_profile.row) ->
+        [
+          Table.cell_int r.Depth_profile.depth;
+          Table.cell_float ~decimals:1 r.Depth_profile.empty_leaves;
+          Table.cell_float ~decimals:1 r.Depth_profile.full_leaves;
+          Table.cell_float r.Depth_profile.occupancy;
+          paper_cell r.Depth_profile.depth (fun (_, _, _, o) -> o);
+        ])
+      rows
+  in
+  Table.make ~title:"Table 3: occupancy by node size (capacity 1, depth <= 9)"
+    ~header:[ "depth"; "n0 nodes"; "n1 nodes"; "occupancy"; "occ (paper)" ]
+    body
+
+let sweep_table ~title ~paper rows =
+  let body =
+    List.map
+      (fun (r : Sweep.row) ->
+        let paper_nodes, paper_occ =
+          match List.find_opt (fun (n, _, _) -> n = r.Sweep.points) paper with
+          | Some (_, nodes, occ) ->
+            (Table.cell_float ~decimals:1 nodes, Table.cell_float occ)
+          | None -> ("-", "-")
+        in
+        [
+          Table.cell_int r.Sweep.points;
+          Table.cell_float ~decimals:1 r.Sweep.nodes;
+          Table.cell_float r.Sweep.occupancy;
+          Table.cell_float r.Sweep.occupancy_stddev;
+          paper_nodes;
+          paper_occ;
+        ])
+      rows
+  in
+  Table.make ~title
+    ~header:
+      [ "points"; "nodes"; "occupancy"; "stddev"; "nodes (paper)";
+        "occ (paper)" ]
+    body
+
+let sweep_figure ~title ~paper rows =
+  let ours =
+    Plot.make_series ~marker:'o' ~label:"ours (simulated)"
+      (List.map
+         (fun (r : Sweep.row) ->
+           (float_of_int r.Sweep.points, r.Sweep.occupancy))
+         rows)
+  in
+  let paper_series =
+    Plot.make_series ~marker:'+' ~label:"paper (published)"
+      (List.map (fun (n, _, occ) -> (float_of_int n, occ)) paper)
+  in
+  Plot.render ~title ~x_label:"number of data points (log scale)"
+    ~y_label:"average occupancy" [ ours; paper_series ]
+
+let branching_table rows =
+  let body =
+    List.map
+      (fun (r : Ext.branching_row) ->
+        [
+          r.Ext.label;
+          Table.cell_int r.Ext.branching;
+          Table.cell_int r.Ext.capacity;
+          Table.cell_float r.Ext.theory_occupancy;
+          Table.cell_float r.Ext.measured_occupancy;
+          Table.cell_percent r.Ext.percent_difference;
+        ])
+      rows
+  in
+  Table.make ~title:"Extension: population model across branching factors"
+    ~header:[ "structure"; "b"; "capacity"; "thy"; "exp"; "% diff" ]
+    body
+
+let pmr_table (result : Ext.pmr_result) =
+  let theory = Distribution.to_vec result.Ext.theory in
+  let measured = Distribution.to_vec result.Ext.measured in
+  let body =
+    List.init (Vec.dim theory) (fun i ->
+        [
+          Table.cell_int i;
+          Table.cell_float ~decimals:3 theory.(i);
+          Table.cell_float ~decimals:3 measured.(i);
+        ])
+    |> List.filter (fun row ->
+           (* Drop all-zero tail classes to keep the table readable. *)
+           match row with
+           | [ _; t; m ] -> t <> "0.000" || m <> "0.000"
+           | _ -> true)
+  in
+  let title =
+    Printf.sprintf
+      "Extension: PMR quadtree population (threshold %d) - thy occ %.2f, exp occ %.2f, TV %.3f"
+      result.Ext.threshold result.Ext.theory_occupancy
+      result.Ext.measured_occupancy result.Ext.total_variation
+  in
+  Table.make ~title ~header:[ "occupancy"; "thy"; "exp" ] body
+
+let hash_table ~title rows =
+  let body =
+    List.map
+      (fun (r : Ext.hash_row) ->
+        [
+          Table.cell_int r.Ext.keys;
+          Table.cell_float ~decimals:1 r.Ext.buckets;
+          Table.cell_float ~decimals:3 r.Ext.utilization;
+        ])
+      rows
+  in
+  Table.make ~title ~header:[ "keys"; "buckets"; "utilization" ] body
+
+let hash_model_table (r : Ext.hash_model_result) =
+  let theory = Distribution.to_vec r.Ext.theory in
+  let hash = Distribution.to_vec r.Ext.hash_measured in
+  let excell = Distribution.to_vec r.Ext.excell_measured in
+  let body =
+    List.init (Vec.dim theory) (fun i ->
+        [
+          Table.cell_int i;
+          Table.cell_float ~decimals:3 theory.(i);
+          Table.cell_float ~decimals:3 hash.(i);
+          Table.cell_float ~decimals:3 excell.(i);
+        ])
+  in
+  let title =
+    Printf.sprintf
+      "Extension: b=2 population model vs bucket structures (bucket size %d) \
+       - util thy %.3f / exthash %.3f / EXCELL %.3f (ln 2 = 0.693); TV %.3f / %.3f"
+      r.Ext.bucket_size r.Ext.theory_utilization r.Ext.hash_utilization
+      r.Ext.excell_utilization r.Ext.hash_tv r.Ext.excell_tv
+  in
+  Table.make ~title
+    ~header:[ "occupancy"; "thy (b=2)"; "exthash"; "EXCELL" ]
+    body
+
+let pmr_sweep_table results =
+  let body =
+    List.map
+      (fun (r : Ext.pmr_result) ->
+        [
+          Table.cell_int r.Ext.threshold;
+          Table.cell_float r.Ext.theory_occupancy;
+          Table.cell_float r.Ext.measured_occupancy;
+          Table.cell_float ~decimals:3 r.Ext.total_variation;
+        ])
+      results
+  in
+  Table.make
+    ~title:"Extension: PMR population model across splitting thresholds"
+    ~header:[ "threshold"; "thy occ"; "exp occ"; "TV" ]
+    body
+
+let bucket_sweep_table results =
+  let body =
+    List.map
+      (fun (r : Ext.hash_model_result) ->
+        [
+          Table.cell_int r.Ext.bucket_size;
+          Table.cell_float ~decimals:3 r.Ext.theory_utilization;
+          Table.cell_float ~decimals:3 r.Ext.hash_utilization;
+          Table.cell_float ~decimals:3 r.Ext.excell_utilization;
+          Table.cell_float ~decimals:3 r.Ext.hash_tv;
+          Table.cell_float ~decimals:3 r.Ext.excell_tv;
+        ])
+      results
+  in
+  Table.make
+    ~title:
+      "Extension: b=2 model vs bucket structures across bucket sizes (ln 2 = 0.693)"
+    ~header:
+      [ "bucket"; "util thy"; "util exthash"; "util EXCELL"; "TV exthash";
+        "TV EXCELL" ]
+    body
+
+let solver_table rows =
+  let body =
+    List.map
+      (fun (r : Ext.solver_row) ->
+        [
+          Table.cell_int r.Ext.capacity;
+          r.Ext.solver;
+          Printf.sprintf "%.6f" r.Ext.occupancy;
+          Table.cell_int r.Ext.iterations;
+          Printf.sprintf "%.1e" r.Ext.residual;
+        ])
+      rows
+  in
+  Table.make ~title:"Extension: solver ablation (quadtree model)"
+    ~header:[ "capacity"; "solver"; "occupancy"; "iterations"; "residual" ]
+    body
+
+let aging_table rows =
+  let body =
+    List.map
+      (fun (r : Ext.aging_row) ->
+        [
+          Table.cell_int r.Ext.capacity;
+          Table.cell_float r.Ext.measured_occupancy;
+          Table.cell_float r.Ext.plain_occupancy;
+          Table.cell_percent r.Ext.plain_error_pct;
+          Table.cell_float r.Ext.corrected_occupancy;
+          Table.cell_percent r.Ext.corrected_error_pct;
+        ])
+      rows
+  in
+  Table.make
+    ~title:"Extension: aging correction (area-weighted insertion model)"
+    ~header:
+      [ "capacity"; "exp"; "plain thy"; "plain err"; "corrected thy";
+        "corrected err" ]
+    body
+
+let trajectory_table ~title rows =
+  let body =
+    List.map
+      (fun (r : Trajectory.row) ->
+        [
+          Table.cell_int r.Trajectory.points;
+          distribution_cells r.Trajectory.distribution;
+          Table.cell_float ~decimals:3 r.Trajectory.tv_to_theory;
+          Table.cell_float r.Trajectory.average_occupancy;
+        ])
+      rows
+  in
+  Table.make ~title
+    ~header:[ "points"; "d_n (measured)"; "TV to e"; "occupancy" ]
+    body
+
+let churn_table rows =
+  let body =
+    List.map
+      (fun (r : Ext.churn_row) ->
+        [
+          r.Ext.label;
+          Table.cell_float r.Ext.occupancy;
+          Table.cell_float ~decimals:3 r.Ext.tv_to_theory;
+          (if r.Ext.leaves = 0.0 then "-"
+           else Table.cell_float ~decimals:1 r.Ext.leaves);
+        ])
+      rows
+  in
+  Table.make
+    ~title:"Extension: node population under insert/delete churn"
+    ~header:[ "population"; "occupancy"; "TV to e"; "leaves" ]
+    body
+
+let sweep_csv rows =
+  ( [ "points"; "nodes"; "occupancy"; "occupancy_stddev" ],
+    List.map
+      (fun (r : Sweep.row) ->
+        [
+          string_of_int r.Sweep.points;
+          Printf.sprintf "%.3f" r.Sweep.nodes;
+          Printf.sprintf "%.4f" r.Sweep.occupancy;
+          Printf.sprintf "%.4f" r.Sweep.occupancy_stddev;
+        ])
+      rows )

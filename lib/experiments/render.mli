@@ -1,0 +1,71 @@
+open Import
+
+(** Printable forms of every experiment: the regenerated table printed
+    next to the paper's published numbers, plus ASCII figures and CSV
+    dumps. Shared by the CLI ([bin/popan.ml]) and the bench harness. *)
+
+(** [table1 comparisons] renders Table 1 (expected distribution, theory
+    vs experiment). *)
+val table1 : Occupancy.comparison list -> Popan_report.Table.t
+
+(** [table2 comparisons] renders Table 2 (average node occupancy with
+    percent difference), alongside the paper's own measurements. *)
+val table2 : Occupancy.comparison list -> Popan_report.Table.t
+
+(** [table3 rows] renders Table 3 (occupancy by node depth) next to the
+    published rows. *)
+val table3 : Depth_profile.row list -> Popan_report.Table.t
+
+(** [sweep_table ~title ~paper rows] renders Table 4 or 5. *)
+val sweep_table :
+  title:string -> paper:(int * float * float) list -> Sweep.row list ->
+  Popan_report.Table.t
+
+(** [sweep_figure ~title rows ~paper] renders Figure 2 or 3: ours and the
+    paper's series on one semilog canvas. *)
+val sweep_figure :
+  title:string -> paper:(int * float * float) list -> Sweep.row list -> string
+
+(** [branching_table rows] renders the branching-factor extension. *)
+val branching_table : Ext.branching_row list -> Popan_report.Table.t
+
+(** [pmr_table result] renders the PMR validation (one row per occupancy
+    class). *)
+val pmr_table : Ext.pmr_result -> Popan_report.Table.t
+
+(** [hash_table ~title rows] renders a bucket-structure utilization
+    sweep. *)
+val hash_table : title:string -> Ext.hash_row list -> Popan_report.Table.t
+
+(** [hash_model_table result] renders the b = 2 model vs extendible
+    hashing vs EXCELL comparison. *)
+val hash_model_table : Ext.hash_model_result -> Popan_report.Table.t
+
+(** [pmr_sweep_table results] renders one summary row per PMR
+    threshold. *)
+val pmr_sweep_table : Ext.pmr_result list -> Popan_report.Table.t
+
+(** [bucket_sweep_table results] renders one summary row per bucket
+    size of the hashing-model study. *)
+val bucket_sweep_table : Ext.hash_model_result list -> Popan_report.Table.t
+
+(** [solver_table rows] renders the solver ablation. *)
+val solver_table : Ext.solver_row list -> Popan_report.Table.t
+
+(** [aging_table rows] renders the aging-correction study. *)
+val aging_table : Ext.aging_row list -> Popan_report.Table.t
+
+(** [trajectory_table ~title rows] renders the d_n non-convergence
+    study. *)
+val trajectory_table :
+  title:string -> Trajectory.row list -> Popan_report.Table.t
+
+(** [churn_table rows] renders the insert/delete steady-state study. *)
+val churn_table : Ext.churn_row list -> Popan_report.Table.t
+
+(** [sweep_csv rows] is the (points, nodes, occupancy, stddev) series as
+    CSV rows, for {!Popan_report.Csv.write}. *)
+val sweep_csv : Sweep.row list -> string list * string list list
+
+(** [distribution_cells d] formats a distribution in Table 1 style. *)
+val distribution_cells : Distribution.t -> string

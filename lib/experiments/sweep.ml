@@ -1,0 +1,105 @@
+open Import
+
+type row = {
+  points : int;
+  nodes : float;
+  occupancy : float;
+  occupancy_stddev : float;
+}
+
+let grid ?(steps_per_quadrupling = 4) ~lo ~hi () =
+  if lo <= 0 || hi < lo then invalid_arg "Sweep.grid: need 0 < lo <= hi";
+  if steps_per_quadrupling <= 0 then
+    invalid_arg "Sweep.grid: steps_per_quadrupling <= 0";
+  let ratio = 4.0 ** (1.0 /. float_of_int steps_per_quadrupling) in
+  (* Truncate like the paper: its grid reads 64, 90, 128, ... (90.5 -> 90). *)
+  let rec go acc x =
+    let n = int_of_float (Float.floor (x +. 1e-9)) in
+    if n > hi then List.rev acc
+    else
+      let acc = match acc with
+        | last :: _ when last = n -> acc  (* rounding collision *)
+        | _ -> n :: acc
+      in
+      go acc (x *. ratio)
+  in
+  go [] (float_of_int lo)
+
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
+  if trials <= 0 then invalid_arg "Sweep.run: trials <= 0";
+  let sizes =
+    match sizes with Some s -> s | None -> Paper_data.sweep_points
+  in
+  let master = Xoshiro.of_int_seed seed in
+  List.map
+    (fun points ->
+      let measurements =
+        List.init trials (fun _ ->
+            let rng = Xoshiro.split master in
+            let tree =
+              Pr_quadtree.of_points ~max_depth ~capacity
+                (Sampler.points rng model points)
+            in
+            ( float_of_int (Pr_quadtree.leaf_count tree),
+              Pr_quadtree.average_occupancy tree ))
+      in
+      let nodes = List.map fst measurements in
+      let occs = List.map snd measurements in
+      {
+        points;
+        nodes = Stats.mean nodes;
+        occupancy = Stats.mean occs;
+        occupancy_stddev = Stats.stddev occs;
+      })
+    sizes
+
+let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials
+    ~seed () =
+  if trials <= 0 then invalid_arg "Sweep.run_incremental: trials <= 0";
+  let sizes =
+    match sizes with Some s -> s | None -> Paper_data.sweep_points
+  in
+  (match sizes with
+   | [] -> invalid_arg "Sweep.run_incremental: empty size list"
+   | _ ->
+     List.iteri
+       (fun i n ->
+         if i > 0 && n <= List.nth sizes (i - 1) then
+           invalid_arg "Sweep.run_incremental: sizes must increase")
+       sizes);
+  let master = Xoshiro.of_int_seed seed in
+  (* One growing tree per trial; snapshot at every grid size. *)
+  let trial () =
+    let rng = Xoshiro.split master in
+    let rec grow tree have acc = function
+      | [] -> List.rev acc
+      | target :: rest ->
+        let tree =
+          Pr_quadtree.insert_all tree (Sampler.points rng model (target - have))
+        in
+        let snapshot =
+          ( float_of_int (Pr_quadtree.leaf_count tree),
+            Pr_quadtree.average_occupancy tree )
+        in
+        grow tree target (snapshot :: acc) rest
+    in
+    grow (Pr_quadtree.create ~max_depth ~capacity ()) 0 [] sizes
+  in
+  let snapshots = List.init trials (fun _ -> trial ()) in
+  List.mapi
+    (fun i points ->
+      let at_size = List.map (fun trial -> List.nth trial i) snapshots in
+      let nodes = List.map fst at_size in
+      let occs = List.map snd at_size in
+      {
+        points;
+        nodes = Stats.mean nodes;
+        occupancy = Stats.mean occs;
+        occupancy_stddev = Stats.stddev occs;
+      })
+    sizes
+
+let series rows =
+  Phasing.of_lists
+    (List.map (fun r -> float_of_int r.points) rows)
+    (List.map (fun r -> r.occupancy) rows)

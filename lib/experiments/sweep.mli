@@ -1,0 +1,43 @@
+open Import
+
+(** The phasing experiments (Tables 4–5 / Figures 2–3): average node
+    occupancy as a function of the number of points, sampled on a
+    logarithmic grid so that four steps quadruple the sample. Uniform
+    data should oscillate with period 4 in N without damping; Gaussian
+    data should damp. *)
+
+type row = {
+  points : int;
+  nodes : float;  (** mean leaf count over trials *)
+  occupancy : float;  (** mean of per-trial average occupancies *)
+  occupancy_stddev : float;
+}
+
+(** [grid ?steps_per_quadrupling ~lo ~hi ()] is the geometric grid of
+    sample sizes from [lo] to [hi] with the given resolution (default 4
+    steps per factor of 4, the paper's grid: 64, 90, 128, 181, ...).
+    Raises [Invalid_argument] unless [0 < lo <= hi]. *)
+val grid : ?steps_per_quadrupling:int -> lo:int -> hi:int -> unit -> int list
+
+(** [run ?capacity ?max_depth ?sizes ~model ~trials ~seed ()] builds
+    [trials] PR quadtrees at every grid size and reports the rows.
+    Defaults: capacity 8, the paper's grid 64..4096, max_depth 16. Each
+    (size, trial) pair gets an independent stream; trees are built by
+    insertion from scratch at every size, as in the paper. *)
+val run :
+  ?capacity:int -> ?max_depth:int -> ?sizes:int list ->
+  model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
+
+(** [run_incremental ?capacity ?max_depth ?sizes ~model ~trials ~seed ()]
+    is like {!run} but each trial grows a *single* tree through the grid
+    sizes, snapshotting the statistics as it passes each one — the
+    trajectory of one growing database rather than independent builds.
+    Phasing is a property of the growth process, so both variants show
+    it; this one makes the "same tree, later" reading literal. *)
+val run_incremental :
+  ?capacity:int -> ?max_depth:int -> ?sizes:int list ->
+  model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
+
+(** [series rows] converts rows into a {!Phasing.series} for oscillation
+    analysis. *)
+val series : row list -> Phasing.series

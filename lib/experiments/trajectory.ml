@@ -1,0 +1,48 @@
+open Import
+
+type row = {
+  points : int;
+  distribution : Distribution.t;
+  tv_to_theory : float;
+  average_occupancy : float;
+}
+
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
+  if trials <= 0 then invalid_arg "Trajectory.run: trials <= 0";
+  let sizes =
+    match sizes with Some s -> s | None -> Paper_data.sweep_points
+  in
+  let theory =
+    (Population.expected_distribution ~branching:4 ~capacity ())
+      .Fixed_point.distribution
+  in
+  let master = Xoshiro.of_int_seed seed in
+  List.map
+    (fun points ->
+      let histograms =
+        List.init trials (fun _ ->
+            let rng = Xoshiro.split master in
+            let tree =
+              Pr_quadtree.of_points ~max_depth ~capacity
+                (Sampler.points rng model points)
+            in
+            Pr_quadtree.occupancy_histogram tree)
+      in
+      let distribution =
+        Distribution.of_weights (Tree_stats.mean_proportions histograms)
+      in
+      {
+        points;
+        distribution;
+        tv_to_theory = Distribution.total_variation distribution theory;
+        average_occupancy = Distribution.average_occupancy distribution;
+      })
+    sizes
+
+let oscillation rows =
+  match rows with
+  | [] -> invalid_arg "Trajectory.oscillation: no rows"
+  | _ ->
+    let tvs = List.map (fun r -> r.tv_to_theory) rows in
+    List.fold_left Float.max Float.neg_infinity tvs
+    -. List.fold_left Float.min Float.infinity tvs

@@ -1,0 +1,23 @@
+open Import
+
+type t = {
+  model : Sampler.point_model;
+  points : int;
+  trials : int;
+  seed : int;
+}
+
+let make ?(model = Sampler.Uniform) ?(points = 1000) ?(trials = 10)
+    ?(seed = 1987) () =
+  if points <= 0 then invalid_arg "Workload.make: points <= 0";
+  if trials <= 0 then invalid_arg "Workload.make: trials <= 0";
+  { model; points; trials; seed }
+
+let trial_rngs w =
+  let master = Xoshiro.of_int_seed w.seed in
+  List.init w.trials (fun _ -> Xoshiro.split master)
+
+let trial_points w =
+  List.map (fun rng -> Sampler.points rng w.model w.points) (trial_rngs w)
+
+let map_trials w ~f = List.mapi f (trial_points w)

@@ -1,0 +1,29 @@
+open Import
+
+(** Workload descriptions and deterministic trial streams. Every
+    experiment derives its randomness from a master seed split into
+    per-trial generators, so the whole evaluation is reproducible and
+    individual trials are independent. *)
+
+type t = {
+  model : Sampler.point_model;
+  points : int;  (** items per trial *)
+  trials : int;  (** independent repetitions, paper default 10 *)
+  seed : int;
+}
+
+(** [make ?model ?points ?trials ?seed ()] builds a workload; defaults
+    are the paper's Table 1–2 setting: uniform, 1000 points, 10 trials,
+    seed 1987. Raises [Invalid_argument] on nonpositive points/trials. *)
+val make :
+  ?model:Sampler.point_model -> ?points:int -> ?trials:int -> ?seed:int ->
+  unit -> t
+
+(** [trial_rngs w] is one independent generator per trial. *)
+val trial_rngs : t -> Xoshiro.t list
+
+(** [trial_points w] is the point list of every trial. *)
+val trial_points : t -> Point.t list list
+
+(** [map_trials w ~f] applies [f] to each trial's points, with its index. *)
+val map_trials : t -> f:(int -> Point.t list -> 'a) -> 'a list

@@ -1,0 +1,53 @@
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  if not (xmin < xmax && ymin < ymax) then
+    invalid_arg
+      (Printf.sprintf "Box.make: degenerate extent [%g,%g)x[%g,%g)" xmin xmax
+         ymin ymax);
+  { xmin; ymin; xmax; ymax }
+
+let unit = { xmin = 0.0; ymin = 0.0; xmax = 1.0; ymax = 1.0 }
+let width b = b.xmax -. b.xmin
+let height b = b.ymax -. b.ymin
+let area b = width b *. height b
+
+let center b =
+  Point.make (0.5 *. (b.xmin +. b.xmax)) (0.5 *. (b.ymin +. b.ymax))
+
+let contains b (p : Point.t) =
+  p.x >= b.xmin && p.x < b.xmax && p.y >= b.ymin && p.y < b.ymax
+
+let quadrant_of b (p : Point.t) =
+  if not (contains b p) then
+    invalid_arg "Box.quadrant_of: point outside box";
+  let c = center b in
+  let east = p.x >= c.x in
+  let north = p.y >= c.y in
+  match (north, east) with
+  | true, false -> Quadrant.Nw
+  | true, true -> Quadrant.Ne
+  | false, false -> Quadrant.Sw
+  | false, true -> Quadrant.Se
+
+let child b q =
+  let c = center b in
+  match (q : Quadrant.t) with
+  | Nw -> { xmin = b.xmin; ymin = c.y; xmax = c.x; ymax = b.ymax }
+  | Ne -> { xmin = c.x; ymin = c.y; xmax = b.xmax; ymax = b.ymax }
+  | Sw -> { xmin = b.xmin; ymin = b.ymin; xmax = c.x; ymax = c.y }
+  | Se -> { xmin = c.x; ymin = b.ymin; xmax = b.xmax; ymax = c.y }
+
+let children b =
+  Array.init 4 (fun i -> child b (Quadrant.of_index i))
+
+let intersects a b =
+  a.xmin < b.xmax && b.xmin < a.xmax && a.ymin < b.ymax && b.ymin < a.ymax
+
+let equal a b =
+  a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax
+
+let pp ppf b =
+  Format.fprintf ppf "[%.6g,%.6g)x[%.6g,%.6g)" b.xmin b.xmax b.ymin b.ymax
+
+let to_string b = Format.asprintf "%a" pp b

@@ -1,0 +1,54 @@
+(** Axis-aligned rectangles with half-open extent: a box covers
+    [[xmin, xmax) x [ymin, ymax)]. Half-open semantics make the four
+    quadrants of a split partition the parent exactly — every point of the
+    parent belongs to exactly one child — which is the invariant the PR
+    quadtree relies on. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+(** [make ~xmin ~ymin ~xmax ~ymax] is the box; raises [Invalid_argument]
+    unless [xmin < xmax] and [ymin < ymax]. *)
+val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
+
+(** [unit] is the unit square [[0,1) x [0,1)]. *)
+val unit : t
+
+(** [width b], [height b] are the side lengths. *)
+val width : t -> float
+
+val height : t -> float
+
+(** [area b] is width x height. *)
+val area : t -> float
+
+(** [center b] is the center point. *)
+val center : t -> Point.t
+
+(** [contains b p] is true when [p] lies in the half-open extent. *)
+val contains : t -> Point.t -> bool
+
+(** [quadrant_of b p] is the quadrant of [b] containing [p], decided by
+    comparison with the center: points with [x = cx] go to the east
+    children and points with [y = cy] go to the north children, matching
+    the half-open extents of {!child}.
+    Raises [Invalid_argument] when [p] is outside [b]. *)
+val quadrant_of : t -> Point.t -> Quadrant.t
+
+(** [child b q] is the sub-box of [b] covering quadrant [q]. *)
+val child : t -> Quadrant.t -> t
+
+(** [children b] is the array of the four children indexed by
+    {!Quadrant.to_index}. *)
+val children : t -> t array
+
+(** [intersects a b] is true when the half-open extents overlap. *)
+val intersects : t -> t -> bool
+
+(** [equal a b] is exact bound equality. *)
+val equal : t -> t -> bool
+
+(** [pp ppf b] prints [[xmin,xmax)x[ymin,ymax)]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string b] is [Format.asprintf "%a" pp b]. *)
+val to_string : t -> string

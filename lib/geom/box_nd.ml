@@ -1,0 +1,65 @@
+type t = { lo : float array; hi : float array }
+
+let make ~lo ~hi =
+  let d = Array.length lo in
+  if d = 0 then invalid_arg "Box_nd.make: zero dimensions";
+  if Array.length hi <> d then invalid_arg "Box_nd.make: dimension mismatch";
+  Array.iteri
+    (fun i l ->
+      if l >= hi.(i) then
+        invalid_arg (Printf.sprintf "Box_nd.make: empty extent in dim %d" i))
+    lo;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let unit_cube d =
+  if d <= 0 then invalid_arg "Box_nd.unit_cube: d <= 0";
+  { lo = Array.make d 0.0; hi = Array.make d 1.0 }
+
+let dim b = Array.length b.lo
+let lo b = Array.copy b.lo
+let hi b = Array.copy b.hi
+
+let volume b =
+  let acc = ref 1.0 in
+  Array.iteri (fun i l -> acc := !acc *. (b.hi.(i) -. l)) b.lo;
+  !acc
+
+let contains b p =
+  Array.length p = dim b
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun i x -> if not (x >= b.lo.(i) && x < b.hi.(i)) then ok := false)
+      p;
+    !ok
+  end
+
+let center_coord b i = 0.5 *. (b.lo.(i) +. b.hi.(i))
+
+let orthant_of b p =
+  if not (contains b p) then invalid_arg "Box_nd.orthant_of: point outside box";
+  let k = ref 0 in
+  for i = 0 to dim b - 1 do
+    if p.(i) >= center_coord b i then k := !k lor (1 lsl i)
+  done;
+  !k
+
+let orthant_count b = 1 lsl dim b
+
+let child b k =
+  let d = dim b in
+  if k < 0 || k >= 1 lsl d then invalid_arg "Box_nd.child: orthant index";
+  let lo = Array.copy b.lo and hi = Array.copy b.hi in
+  for i = 0 to d - 1 do
+    let c = center_coord b i in
+    if k land (1 lsl i) <> 0 then lo.(i) <- c else hi.(i) <- c
+  done;
+  { lo; hi }
+
+let pp ppf b =
+  Format.fprintf ppf "@[";
+  for i = 0 to dim b - 1 do
+    if i > 0 then Format.fprintf ppf " x ";
+    Format.fprintf ppf "[%.6g,%.6g)" b.lo.(i) b.hi.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Axis-aligned boxes in d dimensions with half-open extent, the
+    d-dimensional analogue of {!Box}. Splitting a box produces 2^d
+    children (orthants); orthant index bit [i] is set when the point lies
+    in the upper half along dimension [i]. *)
+
+type t
+
+(** [make ~lo ~hi] is the box [prod_i [lo.(i), hi.(i))].
+    Raises [Invalid_argument] on dimension mismatch, empty dimension, or
+    any [lo.(i) >= hi.(i)]. *)
+val make : lo:float array -> hi:float array -> t
+
+(** [unit_cube d] is [[0,1)^d]. Raises [Invalid_argument] when [d <= 0]. *)
+val unit_cube : int -> t
+
+(** [dim b] is the dimensionality. *)
+val dim : t -> int
+
+(** [lo b], [hi b] are copies of the bound arrays. *)
+val lo : t -> float array
+
+val hi : t -> float array
+
+(** [volume b] is the product of side lengths. *)
+val volume : t -> float
+
+(** [contains b p] is true when [p] lies in the half-open extent. *)
+val contains : t -> Point_nd.t -> bool
+
+(** [orthant_of b p] is the index (0 .. 2^d − 1) of the child orthant
+    containing [p]; bit [i] is set when [p.(i) >= center.(i)].
+    Raises [Invalid_argument] when [p] is outside [b]. *)
+val orthant_of : t -> Point_nd.t -> int
+
+(** [child b k] is the sub-box for orthant index [k].
+    Raises [Invalid_argument] outside [0 .. 2^d − 1]. *)
+val child : t -> int -> t
+
+(** [orthant_count b] is [2^d]. *)
+val orthant_count : t -> int
+
+(** [pp ppf b] prints the extents dimension by dimension. *)
+val pp : Format.formatter -> t -> unit

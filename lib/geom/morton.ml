@@ -1,0 +1,39 @@
+let bits = 21
+
+(* Spread the low 21 bits of [v] so bit i lands at position 2i, using the
+   classic 2-D parallel-prefix magic numbers on 64-bit words. *)
+let spread v =
+  let v = v land 0x1FFFFF in
+  let v = (v lor (v lsl 16)) land 0x0000FFFF0000FFFF in
+  let v = (v lor (v lsl 8)) land 0x00FF00FF00FF00FF in
+  let v = (v lor (v lsl 4)) land 0x0F0F0F0F0F0F0F0F in
+  let v = (v lor (v lsl 2)) land 0x3333333333333333 in
+  (v lor (v lsl 1)) land 0x5555555555555555
+
+let compact v =
+  let v = v land 0x5555555555555555 in
+  let v = (v lor (v lsr 1)) land 0x3333333333333333 in
+  let v = (v lor (v lsr 2)) land 0x0F0F0F0F0F0F0F0F in
+  let v = (v lor (v lsr 4)) land 0x00FF00FF00FF00FF in
+  let v = (v lor (v lsr 8)) land 0x0000FFFF0000FFFF in
+  (v lor (v lsr 16)) land 0xFFFFFFFF
+
+let interleave x y = spread x lor (spread y lsl 1)
+let deinterleave code = (compact code, compact (code lsr 1))
+
+let quantize x = int_of_float (x *. float_of_int (1 lsl bits))
+
+let encode (p : Point.t) =
+  if not (Point.in_unit_square p) then
+    invalid_arg "Morton.encode: point outside unit square";
+  interleave (quantize p.x) (quantize p.y)
+
+let decode code =
+  let x, y = deinterleave code in
+  let scale = 1.0 /. float_of_int (1 lsl bits) in
+  Point.make (float_of_int x *. scale) (float_of_int y *. scale)
+
+let prefix ~depth code =
+  if depth < 0 || depth > 2 * bits then
+    invalid_arg "Morton.prefix: depth out of range";
+  code lsr ((2 * bits) - depth)

@@ -1,0 +1,30 @@
+(** Morton (Z-order) codes: interleave the bits of quantized (x, y)
+    coordinates. Used as the hash function for the extendible-hashing
+    experiments, because a bit-interleaved key makes directory prefixes
+    correspond to quadtree-like blocks — the regular-decomposition setting
+    in which the paper's phasing argument applies. *)
+
+(** [bits] is the per-coordinate resolution (21), so a full code fits in
+    62 bits of an OCaml [int]. *)
+val bits : int
+
+(** [encode p] quantizes a unit-square point to [bits]-bit integers and
+    interleaves them (x bits at even positions).
+    Raises [Invalid_argument] when [p] is outside the unit square. *)
+val encode : Point.t -> int
+
+(** [decode code] recovers the lower-left corner of the quantized cell. *)
+val decode : int -> Point.t
+
+(** [interleave x y] interleaves the low [bits] bits of [x] (even
+    positions) and [y] (odd positions). *)
+val interleave : int -> int -> int
+
+(** [deinterleave code] is the inverse of {!interleave}. *)
+val deinterleave : int -> int * int
+
+(** [prefix ~depth code] is the top [depth] bits of the code, i.e. the
+    index of the quadtree-like block of side [2^(-depth/2)] containing the
+    point. Raises [Invalid_argument] when [depth] is outside
+    [0 .. 2*bits]. *)
+val prefix : depth:int -> int -> int

@@ -1,0 +1,26 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.0; y = 0.0 }
+let equal p q = p.x = q.x && p.y = q.y
+
+let compare p q =
+  match Float.compare p.x q.x with 0 -> Float.compare p.y q.y | c -> c
+
+let add p q = { x = p.x +. q.x; y = p.y +. q.y }
+let sub p q = { x = p.x -. q.x; y = p.y -. q.y }
+let scale c p = { x = c *. p.x; y = c *. p.y }
+let midpoint p q = { x = 0.5 *. (p.x +. q.x); y = 0.5 *. (p.y +. q.y) }
+
+let distance_sq p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  (dx *. dx) +. (dy *. dy)
+
+let distance p q = sqrt (distance_sq p q)
+let dot p q = (p.x *. q.x) +. (p.y *. q.y)
+let cross p q = (p.x *. q.y) -. (p.y *. q.x)
+
+let in_unit_square p = p.x >= 0.0 && p.x < 1.0 && p.y >= 0.0 && p.y < 1.0
+
+let pp ppf p = Format.fprintf ppf "(%.6g, %.6g)" p.x p.y
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,49 @@
+(** Points in the plane, with float coordinates. The quadtree experiments
+    of the paper all live in the unit square [[0,1) x [0,1)]. *)
+
+type t = { x : float; y : float }
+
+(** [make x y] is the point (x, y). *)
+val make : float -> float -> t
+
+(** [origin] is (0, 0). *)
+val origin : t
+
+(** [equal p q] is exact coordinate equality. *)
+val equal : t -> t -> bool
+
+(** [compare p q] orders lexicographically by (x, y). *)
+val compare : t -> t -> int
+
+(** [add p q] is componentwise addition. *)
+val add : t -> t -> t
+
+(** [sub p q] is componentwise subtraction [p - q]. *)
+val sub : t -> t -> t
+
+(** [scale c p] multiplies both coordinates by [c]. *)
+val scale : float -> t -> t
+
+(** [midpoint p q] is the midpoint of the segment p-q. *)
+val midpoint : t -> t -> t
+
+(** [distance p q] is the Euclidean distance. *)
+val distance : t -> t -> float
+
+(** [distance_sq p q] is the squared Euclidean distance (no sqrt). *)
+val distance_sq : t -> t -> float
+
+(** [dot p q] is the dot product of p and q viewed as vectors. *)
+val dot : t -> t -> float
+
+(** [cross p q] is the 2-D cross product (scalar) of p and q as vectors. *)
+val cross : t -> t -> float
+
+(** [in_unit_square p] is true when both coordinates lie in [[0, 1)]. *)
+val in_unit_square : t -> bool
+
+(** [pp ppf p] prints [(x, y)] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string p] is [Format.asprintf "%a" pp p]. *)
+val to_string : t -> string

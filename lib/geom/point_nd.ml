@@ -1,0 +1,39 @@
+type t = float array
+
+let make coords =
+  if Array.length coords = 0 then invalid_arg "Point_nd.make: empty";
+  Array.copy coords
+
+let of_list coords = make (Array.of_list coords)
+let dim = Array.length
+let coord p i = p.(i)
+
+let equal p q =
+  Array.length p = Array.length q
+  && begin
+    let ok = ref true in
+    Array.iteri (fun i x -> if x <> q.(i) then ok := false) p;
+    !ok
+  end
+
+let distance p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Point_nd.distance: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. q.(i) in
+      acc := !acc +. (d *. d))
+    p;
+  sqrt !acc
+
+let in_unit_cube p = Array.for_all (fun x -> x >= 0.0 && x < 1.0) p
+
+let pp ppf p =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%.6g" x)
+    p;
+  Format.fprintf ppf ")"

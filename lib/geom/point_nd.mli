@@ -1,0 +1,31 @@
+(** Points in d-dimensional space, for the octree / bintree / general
+    2^d-ary tree experiments. A point is a float array of its
+    coordinates; functions never mutate their arguments. *)
+
+type t = float array
+
+(** [make coords] copies [coords] into a fresh point.
+    Raises [Invalid_argument] on an empty array. *)
+val make : float array -> t
+
+(** [of_list coords] builds a point from a coordinate list. *)
+val of_list : float list -> t
+
+(** [dim p] is the dimensionality. *)
+val dim : t -> int
+
+(** [coord p i] is coordinate [i]. *)
+val coord : t -> int -> float
+
+(** [equal p q] is exact coordinate equality (false if dims differ). *)
+val equal : t -> t -> bool
+
+(** [distance p q] is the Euclidean distance.
+    Raises [Invalid_argument] on dimension mismatch. *)
+val distance : t -> t -> float
+
+(** [in_unit_cube p] is true when every coordinate is in [[0, 1)]. *)
+val in_unit_cube : t -> bool
+
+(** [pp ppf p] prints the coordinates in parentheses. *)
+val pp : Format.formatter -> t -> unit

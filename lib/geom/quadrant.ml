@@ -1,0 +1,15 @@
+type t = Nw | Ne | Sw | Se
+
+let all = [ Nw; Ne; Sw; Se ]
+let to_index = function Nw -> 0 | Ne -> 1 | Sw -> 2 | Se -> 3
+
+let of_index = function
+  | 0 -> Nw
+  | 1 -> Ne
+  | 2 -> Sw
+  | 3 -> Se
+  | i -> invalid_arg (Printf.sprintf "Quadrant.of_index: %d" i)
+
+let equal a b = a = b
+let to_string = function Nw -> "NW" | Ne -> "NE" | Sw -> "SW" | Se -> "SE"
+let pp ppf q = Format.pp_print_string ppf (to_string q)

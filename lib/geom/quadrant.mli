@@ -1,0 +1,24 @@
+(** The four quadrants of a quadtree block, in the naming convention of
+    the quadtree literature (NW, NE, SW, SE). *)
+
+type t = Nw | Ne | Sw | Se
+
+(** [all] lists the quadrants in the fixed order NW, NE, SW, SE — the
+    order used for child arrays throughout the tree implementations. *)
+val all : t list
+
+(** [to_index q] maps NW, NE, SW, SE to 0, 1, 2, 3. *)
+val to_index : t -> int
+
+(** [of_index i] is the inverse of {!to_index}.
+    Raises [Invalid_argument] outside 0..3. *)
+val of_index : int -> t
+
+(** [equal a b] is constructor equality. *)
+val equal : t -> t -> bool
+
+(** [to_string q] is ["NW"], ["NE"], ["SW"] or ["SE"]. *)
+val to_string : t -> string
+
+(** [pp ppf q] prints {!to_string}. *)
+val pp : Format.formatter -> t -> unit

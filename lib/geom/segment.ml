@@ -1,0 +1,70 @@
+type t = { p1 : Point.t; p2 : Point.t }
+
+let make p1 p2 =
+  if Point.equal p1 p2 then invalid_arg "Segment.make: zero-length segment";
+  { p1; p2 }
+
+let length s = Point.distance s.p1 s.p2
+let midpoint s = Point.midpoint s.p1 s.p2
+
+let point_at s t =
+  Point.add s.p1 (Point.scale t (Point.sub s.p2 s.p1))
+
+let equal a b = Point.equal a.p1 b.p1 && Point.equal a.p2 b.p2
+
+(* Liang-Barsky: clip the parametric segment p1 + t (p2 - p1), t in [0,1],
+   against the closed box. Returns the surviving parameter range. *)
+let clip_to_box s (b : Box.t) =
+  let dx = s.p2.Point.x -. s.p1.Point.x in
+  let dy = s.p2.Point.y -. s.p1.Point.y in
+  let x0 = s.p1.Point.x and y0 = s.p1.Point.y in
+  let checks =
+    [
+      (-.dx, x0 -. b.Box.xmin);
+      (dx, b.Box.xmax -. x0);
+      (-.dy, y0 -. b.Box.ymin);
+      (dy, b.Box.ymax -. y0);
+    ]
+  in
+  let rec go t0 t1 = function
+    | [] -> if t0 <= t1 then Some (t0, t1) else None
+    | (p, q) :: rest ->
+      if p = 0.0 then if q < 0.0 then None else go t0 t1 rest
+      else
+        let r = q /. p in
+        if p < 0.0 then
+          if r > t1 then None else go (Float.max t0 r) t1 rest
+        else if r < t0 then None
+        else go t0 (Float.min t1 r) rest
+  in
+  go 0.0 1.0 checks
+
+let intersects_box s b = Option.is_some (clip_to_box s b)
+
+let orientation a b c =
+  (* Sign of the cross product (b - a) x (c - a). *)
+  let v = Point.cross (Point.sub b a) (Point.sub c a) in
+  if v > 0.0 then 1 else if v < 0.0 then -1 else 0
+
+let on_segment a b p =
+  (* Assuming collinearity, is [p] within the bounding box of a-b? *)
+  Float.min a.Point.x b.Point.x <= p.Point.x
+  && p.Point.x <= Float.max a.Point.x b.Point.x
+  && Float.min a.Point.y b.Point.y <= p.Point.y
+  && p.Point.y <= Float.max a.Point.y b.Point.y
+
+let segments_intersect s1 s2 =
+  let a = s1.p1 and b = s1.p2 and c = s2.p1 and d = s2.p2 in
+  let o1 = orientation a b c in
+  let o2 = orientation a b d in
+  let o3 = orientation c d a in
+  let o4 = orientation c d b in
+  if o1 <> o2 && o3 <> o4 then true
+  else
+    (o1 = 0 && on_segment a b c)
+    || (o2 = 0 && on_segment a b d)
+    || (o3 = 0 && on_segment c d a)
+    || (o4 = 0 && on_segment c d b)
+
+let pp ppf s = Format.fprintf ppf "%a -> %a" Point.pp s.p1 Point.pp s.p2
+let to_string s = Format.asprintf "%a" pp s

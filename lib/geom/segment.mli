@@ -1,0 +1,43 @@
+(** Line segments in the plane, with the predicates the PMR quadtree
+    needs: does a segment pass through a block, and clipping against a
+    block. Intersection uses the closed extent of the box (a segment that
+    only touches a box edge counts as intersecting), which matches how PMR
+    quadtrees store q-edges in every block they meet. *)
+
+type t = { p1 : Point.t; p2 : Point.t }
+
+(** [make p1 p2] is the segment between [p1] and [p2].
+    Raises [Invalid_argument] if the endpoints coincide. *)
+val make : Point.t -> Point.t -> t
+
+(** [length s] is the Euclidean length. *)
+val length : t -> float
+
+(** [midpoint s] is the midpoint. *)
+val midpoint : t -> Point.t
+
+(** [point_at s t] is the point [p1 + t * (p2 - p1)]; [t] in [[0, 1]]
+    stays on the segment. *)
+val point_at : t -> float -> Point.t
+
+(** [equal a b] is exact endpoint equality (orientation-sensitive). *)
+val equal : t -> t -> bool
+
+(** [intersects_box s b] is true when the segment meets the closed
+    rectangle of [b], computed with the Liang–Barsky parametric clip. *)
+val intersects_box : t -> Box.t -> bool
+
+(** [clip_to_box s b] is the sub-range [(t0, t1)] of the parameter for
+    which the segment lies inside the closed box, or [None] when they are
+    disjoint. *)
+val clip_to_box : t -> Box.t -> (float * float) option
+
+(** [segments_intersect a b] is true when the two closed segments share a
+    point (robust to collinear overlap). *)
+val segments_intersect : t -> t -> bool
+
+(** [pp ppf s] prints [p1 -> p2]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string s] is [Format.asprintf "%a" pp s]. *)
+val to_string : t -> string

@@ -1,0 +1,53 @@
+let pow_int base exponent =
+  if exponent < 0 then invalid_arg "Combin.pow_int: negative exponent";
+  let rec go acc base exponent =
+    if exponent = 0 then acc
+    else if exponent land 1 = 1 then go (acc *. base) (base *. base) (exponent lsr 1)
+    else go acc (base *. base) (exponent lsr 1)
+  in
+  go 1.0 base exponent
+
+let log_binomial n k =
+  if n < 0 || k < 0 || k > n then
+    invalid_arg "Combin.log_binomial: require 0 <= k <= n";
+  Special.log_factorial n -. Special.log_factorial k
+  -. Special.log_factorial (n - k)
+
+(* Exact integer evaluation of C(n, k); raises [Exit] on overflow. *)
+let binomial_int n k =
+  let k = min k (n - k) in
+  let acc = ref 1 in
+  for i = 1 to k do
+    let next = !acc * (n - k + i) in
+    if next / (n - k + i) <> !acc then raise Exit;
+    acc := next / i
+  done;
+  !acc
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combin.binomial: negative n";
+  if k < 0 || k > n then 0.0
+  else
+    match binomial_int n k with
+    | exact -> float_of_int exact
+    | exception Exit -> exp (log_binomial n k)
+
+let binomial_pmf ~trials ~p k =
+  if trials < 0 then invalid_arg "Combin.binomial_pmf: negative trials";
+  if p < 0.0 || p > 1.0 then invalid_arg "Combin.binomial_pmf: p outside [0,1]";
+  if k < 0 || k > trials then 0.0
+  else if p = 0.0 then if k = 0 then 1.0 else 0.0
+  else if p = 1.0 then if k = trials then 1.0 else 0.0
+  else
+    exp
+      (log_binomial trials k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (trials - k) *. log (1.0 -. p)))
+
+let falling_factorial n k =
+  if k < 0 then invalid_arg "Combin.falling_factorial: negative k";
+  let acc = ref 1.0 in
+  for i = 0 to k - 1 do
+    acc := !acc *. float_of_int (n - i)
+  done;
+  !acc

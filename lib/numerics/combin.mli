@@ -1,0 +1,26 @@
+(** Combinatorics: binomial coefficients and related quantities, exact
+    where [int] arithmetic allows and via log-gamma beyond. *)
+
+(** [binomial n k] is C(n, k) as a float; 0 when [k < 0] or [k > n].
+    Exact (computed in integer arithmetic) for values representable
+    without overflow, log-gamma based otherwise.
+    Raises [Invalid_argument] for [n < 0]. *)
+val binomial : int -> int -> float
+
+(** [log_binomial n k] is ln C(n, k); raises [Invalid_argument] unless
+    [0 <= k <= n]. *)
+val log_binomial : int -> int -> float
+
+(** [binomial_pmf ~trials ~p k] is the probability of exactly [k]
+    successes in [trials] Bernoulli(p) trials; 0 outside [0..trials].
+    Raises [Invalid_argument] unless [0 <= p <= 1] and [trials >= 0]. *)
+val binomial_pmf : trials:int -> p:float -> int -> float
+
+(** [pow_int base exponent] is [base^exponent] for [exponent >= 0] in
+    float arithmetic (exact while the result fits the 53-bit mantissa).
+    Raises [Invalid_argument] for a negative exponent. *)
+val pow_int : float -> int -> float
+
+(** [falling_factorial n k] is n·(n−1)···(n−k+1) as a float.
+    Raises [Invalid_argument] for [k < 0]. *)
+val falling_factorial : int -> int -> float

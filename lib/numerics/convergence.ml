@@ -1,0 +1,44 @@
+type criterion = { tolerance : float; max_iterations : int }
+
+let default = { tolerance = 1e-12; max_iterations = 10_000 }
+
+let make ?(tolerance = default.tolerance)
+    ?(max_iterations = default.max_iterations) () =
+  if tolerance <= 0.0 then invalid_arg "Convergence.make: tolerance <= 0";
+  if max_iterations <= 0 then
+    invalid_arg "Convergence.make: max_iterations <= 0";
+  { tolerance; max_iterations }
+
+type 'a outcome =
+  | Converged of { value : 'a; iterations : int; error : float }
+  | Diverged of { value : 'a; iterations : int; error : float }
+
+let value = function Converged { value; _ } | Diverged { value; _ } -> value
+let converged = function Converged _ -> true | Diverged _ -> false
+
+let iterations = function
+  | Converged { iterations; _ } | Diverged { iterations; _ } -> iterations
+
+let error = function
+  | Converged { error; _ } | Diverged { error; _ } -> error
+
+let get_exn = function
+  | Converged { value; _ } -> value
+  | Diverged { iterations; error; _ } ->
+    failwith
+      (Printf.sprintf
+         "Convergence.get_exn: diverged after %d iterations (error %g)"
+         iterations error)
+
+let iterate criterion ~step ~distance x0 =
+  let rec loop x i =
+    if i >= criterion.max_iterations then
+      Diverged { value = x; iterations = i; error = Float.infinity }
+    else
+      let x' = step x in
+      let d = distance x x' in
+      if d <= criterion.tolerance then
+        Converged { value = x'; iterations = i + 1; error = d }
+      else loop x' (i + 1)
+  in
+  loop x0 0

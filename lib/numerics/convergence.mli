@@ -1,0 +1,45 @@
+(** Iteration control for fixed-point style solvers: a uniform way to
+    specify tolerances and iteration limits, and a uniform report of how a
+    solve ended. *)
+
+type criterion = {
+  tolerance : float;  (** stop when the step/residual norm drops below this *)
+  max_iterations : int;  (** give up after this many iterations *)
+}
+
+(** Default criterion: tolerance [1e-12], at most [10_000] iterations. *)
+val default : criterion
+
+(** [make ?tolerance ?max_iterations ()] builds a criterion, defaulting to
+    the fields of {!default}. Raises [Invalid_argument] on a nonpositive
+    tolerance or iteration limit. *)
+val make : ?tolerance:float -> ?max_iterations:int -> unit -> criterion
+
+type 'a outcome =
+  | Converged of { value : 'a; iterations : int; error : float }
+      (** the solver met the tolerance after [iterations] steps *)
+  | Diverged of { value : 'a; iterations : int; error : float }
+      (** the iteration limit was reached; [value] is the last iterate *)
+
+(** [value outcome] is the final iterate regardless of convergence. *)
+val value : 'a outcome -> 'a
+
+(** [converged outcome] is true for [Converged _]. *)
+val converged : 'a outcome -> bool
+
+(** [iterations outcome] is the number of iterations performed. *)
+val iterations : 'a outcome -> int
+
+(** [error outcome] is the final step/residual norm. *)
+val error : 'a outcome -> float
+
+(** [get_exn outcome] is the converged value.
+    Raises [Failure] when the outcome is [Diverged]. *)
+val get_exn : 'a outcome -> 'a
+
+(** [iterate criterion ~step ~distance x0] repeatedly applies [step] from
+    [x0], measuring progress with [distance previous next], until the
+    distance falls below the tolerance or the iteration limit is hit. *)
+val iterate :
+  criterion -> step:('a -> 'a) -> distance:('a -> 'a -> float) -> 'a ->
+  'a outcome

@@ -1,0 +1,36 @@
+type eigenpair = { eigenvalue : float; eigenvector : Vec.t }
+
+let default_start n = Vec.create n (1.0 /. float_of_int n)
+
+let dominant ?(criterion = Convergence.default) ?start m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Eigen.dominant: matrix not square";
+  let start = match start with Some v -> Vec.copy v | None -> default_start n in
+  let step (v, _lambda) =
+    let w = Matrix.mul_vec m v in
+    let growth = Vec.norm1 w /. Vec.norm1 v in
+    let w = Vec.scale (1.0 /. Vec.norm1 w) w in
+    (w, growth)
+  in
+  let distance (v, _) (v', _) = Vec.norm_inf (Vec.sub v v') in
+  let start = Vec.scale (1.0 /. Vec.norm1 start) start in
+  let outcome = Convergence.iterate criterion ~step ~distance (start, 0.0) in
+  let finish (v, lambda) =
+    { eigenvalue = lambda; eigenvector = Vec.normalize1 v }
+  in
+  match outcome with
+  | Convergence.Converged { value; iterations; error } ->
+    Convergence.Converged { value = finish value; iterations; error }
+  | Convergence.Diverged { value; iterations; error } ->
+    Convergence.Diverged { value = finish value; iterations; error }
+
+let dominant_left ?criterion ?start m =
+  dominant ?criterion ?start (Matrix.transpose m)
+
+let left_residual m { eigenvalue; eigenvector } =
+  Vec.norm_inf
+    (Vec.sub (Matrix.vec_mul eigenvector m) (Vec.scale eigenvalue eigenvector))
+
+let right_residual m { eigenvalue; eigenvector } =
+  Vec.norm_inf
+    (Vec.sub (Matrix.mul_vec m eigenvector) (Vec.scale eigenvalue eigenvector))

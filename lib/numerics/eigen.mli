@@ -1,0 +1,33 @@
+(** Dominant eigenpairs of small dense matrices by normalized power
+    iteration. The population model's expected distribution is the left
+    Perron vector of a nonnegative transform matrix, so the dominant pair
+    is all we need; for nonnegative irreducible matrices Perron-Frobenius
+    guarantees the iteration converges to the unique positive vector. *)
+
+type eigenpair = {
+  eigenvalue : float;
+  eigenvector : Vec.t;  (** normalized so its components sum to 1 *)
+}
+
+(** [dominant ?criterion ?start m] is the dominant (largest-eigenvalue)
+    right eigenpair of square [m], from initial guess [start] (default
+    uniform). The iterate is renormalized in L1 at every step and the
+    eigenvalue is recovered as the L1 growth factor, which for a
+    nonnegative matrix and positive iterate equals the Rayleigh-like
+    ratio [‖m v‖₁ / ‖v‖₁]. *)
+val dominant :
+  ?criterion:Convergence.criterion -> ?start:Vec.t -> Matrix.t ->
+  eigenpair Convergence.outcome
+
+(** [dominant_left ?criterion ?start m] is the dominant left eigenpair,
+    i.e. the dominant right eigenpair of the transpose. *)
+val dominant_left :
+  ?criterion:Convergence.criterion -> ?start:Vec.t -> Matrix.t ->
+  eigenpair Convergence.outcome
+
+(** [left_residual m pair] is [‖v·m − λ·v‖∞], a verification that [pair]
+    is a left eigenpair of [m]. *)
+val left_residual : Matrix.t -> eigenpair -> float
+
+(** [right_residual m pair] is [‖m·v − λ·v‖∞]. *)
+val right_residual : Matrix.t -> eigenpair -> float

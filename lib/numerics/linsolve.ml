@@ -1,0 +1,120 @@
+exception Singular of string
+
+let pivot_tolerance = 1e-13
+
+(* LU factorization with partial pivoting, in place on [a].
+   Returns the permutation as an array of row indices and the sign of the
+   permutation. Raises [Singular] when the best available pivot in a column
+   is below [pivot_tolerance] relative to the largest row element. *)
+let lu_in_place a =
+  let n = Array.length a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  (* Row scaling factors for relative pivot comparison. *)
+  let scale =
+    Array.map
+      (fun r ->
+        let m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 r in
+        if m = 0.0 then raise (Singular "zero row");
+        1.0 /. m)
+      a
+  in
+  for k = 0 to n - 1 do
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) *. scale.(i)
+         > Float.abs a.(!best).(k) *. scale.(!best)
+      then best := i
+    done;
+    if !best <> k then begin
+      let t = a.(k) in
+      a.(k) <- a.(!best);
+      a.(!best) <- t;
+      let s = scale.(k) in
+      scale.(k) <- scale.(!best);
+      scale.(!best) <- s;
+      let p = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- p;
+      sign := -. !sign
+    end;
+    let pivot = a.(k).(k) in
+    if Float.abs pivot *. scale.(k) < pivot_tolerance then
+      raise (Singular (Printf.sprintf "pivot %g too small in column %d" pivot k));
+    for i = k + 1 to n - 1 do
+      let factor = a.(i).(k) /. pivot in
+      a.(i).(k) <- factor;
+      for j = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (factor *. a.(k).(j))
+      done
+    done
+  done;
+  (perm, !sign)
+
+let back_substitute lu perm b =
+  let n = Array.length lu in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward: solve L y = P b; L has unit diagonal. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done
+  done;
+  (* Backward: solve U x = y. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. lu.(i).(i)
+  done;
+  x
+
+let to_row_array a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Linsolve: matrix not square";
+  Array.init n (fun i -> Matrix.row a i)
+
+let solve a b =
+  let n = Matrix.rows a in
+  if Vec.dim b <> n then invalid_arg "Linsolve.solve: shape mismatch";
+  let lu = to_row_array a in
+  let perm, _ = lu_in_place lu in
+  back_substitute lu perm b
+
+let solve_many a bs =
+  let n = Matrix.rows a in
+  List.iter
+    (fun b ->
+      if Vec.dim b <> n then invalid_arg "Linsolve.solve_many: shape mismatch")
+    bs;
+  let lu = to_row_array a in
+  let perm, _ = lu_in_place lu in
+  List.map (back_substitute lu perm) bs
+
+let inverse a =
+  let n = Matrix.rows a in
+  let columns = List.init n (fun j -> Vec.basis n j) in
+  let solved = solve_many a columns in
+  let inv = Matrix.create n n 0.0 in
+  List.iteri
+    (fun j x ->
+      for i = 0 to n - 1 do
+        Matrix.set inv i j x.(i)
+      done)
+    solved;
+  inv
+
+let determinant a =
+  let lu = to_row_array a in
+  match lu_in_place lu with
+  | perm, sign ->
+    ignore perm;
+    let n = Array.length lu in
+    let det = ref sign in
+    for i = 0 to n - 1 do
+      det := !det *. lu.(i).(i)
+    done;
+    !det
+  | exception Singular _ -> 0.0
+
+let residual a x b = Vec.norm_inf (Vec.sub (Matrix.mul_vec a x) b)

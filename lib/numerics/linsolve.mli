@@ -1,0 +1,28 @@
+(** Direct solution of dense linear systems by Gaussian elimination with
+    partial pivoting. Adequate for the small systems (up to a few dozen
+    unknowns) arising from population models. *)
+
+(** Raised when elimination meets a pivot smaller than the singularity
+    tolerance; carries a human-readable reason. *)
+exception Singular of string
+
+(** [solve a b] solves [a x = b] for square [a].
+    Raises [Singular] if [a] is (numerically) singular and
+    [Invalid_argument] on shape mismatch. Neither argument is mutated. *)
+val solve : Matrix.t -> Vec.t -> Vec.t
+
+(** [solve_many a bs] solves [a x = b] for each right-hand side in [bs],
+    factoring [a] once. *)
+val solve_many : Matrix.t -> Vec.t list -> Vec.t list
+
+(** [inverse a] is the inverse of square [a]. Raises [Singular] when [a]
+    is numerically singular. *)
+val inverse : Matrix.t -> Matrix.t
+
+(** [determinant a] is the determinant of square [a], computed from the LU
+    factorization (0 when a zero pivot is met). *)
+val determinant : Matrix.t -> float
+
+(** [residual a x b] is the infinity norm of [a x - b]; a cheap
+    verification of a computed solution. *)
+val residual : Matrix.t -> Vec.t -> Vec.t -> float

@@ -1,0 +1,126 @@
+type t = { data : float array array; nrows : int; ncols : int }
+
+let check_shape nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Matrix: negative dimension";
+  if (nrows = 0) <> (ncols = 0) then
+    invalid_arg "Matrix: zero-by-nonzero shape"
+
+let create nrows ncols x =
+  check_shape nrows ncols;
+  { data = Array.init nrows (fun _ -> Array.make ncols x); nrows; ncols }
+
+let init nrows ncols f =
+  check_shape nrows ncols;
+  { data = Array.init nrows (fun i -> Array.init ncols (fun j -> f i j));
+    nrows; ncols }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_arrays a =
+  let nrows = Array.length a in
+  if nrows = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let ncols = Array.length a.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> ncols then
+        invalid_arg "Matrix.of_arrays: ragged rows")
+    a;
+  { data = Array.map Array.copy a; nrows; ncols }
+
+let of_rows rows = of_arrays (Array.of_list (List.map Array.of_list rows))
+
+let rows m = m.nrows
+let cols m = m.ncols
+let get m i j = m.data.(i).(j)
+let set m i j x = m.data.(i).(j) <- x
+let row m i = Array.copy m.data.(i)
+let col m j = Array.init m.nrows (fun i -> m.data.(i).(j))
+let copy m = { m with data = Array.map Array.copy m.data }
+
+let transpose m = init m.ncols m.nrows (fun i j -> m.data.(j).(i))
+
+let check_same name a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then
+    invalid_arg (Printf.sprintf "Matrix.%s: dimension mismatch" name)
+
+let add a b =
+  check_same "add" a b;
+  init a.nrows a.ncols (fun i j -> a.data.(i).(j) +. b.data.(i).(j))
+
+let sub a b =
+  check_same "sub" a b;
+  init a.nrows a.ncols (fun i j -> a.data.(i).(j) -. b.data.(i).(j))
+
+let scale c m = init m.nrows m.ncols (fun i j -> c *. m.data.(i).(j))
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Matrix.mul: inner dimension mismatch";
+  init a.nrows b.ncols (fun i j ->
+      let acc = ref 0.0 in
+      for k = 0 to a.ncols - 1 do
+        acc := !acc +. (a.data.(i).(k) *. b.data.(k).(j))
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.ncols <> Array.length v then
+    invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.nrows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.ncols - 1 do
+        acc := !acc +. (m.data.(i).(j) *. v.(j))
+      done;
+      !acc)
+
+let vec_mul v m =
+  if m.nrows <> Array.length v then
+    invalid_arg "Matrix.vec_mul: dimension mismatch";
+  Array.init m.ncols (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to m.nrows - 1 do
+        acc := !acc +. (v.(i) *. m.data.(i).(j))
+      done;
+      !acc)
+
+let row_sums m =
+  Array.init m.nrows (fun i -> Array.fold_left ( +. ) 0.0 m.data.(i))
+
+let trace m =
+  if m.nrows <> m.ncols then invalid_arg "Matrix.trace: not square";
+  let acc = ref 0.0 in
+  for i = 0 to m.nrows - 1 do
+    acc := !acc +. m.data.(i).(i)
+  done;
+  !acc
+
+let map f m = init m.nrows m.ncols (fun i j -> f m.data.(i).(j))
+
+let is_nonnegative m =
+  Array.for_all (Array.for_all (fun x -> x >= 0.0)) m.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && begin
+    let ok = ref true in
+    for i = 0 to a.nrows - 1 do
+      for j = 0 to a.ncols - 1 do
+        if Float.abs (a.data.(i).(j) -. b.data.(i).(j)) > tol then ok := false
+      done
+    done;
+    !ok
+  end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nrows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.6g" m.data.(i).(j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,90 @@
+(** Dense row-major matrices of floats.
+
+    A matrix is an array of rows; every row has the same length. The
+    constructors here enforce that invariant; functions assume it. Matrices
+    are treated as immutable by all operations except [set]. *)
+
+type t
+
+(** [create rows cols x] is a [rows] x [cols] matrix filled with [x].
+    Raises [Invalid_argument] if either dimension is negative, or if
+    exactly one of them is zero. *)
+val create : int -> int -> float -> t
+
+(** [init rows cols f] has [f i j] at row [i], column [j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+(** [identity n] is the [n] x [n] identity matrix. *)
+val identity : int -> t
+
+(** [of_rows rows] builds a matrix from a list of equal-length rows.
+    Raises [Invalid_argument] on ragged input or an empty list. *)
+val of_rows : float list list -> t
+
+(** [of_arrays a] wraps a fresh copy of the row array [a].
+    Raises [Invalid_argument] on ragged input. *)
+val of_arrays : float array array -> t
+
+(** [rows m] is the number of rows. *)
+val rows : t -> int
+
+(** [cols m] is the number of columns. *)
+val cols : t -> int
+
+(** [get m i j] is the element at row [i], column [j]. *)
+val get : t -> int -> int -> float
+
+(** [set m i j x] stores [x] at row [i], column [j]. *)
+val set : t -> int -> int -> float -> unit
+
+(** [row m i] is a fresh copy of row [i]. *)
+val row : t -> int -> Vec.t
+
+(** [col m j] is a fresh copy of column [j]. *)
+val col : t -> int -> Vec.t
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [transpose m] is the transpose. *)
+val transpose : t -> t
+
+(** [add a b] is the elementwise sum; dimensions must agree. *)
+val add : t -> t -> t
+
+(** [sub a b] is the elementwise difference; dimensions must agree. *)
+val sub : t -> t -> t
+
+(** [scale c m] multiplies every element by [c]. *)
+val scale : float -> t -> t
+
+(** [mul a b] is the matrix product; inner dimensions must agree. *)
+val mul : t -> t -> t
+
+(** [mul_vec m v] is the matrix-vector product [m v] (v as a column). *)
+val mul_vec : t -> Vec.t -> Vec.t
+
+(** [vec_mul v m] is the vector-matrix product [v m] (v as a row). *)
+val vec_mul : Vec.t -> t -> Vec.t
+
+(** [row_sums m] is the vector of row sums. *)
+val row_sums : t -> Vec.t
+
+(** [trace m] is the sum of diagonal elements of a square matrix. *)
+val trace : t -> float
+
+(** [map f m] applies [f] elementwise. *)
+val map : (float -> float) -> t -> t
+
+(** [is_nonnegative m] is true when every element is >= 0. *)
+val is_nonnegative : t -> bool
+
+(** [approx_equal ?tol a b] compares elementwise within [tol]
+    (default [1e-9]); false if dimensions differ. *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [pp ppf m] prints the matrix one row per line. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string m] is [Format.asprintf "%a" pp m]. *)
+val to_string : t -> string

@@ -1,0 +1,58 @@
+type problem = {
+  residual : Vec.t -> Vec.t;
+  jacobian : (Vec.t -> Matrix.t) option;
+}
+
+let finite_difference_jacobian ?(epsilon = 1e-7) f x =
+  let n = Vec.dim x in
+  let fx = f x in
+  let m = Vec.dim fx in
+  let jac = Matrix.create m n 0.0 in
+  for j = 0 to n - 1 do
+    let h = epsilon *. Float.max 1.0 (Float.abs x.(j)) in
+    let xj = x.(j) in
+    let x' = Vec.copy x in
+    x'.(j) <- xj +. h;
+    let fx' = f x' in
+    for i = 0 to m - 1 do
+      Matrix.set jac i j ((fx'.(i) -. fx.(i)) /. h)
+    done
+  done;
+  jac
+
+let solve ?(criterion = Convergence.default) problem x0 =
+  let jacobian =
+    match problem.jacobian with
+    | Some j -> j
+    | None -> finite_difference_jacobian problem.residual
+  in
+  (* [step x] is [Some x'] for a successful damped Newton step, [None] when
+     the Jacobian is singular or the line search cannot reduce ‖f‖₂. *)
+  let step x =
+    let fx = problem.residual x in
+    let jac = jacobian x in
+    match Linsolve.solve jac (Vec.scale (-1.0) fx) with
+    | exception Linsolve.Singular _ -> None
+    | direction ->
+      let base = Vec.norm2 fx in
+      let rec search alpha tries =
+        let candidate = Vec.add x (Vec.scale alpha direction) in
+        if Vec.norm2 (problem.residual candidate) < base then Some candidate
+        else if tries >= 30 then None
+        else search (alpha /. 2.0) (tries + 1)
+      in
+      search 1.0 0
+  in
+  let error_at x = Vec.norm_inf (problem.residual x) in
+  let rec loop x i =
+    let err = error_at x in
+    if err <= criterion.Convergence.tolerance then
+      Convergence.Converged { value = x; iterations = i; error = err }
+    else if i >= criterion.Convergence.max_iterations then
+      Convergence.Diverged { value = x; iterations = i; error = err }
+    else
+      match step x with
+      | None -> Convergence.Diverged { value = x; iterations = i; error = err }
+      | Some x' -> loop x' (i + 1)
+  in
+  loop x0 0

@@ -1,0 +1,25 @@
+(** Newton-Raphson for square systems of nonlinear equations
+    [f(x) = 0], with an analytic or finite-difference Jacobian and a simple
+    backtracking line search on [‖f‖₂] to widen the basin of convergence. *)
+
+type problem = {
+  residual : Vec.t -> Vec.t;  (** the function [f] whose zero is sought *)
+  jacobian : (Vec.t -> Matrix.t) option;
+      (** analytic Jacobian [J(x)]; when [None] a forward-difference
+          approximation is used *)
+}
+
+(** [solve ?criterion problem x0] iterates Newton steps
+    [x ← x − J(x)⁻¹ f(x)] from [x0], halving the step (up to 30 times)
+    whenever it fails to reduce [‖f‖₂]. Convergence is declared on
+    [‖f(x)‖∞ ≤ tolerance]. A numerically singular Jacobian yields a
+    [Diverged] outcome rather than an exception. *)
+val solve :
+  ?criterion:Convergence.criterion -> problem -> Vec.t ->
+  Vec.t Convergence.outcome
+
+(** [finite_difference_jacobian ?epsilon f x] is the forward-difference
+    Jacobian of [f] at [x] with per-coordinate step
+    [epsilon * max 1 |x_i|] (default epsilon [1e-7]). *)
+val finite_difference_jacobian :
+  ?epsilon:float -> (Vec.t -> Vec.t) -> Vec.t -> Matrix.t

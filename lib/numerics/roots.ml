@@ -1,0 +1,107 @@
+let check_bracket name fa fb =
+  if fa *. fb > 0.0 then
+    invalid_arg (Printf.sprintf "Roots.%s: interval does not bracket a root" name)
+
+let bisect ?(criterion = Convergence.default) f a b =
+  let fa = f a in
+  let fb = f b in
+  check_bracket "bisect" fa fb;
+  let rec loop a fa b i =
+    let width = Float.abs (b -. a) in
+    let mid = 0.5 *. (a +. b) in
+    if width <= criterion.Convergence.tolerance then
+      Convergence.Converged { value = mid; iterations = i; error = width }
+    else if i >= criterion.Convergence.max_iterations then
+      Convergence.Diverged { value = mid; iterations = i; error = width }
+    else
+      let fm = f mid in
+      if fm = 0.0 then
+        Convergence.Converged { value = mid; iterations = i + 1; error = 0.0 }
+      else if fa *. fm < 0.0 then loop a fa mid (i + 1)
+      else loop mid fm b (i + 1)
+  in
+  loop a fa b 0
+
+(* Brent's method, following the classic Numerical Recipes formulation. *)
+let brent ?(criterion = Convergence.default) f a b =
+  let fa = f a in
+  let fb = f b in
+  check_bracket "brent" fa fb;
+  let eps = 3e-16 in
+  let a = ref a and b = ref b and c = ref a in
+  let fa = ref fa and fb = ref fb and fc = ref fa in
+  let d = ref (!b -. !a) and e = ref (!b -. !a) in
+  let result = ref None in
+  let iters = ref 0 in
+  while !result = None && !iters < criterion.Convergence.max_iterations do
+    incr iters;
+    if (!fb > 0.0 && !fc > 0.0) || (!fb < 0.0 && !fc < 0.0) then begin
+      c := !a;
+      fc := !fa;
+      d := !b -. !a;
+      e := !d
+    end;
+    if Float.abs !fc < Float.abs !fb then begin
+      a := !b; b := !c; c := !a;
+      fa := !fb; fb := !fc; fc := !fa
+    end;
+    let tol1 =
+      (2.0 *. eps *. Float.abs !b) +. (0.5 *. criterion.Convergence.tolerance)
+    in
+    let xm = 0.5 *. (!c -. !b) in
+    if Float.abs xm <= tol1 || !fb = 0.0 then
+      result :=
+        Some
+          (Convergence.Converged
+             { value = !b; iterations = !iters; error = Float.abs xm })
+    else begin
+      if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+        (* Attempt inverse quadratic interpolation. *)
+        let s = !fb /. !fa in
+        let p, q =
+          if !a = !c then
+            let p = 2.0 *. xm *. s in
+            let q = 1.0 -. s in
+            (p, q)
+          else
+            let q = !fa /. !fc in
+            let r = !fb /. !fc in
+            let p =
+              s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0)))
+            in
+            let q = (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) in
+            (p, q)
+        in
+        let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+        let min1 = (3.0 *. xm *. q) -. Float.abs (tol1 *. q) in
+        let min2 = Float.abs (!e *. q) in
+        if 2.0 *. p < Float.min min1 min2 then begin
+          e := !d;
+          d := p /. q
+        end
+        else begin
+          d := xm;
+          e := !d
+        end
+      end
+      else begin
+        d := xm;
+        e := !d
+      end;
+      a := !b;
+      fa := !fb;
+      if Float.abs !d > tol1 then b := !b +. !d
+      else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+      fb := f !b
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    Convergence.Diverged
+      { value = !b; iterations = !iters; error = Float.abs (0.5 *. (!c -. !b)) }
+
+let fixed_point ?(criterion = Convergence.default) f x0 =
+  Convergence.iterate criterion ~step:f
+    ~distance:(fun x x' -> Float.abs (x -. x'))
+    x0

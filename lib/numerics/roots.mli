@@ -1,0 +1,23 @@
+(** Scalar root finding: bisection and Brent's method.
+
+    Both require a bracketing interval [(a, b)] with [f a] and [f b] of
+    opposite (or zero) sign and raise [Invalid_argument] otherwise. *)
+
+(** [bisect ?criterion f a b] locates a root of [f] in [[a, b]] by
+    bisection. Convergence is on interval width. *)
+val bisect :
+  ?criterion:Convergence.criterion -> (float -> float) -> float -> float ->
+  float Convergence.outcome
+
+(** [brent ?criterion f a b] locates a root by Brent's method (inverse
+    quadratic interpolation with bisection fallback); typically far fewer
+    evaluations than {!bisect}. *)
+val brent :
+  ?criterion:Convergence.criterion -> (float -> float) -> float -> float ->
+  float Convergence.outcome
+
+(** [fixed_point ?criterion f x0] iterates [x ← f x] from [x0] until the
+    step size drops below tolerance. *)
+val fixed_point :
+  ?criterion:Convergence.criterion -> (float -> float) -> float ->
+  float Convergence.outcome

@@ -1,0 +1,114 @@
+(* Lanczos approximation, g = 7, 9 coefficients (Godfrey's values). *)
+let lanczos_g = 7.0
+
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: nonpositive argument";
+  if x < 0.5 then
+    (* Reflection: Γ(x)Γ(1-x) = π / sin(πx). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t +. log !acc
+  end
+
+let log_factorial_table =
+  let table = Array.make 64 0.0 in
+  for n = 2 to 63 do
+    table.(n) <- table.(n - 1) +. log (float_of_int n)
+  done;
+  table
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument";
+  if n < 64 then log_factorial_table.(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+(* Abramowitz-Stegun 7.1.26. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+        +. (t
+            *. (-0.284496736
+                +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1.0 -. (poly *. exp (-.(x *. x))))
+
+let erfc x =
+  if x > 0.0 then
+    (* Direct complement form keeps precision for large positive x. *)
+    let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+    let poly =
+      t
+      *. (0.254829592
+          +. (t
+              *. (-0.284496736
+                  +. (t
+                      *. (1.421413741
+                          +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+    in
+    poly *. exp (-.(x *. x))
+  else 1.0 -. erf x
+
+let normal_pdf ?(mean = 0.0) ?(sigma = 1.0) x =
+  let z = (x -. mean) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt (2.0 *. Float.pi))
+
+let normal_cdf ?(mean = 0.0) ?(sigma = 1.0) x =
+  let z = (x -. mean) /. (sigma *. sqrt 2.0) in
+  0.5 *. erfc (-.z)
+
+(* Acklam's rational approximation for the standard normal quantile. *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Special.normal_quantile: p outside (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let rational num den t =
+    let top = Array.fold_left (fun acc k -> (acc *. t) +. k) 0.0 num in
+    let bottom =
+      Array.fold_left (fun acc k -> (acc *. t) +. k) 0.0 den *. t +. 1.0
+    in
+    top /. bottom
+  in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    rational c d q
+  else if p <= 1.0 -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let top = Array.fold_left (fun acc k -> (acc *. r) +. k) 0.0 a *. q in
+    let bottom =
+      Array.fold_left (fun acc k -> (acc *. r) +. k) 0.0 b *. r +. 1.0
+    in
+    top /. bottom
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.rational c d q

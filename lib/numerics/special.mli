@@ -1,0 +1,32 @@
+(** Special functions needed by the population model and its workloads:
+    log-gamma (for binomial coefficients at large arguments), the error
+    function (for truncated Gaussian mass computations), and the standard
+    normal density/CDF/quantile. *)
+
+(** [log_gamma x] is ln Γ(x) for [x > 0], via the Lanczos approximation
+    (g = 7, n = 9); absolute error below 1e-10 over the useful range.
+    Raises [Invalid_argument] for [x <= 0]. *)
+val log_gamma : float -> float
+
+(** [log_factorial n] is ln(n!) for [n >= 0]; exact table for [n < 64],
+    {!log_gamma} beyond. *)
+val log_factorial : int -> float
+
+(** [erf x] is the error function, by the Abramowitz–Stegun 7.1.26
+    rational approximation refined with one continued-fraction-free
+    series/complement split; absolute error below 1.5e-7. *)
+val erf : float -> float
+
+(** [erfc x] is [1 - erf x], computed to avoid cancellation for large x. *)
+val erfc : float -> float
+
+(** [normal_pdf ?mean ?sigma x] is the normal density at [x]. *)
+val normal_pdf : ?mean:float -> ?sigma:float -> float -> float
+
+(** [normal_cdf ?mean ?sigma x] is the normal CDF at [x]. *)
+val normal_cdf : ?mean:float -> ?sigma:float -> float -> float
+
+(** [normal_quantile p] is the standard normal inverse CDF for
+    [0 < p < 1], by the Acklam rational approximation (relative error
+    ~1e-9). Raises [Invalid_argument] outside (0, 1). *)
+val normal_quantile : float -> float

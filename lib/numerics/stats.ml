@@ -1,0 +1,111 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let require_nonempty name = function
+  | [] -> invalid_arg (Printf.sprintf "Stats.%s: empty sample" name)
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let xs = require_nonempty "variance" xs in
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let standard_error xs =
+  let n = List.length (require_nonempty "standard_error" xs) in
+  stddev xs /. sqrt (float_of_int n)
+
+let summarize xs =
+  let xs = require_nonempty "summarize" xs in
+  let count = List.length xs in
+  let m = mean xs in
+  let v = variance xs in
+  {
+    count;
+    mean = m;
+    variance = v;
+    stddev = sqrt v;
+    min = List.fold_left Float.min Float.infinity xs;
+    max = List.fold_left Float.max Float.neg_infinity xs;
+  }
+
+let percent_difference ~reference x =
+  if reference = 0.0 then
+    invalid_arg "Stats.percent_difference: zero reference";
+  100.0 *. (x -. reference) /. reference
+
+let mean_vectors vs =
+  match vs with
+  | [] -> invalid_arg "Stats.mean_vectors: empty list"
+  | first :: _ ->
+    let n = Vec.dim first in
+    List.iter
+      (fun v ->
+        if Vec.dim v <> n then invalid_arg "Stats.mean_vectors: ragged input")
+      vs;
+    let acc = Vec.create n 0.0 in
+    List.iter (Vec.add_to acc) vs;
+    Vec.scale (1.0 /. float_of_int (List.length vs)) acc
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  List.iter
+    (fun x ->
+      let i = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let i = max 0 (min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts
+
+let bootstrap_ci ~resamples ~confidence ~rng xs =
+  if xs = [] then invalid_arg "Stats.bootstrap_ci: empty sample";
+  if resamples <= 0 then invalid_arg "Stats.bootstrap_ci: resamples <= 0";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.bootstrap_ci: confidence outside (0, 1)";
+  let sample = Array.of_list xs in
+  let n = Array.length sample in
+  let means =
+    Array.init resamples (fun _ ->
+        let acc = ref 0.0 in
+        for _ = 1 to n do
+          acc := !acc +. sample.(rng n)
+        done;
+        !acc /. float_of_int n)
+  in
+  Array.sort Float.compare means;
+  let tail = (1.0 -. confidence) /. 2.0 in
+  let index p =
+    let i = int_of_float (Float.floor (p *. float_of_int resamples)) in
+    max 0 (min (resamples - 1) i)
+  in
+  (means.(index tail), means.(index (1.0 -. tail)))
+
+let chi_square ~expected ~observed =
+  if Array.length expected <> Array.length observed then
+    invalid_arg "Stats.chi_square: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i e ->
+      if e <= 0.0 then invalid_arg "Stats.chi_square: nonpositive expected";
+      let d = observed.(i) -. e in
+      acc := !acc +. (d *. d /. e))
+    expected;
+  !acc

@@ -1,0 +1,60 @@
+(** Descriptive statistics over float samples, used to summarize repeated
+    experiment trials the way the paper does ("averages over 10 trees",
+    "typically within about 10% of each other"). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance; 0 when count < 2 *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(** [summarize xs] is the summary of the sample [xs].
+    Raises [Invalid_argument] on an empty sample. *)
+val summarize : float list -> summary
+
+(** [mean xs] is the arithmetic mean. Raises [Invalid_argument] on []. *)
+val mean : float list -> float
+
+(** [variance xs] is the unbiased sample variance (0 when fewer than two
+    observations). Raises [Invalid_argument] on []. *)
+val variance : float list -> float
+
+(** [stddev xs] is [sqrt (variance xs)]. *)
+val stddev : float list -> float
+
+(** [standard_error xs] is stddev / sqrt n, the standard error of the
+    mean. *)
+val standard_error : float list -> float
+
+(** [percent_difference ~reference x] is [100 * (x - reference) /
+    reference], the signed percent difference the paper tabulates in
+    Table 2. Raises [Invalid_argument] when [reference = 0]. *)
+val percent_difference : reference:float -> float -> float
+
+(** [mean_vectors vs] is the componentwise mean of equal-length vectors.
+    Raises [Invalid_argument] on an empty list or ragged input. *)
+val mean_vectors : Vec.t list -> Vec.t
+
+(** [histogram ~bins ~lo ~hi xs] counts samples into [bins] equal-width
+    bins over [[lo, hi)]; samples outside the range are clamped into the
+    end bins. Raises [Invalid_argument] when [bins <= 0] or [hi <= lo]. *)
+val histogram : bins:int -> lo:float -> hi:float -> float list -> int array
+
+(** [chi_square ~expected ~observed] is the chi-square statistic
+    Σ (obs − exp)² / exp over paired bins; bins with nonpositive expected
+    count are rejected with [Invalid_argument]. *)
+val chi_square : expected:float array -> observed:float array -> float
+
+(** [bootstrap_ci ~resamples ~confidence ~rng xs] is a percentile
+    bootstrap confidence interval [(lo, hi)] for the mean of [xs]:
+    [resamples] means of with-replacement resamples, trimmed to the
+    central [confidence] mass. Deterministic given [rng]. Raises
+    [Invalid_argument] on an empty sample, [resamples <= 0], or
+    [confidence] outside (0, 1). The [rng] is any generator of uniform
+    indices, [rng n] in [[0, n)]. *)
+val bootstrap_ci :
+  resamples:int -> confidence:float -> rng:(int -> int) -> float list ->
+  float * float

@@ -1,0 +1,94 @@
+type t = float array
+
+let create n x = Array.make n x
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = Array.make n 0.0 in
+  v.(i) <- 1.0;
+  v
+
+let check_dims name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length u) (Array.length v))
+
+let add u v =
+  check_dims "add" u v;
+  Array.mapi (fun i x -> x +. v.(i)) u
+
+let sub u v =
+  check_dims "sub" u v;
+  Array.mapi (fun i x -> x -. v.(i)) u
+
+let scale c v = Array.map (fun x -> c *. x) v
+
+let scale_in_place c v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- c *. v.(i)
+  done
+
+let add_to dst v =
+  check_dims "add_to" dst v;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. v.(i)
+  done
+
+let dot u v =
+  check_dims "dot" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let sum v = Array.fold_left ( +. ) 0.0 v
+let norm1 v = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 v
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let normalize1 v =
+  let s = sum v in
+  if s = 0.0 then invalid_arg "Vec.normalize1: zero sum";
+  scale (1.0 /. s) v
+
+let max_index v =
+  if Array.length v = 0 then invalid_arg "Vec.max_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) > v.(!best) then best := i
+  done;
+  !best
+
+let map = Array.map
+let mapi = Array.mapi
+let all_positive v = Array.for_all (fun x -> x > 0.0) v
+let all_nonnegative v = Array.for_all (fun x -> x >= 0.0) v
+
+let approx_equal ?(tol = 1e-9) u v =
+  Array.length u = Array.length v
+  && begin
+    let ok = ref true in
+    for i = 0 to Array.length u - 1 do
+      if Float.abs (u.(i) -. v.(i)) > tol then ok := false
+    done;
+    !ok
+  end
+
+let pp ppf v =
+  Format.fprintf ppf "(@[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "@])"
+
+let to_string v = Format.asprintf "%a" pp v

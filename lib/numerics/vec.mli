@@ -1,0 +1,89 @@
+(** Dense vectors of floats.
+
+    Vectors are plain [float array] values; the functions here never mutate
+    their arguments unless the name says so ([scale_in_place], [add_to]).
+    All binary operations require operands of equal dimension and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+(** [create n x] is a fresh vector of dimension [n] filled with [x]. *)
+val create : int -> float -> t
+
+(** [init n f] is the vector [| f 0; f 1; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [dim v] is the dimension of [v]. *)
+val dim : t -> int
+
+(** [copy v] is a fresh vector equal to [v]. *)
+val copy : t -> t
+
+(** [of_list xs] is a vector with the elements of [xs] in order. *)
+val of_list : float list -> t
+
+(** [to_list v] is the list of elements of [v] in order. *)
+val to_list : t -> float list
+
+(** [basis n i] is the [n]-dimensional unit vector with 1 in position [i]. *)
+val basis : int -> int -> t
+
+(** [add u v] is the elementwise sum. *)
+val add : t -> t -> t
+
+(** [sub u v] is the elementwise difference [u - v]. *)
+val sub : t -> t -> t
+
+(** [scale c v] is [c] times [v]. *)
+val scale : float -> t -> t
+
+(** [scale_in_place c v] multiplies every element of [v] by [c]. *)
+val scale_in_place : float -> t -> unit
+
+(** [add_to dst v] adds [v] elementwise into [dst]. *)
+val add_to : t -> t -> unit
+
+(** [dot u v] is the inner product. *)
+val dot : t -> t -> float
+
+(** [sum v] is the sum of the elements. *)
+val sum : t -> float
+
+(** [norm1 v] is the L1 norm (sum of absolute values). *)
+val norm1 : t -> float
+
+(** [norm2 v] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm_inf v] is the maximum absolute element (0 for the empty vector). *)
+val norm_inf : t -> float
+
+(** [normalize1 v] is [v] scaled so its elements sum to 1.
+    Raises [Invalid_argument] if the element sum is 0. *)
+val normalize1 : t -> t
+
+(** [max_index v] is the index of the largest element (first on ties).
+    Raises [Invalid_argument] on the empty vector. *)
+val max_index : t -> int
+
+(** [map f v] applies [f] elementwise. *)
+val map : (float -> float) -> t -> t
+
+(** [mapi f v] applies [f i v.(i)] elementwise. *)
+val mapi : (int -> float -> float) -> t -> t
+
+(** [all_positive v] is true when every element is strictly positive. *)
+val all_positive : t -> bool
+
+(** [all_nonnegative v] is true when every element is >= 0. *)
+val all_nonnegative : t -> bool
+
+(** [approx_equal ?tol u v] is true when [u] and [v] have the same dimension
+    and differ by at most [tol] (default [1e-9]) in the infinity norm. *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [pp ppf v] prints [v] as [(x0, x1, ...)] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string v] is [Format.asprintf "%a" pp v]. *)
+val to_string : t -> string

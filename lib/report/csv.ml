@@ -1,0 +1,62 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let escape cell =
+  if needs_quoting cell then begin
+    let buffer = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      cell;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else cell
+
+let render ~header rows =
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Csv.render: row %d has %d cells, expected %d" i
+             (List.length row) width))
+    rows;
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header rows))
+
+let parse_line line =
+  let cells = ref [] in
+  let buffer = Buffer.create 32 in
+  let in_quotes = ref false in
+  let i = ref 0 in
+  let n = String.length line in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buffer '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buffer c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = ',' then begin
+      cells := Buffer.contents buffer :: !cells;
+      Buffer.clear buffer
+    end
+    else Buffer.add_char buffer c;
+    incr i
+  done;
+  cells := Buffer.contents buffer :: !cells;
+  List.rev !cells

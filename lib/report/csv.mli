@@ -1,0 +1,18 @@
+(** Minimal CSV output/input (RFC-4180 quoting for the characters we can
+    produce). Used to dump every regenerated table/figure series for
+    external plotting. *)
+
+(** [escape cell] quotes a cell when it contains a comma, quote, or
+    newline. *)
+val escape : string -> string
+
+(** [render ~header rows] is CSV text with a header line.
+    Raises [Invalid_argument] when a row width differs from the header. *)
+val render : header:string list -> string list list -> string
+
+(** [write path ~header rows] writes {!render} to [path]. *)
+val write : string -> header:string list -> string list list -> unit
+
+(** [parse_line line] splits one CSV line honoring quotes — used by the
+    round-trip tests. *)
+val parse_line : string -> string list

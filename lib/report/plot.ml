@@ -1,0 +1,113 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+  marker : char;
+}
+
+let make_series ?(marker = '*') ~label points =
+  if points = [] then invalid_arg "Plot.make_series: empty series";
+  { label; points; marker }
+
+let render ?(width = 72) ?(height = 20) ?(log_x = true) ~title ~x_label
+    ~y_label series_list =
+  if series_list = [] then invalid_arg "Plot.render: no series";
+  let tx x =
+    if log_x then begin
+      if x <= 0.0 then invalid_arg "Plot.render: nonpositive x on log axis";
+      log x
+    end
+    else x
+  in
+  let all_points =
+    List.concat_map (fun s -> List.map (fun (x, y) -> (tx x, y)) s.points)
+      series_list
+  in
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let min_l = List.fold_left Float.min Float.infinity in
+  let max_l = List.fold_left Float.max Float.neg_infinity in
+  let x0 = min_l xs and x1 = max_l xs in
+  let y0 = min_l ys and y1 = max_l ys in
+  (* Expand degenerate or tight ranges by a margin. *)
+  let margin lo hi =
+    let span = hi -. lo in
+    if span <= 0.0 then (lo -. 1.0, hi +. 1.0)
+    else (lo -. (0.05 *. span), hi +. (0.05 *. span))
+  in
+  let x0, x1 = margin x0 x1 in
+  let y0, y1 = margin y0 y1 in
+  let canvas = Array.init height (fun _ -> Bytes.make width ' ') in
+  let col x =
+    int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
+  in
+  let row y =
+    (height - 1)
+    - int_of_float
+        (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+  in
+  (* Linear interpolation between consecutive points, then markers on the
+     data points themselves so they stand out. *)
+  List.iter
+    (fun s ->
+      let pts = List.map (fun (x, y) -> (tx x, y)) s.points in
+      let rec segments = function
+        | (xa, ya) :: ((xb, yb) :: _ as rest) ->
+          let ca = col xa and cb = col xb in
+          let steps = max 1 (abs (cb - ca)) in
+          for k = 0 to steps do
+            let t = float_of_int k /. float_of_int steps in
+            let x = xa +. (t *. (xb -. xa)) in
+            let y = ya +. (t *. (yb -. ya)) in
+            let r = row y and c = col x in
+            if r >= 0 && r < height && c >= 0 && c < width then
+              if Bytes.get canvas.(r) c = ' ' then Bytes.set canvas.(r) c '.'
+          done;
+          segments rest
+        | [ _ ] | [] -> ()
+      in
+      segments pts;
+      List.iter
+        (fun (x, y) ->
+          let r = row y and c = col x in
+          if r >= 0 && r < height && c >= 0 && c < width then
+            Bytes.set canvas.(r) c s.marker)
+        pts)
+    series_list;
+  let buffer = Buffer.create 2048 in
+  Buffer.add_string buffer title;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (y_label ^ "\n");
+  let y_tick r =
+    let y =
+      y1 -. (float_of_int r /. float_of_int (height - 1) *. (y1 -. y0))
+    in
+    Printf.sprintf "%8.2f |" y
+  in
+  Array.iteri
+    (fun r line ->
+      let prefix =
+        if r = 0 || r = height - 1 || r = height / 2 then y_tick r
+        else "         |"
+      in
+      Buffer.add_string buffer prefix;
+      Buffer.add_string buffer (Bytes.to_string line);
+      Buffer.add_char buffer '\n')
+    canvas;
+  Buffer.add_string buffer ("         +" ^ String.make width '-' ^ "\n");
+  let x_at c = x0 +. (float_of_int c /. float_of_int (width - 1) *. (x1 -. x0)) in
+  let x_value c = if log_x then exp (x_at c) else x_at c in
+  Buffer.add_string buffer
+    (Printf.sprintf "%10s%-12.0f%*s%12.0f\n" "" (x_value 0) (width - 24) ""
+       (x_value (width - 1)));
+  Buffer.add_string buffer
+    (Printf.sprintf "%10s%s%s\n" ""
+       (String.make (max 0 ((width / 2) - (String.length x_label / 2))) ' ')
+       x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer (Printf.sprintf "  %c %s\n" s.marker s.label))
+    series_list;
+  Buffer.contents buffer
+
+let print ?width ?height ?log_x ~title ~x_label ~y_label series_list =
+  print_string
+    (render ?width ?height ?log_x ~title ~x_label ~y_label series_list)

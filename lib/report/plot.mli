@@ -1,0 +1,27 @@
+(** ASCII line/scatter plots, enough to reproduce the paper's Figures 2
+    and 3 (occupancy against the number of points on a semi-log x
+    axis) in a terminal. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), x > 0 for log axes *)
+  marker : char;
+}
+
+(** [make_series ?marker ~label points] builds a series (default marker
+    ['*']). Raises [Invalid_argument] on an empty point list. *)
+val make_series : ?marker:char -> label:string -> (float * float) list -> series
+
+(** [render ?width ?height ?log_x ~title ~x_label ~y_label series_list]
+    draws all series on one canvas (default 72x20, [log_x] true). Axis
+    ranges come from the data with a small margin; y tick labels on the
+    left, x tick labels beneath. Raises [Invalid_argument] on an empty
+    series list or nonpositive x with [log_x]. *)
+val render :
+  ?width:int -> ?height:int -> ?log_x:bool -> title:string -> x_label:string ->
+  y_label:string -> series list -> string
+
+(** [print ...] is {!render} written to stdout. *)
+val print :
+  ?width:int -> ?height:int -> ?log_x:bool -> title:string -> x_label:string ->
+  y_label:string -> series list -> unit

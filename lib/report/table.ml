@@ -1,0 +1,85 @@
+type t = { title : string; header : string list; rows : string list list }
+
+let make ~title ~header rows =
+  if header = [] then invalid_arg "Table.make: empty header";
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Table.make: row %d has %d cells, expected %d" i
+             (List.length row) width))
+    rows;
+  { title; header; rows }
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = 'e' || c = '%')
+       s
+
+let render t =
+  let columns = List.length t.header in
+  let widths = Array.make columns 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure t.header;
+  List.iter measure t.rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else if looks_numeric cell then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let body = List.map line t.rows in
+  let header = line t.header in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" ((t.title :: rule :: header :: rule :: body) @ [ "" ])
+
+let print t = print_string (render t ^ "\n")
+
+let render_markdown t =
+  let escape cell =
+    String.concat "\\|" (String.split_on_char '|' cell)
+  in
+  let line row = "| " ^ String.concat " | " (List.map escape row) ^ " |" in
+  (* A column is right-aligned when every non-empty body cell looks
+     numeric. *)
+  let columns = List.length t.header in
+  let numeric = Array.make columns true in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if cell <> "" && cell <> "-" && not (looks_numeric cell) then
+            numeric.(i) <- false)
+        row)
+    t.rows;
+  let separator =
+    "|"
+    ^ String.concat "|"
+        (List.init columns (fun i -> if numeric.(i) then "---:" else "---"))
+    ^ "|"
+  in
+  String.concat "\n"
+    (("### " ^ t.title) :: "" :: line t.header :: separator
+     :: List.map line t.rows)
+  ^ "\n"
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_percent x = Printf.sprintf "%.1f%%" x
+
+let cell_vector ?(decimals = 3) v =
+  let fmt x =
+    let s = Printf.sprintf "%.*f" decimals x in
+    (* Drop the leading zero, paper style: 0.500 -> .500. *)
+    if String.length s > 1 && s.[0] = '0' then String.sub s 1 (String.length s - 1)
+    else s
+  in
+  "(" ^ String.concat ", " (List.map fmt v) ^ ")"

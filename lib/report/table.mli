@@ -1,0 +1,38 @@
+(** Plain-text tables in the style of the paper: a title, a header row,
+    and aligned columns. Cells are strings; numeric formatting is the
+    caller's business (see the [cell_*] helpers). *)
+
+type t
+
+(** [make ~title ~header rows] builds a table.
+    Raises [Invalid_argument] when a row's width differs from the
+    header's, or the header is empty. *)
+val make : title:string -> header:string list -> string list list -> t
+
+(** [render t] is the table as a string, columns padded to their widest
+    cell, with a rule under the title and header. Numeric-looking cells
+    are right-aligned, text cells left-aligned. *)
+val render : t -> string
+
+(** [print t] writes [render t] and a trailing newline to stdout. *)
+val print : t -> unit
+
+(** [render_markdown t] is the table as GitHub-flavored markdown: the
+    title as a level-3 heading followed by a pipe table (numeric-looking
+    columns right-aligned). *)
+val render_markdown : t -> string
+
+(** [cell_int n] is [string_of_int n]. *)
+val cell_int : int -> string
+
+(** [cell_float ?decimals x] formats with [decimals] (default 2) digits
+    after the point. *)
+val cell_float : ?decimals:int -> float -> string
+
+(** [cell_percent x] formats like the paper's percent columns, one
+    decimal. *)
+val cell_percent : float -> string
+
+(** [cell_vector ?decimals v] formats a float list in Table 1's style:
+    [(.500, .500)]. *)
+val cell_vector : ?decimals:int -> float list -> string

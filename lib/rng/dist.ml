@@ -1,0 +1,67 @@
+let uniform rng ~lo ~hi =
+  if hi <= lo then invalid_arg "Dist.uniform: hi <= lo";
+  lo +. ((hi -. lo) *. Xoshiro.float rng)
+
+(* Marsaglia's polar method. One deviate per call; the spare is discarded
+   to keep the consumption pattern deterministic and state-free. *)
+let gaussian rng ~mean ~sigma =
+  if sigma <= 0.0 then invalid_arg "Dist.gaussian: sigma <= 0";
+  let rec draw () =
+    let u = (2.0 *. Xoshiro.float rng) -. 1.0 in
+    let v = (2.0 *. Xoshiro.float rng) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then draw ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  mean +. (sigma *. draw ())
+
+let truncated_gaussian rng ~mean ~sigma ~lo ~hi =
+  if hi <= lo then invalid_arg "Dist.truncated_gaussian: hi <= lo";
+  let rec draw () =
+    let x = gaussian rng ~mean ~sigma in
+    if x >= lo && x < hi then x else draw ()
+  in
+  draw ()
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate <= 0";
+  -.log (1.0 -. Xoshiro.float rng) /. rate
+
+let bernoulli rng ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Dist.bernoulli: p outside [0,1]";
+  Xoshiro.float rng < p
+
+let categorical rng weights =
+  if Array.length weights = 0 then invalid_arg "Dist.categorical: empty";
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0.0 then invalid_arg "Dist.categorical: negative weight";
+        acc +. w)
+      0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Dist.categorical: zero total weight";
+  let target = total *. Xoshiro.float rng in
+  let rec find i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else find (i + 1) acc
+  in
+  find 0 0.0
+
+let binomial rng ~trials ~p =
+  if trials < 0 then invalid_arg "Dist.binomial: negative trials";
+  let count = ref 0 in
+  for _ = 1 to trials do
+    if bernoulli rng ~p then incr count
+  done;
+  !count
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Xoshiro.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done

@@ -1,0 +1,39 @@
+(** Scalar distributions driven by a {!Xoshiro} generator. Everything is
+    deterministic given the generator state. *)
+
+(** [uniform rng ~lo ~hi] is uniform in [[lo, hi)].
+    Raises [Invalid_argument] when [hi <= lo]. *)
+val uniform : Xoshiro.t -> lo:float -> hi:float -> float
+
+(** [gaussian rng ~mean ~sigma] is a normal deviate, by the Box–Muller
+    polar (Marsaglia) method. Raises [Invalid_argument] when
+    [sigma <= 0]. *)
+val gaussian : Xoshiro.t -> mean:float -> sigma:float -> float
+
+(** [truncated_gaussian rng ~mean ~sigma ~lo ~hi] rejection-samples a
+    normal deviate until it falls inside [[lo, hi)]; requires the
+    interval to carry reasonable mass (it always terminates, but slowly
+    for far-tail intervals). Raises [Invalid_argument] when
+    [hi <= lo] or [sigma <= 0]. *)
+val truncated_gaussian :
+  Xoshiro.t -> mean:float -> sigma:float -> lo:float -> hi:float -> float
+
+(** [exponential rng ~rate] is an exponential deviate with the given
+    rate. Raises [Invalid_argument] when [rate <= 0]. *)
+val exponential : Xoshiro.t -> rate:float -> float
+
+(** [bernoulli rng ~p] is true with probability [p].
+    Raises [Invalid_argument] when [p] is outside [0, 1]. *)
+val bernoulli : Xoshiro.t -> p:float -> bool
+
+(** [categorical rng weights] draws an index with probability
+    proportional to [weights.(i)]. Raises [Invalid_argument] on an empty
+    array, any negative weight, or an all-zero total. *)
+val categorical : Xoshiro.t -> float array -> int
+
+(** [binomial rng ~trials ~p] counts successes in [trials] Bernoulli(p)
+    draws (direct simulation — our trials are always small). *)
+val binomial : Xoshiro.t -> trials:int -> p:float -> int
+
+(** [shuffle rng arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : Xoshiro.t -> 'a array -> unit

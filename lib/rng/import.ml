@@ -1,0 +1,6 @@
+(** Short names for the geometry modules used throughout this library. *)
+
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Segment = Popan_geom.Segment
+module Point_nd = Popan_geom.Point_nd

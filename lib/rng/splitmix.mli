@@ -1,0 +1,20 @@
+(** SplitMix64 (Steele, Lea & Flood 2014): a tiny, fast, full-period
+    64-bit generator. Its main job here is seeding {!Xoshiro} streams —
+    the xoshiro authors recommend exactly this — but it is a usable
+    generator in its own right. Deterministic: equal seeds give equal
+    streams. *)
+
+type t
+
+(** [create seed] is a generator seeded with [seed]. *)
+val create : int64 -> t
+
+(** [copy state] is an independent generator at the same position. *)
+val copy : t -> t
+
+(** [next state] advances and returns the next 64-bit value. *)
+val next : t -> int64
+
+(** [next_float state] is a uniform float in [[0, 1)], built from the top
+    53 bits of {!next}. *)
+val next_float : t -> float

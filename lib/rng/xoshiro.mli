@@ -1,0 +1,39 @@
+(** xoshiro256++ (Blackman & Vigna 2019): the project's main pseudo-random
+    generator. 256 bits of state, period 2^256 − 1, passes BigCrush;
+    deterministic per seed so every experiment in the repository is
+    reproducible bit-for-bit. State is seeded from {!Splitmix} as the
+    authors recommend. *)
+
+type t
+
+(** [create seed] seeds the four state words from a SplitMix64 stream
+    started at [seed]. *)
+val create : int64 -> t
+
+(** [of_int_seed seed] is [create (Int64.of_int seed)]. *)
+val of_int_seed : int -> t
+
+(** [copy state] is an independent generator at the same position. *)
+val copy : t -> t
+
+(** [next state] advances and returns the next 64-bit value. *)
+val next : t -> int64
+
+(** [float state] is uniform in [[0, 1)] from the top 53 bits. *)
+val float : t -> float
+
+(** [int state bound] is uniform in [[0, bound)] by rejection (no modulo
+    bias). Raises [Invalid_argument] when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool state] is a uniform boolean (top bit of {!next}). *)
+val bool : t -> bool
+
+(** [jump state] advances [state] by 2^128 steps, for splitting one seed
+    into many non-overlapping streams. *)
+val jump : t -> unit
+
+(** [split state] is a fresh generator obtained by copying [state] and
+    jumping it; the parent is advanced one jump too, so successive splits
+    give pairwise non-overlapping streams. *)
+val split : t -> t

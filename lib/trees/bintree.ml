@@ -1,0 +1,198 @@
+open Import
+
+type node = Leaf of Point.t list | Node of node * node
+
+type t = {
+  capacity : int;
+  max_depth : int;
+  bounds : Box.t;
+  root : node;
+  size : int;
+}
+
+let create ?(max_depth = 32) ?(bounds = Box.unit) ~capacity () =
+  if capacity < 1 then invalid_arg "Bintree.create: capacity < 1";
+  if max_depth < 0 then invalid_arg "Bintree.create: max_depth < 0";
+  { capacity; max_depth; bounds; root = Leaf []; size = 0 }
+
+let capacity t = t.capacity
+let size t = t.size
+
+(* At even depth split on x, at odd depth on y. Low half is the first
+   child; the midpoint itself goes to the high half (half-open). *)
+let halves box depth =
+  let open Box in
+  if depth land 1 = 0 then
+    let mid = 0.5 *. (box.xmin +. box.xmax) in
+    ( make ~xmin:box.xmin ~ymin:box.ymin ~xmax:mid ~ymax:box.ymax,
+      make ~xmin:mid ~ymin:box.ymin ~xmax:box.xmax ~ymax:box.ymax )
+  else
+    let mid = 0.5 *. (box.ymin +. box.ymax) in
+    ( make ~xmin:box.xmin ~ymin:box.ymin ~xmax:box.xmax ~ymax:mid,
+      make ~xmin:box.xmin ~ymin:mid ~xmax:box.xmax ~ymax:box.ymax )
+
+let side_of box depth (p : Point.t) =
+  if depth land 1 = 0 then
+    let mid = 0.5 *. (box.Box.xmin +. box.Box.xmax) in
+    if p.Point.x < mid then `Low else `High
+  else
+    let mid = 0.5 *. (box.Box.ymin +. box.Box.ymax) in
+    if p.Point.y < mid then `Low else `High
+
+let rec split_points ~capacity ~max_depth ~depth ~box pts =
+  if List.length pts <= capacity || depth >= max_depth then Leaf pts
+  else begin
+    let low, high =
+      List.partition (fun p -> side_of box depth p = `Low) pts
+    in
+    let low_box, high_box = halves box depth in
+    Node
+      ( split_points ~capacity ~max_depth ~depth:(depth + 1) ~box:low_box low,
+        split_points ~capacity ~max_depth ~depth:(depth + 1) ~box:high_box high
+      )
+  end
+
+let insert t p =
+  if not (Box.contains t.bounds p) then
+    invalid_arg "Bintree.insert: point outside bounds";
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf pts ->
+      split_points ~capacity:t.capacity ~max_depth:t.max_depth ~depth ~box
+        (p :: pts)
+    | Node (low, high) ->
+      let low_box, high_box = halves box depth in
+      if side_of box depth p = `Low then
+        Node (go low ~depth:(depth + 1) ~box:low_box, high)
+      else Node (low, go high ~depth:(depth + 1) ~box:high_box)
+  in
+  { t with root = go t.root ~depth:0 ~box:t.bounds; size = t.size + 1 }
+
+let insert_all t ps = List.fold_left insert t ps
+
+let of_points ?max_depth ?bounds ~capacity ps =
+  insert_all (create ?max_depth ?bounds ~capacity ()) ps
+
+let mem t p =
+  Box.contains t.bounds p
+  && begin
+    let rec go node ~depth ~box =
+      match node with
+      | Leaf pts -> List.exists (Point.equal p) pts
+      | Node (low, high) ->
+        let low_box, high_box = halves box depth in
+        if side_of box depth p = `Low then go low ~depth:(depth + 1) ~box:low_box
+        else go high ~depth:(depth + 1) ~box:high_box
+    in
+    go t.root ~depth:0 ~box:t.bounds
+  end
+
+let remove_once p pts =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if Point.equal p x then Some (List.rev_append acc rest)
+      else go (x :: acc) rest
+  in
+  go [] pts
+
+let remove t p =
+  if not (Box.contains t.bounds p) then t
+  else begin
+    let rec go node ~depth ~box =
+      match node with
+      | Leaf pts -> (
+        match remove_once p pts with
+        | None -> None
+        | Some pts' -> Some (Leaf pts'))
+      | Node (low, high) -> (
+        let low_box, high_box = halves box depth in
+        let low, high, changed =
+          if side_of box depth p = `Low then
+            match go low ~depth:(depth + 1) ~box:low_box with
+            | None -> (low, high, false)
+            | Some low' -> (low', high, true)
+          else
+            match go high ~depth:(depth + 1) ~box:high_box with
+            | None -> (low, high, false)
+            | Some high' -> (low, high', true)
+        in
+        if not changed then None
+        else
+          match (low, high) with
+          | Leaf l, Leaf h when List.length l + List.length h <= t.capacity ->
+            Some (Leaf (List.rev_append l h))
+          | _ -> Some (Node (low, high)))
+    in
+    match go t.root ~depth:0 ~box:t.bounds with
+    | None -> t
+    | Some root -> { t with root; size = t.size - 1 }
+  end
+
+let query_box t target =
+  let rec go acc node ~depth ~box =
+    if not (Box.intersects box target) then acc
+    else
+      match node with
+      | Leaf pts ->
+        List.fold_left
+          (fun acc p -> if Box.contains target p then p :: acc else acc)
+          acc pts
+      | Node (low, high) ->
+        let low_box, high_box = halves box depth in
+        let acc = go acc low ~depth:(depth + 1) ~box:low_box in
+        go acc high ~depth:(depth + 1) ~box:high_box
+  in
+  go [] t.root ~depth:0 ~box:t.bounds
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    match node with
+    | Leaf pts -> f acc ~depth ~box ~points:pts
+    | Node (low, high) ->
+      let low_box, high_box = halves box depth in
+      let acc = go acc low ~depth:(depth + 1) ~box:low_box in
+      go acc high ~depth:(depth + 1) ~box:high_box
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let leaf_count t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~points:_ -> acc + 1)
+
+let height t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth ~box:_ ~points:_ -> max acc depth)
+
+let occupancy_histogram t =
+  let hist = Array.make (t.capacity + 1) 0 in
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box:_ ~points ->
+      let occ = min (List.length points) t.capacity in
+      hist.(occ) <- hist.(occ) + 1);
+  hist
+
+let average_occupancy t = float_of_int t.size /. float_of_int (leaf_count t)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let total = ref 0 in
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf pts ->
+      total := !total + List.length pts;
+      List.iter
+        (fun p ->
+          if not (Box.contains box p) then
+            report "point %a outside its leaf block %a" Point.pp p Box.pp box)
+        pts;
+      if List.length pts > t.capacity && depth < t.max_depth then
+        report "splittable leaf at depth %d holds %d > capacity %d" depth
+          (List.length pts) t.capacity
+    | Node (low, high) ->
+      let low_box, high_box = halves box depth in
+      go low ~depth:(depth + 1) ~box:low_box;
+      go high ~depth:(depth + 1) ~box:high_box
+  in
+  go t.root ~depth:0 ~box:t.bounds;
+  if !total <> t.size then
+    report "size field %d but %d points stored" t.size !total;
+  List.rev !problems

@@ -1,0 +1,67 @@
+open Import
+
+(** The bintree (Knowlton 1980; Samet & Tamminen 1984): like the PR
+    quadtree but blocks split into two halves, alternating the splitting
+    axis with depth (x at even depths, y at odd). Branching factor 2 is
+    the smallest case of the paper's general analysis, so this structure
+    exercises the population model at [b = 2]. Persistent, capacity- and
+    depth-bounded like {!Pr_quadtree}. *)
+
+type t
+
+(** [create ?max_depth ?bounds ~capacity ()] is an empty bintree.
+    [max_depth] defaults to 32 (two bintree levels cover one quadtree
+    level). Raises [Invalid_argument] on bad parameters. *)
+val create : ?max_depth:int -> ?bounds:Box.t -> capacity:int -> unit -> t
+
+(** [capacity t] is the leaf capacity. *)
+val capacity : t -> int
+
+(** [size t] is the number of stored points. *)
+val size : t -> int
+
+(** [insert t p] adds [p]; splits (possibly repeatedly) when the leaf
+    exceeds capacity. Raises [Invalid_argument] outside the bounds. *)
+val insert : t -> Point.t -> t
+
+(** [insert_all t ps] folds {!insert}. *)
+val insert_all : t -> Point.t list -> t
+
+(** [of_points ?max_depth ?bounds ~capacity ps] builds by successive
+    insertion. *)
+val of_points :
+  ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
+
+(** [mem t p] is true when [p] is stored. *)
+val mem : t -> Point.t -> bool
+
+(** [remove t p] removes one occurrence of [p], merging two sibling
+    leaves back into one block when their contents fit. Returns [t]
+    unchanged when [p] is absent. *)
+val remove : t -> Point.t -> t
+
+(** [query_box t box] lists the stored points inside the half-open
+    [box]. *)
+val query_box : t -> Box.t -> Point.t list
+
+(** [leaf_count t] counts leaves, empty ones included. *)
+val leaf_count : t -> int
+
+(** [height t] is the depth of the deepest leaf. *)
+val height : t -> int
+
+(** [fold_leaves t ~init ~f] folds over every leaf with depth, block and
+    contents. *)
+val fold_leaves :
+  t -> init:'a -> f:('a -> depth:int -> box:Box.t -> points:Point.t list -> 'a)
+  -> 'a
+
+(** [occupancy_histogram t] counts leaves by occupancy (length
+    [capacity + 1], over-full max-depth leaves clamped). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is points per leaf. *)
+val average_occupancy : t -> float
+
+(** [check_invariants t] returns invariant violations (empty = healthy). *)
+val check_invariants : t -> string list

@@ -1,0 +1,161 @@
+open Import
+
+(* Cells are identified by the top [levels] bits of the point's Morton
+   code, so directory refinement alternates the split axis (y, then x,
+   then y, ...) exactly like Tamminen's description. A bucket at level
+   [level] covers every cell sharing its [level]-bit prefix. *)
+
+let max_levels = 2 * Morton.bits
+
+type bucket = {
+  mutable level : int;
+  mutable prefix : int;  (* [level] significant bits *)
+  mutable points : (int * Point.t) list;  (* (morton code, point) *)
+}
+
+type t = {
+  bucket_size : int;
+  mutable levels : int;
+  mutable directory : bucket array;  (* 2^levels cells *)
+  mutable size : int;
+}
+
+let create ~bucket_size () =
+  if bucket_size < 1 then invalid_arg "Excell.create: bucket_size < 1";
+  {
+    bucket_size;
+    levels = 0;
+    directory = [| { level = 0; prefix = 0; points = [] } |];
+    size = 0;
+  }
+
+let bucket_size t = t.bucket_size
+let size t = t.size
+let levels t = t.levels
+let directory_size t = Array.length t.directory
+
+let cell_of t code = Morton.prefix ~depth:t.levels code
+
+let double_directory t =
+  let old = t.directory in
+  t.directory <- Array.init (2 * Array.length old) (fun i -> old.(i lsr 1));
+  t.levels <- t.levels + 1
+
+let split_bucket t bucket =
+  if bucket.level >= max_levels then
+    failwith "Excell: coincident points exceed bucket capacity";
+  if bucket.level = t.levels then double_directory t;
+  let child_level = bucket.level + 1 in
+  let low =
+    { level = child_level; prefix = bucket.prefix lsl 1; points = [] }
+  in
+  let high =
+    { level = child_level; prefix = (bucket.prefix lsl 1) lor 1; points = [] }
+  in
+  List.iter
+    (fun ((code, _) as entry) ->
+      let target =
+        if Morton.prefix ~depth:child_level code land 1 = 0 then low else high
+      in
+      target.points <- entry :: target.points)
+    bucket.points;
+  Array.iteri
+    (fun cell b ->
+      if b == bucket then begin
+        let bit = (cell lsr (t.levels - child_level)) land 1 in
+        t.directory.(cell) <- (if bit = 0 then low else high)
+      end)
+    t.directory
+
+let rec insert_coded t ((code, _) as entry) =
+  let bucket = t.directory.(cell_of t code) in
+  if List.length bucket.points < t.bucket_size then
+    bucket.points <- entry :: bucket.points
+  else begin
+    split_bucket t bucket;
+    insert_coded t entry
+  end
+
+let insert t p =
+  insert_coded t (Morton.encode p, p);
+  t.size <- t.size + 1
+
+let insert_all t ps = List.iter (insert t) ps
+
+let mem t p =
+  match Morton.encode p with
+  | code ->
+    let bucket = t.directory.(cell_of t code) in
+    List.exists (fun (_, q) -> Point.equal p q) bucket.points
+  | exception Invalid_argument _ -> false
+
+let distinct_buckets t =
+  Array.fold_left
+    (fun acc b -> if List.memq b acc then acc else b :: acc)
+    [] t.directory
+
+let bucket_count t = List.length (distinct_buckets t)
+
+let query_box t target =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun (_, p) -> if Box.contains target p then Some p else None)
+        b.points)
+    (distinct_buckets t)
+
+let occupancy_histogram t =
+  let hist = Array.make (t.bucket_size + 1) 0 in
+  List.iter
+    (fun b ->
+      let occ = min (List.length b.points) t.bucket_size in
+      hist.(occ) <- hist.(occ) + 1)
+    (distinct_buckets t);
+  hist
+
+let average_occupancy t = float_of_int t.size /. float_of_int (bucket_count t)
+
+let utilization t =
+  float_of_int t.size /. float_of_int (bucket_count t * t.bucket_size)
+
+let directory_expansion t =
+  float_of_int (directory_size t) /. float_of_int (bucket_count t)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  if Array.length t.directory <> 1 lsl t.levels then
+    report "directory has %d cells, expected 2^%d" (Array.length t.directory)
+      t.levels;
+  let bs = distinct_buckets t in
+  let total = List.fold_left (fun acc b -> acc + List.length b.points) 0 bs in
+  if total <> t.size then report "size field %d but %d points stored" t.size total;
+  List.iter
+    (fun b ->
+      if b.level > t.levels then
+        report "bucket level %d exceeds directory levels %d" b.level t.levels;
+      if List.length b.points > t.bucket_size then
+        report "bucket holds %d > capacity %d" (List.length b.points)
+          t.bucket_size;
+      List.iter
+        (fun (code, p) ->
+          if Morton.prefix ~depth:b.level code <> b.prefix then
+            report "point %a hashed outside its bucket prefix" Point.pp p)
+        b.points;
+      let refs =
+        Array.fold_left (fun acc b' -> if b' == b then acc + 1 else acc) 0
+          t.directory
+      in
+      let expected = 1 lsl (t.levels - b.level) in
+      if refs <> expected then
+        report "bucket at level %d referenced %d times, expected %d" b.level
+          refs expected;
+      (* Every directory cell mapped to this bucket must share its
+         prefix. *)
+      Array.iteri
+        (fun cell b' ->
+          if b' == b && cell lsr (t.levels - b.level) <> b.prefix then
+            report "cell %d mapped to bucket with foreign prefix" cell)
+        t.directory)
+    bs;
+  List.rev !problems

@@ -1,0 +1,75 @@
+open Import
+
+(** EXCELL (Tamminen 1981): the regular-decomposition relative of the
+    grid file, cited by the paper alongside it. The directory is a
+    regular 2^k grid over the unit square refined by *global* doubling:
+    when any bucket must split below the current cell size, the
+    directory doubles (alternating the split axis), so all cells always
+    have the same size. Several adjacent cells may share one bucket
+    (each bucket covers a 2^j-aligned rectangle of cells). Compared with
+    the grid file it trades directory size for strictly regular
+    geometry — which is exactly the "regular decomposition" setting of
+    the paper's phasing argument.
+
+    Mutable, like the other directory structures. *)
+
+type t
+
+(** [create ~bucket_size ()] is an empty EXCELL file (one cell, one
+    bucket). Raises [Invalid_argument] when [bucket_size < 1]. *)
+val create : bucket_size:int -> unit -> t
+
+(** [bucket_size t] is the bucket capacity. *)
+val bucket_size : t -> int
+
+(** [size t] is the number of stored points. *)
+val size : t -> int
+
+(** [levels t] is the number of global doublings performed; the
+    directory holds [2^levels] cells. *)
+val levels : t -> int
+
+(** [directory_size t] is the number of directory cells, [2^levels]. *)
+val directory_size : t -> int
+
+(** [bucket_count t] is the number of distinct buckets. *)
+val bucket_count : t -> int
+
+(** [insert t p] adds [p] (duplicates allowed). Splits the bucket —
+    doubling the directory if the bucket spans a single cell — until no
+    bucket overflows. Raises [Invalid_argument] when [p] is outside the
+    unit square; [Failure] when coincident points exceed the bucket
+    size (the directory cannot separate them at any resolution we cap at
+    2^21 cells per axis). *)
+val insert : t -> Point.t -> unit
+
+(** [insert_all t ps] iterates {!insert}. *)
+val insert_all : t -> Point.t list -> unit
+
+(** [mem t p] is true when a point equal to [p] is stored. *)
+val mem : t -> Point.t -> bool
+
+(** [query_box t box] lists the stored points inside the half-open
+    [box]. *)
+val query_box : t -> Box.t -> Point.t list
+
+(** [occupancy_histogram t] counts distinct buckets by occupancy
+    (length [bucket_size + 1]). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is points per bucket. *)
+val average_occupancy : t -> float
+
+(** [utilization t] is [size / (bucket_count * bucket_size)]. *)
+val utilization : t -> float
+
+(** [directory_expansion t] is directory cells per bucket — EXCELL's
+    cost for regularity (1 for a perfectly balanced file, grows under
+    skew). *)
+val directory_expansion : t -> float
+
+(** [check_invariants t] verifies: every point lies in a cell mapped to
+    its bucket, bucket cell-sets are aligned power-of-two rectangles,
+    no bucket exceeds capacity, and counts are consistent. Returns the
+    violations found. *)
+val check_invariants : t -> string list

@@ -1,0 +1,147 @@
+open Import
+
+(* Hashes are Morton codes: 2*Morton.bits significant bits, indexed from
+   the top so that directory prefixes name quadtree-like blocks. *)
+let hash_bits = 2 * Morton.bits
+
+type bucket = {
+  mutable local_depth : int;
+  mutable keys : (int * Point.t) list;  (* (hash, key) pairs *)
+}
+
+type t = {
+  bucket_size : int;
+  mutable global_depth : int;
+  mutable directory : bucket array;
+  mutable size : int;
+}
+
+let create ~bucket_size () =
+  if bucket_size < 1 then invalid_arg "Ext_hash.create: bucket_size < 1";
+  {
+    bucket_size;
+    global_depth = 0;
+    directory = [| { local_depth = 0; keys = [] } |];
+    size = 0;
+  }
+
+let bucket_size t = t.bucket_size
+let global_depth t = t.global_depth
+let size t = t.size
+let directory_size t = Array.length t.directory
+
+let slot_of t hash = Morton.prefix ~depth:t.global_depth hash
+
+let double_directory t =
+  let old = t.directory in
+  let n = Array.length old in
+  (* Top-bit indexing: new slot j refines old slot (j lsr 1). *)
+  t.directory <- Array.init (2 * n) (fun j -> old.(j lsr 1));
+  t.global_depth <- t.global_depth + 1
+
+let split_bucket t bucket =
+  if bucket.local_depth >= hash_bits then
+    failwith "Ext_hash: bucket of identical hashes cannot split";
+  if bucket.local_depth = t.global_depth then double_directory t;
+  let new_depth = bucket.local_depth + 1 in
+  let low = { local_depth = new_depth; keys = [] } in
+  let high = { local_depth = new_depth; keys = [] } in
+  List.iter
+    (fun ((hash, _) as entry) ->
+      let bit = Morton.prefix ~depth:new_depth hash land 1 in
+      let target = if bit = 0 then low else high in
+      target.keys <- entry :: target.keys)
+    bucket.keys;
+  Array.iteri
+    (fun j b ->
+      if b == bucket then begin
+        let bit = (j lsr (t.global_depth - new_depth)) land 1 in
+        t.directory.(j) <- (if bit = 0 then low else high)
+      end)
+    t.directory
+
+let rec insert_hashed t ((hash, _) as entry) =
+  let bucket = t.directory.(slot_of t hash) in
+  if List.length bucket.keys < t.bucket_size then
+    bucket.keys <- entry :: bucket.keys
+  else begin
+    split_bucket t bucket;
+    insert_hashed t entry
+  end
+
+let insert t p =
+  insert_hashed t (Morton.encode p, p);
+  t.size <- t.size + 1
+
+let insert_all t ps = List.iter (insert t) ps
+
+let mem t p =
+  match Morton.encode p with
+  | hash ->
+    let bucket = t.directory.(slot_of t hash) in
+    List.exists (fun (_, q) -> Point.equal p q) bucket.keys
+  | exception Invalid_argument _ -> false
+
+(* Distinct buckets, by physical identity. *)
+let buckets t =
+  Array.fold_left
+    (fun acc b -> if List.memq b acc then acc else b :: acc)
+    [] t.directory
+
+let bucket_count t = List.length (buckets t)
+
+let occupancy_histogram t =
+  let hist = Array.make (t.bucket_size + 1) 0 in
+  List.iter
+    (fun b ->
+      let occ = min (List.length b.keys) t.bucket_size in
+      hist.(occ) <- hist.(occ) + 1)
+    (buckets t);
+  hist
+
+let average_occupancy t =
+  float_of_int t.size /. float_of_int (bucket_count t)
+
+let utilization t =
+  float_of_int t.size /. float_of_int (bucket_count t * t.bucket_size)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  if Array.length t.directory <> 1 lsl t.global_depth then
+    report "directory has %d slots, expected 2^%d" (Array.length t.directory)
+      t.global_depth;
+  let bs = buckets t in
+  let total = List.fold_left (fun acc b -> acc + List.length b.keys) 0 bs in
+  if total <> t.size then report "size field %d but %d keys stored" t.size total;
+  List.iter
+    (fun b ->
+      if b.local_depth > t.global_depth then
+        report "local depth %d exceeds global depth %d" b.local_depth
+          t.global_depth;
+      if List.length b.keys > t.bucket_size then
+        report "bucket holds %d > capacity %d" (List.length b.keys)
+          t.bucket_size;
+      (* All keys of a bucket must share their local-depth prefix. *)
+      (match b.keys with
+       | [] -> ()
+       | (h0, _) :: rest ->
+         let p0 = Morton.prefix ~depth:b.local_depth h0 in
+         List.iter
+           (fun (h, _) ->
+             if Morton.prefix ~depth:b.local_depth h <> p0 then
+               report "bucket keys disagree on their %d-bit prefix"
+                 b.local_depth)
+           rest);
+      (* Reference count must be 2^(global - local). *)
+      let refs =
+        Array.fold_left
+          (fun acc b' -> if b' == b then acc + 1 else acc)
+          0 t.directory
+      in
+      let expected = 1 lsl (t.global_depth - b.local_depth) in
+      if refs <> expected then
+        report "bucket with local depth %d referenced %d times, expected %d"
+          b.local_depth refs expected)
+    bs;
+  List.rev !problems

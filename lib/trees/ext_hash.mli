@@ -1,0 +1,68 @@
+open Import
+
+(** Extendible hashing (Fagin, Nievergelt, Pippenger & Strong 1979): a
+    directory of 2^depth pointers into buckets of capacity [bucket_size],
+    indexed by the leading bits of a key's hash. When a bucket overflows
+    it splits on one more bit, doubling the directory if necessary.
+
+    The paper leans on Fagin et al.'s analysis of this structure: their
+    expected-occupancy sequence oscillates without converging — the same
+    *phasing* the paper demonstrates for PR quadtrees. This simulator
+    reproduces that oscillation directly (see the [ext-exthash]
+    experiment). Keys here are points of the unit square hashed by Morton
+    interleaving, so directory prefixes correspond to regular quadtree
+    blocks. Mutable (unlike the trees): buckets are shared via the
+    directory, which is the essence of the structure. *)
+
+type t
+
+(** [create ~bucket_size ()] is an empty table (global depth 0, one
+    bucket). Raises [Invalid_argument] when [bucket_size < 1]. *)
+val create : bucket_size:int -> unit -> t
+
+(** [bucket_size t] is the bucket capacity. *)
+val bucket_size : t -> int
+
+(** [global_depth t] is the current directory depth (directory size is
+    [2^global_depth]). *)
+val global_depth : t -> int
+
+(** [size t] is the number of stored keys. *)
+val size : t -> int
+
+(** [insert t p] adds point [p] (duplicates allowed), splitting and
+    doubling as needed. Raises [Invalid_argument] when [p] is outside the
+    unit square, and [Failure] in the (astronomically unlikely for random
+    data) event that identical hashes overflow a bucket at maximum
+    depth. *)
+val insert : t -> Point.t -> unit
+
+(** [insert_all t ps] iterates {!insert}. *)
+val insert_all : t -> Point.t list -> unit
+
+(** [mem t p] is true when a key equal to [p] is stored. *)
+val mem : t -> Point.t -> bool
+
+(** [bucket_count t] is the number of distinct buckets. *)
+val bucket_count : t -> int
+
+(** [directory_size t] is [2^global_depth]. *)
+val directory_size : t -> int
+
+(** [occupancy_histogram t] counts distinct buckets by occupancy
+    (array of length [bucket_size + 1]). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is keys per bucket. *)
+val average_occupancy : t -> float
+
+(** [utilization t] is [size / (bucket_count * bucket_size)] — the
+    storage utilization whose expectation Fagin et al. showed oscillates
+    around ln 2 ≈ 0.693. *)
+val utilization : t -> float
+
+(** [check_invariants t] verifies: every key hashes into its bucket's
+    prefix, local depths never exceed the global depth, each bucket is
+    referenced by exactly [2^(global - local)] directory slots, and no
+    bucket exceeds capacity. Returns violations. *)
+val check_invariants : t -> string list

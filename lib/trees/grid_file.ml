@@ -1,0 +1,277 @@
+open Import
+
+type bucket = {
+  mutable i0 : int;  (* inclusive cell-rectangle bounds: columns i0..i1 *)
+  mutable i1 : int;
+  mutable j0 : int;  (* rows j0..j1 *)
+  mutable j1 : int;
+  mutable points : Point.t list;
+}
+
+type t = {
+  bucket_size : int;
+  mutable xs : float array;  (* sorted interior column boundaries *)
+  mutable ys : float array;  (* sorted interior row boundaries *)
+  mutable directory : bucket array array;  (* directory.(i).(j), cols x rows *)
+  mutable size : int;
+}
+
+let min_cell_width = 1e-9
+
+let create ~bucket_size () =
+  if bucket_size < 1 then invalid_arg "Grid_file.create: bucket_size < 1";
+  let b = { i0 = 0; i1 = 0; j0 = 0; j1 = 0; points = [] } in
+  { bucket_size; xs = [||]; ys = [||]; directory = [| [| b |] |]; size = 0 }
+
+let bucket_size t = t.bucket_size
+let size t = t.size
+let columns t = Array.length t.xs + 1
+let rows t = Array.length t.ys + 1
+let grid_dimensions t = (columns t, rows t)
+
+(* Index of the cell containing coordinate [v] given interior boundaries
+   [scale]: the number of boundaries <= v (cells are half-open below). *)
+let locate scale v =
+  let lo = ref 0 and hi = ref (Array.length scale) in
+  (* Invariant: scale.(i) <= v for i < lo, scale.(i) > v for i >= hi. *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if scale.(mid) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let cell_of t (p : Point.t) = (locate t.xs p.Point.x, locate t.ys p.Point.y)
+
+(* Geometric bounds of column [i]: [x_{i-1}, x_i) with sentinels 0 and 1. *)
+let column_bounds t i =
+  let lo = if i = 0 then 0.0 else t.xs.(i - 1) in
+  let hi = if i = Array.length t.xs then 1.0 else t.xs.(i) in
+  (lo, hi)
+
+let row_bounds t j =
+  let lo = if j = 0 then 0.0 else t.ys.(j - 1) in
+  let hi = if j = Array.length t.ys then 1.0 else t.ys.(j) in
+  (lo, hi)
+
+(* Insert boundary [v] into the x scale, duplicating directory column [i]
+   (the column being refined). Buckets' column indices shift right of it. *)
+let refine_x t i v =
+  let nx = Array.length t.xs in
+  let xs' = Array.make (nx + 1) 0.0 in
+  Array.blit t.xs 0 xs' 0 i;
+  xs'.(i) <- v;
+  Array.blit t.xs i xs' (i + 1) (nx - i);
+  t.xs <- xs';
+  let old = t.directory in
+  t.directory <-
+    Array.init (columns t) (fun c -> Array.copy old.(if c <= i then c else c - 1));
+  (* Shift bucket rectangles that lie right of the duplicated column, and
+     widen those spanning it. Visit each bucket once via its home slot. *)
+  let seen = ref [] in
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun b ->
+          if not (List.memq b !seen) then begin
+            seen := b :: !seen;
+            if b.i0 > i then b.i0 <- b.i0 + 1;
+            if b.i1 >= i then b.i1 <- b.i1 + 1
+          end)
+        col)
+    t.directory
+
+let refine_y t j v =
+  let ny = Array.length t.ys in
+  let ys' = Array.make (ny + 1) 0.0 in
+  Array.blit t.ys 0 ys' 0 j;
+  ys'.(j) <- v;
+  Array.blit t.ys j ys' (j + 1) (ny - j);
+  t.ys <- ys';
+  let old = t.directory in
+  t.directory <-
+    Array.map
+      (fun col -> Array.init (rows t) (fun r -> col.(if r <= j then r else r - 1)))
+      old;
+  let seen = ref [] in
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun b ->
+          if not (List.memq b !seen) then begin
+            seen := b :: !seen;
+            if b.j0 > j then b.j0 <- b.j0 + 1;
+            if b.j1 >= j then b.j1 <- b.j1 + 1
+          end)
+        col)
+    old
+
+let assign_region t b =
+  for i = b.i0 to b.i1 do
+    for j = b.j0 to b.j1 do
+      t.directory.(i).(j) <- b
+    done
+  done
+
+(* Split bucket [b], whose region spans more than one column, between
+   columns [m] and [m+1]; boundary coordinate is the left edge of column
+   m+1. *)
+let split_columns t b m =
+  let boundary, _ = column_bounds t (m + 1) in
+  let left, right =
+    List.partition (fun (p : Point.t) -> p.Point.x < boundary) b.points
+  in
+  let fresh = { i0 = m + 1; i1 = b.i1; j0 = b.j0; j1 = b.j1; points = right } in
+  b.i1 <- m;
+  b.points <- left;
+  assign_region t fresh
+
+let split_rows t b m =
+  let boundary, _ = row_bounds t (m + 1) in
+  let low, high =
+    List.partition (fun (p : Point.t) -> p.Point.y < boundary) b.points
+  in
+  let fresh = { i0 = b.i0; i1 = b.i1; j0 = m + 1; j1 = b.j1; points = high } in
+  b.j1 <- m;
+  b.points <- low;
+  assign_region t fresh
+
+(* Split an over-full bucket once; refine a scale first when its region is
+   a single cell. Prefers the axis with more cells, then the one that is
+   geometrically wider. *)
+let split_bucket t b =
+  let cell_span_x = b.i1 - b.i0 + 1 in
+  let cell_span_y = b.j1 - b.j0 + 1 in
+  if cell_span_x > 1 && cell_span_x >= cell_span_y then
+    split_columns t b (b.i0 + ((cell_span_x / 2) - 1))
+  else if cell_span_y > 1 then split_rows t b (b.j0 + ((cell_span_y / 2) - 1))
+  else begin
+    (* Single cell: refine the wider axis through the cell midpoint. *)
+    let xlo, xhi = column_bounds t b.i0 in
+    let ylo, yhi = row_bounds t b.j0 in
+    if xhi -. xlo < min_cell_width && yhi -. ylo < min_cell_width then
+      failwith "Grid_file: cannot separate coincident points";
+    if xhi -. xlo >= yhi -. ylo then begin
+      refine_x t b.i0 (0.5 *. (xlo +. xhi));
+      split_columns t b b.i0
+    end
+    else begin
+      refine_y t b.j0 (0.5 *. (ylo +. yhi));
+      split_rows t b b.j0
+    end
+  end
+
+let insert t p =
+  if not (Point.in_unit_square p) then
+    invalid_arg "Grid_file.insert: point outside unit square";
+  let i, j = cell_of t p in
+  let b = t.directory.(i).(j) in
+  b.points <- p :: b.points;
+  t.size <- t.size + 1;
+  (* Re-locate after each split: the point may now belong to the fresh
+     bucket, and either half may still overflow. *)
+  let rec rebalance () =
+    let i, j = cell_of t p in
+    let b = t.directory.(i).(j) in
+    if List.length b.points > t.bucket_size then begin
+      split_bucket t b;
+      rebalance ()
+    end
+  in
+  rebalance ()
+
+let insert_all t ps = List.iter (insert t) ps
+
+let mem t p =
+  Point.in_unit_square p
+  && begin
+    let i, j = cell_of t p in
+    List.exists (Point.equal p) t.directory.(i).(j).points
+  end
+
+let distinct_buckets t =
+  let seen = ref [] in
+  Array.iter
+    (fun col ->
+      Array.iter (fun b -> if not (List.memq b !seen) then seen := b :: !seen) col)
+    t.directory;
+  !seen
+
+let bucket_count t = List.length (distinct_buckets t)
+
+let query_box t (target : Box.t) =
+  let i_lo = locate t.xs target.Box.xmin in
+  let i_hi = locate t.xs (Float.min target.Box.xmax 1.0) in
+  let j_lo = locate t.ys target.Box.ymin in
+  let j_hi = locate t.ys (Float.min target.Box.ymax 1.0) in
+  let clamp v hi = max 0 (min hi v) in
+  let i_lo = clamp i_lo (columns t - 1) and i_hi = clamp i_hi (columns t - 1) in
+  let j_lo = clamp j_lo (rows t - 1) and j_hi = clamp j_hi (rows t - 1) in
+  let seen = ref [] in
+  let acc = ref [] in
+  for i = i_lo to i_hi do
+    for j = j_lo to j_hi do
+      let b = t.directory.(i).(j) in
+      if not (List.memq b !seen) then begin
+        seen := b :: !seen;
+        List.iter
+          (fun p -> if Box.contains target p then acc := p :: !acc)
+          b.points
+      end
+    done
+  done;
+  !acc
+
+let occupancy_histogram t =
+  let hist = Array.make (t.bucket_size + 1) 0 in
+  List.iter
+    (fun b ->
+      let occ = min (List.length b.points) t.bucket_size in
+      hist.(occ) <- hist.(occ) + 1)
+    (distinct_buckets t);
+  hist
+
+let average_occupancy t = float_of_int t.size /. float_of_int (bucket_count t)
+
+let utilization t =
+  float_of_int t.size /. float_of_int (bucket_count t * t.bucket_size)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let bs = distinct_buckets t in
+  let total = List.fold_left (fun acc b -> acc + List.length b.points) 0 bs in
+  if total <> t.size then
+    report "size field %d but %d points stored" t.size total;
+  List.iter
+    (fun b ->
+      if List.length b.points > t.bucket_size then
+        report "bucket holds %d > capacity %d" (List.length b.points)
+          t.bucket_size;
+      if not (b.i0 <= b.i1 && b.j0 <= b.j1) then
+        report "bucket with empty region (%d..%d)x(%d..%d)" b.i0 b.i1 b.j0 b.j1;
+      (* Region bounds must be honored by the directory exactly. *)
+      for i = 0 to columns t - 1 do
+        for j = 0 to rows t - 1 do
+          let inside = i >= b.i0 && i <= b.i1 && j >= b.j0 && j <= b.j1 in
+          let mapped = t.directory.(i).(j) == b in
+          if inside && not mapped then
+            report "cell (%d,%d) inside bucket region but mapped elsewhere" i j;
+          if (not inside) && mapped then
+            report "cell (%d,%d) outside bucket region but mapped to it" i j
+        done
+      done;
+      (* Every point must fall inside the bucket's geometric region. *)
+      let xlo, _ = column_bounds t b.i0 in
+      let _, xhi = column_bounds t b.i1 in
+      let ylo, _ = row_bounds t b.j0 in
+      let _, yhi = row_bounds t b.j1 in
+      List.iter
+        (fun (p : Point.t) ->
+          if
+            not
+              (p.Point.x >= xlo && p.Point.x < xhi && p.Point.y >= ylo
+             && p.Point.y < yhi)
+          then report "point %a outside its bucket region" Point.pp p)
+        b.points)
+    bs;
+  List.rev !problems

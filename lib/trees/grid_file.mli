@@ -1,0 +1,65 @@
+open Import
+
+(** The grid file (Nievergelt, Hinterberger & Sevcik 1984): a symmetric
+    multikey file structure. Two *linear scales* (one per axis) partition
+    the unit square into a grid of cells; a dense *directory* maps each
+    cell to a data bucket; several adjacent cells may share a bucket, but
+    a bucket's cell set is always a rectangle (the "two-disk-access"
+    property). When a bucket overflows it splits along a grid line inside
+    its region; when its region is a single cell, the relevant scale is
+    refined first (adding a grid line), which only updates the directory.
+
+    The paper cites the grid file ([Niev84]) and EXCELL ([Tamm81], the
+    regular-decomposition special case) as the bucketing methods whose
+    statistical analyses motivated population analysis. This
+    implementation gives the extension experiments a second
+    non-hierarchical bucketing structure. Mutable. *)
+
+type t
+
+(** [create ~bucket_size ()] is an empty grid file (one cell, one
+    bucket). Raises [Invalid_argument] when [bucket_size < 1]. *)
+val create : bucket_size:int -> unit -> t
+
+(** [bucket_size t] is the bucket capacity. *)
+val bucket_size : t -> int
+
+(** [size t] is the number of stored points. *)
+val size : t -> int
+
+(** [insert t p] adds [p] (duplicates allowed). Raises [Invalid_argument]
+    when [p] is outside the unit square, and [Failure] when duplicate
+    points force a cell below representable width. *)
+val insert : t -> Point.t -> unit
+
+(** [insert_all t ps] iterates {!insert}. *)
+val insert_all : t -> Point.t list -> unit
+
+(** [mem t p] is true when a point equal to [p] is stored. *)
+val mem : t -> Point.t -> bool
+
+(** [query_box t box] lists stored points inside the half-open [box],
+    touching only directory cells overlapping it. *)
+val query_box : t -> Box.t -> Point.t list
+
+(** [grid_dimensions t] is [(columns, rows)] of the directory. *)
+val grid_dimensions : t -> int * int
+
+(** [bucket_count t] is the number of distinct buckets. *)
+val bucket_count : t -> int
+
+(** [occupancy_histogram t] counts distinct buckets by occupancy
+    (length [bucket_size + 1]). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is points per bucket. *)
+val average_occupancy : t -> float
+
+(** [utilization t] is [size / (bucket_count * bucket_size)]. *)
+val utilization : t -> float
+
+(** [check_invariants t] verifies: every point lies in a cell mapped to
+    its bucket, every bucket's cell set is a nonempty rectangle matching
+    its recorded region, no bucket exceeds capacity, and the size field
+    is consistent. Returns violations. *)
+val check_invariants : t -> string list

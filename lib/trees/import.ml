@@ -1,0 +1,10 @@
+(** Short names for the geometry modules used throughout this library. *)
+
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Quadrant = Popan_geom.Quadrant
+module Segment = Popan_geom.Segment
+module Point_nd = Popan_geom.Point_nd
+module Box_nd = Popan_geom.Box_nd
+module Morton = Popan_geom.Morton
+module Vec = Popan_numerics.Vec

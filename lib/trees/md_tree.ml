@@ -1,0 +1,181 @@
+open Import
+
+type node = Leaf of Point_nd.t list | Node of node array  (* 2^dim children *)
+
+type t = {
+  capacity : int;
+  max_depth : int;
+  dim : int;
+  bounds : Box_nd.t;
+  root : node;
+  size : int;
+}
+
+let create ?(max_depth = 16) ?bounds ~capacity ~dim () =
+  if capacity < 1 then invalid_arg "Md_tree.create: capacity < 1";
+  if dim < 1 then invalid_arg "Md_tree.create: dim < 1";
+  if max_depth < 0 then invalid_arg "Md_tree.create: max_depth < 0";
+  let bounds =
+    match bounds with
+    | None -> Box_nd.unit_cube dim
+    | Some b ->
+      if Box_nd.dim b <> dim then
+        invalid_arg "Md_tree.create: bounds dimension mismatch";
+      b
+  in
+  { capacity; max_depth; dim; bounds; root = Leaf []; size = 0 }
+
+let dim t = t.dim
+let branching t = 1 lsl t.dim
+let capacity t = t.capacity
+let size t = t.size
+
+let rec split_points ~capacity ~max_depth ~depth ~box pts =
+  if List.length pts <= capacity || depth >= max_depth then Leaf pts
+  else begin
+    let k = Box_nd.orthant_count box in
+    let buckets = Array.make k [] in
+    List.iter
+      (fun p ->
+        let i = Box_nd.orthant_of box p in
+        buckets.(i) <- p :: buckets.(i))
+      pts;
+    Node
+      (Array.mapi
+         (fun i bucket ->
+           split_points ~capacity ~max_depth ~depth:(depth + 1)
+             ~box:(Box_nd.child box i) bucket)
+         buckets)
+  end
+
+let insert t p =
+  if Point_nd.dim p <> t.dim then
+    invalid_arg "Md_tree.insert: dimension mismatch";
+  if not (Box_nd.contains t.bounds p) then
+    invalid_arg "Md_tree.insert: point outside bounds";
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf pts ->
+      split_points ~capacity:t.capacity ~max_depth:t.max_depth ~depth ~box
+        (p :: pts)
+    | Node children ->
+      let i = Box_nd.orthant_of box p in
+      let children = Array.copy children in
+      children.(i) <- go children.(i) ~depth:(depth + 1) ~box:(Box_nd.child box i);
+      Node children
+  in
+  { t with root = go t.root ~depth:0 ~box:t.bounds; size = t.size + 1 }
+
+let insert_all t ps = List.fold_left insert t ps
+
+let of_points ?max_depth ~capacity ~dim ps =
+  insert_all (create ?max_depth ~capacity ~dim ()) ps
+
+let mem t p =
+  Point_nd.dim p = t.dim
+  && Box_nd.contains t.bounds p
+  && begin
+    let rec go node box =
+      match node with
+      | Leaf pts -> List.exists (Point_nd.equal p) pts
+      | Node children ->
+        let i = Box_nd.orthant_of box p in
+        go children.(i) (Box_nd.child box i)
+    in
+    go t.root t.bounds
+  end
+
+let query_box t ~lo ~hi =
+  if Array.length lo <> t.dim || Array.length hi <> t.dim then
+    invalid_arg "Md_tree.query_box: dimension mismatch";
+  Array.iteri
+    (fun i l ->
+      if l >= hi.(i) then invalid_arg "Md_tree.query_box: empty extent")
+    lo;
+  let target_contains p =
+    let ok = ref true in
+    Array.iteri
+      (fun i x -> if not (x >= lo.(i) && x < hi.(i)) then ok := false)
+      p;
+    !ok
+  in
+  let boxes_overlap box =
+    let blo = Box_nd.lo box and bhi = Box_nd.hi box in
+    let ok = ref true in
+    Array.iteri
+      (fun i l -> if not (l < hi.(i) && lo.(i) < bhi.(i)) then ok := false)
+      blo;
+    !ok
+  in
+  let rec go acc node box =
+    if not (boxes_overlap box) then acc
+    else
+      match node with
+      | Leaf pts ->
+        List.fold_left
+          (fun acc p -> if target_contains p then p :: acc else acc)
+          acc pts
+      | Node children ->
+        let acc = ref acc in
+        Array.iteri (fun i c -> acc := go !acc c (Box_nd.child box i)) children;
+        !acc
+  in
+  go [] t.root t.bounds
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    match node with
+    | Leaf pts -> f acc ~depth ~box ~points:pts
+    | Node children ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i c ->
+          acc := go !acc c ~depth:(depth + 1) ~box:(Box_nd.child box i))
+        children;
+      !acc
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let leaf_count t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~points:_ -> acc + 1)
+
+let height t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth ~box:_ ~points:_ -> max acc depth)
+
+let occupancy_histogram t =
+  let hist = Array.make (t.capacity + 1) 0 in
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box:_ ~points ->
+      let occ = min (List.length points) t.capacity in
+      hist.(occ) <- hist.(occ) + 1);
+  hist
+
+let average_occupancy t = float_of_int t.size /. float_of_int (leaf_count t)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let total = ref 0 in
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf pts ->
+      total := !total + List.length pts;
+      List.iter
+        (fun p ->
+          if not (Box_nd.contains box p) then
+            report "point %a outside its leaf block" Point_nd.pp p)
+        pts;
+      if List.length pts > t.capacity && depth < t.max_depth then
+        report "splittable leaf at depth %d holds %d > capacity %d" depth
+          (List.length pts) t.capacity
+    | Node children ->
+      if Array.length children <> 1 lsl t.dim then
+        report "internal node with %d children (expected %d)"
+          (Array.length children) (1 lsl t.dim);
+      Array.iteri
+        (fun i c -> go c ~depth:(depth + 1) ~box:(Box_nd.child box i))
+        children
+  in
+  go t.root ~depth:0 ~box:t.bounds;
+  if !total <> t.size then
+    report "size field %d but %d points stored" t.size !total;
+  List.rev !problems

@@ -1,0 +1,70 @@
+open Import
+
+(** The d-dimensional PR tree: regular recursive decomposition of the
+    unit d-cube into 2^d orthants, leaves holding up to [capacity]
+    points. [dim = 2] coincides with {!Pr_quadtree}; [dim = 3] is the PR
+    octree. This is the structure behind the paper's remark that "the
+    same principles apply in the case of octrees and higher dimensional
+    data structures" — the population model's branching factor becomes
+    [2^dim]. *)
+
+type t
+
+(** [create ?max_depth ?bounds ~capacity ~dim ()] is an empty tree over
+    [bounds] (default the unit [dim]-cube). Raises [Invalid_argument] on
+    [capacity < 1], [dim < 1], a negative max_depth, or bounds of the
+    wrong dimension. *)
+val create :
+  ?max_depth:int -> ?bounds:Box_nd.t -> capacity:int -> dim:int -> unit -> t
+
+(** [dim t] is the dimensionality; [branching t = 2^(dim t)]. *)
+val dim : t -> int
+
+val branching : t -> int
+
+(** [capacity t] is the leaf capacity. *)
+val capacity : t -> int
+
+(** [size t] is the number of stored points. *)
+val size : t -> int
+
+(** [insert t p] adds [p]. Raises [Invalid_argument] when [p] has the
+    wrong dimension or lies outside the bounds. *)
+val insert : t -> Point_nd.t -> t
+
+(** [insert_all t ps] folds {!insert}. *)
+val insert_all : t -> Point_nd.t list -> t
+
+(** [of_points ?max_depth ~capacity ~dim ps] builds by successive
+    insertion over the unit cube. *)
+val of_points : ?max_depth:int -> capacity:int -> dim:int -> Point_nd.t list -> t
+
+(** [mem t p] is true when [p] is stored. *)
+val mem : t -> Point_nd.t -> bool
+
+(** [query_box t ~lo ~hi] lists stored points inside the half-open box
+    [prod_i [lo.(i), hi.(i))], pruning disjoint subtrees.
+    Raises [Invalid_argument] on dimension mismatch or any
+    [lo.(i) >= hi.(i)]. *)
+val query_box : t -> lo:float array -> hi:float array -> Point_nd.t list
+
+(** [leaf_count t] counts leaves, empty ones included. *)
+val leaf_count : t -> int
+
+(** [height t] is the depth of the deepest leaf. *)
+val height : t -> int
+
+(** [fold_leaves t ~init ~f] folds over every leaf. *)
+val fold_leaves :
+  t -> init:'a ->
+  f:('a -> depth:int -> box:Box_nd.t -> points:Point_nd.t list -> 'a) -> 'a
+
+(** [occupancy_histogram t] counts leaves by occupancy (length
+    [capacity + 1], over-full max-depth leaves clamped). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is points per leaf. *)
+val average_occupancy : t -> float
+
+(** [check_invariants t] returns invariant violations (empty = healthy). *)
+val check_invariants : t -> string list

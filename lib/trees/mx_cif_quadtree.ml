@@ -1,0 +1,219 @@
+open Import
+
+type node = {
+  here : Box.t list;  (* rectangles whose smallest enclosing block is this *)
+  children : node array option;  (* 4, materialized on demand *)
+}
+
+type t = { max_depth : int; bounds : Box.t; root : node; size : int }
+
+let empty_node = { here = []; children = None }
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) () =
+  if max_depth < 0 then invalid_arg "Mx_cif_quadtree.create: max_depth < 0";
+  { max_depth; bounds; root = empty_node; size = 0 }
+
+let size t = t.size
+
+let box_inside inner (outer : Box.t) =
+  inner.Box.xmin >= outer.Box.xmin
+  && inner.Box.xmax <= outer.Box.xmax
+  && inner.Box.ymin >= outer.Box.ymin
+  && inner.Box.ymax <= outer.Box.ymax
+
+(* The child quadrant that entirely contains [r], if any. *)
+let containing_child box r =
+  let rec find i =
+    if i = 4 then None
+    else begin
+      let q = Quadrant.of_index i in
+      if box_inside r (Box.child box q) then Some q else find (i + 1)
+    end
+  in
+  find 0
+
+let insert t r =
+  if not (box_inside r t.bounds) then
+    invalid_arg "Mx_cif_quadtree.insert: rectangle outside bounds";
+  let rec go node ~depth ~box =
+    match (if depth >= t.max_depth then None else containing_child box r) with
+    | None -> { node with here = r :: node.here }
+    | Some q ->
+      let children =
+        match node.children with
+        | Some c -> Array.copy c
+        | None -> Array.make 4 empty_node
+      in
+      let i = Quadrant.to_index q in
+      children.(i) <- go children.(i) ~depth:(depth + 1) ~box:(Box.child box q);
+      { node with children = Some children }
+  in
+  { t with root = go t.root ~depth:0 ~box:t.bounds; size = t.size + 1 }
+
+let insert_all t rs = List.fold_left insert t rs
+let of_boxes ?max_depth ?bounds rs = insert_all (create ?max_depth ?bounds ()) rs
+
+let rec node_is_empty node =
+  node.here = []
+  && match node.children with
+     | None -> true
+     | Some c -> Array.for_all node_is_empty c
+
+let mem t r =
+  box_inside r t.bounds
+  && begin
+    let rec go node ~depth ~box =
+      List.exists (Box.equal r) node.here
+      ||
+      match (if depth >= t.max_depth then None else containing_child box r) with
+      | None -> false
+      | Some q -> (
+        match node.children with
+        | None -> false
+        | Some c ->
+          go c.(Quadrant.to_index q) ~depth:(depth + 1) ~box:(Box.child box q))
+    in
+    go t.root ~depth:0 ~box:t.bounds
+  end
+
+let remove_once r boxes =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if Box.equal r x then Some (List.rev_append acc rest)
+      else go (x :: acc) rest
+  in
+  go [] boxes
+
+let remove t r =
+  if not (box_inside r t.bounds) then t
+  else begin
+    let rec go node ~depth ~box =
+      match remove_once r node.here with
+      | Some here -> Some { node with here }
+      | None -> (
+        match
+          (if depth >= t.max_depth then None else containing_child box r)
+        with
+        | None -> None
+        | Some q -> (
+          match node.children with
+          | None -> None
+          | Some c -> (
+            let i = Quadrant.to_index q in
+            match go c.(i) ~depth:(depth + 1) ~box:(Box.child box q) with
+            | None -> None
+            | Some child ->
+              let c = Array.copy c in
+              c.(i) <- child;
+              let children =
+                if Array.for_all node_is_empty c then None else Some c
+              in
+              Some { node with children })))
+    in
+    match go t.root ~depth:0 ~box:t.bounds with
+    | None -> t
+    | Some root -> { t with root; size = t.size - 1 }
+  end
+
+let stabbing t p =
+  if not (Box.contains t.bounds p) then []
+  else begin
+    let rec go acc node box =
+      let acc =
+        List.fold_left
+          (fun acc r -> if Box.contains r p then r :: acc else acc)
+          acc node.here
+      in
+      match node.children with
+      | None -> acc
+      | Some c ->
+        let q = Box.quadrant_of box p in
+        go acc c.(Quadrant.to_index q) (Box.child box q)
+    in
+    go [] t.root t.bounds
+  end
+
+let query_box t w =
+  let rec go acc node box =
+    if not (Box.intersects box w) then acc
+    else begin
+      let acc =
+        List.fold_left
+          (fun acc r -> if Box.intersects r w then r :: acc else acc)
+          acc node.here
+      in
+      match node.children with
+      | None -> acc
+      | Some c ->
+        let acc = ref acc in
+        Array.iteri
+          (fun i child ->
+            acc := go !acc child (Box.child box (Quadrant.of_index i)))
+          c;
+        !acc
+    end
+  in
+  go [] t.root t.bounds
+
+let fold_nodes t ~init ~f =
+  let rec go acc node ~depth ~box =
+    let acc = f acc ~depth ~box ~here:node.here in
+    match node.children with
+    | None -> acc
+    | Some c ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i child ->
+          acc :=
+            go !acc child ~depth:(depth + 1)
+              ~box:(Box.child box (Quadrant.of_index i)))
+        c;
+      !acc
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let node_count t =
+  fold_nodes t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~here:_ -> acc + 1)
+
+let height t =
+  fold_nodes t ~init:0 ~f:(fun acc ~depth ~box:_ ~here:_ -> max acc depth)
+
+let occupancy_histogram t =
+  let max_occ =
+    fold_nodes t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~here ->
+        max acc (List.length here))
+  in
+  let hist = Array.make (max_occ + 1) 0 in
+  fold_nodes t ~init:() ~f:(fun () ~depth:_ ~box:_ ~here ->
+      let occ = List.length here in
+      hist.(occ) <- hist.(occ) + 1);
+  hist
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let total = ref 0 in
+  fold_nodes t ~init:() ~f:(fun () ~depth ~box ~here ->
+      total := !total + List.length here;
+      List.iter
+        (fun r ->
+          if not (box_inside r box) then
+            report "rectangle %a escapes its block %a" Box.pp r Box.pp box;
+          if depth < t.max_depth && containing_child box r <> None then
+            report "rectangle %a fits a child of its block (not smallest)"
+              Box.pp r)
+        here);
+  if !total <> t.size then
+    report "size field %d but %d rectangles stored" t.size !total;
+  (* Child arrays whose members are all empty should have been pruned. *)
+  let rec check_pruned node =
+    match node.children with
+    | None -> ()
+    | Some c ->
+      if Array.for_all node_is_empty c then
+        report "unpruned all-empty child array";
+      Array.iter check_pruned c
+  in
+  check_pruned t.root;
+  List.rev !problems

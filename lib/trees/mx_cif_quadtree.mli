@@ -1,0 +1,63 @@
+open Import
+
+(** The MX-CIF quadtree (Kedem 1982; Samet's survey §4), the structure
+    behind §II's remark that quadtree variations exist for "more
+    complicated objects (e.g. rectangles)". Every rectangle is
+    associated with the *smallest* quadtree block that entirely contains
+    it; blocks are materialized lazily along insertion paths. Point
+    stabbing and window queries follow the block hierarchy.
+
+    Persistent; depth capped at [max_depth] (a rectangle that would
+    descend deeper is stored at the cap). *)
+
+type t
+
+(** [create ?max_depth ?bounds ()] is an empty index over [bounds]
+    (default unit square, max_depth 16). *)
+val create : ?max_depth:int -> ?bounds:Box.t -> unit -> t
+
+(** [size t] is the number of stored rectangles. *)
+val size : t -> int
+
+(** [insert t r] adds rectangle [r] (duplicates allowed).
+    Raises [Invalid_argument] when [r] is not fully inside the bounds. *)
+val insert : t -> Box.t -> t
+
+(** [insert_all t rs] folds {!insert}. *)
+val insert_all : t -> Box.t list -> t
+
+(** [of_boxes ?max_depth ?bounds rs] builds from scratch. *)
+val of_boxes : ?max_depth:int -> ?bounds:Box.t -> Box.t list -> t
+
+(** [mem t r] is true when a rectangle equal to [r] is stored. *)
+val mem : t -> Box.t -> bool
+
+(** [remove t r] removes one occurrence of [r], pruning emptied blocks.
+    Returns [t] unchanged when absent. *)
+val remove : t -> Box.t -> t
+
+(** [stabbing t p] lists the stored rectangles containing point [p]
+    (half-open, like {!Box.contains}). Only the root-to-leaf path of [p]
+    is visited. *)
+val stabbing : t -> Point.t -> Box.t list
+
+(** [query_box t w] lists the stored rectangles intersecting window
+    [w]. *)
+val query_box : t -> Box.t -> Box.t list
+
+(** [node_count t] counts materialized blocks (nodes on insertion
+    paths). *)
+val node_count : t -> int
+
+(** [height t] is the depth of the deepest materialized block. *)
+val height : t -> int
+
+(** [occupancy_histogram t] counts materialized blocks by the number of
+    rectangles associated with them (length = max association + 1). *)
+val occupancy_histogram : t -> int array
+
+(** [check_invariants t] verifies the smallest-enclosing-block property
+    (every rectangle fits its block and, above the depth cap, fits no
+    single child), that no empty subtrees linger after removals, and
+    size consistency. Returns violations. *)
+val check_invariants : t -> string list

@@ -1,0 +1,239 @@
+open Import
+
+type rule = Pm1 | Pm2 | Pm3
+
+type leaf = { vertices : Point.t list; edges : Segment.t list }
+
+type node = Leaf of leaf | Node of node array
+
+type t = {
+  rule : rule;
+  max_depth : int;
+  bounds : Box.t;
+  root : node;
+  stored : Segment.t list;  (* all inserted edges, for planarity checks *)
+}
+
+let empty_leaf = { vertices = []; edges = [] }
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) ~rule () =
+  if max_depth < 0 then invalid_arg "Pm_quadtree.create: max_depth < 0";
+  { rule; max_depth; bounds; root = Leaf empty_leaf; stored = [] }
+
+let rule t = t.rule
+let edge_count t = List.length t.stored
+
+let is_endpoint (s : Segment.t) v =
+  Point.equal s.Segment.p1 v || Point.equal s.Segment.p2 v
+
+(* Validity of a leaf under the variant's rules. *)
+let leaf_valid rule leaf =
+  match leaf.vertices with
+  | _ :: _ :: _ -> false
+  | [ v ] -> (
+    match rule with
+    | Pm3 -> true
+    | Pm1 | Pm2 -> List.for_all (fun e -> is_endpoint e v) leaf.edges)
+  | [] -> (
+    match rule with
+    | Pm1 -> (match leaf.edges with [] | [ _ ] -> true | _ -> false)
+    | Pm2 -> (
+      match leaf.edges with
+      | [] | [ _ ] -> true
+      | first :: rest ->
+        let shared candidate = List.for_all (fun e -> is_endpoint e candidate) rest in
+        shared first.Segment.p1 || shared first.Segment.p2)
+    | Pm3 -> true)
+
+(* Split a leaf once, distributing vertices by containment and edges by
+   intersection, then keep splitting any invalid child above the cap. *)
+let rec normalize ~rule ~max_depth ~depth ~box node =
+  match node with
+  | Node children ->
+    Node
+      (Array.mapi
+         (fun i c ->
+           normalize ~rule ~max_depth ~depth:(depth + 1)
+             ~box:(Box.child box (Quadrant.of_index i))
+             c)
+         children)
+  | Leaf leaf ->
+    if leaf_valid rule leaf || depth >= max_depth then Leaf leaf
+    else begin
+      let children =
+        Array.map
+          (fun child_box ->
+            Leaf
+              {
+                vertices = List.filter (Box.contains child_box) leaf.vertices;
+                edges =
+                  List.filter
+                    (fun e -> Segment.intersects_box e child_box)
+                    leaf.edges;
+              })
+          (Box.children box)
+      in
+      normalize ~rule ~max_depth ~depth ~box (Node children)
+    end
+
+let proper_cross a b =
+  (* Crossing that is not a mere shared endpoint. *)
+  Segment.segments_intersect a b
+  && not
+       (is_endpoint a b.Segment.p1 || is_endpoint a b.Segment.p2
+        || is_endpoint b a.Segment.p1 || is_endpoint b a.Segment.p2)
+
+let would_cross t s = List.exists (proper_cross s) t.stored
+
+let insert_edge t s =
+  if not (Segment.intersects_box s t.bounds) then
+    invalid_arg "Pm_quadtree.insert_edge: edge outside bounds";
+  if would_cross t s then
+    invalid_arg "Pm_quadtree.insert_edge: edge crosses a stored edge";
+  let new_vertices =
+    List.filter (Box.contains t.bounds) [ s.Segment.p1; s.Segment.p2 ]
+  in
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf leaf ->
+      let vertices =
+        List.fold_left
+          (fun acc v ->
+            if Box.contains box v && not (List.exists (Point.equal v) acc) then
+              v :: acc
+            else acc)
+          leaf.vertices new_vertices
+      in
+      let leaf = { vertices; edges = s :: leaf.edges } in
+      normalize ~rule:t.rule ~max_depth:t.max_depth ~depth ~box (Leaf leaf)
+    | Node children ->
+      Node
+        (Array.mapi
+           (fun i c ->
+             let child_box = Box.child box (Quadrant.of_index i) in
+             let edge_enters = Segment.intersects_box s child_box in
+             let vertex_enters =
+               List.exists (Box.contains child_box) new_vertices
+             in
+             if edge_enters || vertex_enters then
+               go c ~depth:(depth + 1) ~box:child_box
+             else c)
+           children)
+  in
+  {
+    t with
+    root = go t.root ~depth:0 ~box:t.bounds;
+    stored = s :: t.stored;
+  }
+
+let insert_edges t ss = List.fold_left insert_edge t ss
+
+let of_edges ?max_depth ?bounds ~rule ss =
+  insert_edges (create ?max_depth ?bounds ~rule ()) ss
+
+let mem_edge t s = List.exists (Segment.equal s) t.stored
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    match node with
+    | Leaf leaf -> f acc ~depth ~box ~vertices:leaf.vertices ~edges:leaf.edges
+    | Node children ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i c ->
+          acc :=
+            go !acc c ~depth:(depth + 1)
+              ~box:(Box.child box (Quadrant.of_index i)))
+        children;
+      !acc
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let vertex_count t =
+  let distinct =
+    List.fold_left
+      (fun acc (s : Segment.t) ->
+        let add acc v =
+          if Box.contains t.bounds v && not (List.exists (Point.equal v) acc)
+          then v :: acc
+          else acc
+        in
+        add (add acc s.Segment.p1) s.Segment.p2)
+      [] t.stored
+  in
+  List.length distinct
+
+let query_box t target =
+  List.filter (fun s -> Segment.intersects_box s target) t.stored
+
+let leaf_count t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~vertices:_ ~edges:_ ->
+      acc + 1)
+
+let height t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth ~box:_ ~vertices:_ ~edges:_ ->
+      max acc depth)
+
+let occupancy_histogram t =
+  let max_occ =
+    fold_leaves t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~vertices:_ ~edges ->
+        max acc (List.length edges))
+  in
+  let hist = Array.make (max_occ + 1) 0 in
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box:_ ~vertices:_ ~edges ->
+      let occ = List.length edges in
+      hist.(occ) <- hist.(occ) + 1);
+  hist
+
+let average_occupancy t =
+  let residencies, leaves =
+    fold_leaves t ~init:(0, 0)
+      ~f:(fun (r, l) ~depth:_ ~box:_ ~vertices:_ ~edges ->
+        (r + List.length edges, l + 1))
+  in
+  float_of_int residencies /. float_of_int leaves
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  fold_leaves t ~init:() ~f:(fun () ~depth ~box ~vertices ~edges ->
+      let leaf = { vertices; edges } in
+      if depth < t.max_depth && not (leaf_valid t.rule leaf) then
+        report "invalid leaf above the depth cap at %a" Box.pp box;
+      List.iter
+        (fun v ->
+          if not (Box.contains box v) then
+            report "vertex %a outside its leaf block" Point.pp v)
+        vertices;
+      List.iter
+        (fun e ->
+          if not (Segment.intersects_box e box) then
+            report "edge %a resident in disjoint block %a" Segment.pp e Box.pp
+              box)
+        edges);
+  (* Residency: every stored edge in every leaf it crosses; every stored
+     vertex in the leaf containing it. *)
+  List.iter
+    (fun s ->
+      fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box ~vertices:_ ~edges ->
+          if
+            Segment.intersects_box s box
+            && not (List.exists (Segment.equal s) edges)
+          then
+            report "edge %a missing from a leaf it crosses (%a)" Segment.pp s
+              Box.pp box);
+      List.iter
+        (fun v ->
+          if Box.contains t.bounds v then begin
+            let found =
+              fold_leaves t ~init:false
+                ~f:(fun acc ~depth:_ ~box ~vertices ~edges:_ ->
+                  acc
+                  || (Box.contains box v && List.exists (Point.equal v) vertices))
+            in
+            if not found then
+              report "vertex %a missing from its containing leaf" Point.pp v
+          end)
+        [ s.Segment.p1; s.Segment.p2 ])
+    t.stored;
+  List.rev !problems

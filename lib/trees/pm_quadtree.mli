@@ -1,0 +1,91 @@
+open Import
+
+(** The PM quadtree family (Samet & Webber 1985), the paper's cited
+    structure for "storing a collection of polygons using quadtrees"
+    ([Same85b]). A PM quadtree stores a planar subdivision — vertices
+    and non-crossing edges — under regular decomposition. A block
+    splits until it is *valid*; the three classical variants differ in
+    what a vertexless block may hold:
+
+    - {b PM1}: at most one vertex per block; a block with a vertex holds
+      only edges incident to that vertex; a vertexless block holds at
+      most one q-edge.
+    - {b PM2}: like PM1, but a vertexless block may hold several q-edges
+      provided they all share one endpoint (possibly outside the block).
+    - {b PM3}: only the vertex rule — at most one vertex per block;
+      q-edges are unrestricted.
+
+    Unlike the PMR quadtree the splitting is recursive (split until
+    valid), so the decomposition is canonical for a given edge set.
+    Depth is capped by [max_depth]; a block at the cap may violate the
+    rules (degenerate or near-degenerate geometry), mirroring the
+    truncation of the paper's point-quadtree implementation. *)
+
+type rule = Pm1 | Pm2 | Pm3
+
+type t
+
+(** [create ?max_depth ?bounds ~rule ()] is an empty map (defaults: unit
+    square, max_depth 16). *)
+val create : ?max_depth:int -> ?bounds:Box.t -> rule:rule -> unit -> t
+
+(** [rule t] is the variant in force. *)
+val rule : t -> rule
+
+(** [edge_count t] is the number of stored edges. *)
+val edge_count : t -> int
+
+(** [vertex_count t] is the number of distinct stored vertices. *)
+val vertex_count : t -> int
+
+(** [would_cross t s] is true when [s] properly crosses some stored
+    edge (shares a point that is an endpoint of neither, or overlaps
+    collinearly) — inserting such an edge would break the planar
+    subdivision the PM rules assume. *)
+val would_cross : t -> Segment.t -> bool
+
+(** [insert_edge t s] adds edge [s] and its two endpoints as vertices,
+    splitting blocks until every block is valid (or at the depth cap).
+    Raises [Invalid_argument] when [s] does not intersect the bounds or
+    when it would cross a stored edge (use {!would_cross} to screen). *)
+val insert_edge : t -> Segment.t -> t
+
+(** [insert_edges t ss] folds {!insert_edge}. *)
+val insert_edges : t -> Segment.t list -> t
+
+(** [of_edges ?max_depth ?bounds ~rule ss] builds from scratch. *)
+val of_edges :
+  ?max_depth:int -> ?bounds:Box.t -> rule:rule -> Segment.t list -> t
+
+(** [mem_edge t s] is true when edge [s] is stored. *)
+val mem_edge : t -> Segment.t -> bool
+
+(** [query_box t box] lists the distinct stored edges meeting [box]. *)
+val query_box : t -> Box.t -> Segment.t list
+
+(** [leaf_count t] counts leaf blocks (empty included). *)
+val leaf_count : t -> int
+
+(** [height t] is the depth of the deepest leaf. *)
+val height : t -> int
+
+(** [fold_leaves t ~init ~f] folds over every leaf with its depth, block,
+    resident vertices and resident q-edges. *)
+val fold_leaves :
+  t -> init:'a ->
+  f:('a -> depth:int -> box:Box.t -> vertices:Point.t list ->
+     edges:Segment.t list -> 'a) ->
+  'a
+
+(** [occupancy_histogram t] counts leaves by q-edge occupancy (length =
+    max occupancy + 1). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is q-edge residencies per leaf. *)
+val average_occupancy : t -> float
+
+(** [check_invariants t] verifies the variant's validity rules on every
+    leaf above the depth cap, residency (edges present in every leaf
+    they cross, vertices in the leaf containing them), and counts.
+    Returns violations. *)
+val check_invariants : t -> string list

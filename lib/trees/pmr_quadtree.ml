@@ -1,0 +1,220 @@
+open Import
+
+type node = Leaf of Segment.t list | Node of node array
+
+type t = {
+  threshold : int;
+  max_depth : int;
+  bounds : Box.t;
+  root : node;
+  size : int;
+}
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) ~threshold () =
+  if threshold < 1 then invalid_arg "Pmr_quadtree.create: threshold < 1";
+  if max_depth < 0 then invalid_arg "Pmr_quadtree.create: max_depth < 0";
+  { threshold; max_depth; bounds; root = Leaf []; size = 0 }
+
+let threshold t = t.threshold
+let size t = t.size
+
+(* Split a leaf exactly once, distributing segments into every child they
+   intersect. The PMR rule never splits recursively on insertion. *)
+let split_leaf ~box segments =
+  let children =
+    Array.map
+      (fun child_box ->
+        let resident =
+          List.filter (fun s -> Segment.intersects_box s child_box) segments
+        in
+        Leaf resident)
+      (Box.children box)
+  in
+  Node children
+
+let insert t s =
+  if not (Segment.intersects_box s t.bounds) then
+    invalid_arg "Pmr_quadtree.insert: segment outside bounds";
+  let rec go node ~depth ~box =
+    match node with
+    | Leaf segments ->
+      let segments = s :: segments in
+      if List.length segments > t.threshold && depth < t.max_depth then
+        split_leaf ~box segments
+      else Leaf segments
+    | Node children ->
+      let children =
+        Array.mapi
+          (fun i c ->
+            let child_box = Box.child box (Quadrant.of_index i) in
+            if Segment.intersects_box s child_box then
+              go c ~depth:(depth + 1) ~box:child_box
+            else c)
+          children
+      in
+      Node children
+  in
+  { t with root = go t.root ~depth:0 ~box:t.bounds; size = t.size + 1 }
+
+let insert_all t ss = List.fold_left insert t ss
+
+let of_segments ?max_depth ?bounds ~threshold ss =
+  insert_all (create ?max_depth ?bounds ~threshold ()) ss
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    match node with
+    | Leaf segments -> f acc ~depth ~box ~segments
+    | Node children ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i c ->
+          acc :=
+            go !acc c ~depth:(depth + 1)
+              ~box:(Box.child box (Quadrant.of_index i)))
+        children;
+      !acc
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let mem t s =
+  (* A stored segment lives in every leaf it crosses; search one path. *)
+  let rec go node box =
+    match node with
+    | Leaf segments -> List.exists (Segment.equal s) segments
+    | Node children ->
+      let found = ref false in
+      Array.iteri
+        (fun i c ->
+          let child_box = Box.child box (Quadrant.of_index i) in
+          if (not !found) && Segment.intersects_box s child_box then
+            found := go c child_box)
+        children;
+      !found
+  in
+  Segment.intersects_box s t.bounds && go t.root t.bounds
+
+let remove_once s segments =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if Segment.equal s x then Some (List.rev_append acc rest)
+      else go (x :: acc) rest
+  in
+  go [] segments
+
+(* Distinct segments in a list of leaves (used for merge decisions). *)
+let distinct_segments leaves =
+  List.fold_left
+    (fun acc segments ->
+      List.fold_left
+        (fun acc s -> if List.exists (Segment.equal s) acc then acc else s :: acc)
+        acc segments)
+    [] leaves
+
+let remove t s =
+  if not (mem t s) then t
+  else begin
+    let rec go node box =
+      match node with
+      | Leaf segments -> (
+        match remove_once s segments with
+        | None -> Leaf segments
+        | Some segments' -> Leaf segments')
+      | Node children ->
+        let children =
+          Array.mapi
+            (fun i c ->
+              let child_box = Box.child box (Quadrant.of_index i) in
+              if Segment.intersects_box s child_box then go c child_box else c)
+            children
+        in
+        let leaves =
+          Array.to_list children
+          |> List.filter_map (function Leaf l -> Some l | Node _ -> None)
+        in
+        if List.length leaves = 4 then begin
+          let merged = distinct_segments leaves in
+          if List.length merged <= t.threshold then Leaf merged
+          else Node children
+        end
+        else Node children
+    in
+    { t with root = go t.root t.bounds; size = t.size - 1 }
+  end
+
+let query_box t target =
+  let distinct acc s =
+    if List.exists (Segment.equal s) acc then acc else s :: acc
+  in
+  let rec go acc node box =
+    if not (Box.intersects box target) then acc
+    else
+      match node with
+      | Leaf segments ->
+        List.fold_left
+          (fun acc s ->
+            if Segment.intersects_box s target then distinct acc s else acc)
+          acc segments
+      | Node children ->
+        let acc = ref acc in
+        Array.iteri
+          (fun i c -> acc := go !acc c (Box.child box (Quadrant.of_index i)))
+          children;
+        !acc
+  in
+  go [] t.root t.bounds
+
+let leaf_count t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth:_ ~box:_ ~segments:_ -> acc + 1)
+
+let height t =
+  fold_leaves t ~init:0 ~f:(fun acc ~depth ~box:_ ~segments:_ -> max acc depth)
+
+let occupancy_histogram t =
+  let max_occ =
+    fold_leaves t ~init:t.threshold ~f:(fun acc ~depth:_ ~box:_ ~segments ->
+        max acc (List.length segments))
+  in
+  let hist = Array.make (max_occ + 1) 0 in
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box:_ ~segments ->
+      let occ = List.length segments in
+      hist.(occ) <- hist.(occ) + 1);
+  hist
+
+let average_occupancy t =
+  let residencies, leaves =
+    fold_leaves t ~init:(0, 0) ~f:(fun (r, l) ~depth:_ ~box:_ ~segments ->
+        (r + List.length segments, l + 1))
+  in
+  float_of_int residencies /. float_of_int leaves
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box ~segments ->
+      List.iter
+        (fun s ->
+          if not (Segment.intersects_box s box) then
+            report "segment %a resident in disjoint block %a" Segment.pp s
+              Box.pp box)
+        segments);
+  (* Every distinct stored segment must appear in every leaf it crosses. *)
+  let stored =
+    fold_leaves t ~init:[] ~f:(fun acc ~depth:_ ~box:_ ~segments ->
+        List.fold_left
+          (fun acc s ->
+            if List.exists (Segment.equal s) acc then acc else s :: acc)
+          acc segments)
+  in
+  List.iter
+    (fun s ->
+      fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box ~segments ->
+          if
+            Segment.intersects_box s box
+            && not (List.exists (Segment.equal s) segments)
+          then
+            report "segment %a missing from a leaf it crosses (%a)" Segment.pp
+              s Box.pp box))
+    stored;
+  List.rev !problems

@@ -1,0 +1,77 @@
+open Import
+
+(** The PMR quadtree (Nelson & Samet 1986): a quadtree for line segments
+    with a probabilistic splitting rule. A segment is stored in every
+    leaf block it passes through. When an insertion brings a leaf's
+    occupancy above the splitting [threshold], that block splits exactly
+    once (not recursively), redistributing its segments into the children
+    they intersect. Because the split is non-recursive a block may hold
+    more than [threshold] segments; the population of occupancies is
+    exactly what the companion population analysis (see
+    {!Popan_core.Pmr_model} in the core library) predicts.
+
+    Persistent; depth bounded by [max_depth]. *)
+
+type t
+
+(** [create ?max_depth ?bounds ~threshold ()] is an empty tree
+    (default bounds: unit square, default max_depth: 16).
+    Raises [Invalid_argument] on [threshold < 1] or negative max_depth. *)
+val create : ?max_depth:int -> ?bounds:Box.t -> threshold:int -> unit -> t
+
+(** [threshold t] is the splitting threshold. *)
+val threshold : t -> int
+
+(** [size t] is the number of inserted segments. *)
+val size : t -> int
+
+(** [insert t s] adds segment [s]. Raises [Invalid_argument] when [s]
+    does not intersect the bounds. *)
+val insert : t -> Segment.t -> t
+
+(** [insert_all t ss] folds {!insert}. *)
+val insert_all : t -> Segment.t list -> t
+
+(** [of_segments ?max_depth ?bounds ~threshold ss] builds by successive
+    insertion. *)
+val of_segments :
+  ?max_depth:int -> ?bounds:Box.t -> threshold:int -> Segment.t list -> t
+
+(** [mem t s] is true when segment [s] was inserted. *)
+val mem : t -> Segment.t -> bool
+
+(** [remove t s] removes one occurrence of [s] from every leaf holding
+    it, merging sibling leaves whose union fits under the threshold.
+    Returns [t] unchanged when absent. *)
+val remove : t -> Segment.t -> t
+
+(** [query_box t box] lists the distinct stored segments intersecting
+    [box]. *)
+val query_box : t -> Box.t -> Segment.t list
+
+(** [leaf_count t] counts leaf blocks, empty ones included. *)
+val leaf_count : t -> int
+
+(** [height t] is the depth of the deepest leaf. *)
+val height : t -> int
+
+(** [fold_leaves t ~init ~f] folds over every leaf with its depth, block
+    and resident segments. *)
+val fold_leaves :
+  t -> init:'a ->
+  f:('a -> depth:int -> box:Box.t -> segments:Segment.t list -> 'a) -> 'a
+
+(** [occupancy_histogram t] counts leaves by occupancy. The array length
+    is one more than the largest occupancy present (at least
+    [threshold t + 1]); unlike the PR quadtree, occupancies above the
+    threshold are real and are reported in their own cells. *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is total leaf residencies / leaf count; note a
+    segment crossing k blocks contributes k residencies. *)
+val average_occupancy : t -> float
+
+(** [check_invariants t] verifies that every resident segment intersects
+    its leaf block and that every stored segment appears in every leaf it
+    crosses; returns violations. *)
+val check_invariants : t -> string list

@@ -1,0 +1,124 @@
+open Import
+
+(* Children indexed by quadrant relative to the node's point:
+   same convention as Box/Quadrant — east means x >= px, north means
+   y >= py, with the point itself belonging to NE by that rule (but the
+   point is stored in the node, never in a subtree). *)
+type t = Empty | Node of { point : Point.t; children : t array }
+
+let empty = Empty
+
+let quadrant_relative (pivot : Point.t) (p : Point.t) =
+  let east = p.Point.x >= pivot.Point.x in
+  let north = p.Point.y >= pivot.Point.y in
+  match (north, east) with
+  | true, false -> Quadrant.Nw
+  | true, true -> Quadrant.Ne
+  | false, false -> Quadrant.Sw
+  | false, true -> Quadrant.Se
+
+let rec size = function
+  | Empty -> 0
+  | Node { children; _ } ->
+    1 + Array.fold_left (fun acc c -> acc + size c) 0 children
+
+let rec insert t p =
+  match t with
+  | Empty -> Node { point = p; children = Array.make 4 Empty }
+  | Node { point; children } ->
+    if Point.equal point p then t
+    else begin
+      let i = Quadrant.to_index (quadrant_relative point p) in
+      let children = Array.copy children in
+      children.(i) <- insert children.(i) p;
+      Node { point; children }
+    end
+
+let insert_all t ps = List.fold_left insert t ps
+let of_points ps = insert_all Empty ps
+
+let rec mem t p =
+  match t with
+  | Empty -> false
+  | Node { point; children } ->
+    Point.equal point p
+    || mem children.(Quadrant.to_index (quadrant_relative point p)) p
+
+let rec height = function
+  | Empty -> 0
+  | Node { children; _ } ->
+    1 + Array.fold_left (fun acc c -> max acc (height c)) 0 children
+
+let points t =
+  let rec go acc = function
+    | Empty -> acc
+    | Node { point; children } ->
+      Array.fold_left go (point :: acc) children
+  in
+  List.rev (go [] t)
+
+(* The quadrant of a node's partition that child index [i] covers, as a
+   (possibly unbounded) region; we prune with interval reasoning. *)
+let query_box t target =
+  let rec go acc t ~xmin ~ymin ~xmax ~ymax =
+    match t with
+    | Empty -> acc
+    | Node { point; children } ->
+      let acc = if Box.contains target point then point :: acc else acc in
+      let px = point.Point.x and py = point.Point.y in
+      (* Child regions: NW = [xmin,px) x [py,ymax), etc. Recurse only into
+         children whose region overlaps the target box. *)
+      let overlaps ~xmin ~ymin ~xmax ~ymax =
+        xmin < target.Box.xmax && target.Box.xmin < xmax
+        && ymin < target.Box.ymax && target.Box.ymin < ymax
+      in
+      let acc = ref acc in
+      let visit i ~xmin ~ymin ~xmax ~ymax =
+        if xmin < xmax && ymin < ymax && overlaps ~xmin ~ymin ~xmax ~ymax then
+          acc := go !acc children.(i) ~xmin ~ymin ~xmax ~ymax
+      in
+      visit (Quadrant.to_index Quadrant.Nw) ~xmin ~ymin:py ~xmax:px ~ymax;
+      visit (Quadrant.to_index Quadrant.Ne) ~xmin:px ~ymin:py ~xmax ~ymax;
+      visit (Quadrant.to_index Quadrant.Sw) ~xmin ~ymin ~xmax:px ~ymax:py;
+      visit (Quadrant.to_index Quadrant.Se) ~xmin:px ~ymin ~xmax ~ymax:py;
+      !acc
+  in
+  go [] t ~xmin:Float.neg_infinity ~ymin:Float.neg_infinity
+    ~xmax:Float.infinity ~ymax:Float.infinity
+
+let total_comparisons t =
+  let rec go depth = function
+    | Empty -> 0
+    | Node { children; _ } ->
+      depth + 1 + Array.fold_left (fun acc c -> acc + go (depth + 1) c) 0 children
+  in
+  go 0 t
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let rec go t checks =
+    match t with
+    | Empty -> ()
+    | Node { point; children } ->
+      List.iter
+        (fun check ->
+          match check point with
+          | None -> ()
+          | Some msg -> report "%s for point %a" msg Point.pp point)
+        checks;
+      Array.iteri
+        (fun i c ->
+          let q = Quadrant.of_index i in
+          let check (p : Point.t) =
+            if Quadrant.equal (quadrant_relative point p) q then None
+            else
+              Some
+                (Format.asprintf "point not in %a quadrant of ancestor %a"
+                   Quadrant.pp q Point.pp point)
+          in
+          go c (check :: checks))
+        children
+  in
+  go t [];
+  List.rev !problems

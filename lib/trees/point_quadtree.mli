@@ -1,0 +1,53 @@
+open Import
+
+(** The classical point quadtree (Finkel & Bentley 1974): every node
+    stores one data point and partitions the plane at that point's
+    coordinates into four quadrants. Unlike the PR quadtree the partition
+    is data-defined and irregular, so the final shape "depends critically
+    on the order in which the information was inserted" (paper §II). We
+    include it as the paper's example of the non-regular decomposition
+    family; the population analysis targets the regular family. *)
+
+type t
+
+(** [empty] is the tree with no points. *)
+val empty : t
+
+(** [size t] is the number of stored points. *)
+val size : t -> int
+
+(** [insert t p] adds [p]. Inserting a point equal to one already present
+    leaves the tree unchanged (set semantics — a point cannot partition
+    at itself twice). *)
+val insert : t -> Point.t -> t
+
+(** [insert_all t ps] folds {!insert}. *)
+val insert_all : t -> Point.t list -> t
+
+(** [of_points ps] builds by successive insertion. *)
+val of_points : Point.t list -> t
+
+(** [mem t p] is true when [p] is stored. *)
+val mem : t -> Point.t -> bool
+
+(** [height t] is the number of nodes on the longest root-leaf path
+    (0 for the empty tree). *)
+val height : t -> int
+
+(** [points t] lists the stored points (preorder). *)
+val points : t -> Point.t list
+
+(** [query_box t box] lists stored points inside the half-open [box],
+    pruning quadrants that cannot intersect it. *)
+val query_box : t -> Box.t -> Point.t list
+
+(** [total_comparisons t] is the sum over nodes of their depth + 1 — the
+    cost of finding every stored point, a crude balance metric used by
+    the example programs to contrast data-defined with regular
+    decomposition. *)
+val total_comparisons : t -> int
+
+(** [check_invariants t] verifies the quadrant ordering invariant
+    (every point lies in the correct quadrant of every ancestor) and
+    returns violations. *)
+val check_invariants : t -> string list

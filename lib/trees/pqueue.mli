@@ -1,0 +1,28 @@
+(** A mutable binary min-heap keyed by float priority, the engine of the
+    incremental nearest-neighbor search ({!Pr_quadtree.nearest_seq}).
+    Ties are popped in unspecified order. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [size q] is the number of queued elements. *)
+val size : 'a t -> int
+
+(** [is_empty q] is [size q = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [insert q priority value] enqueues. Raises [Invalid_argument] on a
+    NaN priority (it would corrupt the heap order). *)
+val insert : 'a t -> float -> 'a -> unit
+
+(** [pop_min q] removes and returns the least-priority entry, or
+    [None] when empty. *)
+val pop_min : 'a t -> (float * 'a) option
+
+(** [peek_min q] returns the least entry without removing it. *)
+val peek_min : 'a t -> (float * 'a) option
+
+(** [drain q] pops everything, in priority order. *)
+val drain : 'a t -> (float * 'a) list

@@ -1,0 +1,260 @@
+type node = Black | White | Gray of node array  (* 4 children *)
+
+type t = { side : int; root : node }
+
+(* Children are indexed 0 = NW, 1 = NE, 2 = SW, 3 = SE in image
+   coordinates with y growing downward inside a block:
+   child 0 covers (x, y) in [0, h) x [0, h), 1 covers [h, s) x [0, h),
+   2 covers [0, h) x [h, s), 3 covers [h, s) x [h, s). *)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let canonical children =
+  match children with
+  | [| Black; Black; Black; Black |] -> Black
+  | [| White; White; White; White |] -> White
+  | _ -> Gray children
+
+let of_bitmap image =
+  let side = Array.length image in
+  if side = 0 then invalid_arg "Region_quadtree.of_bitmap: empty image";
+  if not (is_power_of_two side) then
+    invalid_arg "Region_quadtree.of_bitmap: side not a power of two";
+  Array.iter
+    (fun row ->
+      if Array.length row <> side then
+        invalid_arg "Region_quadtree.of_bitmap: image not square")
+    image;
+  let rec build x y s =
+    if s = 1 then if image.(y).(x) then Black else White
+    else begin
+      let h = s / 2 in
+      canonical
+        [|
+          build x y h; build (x + h) y h; build x (y + h) h;
+          build (x + h) (y + h) h;
+        |]
+    end
+  in
+  { side; root = build 0 0 side }
+
+let full ~side ~black =
+  if not (is_power_of_two side) then
+    invalid_arg "Region_quadtree.full: side not a power of two";
+  { side; root = (if black then Black else White) }
+
+let side t = t.side
+
+let to_bitmap t =
+  let image = Array.init t.side (fun _ -> Array.make t.side false) in
+  let rec paint node x y s =
+    match node with
+    | White -> ()
+    | Black ->
+      for j = y to y + s - 1 do
+        for i = x to x + s - 1 do
+          image.(j).(i) <- true
+        done
+      done
+    | Gray children ->
+      let h = s / 2 in
+      paint children.(0) x y h;
+      paint children.(1) (x + h) y h;
+      paint children.(2) x (y + h) h;
+      paint children.(3) (x + h) (y + h) h
+  in
+  paint t.root 0 0 t.side;
+  image
+
+let mem t ~x ~y =
+  if x < 0 || x >= t.side || y < 0 || y >= t.side then
+    invalid_arg "Region_quadtree.mem: pixel out of range";
+  let rec go node x y s =
+    match node with
+    | Black -> true
+    | White -> false
+    | Gray children ->
+      let h = s / 2 in
+      let i = (if x >= h then 1 else 0) lor if y >= h then 2 else 0 in
+      go children.(i) (x mod h) (y mod h) h
+  in
+  go t.root x y t.side
+
+let black_area t =
+  let rec go node s =
+    match node with
+    | Black -> s * s
+    | White -> 0
+    | Gray children ->
+      let h = s / 2 in
+      Array.fold_left (fun acc c -> acc + go c h) 0 children
+  in
+  go t.root t.side
+
+let leaf_count t =
+  let rec go = function
+    | Black | White -> 1
+    | Gray children -> Array.fold_left (fun acc c -> acc + go c) 0 children
+  in
+  go t.root
+
+let black_blocks t =
+  let rec go = function
+    | Black -> 1
+    | White -> 0
+    | Gray children -> Array.fold_left (fun acc c -> acc + go c) 0 children
+  in
+  go t.root
+
+let height t =
+  let rec go = function
+    | Black | White -> 0
+    | Gray children ->
+      1 + Array.fold_left (fun acc c -> max acc (go c)) 0 children
+  in
+  go t.root
+
+let rec map2 f a b =
+  match (a, b) with
+  | Gray ca, Gray cb -> canonical (Array.init 4 (fun i -> map2 f ca.(i) cb.(i)))
+  | Gray ca, leaf -> canonical (Array.map (fun c -> map2 f c leaf) ca)
+  | leaf, Gray cb -> canonical (Array.map (fun c -> map2 f leaf c) cb)
+  | a, b -> f a b
+
+let check_sides name a b =
+  if a.side <> b.side then
+    invalid_arg (Printf.sprintf "Region_quadtree.%s: side mismatch" name)
+
+let union a b =
+  check_sides "union" a b;
+  let f x y =
+    match (x, y) with
+    | Black, _ | _, Black -> Black
+    | White, White -> White
+    | _ -> assert false  (* map2 only passes leaves *)
+  in
+  { a with root = map2 f a.root b.root }
+
+let inter a b =
+  check_sides "inter" a b;
+  let f x y =
+    match (x, y) with
+    | White, _ | _, White -> White
+    | Black, Black -> Black
+    | _ -> assert false
+  in
+  { a with root = map2 f a.root b.root }
+
+let complement a =
+  let rec go = function
+    | Black -> White
+    | White -> Black
+    | Gray children -> Gray (Array.map go children)
+  in
+  { a with root = go a.root }
+
+let diff a b = inter a (complement b)
+
+let equal a b =
+  let rec go x y =
+    match (x, y) with
+    | Black, Black | White, White -> true
+    | Gray cx, Gray cy ->
+      let ok = ref true in
+      Array.iteri (fun i c -> if not (go c cy.(i)) then ok := false) cx;
+      !ok
+    | _ -> false
+  in
+  a.side = b.side && go a.root b.root
+
+let block_size_histogram t =
+  let table = Hashtbl.create 8 in
+  let rec go node depth =
+    match node with
+    | Black ->
+      Hashtbl.replace table depth
+        (1 + Option.value (Hashtbl.find_opt table depth) ~default:0)
+    | White -> ()
+    | Gray children -> Array.iter (fun c -> go c (depth + 1)) children
+  in
+  go t.root 0;
+  Hashtbl.fold (fun depth count acc -> (depth, count) :: acc) table []
+  |> List.sort compare
+
+(* Black leaf blocks as (x, y, side) in pixel coordinates. *)
+let black_block_list t =
+  let acc = ref [] in
+  let rec go node x y s =
+    match node with
+    | White -> ()
+    | Black -> acc := (x, y, s) :: !acc
+    | Gray children ->
+      let h = s / 2 in
+      go children.(0) x y h;
+      go children.(1) (x + h) y h;
+      go children.(2) x (y + h) h;
+      go children.(3) (x + h) (y + h) h
+  in
+  go t.root 0 0 t.side;
+  !acc
+
+(* 4-adjacency of two axis-aligned squares: they share a boundary
+   segment of positive length. *)
+let blocks_adjacent (ax, ay, asz) (bx, by, bsz) =
+  let overlap lo1 hi1 lo2 hi2 = min hi1 hi2 > max lo1 lo2 in
+  let touch_x = ax + asz = bx || bx + bsz = ax in
+  let touch_y = ay + asz = by || by + bsz = ay in
+  (touch_x && overlap ay (ay + asz) by (by + bsz))
+  || (touch_y && overlap ax (ax + asz) bx (bx + bsz))
+
+let components t =
+  let blocks = Array.of_list (black_block_list t) in
+  let n = Array.length blocks in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if blocks_adjacent blocks.(i) blocks.(j) then union i j
+    done
+  done;
+  let sizes = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (_, _, s) ->
+      let root = find i in
+      Hashtbl.replace sizes root
+        ((s * s) + Option.value (Hashtbl.find_opt sizes root) ~default:0))
+    blocks;
+  Hashtbl.fold (fun _ size acc -> size :: acc) sizes []
+
+let component_count t = List.length (components t)
+
+let component_sizes t =
+  List.sort (fun a b -> compare b a) (components t)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let max_depth =
+    int_of_float (Float.round (log (float_of_int t.side) /. log 2.0))
+  in
+  let rec go node depth =
+    match node with
+    | Black | White -> ()
+    | Gray children ->
+      if depth >= max_depth then report "gray node below pixel resolution";
+      (match children with
+       | [| Black; Black; Black; Black |] | [| White; White; White; White |] ->
+         report "non-canonical gray node at depth %d" depth
+       | _ -> ());
+      Array.iter (fun c -> go c (depth + 1)) children
+  in
+  go t.root 0;
+  List.rev !problems

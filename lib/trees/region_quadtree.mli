@@ -1,0 +1,77 @@
+(** The region quadtree (Klinger 1971; Samet 1984), the structure §II
+    opens the quadtree family with: a binary image of side [2^k] is
+    recursively quartered until every block is homogeneous (all black or
+    all white). Classic set operations run directly on the compressed
+    representation.
+
+    A tree is canonical (maximal blocks: no four sibling leaves share a
+    color), so structural equality coincides with image equality. *)
+
+type t
+
+(** [of_bitmap image] builds the canonical tree of a square boolean
+    matrix whose side is a power of two ([image.(y).(x)], [true] =
+    black). Raises [Invalid_argument] on a non-square or
+    non-power-of-two image, or an empty one. *)
+val of_bitmap : bool array array -> t
+
+(** [to_bitmap t] rasterizes back; [of_bitmap] then [to_bitmap] is the
+    identity on valid images. *)
+val to_bitmap : t -> bool array array
+
+(** [full ~side ~black] is a uniformly colored image of the given side
+    (a power of two). *)
+val full : side:int -> black:bool -> t
+
+(** [side t] is the image side in pixels. *)
+val side : t -> int
+
+(** [mem t ~x ~y] is the pixel color. Raises [Invalid_argument] out of
+    range. *)
+val mem : t -> x:int -> y:int -> bool
+
+(** [black_area t] is the number of black pixels, computed from block
+    sizes without rasterizing. *)
+val black_area : t -> int
+
+(** [leaf_count t] counts leaf blocks of both colors. *)
+val leaf_count : t -> int
+
+(** [black_blocks t] counts black leaf blocks — the "nodes" a region
+    quadtree's storage analysis counts. *)
+val black_blocks : t -> int
+
+(** [height t] is the depth of the deepest leaf. *)
+val height : t -> int
+
+(** [union a b] is the pixelwise OR; [inter a b] the AND; [complement a]
+    the NOT; [diff a b] is [a AND (NOT b)]. All operate directly on the
+    trees and return canonical results. Binary operations raise
+    [Invalid_argument] when sides differ. *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+val complement : t -> t
+val diff : t -> t -> t
+
+(** [equal a b] is image equality (canonical structural equality). *)
+val equal : t -> t -> bool
+
+(** [block_size_histogram t] maps depth to the number of black leaf
+    blocks at that depth, ordered by increasing depth — the size
+    distribution that storage analyses of region quadtrees study. *)
+val block_size_histogram : t -> (int * int) list
+
+(** [component_count t] is the number of 4-connected black components,
+    computed block-natively (union-find over adjacent black leaf blocks,
+    in the spirit of the component-labeling work the paper cites as
+    [Same84c]/[Same85a]) — pixels are never materialized. *)
+val component_count : t -> int
+
+(** [component_sizes t] is the pixel size of every 4-connected black
+    component, largest first. *)
+val component_sizes : t -> int list
+
+(** [check_invariants t] verifies canonicity (no four same-colored
+    sibling leaves) and depth bounds; returns violations. *)
+val check_invariants : t -> string list

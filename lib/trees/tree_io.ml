@@ -1,0 +1,58 @@
+open Import
+
+let encode tree =
+  let buffer = Buffer.create 4096 in
+  let bounds = Pr_quadtree.bounds tree in
+  Buffer.add_string buffer
+    (Printf.sprintf "prquadtree 1 %d %d %h %h %h %h %d\n"
+       (Pr_quadtree.capacity tree)
+       (Pr_quadtree.max_depth tree)
+       bounds.Box.xmin bounds.Box.ymin bounds.Box.xmax bounds.Box.ymax
+       (Pr_quadtree.size tree));
+  Pr_quadtree.iter_points tree ~f:(fun p ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%h %h\n" p.Point.x p.Point.y));
+  Buffer.contents buffer
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let decode text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> String.trim line <> "")
+  in
+  match lines with
+  | [] -> fail "Tree_io.decode: empty input"
+  | header :: point_lines ->
+    let capacity, max_depth, xmin, ymin, xmax, ymax, count =
+      try
+        Scanf.sscanf header "prquadtree 1 %d %d %h %h %h %h %d"
+          (fun c d a b e f n -> (c, d, a, b, e, f, n))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        fail "Tree_io.decode: bad header %S" header
+    in
+    if List.length point_lines <> count then
+      fail "Tree_io.decode: header promises %d points, found %d" count
+        (List.length point_lines);
+    let points =
+      List.mapi
+        (fun i line ->
+          try Scanf.sscanf line "%h %h" Point.make
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            fail "Tree_io.decode: bad point on line %d: %S" (i + 2) line)
+        point_lines
+    in
+    let bounds = Box.make ~xmin ~ymin ~xmax ~ymax in
+    Pr_quadtree.of_points_bulk ~max_depth ~bounds ~capacity points
+
+let save path tree =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode tree))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,31 @@
+(** Serialization for PR quadtrees.
+
+    The PR decomposition is canonical — the tree is a function of the
+    point multiset and the parameters alone (insertions split exactly
+    until no block exceeds capacity; removals merge exactly when a
+    block's children fit) — so the serialized form stores only the
+    parameters and the points, and decoding rebuilds the identical
+    structure ({!Pr_quadtree.equal_structure} holds across a
+    round-trip). Floats are written as hexadecimal literals, so the
+    round-trip is exact.
+
+    Format (version 1), line oriented:
+
+    {v
+    prquadtree 1 <capacity> <max_depth> <xmin> <ymin> <xmax> <ymax> <n>
+    <x> <y>        (n point lines)
+    v} *)
+
+(** [encode tree] is the textual form of [tree]. *)
+val encode : Pr_quadtree.t -> string
+
+(** [decode text] parses {!encode} output.
+    Raises [Failure] with a descriptive message on malformed input. *)
+val decode : string -> Pr_quadtree.t
+
+(** [save path tree] writes [encode tree] to [path]. *)
+val save : string -> Pr_quadtree.t -> unit
+
+(** [load path] reads and decodes [path]. Raises [Sys_error] on I/O
+    failure and whatever {!decode} raises on bad content. *)
+val load : string -> Pr_quadtree.t

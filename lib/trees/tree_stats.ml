@@ -1,0 +1,44 @@
+let total hist = Array.fold_left ( + ) 0 hist
+
+let proportions hist =
+  let n = total hist in
+  if Array.length hist = 0 || n = 0 then
+    invalid_arg "Tree_stats.proportions: empty histogram";
+  Array.map (fun c -> float_of_int c /. float_of_int n) hist
+
+let average_of_histogram hist =
+  let n = total hist in
+  if Array.length hist = 0 || n = 0 then
+    invalid_arg "Tree_stats.average_of_histogram: empty histogram";
+  let weighted = ref 0 in
+  Array.iteri (fun i c -> weighted := !weighted + (i * c)) hist;
+  float_of_int !weighted /. float_of_int n
+
+let pad hist len =
+  if Array.length hist >= len then hist
+  else Array.init len (fun i -> if i < Array.length hist then hist.(i) else 0)
+
+let merge_histograms hs =
+  match hs with
+  | [] -> invalid_arg "Tree_stats.merge_histograms: empty list"
+  | _ ->
+    let len = List.fold_left (fun acc h -> max acc (Array.length h)) 0 hs in
+    let acc = Array.make len 0 in
+    List.iter
+      (fun h ->
+        let h = pad h len in
+        Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) h)
+      hs;
+    acc
+
+let mean_proportions hs =
+  match hs with
+  | [] -> invalid_arg "Tree_stats.mean_proportions: empty list"
+  | _ ->
+    let len = List.fold_left (fun acc h -> max acc (Array.length h)) 0 hs in
+    let vecs = List.map (fun h -> proportions (pad h len)) hs in
+    Popan_numerics.Stats.mean_vectors vecs
+
+let utilization ~capacity hist =
+  if capacity <= 0 then invalid_arg "Tree_stats.utilization: capacity <= 0";
+  average_of_histogram hist /. float_of_int capacity

@@ -1,0 +1,27 @@
+open Import
+
+(** Occupancy-distribution helpers shared by all the bucketing structures:
+    turn raw occupancy histograms into the proportion vectors and summary
+    numbers the paper tabulates. *)
+
+(** [proportions hist] converts counts into proportions summing to 1.
+    Raises [Invalid_argument] on an empty or all-zero histogram. *)
+val proportions : int array -> Vec.t
+
+(** [average_of_histogram hist] is the mean occupancy
+    [Σ i·hist.(i) / Σ hist.(i)]. Raises [Invalid_argument] on an empty or
+    all-zero histogram. *)
+val average_of_histogram : int array -> float
+
+(** [merge_histograms hs] sums histograms cellwise, padding to the
+    longest. Raises [Invalid_argument] on an empty list. *)
+val merge_histograms : int array list -> int array
+
+(** [mean_proportions hs] averages the proportion vectors of several
+    histograms (each tree weighted equally, as the paper does when
+    averaging over 10 trees), padding to the longest. *)
+val mean_proportions : int array list -> Vec.t
+
+(** [utilization ~capacity hist] is mean occupancy divided by
+    [capacity]. Raises [Invalid_argument] when [capacity <= 0]. *)
+val utilization : capacity:int -> int array -> float

@@ -1,0 +1,314 @@
+(* Tests for the geometry substrate: points, boxes, quadrants, segments,
+   N-dimensional boxes and Morton codes. *)
+
+open Popan_geom
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let prop ?(count = 300) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let unit_point =
+  QCheck2.Gen.(
+    map
+      (fun (x, y) -> Point.make x y)
+      (pair (float_bound_exclusive 1.0) (float_bound_exclusive 1.0)))
+
+(* Point *)
+
+let point_tests =
+  [
+    Alcotest.test_case "distance" `Quick (fun () ->
+        check_float "3-4-5" 5.0
+          (Point.distance (Point.make 0.0 0.0) (Point.make 3.0 4.0)));
+    Alcotest.test_case "midpoint" `Quick (fun () ->
+        let m = Point.midpoint (Point.make 0.0 0.0) (Point.make 1.0 2.0) in
+        check_float "x" 0.5 m.Point.x;
+        check_float "y" 1.0 m.Point.y);
+    Alcotest.test_case "compare lexicographic" `Quick (fun () ->
+        check_bool "lt" true
+          (Point.compare (Point.make 0.0 9.0) (Point.make 1.0 0.0) < 0);
+        check_bool "ties on y" true
+          (Point.compare (Point.make 1.0 0.0) (Point.make 1.0 1.0) < 0));
+    Alcotest.test_case "cross sign" `Quick (fun () ->
+        check_bool "ccw" true
+          (Point.cross (Point.make 1.0 0.0) (Point.make 0.0 1.0) > 0.0));
+    Alcotest.test_case "in_unit_square boundary" `Quick (fun () ->
+        check_bool "origin in" true (Point.in_unit_square Point.origin);
+        check_bool "1,1 out" false (Point.in_unit_square (Point.make 1.0 1.0)));
+    prop "distance symmetric" QCheck2.Gen.(pair unit_point unit_point)
+      (fun (p, q) -> Float.abs (Point.distance p q -. Point.distance q p) < 1e-12);
+    prop "distance_sq consistent" QCheck2.Gen.(pair unit_point unit_point)
+      (fun (p, q) ->
+        Float.abs (Point.distance p q ** 2.0 -. Point.distance_sq p q) < 1e-9);
+  ]
+
+(* Quadrant *)
+
+let quadrant_tests =
+  [
+    Alcotest.test_case "index roundtrip" `Quick (fun () ->
+        List.iter
+          (fun q ->
+            check_bool "rt" true
+              (Quadrant.equal q (Quadrant.of_index (Quadrant.to_index q))))
+          Quadrant.all);
+    Alcotest.test_case "of_index rejects 4" `Quick (fun () ->
+        Alcotest.check_raises "oob" (Invalid_argument "Quadrant.of_index: 4")
+          (fun () -> ignore (Quadrant.of_index 4)));
+    Alcotest.test_case "all has four distinct" `Quick (fun () ->
+        check_int "len" 4 (List.length Quadrant.all);
+        check_int "distinct" 4
+          (List.length (List.sort_uniq compare Quadrant.all)));
+  ]
+
+(* Box *)
+
+let box_tests =
+  [
+    Alcotest.test_case "make rejects degenerate" `Quick (fun () ->
+        check_bool "raises" true
+          (match Box.make ~xmin:0.0 ~ymin:0.0 ~xmax:0.0 ~ymax:1.0 with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    Alcotest.test_case "area and center" `Quick (fun () ->
+        let b = Box.make ~xmin:0.0 ~ymin:0.0 ~xmax:2.0 ~ymax:4.0 in
+        check_float "area" 8.0 (Box.area b);
+        check_float "cx" 1.0 (Box.center b).Point.x);
+    Alcotest.test_case "children partition area" `Quick (fun () ->
+        let b = Box.unit in
+        let total =
+          Array.fold_left (fun acc c -> acc +. Box.area c) 0.0 (Box.children b)
+        in
+        check_float "area" (Box.area b) total);
+    Alcotest.test_case "center point goes to NE" `Quick (fun () ->
+        check_bool "ne" true
+          (Quadrant.equal Quadrant.Ne (Box.quadrant_of Box.unit (Point.make 0.5 0.5))));
+    Alcotest.test_case "quadrant_of rejects outside" `Quick (fun () ->
+        Alcotest.check_raises "out"
+          (Invalid_argument "Box.quadrant_of: point outside box") (fun () ->
+            ignore (Box.quadrant_of Box.unit (Point.make 1.5 0.5))));
+    Alcotest.test_case "intersects half-open" `Quick (fun () ->
+        let a = Box.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+        let b = Box.make ~xmin:1.0 ~ymin:0.0 ~xmax:2.0 ~ymax:1.0 in
+        check_bool "touching boxes disjoint" false (Box.intersects a b));
+    prop "every unit point is in exactly one child" unit_point (fun p ->
+        let hits =
+          Array.to_list (Box.children Box.unit)
+          |> List.filter (fun c -> Box.contains c p)
+        in
+        List.length hits = 1);
+    prop "quadrant_of agrees with child containment" unit_point (fun p ->
+        let q = Box.quadrant_of Box.unit p in
+        Box.contains (Box.child Box.unit q) p);
+    prop "child of quadrant has quarter area" unit_point (fun p ->
+        let q = Box.quadrant_of Box.unit p in
+        Float.abs (Box.area (Box.child Box.unit q) -. 0.25) < 1e-12);
+  ]
+
+(* Segment *)
+
+let segment_tests =
+  [
+    Alcotest.test_case "make rejects degenerate" `Quick (fun () ->
+        Alcotest.check_raises "deg"
+          (Invalid_argument "Segment.make: zero-length segment") (fun () ->
+            ignore (Segment.make Point.origin Point.origin)));
+    Alcotest.test_case "length and midpoint" `Quick (fun () ->
+        let s = Segment.make (Point.make 0.0 0.0) (Point.make 0.0 2.0) in
+        check_float "len" 2.0 (Segment.length s);
+        check_float "midy" 1.0 (Segment.midpoint s).Point.y);
+    Alcotest.test_case "clip fully inside" `Quick (fun () ->
+        let s = Segment.make (Point.make 0.2 0.2) (Point.make 0.8 0.8) in
+        match Segment.clip_to_box s Box.unit with
+        | Some (t0, t1) ->
+          check_float "t0" 0.0 t0;
+          check_float "t1" 1.0 t1
+        | None -> Alcotest.fail "expected intersection");
+    Alcotest.test_case "clip crossing segment" `Quick (fun () ->
+        let s = Segment.make (Point.make (-1.0) 0.5) (Point.make 2.0 0.5) in
+        match Segment.clip_to_box s Box.unit with
+        | Some (t0, t1) ->
+          check_float "t0" (1.0 /. 3.0) t0;
+          check_float "t1" (2.0 /. 3.0) t1
+        | None -> Alcotest.fail "expected intersection");
+    Alcotest.test_case "disjoint segment misses box" `Quick (fun () ->
+        let s = Segment.make (Point.make 2.0 2.0) (Point.make 3.0 3.0) in
+        check_bool "miss" false (Segment.intersects_box s Box.unit));
+    Alcotest.test_case "touching edge counts" `Quick (fun () ->
+        let s = Segment.make (Point.make 1.0 (-1.0)) (Point.make 1.0 2.0) in
+        check_bool "touch" true (Segment.intersects_box s Box.unit));
+    Alcotest.test_case "segments crossing" `Quick (fun () ->
+        let a = Segment.make (Point.make 0.0 0.0) (Point.make 1.0 1.0) in
+        let b = Segment.make (Point.make 0.0 1.0) (Point.make 1.0 0.0) in
+        check_bool "cross" true (Segment.segments_intersect a b));
+    Alcotest.test_case "parallel non-crossing" `Quick (fun () ->
+        let a = Segment.make (Point.make 0.0 0.0) (Point.make 1.0 0.0) in
+        let b = Segment.make (Point.make 0.0 1.0) (Point.make 1.0 1.0) in
+        check_bool "no cross" false (Segment.segments_intersect a b));
+    Alcotest.test_case "collinear overlap" `Quick (fun () ->
+        let a = Segment.make (Point.make 0.0 0.0) (Point.make 2.0 0.0) in
+        let b = Segment.make (Point.make 1.0 0.0) (Point.make 3.0 0.0) in
+        check_bool "overlap" true (Segment.segments_intersect a b));
+    prop "clip parameters ordered and in range"
+      QCheck2.Gen.(array_size (return 4) (float_range (-2.0) 3.0))
+      (fun coords ->
+        match
+          Segment.make
+            (Point.make coords.(0) coords.(1))
+            (Point.make coords.(2) coords.(3))
+        with
+        | exception Invalid_argument _ -> true
+        | s -> (
+          match Segment.clip_to_box s Box.unit with
+          | None -> true
+          | Some (t0, t1) -> 0.0 <= t0 && t0 <= t1 && t1 <= 1.0));
+    prop "clipped endpoints lie in closed box"
+      QCheck2.Gen.(array_size (return 4) (float_range (-2.0) 3.0))
+      (fun coords ->
+        match
+          Segment.make
+            (Point.make coords.(0) coords.(1))
+            (Point.make coords.(2) coords.(3))
+        with
+        | exception Invalid_argument _ -> true
+        | s -> (
+          match Segment.clip_to_box s Box.unit with
+          | None -> true
+          | Some (t0, t1) ->
+            let inside t =
+              let p = Segment.point_at s t in
+              p.Point.x >= -1e-9 && p.Point.x <= 1.0 +. 1e-9
+              && p.Point.y >= -1e-9 && p.Point.y <= 1.0 +. 1e-9
+            in
+            inside t0 && inside t1));
+  ]
+
+(* Box_nd / Point_nd *)
+
+let nd_tests =
+  [
+    Alcotest.test_case "unit cube volume" `Quick (fun () ->
+        check_float "vol" 1.0 (Box_nd.volume (Box_nd.unit_cube 3)));
+    Alcotest.test_case "orthant count" `Quick (fun () ->
+        check_int "2^3" 8 (Box_nd.orthant_count (Box_nd.unit_cube 3)));
+    Alcotest.test_case "children partition volume" `Quick (fun () ->
+        let b = Box_nd.unit_cube 3 in
+        let total = ref 0.0 in
+        for k = 0 to 7 do
+          total := !total +. Box_nd.volume (Box_nd.child b k)
+        done;
+        check_float "vol" 1.0 !total);
+    Alcotest.test_case "orthant_of matches child containment" `Quick (fun () ->
+        let b = Box_nd.unit_cube 3 in
+        let rng = Popan_rng.Xoshiro.of_int_seed 5 in
+        for _ = 1 to 200 do
+          let p = Array.init 3 (fun _ -> Popan_rng.Xoshiro.float rng) in
+          let k = Box_nd.orthant_of b p in
+          if not (Box_nd.contains (Box_nd.child b k) p) then
+            Alcotest.fail "orthant mismatch"
+        done);
+    Alcotest.test_case "point_nd distance" `Quick (fun () ->
+        check_float "dist" (sqrt 3.0)
+          (Point_nd.distance (Point_nd.of_list [ 0.0; 0.0; 0.0 ])
+             (Point_nd.of_list [ 1.0; 1.0; 1.0 ])));
+    Alcotest.test_case "point_nd equal dimensions differ" `Quick (fun () ->
+        check_bool "neq" false
+          (Point_nd.equal (Point_nd.of_list [ 0.0 ]) (Point_nd.of_list [ 0.0; 0.0 ])));
+    Alcotest.test_case "make copies input" `Quick (fun () ->
+        let src = [| 0.5 |] in
+        let p = Point_nd.make src in
+        src.(0) <- 0.9;
+        check_float "unchanged" 0.5 (Point_nd.coord p 0));
+  ]
+
+(* Morton *)
+
+let morton_tests =
+  [
+    Alcotest.test_case "interleave small values" `Quick (fun () ->
+        (* x=0b11, y=0b01 -> code 0b0111 = 7. *)
+        check_int "code" 7 (Morton.interleave 3 1));
+    Alcotest.test_case "deinterleave roundtrip" `Quick (fun () ->
+        let x, y = Morton.deinterleave (Morton.interleave 1234567 987654) in
+        check_int "x" 1234567 x;
+        check_int "y" 987654 y);
+    Alcotest.test_case "encode within 42 bits" `Quick (fun () ->
+        let rng = Popan_rng.Xoshiro.of_int_seed 9 in
+        for _ = 1 to 500 do
+          let p =
+            Point.make (Popan_rng.Xoshiro.float rng) (Popan_rng.Xoshiro.float rng)
+          in
+          let code = Morton.encode p in
+          if code < 0 || code >= 1 lsl (2 * Morton.bits) then
+            Alcotest.fail "code out of range"
+        done);
+    Alcotest.test_case "decode recovers cell corner" `Quick (fun () ->
+        let p = Point.make 0.375 0.6875 in
+        let q = Morton.decode (Morton.encode p) in
+        let cell = 1.0 /. float_of_int (1 lsl Morton.bits) in
+        check_bool "x near" true (Float.abs (q.Point.x -. p.Point.x) < cell);
+        check_bool "y near" true (Float.abs (q.Point.y -. p.Point.y) < cell));
+    Alcotest.test_case "prefix zero depth" `Quick (fun () ->
+        check_int "zero" 0
+          (Morton.prefix ~depth:0 (Morton.encode (Point.make 0.99 0.99))));
+    Alcotest.test_case "prefix depth bounds checked" `Quick (fun () ->
+        Alcotest.check_raises "depth"
+          (Invalid_argument "Morton.prefix: depth out of range") (fun () ->
+            ignore (Morton.prefix ~depth:43 0)));
+    Alcotest.test_case "prefix order matches quadrants" `Quick (fun () ->
+        (* Depth-2 prefix identifies the quadrant: y bit then x bit. *)
+        let sw = Morton.prefix ~depth:2 (Morton.encode (Point.make 0.1 0.1)) in
+        let se = Morton.prefix ~depth:2 (Morton.encode (Point.make 0.9 0.1)) in
+        let nw = Morton.prefix ~depth:2 (Morton.encode (Point.make 0.1 0.9)) in
+        let ne = Morton.prefix ~depth:2 (Morton.encode (Point.make 0.9 0.9)) in
+        check_int "sw" 0 sw;
+        check_int "se" 1 se;
+        check_int "nw" 2 nw;
+        check_int "ne" 3 ne);
+    prop "encode monotone under quadrant refinement" unit_point (fun p ->
+        (* A point's depth-k prefix is a prefix of its depth-(k+2) one. *)
+        let code = Morton.encode p in
+        let p4 = Morton.prefix ~depth:4 code in
+        let p6 = Morton.prefix ~depth:6 code in
+        p6 lsr 2 = p4);
+    prop "interleave/deinterleave roundtrip"
+      QCheck2.Gen.(pair (int_bound 0x1FFFFF) (int_bound 0x1FFFFF))
+      (fun (x, y) -> Morton.deinterleave (Morton.interleave x y) = (x, y));
+    prop "prefix order equals quadrant descent" unit_point (fun p ->
+        (* The depth-2k prefix of a point equals the index obtained by
+           descending k quadtree levels geometrically. *)
+        let code = Morton.encode p in
+        let rec descend box k acc =
+          if k = 0 then acc
+          else begin
+            let q = Box.quadrant_of box p in
+            (* Morton bit pair: y bit then x bit. *)
+            let bits =
+              match q with
+              | Popan_geom.Quadrant.Sw -> 0
+              | Popan_geom.Quadrant.Se -> 1
+              | Popan_geom.Quadrant.Nw -> 2
+              | Popan_geom.Quadrant.Ne -> 3
+            in
+            descend (Box.child box q) (k - 1) ((acc lsl 2) lor bits)
+          end
+        in
+        (* Stay well shy of the quantization depth so float/integer cell
+           boundaries cannot disagree. *)
+        let k = 5 in
+        Morton.prefix ~depth:(2 * k) code = descend Box.unit k 0);
+  ]
+
+let () =
+  Alcotest.run "popan_geom"
+    [
+      ("point", point_tests);
+      ("quadrant", quadrant_tests);
+      ("box", box_tests);
+      ("segment", segment_tests);
+      ("nd", nd_tests);
+      ("morton", morton_tests);
+    ]

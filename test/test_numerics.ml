@@ -1,0 +1,585 @@
+(* Tests for the numerics substrate: vectors, matrices, linear solving,
+   eigenpairs, Newton, scalar roots, special functions, combinatorics and
+   statistics. *)
+
+open Popan_numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let prop ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* Vec *)
+
+let vec_tests =
+  [
+    Alcotest.test_case "create fills" `Quick (fun () ->
+        check_float "sum" 6.0 (Vec.sum (Vec.create 3 2.0)));
+    Alcotest.test_case "init indexes" `Quick (fun () ->
+        let v = Vec.init 4 float_of_int in
+        check_float "v3" 3.0 v.(3));
+    Alcotest.test_case "basis has one 1" `Quick (fun () ->
+        let v = Vec.basis 5 2 in
+        check_float "sum" 1.0 (Vec.sum v);
+        check_float "slot" 1.0 v.(2));
+    Alcotest.test_case "basis rejects bad index" `Quick (fun () ->
+        Alcotest.check_raises "oob" (Invalid_argument "Vec.basis: index out of range")
+          (fun () -> ignore (Vec.basis 3 3)));
+    Alcotest.test_case "add/sub roundtrip" `Quick (fun () ->
+        let u = Vec.of_list [ 1.0; 2.0 ] and v = Vec.of_list [ 3.0; 5.0 ] in
+        check_bool "eq" true (Vec.approx_equal u Vec.(sub (add u v) v)));
+    Alcotest.test_case "add dimension mismatch" `Quick (fun () ->
+        Alcotest.check_raises "dim"
+          (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+            ignore (Vec.add (Vec.create 2 0.0) (Vec.create 3 0.0))));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        check_float "dot" 11.0
+          (Vec.dot (Vec.of_list [ 1.0; 2.0 ]) (Vec.of_list [ 3.0; 4.0 ])));
+    Alcotest.test_case "norms" `Quick (fun () ->
+        let v = Vec.of_list [ 3.0; -4.0 ] in
+        check_float "l1" 7.0 (Vec.norm1 v);
+        check_float "l2" 5.0 (Vec.norm2 v);
+        check_float "linf" 4.0 (Vec.norm_inf v));
+    Alcotest.test_case "normalize1 sums to one" `Quick (fun () ->
+        let v = Vec.normalize1 (Vec.of_list [ 1.0; 3.0 ]) in
+        check_float "sum" 1.0 (Vec.sum v);
+        check_float "head" 0.25 v.(0));
+    Alcotest.test_case "normalize1 rejects zero" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Vec.normalize1: zero sum")
+          (fun () -> ignore (Vec.normalize1 (Vec.create 2 0.0))));
+    Alcotest.test_case "max_index first on ties" `Quick (fun () ->
+        check_int "idx" 1 (Vec.max_index (Vec.of_list [ 0.0; 2.0; 2.0 ])));
+    Alcotest.test_case "scale_in_place mutates" `Quick (fun () ->
+        let v = Vec.of_list [ 1.0; 2.0 ] in
+        Vec.scale_in_place 3.0 v;
+        check_float "v1" 6.0 v.(1));
+    Alcotest.test_case "add_to accumulates" `Quick (fun () ->
+        let acc = Vec.create 2 1.0 in
+        Vec.add_to acc (Vec.of_list [ 1.0; 2.0 ]);
+        check_float "acc1" 3.0 acc.(1));
+    prop "scale distributes over add"
+      QCheck2.Gen.(pair (float_range (-100.) 100.) (list_size (return 5) (float_range (-100.) 100.)))
+      (fun (c, xs) ->
+        let v = Vec.of_list xs in
+        Vec.approx_equal ~tol:1e-6
+          (Vec.scale c (Vec.add v v))
+          (Vec.add (Vec.scale c v) (Vec.scale c v)));
+    prop "norm1 triangle inequality"
+      QCheck2.Gen.(pair (list_size (return 6) (float_range (-10.) 10.))
+                     (list_size (return 6) (float_range (-10.) 10.)))
+      (fun (xs, ys) ->
+        let u = Vec.of_list xs and v = Vec.of_list ys in
+        Vec.norm1 (Vec.add u v) <= Vec.norm1 u +. Vec.norm1 v +. 1e-9);
+  ]
+
+(* Matrix *)
+
+let matrix_tests =
+  [
+    Alcotest.test_case "identity times vector" `Quick (fun () ->
+        let v = Vec.of_list [ 1.0; 2.0; 3.0 ] in
+        check_bool "eq" true
+          (Vec.approx_equal v (Matrix.mul_vec (Matrix.identity 3) v)));
+    Alcotest.test_case "of_rows rejects ragged" `Quick (fun () ->
+        Alcotest.check_raises "ragged"
+          (Invalid_argument "Matrix.of_arrays: ragged rows") (fun () ->
+            ignore (Matrix.of_rows [ [ 1.0 ]; [ 1.0; 2.0 ] ])));
+    Alcotest.test_case "transpose involution" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 1.0; 2.0; 3.0 ]; [ 4.0; 5.0; 6.0 ] ] in
+        check_bool "eq" true
+          (Matrix.approx_equal m (Matrix.transpose (Matrix.transpose m))));
+    Alcotest.test_case "mul known product" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+        let b = Matrix.of_rows [ [ 5.0; 6.0 ]; [ 7.0; 8.0 ] ] in
+        let expected = Matrix.of_rows [ [ 19.0; 22.0 ]; [ 43.0; 50.0 ] ] in
+        check_bool "eq" true (Matrix.approx_equal expected (Matrix.mul a b)));
+    Alcotest.test_case "vec_mul is transpose mul_vec" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+        let v = Vec.of_list [ 5.0; 6.0 ] in
+        check_bool "eq" true
+          (Vec.approx_equal (Matrix.vec_mul v m)
+             (Matrix.mul_vec (Matrix.transpose m) v)));
+    Alcotest.test_case "row_sums" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+        check_bool "eq" true
+          (Vec.approx_equal (Vec.of_list [ 3.0; 7.0 ]) (Matrix.row_sums m)));
+    Alcotest.test_case "trace" `Quick (fun () ->
+        check_float "tr" 5.0
+          (Matrix.trace (Matrix.of_rows [ [ 1.0; 9.0 ]; [ 9.0; 4.0 ] ])));
+    Alcotest.test_case "trace rejects non-square" `Quick (fun () ->
+        Alcotest.check_raises "sq" (Invalid_argument "Matrix.trace: not square")
+          (fun () -> ignore (Matrix.trace (Matrix.create 2 3 0.0))));
+    Alcotest.test_case "copy is deep" `Quick (fun () ->
+        let m = Matrix.create 2 2 0.0 in
+        let c = Matrix.copy m in
+        Matrix.set m 0 0 9.0;
+        check_float "copy untouched" 0.0 (Matrix.get c 0 0));
+    Alcotest.test_case "row/col extraction" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+        check_bool "row" true
+          (Vec.approx_equal (Vec.of_list [ 3.0; 4.0 ]) (Matrix.row m 1));
+        check_bool "col" true
+          (Vec.approx_equal (Vec.of_list [ 2.0; 4.0 ]) (Matrix.col m 1)));
+    prop "mul associates with identity"
+      QCheck2.Gen.(list_size (return 9) (float_range (-5.) 5.))
+      (fun xs ->
+        let m =
+          Matrix.init 3 3 (fun i j -> List.nth xs ((3 * i) + j))
+        in
+        Matrix.approx_equal ~tol:1e-9 m (Matrix.mul m (Matrix.identity 3))
+        && Matrix.approx_equal ~tol:1e-9 m (Matrix.mul (Matrix.identity 3) m));
+  ]
+
+(* Linsolve *)
+
+let random_system rng n =
+  (* Diagonally dominant system: always nonsingular. *)
+  let m =
+    Matrix.init n n (fun i j ->
+        let base = Popan_rng.Dist.uniform rng ~lo:(-1.0) ~hi:1.0 in
+        if i = j then base +. (3.0 *. float_of_int n) else base)
+  in
+  let x = Vec.init n (fun _ -> Popan_rng.Dist.uniform rng ~lo:(-5.0) ~hi:5.0) in
+  (m, x)
+
+let linsolve_tests =
+  [
+    Alcotest.test_case "solve 2x2 known" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 2.0; 1.0 ]; [ 1.0; 3.0 ] ] in
+        let b = Vec.of_list [ 5.0; 10.0 ] in
+        let x = Linsolve.solve a b in
+        check_float "x0" 1.0 x.(0);
+        check_float "x1" 3.0 x.(1));
+    Alcotest.test_case "solve singular raises" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+        check_bool "raises" true
+          (match Linsolve.solve a (Vec.of_list [ 1.0; 1.0 ]) with
+           | _ -> false
+           | exception Linsolve.Singular _ -> true));
+    Alcotest.test_case "inverse times self" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 4.0; 7.0 ]; [ 2.0; 6.0 ] ] in
+        check_bool "id" true
+          (Matrix.approx_equal ~tol:1e-12 (Matrix.identity 2)
+             (Matrix.mul a (Linsolve.inverse a))));
+    Alcotest.test_case "determinant known" `Quick (fun () ->
+        check_close 1e-12 "det" 10.0
+          (Linsolve.determinant (Matrix.of_rows [ [ 4.0; 7.0 ]; [ 2.0; 6.0 ] ])));
+    Alcotest.test_case "determinant singular is zero" `Quick (fun () ->
+        check_float "det" 0.0
+          (Linsolve.determinant (Matrix.of_rows [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ])));
+    Alcotest.test_case "determinant permutation sign" `Quick (fun () ->
+        check_close 1e-12 "det" (-1.0)
+          (Linsolve.determinant (Matrix.of_rows [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ])));
+    Alcotest.test_case "solve_many shares factorization" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 2.0; 0.0 ]; [ 0.0; 4.0 ] ] in
+        match Linsolve.solve_many a [ Vec.of_list [ 2.0; 4.0 ]; Vec.of_list [ 4.0; 8.0 ] ] with
+        | [ x1; x2 ] ->
+          check_float "x1" 1.0 x1.(0);
+          check_float "x2" 2.0 x2.(1)
+        | _ -> Alcotest.fail "expected two solutions");
+    prop ~count:100 "random diagonally dominant systems solve to tiny residual"
+      QCheck2.Gen.(pair (int_range 1 12) (int_range 0 10000))
+      (fun (n, seed) ->
+        let rng = Popan_rng.Xoshiro.of_int_seed seed in
+        let m, x = random_system rng n in
+        let b = Matrix.mul_vec m x in
+        let solved = Linsolve.solve m b in
+        Linsolve.residual m solved b < 1e-8);
+    prop ~count:60 "determinant is multiplicative"
+      QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 6))
+      (fun (seed, n) ->
+        let rng = Popan_rng.Xoshiro.of_int_seed seed in
+        let a, _ = random_system rng n in
+        let b, _ = random_system rng n in
+        let da = Linsolve.determinant a in
+        let db = Linsolve.determinant b in
+        let dab = Linsolve.determinant (Matrix.mul a b) in
+        Float.abs (dab -. (da *. db))
+        <= 1e-8 *. Float.max 1.0 (Float.abs (da *. db)));
+    prop ~count:60 "inverse is a two-sided inverse"
+      QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 8))
+      (fun (seed, n) ->
+        let rng = Popan_rng.Xoshiro.of_int_seed seed in
+        let a, _ = random_system rng n in
+        let inv = Linsolve.inverse a in
+        Matrix.approx_equal ~tol:1e-8 (Matrix.identity n) (Matrix.mul a inv)
+        && Matrix.approx_equal ~tol:1e-8 (Matrix.identity n) (Matrix.mul inv a));
+    prop ~count:60 "solve agrees with inverse multiplication"
+      QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 8))
+      (fun (seed, n) ->
+        let rng = Popan_rng.Xoshiro.of_int_seed seed in
+        let a, x = random_system rng n in
+        let b = Matrix.mul_vec a x in
+        let via_solve = Linsolve.solve a b in
+        let via_inverse = Matrix.mul_vec (Linsolve.inverse a) b in
+        Vec.approx_equal ~tol:1e-7 via_solve via_inverse);
+  ]
+
+(* Eigen *)
+
+let eigen_tests =
+  [
+    Alcotest.test_case "dominant of diagonal" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 3.0; 0.0 ]; [ 0.0; 1.0 ] ] in
+        let pair =
+          Popan_numerics.Convergence.get_exn (Eigen.dominant m)
+        in
+        check_close 1e-9 "lambda" 3.0 pair.Eigen.eigenvalue);
+    Alcotest.test_case "left pair satisfies equation" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 0.0; 1.0 ]; [ 3.0; 2.0 ] ] in
+        let pair = Popan_numerics.Convergence.get_exn (Eigen.dominant_left m) in
+        check_bool "residual" true (Eigen.left_residual m pair < 1e-9);
+        check_close 1e-9 "lambda" 3.0 pair.Eigen.eigenvalue);
+    Alcotest.test_case "stochastic matrix has eigenvalue 1" `Quick (fun () ->
+        let m =
+          Matrix.of_rows [ [ 0.9; 0.1 ]; [ 0.5; 0.5 ] ]
+        in
+        let pair = Popan_numerics.Convergence.get_exn (Eigen.dominant_left m) in
+        check_close 1e-9 "lambda" 1.0 pair.Eigen.eigenvalue;
+        (* Stationary distribution of this chain is (5/6, 1/6). *)
+        check_close 1e-9 "pi0" (5.0 /. 6.0) pair.Eigen.eigenvector.(0));
+    Alcotest.test_case "eigenvector sums to one" `Quick (fun () ->
+        let m = Matrix.of_rows [ [ 2.0; 1.0 ]; [ 1.0; 2.0 ] ] in
+        let pair = Popan_numerics.Convergence.get_exn (Eigen.dominant m) in
+        check_close 1e-12 "sum" 1.0 (Vec.sum pair.Eigen.eigenvector));
+    Alcotest.test_case "non-square rejected" `Quick (fun () ->
+        Alcotest.check_raises "sq"
+          (Invalid_argument "Eigen.dominant: matrix not square") (fun () ->
+            ignore (Eigen.dominant (Matrix.create 2 3 1.0))));
+    prop ~count:60 "random stochastic matrices have Perron value 1"
+      QCheck2.Gen.(pair (int_range 0 10000) (int_range 2 6))
+      (fun (seed, n) ->
+        let rng = Popan_rng.Xoshiro.of_int_seed seed in
+        (* Rows of strictly positive entries normalized to sum 1. *)
+        let m =
+          Matrix.init n n (fun _ _ ->
+              0.05 +. Popan_rng.Dist.uniform rng ~lo:0.0 ~hi:1.0)
+        in
+        let m =
+          Matrix.init n n (fun i j ->
+              Matrix.get m i j /. Vec.sum (Matrix.row m i))
+        in
+        match Eigen.dominant_left m with
+        | Popan_numerics.Convergence.Converged { value = pair; _ } ->
+          Float.abs (pair.Eigen.eigenvalue -. 1.0) < 1e-6
+          && Eigen.left_residual m pair < 1e-6
+          && Vec.all_positive pair.Eigen.eigenvector
+        | Popan_numerics.Convergence.Diverged _ -> false);
+  ]
+
+(* Newton *)
+
+let newton_tests =
+  [
+    Alcotest.test_case "scalar square root" `Quick (fun () ->
+        let problem =
+          {
+            Newton.residual = (fun x -> [| (x.(0) *. x.(0)) -. 2.0 |]);
+            jacobian = Some (fun x -> Matrix.of_rows [ [ 2.0 *. x.(0) ] ]);
+          }
+        in
+        let x =
+          Popan_numerics.Convergence.get_exn
+            (Newton.solve problem (Vec.of_list [ 1.0 ]))
+        in
+        check_close 1e-9 "sqrt2" (sqrt 2.0) x.(0));
+    Alcotest.test_case "2d system with fd jacobian" `Quick (fun () ->
+        (* x + y = 3, x y = 2 -> (1,2) or (2,1). *)
+        let residual v = [| v.(0) +. v.(1) -. 3.0; (v.(0) *. v.(1)) -. 2.0 |] in
+        let problem = { Newton.residual; jacobian = None } in
+        let x =
+          Popan_numerics.Convergence.get_exn
+            (Newton.solve problem (Vec.of_list [ 0.5; 2.5 ]))
+        in
+        check_close 1e-7 "sum" 3.0 (x.(0) +. x.(1));
+        check_close 1e-7 "product" 2.0 (x.(0) *. x.(1)));
+    Alcotest.test_case "fd jacobian approximates analytic" `Quick (fun () ->
+        let f v = [| v.(0) *. v.(0); v.(0) *. v.(1) |] in
+        let x = Vec.of_list [ 2.0; 3.0 ] in
+        let jac = Newton.finite_difference_jacobian f x in
+        check_close 1e-5 "df0/dx" 4.0 (Matrix.get jac 0 0);
+        check_close 1e-5 "df1/dy" 2.0 (Matrix.get jac 1 1));
+    Alcotest.test_case "singular jacobian diverges gracefully" `Quick (fun () ->
+        let problem =
+          {
+            Newton.residual = (fun _ -> [| 1.0 |]);  (* no zero exists *)
+            jacobian = Some (fun _ -> Matrix.of_rows [ [ 0.0 ] ]);
+          }
+        in
+        check_bool "diverged" false
+          (Popan_numerics.Convergence.converged
+             (Newton.solve problem (Vec.of_list [ 1.0 ]))));
+  ]
+
+(* Roots *)
+
+let roots_tests =
+  [
+    Alcotest.test_case "bisect finds cos root" `Quick (fun () ->
+        let x =
+          Popan_numerics.Convergence.get_exn
+            (Roots.bisect
+               ~criterion:(Convergence.make ~tolerance:1e-10 ())
+               cos 0.0 3.0)
+        in
+        check_close 1e-9 "pi/2" (Float.pi /. 2.0) x);
+    Alcotest.test_case "brent finds cubic root" `Quick (fun () ->
+        let f x = (x *. x *. x) -. x -. 2.0 in
+        let x = Popan_numerics.Convergence.get_exn (Roots.brent f 1.0 2.0) in
+        check_close 1e-9 "residual" 0.0 (f x));
+    Alcotest.test_case "brent beats bisect on iterations" `Quick (fun () ->
+        let f x = (x *. x) -. 2.0 in
+        let criterion = Convergence.make ~tolerance:1e-12 () in
+        let b = Roots.bisect ~criterion f 0.0 2.0 in
+        let br = Roots.brent ~criterion f 0.0 2.0 in
+        check_bool "fewer" true
+          (Popan_numerics.Convergence.iterations br
+           < Popan_numerics.Convergence.iterations b));
+    Alcotest.test_case "non-bracketing interval rejected" `Quick (fun () ->
+        Alcotest.check_raises "bracket"
+          (Invalid_argument "Roots.bisect: interval does not bracket a root")
+          (fun () -> ignore (Roots.bisect (fun x -> x) 1.0 2.0)));
+    Alcotest.test_case "fixed point of cosine" `Quick (fun () ->
+        let x =
+          Popan_numerics.Convergence.get_exn
+            (Roots.fixed_point ~criterion:(Convergence.make ~tolerance:1e-12 ())
+               cos 1.0)
+        in
+        check_close 1e-9 "dottie" 0.739085133215161 x);
+  ]
+
+(* Special functions *)
+
+let special_tests =
+  [
+    Alcotest.test_case "log_gamma half" `Quick (fun () ->
+        check_close 1e-10 "lg(0.5)" (0.5 *. log Float.pi) (Special.log_gamma 0.5));
+    Alcotest.test_case "log_gamma integers" `Quick (fun () ->
+        check_close 1e-10 "lg(5)=ln 24" (log 24.0) (Special.log_gamma 5.0));
+    Alcotest.test_case "log_gamma recurrence" `Quick (fun () ->
+        let x = 3.7 in
+        check_close 1e-9 "G(x+1)=xG(x)"
+          (Special.log_gamma x +. log x)
+          (Special.log_gamma (x +. 1.0)));
+    Alcotest.test_case "log_gamma rejects nonpositive" `Quick (fun () ->
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Special.log_gamma: nonpositive argument")
+          (fun () -> ignore (Special.log_gamma 0.0)));
+    Alcotest.test_case "log_factorial matches log_gamma" `Quick (fun () ->
+        check_close 1e-8 "100!" (Special.log_gamma 101.0) (Special.log_factorial 100));
+    Alcotest.test_case "erf known values" `Quick (fun () ->
+        check_close 2e-7 "erf 0" 0.0 (Special.erf 0.0);
+        check_close 2e-7 "erf 1" 0.8427007929 (Special.erf 1.0);
+        check_close 2e-7 "odd" (-.Special.erf 0.7) (Special.erf (-0.7)));
+    Alcotest.test_case "erfc complements erf" `Quick (fun () ->
+        check_close 1e-7 "sum" 1.0 (Special.erf 0.3 +. Special.erfc 0.3));
+    Alcotest.test_case "normal_cdf symmetry and scale" `Quick (fun () ->
+        check_close 1e-7 "median" 0.5 (Special.normal_cdf 0.0);
+        check_close 1e-4 "one sigma" 0.8413 (Special.normal_cdf 1.0);
+        check_close 1e-7 "shifted"
+          (Special.normal_cdf 0.0)
+          (Special.normal_cdf ~mean:5.0 ~sigma:2.0 5.0));
+    Alcotest.test_case "normal_pdf integrates roughly to 1" `Quick (fun () ->
+        let steps = 4000 in
+        let h = 16.0 /. float_of_int steps in
+        let acc = ref 0.0 in
+        for i = 0 to steps - 1 do
+          let x = -8.0 +. ((float_of_int i +. 0.5) *. h) in
+          acc := !acc +. (Special.normal_pdf x *. h)
+        done;
+        check_close 1e-6 "mass" 1.0 !acc);
+    Alcotest.test_case "quantile inverts cdf" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            check_close 1e-4 "roundtrip" p
+              (Special.normal_cdf (Special.normal_quantile p)))
+          [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]);
+    Alcotest.test_case "quantile rejects endpoints" `Quick (fun () ->
+        Alcotest.check_raises "p=0"
+          (Invalid_argument "Special.normal_quantile: p outside (0, 1)")
+          (fun () -> ignore (Special.normal_quantile 0.0)));
+  ]
+
+(* Combinatorics *)
+
+let combin_tests =
+  [
+    Alcotest.test_case "binomial small exact" `Quick (fun () ->
+        check_float "C(5,2)" 10.0 (Combin.binomial 5 2);
+        check_float "C(9,0)" 1.0 (Combin.binomial 9 0);
+        check_float "C(9,9)" 1.0 (Combin.binomial 9 9));
+    Alcotest.test_case "binomial out of range is zero" `Quick (fun () ->
+        check_float "k<0" 0.0 (Combin.binomial 5 (-1));
+        check_float "k>n" 0.0 (Combin.binomial 5 6));
+    Alcotest.test_case "binomial large via lgamma" `Quick (fun () ->
+        (* C(200, 100) ~ 9.0549e58: check relative error. *)
+        let v = Combin.binomial 200 100 in
+        check_bool "magnitude" true
+          (Float.abs ((v /. 9.054851465e58) -. 1.0) < 1e-6));
+    Alcotest.test_case "pascal identity" `Quick (fun () ->
+        for n = 2 to 20 do
+          for k = 1 to n - 1 do
+            check_close 1e-6 "pascal"
+              (Combin.binomial (n - 1) (k - 1) +. Combin.binomial (n - 1) k)
+              (Combin.binomial n k)
+          done
+        done);
+    Alcotest.test_case "binomial pmf sums to one" `Quick (fun () ->
+        let total = ref 0.0 in
+        for k = 0 to 9 do
+          total := !total +. Combin.binomial_pmf ~trials:9 ~p:0.3 k
+        done;
+        check_close 1e-12 "mass" 1.0 !total);
+    Alcotest.test_case "binomial pmf degenerate p" `Quick (fun () ->
+        check_float "p=0" 1.0 (Combin.binomial_pmf ~trials:4 ~p:0.0 0);
+        check_float "p=1" 1.0 (Combin.binomial_pmf ~trials:4 ~p:1.0 4));
+    Alcotest.test_case "pow_int" `Quick (fun () ->
+        check_float "2^10" 1024.0 (Combin.pow_int 2.0 10);
+        check_float "x^0" 1.0 (Combin.pow_int 3.7 0));
+    Alcotest.test_case "pow_int rejects negative exponent" `Quick (fun () ->
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Combin.pow_int: negative exponent") (fun () ->
+            ignore (Combin.pow_int 2.0 (-1))));
+    Alcotest.test_case "falling factorial" `Quick (fun () ->
+        check_float "5*4*3" 60.0 (Combin.falling_factorial 5 3);
+        check_float "empty product" 1.0 (Combin.falling_factorial 5 0));
+    prop "binomial symmetry C(n,k)=C(n,n-k)"
+      QCheck2.Gen.(pair (int_range 0 40) (int_range 0 40))
+      (fun (n, k) ->
+        k > n
+        || Float.abs (Combin.binomial n k -. Combin.binomial n (n - k)) < 1e-6);
+  ]
+
+(* Stats *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "summarize known sample" `Quick (fun () ->
+        let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        check_float "mean" 5.0 s.Stats.mean;
+        check_close 1e-9 "var" (32.0 /. 7.0) s.Stats.variance;
+        check_float "min" 2.0 s.Stats.min;
+        check_float "max" 9.0 s.Stats.max;
+        check_int "count" 8 s.Stats.count);
+    Alcotest.test_case "variance of singleton is zero" `Quick (fun () ->
+        check_float "var" 0.0 (Stats.variance [ 3.0 ]));
+    Alcotest.test_case "empty sample rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample")
+          (fun () -> ignore (Stats.mean [])));
+    Alcotest.test_case "percent difference matches Table 2 convention" `Quick
+      (fun () ->
+        check_close 1e-9 "pd" 12.82051282051282
+          (Stats.percent_difference ~reference:1.56 1.76));
+    Alcotest.test_case "mean_vectors componentwise" `Quick (fun () ->
+        let m =
+          Stats.mean_vectors [ Vec.of_list [ 0.0; 2.0 ]; Vec.of_list [ 2.0; 4.0 ] ]
+        in
+        check_float "c0" 1.0 m.(0);
+        check_float "c1" 3.0 m.(1));
+    Alcotest.test_case "histogram clamps outliers" `Quick (fun () ->
+        let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ -1.0; 0.5; 3.9; 99.0 ] in
+        check_int "first" 2 h.(0);
+        check_int "last" 2 h.(3));
+    Alcotest.test_case "chi_square zero for exact match" `Quick (fun () ->
+        check_float "chi2" 0.0
+          (Stats.chi_square ~expected:[| 2.0; 3.0 |] ~observed:[| 2.0; 3.0 |]));
+    Alcotest.test_case "bootstrap CI brackets the mean" `Quick (fun () ->
+        let rng_state = Popan_rng.Xoshiro.of_int_seed 77 in
+        let rng n = Popan_rng.Xoshiro.int rng_state n in
+        let xs = List.init 40 (fun i -> float_of_int (i mod 7)) in
+        let lo, hi = Stats.bootstrap_ci ~resamples:2000 ~confidence:0.95 ~rng xs in
+        let m = Stats.mean xs in
+        check_bool "brackets" true (lo <= m && m <= hi);
+        check_bool "nontrivial" true (hi > lo));
+    Alcotest.test_case "bootstrap CI narrows with confidence" `Quick (fun () ->
+        let mk confidence =
+          let rng_state = Popan_rng.Xoshiro.of_int_seed 78 in
+          Stats.bootstrap_ci ~resamples:2000 ~confidence
+            ~rng:(fun n -> Popan_rng.Xoshiro.int rng_state n)
+            (List.init 30 (fun i -> sin (float_of_int i)))
+        in
+        let lo95, hi95 = mk 0.95 in
+        let lo50, hi50 = mk 0.5 in
+        check_bool "nested" true (hi50 -. lo50 < hi95 -. lo95));
+    Alcotest.test_case "bootstrap CI of constant sample is a point" `Quick
+      (fun () ->
+        let rng_state = Popan_rng.Xoshiro.of_int_seed 79 in
+        let lo, hi =
+          Stats.bootstrap_ci ~resamples:500 ~confidence:0.9
+            ~rng:(fun n -> Popan_rng.Xoshiro.int rng_state n)
+            [ 2.0; 2.0; 2.0 ]
+        in
+        check_float "lo" 2.0 lo;
+        check_float "hi" 2.0 hi);
+    Alcotest.test_case "bootstrap validation" `Quick (fun () ->
+        check_bool "raises" true
+          (match
+             Stats.bootstrap_ci ~resamples:10 ~confidence:1.5
+               ~rng:(fun _ -> 0) [ 1.0 ]
+           with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    Alcotest.test_case "standard error shrinks with n" `Quick (fun () ->
+        let small = Stats.standard_error [ 1.0; 2.0; 3.0 ] in
+        let large =
+          Stats.standard_error
+            (List.concat (List.init 4 (fun _ -> [ 1.0; 2.0; 3.0 ])))
+        in
+        check_bool "smaller" true (large < small));
+  ]
+
+(* Convergence *)
+
+let convergence_tests =
+  [
+    Alcotest.test_case "iterate converges geometric" `Quick (fun () ->
+        let outcome =
+          Convergence.iterate
+            (Convergence.make ~tolerance:1e-12 ())
+            ~step:(fun x -> x /. 2.0)
+            ~distance:(fun a b -> Float.abs (a -. b))
+            1.0
+        in
+        check_bool "conv" true (Convergence.converged outcome);
+        check_bool "small" true (Convergence.value outcome < 1e-11));
+    Alcotest.test_case "iterate hits limit" `Quick (fun () ->
+        let outcome =
+          Convergence.iterate
+            (Convergence.make ~tolerance:1e-12 ~max_iterations:5 ())
+            ~step:(fun x -> -.x)
+            ~distance:(fun a b -> Float.abs (a -. b))
+            1.0
+        in
+        check_bool "div" true (not (Convergence.converged outcome));
+        check_int "iters" 5 (Convergence.iterations outcome));
+    Alcotest.test_case "get_exn raises on divergence" `Quick (fun () ->
+        let outcome =
+          Convergence.Diverged { value = 0; iterations = 3; error = 1.0 }
+        in
+        check_bool "raises" true
+          (match Convergence.get_exn outcome with
+           | _ -> false
+           | exception Failure _ -> true));
+    Alcotest.test_case "make validates" `Quick (fun () ->
+        Alcotest.check_raises "tol"
+          (Invalid_argument "Convergence.make: tolerance <= 0") (fun () ->
+            ignore (Convergence.make ~tolerance:0.0 ())));
+  ]
+
+let () =
+  Alcotest.run "popan_numerics"
+    [
+      ("vec", vec_tests);
+      ("matrix", matrix_tests);
+      ("linsolve", linsolve_tests);
+      ("eigen", eigen_tests);
+      ("newton", newton_tests);
+      ("roots", roots_tests);
+      ("special", special_tests);
+      ("combin", combin_tests);
+      ("stats", stats_tests);
+      ("convergence", convergence_tests);
+    ]

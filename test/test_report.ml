@@ -1,0 +1,194 @@
+(* Tests for the reporting library: tables, plots, CSV round-trips, and
+   the experiment renderers. *)
+
+open Popan_report
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let table_tests =
+  [
+    Alcotest.test_case "render aligns columns" `Quick (fun () ->
+        let t =
+          Table.make ~title:"T" ~header:[ "name"; "value" ]
+            [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+        in
+        let s = Table.render t in
+        check_bool "has title" true (contains s "T\n");
+        check_bool "has rule" true (contains s "---");
+        (* Numeric column is right-aligned: " 1" under "22". *)
+        check_bool "right aligned" true (contains s " 1");
+        check_bool "left aligned" true (contains s "long-name"));
+    Alcotest.test_case "make rejects ragged rows" `Quick (fun () ->
+        check_bool "raises" true
+          (match Table.make ~title:"x" ~header:[ "a" ] [ [ "1"; "2" ] ] with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    Alcotest.test_case "make rejects empty header" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Table.make: empty header")
+          (fun () -> ignore (Table.make ~title:"x" ~header:[] [])));
+    Alcotest.test_case "cell formatting" `Quick (fun () ->
+        check_string "int" "42" (Table.cell_int 42);
+        check_string "float" "3.14" (Table.cell_float 3.14159);
+        check_string "float decimals" "3.1" (Table.cell_float ~decimals:1 3.14159);
+        check_string "percent" "7.2%" (Table.cell_percent 7.2);
+        check_string "vector paper style" "(.500, .500)"
+          (Table.cell_vector [ 0.5; 0.5 ]));
+    Alcotest.test_case "negative numbers right-aligned" `Quick (fun () ->
+        let t = Table.make ~title:"t" ~header:[ "v" ] [ [ "-1.5" ]; [ "10.25" ] ] in
+        check_bool "renders" true (String.length (Table.render t) > 0));
+    Alcotest.test_case "markdown rendering" `Quick (fun () ->
+        let t =
+          Table.make ~title:"My Title" ~header:[ "name"; "value" ]
+            [ [ "a"; "1.5" ]; [ "b"; "2.0" ] ]
+        in
+        let s = Table.render_markdown t in
+        check_bool "heading" true (contains s "### My Title");
+        check_bool "pipe row" true (contains s "| a | 1.5 |");
+        check_bool "alignment" true (contains s "|---|---:|"));
+    Alcotest.test_case "markdown escapes pipes" `Quick (fun () ->
+        let t = Table.make ~title:"x" ~header:[ "c" ] [ [ "a|b" ] ] in
+        check_bool "escaped" true (contains (Table.render_markdown t) "a\\|b"));
+  ]
+
+let plot_tests =
+  [
+    Alcotest.test_case "render contains markers and labels" `Quick (fun () ->
+        let s =
+          Plot.render ~title:"demo" ~x_label:"n" ~y_label:"occ"
+            [ Plot.make_series ~marker:'o' ~label:"series-a"
+                [ (64.0, 3.5); (256.0, 4.0); (1024.0, 3.6) ] ]
+        in
+        check_bool "title" true (contains s "demo");
+        check_bool "marker" true (contains s "o");
+        check_bool "legend" true (contains s "series-a");
+        check_bool "axis" true (contains s "|"));
+    Alcotest.test_case "empty series rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Plot.make_series: empty series") (fun () ->
+            ignore (Plot.make_series ~label:"x" [])));
+    Alcotest.test_case "log axis rejects nonpositive x" `Quick (fun () ->
+        check_bool "raises" true
+          (match
+             Plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+               [ Plot.make_series ~label:"s" [ (0.0, 1.0) ] ]
+           with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    Alcotest.test_case "linear axis accepts zero x" `Quick (fun () ->
+        let s =
+          Plot.render ~log_x:false ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Plot.make_series ~label:"s" [ (0.0, 1.0); (1.0, 2.0) ] ]
+        in
+        check_bool "renders" true (String.length s > 0));
+    Alcotest.test_case "two series share the canvas" `Quick (fun () ->
+        let s =
+          Plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [
+              Plot.make_series ~marker:'a' ~label:"A" [ (1.0, 0.0); (10.0, 1.0) ];
+              Plot.make_series ~marker:'b' ~label:"B" [ (1.0, 1.0); (10.0, 0.0) ];
+            ]
+        in
+        check_bool "A" true (contains s "a");
+        check_bool "B" true (contains s "b"));
+    Alcotest.test_case "constant series handled (degenerate y range)" `Quick
+      (fun () ->
+        let s =
+          Plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Plot.make_series ~label:"flat" [ (1.0, 2.0); (100.0, 2.0) ] ]
+        in
+        check_bool "renders" true (String.length s > 0));
+  ]
+
+let csv_tests =
+  [
+    Alcotest.test_case "simple render" `Quick (fun () ->
+        check_string "csv" "a,b\n1,2\n"
+          (Csv.render ~header:[ "a"; "b" ] [ [ "1"; "2" ] ]));
+    Alcotest.test_case "escaping" `Quick (fun () ->
+        check_string "comma" "\"a,b\"" (Csv.escape "a,b");
+        check_string "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+        check_string "plain" "ab" (Csv.escape "ab"));
+    Alcotest.test_case "ragged rows rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (match Csv.render ~header:[ "a" ] [ [ "1"; "2" ] ] with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    Alcotest.test_case "parse_line inverts escaping" `Quick (fun () ->
+        let cells = [ "plain"; "with,comma"; "with\"quote"; "" ] in
+        let line = String.concat "," (List.map Csv.escape cells) in
+        Alcotest.(check (list string)) "roundtrip" cells (Csv.parse_line line));
+    Alcotest.test_case "write and read back" `Quick (fun () ->
+        let path = Filename.temp_file "popan" ".csv" in
+        Csv.write path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+        let ic = open_in path in
+        let lines = List.init 3 (fun _ -> input_line ic) in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check (list string)) "content" [ "x,y"; "1,2"; "3,4" ] lines);
+  ]
+
+(* Renderers over tiny real experiments. *)
+
+let render_tests =
+  let open Popan_experiments in
+  [
+    Alcotest.test_case "table1 renderer includes paper rows" `Quick (fun () ->
+        let w = Workload.make ~points:200 ~trials:2 ~seed:1 () in
+        let s = Table.render (Render.table1 (Occupancy.table1 ~capacities:[ 1; 2 ] w)) in
+        check_bool "ours" true (contains s "thy (ours)");
+        check_bool "paper" true (contains s "exp (paper)");
+        check_bool "m=1 theory" true (contains s "(.500, .500)"));
+    Alcotest.test_case "table2 renderer shows percent columns" `Quick (fun () ->
+        let w = Workload.make ~points:200 ~trials:2 ~seed:1 () in
+        let s = Table.render (Render.table2 (Occupancy.table1 ~capacities:[ 1 ] w)) in
+        check_bool "percent" true (contains s "%"));
+    Alcotest.test_case "table3 renderer lists depths" `Quick (fun () ->
+        let w = Workload.make ~points:300 ~trials:2 ~seed:1 () in
+        let s = Table.render (Render.table3 (Depth_profile.run w)) in
+        check_bool "header" true (contains s "n0 nodes"));
+    Alcotest.test_case "sweep table and figure" `Quick (fun () ->
+        let rows =
+          Sweep.run ~sizes:[ 64; 128; 256 ] ~model:Popan_rng.Sampler.Uniform
+            ~trials:2 ~seed:1 ()
+        in
+        let s =
+          Table.render
+            (Render.sweep_table ~title:"T4" ~paper:Paper_data.table4 rows)
+        in
+        check_bool "has sizes" true (contains s "128");
+        let fig =
+          Render.sweep_figure ~title:"F2" ~paper:Paper_data.table4 rows
+        in
+        check_bool "figure legend" true (contains fig "paper (published)"));
+    Alcotest.test_case "sweep csv shape" `Quick (fun () ->
+        let rows =
+          Sweep.run ~sizes:[ 64; 128 ] ~model:Popan_rng.Sampler.Uniform
+            ~trials:2 ~seed:1 ()
+        in
+        let header, body = Render.sweep_csv rows in
+        Alcotest.(check int) "cols" 4 (List.length header);
+        Alcotest.(check int) "rows" 2 (List.length body);
+        List.iter
+          (fun row -> Alcotest.(check int) "width" 4 (List.length row))
+          body);
+    Alcotest.test_case "solver table renders" `Quick (fun () ->
+        let s =
+          Table.render (Render.solver_table (Ext.solver_study ~capacities:[ 1 ] ()))
+        in
+        check_bool "closed form row" true (contains s "closed form"));
+  ]
+
+let () =
+  Alcotest.run "popan_report"
+    [
+      ("table", table_tests);
+      ("plot", plot_tests);
+      ("csv", csv_tests);
+      ("render", render_tests);
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the RNG substrate: determinism, stream independence,
+   distribution moments and ranges, and the spatial samplers. *)
+
+open Popan_rng
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Segment = Popan_geom.Segment
+module Stats = Popan_numerics.Stats
+
+let check_close tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample rng n draw = List.init n (fun _ -> draw rng)
+
+(* Splitmix *)
+
+let splitmix_tests =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Splitmix.create 42L and b = Splitmix.create 42L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Splitmix.next a) (Splitmix.next b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Splitmix.create 1L and b = Splitmix.create 2L in
+        check_bool "differ" true (Splitmix.next a <> Splitmix.next b));
+    Alcotest.test_case "known first output of seed 0" `Quick (fun () ->
+        (* Reference value from the SplitMix64 reference implementation. *)
+        Alcotest.(check int64) "ref" 0xE220A8397B1DCDAFL
+          (Splitmix.next (Splitmix.create 0L)));
+    Alcotest.test_case "float in unit interval" `Quick (fun () ->
+        let sm = Splitmix.create 7L in
+        for _ = 1 to 1000 do
+          let x = Splitmix.next_float sm in
+          if x < 0.0 || x >= 1.0 then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "copy independent" `Quick (fun () ->
+        let a = Splitmix.create 3L in
+        ignore (Splitmix.next a);
+        let b = Splitmix.copy a in
+        Alcotest.(check int64) "same next" (Splitmix.next a) (Splitmix.next b));
+  ]
+
+(* Xoshiro *)
+
+let xoshiro_tests =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Xoshiro.of_int_seed 42 and b = Xoshiro.of_int_seed 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Xoshiro.next a) (Xoshiro.next b)
+        done);
+    Alcotest.test_case "float range" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 1 in
+        for _ = 1 to 10_000 do
+          let x = Xoshiro.float rng in
+          if x < 0.0 || x >= 1.0 then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "float mean near half" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 2 in
+        let xs = sample rng 20_000 Xoshiro.float in
+        check_close 0.01 "mean" 0.5 (Stats.mean xs));
+    Alcotest.test_case "int bounds respected" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 3 in
+        for _ = 1 to 10_000 do
+          let v = Xoshiro.int rng 7 in
+          if v < 0 || v >= 7 then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "int bound one" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 4 in
+        check_int "only zero" 0 (Xoshiro.int rng 1));
+    Alcotest.test_case "int rejects nonpositive bound" `Quick (fun () ->
+        Alcotest.check_raises "bound" (Invalid_argument "Xoshiro.int: bound <= 0")
+          (fun () -> ignore (Xoshiro.int (Xoshiro.of_int_seed 0) 0)));
+    Alcotest.test_case "int roughly uniform (chi-square)" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 5 in
+        let buckets = 8 in
+        let n = 80_000 in
+        let counts = Array.make buckets 0.0 in
+        for _ = 1 to n do
+          let v = Xoshiro.int rng buckets in
+          counts.(v) <- counts.(v) +. 1.0
+        done;
+        let expected = Array.make buckets (float_of_int n /. float_of_int buckets) in
+        (* 7 dof: chi2 < 30 keeps far more than 99.99% of healthy runs. *)
+        check_bool "chi2" true (Stats.chi_square ~expected ~observed:counts < 30.0));
+    Alcotest.test_case "split streams disagree" `Quick (fun () ->
+        let parent = Xoshiro.of_int_seed 6 in
+        let c1 = Xoshiro.split parent in
+        let c2 = Xoshiro.split parent in
+        let xs = sample c1 8 Xoshiro.float in
+        let ys = sample c2 8 Xoshiro.float in
+        check_bool "differ" true (xs <> ys));
+    Alcotest.test_case "jump changes state" `Quick (fun () ->
+        let a = Xoshiro.of_int_seed 7 in
+        let b = Xoshiro.copy a in
+        Xoshiro.jump b;
+        check_bool "differ" true (Xoshiro.next a <> Xoshiro.next b));
+    Alcotest.test_case "bool balanced" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 8 in
+        let trues = ref 0 in
+        for _ = 1 to 10_000 do
+          if Xoshiro.bool rng then incr trues
+        done;
+        check_bool "balance" true (abs (!trues - 5000) < 300));
+  ]
+
+(* Dist *)
+
+let dist_tests =
+  [
+    Alcotest.test_case "uniform range and mean" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 10 in
+        let xs = sample rng 20_000 (fun r -> Dist.uniform r ~lo:2.0 ~hi:4.0) in
+        List.iter (fun x -> if x < 2.0 || x >= 4.0 then Alcotest.fail "range") xs;
+        check_close 0.02 "mean" 3.0 (Stats.mean xs));
+    Alcotest.test_case "uniform rejects empty interval" `Quick (fun () ->
+        Alcotest.check_raises "hi<=lo" (Invalid_argument "Dist.uniform: hi <= lo")
+          (fun () ->
+            ignore (Dist.uniform (Xoshiro.of_int_seed 0) ~lo:1.0 ~hi:1.0)));
+    Alcotest.test_case "gaussian moments" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 11 in
+        let xs =
+          sample rng 40_000 (fun r -> Dist.gaussian r ~mean:1.5 ~sigma:2.0)
+        in
+        check_close 0.05 "mean" 1.5 (Stats.mean xs);
+        check_close 0.1 "stddev" 2.0 (Stats.stddev xs));
+    Alcotest.test_case "truncated gaussian stays inside" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 12 in
+        for _ = 1 to 5000 do
+          let x =
+            Dist.truncated_gaussian rng ~mean:0.5 ~sigma:0.25 ~lo:0.0 ~hi:1.0
+          in
+          if x < 0.0 || x >= 1.0 then Alcotest.fail "escaped"
+        done);
+    Alcotest.test_case "exponential mean" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 13 in
+        let xs = sample rng 40_000 (fun r -> Dist.exponential r ~rate:2.0) in
+        check_close 0.02 "mean" 0.5 (Stats.mean xs);
+        List.iter (fun x -> if x < 0.0 then Alcotest.fail "negative") xs);
+    Alcotest.test_case "bernoulli frequency" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 14 in
+        let hits = ref 0 in
+        for _ = 1 to 20_000 do
+          if Dist.bernoulli rng ~p:0.3 then incr hits
+        done;
+        check_close 0.02 "freq" 0.3 (float_of_int !hits /. 20_000.0));
+    Alcotest.test_case "bernoulli p validated" `Quick (fun () ->
+        Alcotest.check_raises "p" (Invalid_argument "Dist.bernoulli: p outside [0,1]")
+          (fun () -> ignore (Dist.bernoulli (Xoshiro.of_int_seed 0) ~p:1.5)));
+    Alcotest.test_case "categorical respects weights" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 15 in
+        let counts = Array.make 3 0 in
+        for _ = 1 to 30_000 do
+          let k = Dist.categorical rng [| 1.0; 2.0; 1.0 |] in
+          counts.(k) <- counts.(k) + 1
+        done;
+        check_close 0.02 "middle" 0.5 (float_of_int counts.(1) /. 30_000.0));
+    Alcotest.test_case "categorical zero-weight bucket never drawn" `Quick
+      (fun () ->
+        let rng = Xoshiro.of_int_seed 16 in
+        for _ = 1 to 5000 do
+          if Dist.categorical rng [| 1.0; 0.0; 1.0 |] = 1 then
+            Alcotest.fail "drew zero-weight"
+        done);
+    Alcotest.test_case "categorical validates" `Quick (fun () ->
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+            ignore (Dist.categorical (Xoshiro.of_int_seed 0) [| 1.0; -1.0 |])));
+    Alcotest.test_case "binomial mean" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 17 in
+        let xs =
+          sample rng 20_000 (fun r ->
+              float_of_int (Dist.binomial r ~trials:10 ~p:0.4))
+        in
+        check_close 0.05 "mean" 4.0 (Stats.mean xs));
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 18 in
+        let arr = Array.init 50 (fun i -> i) in
+        Dist.shuffle rng arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        check_bool "perm" true (sorted = Array.init 50 (fun i -> i)));
+  ]
+
+(* Sampler *)
+
+let sampler_tests =
+  [
+    Alcotest.test_case "uniform points in square" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 20 in
+        List.iter
+          (fun p ->
+            if not (Point.in_unit_square p) then Alcotest.fail "escaped")
+          (Sampler.points rng Sampler.Uniform 5000));
+    Alcotest.test_case "paper gaussian concentrates centrally" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 21 in
+        let pts = Sampler.points rng Sampler.paper_gaussian 10_000 in
+        List.iter
+          (fun p -> if not (Point.in_unit_square p) then Alcotest.fail "escaped")
+          pts;
+        let central =
+          List.length
+            (List.filter
+               (fun (p : Point.t) ->
+                 Float.abs (p.Point.x -. 0.5) < 0.25
+                 && Float.abs (p.Point.y -. 0.5) < 0.25)
+               pts)
+        in
+        (* Central quarter-area window holds ~ 0.68^2 ~ 46% of a 2-sigma
+           truncated gaussian, far above the uniform 25%. *)
+        check_bool "concentrated" true (central > 3500));
+    Alcotest.test_case "clusters stay near centers" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 22 in
+        let centers = [ Point.make 0.25 0.25; Point.make 0.75 0.75 ] in
+        let pts =
+          Sampler.points rng (Sampler.Clusters { centers; sigma = 0.02 }) 2000
+        in
+        let near p =
+          List.exists (fun c -> Point.distance p c < 0.15) centers
+        in
+        let strays = List.length (List.filter (fun p -> not (near p)) pts) in
+        check_bool "tight" true (strays < 20));
+    Alcotest.test_case "cluster center validation" `Quick (fun () ->
+        Alcotest.check_raises "outside"
+          (Invalid_argument "Sampler.point: cluster center outside unit square")
+          (fun () ->
+            ignore
+              (Sampler.point (Xoshiro.of_int_seed 0)
+                 (Sampler.Clusters
+                    { centers = [ Point.make 2.0 2.0 ]; sigma = 0.1 }))));
+    Alcotest.test_case "points count and determinism" `Quick (fun () ->
+        let a = Sampler.points (Xoshiro.of_int_seed 23) Sampler.Uniform 100 in
+        let b = Sampler.points (Xoshiro.of_int_seed 23) Sampler.Uniform 100 in
+        check_int "count" 100 (List.length a);
+        check_bool "same" true (List.for_all2 Point.equal a b));
+    Alcotest.test_case "nd points in cube" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 24 in
+        List.iter
+          (fun p ->
+            if not (Popan_geom.Point_nd.in_unit_cube p) then
+              Alcotest.fail "escaped")
+          (Sampler.points_nd rng ~dim:4 2000));
+    Alcotest.test_case "segments intersect unit square" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 25 in
+        List.iter
+          (fun s ->
+            if not (Segment.intersects_box s Box.unit) then
+              Alcotest.fail "segment misses square")
+          (Sampler.segments rng
+             (Sampler.Uniform_segments { mean_length = 0.1 })
+             500));
+    Alcotest.test_case "segment mean length tracks parameter" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 26 in
+        let segs =
+          Sampler.segments rng (Sampler.Uniform_segments { mean_length = 0.05 }) 4000
+        in
+        let mean =
+          Stats.mean (List.map Segment.length segs)
+        in
+        (* Clipping and conditioning shift the mean a little; same scale. *)
+        check_bool "scale" true (mean > 0.02 && mean < 0.1));
+    Alcotest.test_case "site edges clipped to square" `Quick (fun () ->
+        let rng = Xoshiro.of_int_seed 27 in
+        let segs =
+          Sampler.segments rng (Sampler.Edges_of_sites { sites = 16 }) 300
+        in
+        check_int "count" 300 (List.length segs);
+        List.iter
+          (fun (s : Segment.t) ->
+            let inside (p : Point.t) =
+              p.Point.x >= -1e-9 && p.Point.x <= 1.0 +. 1e-9
+              && p.Point.y >= -1e-9 && p.Point.y <= 1.0 +. 1e-9
+            in
+            if not (inside s.Segment.p1 && inside s.Segment.p2) then
+              Alcotest.fail "endpoint escaped")
+          segs);
+    Alcotest.test_case "negative count rejected" `Quick (fun () ->
+        Alcotest.check_raises "n" (Invalid_argument "Sampler.points: n < 0")
+          (fun () ->
+            ignore (Sampler.points (Xoshiro.of_int_seed 0) Sampler.Uniform (-1))));
+  ]
+
+let () =
+  Alcotest.run "popan_rng"
+    [
+      ("splitmix", splitmix_tests);
+      ("xoshiro", xoshiro_tests);
+      ("dist", dist_tests);
+      ("sampler", sampler_tests);
+    ]
