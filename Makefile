@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples reproduce report selftest clean
+.PHONY: all build test bench bench-json examples reproduce report selftest clean
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR1.json
 
 examples:
 	dune exec examples/quickstart.exe

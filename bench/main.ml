@@ -14,6 +14,7 @@ module Pr_model = Popan_core.Pr_model
 module Newton_model = Popan_core.Newton_model
 module Mc_transform = Popan_core.Mc_transform
 module Pr_quadtree = Popan_trees.Pr_quadtree
+module Pr_builder = Popan_trees.Pr_builder
 module Ext_hash = Popan_trees.Ext_hash
 module Sampler = Popan_rng.Sampler
 module Xoshiro = Popan_rng.Xoshiro
@@ -133,6 +134,40 @@ let bench_bulk_build =
     (Staged.stage (fun () ->
          Sys.opaque_identity (Pr_quadtree.of_points_bulk ~capacity:8 points_1024)))
 
+(* The mutable simulation core vs the persistent structure: same
+   decomposition, destructive inserts, O(1) statistics. *)
+
+let bench_builder_build =
+  Test.make ~name:"ablation:builder build m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_builder.of_points ~capacity:8 points_1024)))
+
+let bench_builder_build_freeze =
+  Test.make ~name:"ablation:builder build+freeze m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pr_builder.freeze (Pr_builder.of_points ~capacity:8 points_1024))))
+
+let points_4096 = uniform_points 4096
+
+let bench_persistent_snapshot =
+  let tree = Pr_quadtree.of_points ~capacity:8 points_4096 in
+  Test.make ~name:"ablation:snapshot stats O(tree) n=4096"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           ( Pr_quadtree.leaf_count tree,
+             Pr_quadtree.average_occupancy tree,
+             Pr_quadtree.occupancy_histogram tree )))
+
+let bench_builder_snapshot =
+  let builder = Pr_builder.of_points ~capacity:8 points_4096 in
+  Test.make ~name:"ablation:snapshot stats O(1) n=4096"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           ( Pr_builder.leaf_count builder,
+             Pr_builder.average_occupancy builder,
+             Pr_builder.occupancy_histogram builder )))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -141,6 +176,8 @@ let all_benches =
       bench_mc_transform; bench_ext_hash; bench_excell; bench_mx_cif;
       bench_nearest_seq;
       bench_incremental_build; bench_bulk_build;
+      bench_builder_build; bench_builder_build_freeze;
+      bench_persistent_snapshot; bench_builder_snapshot;
     ]
 
 let run_benchmarks () =
@@ -153,26 +190,85 @@ let run_benchmarks () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  let body =
+  let estimates =
     List.map
       (fun (name, ols) ->
         let nanoseconds =
           match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> Printf.sprintf "%.0f" t
-          | Some [] | None -> "-"
+          | Some (t :: _) -> Some t
+          | Some [] | None -> None
+        in
+        (name, nanoseconds, Analyze.OLS.r_square ols))
+      rows
+  in
+  let body =
+    List.map
+      (fun (name, nanoseconds, r_square) ->
+        let ns =
+          match nanoseconds with
+          | Some t -> Printf.sprintf "%.0f" t
+          | None -> "-"
         in
         let r2 =
-          match Analyze.OLS.r_square ols with
+          match r_square with
           | Some r -> Printf.sprintf "%.4f" r
           | None -> "-"
         in
-        [ name; nanoseconds; r2 ])
-      rows
+        [ name; ns; r2 ])
+      estimates
   in
   Table.print
     (Table.make ~title:"micro-benchmarks (one kernel per table/figure)"
        ~header:[ "bench"; "ns/run"; "r^2" ]
-       body)
+       body);
+  estimates
+
+(* Machine-readable perf trajectory: --json FILE (or BENCH_JSON=FILE)
+   writes the ns/run estimates as one flat JSON object keyed by bench
+   name, so successive PRs can diff the numbers mechanically. *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let write_json path estimates =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      let entries =
+        List.filter_map
+          (fun (name, nanoseconds, _) ->
+            Option.map
+              (fun ns ->
+                Printf.sprintf "  \"%s\": %.1f" (json_escape name) ns)
+              nanoseconds)
+          estimates
+      in
+      output_string oc (String.concat ",\n" entries);
+      output_string oc "\n}\n");
+  Printf.printf "wrote %s\n%!" path
+
+let json_request () =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  match scan 1 with
+  | Some _ as found -> found
+  | None -> Sys.getenv_opt "BENCH_JSON"
 
 (* Full regeneration with the paper's parameters. *)
 
@@ -183,7 +279,13 @@ let regenerate () =
   Table.print (Render.table2 comparisons);
   let workload = Workload.make ~points ~trials ~seed () in
   Table.print (Render.table3 (Depth_profile.run workload));
+  let sweep_clock = Sys.time () in
   let uniform = Sweep.run ~capacity:8 ~model:Sampler.Uniform ~trials ~seed () in
+  let gaussian =
+    Sweep.run ~capacity:8 ~model:(Sampler.Gaussian { sigma = 0.25 }) ~trials
+      ~seed ()
+  in
+  let sweep_seconds = Sys.time () -. sweep_clock in
   Table.print
     (Render.sweep_table
        ~title:"Table 4: variation of occupancy with tree size (uniform)"
@@ -193,10 +295,6 @@ let regenerate () =
        ~title:"Figure 2: occupancy vs number of points (uniform)"
        ~paper:Paper_data.table4 uniform);
   print_newline ();
-  let gaussian =
-    Sweep.run ~capacity:8 ~model:(Sampler.Gaussian { sigma = 0.25 }) ~trials
-      ~seed ()
-  in
   Table.print
     (Render.sweep_table
        ~title:"Table 5: variation of occupancy with tree size (Gaussian)"
@@ -229,10 +327,14 @@ let regenerate () =
        ~title:"Extension: the sequence d_n vs the fixed point e (uniform data)"
        (Trajectory.run ~capacity:8 ~model:Sampler.Uniform ~trials ~seed ()));
   Table.print (Render.solver_table (Ext.solver_study ()));
-  Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
+  Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()));
+  Printf.printf "Table 4/5 sweep regeneration: %.4f s cpu\n" sweep_seconds
 
 let () =
   Printf.printf "== popan bench: micro-benchmarks ==\n\n%!";
-  run_benchmarks ();
+  let estimates = run_benchmarks () in
+  Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
-  regenerate ()
+  let clock = Sys.time () in
+  regenerate ();
+  Printf.printf "full regeneration: %.4f s cpu\n%!" (Sys.time () -. clock)

@@ -12,9 +12,9 @@ let run ?(capacity = 1) ?(max_depth = 9) workload =
   (* Per depth: (empty leaf count, full leaf count, leaves, points). *)
   let table = Hashtbl.create 16 in
   Workload.map_trials workload ~f:(fun _ points ->
-      let tree = Pr_quadtree.of_points ~max_depth ~capacity points in
-      Pr_quadtree.fold_leaves tree ~init:() ~f:(fun () ~depth ~box:_ ~points ->
-          let occ = List.length points in
+      let tree = Pr_builder.of_points ~max_depth ~capacity points in
+      Pr_builder.fold_leaves tree ~init:()
+        ~f:(fun () ~depth ~box:_ ~points:_ ~count:occ ->
           let empty, full, leaves, pts =
             Option.value (Hashtbl.find_opt table depth) ~default:(0, 0, 0, 0)
           in

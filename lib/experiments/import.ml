@@ -8,6 +8,7 @@ module Segment = Popan_geom.Segment
 module Xoshiro = Popan_rng.Xoshiro
 module Sampler = Popan_rng.Sampler
 module Pr_quadtree = Popan_trees.Pr_quadtree
+module Pr_builder = Popan_trees.Pr_builder
 module Bintree = Popan_trees.Bintree
 module Md_tree = Popan_trees.Md_tree
 module Pmr_quadtree = Popan_trees.Pmr_quadtree

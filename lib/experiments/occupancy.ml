@@ -27,14 +27,14 @@ let aggregate histograms occupancies leaf_counts =
   }
 
 let measure_pr ?max_depth workload ~capacity =
-  let trees =
+  let builders =
     Workload.map_trials workload ~f:(fun _ points ->
-        Pr_quadtree.of_points ?max_depth ~capacity points)
+        Pr_builder.of_points ?max_depth ~capacity points)
   in
   aggregate
-    (List.map Pr_quadtree.occupancy_histogram trees)
-    (List.map Pr_quadtree.average_occupancy trees)
-    (List.map (fun t -> float_of_int (Pr_quadtree.leaf_count t)) trees)
+    (List.map Pr_builder.occupancy_histogram builders)
+    (List.map Pr_builder.average_occupancy builders)
+    (List.map (fun t -> float_of_int (Pr_builder.leaf_count t)) builders)
 
 let measure_bintree ?max_depth workload ~capacity =
   let trees =

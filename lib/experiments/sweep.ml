@@ -37,11 +37,11 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
         List.init trials (fun _ ->
             let rng = Xoshiro.split master in
             let tree =
-              Pr_quadtree.of_points ~max_depth ~capacity
+              Pr_builder.of_points ~max_depth ~capacity
                 (Sampler.points rng model points)
             in
-            ( float_of_int (Pr_quadtree.leaf_count tree),
-              Pr_quadtree.average_occupancy tree ))
+            ( float_of_int (Pr_builder.leaf_count tree),
+              Pr_builder.average_occupancy tree ))
       in
       let nodes = List.map fst measurements in
       let occs = List.map snd measurements in
@@ -59,36 +59,37 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
   in
-  (match sizes with
-   | [] -> invalid_arg "Sweep.run_incremental: empty size list"
-   | _ ->
-     List.iteri
-       (fun i n ->
-         if i > 0 && n <= List.nth sizes (i - 1) then
-           invalid_arg "Sweep.run_incremental: sizes must increase")
-       sizes);
+  let sizes_a = Array.of_list sizes in
+  if Array.length sizes_a = 0 then
+    invalid_arg "Sweep.run_incremental: empty size list";
+  Array.iteri
+    (fun i n ->
+      if i > 0 && n <= sizes_a.(i - 1) then
+        invalid_arg "Sweep.run_incremental: sizes must increase")
+    sizes_a;
   let master = Xoshiro.of_int_seed seed in
-  (* One growing tree per trial; snapshot at every grid size. *)
+  (* One growing tree per trial; the O(1) builder statistics make each
+     snapshot free, and per-trial arrays keep the per-size aggregation
+     linear. *)
   let trial () =
     let rng = Xoshiro.split master in
-    let rec grow tree have acc = function
-      | [] -> List.rev acc
-      | target :: rest ->
-        let tree =
-          Pr_quadtree.insert_all tree (Sampler.points rng model (target - have))
-        in
-        let snapshot =
-          ( float_of_int (Pr_quadtree.leaf_count tree),
-            Pr_quadtree.average_occupancy tree )
-        in
-        grow tree target (snapshot :: acc) rest
-    in
-    grow (Pr_quadtree.create ~max_depth ~capacity ()) 0 [] sizes
+    let tree = Pr_builder.create ~max_depth ~capacity () in
+    let have = ref 0 in
+    let out = Array.make (Array.length sizes_a) (0.0, 0.0) in
+    Array.iteri
+      (fun i target ->
+        Pr_builder.insert_all tree (Sampler.points rng model (target - !have));
+        have := target;
+        out.(i) <-
+          ( float_of_int (Pr_builder.leaf_count tree),
+            Pr_builder.average_occupancy tree ))
+      sizes_a;
+    out
   in
   let snapshots = List.init trials (fun _ -> trial ()) in
   List.mapi
     (fun i points ->
-      let at_size = List.map (fun trial -> List.nth trial i) snapshots in
+      let at_size = List.map (fun trial -> trial.(i)) snapshots in
       let nodes = List.map fst at_size in
       let occs = List.map snd at_size in
       {

@@ -23,10 +23,10 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
         List.init trials (fun _ ->
             let rng = Xoshiro.split master in
             let tree =
-              Pr_quadtree.of_points ~max_depth ~capacity
+              Pr_builder.of_points ~max_depth ~capacity
                 (Sampler.points rng model points)
             in
-            Pr_quadtree.occupancy_histogram tree)
+            Pr_builder.occupancy_histogram tree)
       in
       let distribution =
         Distribution.of_weights (Tree_stats.mean_proportions histograms)

@@ -20,4 +20,13 @@ let trial_rngs w =
 let trial_points w =
   List.map (fun rng -> Sampler.points rng w.model w.points) (trial_rngs w)
 
-let map_trials w ~f = List.mapi f (trial_points w)
+let map_trials w ~f =
+  (* Stream one trial at a time so only the current trial's points are
+     live, instead of materializing all [trials * points] of them up
+     front. Sampling a child generator never touches the master, so the
+     split sequence — and every trial's point stream — is identical to
+     {!trial_points}'s. *)
+  let master = Xoshiro.of_int_seed w.seed in
+  List.init w.trials (fun i ->
+      let rng = Xoshiro.split master in
+      f i (Sampler.points rng w.model w.points))

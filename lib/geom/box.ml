@@ -41,6 +41,20 @@ let child b q =
 let children b =
   Array.init 4 (fun i -> child b (Quadrant.of_index i))
 
+let quadrant_index b (p : Point.t) =
+  let cx = 0.5 *. (b.xmin +. b.xmax) and cy = 0.5 *. (b.ymin +. b.ymax) in
+  if p.y >= cy then if p.x >= cx then 1 else 0
+  else if p.x >= cx then 3
+  else 2
+
+let step b (p : Point.t) =
+  let cx = 0.5 *. (b.xmin +. b.xmax) and cy = 0.5 *. (b.ymin +. b.ymax) in
+  if p.y >= cy then
+    if p.x >= cx then (Quadrant.Ne, { b with xmin = cx; ymin = cy })
+    else (Quadrant.Nw, { b with ymin = cy; xmax = cx })
+  else if p.x >= cx then (Quadrant.Se, { b with xmin = cx; ymax = cy })
+  else (Quadrant.Sw, { b with xmax = cx; ymax = cy })
+
 let intersects a b =
   a.xmin < b.xmax && b.xmin < a.xmax && a.ymin < b.ymax && b.ymin < a.ymax
 

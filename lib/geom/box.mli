@@ -41,6 +41,19 @@ val child : t -> Quadrant.t -> t
     {!Quadrant.to_index}. *)
 val children : t -> t array
 
+(** [quadrant_index b p] is [Quadrant.to_index (quadrant_of b p)] without
+    the containment check — [p] must already be known to lie inside [b].
+    Intended for descent/redistribution hot loops where containment is an
+    invariant of the traversal. *)
+val quadrant_index : t -> Point.t -> int
+
+(** [step b p] is [(q, child b q)] for [q = quadrant_of b p], fused into a
+    single midpoint evaluation and without the containment check — [p]
+    must already be known to lie inside [b]. The midpoint is computed by
+    the same expression as {!center}, so the decomposition is bit-for-bit
+    identical to the checked path. *)
+val step : t -> Point.t -> Quadrant.t * t
+
 (** [intersects a b] is true when the half-open extents overlap. *)
 val intersects : t -> t -> bool
 

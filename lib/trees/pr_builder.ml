@@ -1,0 +1,228 @@
+open Import
+
+type node =
+  | Leaf of leaf
+  | Node of node array  (* exactly 4, indexed by Quadrant.to_index *)
+
+and leaf = {
+  mutable pts : Point.t list;
+  mutable count : int;  (* List.length pts, maintained incrementally *)
+}
+
+type t = {
+  capacity : int;
+  max_depth : int;
+  bounds : Box.t;
+  mutable root : node;
+  mutable size : int;
+  mutable leaves : int;
+  mutable internals : int;
+  mutable height : int;  (* depth of the deepest leaf *)
+  hist : int array;  (* capacity + 1 cells; over-full leaves clamp *)
+}
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) ~capacity () =
+  if capacity < 1 then invalid_arg "Pr_builder.create: capacity < 1";
+  if max_depth < 0 then invalid_arg "Pr_builder.create: max_depth < 0";
+  let hist = Array.make (capacity + 1) 0 in
+  hist.(0) <- 1;
+  {
+    capacity;
+    max_depth;
+    bounds;
+    root = Leaf { pts = []; count = 0 };
+    size = 0;
+    leaves = 1;
+    internals = 0;
+    height = 0;
+    hist;
+  }
+
+let capacity t = t.capacity
+let max_depth t = t.max_depth
+let bounds t = t.bounds
+let size t = t.size
+let is_empty t = t.size = 0
+let leaf_count t = t.leaves
+let internal_count t = t.internals
+let height t = t.height
+let occupancy_histogram t = Array.copy t.hist
+
+let average_occupancy t = float_of_int t.size /. float_of_int t.leaves
+
+(* Register a freshly created leaf of occupancy [count] at [depth]. *)
+let note_leaf t ~depth count =
+  t.leaves <- t.leaves + 1;
+  let bucket = min count t.capacity in
+  t.hist.(bucket) <- t.hist.(bucket) + 1;
+  if depth > t.height then t.height <- depth
+
+(* Turn the point list of an over-full (former) leaf into a subtree in
+   which no splittable leaf exceeds the capacity, registering every
+   created node. The former leaf must already be deregistered. *)
+let rec split_node t ~depth ~box pts count =
+  if count <= t.capacity || depth >= t.max_depth then begin
+    note_leaf t ~depth count;
+    Leaf { pts; count }
+  end
+  else begin
+    t.internals <- t.internals + 1;
+    let bucket_pts = Array.make 4 [] in
+    let bucket_counts = Array.make 4 0 in
+    List.iter
+      (fun p ->
+        let i = Box.quadrant_index box p in
+        bucket_pts.(i) <- p :: bucket_pts.(i);
+        bucket_counts.(i) <- bucket_counts.(i) + 1)
+      pts;
+    let children = Array.make 4 (Leaf { pts = []; count = 0 }) in
+    for i = 0 to 3 do
+      children.(i) <-
+        split_node t ~depth:(depth + 1)
+          ~box:(Box.child box (Quadrant.of_index i))
+          bucket_pts.(i) bucket_counts.(i)
+    done;
+    Node children
+  end
+
+(* Absorb [p] into leaf [l] at [depth], maintaining the histogram and
+   leaf bookkeeping. Returns [true] when the leaf overflowed (it has
+   already been deregistered) and the caller must replace it with
+   [split_node t ~depth ~box l.pts l.count]. *)
+let leaf_absorb t l p ~depth =
+  let old_bucket = min l.count t.capacity in
+  l.pts <- p :: l.pts;
+  l.count <- l.count + 1;
+  if l.count <= t.capacity || depth >= t.max_depth then begin
+    t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+    let bucket = min l.count t.capacity in
+    t.hist.(bucket) <- t.hist.(bucket) + 1;
+    false
+  end
+  else begin
+    t.leaves <- t.leaves - 1;
+    t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+    true
+  end
+
+(* Walk from the children array of an internal node (at [depth], covering
+   [box]) down to the target leaf. Only a split writes to the spine; the
+   common no-split insert touches no interior slot at all. *)
+let rec descend t p children ~depth ~box =
+  let q, cbox = Box.step box p in
+  let i = Quadrant.to_index q in
+  match children.(i) with
+  | Node grand -> descend t p grand ~depth:(depth + 1) ~box:cbox
+  | Leaf l ->
+    if leaf_absorb t l p ~depth:(depth + 1) then
+      children.(i) <- split_node t ~depth:(depth + 1) ~box:cbox l.pts l.count
+
+let insert t p =
+  if not (Box.contains t.bounds p) then
+    invalid_arg "Pr_builder.insert: point outside bounds";
+  (match t.root with
+  | Leaf l ->
+    if leaf_absorb t l p ~depth:0 then
+      t.root <- split_node t ~depth:0 ~box:t.bounds l.pts l.count
+  | Node children -> descend t p children ~depth:0 ~box:t.bounds);
+  t.size <- t.size + 1
+
+let insert_all t ps = List.iter (insert t) ps
+
+let of_points ?max_depth ?bounds ~capacity ps =
+  let t = create ?max_depth ?bounds ~capacity () in
+  insert_all t ps;
+  t
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    match node with
+    | Leaf l -> f acc ~depth ~box ~points:l.pts ~count:l.count
+    | Node children ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i c ->
+          acc :=
+            go !acc c ~depth:(depth + 1)
+              ~box:(Box.child box (Quadrant.of_index i)))
+        children;
+      !acc
+  in
+  go init t.root ~depth:0 ~box:t.bounds
+
+let iter_points t ~f =
+  fold_leaves t ~init:() ~f:(fun () ~depth:_ ~box:_ ~points ~count:_ ->
+      List.iter f points)
+
+let points t =
+  fold_leaves t ~init:[] ~f:(fun acc ~depth:_ ~box:_ ~points ~count:_ ->
+      List.rev_append points acc)
+
+let freeze t =
+  let rec conv = function
+    | Leaf l -> Pr_quadtree.Raw.Leaf l.pts
+    | Node children -> Pr_quadtree.Raw.Node (Array.map conv children)
+  in
+  Pr_quadtree.Raw.make ~capacity:t.capacity ~max_depth:t.max_depth
+    ~bounds:t.bounds ~size:t.size ~root:(conv t.root)
+
+let thaw tree =
+  let capacity = Pr_quadtree.capacity tree in
+  let t =
+    {
+      capacity;
+      max_depth = Pr_quadtree.max_depth tree;
+      bounds = Pr_quadtree.bounds tree;
+      root = Leaf { pts = []; count = 0 };
+      size = Pr_quadtree.size tree;
+      leaves = 0;
+      internals = 0;
+      height = 0;
+      hist = Array.make (capacity + 1) 0;
+    }
+  in
+  let rec conv depth = function
+    | Pr_quadtree.Raw.Leaf pts ->
+      let count = List.length pts in
+      note_leaf t ~depth count;
+      Leaf { pts; count }
+    | Pr_quadtree.Raw.Node children ->
+      t.internals <- t.internals + 1;
+      let converted = Array.make 4 (Leaf { pts = []; count = 0 }) in
+      Array.iteri (fun i c -> converted.(i) <- conv (depth + 1) c) children;
+      Node converted
+  in
+  t.root <- conv 0 (Pr_quadtree.Raw.root tree);
+  t
+
+let check_invariants t =
+  let problems = ref (Pr_quadtree.check_invariants (freeze t)) in
+  let report fmt = Format.kasprintf (fun s -> problems := !problems @ [ s ]) fmt in
+  let leaves = ref 0 and internals = ref 0 and deepest = ref 0 in
+  let hist = Array.make (t.capacity + 1) 0 in
+  let rec go node ~depth =
+    match node with
+    | Leaf l ->
+      incr leaves;
+      if depth > !deepest then deepest := depth;
+      let bucket = min l.count t.capacity in
+      hist.(bucket) <- hist.(bucket) + 1;
+      if l.count <> List.length l.pts then
+        report "leaf count field %d but %d points stored" l.count
+          (List.length l.pts)
+    | Node children -> begin
+      incr internals;
+      Array.iter (fun c -> go c ~depth:(depth + 1)) children
+    end
+  in
+  go t.root ~depth:0;
+  if !leaves <> t.leaves then
+    report "leaf counter %d but %d leaves present" t.leaves !leaves;
+  if !internals <> t.internals then
+    report "internal counter %d but %d internal nodes present" t.internals
+      !internals;
+  if !deepest <> t.height then
+    report "height field %d but deepest leaf at %d" t.height !deepest;
+  if hist <> t.hist then
+    report "incremental histogram diverges from a recount";
+  !problems

@@ -1,0 +1,115 @@
+open Import
+
+(** The simulation-grade PR quadtree builder. Same decomposition rule as
+    {!Pr_quadtree} — the PR decomposition is canonical, so the two always
+    agree — but engineered for the hot loop of the paper's population
+    experiments, where millions of trees are grown point by point and
+    their statistics sampled at every step:
+
+    - {b destructive inserts}: nodes are mutated in place, no path
+      copying, no per-insert allocation beyond the new point's cons cell
+      and any split the insert forces;
+    - {b counted leaves}: every leaf stores its occupancy next to its
+      point list, so splitting never calls [List.length];
+    - {b incremental statistics}: size, leaf count, internal-node count,
+      height and the occupancy histogram are maintained in O(1) per
+      insert/split, making {!average_occupancy} and
+      {!occupancy_histogram} snapshots O(1) instead of O(tree).
+
+    The builder intentionally has no queries and no deletion; {!freeze}
+    converts a build into a persistent {!Pr_quadtree.t} (sharing the
+    leaf point lists, O(nodes) — cheap) for analysis, and {!thaw} goes
+    the other way. A frozen snapshot stays valid while the builder keeps
+    growing: inserts replace leaf lists rather than mutating them, so
+    the snapshot keeps its own view. *)
+
+type t
+
+(** [create ?max_depth ?bounds ~capacity ()] is an empty builder over
+    [bounds] (default the unit square) with leaf capacity [capacity]
+    (>= 1) and depth limit [max_depth] (default 16; >= 0). Raises
+    [Invalid_argument] on a nonpositive capacity or negative
+    max_depth. *)
+val create : ?max_depth:int -> ?bounds:Box.t -> capacity:int -> unit -> t
+
+(** [capacity t] is the leaf capacity. *)
+val capacity : t -> int
+
+(** [max_depth t] is the depth limit. *)
+val max_depth : t -> int
+
+(** [bounds t] is the root block. *)
+val bounds : t -> Box.t
+
+(** [size t] is the number of stored points. O(1). *)
+val size : t -> int
+
+(** [is_empty t] is [size t = 0]. *)
+val is_empty : t -> bool
+
+(** [insert t p] adds [p], destructively. Duplicate points are stored
+    again (multiset semantics). Raises [Invalid_argument] when [p] is
+    outside the bounds. *)
+val insert : t -> Point.t -> unit
+
+(** [insert_all t ps] inserts every point of [ps] in order. *)
+val insert_all : t -> Point.t list -> unit
+
+(** [of_points ?max_depth ?bounds ~capacity ps] builds by successive
+    destructive insertion — the same growth history as
+    {!Pr_quadtree.of_points}, several times faster. *)
+val of_points :
+  ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
+
+(** [leaf_count t] is the number of leaf blocks, counting empty ones.
+    O(1). *)
+val leaf_count : t -> int
+
+(** [internal_count t] is the number of internal (gray) nodes. O(1). *)
+val internal_count : t -> int
+
+(** [height t] is the depth of the deepest leaf (0 for a single-leaf
+    tree). O(1). *)
+val height : t -> int
+
+(** [occupancy_histogram t] counts leaves by occupancy; index [i] is the
+    number of leaves holding exactly [i] points, over-capacity leaves at
+    the depth limit clamped into the last cell — exactly
+    {!Pr_quadtree.occupancy_histogram}, but O(capacity) (one array copy)
+    instead of O(tree). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is [size t / leaf_count t]. O(1). *)
+val average_occupancy : t -> float
+
+(** [fold_leaves t ~init ~f] folds [f] over every leaf with its depth,
+    block, stored points and their count (the count is free — no
+    [List.length]). *)
+val fold_leaves :
+  t -> init:'a ->
+  f:('a -> depth:int -> box:Box.t -> points:Point.t list -> count:int -> 'a)
+  -> 'a
+
+(** [iter_points t ~f] applies [f] to every stored point. *)
+val iter_points : t -> f:(Point.t -> unit) -> unit
+
+(** [points t] lists all stored points (in no specified order). *)
+val points : t -> Point.t list
+
+(** [freeze t] is the persistent tree with exactly [t]'s decomposition
+    and contents: [equal_structure (freeze t) (Pr_quadtree.of_points
+    ... same points ...)] always holds. O(nodes); leaf point lists are
+    shared, not copied, and remain valid however [t] grows
+    afterwards. *)
+val freeze : t -> Pr_quadtree.t
+
+(** [thaw tree] is a builder resuming from a persistent tree's state,
+    with all incremental statistics recomputed in one traversal. The
+    input tree is not affected by subsequent inserts. *)
+val thaw : Pr_quadtree.t -> t
+
+(** [check_invariants t] verifies the PR invariants of the frozen view
+    plus the builder's own bookkeeping (leaf counts vs actual lists,
+    counters and histogram vs a recount) and returns the violations
+    found (empty when healthy). *)
+val check_invariants : t -> string list

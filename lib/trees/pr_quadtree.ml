@@ -221,31 +221,22 @@ let k_nearest t k p =
   if k < 0 then invalid_arg "Pr_quadtree.k_nearest: k < 0";
   if k = 0 then []
   else begin
-    (* [best] holds at most k (distance, point) pairs sorted ascending;
-       the kth distance (or infinity) bounds the search. *)
-    let best = ref [] in
-    let count = ref 0 in
+    (* A bounded max-heap of the k best candidates: a {!Pqueue} (min-heap)
+       keyed on negated distance, so the current kth distance is at the
+       root and every offer is O(log k). *)
+    let heap = Pqueue.create () in
     let worst () =
-      if !count < k then Float.infinity
+      if Pqueue.size heap < k then Float.infinity
       else
-        match List.nth_opt !best (k - 1) with
-        | Some (d, _) -> d
+        match Pqueue.peek_min heap with
+        | Some (neg_d, _) -> -.neg_d
         | None -> Float.infinity
     in
     let offer q =
       let d = Point.distance_sq p q in
       if d < worst () then begin
-        let rec place = function
-          | [] -> [ (d, q) ]
-          | (d', _) :: _ as rest when d < d' -> (d, q) :: rest
-          | entry :: rest -> entry :: place rest
-        in
-        best := place !best;
-        incr count;
-        if !count > k then begin
-          best := List.filteri (fun i _ -> i < k) !best;
-          count := k
-        end
+        Pqueue.insert heap (-.d) q;
+        if Pqueue.size heap > k then ignore (Pqueue.pop_min heap)
       end
     in
     let rec go node box =
@@ -265,7 +256,8 @@ let k_nearest t k p =
           List.iter (fun (c, b) -> go c b) order
     in
     go t.root t.bounds;
-    List.map snd !best
+    (* Draining the negated-distance heap yields farthest-first. *)
+    List.rev_map snd (Pqueue.drain heap)
   end
 
 type nn_entry = Nn_block of node * Box.t | Nn_point of Point.t
@@ -485,3 +477,17 @@ let check_invariants t =
   if !total <> t.size then
     report "size field %d but %d points stored" t.size !total;
   List.rev !problems
+
+module Raw = struct
+  type raw_node = node =
+    | Leaf of Point.t list
+    | Node of raw_node array
+
+  let root t = t.root
+
+  let make ~capacity ~max_depth ~bounds ~size ~root =
+    if capacity < 1 then invalid_arg "Pr_quadtree.Raw.make: capacity < 1";
+    if max_depth < 0 then invalid_arg "Pr_quadtree.Raw.make: max_depth < 0";
+    if size < 0 then invalid_arg "Pr_quadtree.Raw.make: size < 0";
+    { capacity; max_depth; bounds; root; size }
+end

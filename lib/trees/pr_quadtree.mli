@@ -166,3 +166,25 @@ val equal_structure : t -> t -> bool
     one line per node with its depth, quadrant path and occupancy.
     Intended for debugging and the examples; not a stable format. *)
 val pp_structure : Format.formatter -> t -> unit
+
+(** Direct access to the node spine. This exists so {!Pr_builder} can
+    freeze a mutable build into a persistent tree (and thaw one back)
+    without an O(n log n) rebuild; it is not a stable public API. A tree
+    assembled through {!Raw.make} must satisfy the PR invariants
+    ({!check_invariants}) — nothing is revalidated here beyond the
+    parameter sanity checks. *)
+module Raw : sig
+  type raw_node =
+    | Leaf of Point.t list
+    | Node of raw_node array  (** exactly 4, indexed by [Quadrant.to_index] *)
+
+  (** [root t] is the root node of [t]'s spine. *)
+  val root : t -> raw_node
+
+  (** [make ~capacity ~max_depth ~bounds ~size ~root] wraps a spine into
+      a tree. Raises [Invalid_argument] on nonpositive capacity, negative
+      max_depth, or negative size. *)
+  val make :
+    capacity:int -> max_depth:int -> bounds:Box.t -> size:int ->
+    root:raw_node -> t
+end

@@ -100,6 +100,25 @@ let occupancy_tests =
               (Printf.sprintf "capacity %d: TV %.3f" c.Occupancy.capacity tv)
               true (tv < 0.05))
           comparisons);
+    Alcotest.test_case "builder path agrees with the persistent path" `Quick
+      (fun () ->
+        (* measure_pr runs on Pr_builder; recompute every statistic from
+           persistent trees and demand exact agreement. *)
+        let m = Occupancy.measure_pr small_workload ~capacity:4 in
+        let trees =
+          Workload.map_trials small_workload ~f:(fun _ pts ->
+              Popan_trees.Pr_quadtree.of_points ~capacity:4 pts)
+        in
+        let occs = List.map Popan_trees.Pr_quadtree.average_occupancy trees in
+        let leaves =
+          List.map
+            (fun t -> float_of_int (Popan_trees.Pr_quadtree.leaf_count t))
+            trees
+        in
+        check_close 0.0 "occupancy" (Popan_numerics.Stats.mean occs)
+          m.Occupancy.average_occupancy;
+        check_close 0.0 "leaves" (Popan_numerics.Stats.mean leaves)
+          m.Occupancy.leaf_count_mean);
     Alcotest.test_case "bintree measurement works" `Quick (fun () ->
         let m = Occupancy.measure_bintree small_workload ~capacity:3 in
         check_bool "occupancy sane" true

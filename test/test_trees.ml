@@ -325,6 +325,118 @@ let pr_tests =
         Pr_quadtree.check_invariants !t = []);
   ]
 
+(* Pr_builder: the mutable simulation core must agree with the
+   persistent structure in decomposition and in every incrementally
+   maintained statistic. *)
+
+let pr_builder_tests =
+  [
+    Alcotest.test_case "empty builder statistics" `Quick (fun () ->
+        let b = Pr_builder.create ~capacity:3 () in
+        check_int "size" 0 (Pr_builder.size b);
+        check_int "leaves" 1 (Pr_builder.leaf_count b);
+        check_int "internals" 0 (Pr_builder.internal_count b);
+        check_int "height" 0 (Pr_builder.height b);
+        check_bool "empty" true (Pr_builder.is_empty b);
+        Alcotest.(check (array int)) "hist" [| 1; 0; 0; 0 |]
+          (Pr_builder.occupancy_histogram b));
+    Alcotest.test_case "create validates" `Quick (fun () ->
+        Alcotest.check_raises "cap"
+          (Invalid_argument "Pr_builder.create: capacity < 1") (fun () ->
+            ignore (Pr_builder.create ~capacity:0 ())));
+    Alcotest.test_case "insert outside bounds rejected" `Quick (fun () ->
+        let b = Pr_builder.create ~capacity:1 () in
+        Alcotest.check_raises "out"
+          (Invalid_argument "Pr_builder.insert: point outside bounds")
+          (fun () -> Pr_builder.insert b (Point.make 1.5 0.5)));
+    Alcotest.test_case "freeze of empty equals empty tree" `Quick (fun () ->
+        let b = Pr_builder.create ~capacity:2 () in
+        check_bool "equal" true
+          (Pr_quadtree.equal_structure (Pr_builder.freeze b)
+             (Pr_quadtree.create ~capacity:2 ())));
+    Alcotest.test_case "max_depth truncates and clamps histogram" `Quick
+      (fun () ->
+        let p = Point.make 0.3 0.3 in
+        let b = Pr_builder.of_points ~capacity:1 ~max_depth:5 [ p; p; p ] in
+        check_int "size" 3 (Pr_builder.size b);
+        check_bool "height capped" true (Pr_builder.height b <= 5);
+        let hist = Pr_builder.occupancy_histogram b in
+        check_int "clamped cell" 1 hist.(1);
+        no_violations "inv" (Pr_builder.check_invariants b));
+    Alcotest.test_case "frozen snapshot survives further growth" `Quick
+      (fun () ->
+        (* Inserts replace leaf lists rather than mutating them, so a
+           frozen snapshot keeps its own view of the tree. *)
+        let pts = uniform_points 130 200 in
+        let first, rest =
+          (List.filteri (fun i _ -> i < 100) pts,
+           List.filteri (fun i _ -> i >= 100) pts)
+        in
+        let b = Pr_builder.of_points ~capacity:2 first in
+        let snapshot = Pr_quadtree.of_points ~capacity:2 first in
+        let frozen = Pr_builder.freeze b in
+        Pr_builder.insert_all b rest;
+        check_bool "snapshot intact" true
+          (Pr_quadtree.equal_structure frozen snapshot);
+        check_bool "builder moved on" true
+          (Pr_quadtree.equal_structure (Pr_builder.freeze b)
+             (Pr_quadtree.of_points ~capacity:2 pts)));
+    Alcotest.test_case "thaw resumes a persistent build" `Quick (fun () ->
+        let pts = uniform_points 131 150 in
+        let first, rest =
+          (List.filteri (fun i _ -> i < 75) pts,
+           List.filteri (fun i _ -> i >= 75) pts)
+        in
+        let b = Pr_builder.thaw (Pr_quadtree.of_points ~capacity:3 first) in
+        Pr_builder.insert_all b rest;
+        check_bool "same tree" true
+          (Pr_quadtree.equal_structure (Pr_builder.freeze b)
+             (Pr_quadtree.of_points ~capacity:3 pts)));
+    Alcotest.test_case "fold_leaves counts are free and correct" `Quick
+      (fun () ->
+        let b = Pr_builder.of_points ~capacity:4 (uniform_points 132 300) in
+        Pr_builder.fold_leaves b ~init:()
+          ~f:(fun () ~depth:_ ~box ~points ~count ->
+            check_int "count" (List.length points) count;
+            List.iter
+              (fun p ->
+                if not (Box.contains box p) then
+                  Alcotest.fail "point outside its leaf block")
+              points));
+    prop "freeze equals of_points for any point set and capacity"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 250 in
+        let b = Pr_builder.of_points ~capacity pts in
+        let frozen = Pr_builder.freeze b in
+        Pr_quadtree.equal_structure frozen (Pr_quadtree.of_points ~capacity pts)
+        && Pr_quadtree.check_invariants frozen = []);
+    prop "incremental statistics match the frozen tree's recomputation"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 8))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 300 in
+        let b = Pr_builder.of_points ~capacity pts in
+        let frozen = Pr_builder.freeze b in
+        Pr_builder.size b = Pr_quadtree.size frozen
+        && Pr_builder.leaf_count b = Pr_quadtree.leaf_count frozen
+        && Pr_builder.internal_count b = Pr_quadtree.internal_count frozen
+        && Pr_builder.height b = Pr_quadtree.height frozen
+        && Pr_builder.occupancy_histogram b
+           = Pr_quadtree.occupancy_histogram frozen
+        && Pr_builder.average_occupancy b
+           = Pr_quadtree.average_occupancy frozen
+        && Pr_builder.check_invariants b = []);
+    prop "thaw then freeze is the identity"
+      QCheck2.Gen.(pair (int_range 0 5000) (int_range 1 5))
+      (fun (seed, capacity) ->
+        let t = Pr_quadtree.of_points ~capacity (uniform_points seed 150) in
+        let b = Pr_builder.thaw t in
+        Pr_quadtree.equal_structure t (Pr_builder.freeze b)
+        && Pr_builder.leaf_count b = Pr_quadtree.leaf_count t
+        && Pr_builder.height b = Pr_quadtree.height t
+        && Pr_builder.check_invariants b = []);
+  ]
+
 (* Bintree *)
 
 let bintree_tests =
@@ -1312,6 +1424,7 @@ let () =
   Alcotest.run "popan_trees"
     [
       ("pr_quadtree", pr_tests);
+      ("pr_builder", pr_builder_tests);
       ("bintree", bintree_tests);
       ("md_tree", md_tests);
       ("point_quadtree", point_quadtree_tests);
