@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json examples reproduce report selftest clean
+.PHONY: all build test check bench bench-json examples reproduce report selftest clean
 
 all: build
 
@@ -10,12 +10,29 @@ build:
 test:
 	dune runtest
 
+# Full gate: build everything, run every suite, then smoke-test the
+# parallel engine's determinism contract end to end — table4 at 2
+# domains must be byte-identical to the sequential run.
+check: build test
+	@tmp=$$(mktemp -d); \
+	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
+	dune exec --no-build bin/popan.exe -- table4 -j 2 > $$tmp/par.txt; \
+	if cmp -s $$tmp/seq.txt $$tmp/par.txt; then \
+	  echo "determinism smoke: table4 -j 2 byte-identical to -j 1"; \
+	  rm -rf $$tmp; \
+	else \
+	  echo "determinism smoke FAILED: table4 -j 2 differs from -j 1"; \
+	  diff $$tmp/seq.txt $$tmp/par.txt; rm -rf $$tmp; exit 1; \
+	fi
+
 bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
+# Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR2.json
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR1.json
+	dune exec bench/main.exe -- --json $(BENCH_JSON)
 
 examples:
 	dune exec examples/quickstart.exe

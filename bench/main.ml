@@ -168,6 +168,27 @@ let bench_builder_snapshot =
              Pr_builder.average_occupancy builder,
              Pr_builder.occupancy_histogram builder )))
 
+(* The deterministic multicore trial engine: the same experiment kernel
+   at 1/2/4 domains. The outputs are byte-identical (enforced by the
+   qcheck properties in test/test_parallel.ml); only the wall clock may
+   differ, and only on a multicore machine. *)
+
+let bench_sweep_jobs jobs =
+  Test.make ~name:(Printf.sprintf "parallel:table4 sweep j=%d" jobs)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Sweep.run ~capacity:8 ~jobs ~model:Sampler.Uniform ~trials:10
+              ~seed:1987 ())))
+
+let bench_mc_transform_jobs jobs =
+  Test.make
+    ~name:(Printf.sprintf "parallel:mc transform m=3 (1000 trials) j=%d" jobs)
+    (Staged.stage (fun () ->
+         let rng = Xoshiro.of_int_seed 3 in
+         Sys.opaque_identity
+           (Mc_transform.estimate ~trials:1000 ~jobs rng
+              (Mc_transform.pr_point_model ~capacity:3))))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -178,6 +199,8 @@ let all_benches =
       bench_incremental_build; bench_bulk_build;
       bench_builder_build; bench_builder_build_freeze;
       bench_persistent_snapshot; bench_builder_snapshot;
+      bench_sweep_jobs 1; bench_sweep_jobs 2; bench_sweep_jobs 4;
+      bench_mc_transform_jobs 1; bench_mc_transform_jobs 4;
     ]
 
 let run_benchmarks () =
@@ -222,6 +245,28 @@ let run_benchmarks () =
        ~header:[ "bench"; "ns/run"; "r^2" ]
        body);
   estimates
+
+(* The headline ablation, stated in wall-clock terms: ns/run of the
+   table4 sweep kernel at 1 vs 4 domains (bechamel's monotonic clock is
+   wall time, so on a single-core machine the ratio honestly reports
+   ~1x — domains can only time-slice one core). *)
+let print_parallel_summary estimates =
+  let find name =
+    List.find_map
+      (fun (n, ns, _) -> if n = "popan/" ^ name then ns else None)
+      estimates
+  in
+  match
+    (find "parallel:table4 sweep j=1", find "parallel:table4 sweep j=4")
+  with
+  | Some s1, Some s4 ->
+    Printf.printf
+      "\ntable4 sweep wall clock: j=1 %.2f ms/run, j=4 %.2f ms/run -> \
+       %.2fx speedup (machine has %d core%s)\n"
+      (s1 /. 1e6) (s4 /. 1e6) (s1 /. s4)
+      (Popan_parallel.recommended_jobs ())
+      (if Popan_parallel.recommended_jobs () = 1 then "" else "s")
+  | _ -> ()
 
 (* Machine-readable perf trajectory: --json FILE (or BENCH_JSON=FILE)
    writes the ns/run estimates as one flat JSON object keyed by bench
@@ -333,6 +378,7 @@ let regenerate () =
 let () =
   Printf.printf "== popan bench: micro-benchmarks ==\n\n%!";
   let estimates = run_benchmarks () in
+  print_parallel_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
   let clock = Sys.time () in

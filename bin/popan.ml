@@ -13,6 +13,19 @@ module Population = Popan_core.Population
 
 open Cmdliner
 
+let jobs_term =
+  let doc =
+    "Worker domains for the trial-parallel experiments (0 = one per \
+     core). Every table is byte-identical for every $(docv) — the \
+     engine pre-splits all per-trial random streams and merges results \
+     in trial order."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+(* The flag lands in the ambient default consulted by every experiment
+   entry point, so extension studies inherit it too. *)
+let set_jobs jobs = Popan_parallel.set_default_jobs jobs
+
 let points_term =
   let doc = "Points per trial." in
   Arg.(value & opt int 1000 & info [ "n"; "points" ] ~docv:"N" ~doc)
@@ -82,33 +95,42 @@ let comparisons ~points ~trials ~seed =
   Occupancy.table1 (Workload.make ~points ~trials ~seed ())
 
 let table1_cmd =
-  let run points trials seed =
+  let run jobs points trials seed =
+    set_jobs jobs;
     Table.print (Render.table1 (comparisons ~points ~trials ~seed))
   in
-  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  let term =
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+  in
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Reproduce Table 1: expected distributions, theory vs experiment.")
     term
 
 let table2_cmd =
-  let run points trials seed =
+  let run jobs points trials seed =
+    set_jobs jobs;
     Table.print (Render.table2 (comparisons ~points ~trials ~seed))
   in
-  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  let term =
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+  in
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Reproduce Table 2: average node occupancies and % differences.")
     term
 
 let table3_cmd =
-  let run points trials seed =
+  let run jobs points trials seed =
+    set_jobs jobs;
     let workload = Workload.make ~points ~trials ~seed () in
     Table.print (Render.table3 (Depth_profile.run workload));
     Printf.printf "post-split asymptote (capacity 1): %.2f\n"
       (Depth_profile.post_split_asymptote ~capacity:1)
   in
-  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  let term =
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+  in
   Cmd.v
     (Cmd.info "table3" ~doc:"Reproduce Table 3: occupancy by node size (aging).")
     term
@@ -125,7 +147,8 @@ let sweep ?(incremental = false) ~model ~trials ~seed ~capacity () =
   else Sweep.run ~capacity ~model ~trials ~seed ()
 
 let table4_cmd =
-  let run trials seed capacity csv incremental =
+  let run jobs trials seed capacity csv incremental =
+    set_jobs jobs;
     let rows =
       sweep ~incremental ~model:Popan_rng.Sampler.Uniform ~trials ~seed
         ~capacity ()
@@ -137,8 +160,8 @@ let table4_cmd =
     Option.iter (fun path -> write_csv path rows) csv
   in
   let term =
-    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
-          $ csv_term $ incremental_term)
+    Term.(const run $ jobs_term $ trials_term $ seed_term
+          $ capacity_term ~default:8 $ csv_term $ incremental_term)
   in
   Cmd.v
     (Cmd.info "table4"
@@ -146,7 +169,8 @@ let table4_cmd =
     term
 
 let table5_cmd =
-  let run trials seed capacity csv incremental =
+  let run jobs trials seed capacity csv incremental =
+    set_jobs jobs;
     let rows =
       sweep ~incremental
         ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
@@ -159,16 +183,17 @@ let table5_cmd =
     Option.iter (fun path -> write_csv path rows) csv
   in
   let term =
-    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
-          $ csv_term $ incremental_term)
+    Term.(const run $ jobs_term $ trials_term $ seed_term
+          $ capacity_term ~default:8 $ csv_term $ incremental_term)
   in
   Cmd.v
     (Cmd.info "table5"
        ~doc:"Reproduce Table 5: occupancy vs N, Gaussian data (damped phasing).")
     term
 
-let figure ~number ~model ~paper ~title trials seed capacity csv =
+let figure ~number ~model ~paper ~title jobs trials seed capacity csv =
   ignore number;
+  set_jobs jobs;
   let rows = sweep ~model ~trials ~seed ~capacity () in
   print_string (Render.sweep_figure ~title ~paper rows);
   let series = Sweep.series rows in
@@ -187,8 +212,8 @@ let fig2_cmd =
       ~title:"Figure 2: occupancy vs number of points (uniform)"
   in
   let term =
-    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
-          $ csv_term)
+    Term.(const run $ jobs_term $ trials_term $ seed_term
+          $ capacity_term ~default:8 $ csv_term)
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (ASCII).") term
 
@@ -199,19 +224,20 @@ let fig3_cmd =
       ~title:"Figure 3: occupancy vs number of points (Gaussian)"
   in
   let term =
-    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8
-          $ csv_term)
+    Term.(const run $ jobs_term $ trials_term $ seed_term
+          $ capacity_term ~default:8 $ csv_term)
   in
   Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (ASCII).") term
 
 let ext_branching_cmd =
-  let run points trials seed capacity =
+  let run jobs points trials seed capacity =
+    set_jobs jobs;
     Table.print
       (Render.branching_table
          (Ext.branching_study ~points ~trials ~seed ~capacity ()))
   in
   let term =
-    Term.(const run $ points_term $ trials_term $ seed_term
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term
           $ capacity_term ~default:4)
   in
   Cmd.v
@@ -312,7 +338,8 @@ let ext_hashmodel_cmd =
     term
 
 let ext_trajectory_cmd =
-  let run trials seed capacity =
+  let run jobs trials seed capacity =
+    set_jobs jobs;
     let uniform =
       Trajectory.run ~capacity ~model:Popan_rng.Sampler.Uniform ~trials ~seed ()
     in
@@ -348,7 +375,8 @@ let ext_trajectory_cmd =
       (Popan_core.Phasing.damping_ratio (tv_series gaussian))
   in
   let term =
-    Term.(const run $ trials_term $ seed_term $ capacity_term ~default:8)
+    Term.(const run $ jobs_term $ trials_term $ seed_term
+          $ capacity_term ~default:8)
   in
   Cmd.v
     (Cmd.info "ext-trajectory"
@@ -383,17 +411,21 @@ let ext_solvers_cmd =
     term
 
 let ext_aging_cmd =
-  let run points trials seed =
+  let run jobs points trials seed =
+    set_jobs jobs;
     Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
   in
-  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  let term =
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+  in
   Cmd.v
     (Cmd.info "ext-aging"
        ~doc:"Extension: area-weighted aging correction vs Table 2's bias.")
     term
 
 let all_cmd =
-  let run points trials seed =
+  let run jobs points trials seed =
+    set_jobs jobs;
     let cs = comparisons ~points ~trials ~seed in
     Table.print (Render.table1 cs);
     Table.print (Render.table2 cs);
@@ -456,7 +488,9 @@ let all_cmd =
     Table.print (Render.solver_table (Ext.solver_study ()));
     Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
   in
-  let term = Term.(const run $ points_term $ trials_term $ seed_term) in
+  let term =
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table, figure and extension experiment.")
     term
@@ -666,7 +700,8 @@ let measure_cmd =
     term
 
 let report_cmd =
-  let run points trials seed output =
+  let run jobs points trials seed output =
+    set_jobs jobs;
     let buffer = Buffer.create 65536 in
     let add s = Buffer.add_string buffer s in
     let table t = add (Table.render_markdown t ^ "\n") in
@@ -748,7 +783,8 @@ let report_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let term =
-    Term.(const run $ points_term $ trials_term $ seed_term $ output)
+    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term
+          $ output)
   in
   Cmd.v
     (Cmd.info "report"

@@ -12,4 +12,5 @@ module Box = Popan_geom.Box
 module Segment = Popan_geom.Segment
 module Quadrant = Popan_geom.Quadrant
 module Xoshiro = Popan_rng.Xoshiro
+module Parallel = Popan_parallel
 module Sampler = Popan_rng.Sampler

@@ -17,10 +17,21 @@ let estimate_row ?(trials = 10_000) rng model ~occupancy =
   done;
   Vec.scale (1.0 /. float_of_int trials) acc
 
-let estimate ?trials rng model =
+let estimate ?trials ?jobs rng model =
+  if model.types <= 0 then invalid_arg "Mc_transform: types <= 0";
+  (* One child generator per row, split from [rng] in row order before
+     any row is simulated: rows are then independent streams and fan out
+     across domains with a schedule-independent matrix. (Rows used to
+     share [rng] sequentially; the split scheme is the price of a
+     deterministic parallel estimator and changes only which random
+     numbers each row consumes, not the estimator's distribution.) *)
+  let rngs = Array.make model.types rng in
+  for i = 0 to model.types - 1 do
+    rngs.(i) <- Xoshiro.split rng
+  done;
   let rows =
-    List.init model.types (fun i ->
-        Vec.to_list (estimate_row ?trials rng model ~occupancy:i))
+    Parallel.map_list ?jobs model.types ~f:(fun i ->
+        Vec.to_list (estimate_row ?trials rngs.(i) model ~occupancy:i))
   in
   Transform.of_rows rows
 

@@ -20,11 +20,15 @@ type local_model = {
           class produced (length [types]) *)
 }
 
-(** [estimate ?trials rng model] estimates the transform matrix by
-    averaging [trials] simulations per row (default 10_000).
-    Raises [Invalid_argument] when [trials <= 0] or [model.types <= 0],
-    and whatever the simulation raises. *)
-val estimate : ?trials:int -> Xoshiro.t -> local_model -> Transform.t
+(** [estimate ?trials ?jobs rng model] estimates the transform matrix by
+    averaging [trials] simulations per row (default 10_000). Each row
+    draws from its own generator, split from [rng] in row order before
+    any simulation runs, so the rows fan out across [jobs] domains
+    (default {!Popan_parallel.default_jobs}) and the matrix is
+    byte-identical for every job count. [model.simulate] must depend
+    only on its arguments. Raises [Invalid_argument] when [trials <= 0]
+    or [model.types <= 0], and whatever the simulation raises. *)
+val estimate : ?trials:int -> ?jobs:int -> Xoshiro.t -> local_model -> Transform.t
 
 (** [pr_point_model ~capacity] is the local model of the generalized PR
     quadtree for uniform points: inserting into a node of occupancy

@@ -7,23 +7,35 @@ type row = {
   occupancy : float;
 }
 
-let run ?(capacity = 1) ?(max_depth = 9) workload =
+let run ?(capacity = 1) ?(max_depth = 9) ?jobs workload =
   let trials = workload.Workload.trials in
-  (* Per depth: (empty leaf count, full leaf count, leaves, points). *)
+  (* Per depth: (empty leaf count, full leaf count, leaves, points).
+     Each trial folds into its own table — trials may run on different
+     domains, so the task must not touch shared state — and the tables
+     are merged afterwards (integer sums, so the merge order cannot
+     shift a bit). *)
+  let tally table depth cell =
+    let e, f, l, p =
+      Option.value (Hashtbl.find_opt table depth) ~default:(0, 0, 0, 0)
+    in
+    let de, df, dl, dp = cell in
+    Hashtbl.replace table depth (e + de, f + df, l + dl, p + dp)
+  in
+  let per_trial =
+    Workload.map_trials ?jobs workload ~f:(fun _ points ->
+        let tree = Pr_builder.of_points ~max_depth ~capacity points in
+        let mine = Hashtbl.create 16 in
+        Pr_builder.fold_leaves tree ~init:()
+          ~f:(fun () ~depth ~box:_ ~points:_ ~count:occ ->
+            tally mine depth
+              ( (if occ = 0 then 1 else 0),
+                (if occ >= capacity then 1 else 0),
+                1,
+                occ ));
+        mine)
+  in
   let table = Hashtbl.create 16 in
-  Workload.map_trials workload ~f:(fun _ points ->
-      let tree = Pr_builder.of_points ~max_depth ~capacity points in
-      Pr_builder.fold_leaves tree ~init:()
-        ~f:(fun () ~depth ~box:_ ~points:_ ~count:occ ->
-          let empty, full, leaves, pts =
-            Option.value (Hashtbl.find_opt table depth) ~default:(0, 0, 0, 0)
-          in
-          Hashtbl.replace table depth
-            ( (empty + if occ = 0 then 1 else 0),
-              (full + if occ >= capacity then 1 else 0),
-              leaves + 1,
-              pts + occ )))
-  |> ignore;
+  List.iter (fun mine -> Hashtbl.iter (tally table) mine) per_trial;
   Hashtbl.fold (fun depth cell acc -> (depth, cell) :: acc) table []
   |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
   |> List.map (fun (depth, (empty, full, leaves, pts)) ->

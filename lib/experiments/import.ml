@@ -6,6 +6,7 @@ module Point = Popan_geom.Point
 module Box = Popan_geom.Box
 module Segment = Popan_geom.Segment
 module Xoshiro = Popan_rng.Xoshiro
+module Parallel = Popan_parallel
 module Sampler = Popan_rng.Sampler
 module Pr_quadtree = Popan_trees.Pr_quadtree
 module Pr_builder = Popan_trees.Pr_builder

@@ -26,40 +26,56 @@ let aggregate histograms occupancies leaf_counts =
     trials = List.length occupancies;
   }
 
-let measure_pr ?max_depth workload ~capacity =
-  let builders =
-    Workload.map_trials workload ~f:(fun _ points ->
-        Pr_builder.of_points ?max_depth ~capacity points)
+let measure_pr ?max_depth ?jobs workload ~capacity =
+  (* Ship the per-trial statistics, not the builders: the trees die in
+     the domain that grew them. *)
+  let measured =
+    Workload.map_trials ?jobs workload ~f:(fun _ points ->
+        let b = Pr_builder.of_points ?max_depth ~capacity points in
+        ( Pr_builder.occupancy_histogram b,
+          Pr_builder.average_occupancy b,
+          float_of_int (Pr_builder.leaf_count b) ))
   in
   aggregate
-    (List.map Pr_builder.occupancy_histogram builders)
-    (List.map Pr_builder.average_occupancy builders)
-    (List.map (fun t -> float_of_int (Pr_builder.leaf_count t)) builders)
+    (List.map (fun (h, _, _) -> h) measured)
+    (List.map (fun (_, o, _) -> o) measured)
+    (List.map (fun (_, _, l) -> l) measured)
 
-let measure_bintree ?max_depth workload ~capacity =
-  let trees =
-    Workload.map_trials workload ~f:(fun _ points ->
-        Bintree.of_points ?max_depth ~capacity points)
+let measure_bintree ?max_depth ?jobs workload ~capacity =
+  let measured =
+    Workload.map_trials ?jobs workload ~f:(fun _ points ->
+        let t = Bintree.of_points ?max_depth ~capacity points in
+        ( Bintree.occupancy_histogram t,
+          Bintree.average_occupancy t,
+          float_of_int (Bintree.leaf_count t) ))
   in
   aggregate
-    (List.map Bintree.occupancy_histogram trees)
-    (List.map Bintree.average_occupancy trees)
-    (List.map (fun t -> float_of_int (Bintree.leaf_count t)) trees)
+    (List.map (fun (h, _, _) -> h) measured)
+    (List.map (fun (_, o, _) -> o) measured)
+    (List.map (fun (_, _, l) -> l) measured)
 
-let measure_md ?max_depth ~dim ~points ~trials ~seed ~capacity () =
+let measure_md ?max_depth ?jobs ~dim ~points ~trials ~seed ~capacity () =
   if points <= 0 then invalid_arg "Occupancy.measure_md: points <= 0";
   if trials <= 0 then invalid_arg "Occupancy.measure_md: trials <= 0";
   let master = Xoshiro.of_int_seed seed in
-  let trees =
-    List.init trials (fun _ ->
-        let rng = Xoshiro.split master in
-        Md_tree.of_points ?max_depth ~capacity ~dim
-          (Sampler.points_nd rng ~dim points))
+  let rngs = Array.make trials master in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Xoshiro.split master
+  done;
+  let measured =
+    Parallel.map_list ?jobs trials ~f:(fun i ->
+        let t =
+          Md_tree.of_points ?max_depth ~capacity ~dim
+            (Sampler.points_nd rngs.(i) ~dim points)
+        in
+        ( Md_tree.occupancy_histogram t,
+          Md_tree.average_occupancy t,
+          float_of_int (Md_tree.leaf_count t) ))
   in
   aggregate
-    (List.map Md_tree.occupancy_histogram trees)
-    (List.map Md_tree.average_occupancy trees)
-    (List.map (fun t -> float_of_int (Md_tree.leaf_count t)) trees)
+    (List.map (fun (h, _, _) -> h) measured)
+    (List.map (fun (_, o, _) -> o) measured)
+    (List.map (fun (_, _, l) -> l) measured)
 
 type comparison = {
   capacity : int;
@@ -69,10 +85,10 @@ type comparison = {
   percent_difference : float;
 }
 
-let compare_pr ?max_depth workload ~capacity =
+let compare_pr ?max_depth ?jobs workload ~capacity =
   let report = Population.expected_distribution ~branching:4 ~capacity () in
   let theory = report.Fixed_point.distribution in
-  let measured = measure_pr ?max_depth workload ~capacity in
+  let measured = measure_pr ?max_depth ?jobs workload ~capacity in
   let theory_occupancy = Distribution.average_occupancy theory in
   {
     capacity;
@@ -85,5 +101,8 @@ let compare_pr ?max_depth workload ~capacity =
       /. theory_occupancy;
   }
 
-let table1 ?max_depth ?(capacities = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) workload =
-  List.map (fun capacity -> compare_pr ?max_depth workload ~capacity) capacities
+let table1 ?max_depth ?jobs ?(capacities = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) workload
+    =
+  List.map
+    (fun capacity -> compare_pr ?max_depth ?jobs workload ~capacity)
+    capacities

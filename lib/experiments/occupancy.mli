@@ -15,19 +15,23 @@ type measurement = {
   trials : int;
 }
 
-(** [measure_pr ?max_depth workload ~capacity] builds one PR quadtree per
-    trial and aggregates. *)
-val measure_pr : ?max_depth:int -> Workload.t -> capacity:int -> measurement
+(** [measure_pr ?max_depth ?jobs workload ~capacity] builds one PR
+    quadtree per trial and aggregates. Trials fan out across [jobs]
+    domains (default {!Popan_parallel.default_jobs}); the measurement is
+    byte-identical for every job count. *)
+val measure_pr :
+  ?max_depth:int -> ?jobs:int -> Workload.t -> capacity:int -> measurement
 
-(** [measure_bintree ?max_depth workload ~capacity] — same for the
+(** [measure_bintree ?max_depth ?jobs workload ~capacity] — same for the
     bintree (branching 2). *)
-val measure_bintree : ?max_depth:int -> Workload.t -> capacity:int -> measurement
+val measure_bintree :
+  ?max_depth:int -> ?jobs:int -> Workload.t -> capacity:int -> measurement
 
-(** [measure_md ?max_depth ~dim ~points ~trials ~seed ~capacity ()] —
-    same for the d-dimensional PR tree on uniform points. *)
+(** [measure_md ?max_depth ?jobs ~dim ~points ~trials ~seed ~capacity ()]
+    — same for the d-dimensional PR tree on uniform points. *)
 val measure_md :
-  ?max_depth:int -> dim:int -> points:int -> trials:int -> seed:int ->
-  capacity:int -> unit -> measurement
+  ?max_depth:int -> ?jobs:int -> dim:int -> points:int -> trials:int ->
+  seed:int -> capacity:int -> unit -> measurement
 
 type comparison = {
   capacity : int;
@@ -39,11 +43,13 @@ type comparison = {
           "percent difference" column (e.g. 7.2 for capacity 1) *)
 }
 
-(** [compare_pr ?max_depth workload ~capacity] builds the measurement and
-    compares it with the analytic quadtree model. *)
-val compare_pr : ?max_depth:int -> Workload.t -> capacity:int -> comparison
+(** [compare_pr ?max_depth ?jobs workload ~capacity] builds the
+    measurement and compares it with the analytic quadtree model. *)
+val compare_pr :
+  ?max_depth:int -> ?jobs:int -> Workload.t -> capacity:int -> comparison
 
-(** [table1 ?max_depth ?capacities workload] is {!compare_pr} for each
-    capacity (default 1..8) — the whole of Tables 1 and 2. *)
+(** [table1 ?max_depth ?jobs ?capacities workload] is {!compare_pr} for
+    each capacity (default 1..8) — the whole of Tables 1 and 2. *)
 val table1 :
-  ?max_depth:int -> ?capacities:int list -> Workload.t -> comparison list
+  ?max_depth:int -> ?jobs:int -> ?capacities:int list -> Workload.t ->
+  comparison list

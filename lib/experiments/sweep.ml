@@ -25,26 +25,39 @@ let grid ?(steps_per_quadrupling = 4) ~lo ~hi () =
   in
   go [] (float_of_int lo)
 
-let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
   if trials <= 0 then invalid_arg "Sweep.run: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
   in
+  let sizes_a = Array.of_list sizes in
+  let total = Array.length sizes_a * trials in
+  (* Pre-split one generator per (size, trial) pair, in the historical
+     nested order, then fan the pairs out: every build's stream is fixed
+     before any domain starts, so the rows cannot depend on the
+     schedule. *)
   let master = Xoshiro.of_int_seed seed in
-  List.map
-    (fun points ->
-      let measurements =
-        List.init trials (fun _ ->
-            let rng = Xoshiro.split master in
-            let tree =
-              Pr_builder.of_points ~max_depth ~capacity
-                (Sampler.points rng model points)
-            in
-            ( float_of_int (Pr_builder.leaf_count tree),
-              Pr_builder.average_occupancy tree ))
+  let rngs = Array.make (max total 1) master in
+  for k = 0 to total - 1 do
+    rngs.(k) <- Xoshiro.split master
+  done;
+  let measurements =
+    Parallel.map_array ?jobs total ~f:(fun k ->
+        let points = sizes_a.(k / trials) in
+        let tree =
+          Pr_builder.of_points ~max_depth ~capacity
+            (Sampler.points rngs.(k) model points)
+        in
+        ( float_of_int (Pr_builder.leaf_count tree),
+          Pr_builder.average_occupancy tree ))
+  in
+  List.mapi
+    (fun i points ->
+      let at_size =
+        List.init trials (fun t -> measurements.((i * trials) + t))
       in
-      let nodes = List.map fst measurements in
-      let occs = List.map snd measurements in
+      let nodes = List.map fst at_size in
+      let occs = List.map snd at_size in
       {
         points;
         nodes = Stats.mean nodes;
@@ -53,8 +66,8 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
       })
     sizes
 
-let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials
-    ~seed () =
+let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model
+    ~trials ~seed () =
   if trials <= 0 then invalid_arg "Sweep.run_incremental: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
@@ -68,11 +81,14 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials
         invalid_arg "Sweep.run_incremental: sizes must increase")
     sizes_a;
   let master = Xoshiro.of_int_seed seed in
+  let rngs = Array.make trials master in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Xoshiro.split master
+  done;
   (* One growing tree per trial; the O(1) builder statistics make each
      snapshot free, and per-trial arrays keep the per-size aggregation
-     linear. *)
-  let trial () =
-    let rng = Xoshiro.split master in
+     linear. Trials are independent, so they fan out across domains. *)
+  let trial rng =
     let tree = Pr_builder.create ~max_depth ~capacity () in
     let have = ref 0 in
     let out = Array.make (Array.length sizes_a) (0.0, 0.0) in
@@ -86,7 +102,7 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials
       sizes_a;
     out
   in
-  let snapshots = List.init trials (fun _ -> trial ()) in
+  let snapshots = Parallel.map_list ?jobs trials ~f:(fun i -> trial rngs.(i)) in
   List.mapi
     (fun i points ->
       let at_size = List.map (fun trial -> trial.(i)) snapshots in

@@ -19,13 +19,16 @@ type row = {
     Raises [Invalid_argument] unless [0 < lo <= hi]. *)
 val grid : ?steps_per_quadrupling:int -> lo:int -> hi:int -> unit -> int list
 
-(** [run ?capacity ?max_depth ?sizes ~model ~trials ~seed ()] builds
-    [trials] PR quadtrees at every grid size and reports the rows.
-    Defaults: capacity 8, the paper's grid 64..4096, max_depth 16. Each
-    (size, trial) pair gets an independent stream; trees are built by
-    insertion from scratch at every size, as in the paper. *)
+(** [run ?capacity ?max_depth ?sizes ?jobs ~model ~trials ~seed ()]
+    builds [trials] PR quadtrees at every grid size and reports the
+    rows. Defaults: capacity 8, the paper's grid 64..4096, max_depth 16.
+    Each (size, trial) pair gets an independent stream, split before any
+    tree is built, so the (size, trial) builds fan out across [jobs]
+    domains (default {!Popan_parallel.default_jobs}) with byte-identical
+    rows for every job count. Trees are built by insertion from scratch
+    at every size, as in the paper. *)
 val run :
-  ?capacity:int -> ?max_depth:int -> ?sizes:int list ->
+  ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
 
 (** [run_incremental ?capacity ?max_depth ?sizes ~model ~trials ~seed ()]
@@ -33,9 +36,11 @@ val run :
     sizes, snapshotting the statistics as it passes each one — the
     trajectory of one growing database rather than independent builds.
     Phasing is a property of the growth process, so both variants show
-    it; this one makes the "same tree, later" reading literal. *)
+    it; this one makes the "same tree, later" reading literal. Trials
+    fan out across [jobs] domains; rows are byte-identical for every
+    job count. *)
 val run_incremental :
-  ?capacity:int -> ?max_depth:int -> ?sizes:int list ->
+  ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
 
 (** [series rows] converts rows into a {!Phasing.series} for oscillation

@@ -7,7 +7,8 @@ type row = {
   average_occupancy : float;
 }
 
-let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed ()
+    =
   if trials <= 0 then invalid_arg "Trajectory.run: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
@@ -16,20 +17,31 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ~model ~trials ~seed () =
     (Population.expected_distribution ~branching:4 ~capacity ())
       .Fixed_point.distribution
   in
+  let sizes_a = Array.of_list sizes in
+  let total = Array.length sizes_a * trials in
+  (* Same deterministic fan-out as Sweep.run: one pre-split generator
+     per (size, trial) pair, in the historical nested order. *)
   let master = Xoshiro.of_int_seed seed in
-  List.map
-    (fun points ->
-      let histograms =
-        List.init trials (fun _ ->
-            let rng = Xoshiro.split master in
-            let tree =
-              Pr_builder.of_points ~max_depth ~capacity
-                (Sampler.points rng model points)
-            in
-            Pr_builder.occupancy_histogram tree)
+  let rngs = Array.make (max total 1) master in
+  for k = 0 to total - 1 do
+    rngs.(k) <- Xoshiro.split master
+  done;
+  let histograms =
+    Parallel.map_array ?jobs total ~f:(fun k ->
+        let points = sizes_a.(k / trials) in
+        let tree =
+          Pr_builder.of_points ~max_depth ~capacity
+            (Sampler.points rngs.(k) model points)
+        in
+        Pr_builder.occupancy_histogram tree)
+  in
+  List.mapi
+    (fun i points ->
+      let at_size =
+        List.init trials (fun t -> histograms.((i * trials) + t))
       in
       let distribution =
-        Distribution.of_weights (Tree_stats.mean_proportions histograms)
+        Distribution.of_weights (Tree_stats.mean_proportions at_size)
       in
       {
         points;

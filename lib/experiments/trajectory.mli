@@ -16,11 +16,12 @@ type row = {
   average_occupancy : float;
 }
 
-(** [run ?capacity ?max_depth ?sizes ~model ~trials ~seed ()] measures
-    [d_n] for each grid size (defaults: capacity 8, the paper's
-    64..4096 ladder). *)
+(** [run ?capacity ?max_depth ?sizes ?jobs ~model ~trials ~seed ()]
+    measures [d_n] for each grid size (defaults: capacity 8, the
+    paper's 64..4096 ladder). (size, trial) builds fan out across
+    [jobs] domains with byte-identical rows for every job count. *)
 val run :
-  ?capacity:int -> ?max_depth:int -> ?sizes:int list ->
+  ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
 
 (** [oscillation rows] is the amplitude of the [tv_to_theory] sequence —

@@ -17,16 +17,35 @@ let trial_rngs w =
   let master = Xoshiro.of_int_seed w.seed in
   List.init w.trials (fun _ -> Xoshiro.split master)
 
+(* Pre-split one generator per trial, in trial order. Sampling a child
+   generator never touches the master, so every trial's point stream is
+   the same whether the trials are then consumed sequentially or fanned
+   out across domains. *)
+let trial_rng_array w =
+  let master = Xoshiro.of_int_seed w.seed in
+  let rngs = Array.make w.trials master in
+  for i = 0 to w.trials - 1 do
+    rngs.(i) <- Xoshiro.split master
+  done;
+  rngs
+
+let points_of_trial w i =
+  if i < 0 || i >= w.trials then
+    invalid_arg "Workload.points_of_trial: trial index out of range";
+  let master = Xoshiro.of_int_seed w.seed in
+  let rng = ref master in
+  for _ = 0 to i do
+    rng := Xoshiro.split master
+  done;
+  Sampler.points !rng w.model w.points
+
 let trial_points w =
   List.map (fun rng -> Sampler.points rng w.model w.points) (trial_rngs w)
 
-let map_trials w ~f =
-  (* Stream one trial at a time so only the current trial's points are
-     live, instead of materializing all [trials * points] of them up
-     front. Sampling a child generator never touches the master, so the
-     split sequence — and every trial's point stream — is identical to
-     {!trial_points}'s. *)
-  let master = Xoshiro.of_int_seed w.seed in
-  List.init w.trials (fun i ->
-      let rng = Xoshiro.split master in
-      f i (Sampler.points rng w.model w.points))
+let map_trials ?jobs w ~f =
+  (* Each trial samples its own points inside the task, so only live
+     trials are materialized; with [jobs = 1] this is the sequential
+     streaming path, byte-identical to the historical one. *)
+  let rngs = trial_rng_array w in
+  Parallel.map_list ?jobs w.trials ~f:(fun i ->
+      f i (Sampler.points rngs.(i) w.model w.points))

@@ -3,7 +3,9 @@ open Import
 (** Workload descriptions and deterministic trial streams. Every
     experiment derives its randomness from a master seed split into
     per-trial generators, so the whole evaluation is reproducible and
-    individual trials are independent. *)
+    individual trials are independent — and, because the split sequence
+    is fixed before any trial runs, {!map_trials} may fan the trials out
+    across domains without changing a single byte of any result. *)
 
 type t = {
   model : Sampler.point_model;
@@ -22,8 +24,22 @@ val make :
 (** [trial_rngs w] is one independent generator per trial. *)
 val trial_rngs : t -> Xoshiro.t list
 
-(** [trial_points w] is the point list of every trial. *)
-val trial_points : t -> Point.t list list
+(** [points_of_trial w i] is trial [i]'s point list alone — indexed
+    access that materializes a single trial. The stream is the one
+    {!map_trials} hands to [f i]. Raises [Invalid_argument] when [i] is
+    not in [[0, trials)]. *)
+val points_of_trial : t -> int -> Point.t list
 
-(** [map_trials w ~f] applies [f] to each trial's points, with its index. *)
-val map_trials : t -> f:(int -> Point.t list -> 'a) -> 'a list
+(** [trial_points w] is the point list of every trial, all materialized
+    at once. *)
+val trial_points : t -> Point.t list list
+[@@deprecated
+  "materializes every trial at once; use map_trials (streaming) or \
+   points_of_trial (indexed) instead"]
+
+(** [map_trials ?jobs w ~f] applies [f] to each trial's points, with its
+    index, and returns the results in trial order. [f] runs once per
+    trial across [jobs] domains (default {!Popan_parallel.default_jobs},
+    i.e. sequential); it must depend only on its arguments. Results are
+    byte-identical for every job count. *)
+val map_trials : ?jobs:int -> t -> f:(int -> Point.t list -> 'a) -> 'a list

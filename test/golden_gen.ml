@@ -1,0 +1,67 @@
+(* Full-float-precision golden dump of the paper-parameter experiment
+   pipeline (Tables 1–5 plus the trajectory study), one value per
+   field, printed with %.17g so any numeric drift — a reordered float
+   sum, a changed RNG split, an altered tree traversal — flips the byte
+   diff under `dune runtest`. The CLI snapshots in golden/ pin the
+   user-facing tables; this file pins the numbers behind them at full
+   precision. *)
+
+open Popan_experiments
+module Distribution = Popan_core.Distribution
+module Sampler = Popan_rng.Sampler
+
+let f = Printf.sprintf "%.17g"
+let vec v = String.concat " " (List.map f (Popan_numerics.Vec.to_list v))
+
+let () =
+  let workload = Workload.make ~points:1000 ~trials:10 ~seed:1987 () in
+  print_endline "== table1/2: theory vs experiment, capacities 1..8 ==";
+  List.iter
+    (fun (c : Occupancy.comparison) ->
+      let m = c.Occupancy.measured in
+      let lo, hi = m.Occupancy.occupancy_ci in
+      Printf.printf "capacity %d\n" c.Occupancy.capacity;
+      Printf.printf "  theory   %s\n"
+        (vec (Distribution.to_vec c.Occupancy.theory));
+      Printf.printf "  measured %s\n"
+        (vec (Distribution.to_vec m.Occupancy.distribution));
+      Printf.printf "  occupancy %s stddev %s ci %s %s\n"
+        (f m.Occupancy.average_occupancy)
+        (f m.Occupancy.occupancy_stddev)
+        (f lo) (f hi);
+      Printf.printf "  leaves %s theory_occ %s pct_diff %s\n"
+        (f m.Occupancy.leaf_count_mean)
+        (f c.Occupancy.theory_occupancy)
+        (f c.Occupancy.percent_difference))
+    (Occupancy.table1 workload);
+  print_endline "== table3: occupancy by depth ==";
+  List.iter
+    (fun (r : Depth_profile.row) ->
+      Printf.printf "depth %d empty %s full %s occupancy %s\n"
+        r.Depth_profile.depth
+        (f r.Depth_profile.empty_leaves)
+        (f r.Depth_profile.full_leaves)
+        (f r.Depth_profile.occupancy))
+    (Depth_profile.run workload);
+  let print_sweep rows =
+    List.iter
+      (fun (r : Sweep.row) ->
+        Printf.printf "n %d nodes %s occupancy %s stddev %s\n" r.Sweep.points
+          (f r.Sweep.nodes) (f r.Sweep.occupancy) (f r.Sweep.occupancy_stddev))
+      rows
+  in
+  print_endline "== table4: uniform sweep ==";
+  print_sweep
+    (Sweep.run ~capacity:8 ~model:Sampler.Uniform ~trials:10 ~seed:1987 ());
+  print_endline "== table5: gaussian sweep ==";
+  print_sweep
+    (Sweep.run ~capacity:8 ~model:(Sampler.Gaussian { sigma = 0.25 })
+       ~trials:10 ~seed:1987 ());
+  print_endline "== trajectory: d_n vs e, uniform ==";
+  List.iter
+    (fun (r : Trajectory.row) ->
+      Printf.printf "n %d tv %s occupancy %s d_n %s\n" r.Trajectory.points
+        (f r.Trajectory.tv_to_theory)
+        (f r.Trajectory.average_occupancy)
+        (vec (Distribution.to_vec r.Trajectory.distribution)))
+    (Trajectory.run ~capacity:8 ~model:Sampler.Uniform ~trials:10 ~seed:1987 ())

@@ -24,19 +24,35 @@ let workload_tests =
         check_int "trials" 10 w.Workload.trials);
     Alcotest.test_case "validation" `Quick (fun () ->
         Alcotest.check_raises "points" (Invalid_argument "Workload.make: points <= 0")
-          (fun () -> ignore (Workload.make ~points:0 ())));
+          (fun () -> ignore (Workload.make ~points:0 ()));
+        Alcotest.check_raises "trials" (Invalid_argument "Workload.make: trials <= 0")
+          (fun () -> ignore (Workload.make ~trials:(-1) ())));
     Alcotest.test_case "trials are deterministic per seed" `Quick (fun () ->
         let w = Workload.make ~points:10 ~trials:3 ~seed:5 () in
-        let a = Workload.trial_points w in
-        let b = Workload.trial_points w in
+        let a = Workload.map_trials w ~f:(fun _ pts -> pts) in
+        let b = Workload.map_trials w ~f:(fun _ pts -> pts) in
         check_bool "same" true (a = b));
     Alcotest.test_case "trials are pairwise different" `Quick (fun () ->
         let w = Workload.make ~points:10 ~trials:3 ~seed:5 () in
-        match Workload.trial_points w with
+        match Workload.map_trials w ~f:(fun _ pts -> pts) with
         | [ t1; t2; t3 ] ->
           check_bool "t1<>t2" true (t1 <> t2);
           check_bool "t2<>t3" true (t2 <> t3)
         | _ -> Alcotest.fail "expected 3 trials");
+    Alcotest.test_case "points_of_trial matches the streamed trial" `Quick
+      (fun () ->
+        let w = Workload.make ~points:10 ~trials:3 ~seed:5 () in
+        let streamed = Workload.map_trials w ~f:(fun i pts -> (i, pts)) in
+        List.iter
+          (fun (i, pts) ->
+            check_bool
+              (Printf.sprintf "trial %d" i)
+              true
+              (Workload.points_of_trial w i = pts))
+          streamed;
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Workload.points_of_trial: trial index out of range")
+          (fun () -> ignore (Workload.points_of_trial w 3)));
     Alcotest.test_case "map_trials passes indices" `Quick (fun () ->
         let w = Workload.make ~points:1 ~trials:3 ~seed:5 () in
         Alcotest.(check (list int)) "indices" [ 0; 1; 2 ]
@@ -175,7 +191,18 @@ let sweep_tests =
         Alcotest.(check (list int)) "ladder" Paper_data.sweep_points g);
     Alcotest.test_case "grid validates" `Quick (fun () ->
         Alcotest.check_raises "lo" (Invalid_argument "Sweep.grid: need 0 < lo <= hi")
-          (fun () -> ignore (Sweep.grid ~lo:0 ~hi:10 ())));
+          (fun () -> ignore (Sweep.grid ~lo:0 ~hi:10 ()));
+        Alcotest.check_raises "lo > hi"
+          (Invalid_argument "Sweep.grid: need 0 < lo <= hi")
+          (fun () -> ignore (Sweep.grid ~lo:128 ~hi:64 ()));
+        Alcotest.check_raises "steps"
+          (Invalid_argument "Sweep.grid: steps_per_quadrupling <= 0")
+          (fun () ->
+            ignore (Sweep.grid ~steps_per_quadrupling:0 ~lo:64 ~hi:4096 ())));
+    Alcotest.test_case "grid degenerate bounds" `Quick (fun () ->
+        (* lo = hi is legal and yields the single size. *)
+        Alcotest.(check (list int)) "singleton" [ 100 ]
+          (Sweep.grid ~lo:100 ~hi:100 ()));
     Alcotest.test_case "run produces one row per size" `Quick (fun () ->
         let rows =
           Sweep.run ~sizes:[ 64; 128; 256 ] ~model:Sampler.Uniform ~trials:2

@@ -435,6 +435,36 @@ let pr_builder_tests =
         && Pr_builder.leaf_count b = Pr_quadtree.leaf_count t
         && Pr_builder.height b = Pr_quadtree.height t
         && Pr_builder.check_invariants b = []);
+    Alcotest.test_case "freeze/thaw at max_depth saturation, duplicates"
+      `Quick (fun () ->
+        (* Duplicate coordinates can never be separated by splitting, so
+           the depth cap takes over and the leaf holds more points than
+           its capacity. Freeze, thaw and the incremental statistics all
+           have to agree on that clamped shape. *)
+        let p = Point.make 0.3 0.3 in
+        let dups = [ p; p; p; p; p ] in
+        let b = Pr_builder.of_points ~capacity:1 ~max_depth:3 dups in
+        check_int "height capped" 3 (Pr_builder.height b);
+        check_int "size" 5 (Pr_builder.size b);
+        no_violations "builder inv" (Pr_builder.check_invariants b);
+        (* The histogram clamps the over-capacity leaf into its last cell. *)
+        let hist = Pr_builder.occupancy_histogram b in
+        check_int "clamped cell" 1 (hist.(Array.length hist - 1));
+        let frozen = Pr_builder.freeze b in
+        check_bool "matches persistent build" true
+          (Pr_quadtree.equal_structure frozen
+             (Pr_quadtree.of_points ~capacity:1 ~max_depth:3 dups));
+        check_bool "histograms agree" true
+          (Pr_quadtree.occupancy_histogram frozen = hist);
+        (* Thaw the saturated tree and keep growing it at the same spot:
+           the cap must hold and the statistics must stay consistent. *)
+        let b' = Pr_builder.thaw frozen in
+        Pr_builder.insert_all b' [ p; p ];
+        check_int "still capped" 3 (Pr_builder.height b');
+        check_int "grown size" 7 (Pr_builder.size b');
+        no_violations "thawed inv" (Pr_builder.check_invariants b');
+        check_bool "frozen snapshot unaffected" true
+          (Pr_quadtree.size frozen = 5));
   ]
 
 (* Bintree *)
