@@ -12,17 +12,33 @@ test:
 
 # Full gate: build everything, run every suite, then smoke-test the
 # parallel engine's determinism contract end to end — table4 at 2
-# domains must be byte-identical to the sequential run.
+# domains must be byte-identical to the sequential run — and the
+# artifact cache: a warm rerun must replay every trial from disk (zero
+# computes, counted via the store's stats log) with identical bytes.
 check: build test
 	@tmp=$$(mktemp -d); \
 	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
 	dune exec --no-build bin/popan.exe -- table4 -j 2 > $$tmp/par.txt; \
 	if cmp -s $$tmp/seq.txt $$tmp/par.txt; then \
 	  echo "determinism smoke: table4 -j 2 byte-identical to -j 1"; \
-	  rm -rf $$tmp; \
 	else \
 	  echo "determinism smoke FAILED: table4 -j 2 differs from -j 1"; \
 	  diff $$tmp/seq.txt $$tmp/par.txt; rm -rf $$tmp; exit 1; \
+	fi; \
+	dune exec --no-build bin/popan.exe -- table4 --cache $$tmp/cache > $$tmp/cold.txt; \
+	dune exec --no-build bin/popan.exe -- table4 --cache $$tmp/cache > $$tmp/warm.txt; \
+	if ! cmp -s $$tmp/cold.txt $$tmp/warm.txt || ! cmp -s $$tmp/cold.txt $$tmp/seq.txt; then \
+	  echo "cache smoke FAILED: cached table4 output differs"; rm -rf $$tmp; exit 1; \
+	fi; \
+	dune exec --no-build bin/popan.exe -- cache stats --cache $$tmp/cache > $$tmp/stats.txt; \
+	counts=$$(sed -n 's/^lifetime: *\([0-9]*\) hits, \([0-9]*\) misses, \([0-9]*\) computes.*/\1 \3/p' $$tmp/stats.txt); \
+	set -- $$counts; \
+	if [ -n "$$1" ] && [ "$$1" = "$$2" ] && [ "$$1" -gt 0 ]; then \
+	  echo "cache smoke: warm rerun replayed $$1 trials with zero computes"; \
+	  rm -rf $$tmp; \
+	else \
+	  echo "cache smoke FAILED: hits/computes mismatch:"; cat $$tmp/stats.txt; \
+	  rm -rf $$tmp; exit 1; \
 	fi
 
 bench:
@@ -30,7 +46,7 @@ bench:
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

@@ -18,6 +18,12 @@ module Pr_builder = Popan_trees.Pr_builder
 module Ext_hash = Popan_trees.Ext_hash
 module Sampler = Popan_rng.Sampler
 module Xoshiro = Popan_rng.Xoshiro
+module Store = Popan_store.Artifact_store
+
+(* A stray POPAN_CACHE in the environment must not contaminate the
+   compute benches with replays; the cache ablation below opts in with
+   explicit throwaway stores. *)
+let () = Store.set_default None
 
 (* Pre-generated workloads so the benches measure the data structure and
    solver, not the RNG. *)
@@ -189,6 +195,111 @@ let bench_mc_transform_jobs jobs =
            (Mc_transform.estimate ~trials:1000 ~jobs rng
               (Mc_transform.pr_point_model ~capacity:3))))
 
+(* The artifact-store ablation: the table4 sweep kernel uncached, cold
+   (compute + publish every trial), and warm (replay every trial from
+   disk, zero tree builds); likewise for the incremental engine, whose
+   cold runs also publish mid-trial checkpoints and whose resume bench
+   restarts every trial from its newest checkpoint. Stores live in a
+   throwaway temp directory removed at exit. *)
+
+let cache_root =
+  let dir = Filename.temp_dir "popan-bench-cache" "" in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  at_exit (fun () -> try rm_rf dir with Sys_error _ -> ());
+  dir
+
+let with_store store f =
+  let saved = Store.default () in
+  Store.set_default store;
+  Fun.protect ~finally:(fun () -> Store.set_default saved) f
+
+let sweep_once ?seed:(s = 1987) () =
+  Sweep.run ~capacity:8 ~jobs:1 ~model:Sampler.Uniform ~trials:10 ~seed:s ()
+
+let sweep_incr_once ?seed:(s = 1987) () =
+  Sweep.run_incremental ~capacity:8 ~jobs:1 ~model:Sampler.Uniform ~trials:10
+    ~seed:s ()
+
+let bench_sweep_uncached =
+  Test.make ~name:"cache:table4 sweep uncached"
+    (Staged.stage (fun () ->
+         with_store None (fun () -> Sys.opaque_identity (sweep_once ()))))
+
+(* Cold runs must miss every time, so each run takes a fresh seed — the
+   keys (and hence the trials) are new, but the work per run is the
+   same distribution of builds plus the publish cost. *)
+let cold_store = Store.open_store (Filename.concat cache_root "cold")
+let cold_seed = ref 100_000
+
+let bench_sweep_cold =
+  Test.make ~name:"cache:table4 sweep cold (compute+publish)"
+    (Staged.stage (fun () ->
+         incr cold_seed;
+         with_store (Some cold_store) (fun () ->
+             Sys.opaque_identity (sweep_once ~seed:!cold_seed ()))))
+
+let warm_store = Store.open_store (Filename.concat cache_root "warm")
+
+let () =
+  (* Populate once; every measured warm run is then a pure replay. *)
+  with_store (Some warm_store) (fun () ->
+      ignore (sweep_once ());
+      ignore (sweep_incr_once ()))
+
+let bench_sweep_warm =
+  Test.make ~name:"cache:table4 sweep warm (replay)"
+    (Staged.stage (fun () ->
+         with_store (Some warm_store) (fun () ->
+             Sys.opaque_identity (sweep_once ()))))
+
+let bench_incr_uncached =
+  Test.make ~name:"cache:incremental sweep uncached"
+    (Staged.stage (fun () ->
+         with_store None (fun () -> Sys.opaque_identity (sweep_incr_once ()))))
+
+let bench_incr_cold =
+  Test.make ~name:"cache:incremental sweep cold (compute+checkpoints)"
+    (Staged.stage (fun () ->
+         incr cold_seed;
+         with_store (Some cold_store) (fun () ->
+             Sys.opaque_identity (sweep_incr_once ~seed:!cold_seed ()))))
+
+let bench_incr_warm =
+  Test.make ~name:"cache:incremental sweep warm (replay)"
+    (Staged.stage (fun () ->
+         with_store (Some warm_store) (fun () ->
+             Sys.opaque_identity (sweep_incr_once ()))))
+
+(* Resume: a store holding only mid-trial checkpoints (the whole-trial
+   entries are dropped before each run), so every trial restarts from
+   its newest checkpoint and grows the remaining grid sizes. *)
+let resume_store = Store.open_store (Filename.concat cache_root "resume")
+
+let () =
+  with_store (Some resume_store) (fun () -> ignore (sweep_incr_once ()))
+
+let drop_finished_trials () =
+  List.iter
+    (fun (e : Store.entry) ->
+      if e.kind = "trial-grow" then try Sys.remove e.path with Sys_error _ -> ())
+    (Store.entries resume_store)
+
+let () = drop_finished_trials ()
+
+let bench_incr_resume =
+  Test.make ~name:"cache:incremental sweep resume from checkpoints"
+    (Staged.stage (fun () ->
+         drop_finished_trials ();
+         with_store (Some resume_store) (fun () ->
+             Sys.opaque_identity (sweep_incr_once ()))))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -201,6 +312,9 @@ let all_benches =
       bench_persistent_snapshot; bench_builder_snapshot;
       bench_sweep_jobs 1; bench_sweep_jobs 2; bench_sweep_jobs 4;
       bench_mc_transform_jobs 1; bench_mc_transform_jobs 4;
+      bench_sweep_uncached; bench_sweep_cold; bench_sweep_warm;
+      bench_incr_uncached; bench_incr_cold; bench_incr_warm;
+      bench_incr_resume;
     ]
 
 let run_benchmarks () =
@@ -250,12 +364,13 @@ let run_benchmarks () =
    table4 sweep kernel at 1 vs 4 domains (bechamel's monotonic clock is
    wall time, so on a single-core machine the ratio honestly reports
    ~1x — domains can only time-slice one core). *)
+let find_estimate estimates name =
+  List.find_map
+    (fun (n, ns, _) -> if n = "popan/" ^ name then ns else None)
+    estimates
+
 let print_parallel_summary estimates =
-  let find name =
-    List.find_map
-      (fun (n, ns, _) -> if n = "popan/" ^ name then ns else None)
-      estimates
-  in
+  let find = find_estimate estimates in
   match
     (find "parallel:table4 sweep j=1", find "parallel:table4 sweep j=4")
   with
@@ -266,6 +381,32 @@ let print_parallel_summary estimates =
       (s1 /. 1e6) (s4 /. 1e6) (s1 /. s4)
       (Popan_parallel.recommended_jobs ())
       (if Popan_parallel.recommended_jobs () = 1 then "" else "s")
+  | _ -> ()
+
+(* The cache ablation, stated the same way: ns/run of the table4 sweep
+   cold (compute + publish) vs warm (pure replay). *)
+let print_cache_summary estimates =
+  let find = find_estimate estimates in
+  (match
+     ( find "cache:table4 sweep cold (compute+publish)",
+       find "cache:table4 sweep warm (replay)" )
+   with
+  | Some cold, Some warm ->
+    Printf.printf
+      "artifact cache: table4 sweep cold %.2f ms/run, warm %.2f ms/run -> \
+       %.1fx replay speedup\n"
+      (cold /. 1e6) (warm /. 1e6) (cold /. warm)
+  | _ -> ());
+  match
+    ( find "cache:incremental sweep uncached",
+      find "cache:incremental sweep cold (compute+checkpoints)" )
+  with
+  | Some plain, Some ckpt ->
+    Printf.printf
+      "checkpoint overhead: incremental sweep %.2f ms/run uncached, %.2f \
+       ms/run with checkpoints (%.0f%%)\n"
+      (plain /. 1e6) (ckpt /. 1e6)
+      (100.0 *. ((ckpt /. plain) -. 1.0))
   | _ -> ()
 
 (* Machine-readable perf trajectory: --json FILE (or BENCH_JSON=FILE)
@@ -379,6 +520,7 @@ let () =
   Printf.printf "== popan bench: micro-benchmarks ==\n\n%!";
   let estimates = run_benchmarks () in
   print_parallel_summary estimates;
+  print_cache_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
   let clock = Sys.time () in

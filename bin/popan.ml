@@ -8,6 +8,7 @@ module Csv = Popan_report.Csv
 module Distribution = Popan_core.Distribution
 module Fixed_point = Popan_core.Fixed_point
 module Population = Popan_core.Population
+module Store = Popan_store.Artifact_store
 
 (* Common command-line options *)
 
@@ -22,9 +23,35 @@ let jobs_term =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
-(* The flag lands in the ambient default consulted by every experiment
-   entry point, so extension studies inherit it too. *)
-let set_jobs jobs = Popan_parallel.set_default_jobs jobs
+let cache_env = Cmd.Env.info "POPAN_CACHE" ~doc:"Default artifact-cache directory."
+
+let cache_term =
+  let doc =
+    "Artifact-cache directory: per-trial results are stored there and \
+     reused by later runs (results are byte-identical either way). \
+     Created if missing."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR" ~doc ~env:cache_env)
+
+let no_cache_term =
+  let doc = "Disable the artifact cache even when $(b,POPAN_CACHE) is set." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* Both knobs land in ambient defaults consulted by every experiment
+   entry point, so extension studies inherit them too. Counters flush to
+   the store's log at exit, which is what lets a later `popan cache
+   stats` prove a warm rerun computed nothing. *)
+let setup jobs cache no_cache =
+  Popan_parallel.set_default_jobs jobs;
+  match (no_cache, cache) with
+  | true, _ | false, None -> Store.set_default None
+  | false, Some dir ->
+    let store = Store.open_store dir in
+    Store.set_default (Some store);
+    at_exit (fun () -> Store.flush_counters store)
+
+let setup_term = Term.(const setup $ jobs_term $ cache_term $ no_cache_term)
 
 let points_term =
   let doc = "Points per trial." in
@@ -95,12 +122,11 @@ let comparisons ~points ~trials ~seed =
   Occupancy.table1 (Workload.make ~points ~trials ~seed ())
 
 let table1_cmd =
-  let run jobs points trials seed =
-    set_jobs jobs;
+  let run () points trials seed =
     Table.print (Render.table1 (comparisons ~points ~trials ~seed))
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term)
   in
   Cmd.v
     (Cmd.info "table1"
@@ -108,12 +134,11 @@ let table1_cmd =
     term
 
 let table2_cmd =
-  let run jobs points trials seed =
-    set_jobs jobs;
+  let run () points trials seed =
     Table.print (Render.table2 (comparisons ~points ~trials ~seed))
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term)
   in
   Cmd.v
     (Cmd.info "table2"
@@ -121,15 +146,14 @@ let table2_cmd =
     term
 
 let table3_cmd =
-  let run jobs points trials seed =
-    set_jobs jobs;
+  let run () points trials seed =
     let workload = Workload.make ~points ~trials ~seed () in
     Table.print (Render.table3 (Depth_profile.run workload));
     Printf.printf "post-split asymptote (capacity 1): %.2f\n"
       (Depth_profile.post_split_asymptote ~capacity:1)
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term)
   in
   Cmd.v
     (Cmd.info "table3" ~doc:"Reproduce Table 3: occupancy by node size (aging).")
@@ -147,8 +171,7 @@ let sweep ?(incremental = false) ~model ~trials ~seed ~capacity () =
   else Sweep.run ~capacity ~model ~trials ~seed ()
 
 let table4_cmd =
-  let run jobs trials seed capacity csv incremental =
-    set_jobs jobs;
+  let run () trials seed capacity csv incremental =
     let rows =
       sweep ~incremental ~model:Popan_rng.Sampler.Uniform ~trials ~seed
         ~capacity ()
@@ -160,7 +183,7 @@ let table4_cmd =
     Option.iter (fun path -> write_csv path rows) csv
   in
   let term =
-    Term.(const run $ jobs_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ trials_term $ seed_term
           $ capacity_term ~default:8 $ csv_term $ incremental_term)
   in
   Cmd.v
@@ -169,8 +192,7 @@ let table4_cmd =
     term
 
 let table5_cmd =
-  let run jobs trials seed capacity csv incremental =
-    set_jobs jobs;
+  let run () trials seed capacity csv incremental =
     let rows =
       sweep ~incremental
         ~model:(Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma })
@@ -183,7 +205,7 @@ let table5_cmd =
     Option.iter (fun path -> write_csv path rows) csv
   in
   let term =
-    Term.(const run $ jobs_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ trials_term $ seed_term
           $ capacity_term ~default:8 $ csv_term $ incremental_term)
   in
   Cmd.v
@@ -191,9 +213,8 @@ let table5_cmd =
        ~doc:"Reproduce Table 5: occupancy vs N, Gaussian data (damped phasing).")
     term
 
-let figure ~number ~model ~paper ~title jobs trials seed capacity csv =
+let figure ~number ~model ~paper ~title () trials seed capacity csv =
   ignore number;
-  set_jobs jobs;
   let rows = sweep ~model ~trials ~seed ~capacity () in
   print_string (Render.sweep_figure ~title ~paper rows);
   let series = Sweep.series rows in
@@ -212,7 +233,7 @@ let fig2_cmd =
       ~title:"Figure 2: occupancy vs number of points (uniform)"
   in
   let term =
-    Term.(const run $ jobs_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ trials_term $ seed_term
           $ capacity_term ~default:8 $ csv_term)
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (ASCII).") term
@@ -224,20 +245,19 @@ let fig3_cmd =
       ~title:"Figure 3: occupancy vs number of points (Gaussian)"
   in
   let term =
-    Term.(const run $ jobs_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ trials_term $ seed_term
           $ capacity_term ~default:8 $ csv_term)
   in
   Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (ASCII).") term
 
 let ext_branching_cmd =
-  let run jobs points trials seed capacity =
-    set_jobs jobs;
+  let run () points trials seed capacity =
     Table.print
       (Render.branching_table
          (Ext.branching_study ~points ~trials ~seed ~capacity ()))
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term
           $ capacity_term ~default:4)
   in
   Cmd.v
@@ -338,8 +358,7 @@ let ext_hashmodel_cmd =
     term
 
 let ext_trajectory_cmd =
-  let run jobs trials seed capacity =
-    set_jobs jobs;
+  let run () trials seed capacity =
     let uniform =
       Trajectory.run ~capacity ~model:Popan_rng.Sampler.Uniform ~trials ~seed ()
     in
@@ -375,7 +394,7 @@ let ext_trajectory_cmd =
       (Popan_core.Phasing.damping_ratio (tv_series gaussian))
   in
   let term =
-    Term.(const run $ jobs_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ trials_term $ seed_term
           $ capacity_term ~default:8)
   in
   Cmd.v
@@ -411,12 +430,11 @@ let ext_solvers_cmd =
     term
 
 let ext_aging_cmd =
-  let run jobs points trials seed =
-    set_jobs jobs;
+  let run () points trials seed =
     Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term)
   in
   Cmd.v
     (Cmd.info "ext-aging"
@@ -424,8 +442,7 @@ let ext_aging_cmd =
     term
 
 let all_cmd =
-  let run jobs points trials seed =
-    set_jobs jobs;
+  let run () points trials seed =
     let cs = comparisons ~points ~trials ~seed in
     Table.print (Render.table1 cs);
     Table.print (Render.table2 cs);
@@ -489,7 +506,7 @@ let all_cmd =
     Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term)
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table, figure and extension experiment.")
@@ -628,7 +645,15 @@ let selftest_cmd =
     term
 
 let measure_cmd =
-  let run input capacity max_depth no_normalize =
+  (* User-supplied input: surface load/validation failures as a clean
+     diagnostic (Points_io reports file:line:reason), not a backtrace. *)
+  let rec run input capacity max_depth no_normalize =
+    match go input capacity max_depth no_normalize with
+    | () -> ()
+    | exception (Failure msg | Sys_error msg) ->
+      Printf.eprintf "popan: %s\n" msg;
+      exit 1
+  and go input capacity max_depth no_normalize =
     let raw = Points_io.load input in
     if raw = [] then failwith "measure: no points in input";
     let points = if no_normalize then raw else Points_io.normalize raw in
@@ -700,8 +725,7 @@ let measure_cmd =
     term
 
 let report_cmd =
-  let run jobs points trials seed output =
-    set_jobs jobs;
+  let run () points trials seed output =
     let buffer = Buffer.create 65536 in
     let add s = Buffer.add_string buffer s in
     let table t = add (Table.render_markdown t ^ "\n") in
@@ -783,7 +807,7 @@ let report_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let term =
-    Term.(const run $ jobs_term $ points_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term
           $ output)
   in
   Cmd.v
@@ -792,6 +816,76 @@ let report_cmd =
          "Generate a full markdown reproduction report (every table, figure \
           and extension).")
     term
+
+(* Cache maintenance *)
+
+let require_store cache =
+  match cache with
+  | Some dir -> Store.open_store dir
+  | None ->
+    prerr_endline "popan cache: no directory (use --cache DIR or set POPAN_CACHE)";
+    exit 2
+
+let cache_stats_cmd =
+  let run cache =
+    let s = require_store cache in
+    let entries, bytes = Store.disk_stats s in
+    let c = Store.logged_counters s in
+    Printf.printf "cache root: %s\n" (Store.root s);
+    Printf.printf "entries:    %d (%d bytes)\n" entries bytes;
+    Printf.printf "lifetime:   %d hits, %d misses, %d computes, %d puts\n"
+      c.Store.hits c.Store.misses c.Store.computes c.Store.puts
+  in
+  let term = Term.(const run $ cache_term) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Show entry count, disk usage and the lifetime hit/miss/compute \
+          counters accumulated by cached runs.")
+    term
+
+let cache_gc_cmd =
+  let run cache max_bytes =
+    let s = require_store cache in
+    let deleted, freed = Store.gc s ~max_bytes in
+    Printf.printf "deleted %d entries (%d bytes freed)\n" deleted freed
+  in
+  let max_bytes =
+    let doc = "Shrink the cache to at most $(docv) (oldest entries first)." in
+    Arg.(required & opt (some int) None & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let term = Term.(const run $ cache_term $ max_bytes) in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Evict oldest entries until the cache fits under --max-bytes.")
+    term
+
+let cache_verify_cmd =
+  let run cache =
+    let s = require_store cache in
+    let checked, problems = Store.verify s in
+    Printf.printf "checked %d entries\n" checked;
+    if problems = [] then print_endline "all entries verified"
+    else begin
+      List.iter (fun (path, msg) -> Printf.printf "BAD %s: %s\n" path msg)
+        problems;
+      Printf.printf "%d bad entries\n" (List.length problems);
+      exit 1
+    end
+  in
+  let term = Term.(const run $ cache_term) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-read every entry, check framing, checksum and address; exit \
+          nonzero when any entry is corrupt.")
+    term
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain the content-addressed artifact cache.")
+    [ cache_stats_cmd; cache_gc_cmd; cache_verify_cmd ]
 
 let main_cmd =
   let doc =
@@ -806,7 +900,7 @@ let main_cmd =
       ext_bucketsweep_cmd; ext_exthash_cmd;
       ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
       ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;
-      report_cmd;
+      report_cmd; cache_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

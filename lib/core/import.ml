@@ -14,3 +14,5 @@ module Quadrant = Popan_geom.Quadrant
 module Xoshiro = Popan_rng.Xoshiro
 module Parallel = Popan_parallel
 module Sampler = Popan_rng.Sampler
+module Store = Popan_store.Artifact_store
+module Codec = Popan_store.Codec

@@ -17,7 +17,7 @@ let estimate_row ?(trials = 10_000) rng model ~occupancy =
   done;
   Vec.scale (1.0 /. float_of_int trials) acc
 
-let estimate ?trials ?jobs rng model =
+let estimate ?trials ?jobs ?cache_key rng model =
   if model.types <= 0 then invalid_arg "Mc_transform: types <= 0";
   (* One child generator per row, split from [rng] in row order before
      any row is simulated: rows are then independent streams and fan out
@@ -29,9 +29,22 @@ let estimate ?trials ?jobs rng model =
   for i = 0 to model.types - 1 do
     rngs.(i) <- Xoshiro.split rng
   done;
+  (* [rng]'s provenance is the caller's business, so rows are memoized
+     only when the caller vouches for the stream identity by supplying
+     [cache_key] (which must also name the model and trial count). *)
+  let store =
+    match cache_key with None -> None | Some _ -> Store.default ()
+  in
   let rows =
     Parallel.map_list ?jobs model.types ~f:(fun i ->
-        Vec.to_list (estimate_row ?trials rngs.(i) model ~occupancy:i))
+        let key =
+          match cache_key with
+          | None -> ""
+          | Some ck -> Printf.sprintf "exp=mc|id=%s|row=%d" ck i
+        in
+        Store.memo store ~kind:"mc-row" ~version:1 ~key Codec.(list float)
+          (fun () ->
+            Vec.to_list (estimate_row ?trials rngs.(i) model ~occupancy:i)))
   in
   Transform.of_rows rows
 

@@ -27,8 +27,16 @@ type local_model = {
     (default {!Popan_parallel.default_jobs}) and the matrix is
     byte-identical for every job count. [model.simulate] must depend
     only on its arguments. Raises [Invalid_argument] when [trials <= 0]
-    or [model.types <= 0], and whatever the simulation raises. *)
-val estimate : ?trials:int -> ?jobs:int -> Xoshiro.t -> local_model -> Transform.t
+    or [model.types <= 0], and whatever the simulation raises.
+
+    [cache_key] opts the rows into the default artifact store: the
+    caller supplies a canonical identity for (model, trials, [rng]
+    provenance) — e.g. ["pr-point|m=8|trials=10000|seed=42"] — and each
+    row is then memoized as an ["mc-row"] artifact. Without it nothing
+    is cached, because [rng]'s position cannot be named from here. *)
+val estimate :
+  ?trials:int -> ?jobs:int -> ?cache_key:string -> Xoshiro.t -> local_model ->
+  Transform.t
 
 (** [pr_point_model ~capacity] is the local model of the generalized PR
     quadtree for uniform points: inserting into a node of occupancy

@@ -23,3 +23,6 @@ module Fixed_point = Popan_core.Fixed_point
 module Population = Popan_core.Population
 module Phasing = Popan_core.Phasing
 module Aging = Popan_core.Aging
+module Store = Popan_store.Artifact_store
+module Codec = Popan_store.Codec
+module Checkpoint = Popan_store.Checkpoint

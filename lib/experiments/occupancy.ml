@@ -26,15 +26,37 @@ let aggregate histograms occupancies leaf_counts =
     trials = List.length occupancies;
   }
 
+(* Per-trial cache identity: the workload names the stream (model, size,
+   seed, trial index), the structure tag and parameters name what was
+   built from it. [max_depth] defaults differ per structure, so the
+   unset case is spelled out rather than resolved here. *)
+let measure_key ~structure ~(workload : Workload.t) ~trial ~capacity
+    ~max_depth extra =
+  Printf.sprintf "exp=occupancy|struct=%s|model=%s|n=%d|seed=%d|trial=%d|m=%d|d=%s%s"
+    structure
+    (Sampler.id workload.Workload.model)
+    workload.Workload.points workload.Workload.seed trial capacity
+    (match max_depth with None -> "default" | Some d -> string_of_int d)
+    extra
+
+let measure_codec = Codec.(triple int_array float float)
+
 let measure_pr ?max_depth ?jobs workload ~capacity =
   (* Ship the per-trial statistics, not the builders: the trees die in
      the domain that grew them. *)
+  let store = Store.default () in
   let measured =
-    Workload.map_trials ?jobs workload ~f:(fun _ points ->
-        let b = Pr_builder.of_points ?max_depth ~capacity points in
-        ( Pr_builder.occupancy_histogram b,
-          Pr_builder.average_occupancy b,
-          float_of_int (Pr_builder.leaf_count b) ))
+    Workload.map_trials ?jobs workload ~f:(fun i points ->
+        let key =
+          measure_key ~structure:"pr" ~workload ~trial:i ~capacity ~max_depth
+            ""
+        in
+        Store.memo store ~kind:"trial-measure" ~version:1 ~key measure_codec
+          (fun () ->
+            let b = Pr_builder.of_points ?max_depth ~capacity points in
+            ( Pr_builder.occupancy_histogram b,
+              Pr_builder.average_occupancy b,
+              float_of_int (Pr_builder.leaf_count b) )))
   in
   aggregate
     (List.map (fun (h, _, _) -> h) measured)
@@ -42,12 +64,19 @@ let measure_pr ?max_depth ?jobs workload ~capacity =
     (List.map (fun (_, _, l) -> l) measured)
 
 let measure_bintree ?max_depth ?jobs workload ~capacity =
+  let store = Store.default () in
   let measured =
-    Workload.map_trials ?jobs workload ~f:(fun _ points ->
-        let t = Bintree.of_points ?max_depth ~capacity points in
-        ( Bintree.occupancy_histogram t,
-          Bintree.average_occupancy t,
-          float_of_int (Bintree.leaf_count t) ))
+    Workload.map_trials ?jobs workload ~f:(fun i points ->
+        let key =
+          measure_key ~structure:"bintree" ~workload ~trial:i ~capacity
+            ~max_depth ""
+        in
+        Store.memo store ~kind:"trial-measure" ~version:1 ~key measure_codec
+          (fun () ->
+            let t = Bintree.of_points ?max_depth ~capacity points in
+            ( Bintree.occupancy_histogram t,
+              Bintree.average_occupancy t,
+              float_of_int (Bintree.leaf_count t) )))
   in
   aggregate
     (List.map (fun (h, _, _) -> h) measured)
@@ -62,15 +91,26 @@ let measure_md ?max_depth ?jobs ~dim ~points ~trials ~seed ~capacity () =
   for i = 0 to trials - 1 do
     rngs.(i) <- Xoshiro.split master
   done;
+  let store = Store.default () in
   let measured =
     Parallel.map_list ?jobs trials ~f:(fun i ->
-        let t =
-          Md_tree.of_points ?max_depth ~capacity ~dim
-            (Sampler.points_nd rngs.(i) ~dim points)
+        let key =
+          Printf.sprintf
+            "exp=occupancy|struct=md|dim=%d|n=%d|seed=%d|trial=%d|m=%d|d=%s"
+            dim points seed i capacity
+            (match max_depth with
+            | None -> "default"
+            | Some d -> string_of_int d)
         in
-        ( Md_tree.occupancy_histogram t,
-          Md_tree.average_occupancy t,
-          float_of_int (Md_tree.leaf_count t) ))
+        Store.memo store ~kind:"trial-measure" ~version:1 ~key measure_codec
+          (fun () ->
+            let t =
+              Md_tree.of_points ?max_depth ~capacity ~dim
+                (Sampler.points_nd rngs.(i) ~dim points)
+            in
+            ( Md_tree.occupancy_histogram t,
+              Md_tree.average_occupancy t,
+              float_of_int (Md_tree.leaf_count t) )))
   in
   aggregate
     (List.map (fun (h, _, _) -> h) measured)

@@ -8,14 +8,34 @@ let parse_row line =
     | _ -> None)
   | _ -> None
 
-let of_csv_string text =
+(* Why this row failed, for the diagnostic: a wrong column count and a
+   non-numeric cell are different user mistakes. *)
+let describe_bad_row line =
+  match Popan_report.Csv.parse_line line with
+  | [ x; y ] -> (
+    match
+      List.find_opt
+        (fun c -> float_of_string_opt (String.trim c) = None)
+        [ x; y ]
+    with
+    | Some "" -> "missing value (truncated row?)"
+    | Some cell -> Printf.sprintf "not a number: %S" cell
+    | None -> Printf.sprintf "unparseable row: %S" line)
+  | cells ->
+    Printf.sprintf "expected 2 columns (x,y), got %d in %S"
+      (List.length cells) line
+
+let of_csv_string ?(path = "<csv>") text =
+  (* Number lines against the original document before dropping blanks,
+     so diagnostics point at the line the user sees in their editor. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
   in
   match lines with
   | [] -> []
-  | first :: rest ->
+  | (_, first) :: rest ->
     (* The first line is a header only when it has exactly two cells
        that are not both numeric (e.g. "x,y"); a malformed data row is
        an error, not a header. *)
@@ -24,15 +44,14 @@ let of_csv_string text =
       | [ _; _ ] -> parse_row first = None
       | _ -> false
     in
-    let body, offset = if is_header then (rest, 2) else (lines, 1) in
-    List.mapi
-      (fun i line ->
+    let body = if is_header then rest else lines in
+    List.map
+      (fun (lineno, line) ->
         match parse_row line with
         | Some p -> p
         | None ->
           failwith
-            (Printf.sprintf "Points_io: bad row on line %d: %S" (i + offset)
-               line))
+            (Printf.sprintf "%s:%d: %s" path lineno (describe_bad_row line)))
       body
 
 let to_csv_string points =
@@ -46,7 +65,8 @@ let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_csv_string (really_input_string ic (in_channel_length ic)))
+    (fun () ->
+      of_csv_string ~path (really_input_string ic (in_channel_length ic)))
 
 let save path points =
   let oc = open_out path in

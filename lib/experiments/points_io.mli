@@ -5,12 +5,14 @@ open Import
     is the entry point for running the population analysis on real
     data via [popan measure]. *)
 
-(** [of_csv_string text] parses a CSV document into points. The first
-    line is skipped when it does not parse as two floats (header
+(** [of_csv_string ?path text] parses a CSV document into points. The
+    first line is skipped when it does not parse as two floats (header
     tolerance); blank lines are skipped.
-    Raises [Failure] with a line-numbered message on malformed rows or
-    rows with other than two columns. *)
-val of_csv_string : string -> Point.t list
+    Raises [Failure] on malformed input with a ["path:line: reason"]
+    diagnostic ([path] defaults to ["<csv>"]; line numbers count every
+    line of the original document, blanks included) that distinguishes
+    wrong column counts, non-numeric cells, and truncated rows. *)
+val of_csv_string : ?path:string -> string -> Point.t list
 
 (** [to_csv_string points] is a CSV document with an "x,y" header. *)
 val to_csv_string : Point.t list -> string

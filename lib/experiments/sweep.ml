@@ -41,15 +41,26 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
   for k = 0 to total - 1 do
     rngs.(k) <- Xoshiro.split master
   done;
+  let store = Store.default () in
   let measurements =
     Parallel.map_array ?jobs total ~f:(fun k ->
         let points = sizes_a.(k / trials) in
-        let tree =
-          Pr_builder.of_points ~max_depth ~capacity
-            (Sampler.points rngs.(k) model points)
+        (* The key names the stream, not the (size, trial) pair: stream k
+           is the k-th split of the master, so identity survives grid
+           edits that keep a prefix of the pair ordering intact. *)
+        let key =
+          Printf.sprintf "exp=sweep|model=%s|m=%d|d=%d|seed=%d|split=%d|n=%d"
+            (Sampler.id model) capacity max_depth seed k points
         in
-        ( float_of_int (Pr_builder.leaf_count tree),
-          Pr_builder.average_occupancy tree ))
+        Store.memo store ~kind:"trial-occ" ~version:1 ~key
+          Codec.(pair float float)
+          (fun () ->
+            let tree =
+              Pr_builder.of_points ~max_depth ~capacity
+                (Sampler.points rngs.(k) model points)
+            in
+            ( float_of_int (Pr_builder.leaf_count tree),
+              Pr_builder.average_occupancy tree )))
   in
   List.mapi
     (fun i points ->
@@ -66,8 +77,8 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
       })
     sizes
 
-let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model
-    ~trials ~seed () =
+let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
+    ?(checkpoint_every = 4) ~model ~trials ~seed () =
   if trials <= 0 then invalid_arg "Sweep.run_incremental: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
@@ -87,22 +98,62 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model
   done;
   (* One growing tree per trial; the O(1) builder statistics make each
      snapshot free, and per-trial arrays keep the per-size aggregation
-     linear. Trials are independent, so they fan out across domains. *)
-  let trial rng =
-    let tree = Pr_builder.create ~max_depth ~capacity () in
-    let have = ref 0 in
-    let out = Array.make (Array.length sizes_a) (0.0, 0.0) in
-    Array.iteri
-      (fun i target ->
-        Pr_builder.insert_all tree (Sampler.points rng model (target - !have));
-        have := target;
-        out.(i) <-
-          ( float_of_int (Pr_builder.leaf_count tree),
-            Pr_builder.average_occupancy tree ))
-      sizes_a;
-    out
+     linear. Trials are independent, so they fan out across domains.
+     With a store, the finished trial is memoized whole, and the growth
+     is checkpointed every [checkpoint_every] grid sizes so a killed run
+     resumes mid-trial — the frozen tree, stream state and partial rows
+     continue byte-identically. *)
+  let store = Store.default () in
+  let nsizes = Array.length sizes_a in
+  let sizes_id = String.concat "," (List.map string_of_int sizes) in
+  let trial i rng0 =
+    let key_base =
+      Printf.sprintf
+        "exp=sweep-incr|model=%s|m=%d|d=%d|seed=%d|trial=%d|sizes=%s"
+        (Sampler.id model) capacity max_depth seed i sizes_id
+    in
+    Store.memo store ~kind:"trial-grow" ~version:1 ~key:key_base
+      Codec.(array (pair float float))
+      (fun () ->
+        let out = Array.make nsizes (0.0, 0.0) in
+        let fresh () = (Pr_builder.create ~max_depth ~capacity (), rng0, 0, 0) in
+        let tree, rng, have0, start =
+          match store with
+          | None -> fresh ()
+          | Some s -> (
+            match Checkpoint.latest s ~key_base ~upto:nsizes with
+            | None -> fresh ()
+            | Some (g : Checkpoint.growth) ->
+              Array.blit g.partial 0 out 0 g.next_index;
+              (Pr_builder.thaw g.tree, g.rng, g.have, g.next_index))
+        in
+        let have = ref have0 in
+        for idx = start to nsizes - 1 do
+          let target = sizes_a.(idx) in
+          Pr_builder.insert_all tree
+            (Sampler.points rng model (target - !have));
+          have := target;
+          out.(idx) <-
+            ( float_of_int (Pr_builder.leaf_count tree),
+              Pr_builder.average_occupancy tree );
+          match store with
+          | Some s
+            when checkpoint_every > 0
+                 && (idx + 1) mod checkpoint_every = 0
+                 && idx < nsizes - 1 ->
+            Checkpoint.save s ~key_base ~index:idx
+              {
+                Checkpoint.tree = Pr_builder.freeze tree;
+                rng;
+                next_index = idx + 1;
+                have = !have;
+                partial = Array.sub out 0 (idx + 1);
+              }
+          | _ -> ()
+        done;
+        out)
   in
-  let snapshots = Parallel.map_list ?jobs trials ~f:(fun i -> trial rngs.(i)) in
+  let snapshots = Parallel.map_list ?jobs trials ~f:(fun i -> trial i rngs.(i)) in
   List.mapi
     (fun i points ->
       let at_size = List.map (fun trial -> trial.(i)) snapshots in

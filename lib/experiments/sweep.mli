@@ -26,7 +26,12 @@ val grid : ?steps_per_quadrupling:int -> lo:int -> hi:int -> unit -> int list
     tree is built, so the (size, trial) builds fan out across [jobs]
     domains (default {!Popan_parallel.default_jobs}) with byte-identical
     rows for every job count. Trees are built by insertion from scratch
-    at every size, as in the paper. *)
+    at every size, as in the paper.
+
+    When {!Popan_store.Artifact_store.default} is set, each (size,
+    trial) measurement is memoized as a ["trial-occ"] artifact keyed by
+    model, tree parameters, seed and stream index, so a warm rerun
+    performs zero tree builds and still emits byte-identical rows. *)
 val run :
   ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
@@ -38,9 +43,17 @@ val run :
     Phasing is a property of the growth process, so both variants show
     it; this one makes the "same tree, later" reading literal. Trials
     fan out across [jobs] domains; rows are byte-identical for every
-    job count. *)
+    job count.
+
+    When a default artifact store is set, finished trials are memoized
+    as ["trial-grow"] artifacts, and while a trial runs its growth is
+    checkpointed every [checkpoint_every] grid sizes (default 4; [0]
+    disables checkpointing). A killed run resumes from the newest valid
+    checkpoint — frozen tree, stream position and partial snapshots —
+    and produces byte-identical rows. *)
 val run_incremental :
   ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
+  ?checkpoint_every:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
 
 (** [series rows] converts rows into a {!Phasing.series} for oscillation

@@ -19,7 +19,9 @@ type row = {
 (** [run ?capacity ?max_depth ?sizes ?jobs ~model ~trials ~seed ()]
     measures [d_n] for each grid size (defaults: capacity 8, the
     paper's 64..4096 ladder). (size, trial) builds fan out across
-    [jobs] domains with byte-identical rows for every job count. *)
+    [jobs] domains with byte-identical rows for every job count. With a
+    default artifact store set, per-trial histograms are memoized as
+    ["trial-hist"] artifacts, so a warm rerun builds no trees. *)
 val run :
   ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list

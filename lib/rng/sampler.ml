@@ -7,6 +7,16 @@ type point_model =
 
 let paper_gaussian = Gaussian { sigma = 0.25 }
 
+let id = function
+  | Uniform -> "uniform"
+  | Gaussian { sigma } -> Printf.sprintf "gaussian(%h)" sigma
+  | Clusters { centers; sigma } ->
+    Printf.sprintf "clusters(%h;%s)" sigma
+      (String.concat ";"
+         (List.map
+            (fun (p : Point.t) -> Printf.sprintf "%h,%h" p.Point.x p.Point.y)
+            centers))
+
 let truncated_coordinate rng ~mean ~sigma =
   Dist.truncated_gaussian rng ~mean ~sigma ~lo:0.0 ~hi:1.0
 

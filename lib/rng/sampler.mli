@@ -19,6 +19,12 @@ type point_model =
     plus/minus two standard deviations from the center. *)
 val paper_gaussian : point_model
 
+(** [id model] is a canonical textual identity of [model] (floats in
+    lossless hex), used as the workload-spec component of artifact-cache
+    keys: equal ids mean identical point streams for the same
+    generator. *)
+val id : point_model -> string
+
 (** [point rng model] draws one point in the unit square.
     Raises [Invalid_argument] for a nonpositive sigma, an empty cluster
     list, or a cluster center outside the unit square. *)

@@ -70,3 +70,12 @@ let split t =
   let child = copy t in
   jump t;
   child
+
+let to_words t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_words words =
+  if Array.length words <> 4 then
+    invalid_arg "Xoshiro.of_words: need exactly 4 state words";
+  if Array.for_all (Int64.equal 0L) words then
+    invalid_arg "Xoshiro.of_words: all-zero state is invalid";
+  { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }

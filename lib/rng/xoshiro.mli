@@ -37,3 +37,13 @@ val jump : t -> unit
     jumping it; the parent is advanced one jump too, so successive splits
     give pairwise non-overlapping streams. *)
 val split : t -> t
+
+(** [to_words state] is the full 256-bit state as four words — the
+    serializable form used by checkpoint/resume. *)
+val to_words : t -> int64 array
+
+(** [of_words words] restores a generator from {!to_words} output; the
+    restored generator continues the exact same stream. Raises
+    [Invalid_argument] unless given exactly four words that are not all
+    zero (the one state xoshiro256++ cannot leave). *)
+val of_words : int64 array -> t

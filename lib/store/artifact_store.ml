@@ -1,0 +1,293 @@
+let schema_version = 1
+
+type t = {
+  root : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  computes : int Atomic.t;
+  puts : int Atomic.t;
+  tmp_counter : int Atomic.t;
+}
+
+let root t = t.root
+
+(* Paths *)
+
+let objects_dir t = Filename.concat t.root "objects"
+let tmp_dir t = Filename.concat t.root "tmp"
+let stats_log t = Filename.concat t.root "stats.log"
+
+let mkdir_p path =
+  let rec go path =
+    if not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755 with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let open_store root =
+  if Sys.file_exists root && not (Sys.is_directory root) then
+    raise (Sys_error (root ^ ": not a directory"));
+  mkdir_p (Filename.concat root "objects");
+  mkdir_p (Filename.concat root "tmp");
+  {
+    root;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    computes = Atomic.make 0;
+    puts = Atomic.make 0;
+    tmp_counter = Atomic.make 0;
+  }
+
+(* The ambient default, seeded from POPAN_CACHE on first use. *)
+
+let ambient = ref None
+let ambient_initialized = ref false
+
+let set_default store =
+  ambient_initialized := true;
+  ambient := store
+
+let default () =
+  if not !ambient_initialized then begin
+    ambient_initialized := true;
+    match Sys.getenv_opt "POPAN_CACHE" with
+    | Some dir when String.trim dir <> "" -> ambient := Some (open_store dir)
+    | _ -> ()
+  end;
+  !ambient
+
+(* Addressing. The full key carries the code-schema version, so bumping
+   [schema_version] orphans every existing entry; the address hashes kind
+   and key together. Kinds double as file extensions, so keep them
+   filesystem-safe. *)
+
+let check_kind kind =
+  if
+    kind = ""
+    || String.exists
+         (fun c ->
+           not ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'))
+         kind
+  then invalid_arg (Printf.sprintf "Artifact_store: bad kind %S" kind)
+
+let full_key key = Printf.sprintf "s%d|%s" schema_version key
+
+let address t ~kind ~key =
+  let hash = Printf.sprintf "%016Lx" (Codec.fnv1a64 (kind ^ "\x00" ^ key)) in
+  Filename.concat
+    (Filename.concat (objects_dir t) (String.sub hash 0 2))
+    (hash ^ "." ^ kind)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Reads and writes *)
+
+let find t ~kind ~version ~key codec =
+  check_kind kind;
+  let key = full_key key in
+  let path = address t ~kind ~key in
+  let found =
+    match read_file path with
+    | exception Sys_error _ -> None
+    | raw -> (
+      match Codec.of_artifact ~kind ~version ~key codec raw with
+      | Ok v -> Some v
+      | Error _ -> None (* stale or corrupt: recompute, never misread *))
+  in
+  (match found with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  found
+
+let put t ~kind ~version ~key codec v =
+  check_kind kind;
+  let key = full_key key in
+  let path = address t ~kind ~key in
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "w%d.%d.%d" (Unix.getpid ())
+         (Domain.self () :> int)
+         (Atomic.fetch_and_add t.tmp_counter 1))
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Codec.to_artifact ~kind ~version ~key codec v))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Atomic.incr t.puts
+
+let remove t ~kind ~key =
+  check_kind kind;
+  let path = address t ~kind ~key:(full_key key) in
+  try Sys.remove path with Sys_error _ -> ()
+
+let memo store ~kind ~version ~key codec f =
+  match store with
+  | None -> f ()
+  | Some t -> (
+    match find t ~kind ~version ~key codec with
+    | Some v -> v
+    | None ->
+      Atomic.incr t.computes;
+      let v = f () in
+      put t ~kind ~version ~key codec v;
+      v)
+
+(* Counters *)
+
+type counters = { hits : int; misses : int; computes : int; puts : int }
+
+let counters (t : t) =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    computes = Atomic.get t.computes;
+    puts = Atomic.get t.puts;
+  }
+
+let reset_counters (t : t) =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.computes 0;
+  Atomic.set t.puts 0
+
+let flush_counters t =
+  let c = counters t in
+  if c.hits <> 0 || c.misses <> 0 || c.computes <> 0 || c.puts <> 0 then begin
+    reset_counters t;
+    (* One short O_APPEND write: atomic on POSIX, so concurrent processes
+       interleave whole lines, never fragments. *)
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (stats_log t)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Printf.sprintf "%d %d %d %d\n" c.hits c.misses c.computes c.puts))
+  end
+
+let logged_counters t =
+  let totals = ref { hits = 0; misses = 0; computes = 0; puts = 0 } in
+  (match open_in (stats_log t) with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match String.split_on_char ' ' (String.trim line) with
+            | [ h; m; c; p ] -> (
+              match
+                ( int_of_string_opt h, int_of_string_opt m,
+                  int_of_string_opt c, int_of_string_opt p )
+              with
+              | Some h, Some m, Some c, Some p ->
+                totals :=
+                  {
+                    hits = !totals.hits + h;
+                    misses = !totals.misses + m;
+                    computes = !totals.computes + c;
+                    puts = !totals.puts + p;
+                  }
+              | _ -> () (* skip an interleaving-mangled line *))
+            | _ -> ()
+          done
+        with End_of_file -> ()));
+  !totals
+
+(* Maintenance *)
+
+type entry = { path : string; kind : string; bytes : int; mtime : float }
+
+let entries t =
+  let dir = objects_dir t in
+  let shards =
+    match Sys.readdir dir with exception Sys_error _ -> [||] | a -> a
+  in
+  Array.fold_left
+    (fun acc shard ->
+      let shard_dir = Filename.concat dir shard in
+      if not (Sys.is_directory shard_dir) then acc
+      else
+        Array.fold_left
+          (fun acc name ->
+            let path = Filename.concat shard_dir name in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> acc
+            | st ->
+              let kind =
+                match String.index_opt name '.' with
+                | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+                | None -> ""
+              in
+              { path; kind; bytes = st.Unix.st_size; mtime = st.Unix.st_mtime }
+              :: acc)
+          acc (Sys.readdir shard_dir))
+    [] shards
+
+let disk_stats t =
+  List.fold_left (fun (n, b) e -> (n + 1, b + e.bytes)) (0, 0) (entries t)
+
+let gc t ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Artifact_store.gc: max_bytes < 0";
+  (* Stale temp files first: they are invisible to readers anyway. *)
+  (match Sys.readdir (tmp_dir t) with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        try Sys.remove (Filename.concat (tmp_dir t) name)
+        with Sys_error _ -> ())
+      names);
+  let all = List.sort (fun a b -> Float.compare a.mtime b.mtime) (entries t) in
+  let total = List.fold_left (fun acc e -> acc + e.bytes) 0 all in
+  let excess = total - max_bytes in
+  if excess <= 0 then (0, 0)
+  else
+    List.fold_left
+      (fun ((deleted, freed) as acc) e ->
+        if total - freed <= max_bytes then acc
+        else begin
+          match Sys.remove e.path with
+          | () -> (deleted + 1, freed + e.bytes)
+          | exception Sys_error _ -> acc
+        end)
+      (0, 0) all
+
+let verify t =
+  let problems = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun e ->
+      incr checked;
+      match read_file e.path with
+      | exception Sys_error msg -> problems := (e.path, msg) :: !problems
+      | raw -> (
+        match Codec.probe raw with
+        | Error err -> problems := (e.path, Codec.error_to_string err) :: !problems
+        | Ok (kind, _version, key) ->
+          (* Re-derive the address from the embedded identity: a renamed
+             or cross-filed entry is corruption too. *)
+          let expected = address t ~kind ~key in
+          if expected <> e.path then
+            problems :=
+              (e.path, Printf.sprintf "address mismatch: content belongs at %s" expected)
+              :: !problems))
+    (entries t);
+  (!checked, List.rev !problems)

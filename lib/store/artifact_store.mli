@@ -1,0 +1,118 @@
+(** Content-addressed on-disk experiment cache.
+
+    Every trial in this repository is a pure function of
+    [(experiment id, workload spec, model params, seed, code-schema
+    version)] — the deterministic engine makes results byte-identical
+    across runs and domain counts, which is exactly the precondition for
+    safe memoization. The store maps a canonical key string for that
+    tuple to a framed, checksummed artifact ({!Codec.to_artifact}) on
+    disk, under [root/objects/<hh>/<fnv1a64-hex>.<kind>].
+
+    {b Atomicity.} Entries are published by writing to a private file
+    under [root/tmp] and [Sys.rename]-ing into place, so concurrent
+    domains of one process and concurrent CLI processes never observe a
+    torn entry: a reader sees either nothing (a miss, recomputed) or a
+    complete artifact. Writers racing on the same key are harmless —
+    determinism means they carry identical bytes.
+
+    {b Invalidation.} Every key is implicitly prefixed with
+    {!schema_version}; bump it whenever a codec layout or an experiment's
+    meaning changes, and all old entries become unreachable (and are
+    reclaimable with [gc]). A corrupt, truncated or stale entry is
+    detected by the frame checks and treated as a miss, never misread. *)
+
+(** [schema_version] is the code-schema component of every key. *)
+val schema_version : int
+
+type t
+
+(** [open_store root] opens (creating directories as needed) the store
+    rooted at [root]. Raises [Sys_error] when the location is not
+    usable. *)
+val open_store : string -> t
+
+(** [root t] is the store's root directory. *)
+val root : t -> string
+
+(** {1 The ambient default}
+
+    Experiments consult [default ()] when no explicit store is given —
+    the same ambient-parameter pattern as [Popan_parallel.default_jobs].
+    At startup the default is taken from the [POPAN_CACHE] environment
+    variable when set (and nonempty); the CLI's [--cache DIR] /
+    [--no-cache] land here. *)
+
+val default : unit -> t option
+val set_default : t option -> unit
+
+(** {1 Reads and writes} *)
+
+(** [find t ~kind ~version ~key codec] decodes the entry for [key], or
+    [None] on a miss. A present-but-invalid entry (corrupt, truncated,
+    wrong kind/version/key) counts as a miss. Updates the hit/miss
+    counters. *)
+val find : t -> kind:string -> version:int -> key:string -> 'a Codec.t -> 'a option
+
+(** [put t ~kind ~version ~key codec v] publishes the entry atomically
+    (write-then-rename). Last writer wins; for deterministic payloads
+    the race is invisible. *)
+val put : t -> kind:string -> version:int -> key:string -> 'a Codec.t -> 'a -> unit
+
+(** [remove t ~kind ~key] deletes the entry if present. *)
+val remove : t -> kind:string -> key:string -> unit
+
+(** [memo store ~kind ~version ~key codec f] is the caching combinator
+    the experiments use: with [store = None] it is just [f ()]; otherwise
+    a hit returns the stored value and a miss computes [f ()], publishes
+    it, and returns it. Because stored floats are bit patterns, the
+    result is byte-identical whether it was computed or replayed. *)
+val memo :
+  t option -> kind:string -> version:int -> key:string -> 'a Codec.t ->
+  (unit -> 'a) -> 'a
+
+(** {1 Counters and maintenance} *)
+
+type counters = {
+  hits : int;  (** finds answered from disk *)
+  misses : int;  (** finds that fell through *)
+  computes : int;  (** memo misses that ran the thunk *)
+  puts : int;  (** entries published *)
+}
+
+(** [counters t] reads this process's counters (atomic; safe during a
+    fan-out). *)
+val counters : t -> counters
+
+(** [reset_counters t] zeroes the in-process counters. *)
+val reset_counters : t -> unit
+
+(** [flush_counters t] appends the in-process counters to
+    [root/stats.log] (an O_APPEND single-line write, safe across
+    processes) and zeroes them — the CLI calls this at exit so
+    [popan cache stats] can report lifetime totals. No-op when all
+    counters are zero. *)
+val flush_counters : t -> unit
+
+(** [logged_counters t] sums every line of [root/stats.log] — the
+    lifetime totals of past runs (not including unflushed in-process
+    counts). *)
+val logged_counters : t -> counters
+
+type entry = { path : string; kind : string; bytes : int; mtime : float }
+
+(** [entries t] lists the objects on disk (unordered). *)
+val entries : t -> entry list
+
+(** [disk_stats t] is [(entry count, total bytes)]. *)
+val disk_stats : t -> int * int
+
+(** [gc t ~max_bytes] deletes oldest-first (by mtime) until the objects
+    total at most [max_bytes], clears stale temp files, and returns
+    [(entries deleted, bytes freed)]. *)
+val gc : t -> max_bytes:int -> int * int
+
+(** [verify t] re-reads every object, re-hashes its frame and re-derives
+    its address from the embedded key, returning [(checked, problems)]
+    where each problem is [(path, description)]. A healthy store returns
+    an empty problem list. *)
+val verify : t -> int * (string * string) list

@@ -1,0 +1,46 @@
+open Import
+
+type growth = {
+  tree : Pr_quadtree.t;
+  rng : Xoshiro.t;
+  next_index : int;
+  have : int;
+  partial : (float * float) array;
+}
+
+let kind = "ckpt-grow"
+let version = 1
+
+(* The field order below is the on-disk format; bump [version] when it
+   changes. *)
+let codec =
+  let tuple =
+    Codec.(
+      triple pr_quadtree xoshiro (triple int int (array (pair float float))))
+  in
+  Codec.map tuple
+    ~decode:(fun (tree, rng, (next_index, have, partial)) ->
+      { tree; rng; next_index; have; partial })
+    ~encode:(fun g -> (g.tree, g.rng, (g.next_index, g.have, g.partial)))
+
+let ckpt_key ~key_base ~index = Printf.sprintf "%s|ckpt=%d" key_base index
+
+let save store ~key_base ~index g =
+  Artifact_store.put store ~kind ~version ~key:(ckpt_key ~key_base ~index)
+    codec g
+
+let latest store ~key_base ~upto =
+  let rec probe index =
+    if index < 0 then None
+    else
+      match
+        Artifact_store.find store ~kind ~version
+          ~key:(ckpt_key ~key_base ~index) codec
+      with
+      | Some g
+        when g.next_index = index + 1
+             && Array.length g.partial = g.next_index ->
+        Some g
+      | Some _ (* inconsistent record: skip it *) | None -> probe (index - 1)
+  in
+  probe (upto - 1)

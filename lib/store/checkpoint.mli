@@ -1,0 +1,36 @@
+open Import
+
+(** Checkpoint/resume for long N-growth runs.
+
+    [Sweep.run_incremental] grows one {!Pr_builder} per trial through the
+    whole size grid. A checkpoint freezes everything that run needs to
+    continue from size index [next_index]: the tree so far, the exact
+    position of the trial's random stream, and the snapshots already
+    taken. Because the PR decomposition is canonical and the generator
+    state round-trips bit-for-bit, a resumed trial replays the very same
+    insertions the uninterrupted run would have performed — the final
+    tables are byte-identical, checkpointed or not, killed-and-resumed
+    or not. *)
+
+type growth = {
+  tree : Pr_quadtree.t;  (** frozen builder state *)
+  rng : Xoshiro.t;  (** the trial stream, exactly where it paused *)
+  next_index : int;  (** next size-grid index to produce *)
+  have : int;  (** points inserted so far *)
+  partial : (float * float) array;
+      (** (leaf count, average occupancy) snapshots for indices
+          [0 .. next_index - 1] *)
+}
+
+val kind : string
+val version : int
+val codec : growth Codec.t
+
+(** [save store ~key_base ~index g] publishes the checkpoint taken after
+    producing size index [index]. *)
+val save : Artifact_store.t -> key_base:string -> index:int -> growth -> unit
+
+(** [latest store ~key_base ~upto] probes indices [upto - 1] down to [0]
+    and returns the newest valid checkpoint, if any. Invalid or missing
+    checkpoints are skipped — resume never trusts a corrupt record. *)
+val latest : Artifact_store.t -> key_base:string -> upto:int -> growth option

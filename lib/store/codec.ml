@@ -1,0 +1,404 @@
+open Import
+
+(* A cursor over an immutable byte string. Every read bounds-checks;
+   [fail] aborts decoding with a message the framing layer surfaces as
+   [Malformed]. *)
+type cursor = { data : string; mutable pos : int; limit : int }
+
+exception Malformed_input of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed_input s)) fmt
+
+type 'a t = {
+  write : Buffer.t -> 'a -> unit;
+  read : cursor -> 'a;
+}
+
+let encode c v =
+  let buffer = Buffer.create 256 in
+  c.write buffer v;
+  Buffer.contents buffer
+
+let decode c s =
+  let cur = { data = s; pos = 0; limit = String.length s } in
+  match c.read cur with
+  | v ->
+    if cur.pos <> cur.limit then
+      failwith
+        (Printf.sprintf "Codec.decode: %d trailing bytes" (cur.limit - cur.pos))
+    else v
+  | exception Malformed_input msg -> failwith ("Codec.decode: " ^ msg)
+
+(* Primitives *)
+
+let read_byte cur =
+  if cur.pos >= cur.limit then fail "unexpected end of input";
+  let b = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  b
+
+let u8 =
+  {
+    write =
+      (fun buffer n ->
+        if n < 0 || n > 255 then invalid_arg "Codec.u8: out of range";
+        Buffer.add_char buffer (Char.chr n));
+    read = read_byte;
+  }
+
+let bool =
+  {
+    write = (fun buffer b -> Buffer.add_char buffer (if b then '\001' else '\000'));
+    read =
+      (fun cur ->
+        match read_byte cur with
+        | 0 -> false
+        | 1 -> true
+        | b -> fail "bad boolean byte %d" b);
+  }
+
+(* Unsigned LEB128 over the full 63-bit word (an int with the sign bit
+   set is written as the corresponding large unsigned value, which is
+   what zigzagged [min_int]-adjacent values produce). *)
+let write_uvarint buffer n =
+  let rec go n =
+    if n lsr 7 = 0 then Buffer.add_char buffer (Char.chr n)
+    else begin
+      Buffer.add_char buffer (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_uvarint cur =
+  let rec go shift acc =
+    if shift > 62 then fail "varint too long";
+    let b = read_byte cur in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* Zigzag: small magnitudes of either sign stay small on disk. *)
+let int =
+  {
+    write = (fun buffer n -> write_uvarint buffer ((n lsl 1) lxor (n asr 62)));
+    read =
+      (fun cur ->
+        let z = read_uvarint cur in
+        (z lsr 1) lxor (-(z land 1)));
+  }
+
+let int64 =
+  {
+    write =
+      (fun buffer v ->
+        for i = 0 to 7 do
+          Buffer.add_char buffer
+            (Char.chr
+               (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+        done);
+    read =
+      (fun cur ->
+        let v = ref 0L in
+        for i = 0 to 7 do
+          let b = read_byte cur in
+          v := Int64.logor !v (Int64.shift_left (Int64.of_int b) (8 * i))
+        done;
+        !v);
+  }
+
+let float =
+  {
+    write = (fun buffer x -> int64.write buffer (Int64.bits_of_float x));
+    read = (fun cur -> Int64.float_of_bits (int64.read cur));
+  }
+
+let string =
+  {
+    write =
+      (fun buffer s ->
+        write_uvarint buffer (String.length s);
+        Buffer.add_string buffer s);
+    read =
+      (fun cur ->
+        let n = read_uvarint cur in
+        if n > cur.limit - cur.pos then
+          fail "string length %d exceeds remaining input" n;
+        let s = String.sub cur.data cur.pos n in
+        cur.pos <- cur.pos + n;
+        s);
+  }
+
+(* Combinators *)
+
+let pair a b =
+  {
+    write =
+      (fun buffer (x, y) ->
+        a.write buffer x;
+        b.write buffer y);
+    read =
+      (fun cur ->
+        let x = a.read cur in
+        let y = b.read cur in
+        (x, y));
+  }
+
+let triple a b c =
+  {
+    write =
+      (fun buffer (x, y, z) ->
+        a.write buffer x;
+        b.write buffer y;
+        c.write buffer z);
+    read =
+      (fun cur ->
+        let x = a.read cur in
+        let y = b.read cur in
+        let z = c.read cur in
+        (x, y, z));
+  }
+
+let option c =
+  {
+    write =
+      (fun buffer v ->
+        match v with
+        | None -> Buffer.add_char buffer '\000'
+        | Some x ->
+          Buffer.add_char buffer '\001';
+          c.write buffer x);
+    read =
+      (fun cur ->
+        match read_byte cur with
+        | 0 -> None
+        | 1 -> Some (c.read cur)
+        | b -> fail "bad option tag %d" b);
+  }
+
+let list c =
+  {
+    write =
+      (fun buffer vs ->
+        write_uvarint buffer (List.length vs);
+        List.iter (c.write buffer) vs);
+    read =
+      (fun cur ->
+        let n = read_uvarint cur in
+        if n > cur.limit - cur.pos then
+          fail "list count %d exceeds remaining input" n;
+        List.init n (fun _ -> c.read cur));
+  }
+
+let array c =
+  {
+    write =
+      (fun buffer vs ->
+        write_uvarint buffer (Array.length vs);
+        Array.iter (c.write buffer) vs);
+    read =
+      (fun cur ->
+        let n = read_uvarint cur in
+        if n > cur.limit - cur.pos then
+          fail "array count %d exceeds remaining input" n;
+        Array.init n (fun _ -> c.read cur));
+  }
+
+let int_array = array int
+
+let map c ~decode:f ~encode:g =
+  { write = (fun buffer v -> c.write buffer (g v)); read = (fun cur -> f (c.read cur)) }
+
+(* Domain codecs *)
+
+let point =
+  {
+    write =
+      (fun buffer (p : Point.t) ->
+        float.write buffer p.Point.x;
+        float.write buffer p.Point.y);
+    read =
+      (fun cur ->
+        let x = float.read cur in
+        let y = float.read cur in
+        Point.make x y);
+  }
+
+let box =
+  {
+    write =
+      (fun buffer (b : Box.t) ->
+        float.write buffer b.Box.xmin;
+        float.write buffer b.Box.ymin;
+        float.write buffer b.Box.xmax;
+        float.write buffer b.Box.ymax);
+    read =
+      (fun cur ->
+        let xmin = float.read cur in
+        let ymin = float.read cur in
+        let xmax = float.read cur in
+        let ymax = float.read cur in
+        match Box.make ~xmin ~ymin ~xmax ~ymax with
+        | b -> b
+        | exception Invalid_argument msg -> fail "bad box: %s" msg);
+  }
+
+let xoshiro =
+  {
+    write =
+      (fun buffer rng ->
+        Array.iter (int64.write buffer) (Xoshiro.to_words rng));
+    read =
+      (fun cur ->
+        let words = Array.init 4 (fun _ -> int64.read cur) in
+        match Xoshiro.of_words words with
+        | rng -> rng
+        | exception Invalid_argument msg -> fail "bad rng state: %s" msg);
+  }
+
+let pr_quadtree =
+  let rec write_node buffer node =
+    match node with
+    | Pr_quadtree.Raw.Leaf pts ->
+      Buffer.add_char buffer '\000';
+      (list point).write buffer pts
+    | Pr_quadtree.Raw.Node children ->
+      Buffer.add_char buffer '\001';
+      Array.iter (write_node buffer) children
+  in
+  let rec read_node cur =
+    match read_byte cur with
+    | 0 -> Pr_quadtree.Raw.Leaf ((list point).read cur)
+    | 1 -> Pr_quadtree.Raw.Node (Array.init 4 (fun _ -> read_node cur))
+    | b -> fail "bad node tag %d" b
+  in
+  {
+    write =
+      (fun buffer tree ->
+        int.write buffer (Pr_quadtree.capacity tree);
+        int.write buffer (Pr_quadtree.max_depth tree);
+        box.write buffer (Pr_quadtree.bounds tree);
+        int.write buffer (Pr_quadtree.size tree);
+        write_node buffer (Pr_quadtree.Raw.root tree));
+    read =
+      (fun cur ->
+        let capacity = int.read cur in
+        let max_depth = int.read cur in
+        let bounds = box.read cur in
+        let size = int.read cur in
+        let root = read_node cur in
+        match Pr_quadtree.Raw.make ~capacity ~max_depth ~bounds ~size ~root with
+        | tree -> tree
+        | exception Invalid_argument msg -> fail "bad tree parameters: %s" msg);
+  }
+
+(* Framing *)
+
+let magic = "PSTO"
+let container_version = 1
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+type error =
+  | Bad_magic
+  | Bad_container_version of int
+  | Bad_kind of { expected : string; found : string }
+  | Bad_version of { expected : int; found : int }
+  | Bad_key of { expected : string; found : string }
+  | Truncated
+  | Checksum_mismatch
+  | Trailing_garbage
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic (not an artifact)"
+  | Bad_container_version v -> Printf.sprintf "unknown container version %d" v
+  | Bad_kind { expected; found } ->
+    Printf.sprintf "kind mismatch: expected %S, found %S" expected found
+  | Bad_version { expected; found } ->
+    Printf.sprintf "artifact version mismatch: expected %d, found %d" expected
+      found
+  | Bad_key { expected; found } ->
+    Printf.sprintf "key mismatch (hash collision?): expected %S, found %S"
+      expected found
+  | Truncated -> "truncated artifact"
+  | Checksum_mismatch -> "checksum mismatch (corrupted artifact)"
+  | Trailing_garbage -> "trailing bytes after checksum"
+  | Malformed msg -> "malformed payload: " ^ msg
+
+let to_artifact ~kind ~version ~key codec v =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer magic;
+  write_uvarint buffer container_version;
+  string.write buffer kind;
+  write_uvarint buffer version;
+  string.write buffer key;
+  let payload = encode codec v in
+  write_uvarint buffer (String.length payload);
+  Buffer.add_string buffer payload;
+  int64.write buffer (fnv1a64 (Buffer.contents buffer));
+  Buffer.contents buffer
+
+(* Validate the frame of [s]; on success return (kind, version, key) and
+   the payload extent. Shared by [of_artifact] and [probe]. *)
+let check_frame s =
+  let n = String.length s in
+  if n < String.length magic + 8 then Error Truncated
+  else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+  else begin
+    let body = String.sub s 0 (n - 8) in
+    let stored =
+      (decode int64 (String.sub s (n - 8) 8) : int64)
+    in
+    if not (Int64.equal stored (fnv1a64 body)) then Error Checksum_mismatch
+    else begin
+      let cur = { data = s; pos = String.length magic; limit = n - 8 } in
+      match
+        let cv = read_uvarint cur in
+        let kind = string.read cur in
+        let version = read_uvarint cur in
+        let key = string.read cur in
+        let payload_len = read_uvarint cur in
+        (cv, kind, version, key, payload_len, cur.pos)
+      with
+      | exception Malformed_input _ -> Error Truncated
+      | cv, _, _, _, _, _ when cv <> container_version ->
+        Error (Bad_container_version cv)
+      | _, kind, version, key, payload_len, payload_start ->
+        if payload_start + payload_len <> n - 8 then Error Truncated
+        else Ok (kind, version, key, payload_start, payload_len)
+    end
+  end
+
+let probe s =
+  match check_frame s with
+  | Error e -> Error e
+  | Ok (kind, version, key, _, _) -> Ok (kind, version, key)
+
+let of_artifact ~kind ~version ?key codec s =
+  match check_frame s with
+  | Error e -> Error e
+  | Ok (found_kind, found_version, found_key, payload_start, payload_len) ->
+    if found_kind <> kind then
+      Error (Bad_kind { expected = kind; found = found_kind })
+    else if found_version <> version then
+      Error (Bad_version { expected = version; found = found_version })
+    else begin
+      match key with
+      | Some expected when expected <> found_key ->
+        Error (Bad_key { expected; found = found_key })
+      | _ -> (
+        let cur =
+          { data = s; pos = payload_start; limit = payload_start + payload_len }
+        in
+        match codec.read cur with
+        | v -> if cur.pos <> cur.limit then Error Trailing_garbage else Ok v
+        | exception Malformed_input msg -> Error (Malformed msg))
+    end

@@ -1,0 +1,135 @@
+open Import
+
+(** Compact versioned binary codecs for the artifact store.
+
+    A ['a t] pairs a writer (into a [Buffer.t]) with a reader (from a
+    bounds-checked cursor). Codecs compose with the usual combinators;
+    every primitive reader validates its input and raises a descriptive
+    internal exception that the framing layer converts into a typed
+    {!error}, so a truncated or corrupted byte stream is always detected
+    rather than misread.
+
+    {b The frame.} An artifact on disk is a framed payload:
+
+    {v
+    "PSTO"                      4-byte magic
+    container version           varint (currently 1)
+    kind                        length-prefixed string, e.g. "trial-occ"
+    artifact version            varint (the codec's schema version)
+    key                         length-prefixed canonical key string
+    payload length              varint
+    payload                     <length> bytes written by the codec
+    checksum                    8-byte little-endian FNV-1a 64 over
+                                everything preceding it
+    v}
+
+    Floats are stored as their IEEE-754 bit patterns ([Int64.bits_of_float]),
+    so every round-trip is bit-exact — the property the byte-identical
+    caching contract rests on. *)
+
+type 'a t
+
+(** {1 Running codecs} *)
+
+(** [encode codec v] is the raw payload bytes of [v] (no frame). *)
+val encode : 'a t -> 'a -> string
+
+(** [decode codec s] reads [v] back from raw payload bytes, requiring the
+    codec to consume exactly the whole string.
+    Raises [Failure] with a descriptive message on malformed input. *)
+val decode : 'a t -> string -> 'a
+
+(** {1 Primitives} *)
+
+(** [u8] is a single byte, values 0..255. *)
+val u8 : int t
+
+(** [bool] is a byte 0/1; any other value is malformed. *)
+val bool : bool t
+
+(** [int] is a zigzag LEB128 varint: small magnitudes are small on disk,
+    and the full native int range round-trips (including [min_int]). *)
+val int : int t
+
+(** [int64] is a fixed 8-byte little-endian word. *)
+val int64 : int64 t
+
+(** [float] is the IEEE-754 bit pattern as an {!int64} — bit-exact,
+    NaN and infinities included. *)
+val float : float t
+
+(** [string] is a varint length followed by the bytes. *)
+val string : string t
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t
+
+(** [list c] is a varint count followed by the elements in order. *)
+val list : 'a t -> 'a list t
+
+(** [array c] — array variant of {!list}. *)
+val array : 'a t -> 'a array t
+
+(** [int_array] is [array int] (the occupancy-histogram codec). *)
+val int_array : int array t
+
+(** [map c ~decode ~encode] transports a codec across an isomorphism —
+    the record-codec builder ([decode] after reading, [encode] before
+    writing). *)
+val map : 'a t -> decode:('a -> 'b) -> encode:('b -> 'a) -> 'b t
+
+(** {1 Domain codecs} *)
+
+val point : Point.t t
+val box : Box.t t
+
+(** [xoshiro] serializes a generator's full 256-bit state; decoding
+    restores a generator that continues the exact same stream. *)
+val xoshiro : Xoshiro.t t
+
+(** [pr_quadtree] snapshots a persistent PR quadtree: parameters, then
+    the node spine (leaves hold their point lists in order). Decoding
+    rebuilds the identical structure ({!Pr_quadtree.equal_structure}
+    holds across a round-trip, and the float coordinates are
+    bit-exact). *)
+val pr_quadtree : Pr_quadtree.t t
+
+(** {1 Framing} *)
+
+type error =
+  | Bad_magic
+  | Bad_container_version of int
+  | Bad_kind of { expected : string; found : string }
+  | Bad_version of { expected : int; found : int }
+  | Bad_key of { expected : string; found : string }
+  | Truncated
+  | Checksum_mismatch
+  | Trailing_garbage
+  | Malformed of string
+
+val error_to_string : error -> string
+
+(** [to_artifact ~kind ~version ~key codec v] frames [encode codec v]
+    with the header and checksum described above. *)
+val to_artifact : kind:string -> version:int -> key:string -> 'a t -> 'a -> string
+
+(** [of_artifact ~kind ~version ?key codec s] validates the frame (magic,
+    kind, version, checksum, exact payload length) and decodes the
+    payload. When [?key] is given the embedded key must match — the
+    defense against hash collisions in the content-addressed store. *)
+val of_artifact :
+  kind:string -> version:int -> ?key:string -> 'a t -> string ->
+  ('a, error) result
+
+(** [probe s] validates the frame of [s] — magic, container version,
+    checksum, payload length — without decoding the payload, and returns
+    the embedded [(kind, version, key)]. This is what [cache verify]
+    runs over every entry. *)
+val probe : string -> (string * int * string, error) result
+
+(** [fnv1a64 s] is the 64-bit FNV-1a hash of [s] — the store's
+    content-address hash, exposed for key hashing and tests. *)
+val fnv1a64 : string -> int64

@@ -504,6 +504,52 @@ let points_io_tests =
           (match Points_io.of_csv_string "1,2,3\n" with
            | _ -> false
            | exception Failure _ -> true));
+    Alcotest.test_case "diagnostics carry path, line and reason" `Quick
+      (fun () ->
+        let contains msg needle =
+          let nl = String.length needle and hl = String.length msg in
+          let rec go i =
+            i + nl <= hl && (String.sub msg i nl = needle || go (i + 1))
+          in
+          nl = 0 || go 0
+        in
+        let fails input check_msg =
+          match Points_io.of_csv_string ~path:"pts.csv" input with
+          | _ -> Alcotest.failf "accepted %S" input
+          | exception Failure msg ->
+            check_bool (Printf.sprintf "message for %S: %s" input msg) true
+              (check_msg msg)
+        in
+        (* Garbage cell: named with its value. *)
+        fails "x,y\n1,2\noops,3\n" (fun m ->
+            contains m "pts.csv:3:" && contains m "\"oops\"");
+        (* Truncated final row: trailing comma leaves an empty cell. *)
+        fails "x,y\n0.1,0.2\n0.3," (fun m ->
+            contains m "pts.csv:3:" && contains m "truncated");
+        (* Truncated mid-number is still a bad cell, not a crash. *)
+        fails "1,2\n3,4e" (fun m ->
+            contains m "pts.csv:2:" && contains m "\"4e\"");
+        (* Wrong arity: the count is reported. *)
+        fails "1,2\n1,2,3\n" (fun m ->
+            contains m "pts.csv:2:" && contains m "got 3");
+        fails "1,2\n7\n" (fun m ->
+            contains m "pts.csv:2:" && contains m "got 1");
+        (* Blank lines are skipped but keep their line numbers. *)
+        fails "1,2\n\n\nbad,row\n" (fun m -> contains m "pts.csv:4:"));
+    Alcotest.test_case "load names the file in errors" `Quick (fun () ->
+        let path = Filename.temp_file "popan_bad" ".csv" in
+        let oc = open_out path in
+        output_string oc "x,y\nnot,numbers\n";
+        close_out oc;
+        let result =
+          match Points_io.load path with
+          | _ -> "accepted"
+          | exception Failure msg -> msg
+        in
+        Sys.remove path;
+        check_bool "path in message" true
+          (String.length result > String.length path
+           && String.sub result 0 (String.length path) = path));
     Alcotest.test_case "roundtrip exact" `Quick (fun () ->
         let pts =
           Popan_rng.Sampler.points (Popan_rng.Xoshiro.of_int_seed 12)

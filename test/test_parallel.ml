@@ -9,8 +9,6 @@
       every float must match bitwise; even 1-ulp drift from a reordered
       sum or a moved RNG split fails the property. *)
 
-[@@@alert "-deprecated"] (* Workload.trial_points is exercised on purpose *)
-
 open Popan_experiments
 module Parallel = Popan_parallel
 module Distribution = Popan_core.Distribution
@@ -283,7 +281,8 @@ let determinism_tests =
         in
         all_equal tagged
         && List.hd tagged = map_trials_reference w ~f:(fun i pts -> (i, pts))
-        && List.map snd (List.hd tagged) = Workload.trial_points w
+        && List.map snd (List.hd tagged)
+           = List.init trials (Workload.points_of_trial w)
         && List.for_all
              (fun (i, pts) -> Workload.points_of_trial w i = pts)
              (List.hd tagged));

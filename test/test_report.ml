@@ -131,6 +131,42 @@ let csv_tests =
         close_in ic;
         Sys.remove path;
         Alcotest.(check (list string)) "content" [ "x,y"; "1,2"; "3,4" ] lines);
+    Alcotest.test_case "full round-trip: write → parse → equal" `Quick
+      (fun () ->
+        (* Every awkward cell class: separators, quotes, empties, mixed. *)
+        let header = [ "name"; "note"; "blank" ] in
+        let rows =
+          [
+            [ "plain"; "with,comma"; "" ];
+            [ ""; "\"quoted\""; "also,\"both\"" ];
+            [ "trailing,"; ",leading"; "," ];
+            [ " spaced "; "a\"\"b"; "" ];
+          ]
+        in
+        let path = Filename.temp_file "popan_rt" ".csv" in
+        Csv.write path ~header rows;
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove path;
+        let parsed = List.rev_map Csv.parse_line !lines in
+        Alcotest.(check (list (list string)))
+          "write→parse inverts" (header :: rows) parsed);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"qcheck: parse_line inverts escape"
+         QCheck.(
+           list_of_size Gen.(1 -- 6)
+             (string_gen_of_size
+                Gen.(0 -- 12)
+                (Gen.oneofl [ 'a'; ','; '"'; ' '; '0'; '.'; '-' ])))
+         (fun cells ->
+           Csv.parse_line (String.concat "," (List.map Csv.escape cells))
+           = cells));
   ]
 
 (* Renderers over tiny real experiments. *)

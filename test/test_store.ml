@@ -1,0 +1,549 @@
+(* Tests for the artifact store: codec round-trips, frame corruption
+   detection, atomic publishing under concurrent writers, memoization
+   counters, gc/verify maintenance, and checkpoint/resume equivalence. *)
+
+module Codec = Popan_store.Codec
+module Store = Popan_store.Artifact_store
+module Checkpoint = Popan_store.Checkpoint
+module Xoshiro = Popan_rng.Xoshiro
+module Sampler = Popan_rng.Sampler
+module Pr_quadtree = Popan_trees.Pr_quadtree
+open Popan_experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Temp stores, removed on exit. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let temp_store_counter = ref 0
+
+let temp_root () =
+  incr temp_store_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "popan_store_test.%d.%d" (Unix.getpid ())
+         !temp_store_counter)
+  in
+  rm_rf dir;
+  at_exit (fun () -> rm_rf dir);
+  dir
+
+let with_store f =
+  let s = Store.open_store (temp_root ()) in
+  f s
+
+(* Codec round-trips *)
+
+let roundtrip codec v = Codec.decode codec (Codec.encode codec v)
+
+let codec_tests =
+  [
+    Alcotest.test_case "int round-trip incl. negatives and extremes" `Quick
+      (fun () ->
+        List.iter
+          (fun n -> check_int "int" n (roundtrip Codec.int n))
+          [ 0; 1; -1; 63; -64; 64; 127; 128; 300; -300; 0x3FFFFFFFFFFFFFF;
+            -0x3FFFFFFFFFFFFFF; max_int; min_int ]);
+    Alcotest.test_case "float round-trip is bit-exact" `Quick (fun () ->
+        List.iter
+          (fun x ->
+            let y = roundtrip Codec.float x in
+            check_bool "bits" true
+              (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)))
+          [ 0.0; -0.0; 1.5; -1.5; Float.pi; infinity; neg_infinity; nan;
+            Float.min_float; Float.max_float; 4.9e-324 ]);
+    Alcotest.test_case "compound codecs round-trip" `Quick (fun () ->
+        let c = Codec.(triple (list string) (option int) (array (pair bool u8))) in
+        let v = ([ "a"; ""; "b,c\n" ], Some (-7), [| (true, 0); (false, 255) |]) in
+        check_bool "triple" true (roundtrip c v = v);
+        check_bool "none" true (roundtrip Codec.(option int) None = None);
+        check_bool "int_array" true
+          (roundtrip Codec.int_array [| 3; 1; 4; 1; 5 |] = [| 3; 1; 4; 1; 5 |]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"qcheck: int list round-trip"
+         QCheck.(list int)
+         (fun l -> roundtrip Codec.(list int) l = l));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"qcheck: float array bit round-trip"
+         QCheck.(array float)
+         (fun a ->
+           let b = roundtrip Codec.(array float) a in
+           Array.length a = Array.length b
+           && Array.for_all2
+                (fun x y ->
+                  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+                a b));
+    Alcotest.test_case "xoshiro codec continues the same stream" `Quick
+      (fun () ->
+        let rng = Xoshiro.of_int_seed 42 in
+        for _ = 1 to 17 do ignore (Xoshiro.float rng) done;
+        let copy = roundtrip Codec.xoshiro rng in
+        for _ = 1 to 100 do
+          Alcotest.(check (float 0.0)) "same stream" (Xoshiro.float rng)
+            (Xoshiro.float copy)
+        done);
+    Alcotest.test_case "pr_quadtree codec preserves structure" `Quick
+      (fun () ->
+        let rng = Xoshiro.of_int_seed 7 in
+        let t =
+          Pr_quadtree.of_points ~capacity:3
+            (Sampler.points rng Sampler.Uniform 500)
+        in
+        let t' = roundtrip Codec.pr_quadtree t in
+        check_bool "equal_structure" true (Pr_quadtree.equal_structure t t');
+        check_int "size" (Pr_quadtree.size t) (Pr_quadtree.size t');
+        check_bool "re-encode is byte-identical" true
+          (Codec.encode Codec.pr_quadtree t = Codec.encode Codec.pr_quadtree t'));
+    Alcotest.test_case "decode rejects truncation and trailing bytes" `Quick
+      (fun () ->
+        let raw = Codec.encode Codec.(pair int string) (5, "hello") in
+        check_bool "truncated" true
+          (match Codec.decode Codec.(pair int string)
+                   (String.sub raw 0 (String.length raw - 1))
+           with
+           | _ -> false
+           | exception Failure _ -> true);
+        check_bool "trailing" true
+          (match Codec.decode Codec.(pair int string) (raw ^ "x") with
+           | _ -> false
+           | exception Failure _ -> true));
+  ]
+
+(* Framing *)
+
+let frame_tests =
+  let codec = Codec.(pair float int_array) in
+  let v = (3.75, [| 1; 2; 3 |]) in
+  let artifact = Codec.to_artifact ~kind:"test-kind" ~version:3 ~key:"k|1" codec v in
+  [
+    Alcotest.test_case "frame round-trip with key check" `Quick (fun () ->
+        match
+          Codec.of_artifact ~kind:"test-kind" ~version:3 ~key:"k|1" codec
+            artifact
+        with
+        | Ok v' -> check_bool "value" true (v' = v)
+        | Error e -> Alcotest.fail (Codec.error_to_string e));
+    Alcotest.test_case "probe reads identity without decoding" `Quick
+      (fun () ->
+        match Codec.probe artifact with
+        | Ok (kind, version, key) ->
+          Alcotest.(check string) "kind" "test-kind" kind;
+          check_int "version" 3 version;
+          Alcotest.(check string) "key" "k|1" key
+        | Error e -> Alcotest.fail (Codec.error_to_string e));
+    Alcotest.test_case "wrong kind / version / key rejected" `Quick (fun () ->
+        let is_err = function Error _ -> true | Ok _ -> false in
+        check_bool "kind" true
+          (is_err (Codec.of_artifact ~kind:"other" ~version:3 codec artifact));
+        check_bool "version" true
+          (is_err (Codec.of_artifact ~kind:"test-kind" ~version:4 codec artifact));
+        check_bool "key" true
+          (is_err
+             (Codec.of_artifact ~kind:"test-kind" ~version:3 ~key:"k|2" codec
+                artifact)));
+    Alcotest.test_case "every single-byte corruption is detected" `Quick
+      (fun () ->
+        (* Flip one byte at every offset: magic, header, payload and
+           checksum corruptions must all surface as errors. *)
+        String.iteri
+          (fun i _ ->
+            let b = Bytes.of_string artifact in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+            match
+              Codec.of_artifact ~kind:"test-kind" ~version:3 ~key:"k|1" codec
+                (Bytes.to_string b)
+            with
+            | Ok _ -> Alcotest.failf "corruption at byte %d not detected" i
+            | Error _ -> ())
+          artifact);
+    Alcotest.test_case "truncation at every length is detected" `Quick
+      (fun () ->
+        for len = 0 to String.length artifact - 1 do
+          match
+            Codec.of_artifact ~kind:"test-kind" ~version:3 codec
+              (String.sub artifact 0 len)
+          with
+          | Ok _ -> Alcotest.failf "truncation to %d bytes not detected" len
+          | Error _ -> ()
+        done;
+        check_bool "trailing garbage" true
+          (match Codec.of_artifact ~kind:"test-kind" ~version:3 codec (artifact ^ "!") with
+           | Error _ -> true
+           | Ok _ -> false));
+  ]
+
+(* Store behaviour *)
+
+let store_tests =
+  [
+    Alcotest.test_case "put/find round-trip and counters" `Quick (fun () ->
+        with_store (fun s ->
+            let codec = Codec.(pair float float) in
+            check_bool "miss" true
+              (Store.find s ~kind:"trial-occ" ~version:1 ~key:"a" codec = None);
+            Store.put s ~kind:"trial-occ" ~version:1 ~key:"a" codec (1.5, 2.5);
+            check_bool "hit" true
+              (Store.find s ~kind:"trial-occ" ~version:1 ~key:"a" codec
+               = Some (1.5, 2.5));
+            (* Same key, different kind: distinct entries. *)
+            check_bool "kind separated" true
+              (Store.find s ~kind:"trial-hist" ~version:1 ~key:"a"
+                 Codec.int_array
+               = None);
+            let c = Store.counters s in
+            check_int "hits" 1 c.Store.hits;
+            check_int "misses" 2 c.Store.misses;
+            check_int "puts" 1 c.Store.puts));
+    Alcotest.test_case "memo computes once" `Quick (fun () ->
+        with_store (fun s ->
+            let calls = ref 0 in
+            let f () = incr calls; [| 9; 8 |] in
+            let v1 =
+              Store.memo (Some s) ~kind:"trial-hist" ~version:1 ~key:"k"
+                Codec.int_array f
+            in
+            let v2 =
+              Store.memo (Some s) ~kind:"trial-hist" ~version:1 ~key:"k"
+                Codec.int_array f
+            in
+            check_int "one compute" 1 !calls;
+            check_bool "same" true (v1 = v2);
+            check_int "computes counter" 1 (Store.counters s).Store.computes;
+            (* memo without a store is just the thunk *)
+            check_bool "no store" true
+              (Store.memo None ~kind:"trial-hist" ~version:1 ~key:"k"
+                 Codec.int_array f
+               = [| 9; 8 |]);
+            check_int "thunk ran" 2 !calls));
+    Alcotest.test_case "corrupt entry is a miss, verify reports it" `Quick
+      (fun () ->
+        with_store (fun s ->
+            Store.put s ~kind:"trial-occ" ~version:1 ~key:"x"
+              Codec.(pair float float) (1.0, 2.0);
+            let entry =
+              match Store.entries s with [ e ] -> e | _ -> Alcotest.fail "one entry"
+            in
+            (* Scribble over the payload region. *)
+            let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 entry.Store.path in
+            seek_out oc (entry.Store.bytes - 9);
+            output_string oc "X";
+            close_out oc;
+            check_bool "miss after corruption" true
+              (Store.find s ~kind:"trial-occ" ~version:1 ~key:"x"
+                 Codec.(pair float float)
+               = None);
+            let checked, problems = Store.verify s in
+            check_int "checked" 1 checked;
+            check_int "one problem" 1 (List.length problems)));
+    Alcotest.test_case "schema_version partitions keys" `Quick (fun () ->
+        (* The full key embeds the schema version, so the address and the
+           embedded key both change across bumps; here we just pin the
+           current prefix so a silent format change is caught. *)
+        check_int "schema version" 1 Store.schema_version);
+    Alcotest.test_case "stats log accumulates across flushes" `Quick (fun () ->
+        with_store (fun s ->
+            Store.put s ~kind:"trial-occ" ~version:1 ~key:"y"
+              Codec.(pair float float) (0.0, 0.0);
+            ignore (Store.find s ~kind:"trial-occ" ~version:1 ~key:"y"
+                      Codec.(pair float float));
+            Store.flush_counters s;
+            ignore (Store.find s ~kind:"trial-occ" ~version:1 ~key:"y"
+                      Codec.(pair float float));
+            Store.flush_counters s;
+            let c = Store.logged_counters s in
+            check_int "hits" 2 c.Store.hits;
+            check_int "puts" 1 c.Store.puts;
+            check_int "in-process zeroed" 0 (Store.counters s).Store.hits));
+    Alcotest.test_case "gc evicts down to the byte budget" `Quick (fun () ->
+        with_store (fun s ->
+            for i = 0 to 9 do
+              Store.put s ~kind:"trial-hist" ~version:1
+                ~key:(string_of_int i) Codec.int_array (Array.make 64 i)
+            done;
+            let _, total = Store.disk_stats s in
+            let deleted, freed = Store.gc s ~max_bytes:(total / 2) in
+            check_bool "deleted some" true (deleted > 0);
+            check_bool "freed enough" true (snd (Store.disk_stats s) <= total / 2);
+            check_int "accounting" freed (total - snd (Store.disk_stats s));
+            let checked, problems = Store.verify s in
+            check_int "survivors intact" 0 (List.length problems);
+            check_int "survivor count" (10 - deleted) checked));
+    Alcotest.test_case "4 concurrent writers never tear an entry" `Quick
+      (fun () ->
+        with_store (fun s ->
+            (* All domains race to publish the same 32 keys; readers must
+               only ever see complete artifacts, and the store must end up
+               healthy. *)
+            let keys = 32 in
+            let payload i = Array.init (200 + i) (fun j -> (i * 1000) + j) in
+            let worker d =
+              Domain.spawn (fun () ->
+                  for round = 1 to 3 do
+                    ignore round;
+                    for i = 0 to keys - 1 do
+                      let v =
+                        Store.memo (Some s) ~kind:"trial-hist" ~version:1
+                          ~key:(string_of_int i) Codec.int_array
+                          (fun () -> payload i)
+                      in
+                      if v <> payload i then
+                        failwith
+                          (Printf.sprintf "domain %d read a wrong value for %d" d i)
+                    done
+                  done)
+            in
+            let domains = List.init 4 worker in
+            List.iter Domain.join domains;
+            let checked, problems = Store.verify s in
+            check_int "all keys present" keys checked;
+            check_int "no corruption" 0 (List.length problems);
+            check_bool "no leftover temp files" true
+              (Sys.readdir (Filename.concat (Store.root s) "tmp") = [||])));
+  ]
+
+(* Experiment-level caching: warm reruns do no work and change no bytes. *)
+
+let with_default_store f =
+  let s = Store.open_store (temp_root ()) in
+  Store.set_default (Some s);
+  Fun.protect ~finally:(fun () -> Store.set_default None) (fun () -> f s)
+
+let sweep_tests =
+  let sizes = [ 64; 90; 128; 181; 256 ] in
+  [
+    Alcotest.test_case "warm Sweep.run: zero computes, identical rows" `Quick
+      (fun () ->
+        let uncached =
+          Sweep.run ~sizes ~model:Sampler.Uniform ~trials:3 ~seed:11 ()
+        in
+        with_default_store (fun s ->
+            let cold =
+              Sweep.run ~sizes ~model:Sampler.Uniform ~trials:3 ~seed:11 ()
+            in
+            check_int "cold computes" 15 (Store.counters s).Store.computes;
+            Store.reset_counters s;
+            let warm =
+              Sweep.run ~sizes ~model:Sampler.Uniform ~trials:3 ~seed:11 ()
+            in
+            check_int "warm computes" 0 (Store.counters s).Store.computes;
+            check_int "warm hits" 15 (Store.counters s).Store.hits;
+            check_bool "cold = uncached" true (cold = uncached);
+            check_bool "warm = uncached" true (warm = uncached);
+            (* A different seed shares nothing. *)
+            Store.reset_counters s;
+            ignore (Sweep.run ~sizes ~model:Sampler.Uniform ~trials:3 ~seed:12 ());
+            check_int "other seed computes" 15 (Store.counters s).Store.computes));
+    Alcotest.test_case "warm Trajectory.run and Occupancy.measure_pr" `Quick
+      (fun () ->
+        let w = Workload.make ~points:300 ~trials:3 ~seed:5 () in
+        let t_ref =
+          Trajectory.run ~sizes:[ 64; 128 ] ~model:Sampler.Uniform ~trials:2
+            ~seed:5 ()
+        in
+        let o_ref = Occupancy.measure_pr w ~capacity:4 in
+        with_default_store (fun s ->
+            let t_cold =
+              Trajectory.run ~sizes:[ 64; 128 ] ~model:Sampler.Uniform
+                ~trials:2 ~seed:5 ()
+            in
+            let o_cold = Occupancy.measure_pr w ~capacity:4 in
+            Store.reset_counters s;
+            let t_warm =
+              Trajectory.run ~sizes:[ 64; 128 ] ~model:Sampler.Uniform
+                ~trials:2 ~seed:5 ()
+            in
+            let o_warm = Occupancy.measure_pr w ~capacity:4 in
+            check_int "warm computes" 0 (Store.counters s).Store.computes;
+            check_bool "trajectory equal" true
+              (t_cold = t_ref && t_warm = t_ref);
+            check_bool "occupancy equal" true
+              (o_cold = o_ref && o_warm = o_ref)));
+    Alcotest.test_case "run_incremental memoizes whole trials" `Quick
+      (fun () ->
+        let uncached =
+          Sweep.run_incremental ~sizes ~model:Sampler.Uniform ~trials:2
+            ~seed:3 ()
+        in
+        with_default_store (fun s ->
+            let cold =
+              Sweep.run_incremental ~sizes ~model:Sampler.Uniform ~trials:2
+                ~seed:3 ()
+            in
+            Store.reset_counters s;
+            let warm =
+              Sweep.run_incremental ~sizes ~model:Sampler.Uniform ~trials:2
+                ~seed:3 ()
+            in
+            check_int "warm computes" 0 (Store.counters s).Store.computes;
+            check_bool "identical" true (cold = uncached && warm = uncached)));
+    Alcotest.test_case "Mc_transform.estimate caches only with a key" `Quick
+      (fun () ->
+        let model = Popan_core.Mc_transform.pr_point_model ~capacity:2 in
+        let run () =
+          Popan_core.Mc_transform.estimate ~trials:500
+            ~cache_key:"pr-point|m=2|trials=500|seed=9"
+            (Xoshiro.of_int_seed 9) model
+        in
+        let reference =
+          Popan_core.Mc_transform.estimate ~trials:500 (Xoshiro.of_int_seed 9)
+            model
+        in
+        with_default_store (fun s ->
+            let cold = run () in
+            check_int "cold computes" 3 (Store.counters s).Store.computes;
+            Store.reset_counters s;
+            let warm = run () in
+            check_int "warm computes" 0 (Store.counters s).Store.computes;
+            check_bool "equal" true (cold = reference && warm = reference);
+            (* No cache_key: the store is bypassed entirely. *)
+            Store.reset_counters s;
+            ignore
+              (Popan_core.Mc_transform.estimate ~trials:500
+                 (Xoshiro.of_int_seed 9) model);
+            let c = Store.counters s in
+            check_int "no touches" 0 (c.Store.hits + c.Store.misses + c.Store.puts)));
+  ]
+
+(* Checkpoint/resume *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+(* Seed [dst] with only the ckpt-grow entries of [src]: the final
+   artifacts are gone, so a rerun must take the resume path. *)
+let copy_checkpoints src dst =
+  List.iter
+    (fun e ->
+      if e.Store.kind = Checkpoint.kind then begin
+        let shard = Filename.basename (Filename.dirname e.Store.path) in
+        let dir = Filename.concat (Filename.concat (Store.root dst) "objects") shard in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        copy_file e.Store.path
+          (Filename.concat dir (Filename.basename e.Store.path))
+      end)
+    (Store.entries src)
+
+let checkpoint_tests =
+  let sizes = [ 64; 90; 128; 181; 256; 362; 512 ] in
+  let run () =
+    Sweep.run_incremental ~sizes ~checkpoint_every:2 ~model:Sampler.Uniform
+      ~trials:3 ~seed:21 ()
+  in
+  [
+    Alcotest.test_case "killed+resumed run is byte-identical" `Quick (fun () ->
+        Store.set_default None;
+        let reference = run () in
+        let full = Store.open_store (temp_root ()) in
+        Store.set_default (Some full);
+        let cold =
+          Fun.protect ~finally:(fun () -> Store.set_default None) run
+        in
+        check_bool "cold = reference" true (cold = reference);
+        check_bool "checkpoints were written" true
+          (List.exists
+             (fun e -> e.Store.kind = Checkpoint.kind)
+             (Store.entries full));
+        (* "Kill" the run: a fresh store holding only the checkpoints —
+           as if the process died after the last checkpoint flush. *)
+        let resumed_store = Store.open_store (temp_root ()) in
+        copy_checkpoints full resumed_store;
+        Store.set_default (Some resumed_store);
+        let resumed =
+          Fun.protect ~finally:(fun () -> Store.set_default None) run
+        in
+        check_bool "resumed = reference" true (resumed = reference);
+        (* The resume actually used the checkpoints: each trial re-enters
+           the growth loop (a compute) but starts from a checkpoint hit. *)
+        let c = Store.counters resumed_store in
+        check_int "computes" 3 c.Store.computes;
+        check_bool "checkpoint hits" true (c.Store.hits >= 3));
+    Alcotest.test_case "corrupt checkpoint is skipped, not trusted" `Quick
+      (fun () ->
+        with_store (fun s ->
+            let rng = Xoshiro.of_int_seed 1 in
+            let tree =
+              Pr_quadtree.of_points ~capacity:4
+                (Sampler.points rng Sampler.Uniform 100)
+            in
+            let g index =
+              {
+                Checkpoint.tree;
+                rng;
+                next_index = index + 1;
+                have = 100;
+                partial = Array.make (index + 1) (1.0, 2.0);
+              }
+            in
+            Checkpoint.save s ~key_base:"kb" ~index:1 (g 1);
+            Checkpoint.save s ~key_base:"kb" ~index:3 (g 3);
+            (* Corrupt the newer checkpoint on disk. *)
+            let newer =
+              List.filter
+                (fun e -> e.Store.bytes > 0)
+                (Store.entries s)
+            in
+            check_int "two checkpoints" 2 (List.length newer);
+            List.iter
+              (fun e ->
+                let ic = open_in_bin e.Store.path in
+                let data = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                (* Identify the index-3 record by probing its key. *)
+                match Codec.probe data with
+                | Ok (_, _, key) when String.length key >= 6
+                                      && String.sub key (String.length key - 6) 6
+                                         = "ckpt=3" ->
+                  let oc =
+                    open_out_gen [ Open_wronly; Open_binary ] 0o644 e.Store.path
+                  in
+                  seek_out oc (e.Store.bytes / 2);
+                  output_string oc "\xde\xad";
+                  close_out oc
+                | _ -> ())
+              newer;
+            match Checkpoint.latest s ~key_base:"kb" ~upto:10 with
+            | None -> Alcotest.fail "expected the older checkpoint"
+            | Some g' ->
+              check_int "fell back to index 1" 2 g'.Checkpoint.next_index));
+    Alcotest.test_case "xoshiro words round-trip, zero state rejected" `Quick
+      (fun () ->
+        let rng = Xoshiro.of_int_seed 77 in
+        for _ = 1 to 5 do ignore (Xoshiro.float rng) done;
+        let copy = Xoshiro.of_words (Xoshiro.to_words rng) in
+        for _ = 1 to 50 do
+          Alcotest.(check (float 0.0)) "stream" (Xoshiro.float rng)
+            (Xoshiro.float copy)
+        done;
+        check_bool "all-zero rejected" true
+          (match Xoshiro.of_words [| 0L; 0L; 0L; 0L |] with
+           | _ -> false
+           | exception Invalid_argument _ -> true);
+        check_bool "wrong arity rejected" true
+          (match Xoshiro.of_words [| 1L |] with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+  ]
+
+let () =
+  Alcotest.run "popan_store"
+    [
+      ("codec", codec_tests);
+      ("frame", frame_tests);
+      ("store", store_tests);
+      ("caching", sweep_tests);
+      ("checkpoint", checkpoint_tests);
+    ]
