@@ -15,6 +15,9 @@ test:
 # domains must be byte-identical to the sequential run — and the
 # artifact cache: a warm rerun must replay every trial from disk (zero
 # computes, counted via the store's stats log) with identical bytes.
+# Finally the observability smoke: a traced table4 run must leave the
+# table bytes untouched and emit trace + metrics JSON that `popan obs
+# validate` accepts.
 check: build test
 	@tmp=$$(mktemp -d); \
 	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
@@ -35,9 +38,23 @@ check: build test
 	set -- $$counts; \
 	if [ -n "$$1" ] && [ "$$1" = "$$2" ] && [ "$$1" -gt 0 ]; then \
 	  echo "cache smoke: warm rerun replayed $$1 trials with zero computes"; \
-	  rm -rf $$tmp; \
 	else \
 	  echo "cache smoke FAILED: hits/computes mismatch:"; cat $$tmp/stats.txt; \
+	  rm -rf $$tmp; exit 1; \
+	fi; \
+	dune exec --no-build bin/popan.exe -- table4 -j 2 \
+	  --trace $$tmp/trace.json --metrics-out $$tmp/metrics.json \
+	  > $$tmp/traced.txt 2>/dev/null; \
+	if ! cmp -s $$tmp/traced.txt $$tmp/seq.txt; then \
+	  echo "obs smoke FAILED: traced table4 output differs"; \
+	  rm -rf $$tmp; exit 1; \
+	fi; \
+	if dune exec --no-build bin/popan.exe -- obs validate $$tmp/trace.json \
+	   && dune exec --no-build bin/popan.exe -- obs validate $$tmp/metrics.json; then \
+	  echo "obs smoke: traced table4 unchanged; trace + metrics JSON validate"; \
+	  rm -rf $$tmp; \
+	else \
+	  echo "obs smoke FAILED: emitted trace/metrics JSON did not validate"; \
 	  rm -rf $$tmp; exit 1; \
 	fi
 
@@ -46,7 +63,7 @@ bench:
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

@@ -19,6 +19,7 @@ module Ext_hash = Popan_trees.Ext_hash
 module Sampler = Popan_rng.Sampler
 module Xoshiro = Popan_rng.Xoshiro
 module Store = Popan_store.Artifact_store
+module Probe = Popan_obs.Probe
 
 (* A stray POPAN_CACHE in the environment must not contaminate the
    compute benches with replays; the cache ablation below opts in with
@@ -300,6 +301,28 @@ let bench_incr_resume =
          with_store (Some resume_store) (fun () ->
              Sys.opaque_identity (sweep_incr_once ()))))
 
+(* The observability ablation: the same table4 sweep kernel (and its
+   incremental twin) with the obs registry off, with metrics only, and
+   with metrics + span tracing. Disabled probes are a single flag check,
+   so obs-off must sit within noise of the uncached benches above; the
+   two enabled rows price the counter/histogram hot path and the ring
+   writes. Each run flips the level around the kernel and restores
+   [`Off] so the other benches stay uninstrumented. *)
+
+let with_obs level f =
+  Probe.set_level level;
+  Fun.protect ~finally:(fun () -> Probe.set_level `Off) f
+
+let bench_obs_sweep level tag =
+  Test.make ~name:(Printf.sprintf "obs:table4 sweep %s" tag)
+    (Staged.stage (fun () ->
+         with_obs level (fun () -> Sys.opaque_identity (sweep_once ()))))
+
+let bench_obs_incr level tag =
+  Test.make ~name:(Printf.sprintf "obs:incremental sweep %s" tag)
+    (Staged.stage (fun () ->
+         with_obs level (fun () -> Sys.opaque_identity (sweep_incr_once ()))))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -315,6 +338,12 @@ let all_benches =
       bench_sweep_uncached; bench_sweep_cold; bench_sweep_warm;
       bench_incr_uncached; bench_incr_cold; bench_incr_warm;
       bench_incr_resume;
+      bench_obs_sweep `Off "obs-off";
+      bench_obs_sweep `Metrics_only "obs-metrics";
+      bench_obs_sweep `Trace "obs-full-trace";
+      bench_obs_incr `Off "obs-off";
+      bench_obs_incr `Metrics_only "obs-metrics";
+      bench_obs_incr `Trace "obs-full-trace";
     ]
 
 let run_benchmarks () =
@@ -407,6 +436,38 @@ let print_cache_summary estimates =
        ms/run with checkpoints (%.0f%%)\n"
       (plain /. 1e6) (ckpt /. 1e6)
       (100.0 *. ((ckpt /. plain) -. 1.0))
+  | _ -> ()
+
+(* The observability ablation, stated the same way: per-kernel overhead
+   of metrics and of full tracing over the obs-off baseline. *)
+let print_obs_summary estimates =
+  let find = find_estimate estimates in
+  let line kernel off metrics trace =
+    match (find off, find metrics, find trace) with
+    | Some off, Some metrics, Some trace ->
+      Printf.printf
+        "obs overhead (%s): off %.2f ms/run, metrics %+.1f%%, full trace \
+         %+.1f%%\n"
+        kernel (off /. 1e6)
+        (100.0 *. ((metrics /. off) -. 1.0))
+        (100.0 *. ((trace /. off) -. 1.0))
+    | _ -> ()
+  in
+  line "table4 sweep" "obs:table4 sweep obs-off" "obs:table4 sweep obs-metrics"
+    "obs:table4 sweep obs-full-trace";
+  line "incremental sweep" "obs:incremental sweep obs-off"
+    "obs:incremental sweep obs-metrics" "obs:incremental sweep obs-full-trace";
+  (* [cache:table4 sweep uncached] and [obs:table4 sweep obs-off] run
+     the identical kernel (no store, probes disabled), so their delta is
+     the measurement noise floor the overhead rows should be read
+     against. *)
+  match
+    (find "cache:table4 sweep uncached", find "obs:table4 sweep obs-off")
+  with
+  | Some plain, Some off ->
+    Printf.printf
+      "noise floor: two identical obs-off sweep benches differ by %+.1f%%\n"
+      (100.0 *. ((off /. plain) -. 1.0))
   | _ -> ()
 
 (* Machine-readable perf trajectory: --json FILE (or BENCH_JSON=FILE)
@@ -521,6 +582,7 @@ let () =
   let estimates = run_benchmarks () in
   print_parallel_summary estimates;
   print_cache_summary estimates;
+  print_obs_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
   let clock = Sys.time () in

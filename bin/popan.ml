@@ -9,6 +9,10 @@ module Distribution = Popan_core.Distribution
 module Fixed_point = Popan_core.Fixed_point
 module Population = Popan_core.Population
 module Store = Popan_store.Artifact_store
+module Metrics = Popan_obs.Metrics
+module Trace = Popan_obs.Trace
+module Probe = Popan_obs.Probe
+module Obs_json = Popan_obs.Obs_json
 
 (* Common command-line options *)
 
@@ -38,12 +42,68 @@ let no_cache_term =
   let doc = "Disable the artifact cache even when $(b,POPAN_CACHE) is set." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-(* Both knobs land in ambient defaults consulted by every experiment
-   entry point, so extension studies inherit them too. Counters flush to
-   the store's log at exit, which is what lets a later `popan cache
-   stats` prove a warm rerun computed nothing. *)
-let setup jobs cache no_cache =
+let trace_env =
+  Cmd.Env.info "POPAN_TRACE" ~doc:"Default trace output file (as --trace)."
+
+let trace_term =
+  let doc =
+    "Record a span for every trial, solver call, pool batch and store \
+     lookup, and write them to $(docv) at exit — Chrome trace-event \
+     JSON (load it in chrome://tracing or Perfetto), or line-JSON / \
+     indented text when $(docv) ends in .jsonl / .txt. Implies the \
+     metrics registry is on."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc ~env:trace_env)
+
+let metrics_term =
+  let doc =
+    "Count solver iterations, builder inserts/splits, pool tasks and \
+     store traffic during the run and print every nonzero instrument to \
+     stderr at exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_term =
+  let doc =
+    "Write the metrics registry as JSON to $(docv) at exit (validate or \
+     summarize it with $(b,popan obs))."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* All knobs land in ambient state consulted by every experiment entry
+   point, so extension studies inherit them too. Counters flush to the
+   store's log at exit, which is what lets a later `popan cache stats`
+   prove a warm rerun computed nothing; trace and metrics exports are
+   likewise written at exit, after every fan-out has joined. *)
+let setup jobs cache no_cache trace metrics metrics_out =
   Popan_parallel.set_default_jobs jobs;
+  (match trace with
+  | Some _ -> Probe.set_level `Trace
+  | None ->
+    if metrics || metrics_out <> None then Probe.set_level `Metrics_only);
+  Option.iter
+    (fun path ->
+      at_exit (fun () ->
+          Trace.write_file path;
+          let dropped = Trace.dropped () in
+          if dropped > 0 then
+            Printf.eprintf
+              "popan: trace ring overflowed, oldest %d records dropped\n"
+              dropped;
+          Printf.eprintf "popan: wrote trace to %s\n" path))
+    trace;
+  Option.iter
+    (fun path ->
+      at_exit (fun () ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Metrics.to_json ()));
+          Printf.eprintf "popan: wrote metrics to %s\n" path))
+    metrics_out;
+  if metrics then at_exit (fun () -> prerr_string (Metrics.report ()));
   match (no_cache, cache) with
   | true, _ | false, None -> Store.set_default None
   | false, Some dir ->
@@ -51,7 +111,9 @@ let setup jobs cache no_cache =
     Store.set_default (Some store);
     at_exit (fun () -> Store.flush_counters store)
 
-let setup_term = Term.(const setup $ jobs_term $ cache_term $ no_cache_term)
+let setup_term =
+  Term.(const setup $ jobs_term $ cache_term $ no_cache_term $ trace_term
+        $ metrics_term $ metrics_out_term)
 
 let points_term =
   let doc = "Points per trial." in
@@ -266,35 +328,35 @@ let ext_branching_cmd =
     term
 
 let ext_pmr_cmd =
-  let run seed threshold =
+  let run () seed threshold =
     Table.print (Render.pmr_table (Ext.pmr_study ~seed ~threshold ()))
   in
   let threshold =
     let doc = "PMR splitting threshold." in
     Arg.(value & opt int 4 & info [ "threshold" ] ~docv:"Q" ~doc)
   in
-  let term = Term.(const run $ seed_term $ threshold) in
+  let term = Term.(const run $ setup_term $ seed_term $ threshold) in
   Cmd.v
     (Cmd.info "ext-pmr"
        ~doc:"Extension: PMR quadtree population, model vs simulation.")
     term
 
 let ext_pmr_sweep_cmd =
-  let run seed =
+  let run () seed =
     Table.print (Render.pmr_sweep_table (Ext.pmr_threshold_sweep ~seed ()))
   in
-  let term = Term.(const run $ seed_term) in
+  let term = Term.(const run $ setup_term $ seed_term) in
   Cmd.v
     (Cmd.info "ext-pmr-sweep"
        ~doc:"Extension: PMR model vs simulation across splitting thresholds.")
     term
 
 let ext_bucketsweep_cmd =
-  let run trials seed =
+  let run () trials seed =
     Table.print
       (Render.bucket_sweep_table (Ext.bucket_size_sweep ~trials ~seed ()))
   in
-  let term = Term.(const run $ trials_term $ seed_term) in
+  let term = Term.(const run $ setup_term $ trials_term $ seed_term) in
   Cmd.v
     (Cmd.info "ext-bucketsweep"
        ~doc:
@@ -303,44 +365,44 @@ let ext_bucketsweep_cmd =
     term
 
 let ext_exthash_cmd =
-  let run trials seed =
+  let run () trials seed =
     Table.print
       (Render.hash_table
          ~title:
            "Extension: extendible hashing utilization (oscillates around ln 2 = 0.693)"
          (Ext.ext_hash_sweep ~trials ~seed ()))
   in
-  let term = Term.(const run $ trials_term $ seed_term) in
+  let term = Term.(const run $ setup_term $ trials_term $ seed_term) in
   Cmd.v
     (Cmd.info "ext-exthash"
        ~doc:"Extension: phasing in extendible hashing (Fagin et al.).")
     term
 
 let ext_gridfile_cmd =
-  let run trials seed =
+  let run () trials seed =
     Table.print
       (Render.hash_table ~title:"Extension: grid file utilization"
          (Ext.grid_file_sweep ~trials ~seed ()))
   in
-  let term = Term.(const run $ trials_term $ seed_term) in
+  let term = Term.(const run $ setup_term $ trials_term $ seed_term) in
   Cmd.v
     (Cmd.info "ext-gridfile" ~doc:"Extension: grid file utilization sweep.")
     term
 
 let ext_excell_cmd =
-  let run trials seed =
+  let run () trials seed =
     Table.print
       (Render.hash_table
          ~title:"Extension: EXCELL utilization (regular decomposition)"
          (Ext.excell_sweep ~trials ~seed ()))
   in
-  let term = Term.(const run $ trials_term $ seed_term) in
+  let term = Term.(const run $ setup_term $ trials_term $ seed_term) in
   Cmd.v
     (Cmd.info "ext-excell" ~doc:"Extension: EXCELL utilization sweep.")
     term
 
 let ext_hashmodel_cmd =
-  let run trials seed bucket_size =
+  let run () trials seed bucket_size =
     Table.print
       (Render.hash_model_table
          (Ext.hash_model_study ~trials ~seed ~bucket_size ()))
@@ -349,7 +411,7 @@ let ext_hashmodel_cmd =
     let doc = "Bucket capacity for the hash structures." in
     Arg.(value & opt int 8 & info [ "bucket-size" ] ~docv:"B" ~doc)
   in
-  let term = Term.(const run $ trials_term $ seed_term $ bucket) in
+  let term = Term.(const run $ setup_term $ trials_term $ seed_term $ bucket) in
   Cmd.v
     (Cmd.info "ext-hashmodel"
        ~doc:
@@ -405,13 +467,13 @@ let ext_trajectory_cmd =
     term
 
 let ext_churn_cmd =
-  let run points trials seed capacity =
+  let run () points trials seed capacity =
     Table.print
       (Render.churn_table
          (Ext.churn_study ~points ~trials ~seed ~capacity ()))
   in
   let term =
-    Term.(const run $ points_term $ trials_term $ seed_term
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term
           $ capacity_term ~default:4)
   in
   Cmd.v
@@ -829,6 +891,12 @@ let require_store cache =
 let cache_stats_cmd =
   let run cache =
     let s = require_store cache in
+    (* Any counts this process has accumulated (e.g. via the ambient
+       POPAN_CACHE store) belong in the lifetime totals too — land them
+       in stats.log before summing it, instead of losing them to the
+       at_exit flush that runs after the report is printed. *)
+    Option.iter Store.flush_counters (Store.default ());
+    Store.flush_counters s;
     let entries, bytes = Store.disk_stats s in
     let c = Store.logged_counters s in
     Printf.printf "cache root: %s\n" (Store.root s);
@@ -887,6 +955,145 @@ let cache_cmd =
        ~doc:"Inspect and maintain the content-addressed artifact cache.")
     [ cache_stats_cmd; cache_gc_cmd; cache_verify_cmd ]
 
+(* Observability inspection *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_obs_file file =
+  match slurp file with
+  | exception Sys_error msg ->
+    Printf.eprintf "popan obs: %s\n" msg;
+    exit 1
+  | raw -> (
+    match Obs_json.parse raw with
+    | Ok json -> json
+    | Error msg ->
+      Printf.eprintf "popan obs: %s: %s\n" file msg;
+      exit 1)
+
+let obs_file_term =
+  let doc =
+    "A metrics registry JSON ($(b,--metrics-out)) or Chrome trace JSON \
+     ($(b,--trace)) file; the shape tells them apart."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let obs_validate_cmd =
+  let run file =
+    let json = parse_obs_file file in
+    let result =
+      match json with
+      | Obs_json.List _ ->
+        Result.map
+          (Printf.sprintf "valid Chrome trace (%d events)")
+          (Trace.validate_chrome json)
+      | _ ->
+        Result.map
+          (Printf.sprintf "valid metrics registry (%d instruments)")
+          (Metrics.validate_json json)
+    in
+    match result with
+    | Ok msg -> Printf.printf "%s: %s\n" file msg
+    | Error msg ->
+      Printf.eprintf "popan obs: %s: invalid: %s\n" file msg;
+      exit 1
+  in
+  let term = Term.(const run $ obs_file_term) in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check an emitted trace or metrics file against its schema; exit \
+          nonzero when it does not conform.")
+    term
+
+let obs_report_trace file events =
+  (* name -> (spans, total us, max us) *)
+  let by_name = Hashtbl.create 16 in
+  let tids = Hashtbl.create 8 in
+  let spans = ref 0 and samples = ref 0 in
+  List.iter
+    (fun e ->
+      let str k = Option.bind (Obs_json.member k e) Obs_json.string_opt in
+      let num k = Option.bind (Obs_json.member k e) Obs_json.number_opt in
+      (match Option.bind (Obs_json.member "tid" e) Obs_json.int_opt with
+      | Some tid -> Hashtbl.replace tids tid ()
+      | None -> ());
+      match (str "ph", str "name") with
+      | Some "X", Some name ->
+        incr spans;
+        let dur = Option.value (num "dur") ~default:0.0 in
+        let c, total, mx =
+          Option.value (Hashtbl.find_opt by_name name) ~default:(0, 0.0, 0.0)
+        in
+        Hashtbl.replace by_name name (c + 1, total +. dur, Float.max mx dur)
+      | Some "C", _ -> incr samples
+      | _ -> ())
+    events;
+  Printf.printf "%s: Chrome trace, %d spans, %d counter samples, %d domains\n"
+    file !spans !samples (Hashtbl.length tids);
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) by_name []
+  |> List.sort (fun (_, (_, t1, _)) (_, (_, t2, _)) -> Float.compare t2 t1)
+  |> List.iter (fun (name, (count, total, mx)) ->
+         Printf.printf "  %-24s %7d spans  total %12.1f us  max %10.1f us\n"
+           name count total mx)
+
+let obs_report_metrics file json =
+  (match Metrics.validate_json json with
+  | Error msg ->
+    Printf.eprintf "popan obs: %s: invalid metrics: %s\n" file msg;
+    exit 1
+  | Ok n -> Printf.printf "%s: metrics registry, %d instruments\n" file n);
+  let section name render =
+    match Obs_json.member name json with
+    | Some (Obs_json.Obj fields) when fields <> [] ->
+      Printf.printf "%s:\n" name;
+      List.iter render fields
+    | _ -> ()
+  in
+  section "counters" (fun (name, v) ->
+      match Obs_json.int_opt v with
+      | Some v -> Printf.printf "  %-24s %d\n" name v
+      | None -> ());
+  section "gauges" (fun (name, v) ->
+      match Obs_json.number_opt v with
+      | Some v -> Printf.printf "  %-24s %g\n" name v
+      | None -> ());
+  section "histograms" (fun (name, h) ->
+      let count =
+        match Option.bind (Obs_json.member "count" h) Obs_json.int_opt with
+        | Some c -> c
+        | None -> 0
+      in
+      match Option.bind (Obs_json.member "sum" h) Obs_json.number_opt with
+      | Some sum -> Printf.printf "  %-24s count %-8d sum %g\n" name count sum
+      | None -> Printf.printf "  %-24s count %d\n" name count)
+
+let obs_report_cmd =
+  let run file =
+    match parse_obs_file file with
+    | Obs_json.List events -> obs_report_trace file events
+    | json -> obs_report_metrics file json
+  in
+  let term = Term.(const run $ obs_file_term) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize an emitted trace (span counts and durations per name) \
+          or metrics file (every instrument).")
+    term
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Inspect and validate the observability output of --trace and \
+          --metrics-out.")
+    [ obs_report_cmd; obs_validate_cmd ]
+
 let main_cmd =
   let doc =
     "population analysis for hierarchical data structures (Nelson & Samet, \
@@ -900,7 +1107,7 @@ let main_cmd =
       ext_bucketsweep_cmd; ext_exthash_cmd;
       ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
       ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;
-      report_cmd; cache_cmd;
+      report_cmd; cache_cmd; obs_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

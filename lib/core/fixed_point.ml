@@ -18,10 +18,13 @@ let report_of_pair transform (pair : Eigen.eigenpair) ~iterations =
 
 let solve_opt ?criterion transform =
   let matrix = Transform.matrix transform in
-  match Eigen.dominant_left ?criterion matrix with
-  | Convergence.Converged { value; iterations; _ } ->
-    Some (report_of_pair transform value ~iterations)
-  | Convergence.Diverged _ -> None
+  Probe.solver ~name:"power" (fun () ->
+      let on_step _i residual = Probe.solver_step ~residual in
+      match Eigen.dominant_left ~on_step ?criterion matrix with
+      | Convergence.Converged { value; iterations; error } ->
+        Probe.solver_done ~name:"power" ~iterations ~residual:error;
+        Some (report_of_pair transform value ~iterations)
+      | Convergence.Diverged _ -> None)
 
 let solve ?criterion transform =
   match solve_opt ?criterion transform with

@@ -16,3 +16,4 @@ module Parallel = Popan_parallel
 module Sampler = Popan_rng.Sampler
 module Store = Popan_store.Artifact_store
 module Codec = Popan_store.Codec
+module Probe = Popan_obs.Probe

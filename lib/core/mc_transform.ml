@@ -37,14 +37,15 @@ let estimate ?trials ?jobs ?cache_key rng model =
   in
   let rows =
     Parallel.map_list ?jobs model.types ~f:(fun i ->
-        let key =
-          match cache_key with
-          | None -> ""
-          | Some ck -> Printf.sprintf "exp=mc|id=%s|row=%d" ck i
-        in
-        Store.memo store ~kind:"mc-row" ~version:1 ~key Codec.(list float)
-          (fun () ->
-            Vec.to_list (estimate_row ?trials rngs.(i) model ~occupancy:i)))
+        Probe.mc_row ~row:i (fun () ->
+            let key =
+              match cache_key with
+              | None -> ""
+              | Some ck -> Printf.sprintf "exp=mc|id=%s|row=%d" ck i
+            in
+            Store.memo store ~kind:"mc-row" ~version:1 ~key Codec.(list float)
+              (fun () ->
+                Vec.to_list (estimate_row ?trials rngs.(i) model ~occupancy:i))))
   in
   Transform.of_rows rows
 

@@ -27,12 +27,18 @@ let solve ?criterion ?start transform =
     | None -> Vec.create n (1.0 /. float_of_int n)
   in
   let problem = residual_system transform in
-  match Newton.solve ?criterion problem start with
+  let outcome =
+    Probe.solver ~name:"newton" (fun () ->
+        let on_step _i residual = Probe.solver_step ~residual in
+        Newton.solve ~on_step ?criterion problem start)
+  in
+  match outcome with
   | Convergence.Diverged { iterations; error; _ } ->
     failwith
       (Printf.sprintf "Newton_model.solve: stalled after %d iterations (%g)"
          iterations error)
-  | Convergence.Converged { value = e; iterations; _ } ->
+  | Convergence.Converged { value = e; iterations; error } ->
+    Probe.solver_done ~name:"newton" ~iterations ~residual:error;
     if not (Vec.all_nonnegative e) then
       failwith "Newton_model.solve: converged to a non-positive solution";
     {

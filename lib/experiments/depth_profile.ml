@@ -22,7 +22,9 @@ let run ?(capacity = 1) ?(max_depth = 9) ?jobs workload =
     Hashtbl.replace table depth (e + de, f + df, l + dl, p + dp)
   in
   let per_trial =
-    Workload.map_trials ?jobs workload ~f:(fun _ points ->
+    Workload.map_trials ?jobs workload ~f:(fun i points ->
+        Probe.trial ~experiment:"depth-profile" ~index:i
+          ~n:workload.Workload.points (fun () ->
         let tree = Pr_builder.of_points ~max_depth ~capacity points in
         let mine = Hashtbl.create 16 in
         Pr_builder.fold_leaves tree ~init:()
@@ -32,7 +34,7 @@ let run ?(capacity = 1) ?(max_depth = 9) ?jobs workload =
                 (if occ >= capacity then 1 else 0),
                 1,
                 occ ));
-        mine)
+        mine))
   in
   let table = Hashtbl.create 16 in
   List.iter (fun mine -> Hashtbl.iter (tally table) mine) per_trial;

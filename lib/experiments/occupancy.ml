@@ -47,16 +47,19 @@ let measure_pr ?max_depth ?jobs workload ~capacity =
   let store = Store.default () in
   let measured =
     Workload.map_trials ?jobs workload ~f:(fun i points ->
-        let key =
-          measure_key ~structure:"pr" ~workload ~trial:i ~capacity ~max_depth
-            ""
-        in
-        Store.memo store ~kind:"trial-measure" ~version:1 ~key measure_codec
-          (fun () ->
-            let b = Pr_builder.of_points ?max_depth ~capacity points in
-            ( Pr_builder.occupancy_histogram b,
-              Pr_builder.average_occupancy b,
-              float_of_int (Pr_builder.leaf_count b) )))
+        Probe.trial ~experiment:"occupancy-pr" ~index:i
+          ~n:workload.Workload.points (fun () ->
+            let key =
+              measure_key ~structure:"pr" ~workload ~trial:i ~capacity
+                ~max_depth ""
+            in
+            Store.memo store ~kind:"trial-measure" ~version:1 ~key
+              measure_codec
+              (fun () ->
+                let b = Pr_builder.of_points ?max_depth ~capacity points in
+                ( Pr_builder.occupancy_histogram b,
+                  Pr_builder.average_occupancy b,
+                  float_of_int (Pr_builder.leaf_count b) ))))
   in
   aggregate
     (List.map (fun (h, _, _) -> h) measured)

@@ -45,22 +45,25 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
   let measurements =
     Parallel.map_array ?jobs total ~f:(fun k ->
         let points = sizes_a.(k / trials) in
-        (* The key names the stream, not the (size, trial) pair: stream k
-           is the k-th split of the master, so identity survives grid
-           edits that keep a prefix of the pair ordering intact. *)
-        let key =
-          Printf.sprintf "exp=sweep|model=%s|m=%d|d=%d|seed=%d|split=%d|n=%d"
-            (Sampler.id model) capacity max_depth seed k points
-        in
-        Store.memo store ~kind:"trial-occ" ~version:1 ~key
-          Codec.(pair float float)
-          (fun () ->
-            let tree =
-              Pr_builder.of_points ~max_depth ~capacity
-                (Sampler.points rngs.(k) model points)
+        Probe.trial ~experiment:"sweep" ~index:k ~n:points (fun () ->
+            (* The key names the stream, not the (size, trial) pair:
+               stream k is the k-th split of the master, so identity
+               survives grid edits that keep a prefix of the pair
+               ordering intact. *)
+            let key =
+              Printf.sprintf
+                "exp=sweep|model=%s|m=%d|d=%d|seed=%d|split=%d|n=%d"
+                (Sampler.id model) capacity max_depth seed k points
             in
-            ( float_of_int (Pr_builder.leaf_count tree),
-              Pr_builder.average_occupancy tree )))
+            Store.memo store ~kind:"trial-occ" ~version:1 ~key
+              Codec.(pair float float)
+              (fun () ->
+                let tree =
+                  Pr_builder.of_points ~max_depth ~capacity
+                    (Sampler.points rngs.(k) model points)
+                in
+                ( float_of_int (Pr_builder.leaf_count tree),
+                  Pr_builder.average_occupancy tree ))))
   in
   List.mapi
     (fun i points ->
@@ -153,7 +156,11 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
         done;
         out)
   in
-  let snapshots = Parallel.map_list ?jobs trials ~f:(fun i -> trial i rngs.(i)) in
+  let snapshots =
+    Parallel.map_list ?jobs trials ~f:(fun i ->
+        Probe.trial ~experiment:"sweep-incr" ~index:i (fun () ->
+            trial i rngs.(i)))
+  in
   List.mapi
     (fun i points ->
       let at_size = List.map (fun trial -> trial.(i)) snapshots in

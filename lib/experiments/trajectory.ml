@@ -30,18 +30,20 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed ()
   let histograms =
     Parallel.map_array ?jobs total ~f:(fun k ->
         let points = sizes_a.(k / trials) in
-        let key =
-          Printf.sprintf
-            "exp=trajectory|model=%s|m=%d|d=%d|seed=%d|split=%d|n=%d"
-            (Sampler.id model) capacity max_depth seed k points
-        in
-        Store.memo store ~kind:"trial-hist" ~version:1 ~key Codec.int_array
-          (fun () ->
-            let tree =
-              Pr_builder.of_points ~max_depth ~capacity
-                (Sampler.points rngs.(k) model points)
+        Probe.trial ~experiment:"trajectory" ~index:k ~n:points (fun () ->
+            let key =
+              Printf.sprintf
+                "exp=trajectory|model=%s|m=%d|d=%d|seed=%d|split=%d|n=%d"
+                (Sampler.id model) capacity max_depth seed k points
             in
-            Pr_builder.occupancy_histogram tree))
+            Store.memo store ~kind:"trial-hist" ~version:1 ~key
+              Codec.int_array
+              (fun () ->
+                let tree =
+                  Pr_builder.of_points ~max_depth ~capacity
+                    (Sampler.points rngs.(k) model points)
+                in
+                Pr_builder.occupancy_histogram tree)))
   in
   List.mapi
     (fun i points ->

@@ -30,13 +30,17 @@ let get_exn = function
          "Convergence.get_exn: diverged after %d iterations (error %g)"
          iterations error)
 
-let iterate criterion ~step ~distance x0 =
+let iterate ?on_step criterion ~step ~distance x0 =
+  let notify =
+    match on_step with Some f -> f | None -> fun _ _ -> ()
+  in
   let rec loop x i =
     if i >= criterion.max_iterations then
       Diverged { value = x; iterations = i; error = Float.infinity }
     else
       let x' = step x in
       let d = distance x x' in
+      notify (i + 1) d;
       if d <= criterion.tolerance then
         Converged { value = x'; iterations = i + 1; error = d }
       else loop x' (i + 1)

@@ -37,9 +37,13 @@ val error : 'a outcome -> float
     Raises [Failure] when the outcome is [Diverged]. *)
 val get_exn : 'a outcome -> 'a
 
-(** [iterate criterion ~step ~distance x0] repeatedly applies [step] from
-    [x0], measuring progress with [distance previous next], until the
-    distance falls below the tolerance or the iteration limit is hit. *)
+(** [iterate ?on_step criterion ~step ~distance x0] repeatedly applies
+    [step] from [x0], measuring progress with [distance previous next],
+    until the distance falls below the tolerance or the iteration limit
+    is hit. [on_step i d] observes each iteration's index (1-based) and
+    distance as it happens — the hook behind solver residual-trajectory
+    instrumentation; it must not raise. *)
 val iterate :
+  ?on_step:(int -> float -> unit) ->
   criterion -> step:('a -> 'a) -> distance:('a -> 'a -> float) -> 'a ->
   'a outcome

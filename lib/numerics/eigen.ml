@@ -2,7 +2,7 @@ type eigenpair = { eigenvalue : float; eigenvector : Vec.t }
 
 let default_start n = Vec.create n (1.0 /. float_of_int n)
 
-let dominant ?(criterion = Convergence.default) ?start m =
+let dominant ?on_step ?(criterion = Convergence.default) ?start m =
   let n = Matrix.rows m in
   if Matrix.cols m <> n then invalid_arg "Eigen.dominant: matrix not square";
   let start = match start with Some v -> Vec.copy v | None -> default_start n in
@@ -14,7 +14,9 @@ let dominant ?(criterion = Convergence.default) ?start m =
   in
   let distance (v, _) (v', _) = Vec.norm_inf (Vec.sub v v') in
   let start = Vec.scale (1.0 /. Vec.norm1 start) start in
-  let outcome = Convergence.iterate criterion ~step ~distance (start, 0.0) in
+  let outcome =
+    Convergence.iterate ?on_step criterion ~step ~distance (start, 0.0)
+  in
   let finish (v, lambda) =
     { eigenvalue = lambda; eigenvector = Vec.normalize1 v }
   in
@@ -24,8 +26,8 @@ let dominant ?(criterion = Convergence.default) ?start m =
   | Convergence.Diverged { value; iterations; error } ->
     Convergence.Diverged { value = finish value; iterations; error }
 
-let dominant_left ?criterion ?start m =
-  dominant ?criterion ?start (Matrix.transpose m)
+let dominant_left ?on_step ?criterion ?start m =
+  dominant ?on_step ?criterion ?start (Matrix.transpose m)
 
 let left_residual m { eigenvalue; eigenvector } =
   Vec.norm_inf

@@ -14,14 +14,17 @@ type eigenpair = {
     uniform). The iterate is renormalized in L1 at every step and the
     eigenvalue is recovered as the L1 growth factor, which for a
     nonnegative matrix and positive iterate equals the Rayleigh-like
-    ratio [‖m v‖₁ / ‖v‖₁]. *)
+    ratio [‖m v‖₁ / ‖v‖₁]. [on_step] observes each power iteration as
+    [on_step i distance] (see {!Convergence.iterate}). *)
 val dominant :
+  ?on_step:(int -> float -> unit) ->
   ?criterion:Convergence.criterion -> ?start:Vec.t -> Matrix.t ->
   eigenpair Convergence.outcome
 
-(** [dominant_left ?criterion ?start m] is the dominant left eigenpair,
-    i.e. the dominant right eigenpair of the transpose. *)
+(** [dominant_left ?on_step ?criterion ?start m] is the dominant left
+    eigenpair, i.e. the dominant right eigenpair of the transpose. *)
 val dominant_left :
+  ?on_step:(int -> float -> unit) ->
   ?criterion:Convergence.criterion -> ?start:Vec.t -> Matrix.t ->
   eigenpair Convergence.outcome
 

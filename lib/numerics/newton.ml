@@ -20,7 +20,7 @@ let finite_difference_jacobian ?(epsilon = 1e-7) f x =
   done;
   jac
 
-let solve ?(criterion = Convergence.default) problem x0 =
+let solve ?on_step ?(criterion = Convergence.default) problem x0 =
   let jacobian =
     match problem.jacobian with
     | Some j -> j
@@ -44,8 +44,10 @@ let solve ?(criterion = Convergence.default) problem x0 =
       search 1.0 0
   in
   let error_at x = Vec.norm_inf (problem.residual x) in
+  let notify = match on_step with Some f -> f | None -> fun _ _ -> () in
   let rec loop x i =
     let err = error_at x in
+    notify i err;
     if err <= criterion.Convergence.tolerance then
       Convergence.Converged { value = x; iterations = i; error = err }
     else if i >= criterion.Convergence.max_iterations then

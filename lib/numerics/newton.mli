@@ -13,8 +13,12 @@ type problem = {
     [x ← x − J(x)⁻¹ f(x)] from [x0], halving the step (up to 30 times)
     whenever it fails to reduce [‖f‖₂]. Convergence is declared on
     [‖f(x)‖∞ ≤ tolerance]. A numerically singular Jacobian yields a
-    [Diverged] outcome rather than an exception. *)
+    [Diverged] outcome rather than an exception. [on_step i err]
+    observes each iteration's residual norm [‖f(x)‖∞] before the step is
+    taken (starting at [i = 0] for the initial guess); it must not
+    raise. *)
 val solve :
+  ?on_step:(int -> float -> unit) ->
   ?criterion:Convergence.criterion -> problem -> Vec.t ->
   Vec.t Convergence.outcome
 

@@ -1,0 +1,369 @@
+(* One slot per possible domain id. OCaml 5 recycles ids of terminated
+   domains and caps live domains well below this, so masking keeps every
+   index in range without a bounds check in the writer. *)
+let max_shards = 128
+
+let shard_index () = (Domain.self () :> int) land (max_shards - 1)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type counter = {
+  c_name : string;
+  c_stable : bool;
+  c_always : bool;
+  c_shards : int array;  (* only shard owners write; read after joins *)
+}
+
+type gauge = {
+  g_name : string;
+  g_stable : bool;
+  g_cell : float Atomic.t;
+}
+
+type histogram = {
+  h_name : string;
+  h_stable : bool;
+  h_bounds : float array;
+  h_cells : int array array;  (* [max_shards][bounds + 1] *)
+  h_sums : float array;  (* per-shard observation sums *)
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let register name make check =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> check existing
+      | None ->
+        let i = make () in
+        Hashtbl.replace registry name i;
+        i)
+
+let clash name what =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a %s" name what)
+
+let describe = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+let counter ?(stable = true) ?(always = false) name =
+  let i =
+    register name
+      (fun () ->
+        C
+          {
+            c_name = name;
+            c_stable = stable;
+            c_always = always;
+            c_shards = Array.make max_shards 0;
+          })
+      (function C _ as i -> i | other -> clash name (describe other))
+  in
+  match i with C c -> c | _ -> assert false
+
+let gauge ?(stable = true) name =
+  let i =
+    register name
+      (fun () ->
+        G { g_name = name; g_stable = stable; g_cell = Atomic.make 0.0 })
+      (function G _ as i -> i | other -> clash name (describe other))
+  in
+  match i with G g -> g | _ -> assert false
+
+let histogram ?(stable = true) name ~bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > bounds.(i - 1)) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    bounds;
+  let i =
+    register name
+      (fun () ->
+        H
+          {
+            h_name = name;
+            h_stable = stable;
+            h_bounds = Array.copy bounds;
+            h_cells =
+              Array.init max_shards (fun _ ->
+                  Array.make (Array.length bounds + 1) 0);
+            h_sums = Array.make max_shards 0.0;
+          })
+      (function
+        | H h as i ->
+          if h.h_bounds <> bounds then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: histogram %S re-registered with different bounds"
+                 name)
+          else i
+        | other -> clash name (describe other))
+  in
+  match i with H h -> h | _ -> assert false
+
+(* Updates *)
+
+let incr ?(by = 1) c =
+  if c.c_always || Atomic.get enabled_flag then begin
+    let s = shard_index () in
+    c.c_shards.(s) <- c.c_shards.(s) + by
+  end
+
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g.g_cell v
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let bounds = h.h_bounds in
+    let n = Array.length bounds in
+    let bucket = ref n in
+    (* Linear scan: bucket counts are small (<= 16) and the common case
+       exits early; a branchy binary search buys nothing here. *)
+    (try
+       for i = 0 to n - 1 do
+         if v <= bounds.(i) then begin
+           bucket := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let s = shard_index () in
+    let cells = h.h_cells.(s) in
+    cells.(!bucket) <- cells.(!bucket) + 1;
+    h.h_sums.(s) <- h.h_sums.(s) +. v
+  end
+
+(* Merged reads *)
+
+let counter_value c = Array.fold_left ( + ) 0 c.c_shards
+
+let counter_shards c =
+  let acc = ref [] in
+  for s = max_shards - 1 downto 0 do
+    if c.c_shards.(s) <> 0 then acc := (s, c.c_shards.(s)) :: !acc
+  done;
+  !acc
+
+let gauge_value g = Atomic.get g.g_cell
+
+let histogram_counts h =
+  let merged = Array.make (Array.length h.h_bounds + 1) 0 in
+  Array.iter
+    (fun cells -> Array.iteri (fun i n -> merged.(i) <- merged.(i) + n) cells)
+    h.h_cells;
+  merged
+
+let histogram_count h = Array.fold_left ( + ) 0 (histogram_counts h)
+
+(* Shard order, not observation order: deterministic for a fixed set of
+   per-shard partial sums but not across schedules — excluded from the
+   stable export for exactly that reason. *)
+let histogram_sum h = Array.fold_left ( +. ) 0.0 h.h_sums
+
+let histogram_bounds h = Array.copy h.h_bounds
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | C c -> Array.fill c.c_shards 0 max_shards 0
+          | G g -> Atomic.set g.g_cell 0.0
+          | H h ->
+            Array.iter
+              (fun cells -> Array.fill cells 0 (Array.length cells) 0)
+              h.h_cells;
+            Array.fill h.h_sums 0 max_shards 0.0)
+        registry)
+
+(* Export *)
+
+let sorted_instruments () =
+  Mutex.lock registry_mutex;
+  let all =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_mutex)
+      (fun () -> Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [])
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let schema_marker = "popan-metrics-1"
+
+let to_json ?(stable_only = false) () =
+  let all = sorted_instruments () in
+  let field (name, v) = (name, v) in
+  let counters =
+    List.filter_map
+      (function
+        | name, C c when (not stable_only) || c.c_stable ->
+          Some (field (name, Obs_json.Int (counter_value c)))
+        | _ -> None)
+      all
+  in
+  let gauges =
+    if stable_only then []
+    else
+      List.filter_map
+        (function
+          | name, G g -> Some (field (name, Obs_json.Float (gauge_value g)))
+          | _ -> None)
+        all
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | name, H h when (not stable_only) || h.h_stable ->
+          let counts = histogram_counts h in
+          let fields =
+            [
+              ( "bounds",
+                Obs_json.List
+                  (Array.to_list
+                     (Array.map (fun b -> Obs_json.Float b) h.h_bounds)) );
+              ( "counts",
+                Obs_json.List
+                  (Array.to_list (Array.map (fun n -> Obs_json.Int n) counts))
+              );
+              ("count", Obs_json.Int (Array.fold_left ( + ) 0 counts));
+            ]
+            @
+            if stable_only then []
+            else [ ("sum", Obs_json.Float (histogram_sum h)) ]
+          in
+          Some (field (name, Obs_json.Obj fields))
+        | _ -> None)
+      all
+  in
+  Obs_json.to_string
+    (Obs_json.Obj
+       [
+         ("schema", Obs_json.Str schema_marker);
+         ("counters", Obs_json.Obj counters);
+         ("gauges", Obs_json.Obj gauges);
+         ("histograms", Obs_json.Obj histograms);
+       ])
+
+let report () =
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "metrics:\n";
+  let any = ref false in
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | C c ->
+        let v = counter_value c in
+        if v <> 0 then begin
+          any := true;
+          add "  %-28s %d\n" name v
+        end
+      | G g ->
+        let v = gauge_value g in
+        if v <> 0.0 then begin
+          any := true;
+          add "  %-28s %g\n" name v
+        end
+      | H h ->
+        let n = histogram_count h in
+        if n <> 0 then begin
+          any := true;
+          let sum = histogram_sum h in
+          add "  %-28s count %d  mean %g\n" name n (sum /. float_of_int n);
+          let counts = histogram_counts h in
+          Array.iteri
+            (fun b c ->
+              if c <> 0 then
+                if b < Array.length h.h_bounds then
+                  add "  %-28s   <= %-12g %d\n" "" h.h_bounds.(b) c
+                else add "  %-28s   >  %-12g %d\n" ""
+                    h.h_bounds.(Array.length h.h_bounds - 1) c)
+            counts
+        end)
+    (sorted_instruments ());
+  if not !any then add "  (all instruments zero)\n";
+  Buffer.contents buffer
+
+let validate_json j =
+  let ( let* ) r f = Result.bind r f in
+  let require what = function Some v -> Ok v | None -> Error what in
+  let* () =
+    match Obs_json.member "schema" j with
+    | Some (Obs_json.Str s) when s = schema_marker -> Ok ()
+    | Some (Obs_json.Str s) ->
+      Error (Printf.sprintf "schema %S, expected %S" s schema_marker)
+    | _ -> Error "missing \"schema\" string"
+  in
+  let obj_field name =
+    match Obs_json.member name j with
+    | Some (Obs_json.Obj fields) -> Ok fields
+    | _ -> Error (Printf.sprintf "missing %S object" name)
+  in
+  let* counters = obj_field "counters" in
+  let* gauges = obj_field "gauges" in
+  let* histograms = obj_field "histograms" in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        match Obs_json.int_opt v with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "counter %S is not an integer" name))
+      (Ok ()) counters
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        match Obs_json.number_opt v with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "gauge %S is not a number" name))
+      (Ok ()) gauges
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        let bad msg = Error (Printf.sprintf "histogram %S: %s" name msg) in
+        let* bounds =
+          require
+            (Printf.sprintf "histogram %S: missing bounds" name)
+            (Option.bind (Obs_json.member "bounds" v) Obs_json.to_list_opt)
+        in
+        let* counts =
+          require
+            (Printf.sprintf "histogram %S: missing counts" name)
+            (Option.bind (Obs_json.member "counts" v) Obs_json.to_list_opt)
+        in
+        if List.length counts <> List.length bounds + 1 then
+          bad "counts length is not bounds + 1"
+        else
+          let* cells =
+            List.fold_left
+              (fun acc c ->
+                let* acc = acc in
+                match Obs_json.int_opt c with
+                | Some n when n >= 0 -> Ok (n :: acc)
+                | _ -> bad "negative or non-integer bucket count")
+              (Ok []) counts
+          in
+          match Option.bind (Obs_json.member "count" v) Obs_json.int_opt with
+          | Some total when total = List.fold_left ( + ) 0 cells -> Ok ()
+          | Some _ -> bad "count does not equal the bucket sum"
+          | None -> bad "missing integer count")
+      (Ok ()) histograms
+  in
+  Ok (List.length counters + List.length gauges + List.length histograms)

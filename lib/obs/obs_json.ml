@@ -1,0 +1,284 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of int * string
+
+let fail pos msg = raise (Bad (pos, msg))
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') -> advance st; skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st.pos (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* \uXXXX escapes are decoded to UTF-8; surrogate pairs are combined. *)
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then fail st.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d = hex_digit st.src.[st.pos + i] in
+    if d < 0 then fail (st.pos + i) "bad hex digit in \\u escape";
+    v := (!v * 16) + d
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+let add_utf8 buffer code =
+  if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buffer (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buffer = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buffer
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> fail st.pos "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buffer '"'
+        | '\\' -> Buffer.add_char buffer '\\'
+        | '/' -> Buffer.add_char buffer '/'
+        | 'b' -> Buffer.add_char buffer '\b'
+        | 'f' -> Buffer.add_char buffer '\012'
+        | 'n' -> Buffer.add_char buffer '\n'
+        | 'r' -> Buffer.add_char buffer '\r'
+        | 't' -> Buffer.add_char buffer '\t'
+        | 'u' ->
+          let code = parse_hex4 st in
+          let code =
+            if code >= 0xD800 && code <= 0xDBFF
+               && st.pos + 1 < String.length st.src
+               && st.src.[st.pos] = '\\'
+               && st.src.[st.pos + 1] = 'u'
+            then begin
+              st.pos <- st.pos + 2;
+              let low = parse_hex4 st in
+              if low >= 0xDC00 && low <= 0xDFFF then
+                0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+              else fail st.pos "unpaired surrogate"
+            end
+            else code
+          in
+          add_utf8 buffer code
+        | _ -> fail (st.pos - 1) "bad escape character");
+        go ())
+    | Some c when Char.code c < 0x20 -> fail st.pos "raw control character"
+    | Some c -> advance st; Buffer.add_char buffer c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_int = ref true in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let rec digits () =
+    match peek st with
+    | Some '0' .. '9' -> advance st; digits ()
+    | _ -> ()
+  in
+  (* JSON grammar: the integer part is 0, or a nonzero digit then more
+     digits — a leading zero never precedes another digit. *)
+  (match peek st with
+  | Some '0' -> (
+    advance st;
+    match peek st with
+    | Some '0' .. '9' -> fail start "leading zero in number"
+    | _ -> ())
+  | Some '1' .. '9' -> digits ()
+  | _ -> fail st.pos "bad number");
+  (match peek st with
+  | Some '.' -> is_int := false; advance st; digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_int := false;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_int then
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+      (* Out of int range: keep it as a float. *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail start "bad number")
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail start "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then (advance st; Obj [])
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let name = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; fields ((name, v) :: acc)
+        | Some '}' -> advance st; Obj (List.rev ((name, v) :: acc))
+        | _ -> fail st.pos "expected ',' or '}'"
+      in
+      fields []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then (advance st; List [])
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; elements (v :: acc)
+        | Some ']' -> advance st; List (List.rev (v :: acc))
+        | _ -> fail st.pos "expected ',' or ']'"
+      in
+      elements []
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected %C" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length src then Ok v
+    else Error (Printf.sprintf "byte %d: trailing garbage" st.pos)
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "byte %d: %s" pos msg)
+
+let escape_into buffer s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let buffer = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (string_of_bool b)
+    | Int n -> Buffer.add_string buffer (string_of_int n)
+    | Float f -> Buffer.add_string buffer (float_repr f)
+    | Str s ->
+      Buffer.add_char buffer '"';
+      escape_into buffer s;
+      Buffer.add_char buffer '"'
+    | List vs ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buffer ',';
+          go v)
+        vs;
+      Buffer.add_char buffer ']'
+    | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          Buffer.add_char buffer '"';
+          escape_into buffer name;
+          Buffer.add_string buffer "\":";
+          go v)
+        fields;
+      Buffer.add_char buffer '}'
+  in
+  go v;
+  Buffer.contents buffer
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list_opt = function List vs -> Some vs | _ -> None
+let string_opt = function Str s -> Some s | _ -> None
+
+let number_opt = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
+let int_opt = function Int n -> Some n | _ -> None

@@ -1,0 +1,48 @@
+(** A minimal JSON tree, parser and printer for the observability
+    exporters and their schema validators.
+
+    The exporters in {!Metrics} and {!Trace} emit JSON by string
+    concatenation (the hot side needs no tree); this module is the cold
+    side: [popan obs validate] and the test suite re-read what was
+    emitted and check it against the documented schema. It is
+    deliberately small — objects, arrays, strings, floats, ints, bools,
+    null — and strict: trailing garbage, unterminated literals and bad
+    escapes are errors, never best-effort reads. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int  (** a number lexed without [.], [e] or overflow *)
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in source order *)
+
+(** [parse s] is the single JSON value spanning all of [s] (leading and
+    trailing whitespace allowed), or [Error message] with a position. *)
+val parse : string -> (t, string) result
+
+(** [to_string v] prints [v] compactly (no added whitespace). Strings
+    are escaped per RFC 8259; floats print via [%.17g], so
+    [parse (to_string v)] round-trips numeric values. *)
+val to_string : t -> string
+
+(** [escape_into b s] appends [s] to [b] with JSON string escaping
+    applied (quotes not included) — shared by the streaming exporters. *)
+val escape_into : Buffer.t -> string -> unit
+
+(** [float_repr f] is the JSON number text {!to_string} uses: [%.1f] for
+    small integral values, [%.17g] (round-trippable) otherwise. *)
+val float_repr : float -> string
+
+(** {1 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val string_opt : t -> string option
+
+(** [number_opt v] accepts [Int] or [Float]. *)
+val number_opt : t -> float option
+
+(** [int_opt v] accepts [Int] only. *)
+val int_opt : t -> int option

@@ -1,0 +1,169 @@
+(* Seconds-scale log buckets for the timing histograms: 1us .. 10s. *)
+let seconds_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+let level () =
+  if Trace.enabled () then "trace"
+  else if Metrics.enabled () then "metrics"
+  else "off"
+
+let set_level = function
+  | `Off ->
+    Trace.disable ();
+    Metrics.set_enabled false
+  | `Metrics_only ->
+    Trace.disable ();
+    Metrics.set_enabled true
+  | `Trace ->
+    Metrics.set_enabled true;
+    Trace.enable ()
+
+(* A timed section: span (when tracing) + seconds histogram (when the
+   registry is on). Exception-safe; near-free when everything is off. *)
+let timed ~span ~args histogram f =
+  let record = Metrics.enabled () in
+  let body () =
+    if not record then f ()
+    else begin
+      let start = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Metrics.observe histogram (Unix.gettimeofday () -. start))
+        f
+    end
+  in
+  if Trace.enabled () then Trace.with_span ~args span body else body ()
+
+(* Solvers *)
+
+let solver_power_calls = Metrics.counter "solver.power.calls"
+let solver_newton_calls = Metrics.counter "solver.newton.calls"
+
+let solver_iterations =
+  Metrics.histogram "solver.iterations"
+    ~bounds:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+
+let solver_residual =
+  Metrics.histogram "solver.residual"
+    ~bounds:[| 1e-15; 1e-12; 1e-9; 1e-6; 1e-3; 1.0 |]
+
+let solver_steps = Metrics.counter "solver.steps"
+let solver_seconds = Metrics.histogram ~stable:false "solver.seconds" ~bounds:seconds_bounds
+
+let solver ~name f =
+  Metrics.incr
+    (match name with
+    | "newton" -> solver_newton_calls
+    | _ -> solver_power_calls);
+  timed ~span:("solve:" ^ name)
+    ~args:[ ("solver", Trace.Str name) ]
+    solver_seconds f
+
+let solver_done ~name:_ ~iterations ~residual =
+  Metrics.observe solver_iterations (float_of_int iterations);
+  Metrics.observe solver_residual residual
+
+let solver_step ~residual =
+  Metrics.incr solver_steps;
+  Trace.sample "solver.residual" residual
+
+(* Monte-Carlo transform rows *)
+
+let mc_rows = Metrics.counter "mc.rows"
+let mc_row_seconds = Metrics.histogram ~stable:false "mc.row.seconds" ~bounds:seconds_bounds
+
+let mc_row ~row f =
+  Metrics.incr mc_rows;
+  timed ~span:"mc:row" ~args:[ ("row", Trace.Int row) ] mc_row_seconds f
+
+(* PR-quadtree builder *)
+
+let builder_inserts = Metrics.counter "builder.inserts"
+let builder_splits = Metrics.counter "builder.splits"
+
+let builder_split_depth =
+  Metrics.histogram "builder.split.depth"
+    ~bounds:[| 1.; 2.; 4.; 6.; 8.; 12.; 16.; 24. |]
+
+let builder_insert () = Metrics.incr builder_inserts
+
+let builder_split ~depth =
+  Metrics.incr builder_splits;
+  Metrics.observe builder_split_depth (float_of_int depth)
+
+(* The domain pool *)
+
+let pool_maps = Metrics.counter "pool.maps"
+let pool_tasks = Metrics.counter "pool.tasks"
+let pool_tasks_run = Metrics.counter ~stable:false "pool.tasks.run"
+let pool_jobs = Metrics.gauge ~stable:false "pool.jobs"
+let pool_task_seconds = Metrics.histogram ~stable:false "pool.task.seconds" ~bounds:seconds_bounds
+let pool_batch_seconds = Metrics.histogram ~stable:false "pool.batch.seconds" ~bounds:seconds_bounds
+let pool_reduce_seconds = Metrics.histogram ~stable:false "pool.reduce.seconds" ~bounds:seconds_bounds
+
+let pool_map ~tasks ~jobs f =
+  Metrics.incr pool_maps;
+  Metrics.incr ~by:tasks pool_tasks;
+  Metrics.set_gauge pool_jobs (float_of_int jobs);
+  timed ~span:"pool:batch"
+    ~args:[ ("tasks", Trace.Int tasks); ("jobs", Trace.Int jobs) ]
+    pool_batch_seconds f
+
+let pool_task ~index f =
+  if not (Metrics.enabled () || Trace.enabled ()) then f ()
+  else begin
+    Metrics.incr pool_tasks_run;
+    timed ~span:"task" ~args:[ ("i", Trace.Int index) ] pool_task_seconds f
+  end
+
+let pool_reduce ~tasks f =
+  timed ~span:"pool:reduce"
+    ~args:[ ("tasks", Trace.Int tasks) ]
+    pool_reduce_seconds f
+
+(* The artifact store. Always-on: `popan cache stats` reports these
+   whether or not metrics were requested, exactly as the store's old
+   private atomics did. *)
+
+let store_hits = Metrics.counter ~always:true "store.hits"
+let store_misses = Metrics.counter ~always:true "store.misses"
+let store_computes = Metrics.counter ~always:true "store.computes"
+let store_puts = Metrics.counter ~always:true "store.puts"
+
+let store_counts () =
+  ( Metrics.counter_value store_hits,
+    Metrics.counter_value store_misses,
+    Metrics.counter_value store_computes,
+    Metrics.counter_value store_puts )
+
+let store_find_seconds = Metrics.histogram ~stable:false "store.find.seconds" ~bounds:seconds_bounds
+let store_put_seconds = Metrics.histogram ~stable:false "store.put.seconds" ~bounds:seconds_bounds
+
+let store_find ~kind f =
+  let result =
+    timed ~span:"store:find" ~args:[ ("kind", Trace.Str kind) ]
+      store_find_seconds f
+  in
+  Metrics.incr (match result with Some _ -> store_hits | None -> store_misses);
+  result
+
+let store_put ~kind f =
+  timed ~span:"store:put" ~args:[ ("kind", Trace.Str kind) ]
+    store_put_seconds f;
+  Metrics.incr store_puts
+
+let store_compute () = Metrics.incr store_computes
+
+(* Experiment trials *)
+
+let trial ~experiment ~index ?n f =
+  if not (Metrics.enabled () || Trace.enabled ()) then f ()
+  else begin
+    (* Idempotent registration doubles as the name cache. *)
+    Metrics.incr (Metrics.counter ("trials." ^ experiment));
+    let args =
+      ("i", Trace.Int index)
+      :: (match n with Some n -> [ ("n", Trace.Int n) ] | None -> [])
+    in
+    Trace.with_span ~args ("trial:" ^ experiment) f
+  end

@@ -1,0 +1,102 @@
+(** The repository's instrumentation points: every subsystem's
+    counters, histograms and span names declared once, behind typed
+    entry points, so instrumented code never spells an instrument name
+    and the exported vocabulary stays consistent.
+
+    All probes follow the registry's cost model: disabled (the default)
+    they are a flag check; the store counters alone are always-on
+    because [popan cache stats] depends on them. Wrapping probes
+    ([solver], [trial], [mc_row], ...) are exception-safe and return the
+    body's value.
+
+    Stability. Work-counting instruments ([*.calls], [*.inserts],
+    [solver.iterations], store counters, ...) are registered stable:
+    their merged totals depend only on what was computed, so they export
+    byte-identically for any domain count. Timing histograms and
+    per-schedule facts ([pool.task.seconds], [pool.jobs], ...) are
+    registered unstable and vanish from
+    {!Metrics.to_json}[ ~stable_only:true]. *)
+
+(** [level ()] describes the current switches, for banners:
+    ["off"], ["metrics"] or ["trace"]. *)
+val level : unit -> string
+
+(** [set_level l] flips both subsystems at once: [`Off] disables
+    everything, [`Metrics_only] enables the registry, [`Trace] enables
+    the registry and span recording. *)
+val set_level : [ `Off | `Metrics_only | `Trace ] -> unit
+
+(** {1 Solvers — [Fixed_point] / [Newton_model]} *)
+
+(** [solver ~name f] wraps one solve in a [solve:<name>] span and bumps
+    [solver.<name>.calls]. *)
+val solver : name:string -> (unit -> 'a) -> 'a
+
+(** [solver_done ~name ~iterations ~residual] records a finished solve
+    into [solver.iterations] and [solver.residual]. *)
+val solver_done : name:string -> iterations:int -> residual:float -> unit
+
+(** [solver_step ~residual] records one iteration of the residual
+    trajectory: bumps [solver.steps] and, when tracing, emits a
+    [solver.residual] counter sample. *)
+val solver_step : residual:float -> unit
+
+(** {1 Monte-Carlo transform rows} *)
+
+(** [mc_row ~row f] wraps one row estimate in an [mc:row] span, bumps
+    [mc.rows] and times the row into [mc.row.seconds]. *)
+val mc_row : row:int -> (unit -> 'a) -> 'a
+
+(** {1 PR-quadtree builder} *)
+
+(** [builder_insert ()] counts one point insertion ([builder.inserts]). *)
+val builder_insert : unit -> unit
+
+(** [builder_split ~depth] counts one leaf split ([builder.splits]) and
+    its depth ([builder.split.depth]). *)
+val builder_split : depth:int -> unit
+
+(** {1 The domain pool} *)
+
+(** [pool_map ~tasks ~jobs f] wraps one fan-out: [pool.batch] span,
+    [pool.maps] / [pool.tasks] counters, [pool.jobs] gauge. *)
+val pool_map : tasks:int -> jobs:int -> (unit -> 'a) -> 'a
+
+(** [pool_task ~index f] wraps one task on whatever domain runs it:
+    [task] span, [pool.task.seconds] timing, and a per-domain bump of
+    [pool.tasks.run] (read {!Metrics.counter_shards} for utilization). *)
+val pool_task : index:int -> (unit -> 'a) -> 'a
+
+(** [pool_reduce ~tasks f] wraps the indexed reduction that assembles
+    results in task order ([pool.reduce] span,
+    [pool.reduce.seconds]). *)
+val pool_reduce : tasks:int -> (unit -> 'a) -> 'a
+
+(** {1 The artifact store} *)
+
+val store_hits : Metrics.counter
+val store_misses : Metrics.counter
+val store_computes : Metrics.counter
+val store_puts : Metrics.counter
+
+(** [store_counts ()] is [(hits, misses, computes, puts)] — the merged
+    process-wide totals. *)
+val store_counts : unit -> int * int * int * int
+
+(** [store_find ~kind f] wraps a lookup in a [store:find] span, times it
+    into [store.find.seconds], and counts hit or miss from the result. *)
+val store_find : kind:string -> (unit -> 'a option) -> 'a option
+
+(** [store_put ~kind f] wraps a publish in a [store:put] span, times it
+    into [store.put.seconds], and bumps [store.puts]. *)
+val store_put : kind:string -> (unit -> unit) -> unit
+
+(** [store_compute ()] counts a memo miss that ran its thunk. *)
+val store_compute : unit -> unit
+
+(** {1 Experiment trials} *)
+
+(** [trial ~experiment ~index ?n f] wraps one trial task in a
+    [trial:<experiment>] span (args [index], optional [n]) and bumps
+    [trials.<experiment>]. *)
+val trial : experiment:string -> index:int -> ?n:int -> (unit -> 'a) -> 'a

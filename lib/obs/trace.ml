@@ -1,0 +1,396 @@
+type arg = Int of int | Float of float | Str of string
+
+let max_shards = 128
+
+(* Ring slots as parallel arrays: recording writes five scalars and two
+   strings, allocating nothing but the rendered args (and only when the
+   span carries any). *)
+type ring = {
+  capacity : int;
+  names : string array;
+  argss : string array;
+  starts : float array;  (* us since origin *)
+  durs : float array;  (* us; counter samples store the value here *)
+  depths : int array;  (* nesting depth; -1 marks a counter sample *)
+  mutable count : int;  (* total records ever; index = count mod capacity *)
+  mutable live_depth : int;
+}
+
+let enabled_flag = Atomic.make false
+let default_capacity = 65536
+let capacity_setting = Atomic.make default_capacity
+let rings : ring option array = Array.make max_shards None
+
+(* Rebase timestamps so exported values are small enough for trace
+   viewers (Chrome's ts is microseconds; epoch-sized values lose the
+   sub-microsecond bits to float precision). *)
+let origin = Atomic.make 0.0
+
+let now_us () = (Unix.gettimeofday () -. Atomic.get origin) *. 1e6
+
+let enable ?capacity () =
+  (match capacity with
+  | Some c -> Atomic.set capacity_setting (max 16 c)
+  | None -> ());
+  (* Re-create any ring of the wrong size on its next use. Safe only
+     because enable is called before domains record, as clear is. *)
+  let want = Atomic.get capacity_setting in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r when r.capacity <> want -> rings.(i) <- None
+      | _ -> ())
+    rings;
+  if Atomic.get origin = 0.0 then Atomic.set origin (Unix.gettimeofday ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let my_ring () =
+  let s = (Domain.self () :> int) land (max_shards - 1) in
+  match rings.(s) with
+  | Some r -> r
+  | None ->
+    let capacity = Atomic.get capacity_setting in
+    let r =
+      {
+        capacity;
+        names = Array.make capacity "";
+        argss = Array.make capacity "";
+        starts = Array.make capacity 0.0;
+        durs = Array.make capacity 0.0;
+        depths = Array.make capacity 0;
+        count = 0;
+        live_depth = 0;
+      }
+    in
+    (* Distinct domains write distinct slots, so this is not a race;
+       a recycled domain id simply adopts its predecessor's ring. *)
+    rings.(s) <- Some r;
+    r
+
+let clear () =
+  Array.iter
+    (Option.iter (fun r ->
+         r.count <- 0;
+         r.live_depth <- 0))
+    rings
+
+let dropped () =
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | Some r -> acc + max 0 (r.count - r.capacity)
+      | None -> acc)
+    0 rings
+
+let render_args args =
+  match args with
+  | [] -> ""
+  | args ->
+    let buffer = Buffer.create 64 in
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buffer ',';
+        Buffer.add_char buffer '"';
+        Obs_json.escape_into buffer k;
+        Buffer.add_string buffer "\":";
+        match v with
+        | Int n -> Buffer.add_string buffer (string_of_int n)
+        | Float f -> Buffer.add_string buffer (Obs_json.float_repr f)
+        | Str s ->
+          Buffer.add_char buffer '"';
+          Obs_json.escape_into buffer s;
+          Buffer.add_char buffer '"')
+      args;
+    Buffer.contents buffer
+
+let record r ~name ~args ~start ~dur ~depth =
+  let i = r.count mod r.capacity in
+  r.names.(i) <- name;
+  r.argss.(i) <- args;
+  r.starts.(i) <- start;
+  r.durs.(i) <- dur;
+  r.depths.(i) <- depth;
+  r.count <- r.count + 1
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let r = my_ring () in
+    let rendered = render_args args in
+    let depth = r.live_depth in
+    r.live_depth <- depth + 1;
+    let start = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let finish = now_us () in
+        r.live_depth <- depth;
+        record r ~name ~args:rendered ~start
+          ~dur:(Float.max 0.0 (finish -. start))
+          ~depth)
+      f
+  end
+
+let sample name v =
+  if Atomic.get enabled_flag then begin
+    let r = my_ring () in
+    record r ~name ~args:"" ~start:(now_us ()) ~dur:v ~depth:(-1)
+  end
+
+(* Export *)
+
+type event = {
+  name : string;
+  tid : int;
+  ts : float;
+  dur : float;
+  depth : int;
+  value : float option;
+  args : string;
+}
+
+let events () =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid r ->
+      match r with
+      | None -> ()
+      | Some r ->
+        let survivors = min r.count r.capacity in
+        for k = r.count - survivors to r.count - 1 do
+          let i = k mod r.capacity in
+          let e =
+            if r.depths.(i) < 0 then
+              {
+                name = r.names.(i);
+                tid;
+                ts = r.starts.(i);
+                dur = 0.0;
+                depth = 0;
+                value = Some r.durs.(i);
+                args = "";
+              }
+            else
+              {
+                name = r.names.(i);
+                tid;
+                ts = r.starts.(i);
+                dur = r.durs.(i);
+                depth = r.depths.(i);
+                value = None;
+                args = r.argss.(i);
+              }
+          in
+          acc := e :: !acc
+        done)
+    rings;
+  List.sort
+    (fun a b ->
+      match Float.compare a.ts b.ts with
+      | 0 -> (
+        match compare a.tid b.tid with 0 -> compare a.depth b.depth | c -> c)
+      | c -> c)
+    !acc
+
+let active_tids evs =
+  List.sort_uniq compare (List.map (fun e -> e.tid) evs)
+
+let export_chrome buffer =
+  let evs = events () in
+  Buffer.add_string buffer "[\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buffer ",\n";
+    first := false;
+    Buffer.add_string buffer line
+  in
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+     \"args\":{\"name\":\"popan\"}}";
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           tid tid))
+    (active_tids evs);
+  List.iter
+    (fun e ->
+      let name = Obs_json.to_string (Obs_json.Str e.name) in
+      match e.value with
+      | Some v ->
+        emit
+          (Printf.sprintf
+             "{\"name\":%s,\"cat\":\"popan\",\"ph\":\"C\",\"pid\":1,\
+              \"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%s}}"
+             name e.tid e.ts (Obs_json.float_repr v))
+      | None ->
+        emit
+          (Printf.sprintf
+             "{\"name\":%s,\"cat\":\"popan\",\"ph\":\"X\",\"pid\":1,\
+              \"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+             name e.tid e.ts e.dur e.args))
+    evs;
+  Buffer.add_string buffer "\n]\n"
+
+let export_jsonl buffer =
+  List.iter
+    (fun e ->
+      let name = Obs_json.to_string (Obs_json.Str e.name) in
+      (match e.value with
+      | Some v ->
+        Buffer.add_string buffer
+          (Printf.sprintf "{\"name\":%s,\"tid\":%d,\"ts\":%.3f,\"value\":%s}"
+             name e.tid e.ts (Obs_json.float_repr v))
+      | None ->
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "{\"name\":%s,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\
+              \"depth\":%d,\"args\":{%s}}"
+             name e.tid e.ts e.dur e.depth e.args));
+      Buffer.add_char buffer '\n')
+    (events ())
+
+let export_text buffer =
+  let evs = events () in
+  let by_tid tid = List.filter (fun e -> e.tid = tid) evs in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buffer (Printf.sprintf "domain %d:\n" tid);
+      List.iter
+        (fun e ->
+          let indent = String.make (2 * max 0 e.depth) ' ' in
+          match e.value with
+          | Some v ->
+            Buffer.add_string buffer
+              (Printf.sprintf "  %s%+12.3fus  %s = %g\n" indent e.ts e.name v)
+          | None ->
+            Buffer.add_string buffer
+              (Printf.sprintf "  %s%+12.3fus  %-24s %10.3fus%s\n" indent e.ts
+                 e.name e.dur
+                 (if e.args = "" then "" else "  {" ^ e.args ^ "}")))
+        (by_tid tid))
+    (active_tids evs);
+  let lost = dropped () in
+  if lost > 0 then
+    Buffer.add_string buffer
+      (Printf.sprintf "(%d events lost to ring overflow)\n" lost)
+
+let write_file path =
+  let buffer = Buffer.create 65536 in
+  (if Filename.check_suffix path ".jsonl" then export_jsonl buffer
+   else if Filename.check_suffix path ".txt" then export_text buffer
+   else export_chrome buffer);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buffer)
+
+(* Validation *)
+
+let validate_chrome j =
+  let ( let* ) r f = Result.bind r f in
+  let* items =
+    match Obs_json.to_list_opt j with
+    | Some items -> Ok items
+    | None -> Error "trace is not a JSON array"
+  in
+  let* counted =
+    List.fold_left
+      (fun acc item ->
+        let* n = acc in
+        let i = n + 1 in
+        let bad msg = Error (Printf.sprintf "event %d: %s" i msg) in
+        let str name = Option.bind (Obs_json.member name item) Obs_json.string_opt in
+        let num name = Option.bind (Obs_json.member name item) Obs_json.number_opt in
+        match str "name", str "ph" with
+        | None, _ -> bad "missing name"
+        | _, None -> bad "missing ph"
+        | Some _, Some ph ->
+          if num "pid" = None || num "tid" = None then bad "missing pid/tid"
+          else begin
+            match ph with
+            | "M" -> Ok i
+            | "C" ->
+              if num "ts" = None then bad "counter sample without ts" else Ok i
+            | "X" -> (
+              match num "ts", num "dur" with
+              | Some _, Some d when d >= 0.0 -> Ok i
+              | Some _, Some _ -> bad "negative dur"
+              | _ -> bad "span without numeric ts/dur")
+            | other -> bad (Printf.sprintf "unexpected ph %S" other)
+          end)
+      (Ok 0) items
+  in
+  (* Per-tid nesting: sweep spans in start order with an interval stack;
+     each span must end inside the enclosing one. The slack absorbs the
+     %.3f rounding of exported timestamps. *)
+  let slack = 0.002 in
+  let spans =
+    List.filter_map
+      (fun item ->
+        let num name = Option.bind (Obs_json.member name item) Obs_json.number_opt in
+        match
+          ( Option.bind (Obs_json.member "ph" item) Obs_json.string_opt,
+            num "tid", num "ts", num "dur" )
+        with
+        | Some "X", Some tid, Some ts, Some dur -> Some (tid, ts, dur)
+        | _ -> None)
+      items
+  in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (tid, ts, dur) ->
+      let cur = Option.value (Hashtbl.find_opt by_tid tid) ~default:[] in
+      Hashtbl.replace by_tid tid ((ts, dur) :: cur))
+    spans;
+  let* () =
+    Hashtbl.fold
+      (fun tid spans acc ->
+        let* () = acc in
+        let spans =
+          List.sort
+            (fun (ts1, d1) (ts2, d2) ->
+              match Float.compare ts1 ts2 with
+              | 0 -> Float.compare d2 d1 (* parent (longer) first *)
+              | c -> c)
+            spans
+        in
+        let rec sweep stack = function
+          | [] -> Ok ()
+          | (ts, dur) :: rest -> (
+            let finish = ts +. dur in
+            let stack =
+              (* Pop spans that ended before this one starts. *)
+              let rec pop = function
+                | (_, pend) :: tl when pend <= ts +. slack -> pop tl
+                | stack -> stack
+              in
+              pop stack
+            in
+            match stack with
+            | (_, pend) :: _ when finish > pend +. slack ->
+              Error
+                (Printf.sprintf
+                   "tid %g: span at ts %.3f ends at %.3f, outside its \
+                    parent (ends %.3f)"
+                   tid ts finish pend)
+            | stack -> sweep ((ts, finish) :: stack) rest)
+        in
+        sweep [] spans)
+      by_tid (Ok ())
+  in
+  let non_meta =
+    List.length
+      (List.filter
+         (fun item ->
+           match Option.bind (Obs_json.member "ph" item) Obs_json.string_opt with
+           | Some ("X" | "C") -> true
+           | _ -> false)
+         items)
+  in
+  ignore counted;
+  Ok non_meta

@@ -1,0 +1,94 @@
+(** Nestable spans recorded into per-domain ring buffers, exported as
+    human-readable text, line-JSON, or Chrome trace-event JSON (loadable
+    in [chrome://tracing] and Perfetto).
+
+    {b Recording.} {!with_span} notes a start timestamp, runs the body,
+    and on completion (normal or exceptional) appends one complete-span
+    record — name, rendered args, start, duration, nesting depth, domain
+    id — to the calling domain's ring. Rings are fixed-capacity and
+    overwrite oldest-first; {!dropped} reports how many records were
+    lost. Only the owning domain writes its ring, so recording takes no
+    lock; exports read the rings after the writing domains have been
+    joined, which is when the memory model makes the reads exact.
+
+    {b Well-formedness.} A span closes after every span it started, so
+    within one domain the exported intervals nest: a child's
+    [start, start + duration] lies inside its parent's. Perfetto
+    reconstructs the flame graph from exactly this property, and
+    {!validate_chrome} (plus the test suite, across concurrent domains)
+    checks it.
+
+    {b Clock.} Timestamps come from [Unix.gettimeofday] rebased to the
+    first {!enable} call, in microseconds — resolution is therefore
+    about a microsecond, which matters only for spans shorter than that
+    (the instrumented units here — trials, solver calls, store lookups,
+    Monte-Carlo rows — run from microseconds to milliseconds).
+
+    With tracing disabled (the default), {!with_span} is one atomic load
+    plus the body call. *)
+
+(** Span argument values; rendered to JSON at record time. *)
+type arg = Int of int | Float of float | Str of string
+
+(** [enable ?capacity ()] switches recording on. [capacity] (default
+    [65536], clamped to at least 16) is the per-domain ring size,
+    applied to rings created from now on. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [clear ()] discards every recorded event (rings stay allocated).
+    Call only while no other domain is recording. *)
+val clear : unit -> unit
+
+(** [dropped ()] is the number of records lost to ring overflow since
+    the last {!clear}. *)
+val dropped : unit -> int
+
+(** [with_span ?args name f] runs [f ()] inside a span. Exception-safe:
+    the span is recorded (and the nesting depth restored) whether [f]
+    returns or raises. *)
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** [sample name v] records a counter sample (Chrome [ph:"C"]) — a
+    time-stamped value track, e.g. a solver's residual trajectory. *)
+val sample : string -> float -> unit
+
+(** {1 Export} *)
+
+type event = {
+  name : string;
+  tid : int;  (** recording domain id *)
+  ts : float;  (** microseconds since the trace origin *)
+  dur : float;  (** span duration in microseconds; [0.] for samples *)
+  depth : int;  (** nesting depth at record time; [0] for samples *)
+  value : float option;  (** [Some v] for counter samples *)
+  args : string;  (** rendered JSON object body, possibly empty *)
+}
+
+(** [events ()] merges every ring, oldest-surviving first, sorted by
+    [(ts, tid, depth)]. *)
+val events : unit -> event list
+
+(** [export_chrome b] appends a Chrome trace-event JSON array: one
+    [ph:"M"] thread-name record per domain, then [ph:"X"] complete
+    spans and [ph:"C"] counter samples. *)
+val export_chrome : Buffer.t -> unit
+
+(** [export_jsonl b] appends one JSON object per line per event. *)
+val export_jsonl : Buffer.t -> unit
+
+(** [export_text b] appends an indented, per-domain listing. *)
+val export_text : Buffer.t -> unit
+
+(** [write_file path] writes the format implied by [path]'s extension:
+    [.jsonl] line-JSON, [.txt] text, anything else Chrome JSON. *)
+val write_file : string -> unit
+
+(** [validate_chrome j] checks a parsed Chrome export against the
+    schema: a JSON array whose elements carry [name]/[ph]/[pid]/[tid],
+    [X] events with numeric [ts] and [dur >= 0], and — per [tid] — every
+    span closing inside its enclosing span. Returns the number of [X]
+    and [C] events, or a description of the first problem. *)
+val validate_chrome : Obs_json.t -> (int, string) result

@@ -1,3 +1,5 @@
+module Probe = Popan_obs.Probe
+
 let recommended_jobs () = Domain.recommended_domain_count ()
 
 let clamp_jobs n = if n <= 0 then recommended_jobs () else n
@@ -144,7 +146,7 @@ module Pool = struct
          whatever the schedule was. *)
       let error = Atomic.make None in
       let run i =
-        match f i with
+        match Probe.pool_task ~index:i (fun () -> f i) with
         | v -> results.(i) <- Some v
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
@@ -158,11 +160,13 @@ module Pool = struct
           in
           record ()
       in
-      run_batch t ~total:n ~chunk run;
+      Probe.pool_map ~tasks:n ~jobs:t.jobs (fun () ->
+          run_batch t ~total:n ~chunk run);
       (match Atomic.get error with
        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
        | None -> ());
-      Array.map (function Some v -> v | None -> assert false) results
+      Probe.pool_reduce ~tasks:n (fun () ->
+          Array.map (function Some v -> v | None -> assert false) results)
     end
 
   let map_list ?chunk t n ~f = Array.to_list (map_array ?chunk t n ~f)

@@ -1,11 +1,17 @@
+module Probe = Popan_obs.Probe
+
 let schema_version = 1
 
+(* Counting lives on the process-wide metrics registry (always-on
+   [store.*] counters in {!Popan_obs.Probe}); a handle only remembers the
+   registry readings at its last [open_store]/[reset_counters]/
+   [flush_counters], and its own counters are the delta since then. *)
 type t = {
   root : string;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  computes : int Atomic.t;
-  puts : int Atomic.t;
+  base_hits : int Atomic.t;
+  base_misses : int Atomic.t;
+  base_computes : int Atomic.t;
+  base_puts : int Atomic.t;
   tmp_counter : int Atomic.t;
 }
 
@@ -32,12 +38,13 @@ let open_store root =
     raise (Sys_error (root ^ ": not a directory"));
   mkdir_p (Filename.concat root "objects");
   mkdir_p (Filename.concat root "tmp");
+  let h, m, c, p = Probe.store_counts () in
   {
     root;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    computes = Atomic.make 0;
-    puts = Atomic.make 0;
+    base_hits = Atomic.make h;
+    base_misses = Atomic.make m;
+    base_computes = Atomic.make c;
+    base_puts = Atomic.make p;
     tmp_counter = Atomic.make 0;
   }
 
@@ -93,41 +100,37 @@ let find t ~kind ~version ~key codec =
   check_kind kind;
   let key = full_key key in
   let path = address t ~kind ~key in
-  let found =
-    match read_file path with
-    | exception Sys_error _ -> None
-    | raw -> (
-      match Codec.of_artifact ~kind ~version ~key codec raw with
-      | Ok v -> Some v
-      | Error _ -> None (* stale or corrupt: recompute, never misread *))
-  in
-  (match found with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
-  found
+  (* [Probe.store_find] counts the hit or miss from the returned option. *)
+  Probe.store_find ~kind (fun () ->
+      match read_file path with
+      | exception Sys_error _ -> None
+      | raw -> (
+        match Codec.of_artifact ~kind ~version ~key codec raw with
+        | Ok v -> Some v
+        | Error _ -> None (* stale or corrupt: recompute, never misread *)))
 
 let put t ~kind ~version ~key codec v =
   check_kind kind;
   let key = full_key key in
   let path = address t ~kind ~key in
   mkdir_p (Filename.dirname path);
-  let tmp =
-    Filename.concat (tmp_dir t)
-      (Printf.sprintf "w%d.%d.%d" (Unix.getpid ())
-         (Domain.self () :> int)
-         (Atomic.fetch_and_add t.tmp_counter 1))
-  in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () ->
-         output_string oc (Codec.to_artifact ~kind ~version ~key codec v))
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path;
-  Atomic.incr t.puts
+  Probe.store_put ~kind (fun () ->
+      let tmp =
+        Filename.concat (tmp_dir t)
+          (Printf.sprintf "w%d.%d.%d" (Unix.getpid ())
+             (Domain.self () :> int)
+             (Atomic.fetch_and_add t.tmp_counter 1))
+      in
+      let oc = open_out_bin tmp in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             output_string oc (Codec.to_artifact ~kind ~version ~key codec v))
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path)
 
 let remove t ~kind ~key =
   check_kind kind;
@@ -141,7 +144,7 @@ let memo store ~kind ~version ~key codec f =
     match find t ~kind ~version ~key codec with
     | Some v -> v
     | None ->
-      Atomic.incr t.computes;
+      Probe.store_compute ();
       let v = f () in
       put t ~kind ~version ~key codec v;
       v)
@@ -151,18 +154,20 @@ let memo store ~kind ~version ~key codec f =
 type counters = { hits : int; misses : int; computes : int; puts : int }
 
 let counters (t : t) =
+  let h, m, c, p = Probe.store_counts () in
   {
-    hits = Atomic.get t.hits;
-    misses = Atomic.get t.misses;
-    computes = Atomic.get t.computes;
-    puts = Atomic.get t.puts;
+    hits = h - Atomic.get t.base_hits;
+    misses = m - Atomic.get t.base_misses;
+    computes = c - Atomic.get t.base_computes;
+    puts = p - Atomic.get t.base_puts;
   }
 
 let reset_counters (t : t) =
-  Atomic.set t.hits 0;
-  Atomic.set t.misses 0;
-  Atomic.set t.computes 0;
-  Atomic.set t.puts 0
+  let h, m, c, p = Probe.store_counts () in
+  Atomic.set t.base_hits h;
+  Atomic.set t.base_misses m;
+  Atomic.set t.base_computes c;
+  Atomic.set t.base_puts p
 
 let flush_counters t =
   let c = counters t in

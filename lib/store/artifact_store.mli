@@ -79,8 +79,13 @@ type counters = {
   puts : int;  (** entries published *)
 }
 
-(** [counters t] reads this process's counters (atomic; safe during a
-    fan-out). *)
+(** [counters t] reads the counters attributed to this handle (safe
+    during a fan-out). The counts live on the process-wide
+    [Popan_obs.Metrics] registry ([store.hits] etc., always on); a
+    handle reports the registry delta since it was opened or last
+    reset/flushed, so activity on two simultaneously-live handles is
+    not separable — within this repository stores are used one at a
+    time, and the ambient default makes that the only idiom. *)
 val counters : t -> counters
 
 (** [reset_counters t] zeroes the in-process counters. *)

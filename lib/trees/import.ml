@@ -8,3 +8,4 @@ module Point_nd = Popan_geom.Point_nd
 module Box_nd = Popan_geom.Box_nd
 module Morton = Popan_geom.Morton
 module Vec = Popan_numerics.Vec
+module Probe = Popan_obs.Probe

@@ -67,6 +67,7 @@ let rec split_node t ~depth ~box pts count =
   end
   else begin
     t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
     let bucket_pts = Array.make 4 [] in
     let bucket_counts = Array.make 4 0 in
     List.iter
@@ -120,6 +121,7 @@ let rec descend t p children ~depth ~box =
 let insert t p =
   if not (Box.contains t.bounds p) then
     invalid_arg "Pr_builder.insert: point outside bounds";
+  Probe.builder_insert ();
   (match t.root with
   | Leaf l ->
     if leaf_absorb t l p ~depth:0 then

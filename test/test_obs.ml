@@ -1,0 +1,377 @@
+(* The observability subsystem, tested in three layers:
+
+   1. Obs_json — the strict parser/printer the validators are built on;
+   2. Metrics — registration semantics, enable gating, and the heart of
+      the design: per-domain shards merging to schedule-independent
+      totals, so the stable JSON export is byte-identical at any job
+      count;
+   3. Trace — span recording under concurrent domains, with the Chrome
+      export validated against its own schema (including per-domain
+      interval nesting).
+
+   Metrics and Trace are process-global, so every test runs inside
+   [with_obs], which resets both on the way in and out. *)
+
+module Metrics = Popan_obs.Metrics
+module Trace = Popan_obs.Trace
+module Probe = Popan_obs.Probe
+module Obs_json = Popan_obs.Obs_json
+module Parallel = Popan_parallel
+module Sweep = Popan_experiments.Sweep
+module Store = Popan_store.Artifact_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let prop ?(count = 25) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let job_counts = [ 1; 2; 4 ]
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+let with_obs level f =
+  Probe.set_level level;
+  Metrics.reset ();
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Probe.set_level `Off;
+      Metrics.reset ();
+      Trace.clear ())
+    f
+
+let parse_exn s =
+  match Obs_json.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+(* Obs_json *)
+
+let json_tests =
+  [
+    Alcotest.test_case "values round-trip through print and parse" `Quick
+      (fun () ->
+        let open Obs_json in
+        let samples =
+          [
+            Null;
+            Bool true;
+            Int (-42);
+            Float 0.125;
+            Str "a\"b\\c\nd";
+            List [ Int 1; List []; Obj [] ];
+            Obj [ ("k", Str ""); ("nested", Obj [ ("x", Float 1e-9) ]) ];
+          ]
+        in
+        List.iter
+          (fun v ->
+            let printed = to_string v in
+            check_bool printed true (parse_exn printed = v))
+          samples);
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick (fun () ->
+        (match parse_exn {|"é中"|} with
+        | Obs_json.Str s -> check_string "basic plane" "\xc3\xa9\xe4\xb8\xad" s
+        | _ -> Alcotest.fail "expected a string");
+        match parse_exn {|"😀"|} with
+        | Obs_json.Str s -> check_string "surrogate pair" "\xf0\x9f\x98\x80" s
+        | _ -> Alcotest.fail "expected a string");
+    Alcotest.test_case "malformed documents are rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Obs_json.parse s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          [
+            ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "\"unterminated";
+            "\"bad\\q\""; "nul"; "{\"a\" 1}"; "[1} "; "00";
+          ]);
+    Alcotest.test_case "numbers: int vs float lexing" `Quick (fun () ->
+        check_bool "int" true (parse_exn "123" = Obs_json.Int 123);
+        check_bool "negative" true (parse_exn "-7" = Obs_json.Int (-7));
+        check_bool "fraction" true (parse_exn "1.5" = Obs_json.Float 1.5);
+        check_bool "exponent" true (parse_exn "1e3" = Obs_json.Float 1000.0));
+    prop ~count:100 "printer output always re-parses" QCheck2.Gen.(
+        let rec gen depth =
+          if depth = 0 then
+            oneof [ map (fun i -> Obs_json.Int i) small_signed_int;
+                    map (fun s -> Obs_json.Str s) string_printable ]
+          else
+            oneof
+              [ map (fun i -> Obs_json.Int i) small_signed_int;
+                map (fun s -> Obs_json.Str s) string_printable;
+                map (fun l -> Obs_json.List l)
+                  (list_size (int_bound 4) (gen (depth - 1)));
+                map (fun l -> Obs_json.Obj l)
+                  (list_size (int_bound 4)
+                     (pair string_printable (gen (depth - 1)))) ]
+        in
+        gen 3)
+      (fun v ->
+        match Obs_json.parse (Obs_json.to_string v) with
+        | Ok _ -> true
+        | Error _ -> false);
+  ]
+
+(* Metrics *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "registration is idempotent, type clashes raise"
+      `Quick (fun () ->
+        with_obs `Metrics_only (fun () ->
+            let c = Metrics.counter "t.idem" in
+            let c' = Metrics.counter "t.idem" in
+            Metrics.incr c;
+            Metrics.incr c';
+            check_int "both handles hit one counter" 2
+              (Metrics.counter_value c);
+            (match Metrics.gauge "t.idem" with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "counter re-registered as gauge");
+            let _h = Metrics.histogram "t.idem.h" ~bounds:[| 1.0; 2.0 |] in
+            match Metrics.histogram "t.idem.h" ~bounds:[| 1.0; 3.0 |] with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "histogram re-registered with new bounds"));
+    Alcotest.test_case "disabled registry ignores updates, always-counters \
+                        still count" `Quick (fun () ->
+        with_obs `Off (fun () ->
+            let c = Metrics.counter "t.gated" in
+            let a = Metrics.counter ~always:true "t.always" in
+            Metrics.incr c;
+            Metrics.incr a ~by:3;
+            check_int "gated" 0 (Metrics.counter_value c);
+            check_int "always" 3 (Metrics.counter_value a)));
+    Alcotest.test_case "histogram buckets: bound is inclusive, overflow is \
+                        last" `Quick (fun () ->
+        with_obs `Metrics_only (fun () ->
+            let h = Metrics.histogram "t.buckets" ~bounds:[| 1.0; 10.0 |] in
+            List.iter (Metrics.observe h) [ 0.5; 1.0; 2.0; 10.0; 11.0 ];
+            Alcotest.(check (array int))
+              "counts" [| 2; 2; 1 |]
+              (Metrics.histogram_counts h);
+            check_int "total" 5 (Metrics.histogram_count h);
+            check_bool "sum" true
+              (Float.abs (Metrics.histogram_sum h -. 24.5) < 1e-9)));
+    Alcotest.test_case "to_json validates against its own schema" `Quick
+      (fun () ->
+        with_obs `Metrics_only (fun () ->
+            Metrics.incr (Metrics.counter "t.json.c");
+            Metrics.set_gauge (Metrics.gauge "t.json.g") 2.5;
+            Metrics.observe
+              (Metrics.histogram "t.json.h" ~bounds:[| 1.0 |])
+              0.5;
+            List.iter
+              (fun stable_only ->
+                match
+                  Metrics.validate_json
+                    (parse_exn (Metrics.to_json ~stable_only ()))
+                with
+                | Ok n -> check_bool "instruments > 0" true (n > 0)
+                | Error msg -> Alcotest.failf "invalid export: %s" msg)
+              [ false; true ]));
+    prop ~count:20 "sharded counters merge to the same totals at any job \
+                    count"
+      QCheck2.Gen.(list_size (int_range 1 60) (int_bound 5))
+      (fun weights ->
+        let per_jobs jobs =
+          with_obs `Metrics_only (fun () ->
+              let c = Metrics.counter "t.merge.c" in
+              let h = Metrics.histogram "t.merge.h" ~bounds:[| 1.0; 3.0 |] in
+              let arr = Array.of_list weights in
+              ignore
+                (Parallel.map_array ~jobs (Array.length arr) ~f:(fun i ->
+                     Metrics.incr c ~by:arr.(i);
+                     Metrics.observe h (float_of_int arr.(i));
+                     i));
+              ( Metrics.counter_value c,
+                Metrics.histogram_counts h,
+                Metrics.to_json ~stable_only:true () ))
+        in
+        all_equal (List.map per_jobs job_counts));
+    Alcotest.test_case "stable export excludes gauges, float sums and \
+                        unstable instruments" `Quick (fun () ->
+        with_obs `Metrics_only (fun () ->
+            Metrics.incr (Metrics.counter ~stable:false "t.stab.unstable");
+            Metrics.set_gauge (Metrics.gauge "t.stab.gauge") 1.0;
+            Metrics.observe
+              (Metrics.histogram "t.stab.h" ~bounds:[| 1.0 |])
+              0.5;
+            let stable = Metrics.to_json ~stable_only:true () in
+            let contains needle haystack =
+              let n = String.length needle and h = String.length haystack in
+              let rec go i =
+                i + n <= h
+                && (String.sub haystack i n = needle || go (i + 1))
+              in
+              go 0
+            in
+            check_bool "no unstable counter" false
+              (contains "t.stab.unstable" stable);
+            check_bool "no gauges" false (contains "t.stab.gauge" stable);
+            check_bool "no sums" false (contains "\"sum\"" stable);
+            check_bool "stable histogram present" true
+              (contains "t.stab.h" stable)));
+  ]
+
+(* The end-to-end determinism claim: a real experiment records
+   byte-identical stable metrics at 1, 2 and 4 domains. *)
+
+let sweep_metrics_tests =
+  [
+    Alcotest.test_case "Sweep.run: stable metrics JSON is byte-identical \
+                        across job counts" `Slow (fun () ->
+        let per_jobs jobs =
+          with_obs `Metrics_only (fun () ->
+              let rows =
+                Sweep.run ~capacity:4 ~sizes:[ 64; 128; 256 ] ~jobs
+                  ~model:Popan_rng.Sampler.Uniform ~trials:3 ~seed:2024 ()
+              in
+              (rows, Metrics.to_json ~stable_only:true ()))
+        in
+        let results = List.map per_jobs job_counts in
+        check_bool "rows and stable metrics all equal" true
+          (all_equal results);
+        (* The export really did count the work. *)
+        match List.hd results with
+        | _, json ->
+          let j = parse_exn json in
+          let counter name =
+            match
+              Option.bind
+                (Option.bind (Obs_json.member "counters" j)
+                   (Obs_json.member name))
+                Obs_json.int_opt
+            with
+            | Some v -> v
+            | None -> Alcotest.failf "counter %s missing" name
+          in
+          check_int "one trial span per (size, trial)" 9
+            (counter "trials.sweep");
+          check_bool "builder counted inserts" true
+            (counter "builder.inserts" > 0));
+  ]
+
+(* Trace *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "spans record, nest and survive exceptions" `Quick
+      (fun () ->
+        with_obs `Trace (fun () ->
+            Trace.with_span "outer" (fun () ->
+                Trace.with_span "inner" (fun () -> ()));
+            (try
+               Trace.with_span "raiser" (fun () -> failwith "boom")
+             with Failure _ -> ());
+            Trace.sample "residual" 0.25;
+            let events = Trace.events () in
+            check_int "four events" 4 (List.length events);
+            let find name =
+              List.find (fun e -> e.Trace.name = name) events
+            in
+            let outer = find "outer" and inner = find "inner" in
+            check_int "outer depth" 0 outer.Trace.depth;
+            check_int "inner depth" 1 inner.Trace.depth;
+            check_bool "inner starts inside outer" true
+              (inner.Trace.ts >= outer.Trace.ts);
+            check_bool "raiser recorded" true
+              ((find "raiser").Trace.dur >= 0.0);
+            check_bool "sample carries a value" true
+              ((find "residual").Trace.value = Some 0.25)));
+    Alcotest.test_case "chrome export validates, including under 4 \
+                        concurrent domains" `Quick (fun () ->
+        with_obs `Trace (fun () ->
+            ignore
+              (Parallel.map_array ~jobs:4 64 ~f:(fun i ->
+                   Trace.with_span "level1"
+                     ~args:[ ("i", Trace.Int i) ]
+                     (fun () ->
+                       Trace.with_span "level2" (fun () -> i * i))));
+            let b = Buffer.create 4096 in
+            Trace.export_chrome b;
+            match Trace.validate_chrome (parse_exn (Buffer.contents b)) with
+            | Ok n ->
+              (* 64 tasks x (task + level1 + level2) + batch + reduce *)
+              check_int "span count" 194 n
+            | Error msg -> Alcotest.failf "invalid chrome trace: %s" msg));
+    prop ~count:10 "span nesting is well-formed for any workload shape"
+      QCheck2.Gen.(pair (int_range 1 40) (int_range 0 3))
+      (fun (tasks, extra_depth) ->
+        with_obs `Trace (fun () ->
+            ignore
+              (Parallel.map_array ~jobs:4 tasks ~f:(fun i ->
+                   let rec nest d =
+                     if d = 0 then i
+                     else Trace.with_span "nest" (fun () -> nest (d - 1))
+                   in
+                   nest extra_depth));
+            let b = Buffer.create 4096 in
+            Trace.export_chrome b;
+            match Trace.validate_chrome (parse_exn (Buffer.contents b)) with
+            | Ok _ -> true
+            | Error _ -> false));
+    Alcotest.test_case "ring overflow drops oldest and counts them" `Quick
+      (fun () ->
+        Probe.set_level `Off;
+        Trace.clear ();
+        Trace.enable ~capacity:16 ();
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.disable ();
+            Trace.clear ();
+            (* Restore the default ring size for later tests. *)
+            Trace.enable ();
+            Trace.disable ())
+          (fun () ->
+            for i = 1 to 40 do
+              Trace.with_span "s" (fun () -> ignore i)
+            done;
+            check_int "survivors" 16 (List.length (Trace.events ()));
+            check_int "dropped" 24 (Trace.dropped ())));
+    Alcotest.test_case "disabled tracing records nothing and passes values \
+                        through" `Quick (fun () ->
+        with_obs `Off (fun () ->
+            check_int "value" 7 (Trace.with_span "ghost" (fun () -> 7));
+            check_int "no events" 0 (List.length (Trace.events ()))));
+  ]
+
+(* Store accounting through the registry (the always-on counters). *)
+
+let store_obs_tests =
+  [
+    Alcotest.test_case "store counters reach the registry even with obs \
+                        off" `Quick (fun () ->
+        with_obs `Off (fun () ->
+            let dir =
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Printf.sprintf "popan-obs-store-%d" (Unix.getpid ()))
+            in
+            let s = Store.open_store dir in
+            let codec = Popan_store.Codec.int in
+            check_bool "miss" true
+              (Store.find s ~kind:"t" ~version:1 ~key:"k" codec = None);
+            Store.put s ~kind:"t" ~version:1 ~key:"k" codec 5;
+            check_bool "hit" true
+              (Store.find s ~kind:"t" ~version:1 ~key:"k" codec = Some 5);
+            let c = Store.counters s in
+            check_int "hits" 1 c.Store.hits;
+            check_int "misses" 1 c.Store.misses;
+            check_int "puts" 1 c.Store.puts;
+            let h, m, _, p = Probe.store_counts () in
+            check_bool "registry saw at least this handle's traffic" true
+              (h >= 1 && m >= 1 && p >= 1)));
+  ]
+
+let () =
+  Alcotest.run "popan_obs"
+    [
+      ("obs_json", json_tests);
+      ("metrics", metrics_tests);
+      ("sweep_metrics", sweep_metrics_tests);
+      ("trace", trace_tests);
+      ("store_obs", store_obs_tests);
+    ]
