@@ -17,8 +17,15 @@ test:
 # computes, counted via the store's stats log) with identical bytes.
 # Finally the observability smoke: a traced table4 run must leave the
 # table bytes untouched and emit trace + metrics JSON that `popan obs
-# validate` accepts.
+# validate` accepts. The allocation gate re-runs the arena regression
+# explicitly: a no-split arena insert must allocate zero minor words.
 check: build test
+	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
+	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
+	else \
+	  echo "alloc smoke FAILED: arena insert hot path allocates"; \
+	  dune exec --no-build test/test_alloc.exe -- test arena 0; exit 1; \
+	fi
 	@tmp=$$(mktemp -d); \
 	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
 	dune exec --no-build bin/popan.exe -- table4 -j 2 > $$tmp/par.txt; \
@@ -63,7 +70,7 @@ bench:
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

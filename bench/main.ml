@@ -15,6 +15,7 @@ module Newton_model = Popan_core.Newton_model
 module Mc_transform = Popan_core.Mc_transform
 module Pr_quadtree = Popan_trees.Pr_quadtree
 module Pr_builder = Popan_trees.Pr_builder
+module Pr_arena = Popan_trees.Pr_arena
 module Ext_hash = Popan_trees.Ext_hash
 module Sampler = Popan_rng.Sampler
 module Xoshiro = Popan_rng.Xoshiro
@@ -155,6 +156,46 @@ let bench_builder_build_freeze =
          Sys.opaque_identity
            (Pr_builder.freeze (Pr_builder.of_points ~capacity:8 points_1024))))
 
+(* The arena core against both predecessors, on the same 1024 points:
+   arena-vs-builder prices the structure-of-arrays layout (same
+   insertion algorithm, no boxed nodes or cons cells), bulk-vs-
+   incremental prices the Morton sort against 1024 root-to-leaf
+   descents. A 16k pair checks the gap does not close at larger n. *)
+
+let bench_arena_build =
+  Test.make ~name:"ablation:arena build m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_arena.of_points ~capacity:8 points_1024)))
+
+let bench_arena_bulk_build =
+  Test.make ~name:"ablation:arena bulk build m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_arena.of_points_bulk ~capacity:8 points_1024)))
+
+let bench_arena_build_freeze =
+  Test.make ~name:"ablation:arena build+freeze m=8 n=1024"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pr_arena.freeze (Pr_arena.of_points ~capacity:8 points_1024))))
+
+let points_16384 = uniform_points 16384
+
+let bench_builder_build_16k =
+  Test.make ~name:"ablation:builder build m=8 n=16384"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_builder.of_points ~capacity:8 points_16384)))
+
+let bench_arena_build_16k =
+  Test.make ~name:"ablation:arena build m=8 n=16384"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pr_arena.of_points ~capacity:8 points_16384)))
+
+let bench_arena_bulk_build_16k =
+  Test.make ~name:"ablation:arena bulk build m=8 n=16384"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pr_arena.of_points_bulk ~capacity:8 points_16384)))
+
 let points_4096 = uniform_points 4096
 
 let bench_persistent_snapshot =
@@ -180,8 +221,20 @@ let bench_builder_snapshot =
    qcheck properties in test/test_parallel.ml); only the wall clock may
    differ, and only on a multicore machine. *)
 
+(* On a single-core host a j>1 pool still spawns real domains, but they
+   can only time-slice the one core: those rows measure scheduling
+   overhead, not speedup. Tag their keys so the JSON trajectory never
+   reads a time-sliced number as a parallel one. *)
+let single_core = Popan_parallel.recommended_jobs () = 1
+
+let parallel_bench_name fmt jobs =
+  let base = Printf.sprintf fmt jobs in
+  if jobs > 1 && single_core then base ^ " [single-core: time-slicing]"
+  else base
+
 let bench_sweep_jobs jobs =
-  Test.make ~name:(Printf.sprintf "parallel:table4 sweep j=%d" jobs)
+  Test.make
+    ~name:(parallel_bench_name "parallel:table4 sweep j=%d" jobs)
     (Staged.stage (fun () ->
          Sys.opaque_identity
            (Sweep.run ~capacity:8 ~jobs ~model:Sampler.Uniform ~trials:10
@@ -189,7 +242,7 @@ let bench_sweep_jobs jobs =
 
 let bench_mc_transform_jobs jobs =
   Test.make
-    ~name:(Printf.sprintf "parallel:mc transform m=3 (1000 trials) j=%d" jobs)
+    ~name:(parallel_bench_name "parallel:mc transform m=3 (1000 trials) j=%d" jobs)
     (Staged.stage (fun () ->
          let rng = Xoshiro.of_int_seed 3 in
          Sys.opaque_identity
@@ -332,6 +385,9 @@ let all_benches =
       bench_nearest_seq;
       bench_incremental_build; bench_bulk_build;
       bench_builder_build; bench_builder_build_freeze;
+      bench_arena_build; bench_arena_bulk_build; bench_arena_build_freeze;
+      bench_builder_build_16k; bench_arena_build_16k;
+      bench_arena_bulk_build_16k;
       bench_persistent_snapshot; bench_builder_snapshot;
       bench_sweep_jobs 1; bench_sweep_jobs 2; bench_sweep_jobs 4;
       bench_mc_transform_jobs 1; bench_mc_transform_jobs 4;
@@ -401,15 +457,45 @@ let find_estimate estimates name =
 let print_parallel_summary estimates =
   let find = find_estimate estimates in
   match
-    (find "parallel:table4 sweep j=1", find "parallel:table4 sweep j=4")
+    ( find "parallel:table4 sweep j=1",
+      find (parallel_bench_name "parallel:table4 sweep j=%d" 4) )
   with
   | Some s1, Some s4 ->
     Printf.printf
       "\ntable4 sweep wall clock: j=1 %.2f ms/run, j=4 %.2f ms/run -> \
-       %.2fx speedup (machine has %d core%s)\n"
+       %.2fx %s (machine has %d core%s)\n"
       (s1 /. 1e6) (s4 /. 1e6) (s1 /. s4)
+      (if single_core then "ratio; time-slicing on one core, not speedup"
+       else "speedup")
       (Popan_parallel.recommended_jobs ())
       (if Popan_parallel.recommended_jobs () = 1 then "" else "s")
+  | _ -> ()
+
+(* The arena ablation, stated against the PR 5 acceptance bars: the
+   arena's incremental build against Pr_builder's (same algorithm,
+   flat arrays vs boxed nodes), and the Morton bulk build against the
+   persistent of_points_bulk this bench file has tracked since PR 1. *)
+let print_arena_summary estimates =
+  let find = find_estimate estimates in
+  (match
+     ( find "ablation:builder build m=8 n=1024",
+       find "ablation:arena build m=8 n=1024" )
+   with
+  | Some builder, Some arena ->
+    Printf.printf
+      "arena layout: builder build %.1f us/run, arena build %.1f us/run -> \
+       %.2fx\n"
+      (builder /. 1e3) (arena /. 1e3) (builder /. arena)
+  | _ -> ());
+  match
+    ( find "ablation:bulk build m=8 n=1024",
+      find "ablation:arena bulk build m=8 n=1024" )
+  with
+  | Some old_bulk, Some arena_bulk ->
+    Printf.printf
+      "morton bulk: persistent bulk %.1f us/run, arena bulk %.1f us/run -> \
+       %.2fx\n"
+      (old_bulk /. 1e3) (arena_bulk /. 1e3) (old_bulk /. arena_bulk)
   | _ -> ()
 
 (* The cache ablation, stated the same way: ns/run of the table4 sweep
@@ -581,6 +667,7 @@ let () =
   Printf.printf "== popan bench: micro-benchmarks ==\n\n%!";
   let estimates = run_benchmarks () in
   print_parallel_summary estimates;
+  print_arena_summary estimates;
   print_cache_summary estimates;
   print_obs_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());

@@ -605,6 +605,21 @@ let selftest_cmd =
         in
         check "pr_quadtree" (Popan_trees.Pr_quadtree.check_invariants t);
         Popan_trees.Pr_quadtree.size t);
+    structure "PR arena" (fun rng ->
+        let capacity = 1 + Popan_rng.Xoshiro.int rng 8 in
+        let pts = points rng 400 in
+        let inc = Popan_trees.Pr_arena.of_points ~capacity pts in
+        let bulk = Popan_trees.Pr_arena.of_points_bulk ~capacity pts in
+        check "pr_arena incremental"
+          (Popan_trees.Pr_arena.check_invariants inc);
+        check "pr_arena bulk" (Popan_trees.Pr_arena.check_invariants bulk);
+        if
+          not
+            (Popan_trees.Pr_quadtree.equal_structure
+               (Popan_trees.Pr_arena.freeze inc)
+               (Popan_trees.Pr_arena.freeze bulk))
+        then check "pr_arena" [ "bulk and incremental builds disagree" ];
+        Popan_trees.Pr_arena.size inc + Popan_trees.Pr_arena.size bulk);
     structure "bintree" (fun rng ->
         let capacity = 1 + Popan_rng.Xoshiro.int rng 6 in
         let t = Popan_trees.Bintree.of_points ~capacity (points rng 300) in
@@ -726,25 +741,25 @@ let measure_cmd =
             "measure: points outside the unit square (drop --no-normalize?)")
       points;
     let tree =
-      Popan_trees.Pr_quadtree.of_points_bulk ~max_depth ~capacity points
+      Popan_trees.Pr_arena.of_points_bulk ~max_depth ~capacity points
     in
     let n = List.length points in
     let measured =
       Distribution.of_weights
         (Popan_trees.Tree_stats.proportions
-           (Popan_trees.Pr_quadtree.occupancy_histogram tree))
+           (Popan_trees.Pr_arena.occupancy_histogram tree))
     in
     let report = Population.expected_distribution ~branching:4 ~capacity () in
     let predicted = report.Fixed_point.distribution in
     Printf.printf "dataset: %d points from %s%s\n" n input
       (if no_normalize then "" else " (normalized to the unit square)");
     Printf.printf "tree: capacity %d, %d leaves, height %d\n" capacity
-      (Popan_trees.Pr_quadtree.leaf_count tree)
-      (Popan_trees.Pr_quadtree.height tree);
+      (Popan_trees.Pr_arena.leaf_count tree)
+      (Popan_trees.Pr_arena.height tree);
     Printf.printf "measured distribution:  %s\n" (Distribution.to_string measured);
     Printf.printf "model (uniform data):   %s\n" (Distribution.to_string predicted);
     Printf.printf "measured occupancy %.3f vs model %.3f (TV %.3f)\n"
-      (Popan_trees.Pr_quadtree.average_occupancy tree)
+      (Popan_trees.Pr_arena.average_occupancy tree)
       (Distribution.average_occupancy predicted)
       (let classes =
          max (Distribution.types measured) (Distribution.types predicted)
@@ -761,7 +776,7 @@ let measure_cmd =
       "predicted leaves under uniformity: %.0f (actual %d; the gap measures \
        the data's non-uniformity)\n"
       (Population.predicted_nodes ~branching:4 ~capacity ~points:n)
-      (Popan_trees.Pr_quadtree.leaf_count tree)
+      (Popan_trees.Pr_arena.leaf_count tree)
   in
   let input =
     let doc = "CSV file of points (two columns: x,y; header optional)." in

@@ -25,9 +25,9 @@ let run ?(capacity = 1) ?(max_depth = 9) ?jobs workload =
     Workload.map_trials ?jobs workload ~f:(fun i points ->
         Probe.trial ~experiment:"depth-profile" ~index:i
           ~n:workload.Workload.points (fun () ->
-        let tree = Pr_builder.of_points ~max_depth ~capacity points in
+        let tree = Pr_arena.of_points_bulk ~max_depth ~capacity points in
         let mine = Hashtbl.create 16 in
-        Pr_builder.fold_leaves tree ~init:()
+        Pr_arena.fold_leaves tree ~init:()
           ~f:(fun () ~depth ~box:_ ~points:_ ~count:occ ->
             tally mine depth
               ( (if occ = 0 then 1 else 0),

@@ -56,10 +56,10 @@ let measure_pr ?max_depth ?jobs workload ~capacity =
             Store.memo store ~kind:"trial-measure" ~version:1 ~key
               measure_codec
               (fun () ->
-                let b = Pr_builder.of_points ?max_depth ~capacity points in
-                ( Pr_builder.occupancy_histogram b,
-                  Pr_builder.average_occupancy b,
-                  float_of_int (Pr_builder.leaf_count b) ))))
+                let b = Pr_arena.of_points_bulk ?max_depth ~capacity points in
+                ( Pr_arena.occupancy_histogram b,
+                  Pr_arena.average_occupancy b,
+                  float_of_int (Pr_arena.leaf_count b) ))))
   in
   aggregate
     (List.map (fun (h, _, _) -> h) measured)

@@ -58,12 +58,15 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
             Store.memo store ~kind:"trial-occ" ~version:1 ~key
               Codec.(pair float float)
               (fun () ->
+                (* Build-then-measure: the Morton bulk path — same
+                   canonical decomposition, one sort instead of n
+                   descents. *)
                 let tree =
-                  Pr_builder.of_points ~max_depth ~capacity
+                  Pr_arena.of_points_bulk ~max_depth ~capacity
                     (Sampler.points rngs.(k) model points)
                 in
-                ( float_of_int (Pr_builder.leaf_count tree),
-                  Pr_builder.average_occupancy tree ))))
+                ( float_of_int (Pr_arena.leaf_count tree),
+                  Pr_arena.average_occupancy tree ))))
   in
   List.mapi
     (fun i points ->
@@ -119,7 +122,10 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
       Codec.(array (pair float float))
       (fun () ->
         let out = Array.make nsizes (0.0, 0.0) in
-        let fresh () = (Pr_builder.create ~max_depth ~capacity (), rng0, 0, 0) in
+        (* Growing trees use the arena's incremental path: same O(1)
+           statistics contract as Pr_builder, so every snapshot is
+           still free, and freeze/thaw keep the checkpoint format. *)
+        let fresh () = (Pr_arena.create ~max_depth ~capacity (), rng0, 0, 0) in
         let tree, rng, have0, start =
           match store with
           | None -> fresh ()
@@ -128,17 +134,17 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
             | None -> fresh ()
             | Some (g : Checkpoint.growth) ->
               Array.blit g.partial 0 out 0 g.next_index;
-              (Pr_builder.thaw g.tree, g.rng, g.have, g.next_index))
+              (Pr_arena.thaw g.tree, g.rng, g.have, g.next_index))
         in
         let have = ref have0 in
         for idx = start to nsizes - 1 do
           let target = sizes_a.(idx) in
-          Pr_builder.insert_all tree
+          Pr_arena.insert_all tree
             (Sampler.points rng model (target - !have));
           have := target;
           out.(idx) <-
-            ( float_of_int (Pr_builder.leaf_count tree),
-              Pr_builder.average_occupancy tree );
+            ( float_of_int (Pr_arena.leaf_count tree),
+              Pr_arena.average_occupancy tree );
           match store with
           | Some s
             when checkpoint_every > 0
@@ -146,7 +152,7 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
                  && idx < nsizes - 1 ->
             Checkpoint.save s ~key_base ~index:idx
               {
-                Checkpoint.tree = Pr_builder.freeze tree;
+                Checkpoint.tree = Pr_arena.freeze tree;
                 rng;
                 next_index = idx + 1;
                 have = !have;

@@ -40,10 +40,10 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed ()
               Codec.int_array
               (fun () ->
                 let tree =
-                  Pr_builder.of_points ~max_depth ~capacity
+                  Pr_arena.of_points_bulk ~max_depth ~capacity
                     (Sampler.points rngs.(k) model points)
                 in
-                Pr_builder.occupancy_histogram tree)))
+                Pr_arena.occupancy_histogram tree)))
   in
   List.mapi
     (fun i points ->

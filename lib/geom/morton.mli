@@ -16,6 +16,12 @@ val encode : Point.t -> int
 (** [decode code] recovers the lower-left corner of the quantized cell. *)
 val decode : int -> Point.t
 
+(** [quantize x] is [int_of_float (x *. 2^bits)] — the [bits]-bit cell
+    ordinate of a unit-interval coordinate. The multiply is by a power
+    of two, hence exact, so for [x] in [[0, 1)] the result is precisely
+    [floor (x * 2^bits)]. *)
+val quantize : float -> int
+
 (** [interleave x y] interleaves the low [bits] bits of [x] (even
     positions) and [y] (odd positions). *)
 val interleave : int -> int -> int

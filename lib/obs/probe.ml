@@ -91,6 +91,39 @@ let builder_split ~depth =
   Metrics.incr builder_splits;
   Metrics.observe builder_split_depth (float_of_int depth)
 
+(* Arena builds. The bulk path never calls [builder_insert] per point,
+   so it bumps the same stable counter by its point count up front: the
+   merged totals match the incremental path insert for insert, keeping
+   the stable export independent of which build path ran where. *)
+
+let arena_builds = Metrics.counter "arena.builds"
+let arena_bulk_points = Metrics.counter "arena.bulk.points"
+
+let arena_minor_words_per_insert =
+  Metrics.gauge ~stable:false "arena.minor.words.per.insert"
+
+let arena_build_seconds =
+  Metrics.histogram ~stable:false "arena.build.seconds" ~bounds:seconds_bounds
+
+let arena_build kind ~inserts f =
+  (match kind with
+  | `Bulk ->
+    Metrics.incr ~by:inserts builder_inserts;
+    Metrics.incr ~by:inserts arena_bulk_points
+  | `Incremental -> ());
+  if not (Metrics.enabled () || Trace.enabled ()) then f ()
+  else begin
+    Metrics.incr arena_builds;
+    let before = Gc.minor_words () in
+    timed
+      ~span:(match kind with `Bulk -> "arena:bulk" | `Incremental -> "arena:build")
+      ~args:[ ("n", Trace.Int inserts) ]
+      arena_build_seconds f;
+    if inserts > 0 then
+      Metrics.set_gauge arena_minor_words_per_insert
+        ((Gc.minor_words () -. before) /. float_of_int inserts)
+  end
+
 (* The domain pool *)
 
 let pool_maps = Metrics.counter "pool.maps"
@@ -154,6 +187,27 @@ let store_put ~kind f =
 
 let store_compute () = Metrics.incr store_computes
 
+(* GC telemetry. Gauges, so never part of the stable export: heap
+   traffic depends on scheduling, warm-up and domain count. Sampled
+   around experiment spans — the natural "how much did this run chew
+   through" checkpoints. *)
+
+let gc_minor_words = Metrics.gauge ~stable:false "gc.minor.words"
+let gc_major_words = Metrics.gauge ~stable:false "gc.major.words"
+let gc_minor_collections = Metrics.gauge ~stable:false "gc.minor.collections"
+let gc_major_collections = Metrics.gauge ~stable:false "gc.major.collections"
+
+let sample_gc () =
+  if Metrics.enabled () then begin
+    let s = Gc.quick_stat () in
+    Metrics.set_gauge gc_minor_words s.Gc.minor_words;
+    Metrics.set_gauge gc_major_words s.Gc.major_words;
+    Metrics.set_gauge gc_minor_collections
+      (float_of_int s.Gc.minor_collections);
+    Metrics.set_gauge gc_major_collections
+      (float_of_int s.Gc.major_collections)
+  end
+
 (* Experiment trials *)
 
 let trial ~experiment ~index ?n f =
@@ -165,5 +219,7 @@ let trial ~experiment ~index ?n f =
       ("i", Trace.Int index)
       :: (match n with Some n -> [ ("n", Trace.Int n) ] | None -> [])
     in
-    Trace.with_span ~args ("trial:" ^ experiment) f
+    Fun.protect
+      ~finally:sample_gc
+      (fun () -> Trace.with_span ~args ("trial:" ^ experiment) f)
   end

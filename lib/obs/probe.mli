@@ -56,6 +56,17 @@ val builder_insert : unit -> unit
     its depth ([builder.split.depth]). *)
 val builder_split : depth:int -> unit
 
+(** [arena_build kind ~inserts f] wraps one arena build: an
+    [arena:build] / [arena:bulk] span, [arena.builds], and the measured
+    allocation rate [arena.minor.words.per.insert] (a gauge — minor
+    words consumed by [f] divided by [inserts], so the allocation-free
+    claim is a number, not an assertion). [`Bulk] additionally bumps the
+    stable [builder.inserts] counter by [inserts] (its points never pass
+    through {!builder_insert}) and [arena.bulk.points], keeping the
+    stable export identical whichever build path ran. *)
+val arena_build :
+  [ `Incremental | `Bulk ] -> inserts:int -> (unit -> unit) -> unit
+
 (** {1 The domain pool} *)
 
 (** [pool_map ~tasks ~jobs f] wraps one fan-out: [pool.batch] span,
@@ -93,6 +104,15 @@ val store_put : kind:string -> (unit -> unit) -> unit
 
 (** [store_compute ()] counts a memo miss that ran its thunk. *)
 val store_compute : unit -> unit
+
+(** {1 GC telemetry} *)
+
+(** [sample_gc ()] snapshots [Gc.quick_stat] into the [gc.minor.words] /
+    [gc.major.words] / [gc.minor.collections] / [gc.major.collections]
+    gauges (all unstable — heap traffic is schedule-dependent). Called
+    automatically after every {!trial}; call it around any other span
+    of interest. No-op while the registry is disabled. *)
+val sample_gc : unit -> unit
 
 (** {1 Experiment trials} *)
 

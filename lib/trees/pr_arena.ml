@@ -1,0 +1,694 @@
+open Import
+
+(* 21 bits per coordinate: tree levels 0..21 are decided by integer
+   Morton bits; deeper levels (reachable only when max_depth > bits and
+   more than [capacity] points share a quantized cell) fall back to the
+   same float-midpoint arithmetic as Box.step. *)
+let bits = Morton.bits
+
+(* Morton.quantize, open-coded: calling across the module boundary
+   passes the float boxed (2 words each for x and y, every insert);
+   local arithmetic on a power-of-two constant stays unboxed and is the
+   identical exact computation. *)
+let quantize_scale = float_of_int (1 lsl bits)
+
+(* The bulk build partitions packed keys [(code lsl bits) lor slot]:
+   42 code bits above, 21 slot bits below, 63 bits exactly — so the
+   whole key fits an OCaml int and one sequential array carries both
+   the Z-order position and the point identity. Requires n <= slot_mask
+   (~2M points); larger bulk builds fall back to incremental inserts. *)
+let slot_mask = (1 lsl bits) - 1
+
+(* Children of a split node occupy four consecutive node ids in MORTON
+   pair order — (y >= mid) * 2 + (x >= mid): SW, SE, NW, NE — because
+   that is the order a sorted code array yields them. Quadrant order
+   (NW, NE, SW, SE) differs by this fixed permutation, which is its own
+   inverse: quad_pair.(pair) is the quadrant index and quad_pair.(quad)
+   is the pair. *)
+let quad_pair = [| 2; 3; 0; 1 |]
+
+type t = {
+  capacity : int;
+  max_depth : int;
+  bounds : Box.t;
+  unit_bounds : bool;
+  (* Nodes, parallel arrays indexed by node id; node 0 is the root. *)
+  mutable nodes : int;  (* ids in use *)
+  mutable child : int array;  (* -1 = leaf; else first of 4 children *)
+  mutable count : int array;  (* leaves: number of stored points *)
+  mutable head : int array;  (* leaves: first point slot, -1 = none *)
+  (* Points, parallel arrays indexed by slot; slot = insertion rank. *)
+  mutable size : int;
+  mutable xs : float array;
+  mutable ys : float array;
+  mutable codes : int array;
+  mutable next : int array;  (* intrusive per-leaf chain, -1 ends *)
+  (* O(1) statistics, maintained exactly like Pr_builder's. *)
+  mutable leaves : int;
+  mutable internals : int;
+  mutable height : int;
+  hist : int array;  (* capacity + 1 cells; over-full leaves clamp *)
+}
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) ?(reserve = 0) ~capacity ()
+    =
+  if capacity < 1 then invalid_arg "Pr_arena.create: capacity < 1";
+  if max_depth < 0 then invalid_arg "Pr_arena.create: max_depth < 0";
+  if reserve < 0 then invalid_arg "Pr_arena.create: reserve < 0";
+  let hist = Array.make (capacity + 1) 0 in
+  hist.(0) <- 1;
+  let pcap = max reserve 16 in
+  {
+    capacity;
+    max_depth;
+    bounds;
+    unit_bounds = Box.equal bounds Box.unit;
+    nodes = 1;
+    child = Array.make 16 (-1);
+    count = Array.make 16 0;
+    head = Array.make 16 (-1);
+    size = 0;
+    (* Uninitialized is fine: slots are written before [size] admits
+       them to any read path. *)
+    xs = Array.create_float pcap;
+    ys = Array.create_float pcap;
+    codes = Array.make pcap 0;
+    next = Array.make pcap (-1);
+    leaves = 1;
+    internals = 0;
+    height = 0;
+    hist;
+  }
+
+let capacity t = t.capacity
+let max_depth t = t.max_depth
+let bounds t = t.bounds
+let size t = t.size
+let is_empty t = t.size = 0
+let leaf_count t = t.leaves
+let internal_count t = t.internals
+let height t = t.height
+let occupancy_histogram t = Array.copy t.hist
+let average_occupancy t = float_of_int t.size /. float_of_int t.leaves
+
+(* Array growth — the only allocation on the insert path. *)
+
+let grow_points t needed =
+  let cap = ref (Array.length t.xs) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  let xs = Array.create_float cap
+  and ys = Array.create_float cap
+  and codes = Array.make cap 0
+  and next = Array.make cap (-1) in
+  Array.blit t.xs 0 xs 0 t.size;
+  Array.blit t.ys 0 ys 0 t.size;
+  Array.blit t.codes 0 codes 0 t.size;
+  Array.blit t.next 0 next 0 t.size;
+  t.xs <- xs;
+  t.ys <- ys;
+  t.codes <- codes;
+  t.next <- next
+
+let grow_nodes t needed =
+  let cap = ref (Array.length t.child) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  let child = Array.make cap (-1)
+  and count = Array.make cap 0
+  and head = Array.make cap (-1) in
+  Array.blit t.child 0 child 0 t.nodes;
+  Array.blit t.count 0 count 0 t.nodes;
+  Array.blit t.head 0 head 0 t.nodes;
+  t.child <- child;
+  t.count <- count;
+  t.head <- head
+
+(* Bump-allocate four consecutive children, returned as their base id.
+   Fresh ids are empty leaves (child -1, count 0, head -1) — the arrays
+   are kept in that state by alloc and by splits turning leaves into
+   internals. *)
+let alloc_children t =
+  let base = t.nodes in
+  if base + 4 > Array.length t.child then grow_nodes t (base + 4);
+  t.nodes <- base + 4;
+  t.child.(base) <- -1;
+  t.child.(base + 1) <- -1;
+  t.child.(base + 2) <- -1;
+  t.child.(base + 3) <- -1;
+  t.count.(base) <- 0;
+  t.count.(base + 1) <- 0;
+  t.count.(base + 2) <- 0;
+  t.count.(base + 3) <- 0;
+  t.head.(base) <- -1;
+  t.head.(base + 1) <- -1;
+  t.head.(base + 2) <- -1;
+  t.head.(base + 3) <- -1;
+  base
+
+(* Register a freshly created leaf of occupancy [count] at [depth]. *)
+let note_leaf t depth count =
+  t.leaves <- t.leaves + 1;
+  let bucket = if count < t.capacity then count else t.capacity in
+  t.hist.(bucket) <- t.hist.(bucket) + 1;
+  if depth > t.height then t.height <- depth
+
+(* The two Morton bits separating the children of a node at [depth]
+   (depth < bits): (y bit << 1) | x bit. *)
+let pair_at code depth = (code lsr (2 * (bits - 1 - depth))) land 3
+
+(* Absorb [slot] into leaf [node] at [depth], maintaining histogram and
+   leaf bookkeeping. Returns [true] when the leaf overflowed (it has
+   already been deregistered) and the caller must split it. *)
+let absorb t node depth slot =
+  let c = t.count.(node) in
+  let old_bucket = if c < t.capacity then c else t.capacity in
+  t.next.(slot) <- t.head.(node);
+  t.head.(node) <- slot;
+  let c = c + 1 in
+  t.count.(node) <- c;
+  if c <= t.capacity || depth >= t.max_depth then begin
+    t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+    let bucket = if c < t.capacity then c else t.capacity in
+    t.hist.(bucket) <- t.hist.(bucket) + 1;
+    false
+  end
+  else begin
+    t.leaves <- t.leaves - 1;
+    t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+    true
+  end
+
+(* Relink an over-full leaf's chain onto the four fresh children at
+   [base], keyed by the Morton pair at [depth]. Ints only. *)
+let rec distribute_code t base depth slot =
+  if slot >= 0 then begin
+    let nxt = t.next.(slot) in
+    let c = base + pair_at t.codes.(slot) depth in
+    t.next.(slot) <- t.head.(c);
+    t.head.(c) <- slot;
+    t.count.(c) <- t.count.(c) + 1;
+    distribute_code t base depth nxt
+  end
+
+(* Same, keyed by float midpoint comparisons (custom bounds, or cells
+   below the Morton resolution). *)
+let rec distribute_float t base cx cy slot =
+  if slot >= 0 then begin
+    let nxt = t.next.(slot) in
+    let px = if t.xs.(slot) >= cx then 1 else 0 in
+    let py = if t.ys.(slot) >= cy then 2 else 0 in
+    let c = base + px + py in
+    t.next.(slot) <- t.head.(c);
+    t.head.(c) <- slot;
+    t.count.(c) <- t.count.(c) + 1;
+    distribute_float t base cx cy nxt
+  end
+
+(* The cell of a node at [depth] <= bits whose points share the code
+   prefix of [code]: corners are dyadic k/2^depth, exact in floats. *)
+let cell_x0 code depth =
+  let qx, _ = Morton.deinterleave (code lsr (2 * (bits - depth)) lsl (2 * (bits - depth))) in
+  ldexp (float_of_int (qx lsr (bits - depth))) (-depth)
+
+let cell_y0 code depth =
+  let _, qy = Morton.deinterleave (code lsr (2 * (bits - depth)) lsl (2 * (bits - depth))) in
+  ldexp (float_of_int (qy lsr (bits - depth))) (-depth)
+
+(* Split an over-full, deregistered former leaf [node] at [depth]
+   (< max_depth). The code variant keys on Morton bits; when the split
+   would descend below the Morton resolution it switches to the float
+   variant, deriving the (exactly representable) cell from the shared
+   code prefix. *)
+let rec split_code t node depth =
+  if depth >= bits then begin
+    let code = t.codes.(t.head.(node)) in
+    let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
+    let side = ldexp 1.0 (-depth) in
+    split_float t node depth x0 y0 (x0 +. side) (y0 +. side)
+  end
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let base = alloc_children t in
+    let chain = t.head.(node) in
+    t.child.(node) <- base;
+    t.head.(node) <- -1;
+    t.count.(node) <- 0;
+    distribute_code t base depth chain;
+    let cdepth = depth + 1 in
+    for i = 0 to 3 do
+      let c = base + i in
+      let cc = t.count.(c) in
+      if cc <= t.capacity || cdepth >= t.max_depth then note_leaf t cdepth cc
+      else split_code t c cdepth
+    done
+  end
+
+and split_float t node depth x0 y0 x1 y1 =
+  t.internals <- t.internals + 1;
+  Probe.builder_split ~depth;
+  let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+  let base = alloc_children t in
+  let chain = t.head.(node) in
+  t.child.(node) <- base;
+  t.head.(node) <- -1;
+  t.count.(node) <- 0;
+  distribute_float t base cx cy chain;
+  let cdepth = depth + 1 in
+  for i = 0 to 3 do
+    let c = base + i in
+    let cc = t.count.(c) in
+    if cc <= t.capacity || cdepth >= t.max_depth then note_leaf t cdepth cc
+    else
+      split_float t c cdepth
+        (if i land 1 = 1 then cx else x0)
+        (if i land 2 = 2 then cy else y0)
+        (if i land 1 = 1 then x1 else cx)
+        (if i land 2 = 2 then y1 else cy)
+  done
+
+(* Descend by Morton bits (unit bounds, levels above the resolution):
+   ints only, so a no-split insert allocates nothing. *)
+let rec insert_code t node depth code slot =
+  let base = t.child.(node) in
+  if base >= 0 then
+    if depth < bits then
+      insert_code t (base + pair_at code depth) (depth + 1) code slot
+    else insert_float_deep t node depth slot
+  else if absorb t node depth slot then split_code t node depth
+
+(* Below the Morton resolution the stored code no longer separates
+   points; continue from the (exact) cell of the shared prefix with
+   float midpoints. Reached only when max_depth > bits. *)
+and insert_float_deep t node depth slot =
+  let code = t.codes.(slot) in
+  let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
+  let side = ldexp 1.0 (-depth) in
+  insert_float t node depth slot x0 y0 (x0 +. side) (y0 +. side)
+
+and insert_float t node depth slot x0 y0 x1 y1 =
+  let base = t.child.(node) in
+  if base >= 0 then begin
+    let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+    if t.ys.(slot) >= cy then
+      if t.xs.(slot) >= cx then
+        insert_float t (base + 3) (depth + 1) slot cx cy x1 y1
+      else insert_float t (base + 2) (depth + 1) slot x0 cy cx y1
+    else if t.xs.(slot) >= cx then
+      insert_float t (base + 1) (depth + 1) slot cx y0 x1 cy
+    else insert_float t base (depth + 1) slot x0 y0 cx cy
+  end
+  else if absorb t node depth slot then split_float t node depth x0 y0 x1 y1
+
+(* Quantized normalized code. For unit bounds this is Morton.encode and
+   drives the decomposition exactly; for custom bounds it is advisory
+   (the decomposition uses float midpoints) but keeps Z-order sorting
+   meaningful. *)
+let point_code t x y =
+  if t.unit_bounds then
+    Morton.interleave
+      (int_of_float (x *. quantize_scale))
+      (int_of_float (y *. quantize_scale))
+  else begin
+    let b = t.bounds in
+    let nx = (x -. b.Box.xmin) /. (b.Box.xmax -. b.Box.xmin) in
+    let ny = (y -. b.Box.ymin) /. (b.Box.ymax -. b.Box.ymin) in
+    let clamp v = if v < 0.0 then 0.0 else if v >= 1.0 then 0x1FFFFFp-21 else v in
+    Morton.interleave (Morton.quantize (clamp nx)) (Morton.quantize (clamp ny))
+  end
+
+let insert t p =
+  if not (Box.contains t.bounds p) then
+    invalid_arg "Pr_arena.insert: point outside bounds";
+  Probe.builder_insert ();
+  if t.size >= Array.length t.xs then grow_points t (t.size + 1);
+  let slot = t.size in
+  t.size <- slot + 1;
+  let x = p.Point.x and y = p.Point.y in
+  t.xs.(slot) <- x;
+  t.ys.(slot) <- y;
+  if t.unit_bounds then begin
+    let code =
+      Morton.interleave
+        (int_of_float (x *. quantize_scale))
+        (int_of_float (y *. quantize_scale))
+    in
+    t.codes.(slot) <- code;
+    insert_code t 0 0 code slot
+  end
+  else begin
+    t.codes.(slot) <- point_code t x y;
+    let b = t.bounds in
+    insert_float t 0 0 slot b.Box.xmin b.Box.ymin b.Box.xmax b.Box.ymax
+  end
+
+let insert_all t ps = List.iter (insert t) ps
+
+let of_points ?max_depth ?bounds ~capacity ps =
+  let t = create ?max_depth ?bounds ~capacity () in
+  Probe.arena_build `Incremental ~inserts:(List.length ps) (fun () ->
+      insert_all t ps);
+  t
+
+(* Morton-order bulk build: a single top-down recursion that radix
+   sorts packed code|slot keys MSD-first, two code bits per level, and
+   emits each node the moment its range is partitioned — leaves appear
+   left to right in Z-order and parents link as the recursion returns.
+   The sort stops exactly where the tree does, so ranges that are
+   already leaf-sized never pay for their remaining code bits. *)
+
+(* Chain slots order.(lo..hi-1) onto leaf [node] so traversal yields
+   ascending slot (insertion) order, register it at [depth]. Entries may
+   be raw slots (float path) or packed code|slot keys (Morton path); the
+   mask strips a code prefix and is the identity on raw slots, which are
+   < 2^bits by the bulk-build size guard. *)
+let emit_leaf t order lo hi node depth =
+  let n = hi - lo in
+  t.count.(node) <- n;
+  if n > 0 then begin
+    for k = lo to hi - 2 do
+      t.next.(order.(k) land slot_mask) <- order.(k + 1) land slot_mask
+    done;
+    t.next.(order.(hi - 1) land slot_mask) <- -1;
+    t.head.(node) <- order.(lo) land slot_mask
+  end;
+  note_leaf t depth n
+
+(* Stable 4-way partition of order[lo, hi) by float midpoints, used for
+   custom bounds and for cells below the Morton resolution. [scratch]
+   is a whole-array scratch buffer shared down the recursion; [cnt] is
+   a 4-slot buffer for the counting pass, reused by every node — pair
+   counts land in it branchlessly (indexing, not matching, so random
+   pairs cost no mispredicts), then it holds the running write bases. *)
+let rec build_float t order scratch cnt lo hi node depth x0 y0 x1 y1 =
+  if hi - lo <= t.capacity || depth >= t.max_depth then
+    emit_leaf t order lo hi node depth
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+    let pair slot =
+      (if t.xs.(slot) >= cx then 1 else 0) + if t.ys.(slot) >= cy then 2 else 0
+    in
+    cnt.(0) <- 0;
+    cnt.(1) <- 0;
+    cnt.(2) <- 0;
+    cnt.(3) <- 0;
+    for k = lo to hi - 1 do
+      let d = pair order.(k) in
+      cnt.(d) <- cnt.(d) + 1
+    done;
+    let e1 = lo + cnt.(0) in
+    let e2 = e1 + cnt.(1) in
+    let e3 = e2 + cnt.(2) in
+    cnt.(0) <- lo;
+    cnt.(1) <- e1;
+    cnt.(2) <- e2;
+    cnt.(3) <- e3;
+    for k = lo to hi - 1 do
+      let slot = order.(k) in
+      let d = pair slot in
+      let p = cnt.(d) in
+      scratch.(p) <- slot;
+      cnt.(d) <- p + 1
+    done;
+    Array.blit scratch lo order lo (hi - lo);
+    let base = alloc_children t in
+    t.child.(node) <- base;
+    let cdepth = depth + 1 in
+    build_float t order scratch cnt lo e1 base cdepth x0 y0 cx cy;
+    build_float t order scratch cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
+    build_float t order scratch cnt e2 e3 (base + 2) cdepth x0 cy cx y1;
+    build_float t order scratch cnt e3 hi (base + 3) cdepth cx cy x1 y1
+  end
+
+(* The Morton twin of [build_float]: a stable counting partition of
+   packed[lo, hi) on the two code bits at [depth] — MSD radix, one level
+   per split. Top-down partitioning only Z-orders the keys as far down
+   as leaves actually form, which is why this beats sorting all 42 code
+   bits up front and then searching for child boundaries; and because
+   the code rides above the slot in each packed key, every pass is one
+   sequential load per element — no indirection through a permutation
+   into a cold codes array. *)
+(* [src] holds this node's keys; the scatter lands in [dst] and the
+   children simply swap the two — no copy back. Sibling ranges are
+   disjoint, so each subtree ping-pongs its own slice independently. *)
+let rec build_sorted t src dst cnt lo hi node depth =
+  if hi - lo <= t.capacity || depth >= t.max_depth then
+    emit_leaf t src lo hi node depth
+  else if depth >= bits then begin
+    (* All codes in the range coincide; continue from the shared cell
+       with float midpoints (only reachable when max_depth > bits). The
+       float path reads raw slots, so strip the now-constant code prefix
+       in place. *)
+    let code = src.(lo) lsr bits in
+    for k = lo to hi - 1 do
+      src.(k) <- src.(k) land slot_mask
+    done;
+    let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
+    let side = ldexp 1.0 (-depth) in
+    build_float t src dst cnt lo hi node depth x0 y0 (x0 +. side)
+      (y0 +. side)
+  end
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let base = alloc_children t in
+    t.child.(node) <- base;
+    let sh = (2 * (bits - 1 - depth)) + bits in
+    cnt.(0) <- 0;
+    cnt.(1) <- 0;
+    cnt.(2) <- 0;
+    cnt.(3) <- 0;
+    for k = lo to hi - 1 do
+      let d = (src.(k) lsr sh) land 3 in
+      cnt.(d) <- cnt.(d) + 1
+    done;
+    let e1 = lo + cnt.(0) in
+    let e2 = e1 + cnt.(1) in
+    let e3 = e2 + cnt.(2) in
+    cnt.(0) <- lo;
+    cnt.(1) <- e1;
+    cnt.(2) <- e2;
+    cnt.(3) <- e3;
+    for k = lo to hi - 1 do
+      let v = src.(k) in
+      let d = (v lsr sh) land 3 in
+      let p = cnt.(d) in
+      dst.(p) <- v;
+      cnt.(d) <- p + 1
+    done;
+    let cdepth = depth + 1 in
+    build_sorted t dst src cnt lo e1 base cdepth;
+    build_sorted t dst src cnt e1 e2 (base + 1) cdepth;
+    build_sorted t dst src cnt e2 e3 (base + 2) cdepth;
+    build_sorted t dst src cnt e3 hi (base + 3) cdepth
+  end
+
+let of_points_bulk ?max_depth ?bounds ~capacity ps =
+  let n = List.length ps in
+  if n > slot_mask then
+    (* Packed keys reserve [bits] low bits for the slot; past that the
+       incremental path builds the same tree (freeze-equal by the qcheck
+       equivalence property), just without the bulk fast path. *)
+    of_points ?max_depth ?bounds ~capacity ps
+  else begin
+    let t = create ?max_depth ?bounds ~reserve:n ~capacity () in
+    Probe.arena_build `Bulk ~inserts:n (fun () ->
+        (* Packed keys start in insertion (slot) order; [build_sorted]
+           Z-orders them by stable MSD radix partition as it descends,
+           so equal codes (and slots sharing a leaf) keep ascending slot
+           order throughout. *)
+        let packed = Array.make (max n 1) 0 in
+        let i = ref 0 in
+        List.iter
+          (fun p ->
+            if not (Box.contains t.bounds p) then
+              invalid_arg "Pr_arena.of_points_bulk: point outside bounds";
+            let x = p.Point.x and y = p.Point.y in
+            t.xs.(!i) <- x;
+            t.ys.(!i) <- y;
+            let code = point_code t x y in
+            t.codes.(!i) <- code;
+            packed.(!i) <- (code lsl bits) lor !i;
+            incr i)
+          ps;
+        t.size <- n;
+        (* The root leaf registered by [create] is replaced wholesale by
+           the build's own registration, mirroring Pr_builder.split_node
+           accounting. *)
+        t.leaves <- 0;
+        t.hist.(0) <- 0;
+        t.height <- 0;
+        let scratch = Array.make (max n 1) 0 in
+        let cnt = Array.make 4 0 in
+        if t.unit_bounds then build_sorted t packed scratch cnt 0 n 0 0
+        else begin
+          (* The float partition wants raw slots; codes never steered
+             this path, so drop the prefixes up front. *)
+          for k = 0 to n - 1 do
+            packed.(k) <- packed.(k) land slot_mask
+          done;
+          let b = t.bounds in
+          build_float t packed scratch cnt 0 n 0 0 b.Box.xmin b.Box.ymin
+            b.Box.xmax b.Box.ymax
+        end);
+    t
+  end
+
+(* Analysis paths. *)
+
+let leaf_points t node =
+  let rec go acc slot =
+    if slot < 0 then acc
+    else go (Point.make t.xs.(slot) t.ys.(slot) :: acc) t.next.(slot)
+  in
+  (* Collect then reverse so the list follows chain order (for an
+     incremental build: reverse insertion order, like Pr_builder). *)
+  List.rev (go [] t.head.(node))
+
+let fold_leaves t ~init ~f =
+  let rec go acc node ~depth ~box =
+    let base = t.child.(node) in
+    if base < 0 then
+      f acc ~depth ~box ~points:(leaf_points t node) ~count:t.count.(node)
+    else begin
+      let acc = ref acc in
+      for q = 0 to 3 do
+        acc :=
+          go !acc
+            (base + quad_pair.(q))
+            ~depth:(depth + 1)
+            ~box:(Box.child box (Quadrant.of_index q))
+      done;
+      !acc
+    end
+  in
+  go init 0 ~depth:0 ~box:t.bounds
+
+let iter_points t ~f =
+  for slot = 0 to t.size - 1 do
+    f (Point.make t.xs.(slot) t.ys.(slot))
+  done
+
+let points t =
+  let acc = ref [] in
+  for slot = t.size - 1 downto 0 do
+    acc := Point.make t.xs.(slot) t.ys.(slot) :: !acc
+  done;
+  !acc
+
+let freeze t =
+  let rec conv node =
+    let base = t.child.(node) in
+    if base < 0 then Pr_quadtree.Raw.Leaf (leaf_points t node)
+    else
+      Pr_quadtree.Raw.Node
+        (Array.init 4 (fun q -> conv (base + quad_pair.(q))))
+  in
+  Pr_quadtree.Raw.make ~capacity:t.capacity ~max_depth:t.max_depth
+    ~bounds:t.bounds ~size:t.size ~root:(conv 0)
+
+let thaw tree =
+  let capacity = Pr_quadtree.capacity tree in
+  let n = Pr_quadtree.size tree in
+  let t =
+    create ~max_depth:(Pr_quadtree.max_depth tree)
+      ~bounds:(Pr_quadtree.bounds tree) ~reserve:n ~capacity ()
+  in
+  t.leaves <- 0;
+  t.hist.(0) <- 0;
+  let slot = ref 0 in
+  let rec conv node raw depth =
+    match (raw : Pr_quadtree.Raw.raw_node) with
+    | Leaf pts ->
+      (* Chain so traversal follows the stored list order. *)
+      let count = ref 0 in
+      let last = ref (-1) in
+      List.iter
+        (fun (p : Point.t) ->
+          let s = !slot in
+          incr slot;
+          t.xs.(s) <- p.Point.x;
+          t.ys.(s) <- p.Point.y;
+          t.codes.(s) <- point_code t p.Point.x p.Point.y;
+          t.next.(s) <- -1;
+          if !last < 0 then t.head.(node) <- s else t.next.(!last) <- s;
+          last := s;
+          incr count)
+        pts;
+      t.count.(node) <- !count;
+      note_leaf t depth !count
+    | Node children ->
+      t.internals <- t.internals + 1;
+      let base = alloc_children t in
+      t.child.(node) <- base;
+      Array.iteri
+        (fun q c -> conv (base + quad_pair.(q)) c (depth + 1))
+        children
+  in
+  conv 0 (Pr_quadtree.Raw.root tree) 0;
+  t.size <- !slot;
+  t
+
+let check_invariants t =
+  let problems = ref (Pr_quadtree.check_invariants (freeze t)) in
+  let report fmt =
+    Format.kasprintf (fun s -> problems := !problems @ [ s ]) fmt
+  in
+  let leaves = ref 0
+  and internals = ref 0
+  and deepest = ref 0
+  and stored = ref 0 in
+  let hist = Array.make (t.capacity + 1) 0 in
+  let rec go node ~depth ~box =
+    let base = t.child.(node) in
+    if base < 0 then begin
+      incr leaves;
+      if depth > !deepest then deepest := depth;
+      let c = t.count.(node) in
+      let bucket = if c < t.capacity then c else t.capacity in
+      hist.(bucket) <- hist.(bucket) + 1;
+      let chain = ref 0 in
+      let slot = ref t.head.(node) in
+      while !slot >= 0 do
+        let s = !slot in
+        incr chain;
+        incr stored;
+        let p = Point.make t.xs.(s) t.ys.(s) in
+        if not (Box.contains box p) then
+          report "slot %d outside its leaf cell" s;
+        if t.unit_bounds && t.codes.(s) <> Morton.encode p then
+          report "slot %d code diverges from its coordinates" s;
+        slot := t.next.(s)
+      done;
+      if !chain <> c then
+        report "leaf count field %d but %d slots chained" c !chain
+    end
+    else begin
+      incr internals;
+      for q = 0 to 3 do
+        go
+          (base + quad_pair.(q))
+          ~depth:(depth + 1)
+          ~box:(Box.child box (Quadrant.of_index q))
+      done
+    end
+  in
+  go 0 ~depth:0 ~box:t.bounds;
+  if !leaves <> t.leaves then
+    report "leaf counter %d but %d leaves present" t.leaves !leaves;
+  if !internals <> t.internals then
+    report "internal counter %d but %d internal nodes present" t.internals
+      !internals;
+  if !deepest <> t.height then
+    report "height field %d but deepest leaf at %d" t.height !deepest;
+  if !stored <> t.size then
+    report "size field %d but %d slots chained" t.size !stored;
+  if hist <> t.hist then report "incremental histogram diverges from a recount";
+  !problems

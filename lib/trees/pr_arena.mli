@@ -1,0 +1,152 @@
+open Import
+
+(** The arena-backed PR quadtree core: the same canonical PR
+    decomposition as {!Pr_quadtree} and {!Pr_builder}, stored as a
+    structure of arrays instead of a boxed node graph.
+
+    Nodes are int indices into flat growable arrays — a child-base table
+    ([-1] marks a leaf; a non-negative entry is the index of the first
+    of four consecutive children), a per-leaf occupancy count, and a
+    per-leaf head into an intrusive slot chain. Points live as Morton
+    codes plus parallel [float array] coordinates; each point occupies
+    one slot and leaves thread their slots through a [next] array. There
+    is no per-node boxing and no cons cell anywhere on the build path:
+
+    - {b allocation-free inserts}: over the unit square (the default
+      bounds) an insert is an integer walk down the child-base table
+      driven by the point's Morton code — two bits per level — followed
+      by three int-array writes. Splits redistribute an intrusive chain
+      and bump-allocate four node indices. Nothing touches the minor
+      heap except doubling a backing array ([make check] asserts the
+      zero-minor-words claim via [Gc.minor_words]).
+    - {b two build paths}: {!of_points} grows incrementally with the
+      same O(1) statistics contract as {!Pr_builder} (size / leaves /
+      internals / height / occupancy histogram maintained per insert,
+      so per-step snapshots are free), and {!of_points_bulk} sorts the
+      Morton codes once and emits the finished tree in a single pass —
+      leaves left-to-right in Z-order, parents linked as the recursion
+      returns, child ranges found by binary search on the sorted codes.
+    - {b exactness}: over the unit square the Morton bit at level [d]
+      equals the float comparison [x >= midpoint] — cell boundaries at
+      depth <= {!Popan_geom.Morton.bits} are dyadic rationals, exactly
+      representable, and [floor (x *. 2^21)] is computed without
+      rounding — so both build paths produce bit-for-bit the
+      decomposition {!Pr_builder} and {!Pr_quadtree.of_points} produce.
+      Custom bounds and levels below the Morton resolution descend by
+      the same float-midpoint arithmetic as {!Popan_geom.Box.step},
+      preserving the equivalence there too (those paths may box
+      intermediate floats).
+
+    {!freeze} converts a build into a persistent {!Pr_quadtree.t} and
+    {!thaw} goes the other way, so snapshots, checkpoints and golden
+    tables are unchanged by the representation. {!Pr_builder} remains
+    the reference implementation; the test suite keeps the two
+    qcheck-equal. *)
+
+type t
+
+(** [create ?max_depth ?bounds ?reserve ~capacity ()] is an empty arena
+    over [bounds] (default the unit square) with leaf capacity
+    [capacity] (>= 1) and depth limit [max_depth] (default 16; >= 0).
+    [reserve] (default 0) pre-sizes the point arrays so the first
+    [reserve] inserts never grow a backing array. Raises
+    [Invalid_argument] on a nonpositive capacity or negative max_depth
+    or reserve. *)
+val create :
+  ?max_depth:int -> ?bounds:Box.t -> ?reserve:int -> capacity:int -> unit -> t
+
+(** [capacity t] is the leaf capacity. *)
+val capacity : t -> int
+
+(** [max_depth t] is the depth limit. *)
+val max_depth : t -> int
+
+(** [bounds t] is the root block. *)
+val bounds : t -> Box.t
+
+(** [size t] is the number of stored points. O(1). *)
+val size : t -> int
+
+(** [is_empty t] is [size t = 0]. *)
+val is_empty : t -> bool
+
+(** [insert t p] adds [p], destructively. Duplicate points are stored
+    again (multiset semantics). Raises [Invalid_argument] when [p] is
+    outside the bounds. Allocation-free over the unit square except
+    when a backing array doubles. *)
+val insert : t -> Point.t -> unit
+
+(** [insert_all t ps] inserts every point of [ps] in order. *)
+val insert_all : t -> Point.t list -> unit
+
+(** [of_points ?max_depth ?bounds ~capacity ps] builds by successive
+    destructive insertion — the same growth history (and the same
+    decomposition) as {!Pr_quadtree.of_points}. *)
+val of_points :
+  ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
+
+(** [of_points_bulk ?max_depth ?bounds ~capacity ps] bulk-loads: encode
+    every point's Morton code, sort once, then emit the tree bottom-up
+    in a single linear pass over the sorted codes. The PR decomposition
+    is canonical, so the result equals {!of_points} on the same points;
+    insertion history is not replayed, which makes this the fast path
+    for build-then-measure experiments. Custom bounds (or cells below
+    the Morton resolution) fall back to an in-place float-midpoint
+    partition with the same split rule. *)
+val of_points_bulk :
+  ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
+
+(** [leaf_count t] is the number of leaf blocks, counting empty ones.
+    O(1). *)
+val leaf_count : t -> int
+
+(** [internal_count t] is the number of internal (gray) nodes. O(1). *)
+val internal_count : t -> int
+
+(** [height t] is the depth of the deepest leaf (0 for a single-leaf
+    tree). O(1). *)
+val height : t -> int
+
+(** [occupancy_histogram t] counts leaves by occupancy; index [i] is the
+    number of leaves holding exactly [i] points, over-capacity leaves at
+    the depth limit clamped into the last cell — exactly
+    {!Pr_quadtree.occupancy_histogram}, but O(capacity). *)
+val occupancy_histogram : t -> int array
+
+(** [average_occupancy t] is [size t / leaf_count t]. O(1). *)
+val average_occupancy : t -> float
+
+(** [fold_leaves t ~init ~f] folds [f] over every leaf with its depth,
+    block, stored points and their count. Leaves are visited in the
+    same child order as {!Pr_builder.fold_leaves} (NW, NE, SW, SE).
+    The point lists are materialized per leaf; this is an analysis
+    path, not a build path. *)
+val fold_leaves :
+  t -> init:'a ->
+  f:('a -> depth:int -> box:Box.t -> points:Point.t list -> count:int -> 'a)
+  -> 'a
+
+(** [iter_points t ~f] applies [f] to every stored point. *)
+val iter_points : t -> f:(Point.t -> unit) -> unit
+
+(** [points t] lists all stored points (in no specified order). *)
+val points : t -> Point.t list
+
+(** [freeze t] is the persistent tree with exactly [t]'s decomposition
+    and contents: [equal_structure (freeze t) (Pr_quadtree.of_points
+    ... same points ...)] always holds. O(nodes + points); the result
+    shares nothing with the arena, so it stays valid however [t] grows
+    afterwards. *)
+val freeze : t -> Pr_quadtree.t
+
+(** [thaw tree] is an arena resuming from a persistent tree's state,
+    with all incremental statistics recomputed in one traversal. The
+    input tree is not affected by subsequent inserts. *)
+val thaw : Pr_quadtree.t -> t
+
+(** [check_invariants t] verifies the PR invariants of the frozen view
+    plus the arena's own bookkeeping (chain lengths vs counts, counters
+    and histogram vs a recount, every point's Morton code vs its
+    coordinates, every point inside its leaf cell) and returns the
+    violations found (empty when healthy). *)
+val check_invariants : t -> string list

@@ -1,0 +1,109 @@
+(* Allocation regression guard for the arena's insert path.
+
+   The claim under test: a no-split [Pr_arena.insert] into a
+   pre-reserved arena over the unit square touches nothing but int and
+   float arrays — zero minor-heap words per insert. The measurement is
+   [Gc.minor_words] around a large insert loop; a small constant slack
+   absorbs the boxing done by the measurement reads themselves, so any
+   per-insert allocation (>= 2 words each across thousands of inserts)
+   fails loudly while the harness noise does not.
+
+   Only native code makes the claim — bytecode boxes floats at every
+   turn — so the assertions are gated on [Sys.backend_type]. *)
+
+module Point = Popan_geom.Point
+module Pr_arena = Popan_trees.Pr_arena
+module Pr_builder = Popan_trees.Pr_builder
+module Xoshiro = Popan_rng.Xoshiro
+module Sampler = Popan_rng.Sampler
+
+let inserts = 10_000
+
+(* Slack for the two [Gc.minor_words] float boxes and alcotest's own
+   bookkeeping between the reads: far below one word per insert. *)
+let slack = 256.0
+
+let points () =
+  Array.of_list
+    (Sampler.points (Xoshiro.of_int_seed 77) Sampler.Uniform inserts)
+
+let native = match Sys.backend_type with Sys.Native -> true | _ -> false
+
+let measure f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let tests =
+  [
+    Alcotest.test_case "no-split arena insert allocates zero minor words"
+      `Quick (fun () ->
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let pts = points () in
+          (* capacity >= inserts: the root leaf absorbs everything, so
+             no split runs; reserve: the point arrays never double. *)
+          let t =
+            Pr_arena.create ~capacity:inserts ~reserve:inserts ()
+          in
+          (* Warm up: first insert of each shape triggers any lazy
+             initialization exactly once. *)
+          Pr_arena.insert t pts.(0);
+          let words =
+            measure (fun () ->
+                for i = 1 to inserts - 1 do
+                  Pr_arena.insert t pts.(i)
+                done)
+          in
+          Alcotest.check Alcotest.int "all stored" inserts (Pr_arena.size t);
+          if words > slack then
+            Alcotest.failf
+              "insert loop allocated %.0f minor words over %d inserts \
+               (%.2f words/insert); the arena hot path must not allocate"
+              words (inserts - 1)
+              (words /. float_of_int (inserts - 1))
+        end);
+    Alcotest.test_case "positive control: Pr_builder inserts do allocate"
+      `Quick (fun () ->
+        (* If the measurement harness ever stops seeing allocation, the
+           zero-alloc assertion above becomes vacuous — the cons-cell
+           reference implementation proves the meter still works. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let pts = points () in
+          let b = Pr_builder.create ~capacity:inserts () in
+          Pr_builder.insert b pts.(0);
+          let words =
+            measure (fun () ->
+                for i = 1 to inserts - 1 do
+                  Pr_builder.insert b pts.(i)
+                done)
+          in
+          if words < float_of_int inserts then
+            Alcotest.failf
+              "expected the boxed builder to allocate (got %.0f words); \
+               the allocation meter is broken"
+              words
+        end);
+    Alcotest.test_case "splits and growth stay amortized-modest" `Quick
+      (fun () ->
+        (* Not zero — splits bump-allocate node quads and growth doubles
+           arrays — but a full 10k-point build must stay far below the
+           boxed builder's per-point cons traffic. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let pts = points () in
+          let t = Pr_arena.create ~capacity:8 ~reserve:inserts () in
+          Pr_arena.insert t pts.(0);
+          let words =
+            measure (fun () ->
+                for i = 1 to inserts - 1 do
+                  Pr_arena.insert t pts.(i)
+                done)
+          in
+          Alcotest.check Alcotest.bool "bounded" true
+            (words /. float_of_int inserts < 4.0)
+        end);
+  ]
+
+let () = Alcotest.run "popan_alloc" [ ("arena", tests) ]

@@ -277,6 +277,45 @@ let morton_tests =
     prop "interleave/deinterleave roundtrip"
       QCheck2.Gen.(pair (int_bound 0x1FFFFF) (int_bound 0x1FFFFF))
       (fun (x, y) -> Morton.deinterleave (Morton.interleave x y) = (x, y));
+    Alcotest.test_case "unit-square boundary points" `Quick (fun () ->
+        (* The square is half-open: 0.0 is the first cell, 1.0 is out. *)
+        check_int "origin" 0 (Morton.encode Point.origin);
+        let max_ordinate = (1 lsl Morton.bits) - 1 in
+        check_int "almost one" (Morton.interleave max_ordinate max_ordinate)
+          (Morton.encode
+             (Point.make (1.0 -. epsilon_float) (1.0 -. epsilon_float)));
+        let out = Invalid_argument "Morton.encode: point outside unit square" in
+        Alcotest.check_raises "x = 1" out (fun () ->
+            ignore (Morton.encode (Point.make 1.0 0.5)));
+        Alcotest.check_raises "y = 1" out (fun () ->
+            ignore (Morton.encode (Point.make 0.5 1.0)));
+        Alcotest.check_raises "negative" out (fun () ->
+            ignore (Morton.encode (Point.make (-0.1) 0.5))));
+    Alcotest.test_case "quantize is exact floor" `Quick (fun () ->
+        (* x *. 2^21 multiplies by a power of two — no rounding — so
+           quantize is floor(x * 2^21) exactly, even at cell edges. *)
+        check_int "edge" (1 lsl (Morton.bits - 1)) (Morton.quantize 0.5);
+        check_int "just below" ((1 lsl (Morton.bits - 1)) - 1)
+          (Morton.quantize (0.5 -. epsilon_float));
+        check_int "dyadic" (3 lsl (Morton.bits - 2)) (Morton.quantize 0.75));
+    Alcotest.test_case "prefix at depth 0 and 2*bits" `Quick (fun () ->
+        let code = Morton.encode (Point.make 0.637 0.289) in
+        check_int "depth 0 forgets everything" 0 (Morton.prefix ~depth:0 code);
+        check_int "full depth is the code" code
+          (Morton.prefix ~depth:(2 * Morton.bits) code);
+        Alcotest.check_raises "negative depth"
+          (Invalid_argument "Morton.prefix: depth out of range") (fun () ->
+            ignore (Morton.prefix ~depth:(-1) code)));
+    prop "decode is the containing cell's corner" unit_point (fun p ->
+        (* encode then decode lands on the lower-left corner of the
+           quantized cell holding p: corner <= p < corner + side. *)
+        let side = 1.0 /. float_of_int (1 lsl Morton.bits) in
+        let q = Morton.decode (Morton.encode p) in
+        q.Point.x <= p.Point.x
+        && p.Point.x < q.Point.x +. side
+        && q.Point.y <= p.Point.y
+        && p.Point.y < q.Point.y +. side
+        && Morton.encode q = Morton.encode p);
     prop "prefix order equals quadrant descent" unit_point (fun p ->
         (* The depth-2k prefix of a point equals the index obtained by
            descending k quadtree levels geometrically. *)

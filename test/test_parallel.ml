@@ -15,6 +15,8 @@ module Distribution = Popan_core.Distribution
 module Mc_transform = Popan_core.Mc_transform
 module Transform = Popan_core.Transform
 module Pr_builder = Popan_trees.Pr_builder
+module Pr_arena = Popan_trees.Pr_arena
+module Pr_quadtree = Popan_trees.Pr_quadtree
 module Sampler = Popan_rng.Sampler
 module Xoshiro = Popan_rng.Xoshiro
 module Stats = Popan_numerics.Stats
@@ -266,6 +268,43 @@ let determinism_tests =
                     (Xoshiro.of_int_seed seed)
                     (Mc_transform.pr_point_model ~capacity)))
              job_counts));
+    prop "arena freeze = builder freeze = of_points, at jobs 1/2/4"
+      QCheck2.Gen.(
+        quad (int_range 0 10_000) (int_range 1 6) (int_range 2 16)
+          (int_range 1 8))
+      (fun (seed, capacity, max_depth, trials) ->
+        (* The three implementations of the canonical PR decomposition
+           must coincide structurally on every trial's point set, and
+           the frozen trees coming back through the pool must be
+           (=)-identical whichever domain built them. *)
+        let w = Workload.make ~points:200 ~trials ~seed () in
+        let per_jobs =
+          List.map
+            (fun jobs ->
+              Workload.map_trials ~jobs w ~f:(fun _ pts ->
+                  let reference =
+                    Pr_quadtree.of_points ~capacity ~max_depth pts
+                  in
+                  let via_arena =
+                    Pr_arena.freeze
+                      (Pr_arena.of_points ~capacity ~max_depth pts)
+                  in
+                  let via_bulk =
+                    Pr_arena.freeze
+                      (Pr_arena.of_points_bulk ~capacity ~max_depth pts)
+                  in
+                  let via_builder =
+                    Pr_builder.freeze
+                      (Pr_builder.of_points ~capacity ~max_depth pts)
+                  in
+                  ( Pr_quadtree.equal_structure via_arena reference
+                    && Pr_quadtree.equal_structure via_bulk reference
+                    && Pr_quadtree.equal_structure via_builder reference,
+                    via_bulk )))
+            job_counts
+        in
+        all_equal per_jobs
+        && List.for_all (fun (ok, _) -> ok) (List.hd per_jobs));
     prop "map_trials: jobs 1/2/4 identical; streaming = indexed = eager"
       QCheck2.Gen.(triple (int_range 0 10_000) (int_range 1 5) bool)
       (fun (seed, trials, gaussian) ->

@@ -467,6 +467,220 @@ let pr_builder_tests =
           (Pr_quadtree.size frozen = 5));
   ]
 
+(* Arena-backed builder *)
+
+let pr_arena_tests =
+  [
+    Alcotest.test_case "empty arena statistics" `Quick (fun () ->
+        let a = Pr_arena.create ~capacity:3 () in
+        check_int "size" 0 (Pr_arena.size a);
+        check_int "leaves" 1 (Pr_arena.leaf_count a);
+        check_int "internals" 0 (Pr_arena.internal_count a);
+        check_int "height" 0 (Pr_arena.height a);
+        check_bool "empty" true (Pr_arena.is_empty a);
+        Alcotest.(check (array int)) "hist" [| 1; 0; 0; 0 |]
+          (Pr_arena.occupancy_histogram a));
+    Alcotest.test_case "create validates" `Quick (fun () ->
+        Alcotest.check_raises "cap"
+          (Invalid_argument "Pr_arena.create: capacity < 1") (fun () ->
+            ignore (Pr_arena.create ~capacity:0 ()));
+        Alcotest.check_raises "reserve"
+          (Invalid_argument "Pr_arena.create: reserve < 0") (fun () ->
+            ignore (Pr_arena.create ~capacity:1 ~reserve:(-1) ())));
+    Alcotest.test_case "insert outside bounds rejected" `Quick (fun () ->
+        let a = Pr_arena.create ~capacity:1 () in
+        Alcotest.check_raises "out"
+          (Invalid_argument "Pr_arena.insert: point outside bounds")
+          (fun () -> Pr_arena.insert a (Point.make 1.5 0.5)));
+    Alcotest.test_case "freeze of empty equals empty tree" `Quick (fun () ->
+        let a = Pr_arena.create ~capacity:2 () in
+        check_bool "equal" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.create ~capacity:2 ())));
+    Alcotest.test_case "max_depth truncates and clamps histogram" `Quick
+      (fun () ->
+        let p = Point.make 0.3 0.3 in
+        let a = Pr_arena.of_points ~capacity:1 ~max_depth:5 [ p; p; p ] in
+        check_int "size" 3 (Pr_arena.size a);
+        check_bool "height capped" true (Pr_arena.height a <= 5);
+        let hist = Pr_arena.occupancy_histogram a in
+        check_int "clamped cell" 1 hist.(1);
+        no_violations "inv" (Pr_arena.check_invariants a));
+    Alcotest.test_case "frozen snapshot survives further growth" `Quick
+      (fun () ->
+        (* freeze copies out of the arrays, so later inserts (which may
+           grow and replace the very arrays) cannot disturb it. *)
+        let pts = uniform_points 130 200 in
+        let first, rest =
+          ( List.filteri (fun i _ -> i < 100) pts,
+            List.filteri (fun i _ -> i >= 100) pts )
+        in
+        let a = Pr_arena.of_points ~capacity:2 first in
+        let snapshot = Pr_quadtree.of_points ~capacity:2 first in
+        let frozen = Pr_arena.freeze a in
+        Pr_arena.insert_all a rest;
+        check_bool "snapshot intact" true
+          (Pr_quadtree.equal_structure frozen snapshot);
+        check_bool "arena moved on" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.of_points ~capacity:2 pts)));
+    Alcotest.test_case "thaw resumes a persistent build" `Quick (fun () ->
+        let pts = uniform_points 131 150 in
+        let first, rest =
+          ( List.filteri (fun i _ -> i < 75) pts,
+            List.filteri (fun i _ -> i >= 75) pts )
+        in
+        let a = Pr_arena.thaw (Pr_quadtree.of_points ~capacity:3 first) in
+        Pr_arena.insert_all a rest;
+        check_bool "same tree" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.of_points ~capacity:3 pts)));
+    Alcotest.test_case "fold_leaves counts are free and correct" `Quick
+      (fun () ->
+        let a = Pr_arena.of_points ~capacity:4 (uniform_points 132 300) in
+        Pr_arena.fold_leaves a ~init:()
+          ~f:(fun () ~depth:_ ~box ~points ~count ->
+            check_int "count" (List.length points) count;
+            List.iter
+              (fun p ->
+                if not (Box.contains box p) then
+                  Alcotest.fail "point outside its leaf block")
+              points));
+    Alcotest.test_case "fold_leaves visits leaves like Pr_builder" `Quick
+      (fun () ->
+        (* Same traversal order (NW, NE, SW, SE), depths, boxes and
+           counts — Depth_profile depends on the leaf sequence. *)
+        let pts = uniform_points 133 400 in
+        let visit fold =
+          List.rev
+            (fold ~init:[] ~f:(fun acc ~depth ~box ~points:_ ~count ->
+                 (depth, box, count) :: acc))
+        in
+        let via_arena = visit (Pr_arena.fold_leaves (Pr_arena.of_points ~capacity:3 pts)) in
+        let via_builder =
+          visit (Pr_builder.fold_leaves (Pr_builder.of_points ~capacity:3 pts))
+        in
+        check_bool "same leaf sequence" true (via_arena = via_builder));
+    prop "freeze equals of_points for any point set and capacity"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 250 in
+        let a = Pr_arena.of_points ~capacity pts in
+        let frozen = Pr_arena.freeze a in
+        Pr_quadtree.equal_structure frozen (Pr_quadtree.of_points ~capacity pts)
+        && Pr_quadtree.check_invariants frozen = []);
+    prop "bulk build equals incremental build (and Pr_builder)"
+      QCheck2.Gen.(triple (int_range 0 10_000) (int_range 1 6) (int_range 2 12))
+      (fun (seed, capacity, max_depth) ->
+        let pts = uniform_points seed 250 in
+        let bulk = Pr_arena.of_points_bulk ~capacity ~max_depth pts in
+        let inc = Pr_arena.of_points ~capacity ~max_depth pts in
+        let reference = Pr_builder.of_points ~capacity ~max_depth pts in
+        Pr_quadtree.equal_structure (Pr_arena.freeze bulk)
+          (Pr_arena.freeze inc)
+        && Pr_quadtree.equal_structure (Pr_arena.freeze bulk)
+             (Pr_builder.freeze reference)
+        && Pr_arena.leaf_count bulk = Pr_arena.leaf_count inc
+        && Pr_arena.internal_count bulk = Pr_arena.internal_count inc
+        && Pr_arena.height bulk = Pr_arena.height inc
+        && Pr_arena.occupancy_histogram bulk
+           = Pr_arena.occupancy_histogram inc
+        && Pr_arena.check_invariants bulk = []);
+    prop "custom bounds follow the float descent exactly"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 5))
+      (fun (seed, capacity) ->
+        (* Non-unit bounds leave the Morton fast path; both arena build
+           paths must still match the reference decomposition. *)
+        let bounds = Box.make ~xmin:(-3.0) ~ymin:2.0 ~xmax:11.0 ~ymax:9.5 in
+        let pts =
+          List.map
+            (fun (p : Point.t) ->
+              Point.make ((p.Point.x *. 14.0) -. 3.0) ((p.Point.y *. 7.5) +. 2.0))
+            (uniform_points seed 200)
+        in
+        let pts = List.filter (Box.contains bounds) pts in
+        let reference = Pr_builder.of_points ~bounds ~capacity pts in
+        let inc = Pr_arena.of_points ~bounds ~capacity pts in
+        let bulk = Pr_arena.of_points_bulk ~bounds ~capacity pts in
+        Pr_quadtree.equal_structure (Pr_arena.freeze inc)
+          (Pr_builder.freeze reference)
+        && Pr_quadtree.equal_structure (Pr_arena.freeze bulk)
+             (Pr_builder.freeze reference)
+        && Pr_arena.check_invariants inc = []
+        && Pr_arena.check_invariants bulk = []);
+    prop "incremental statistics match the frozen tree's recomputation"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 8))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 300 in
+        let a = Pr_arena.of_points ~capacity pts in
+        let frozen = Pr_arena.freeze a in
+        Pr_arena.size a = Pr_quadtree.size frozen
+        && Pr_arena.leaf_count a = Pr_quadtree.leaf_count frozen
+        && Pr_arena.internal_count a = Pr_quadtree.internal_count frozen
+        && Pr_arena.height a = Pr_quadtree.height frozen
+        && Pr_arena.occupancy_histogram a
+           = Pr_quadtree.occupancy_histogram frozen
+        && Pr_arena.average_occupancy a = Pr_quadtree.average_occupancy frozen
+        && Pr_arena.check_invariants a = []);
+    prop "thaw then freeze is the identity"
+      QCheck2.Gen.(pair (int_range 0 5000) (int_range 1 5))
+      (fun (seed, capacity) ->
+        let t = Pr_quadtree.of_points ~capacity (uniform_points seed 150) in
+        let a = Pr_arena.thaw t in
+        Pr_quadtree.equal_structure t (Pr_arena.freeze a)
+        && Pr_arena.leaf_count a = Pr_quadtree.leaf_count t
+        && Pr_arena.height a = Pr_quadtree.height t
+        && Pr_arena.check_invariants a = []);
+    Alcotest.test_case "freeze/thaw at max_depth saturation, duplicates"
+      `Quick (fun () ->
+        let p = Point.make 0.3 0.3 in
+        let dups = [ p; p; p; p; p ] in
+        let a = Pr_arena.of_points ~capacity:1 ~max_depth:3 dups in
+        check_int "height capped" 3 (Pr_arena.height a);
+        check_int "size" 5 (Pr_arena.size a);
+        no_violations "arena inv" (Pr_arena.check_invariants a);
+        let hist = Pr_arena.occupancy_histogram a in
+        check_int "clamped cell" 1 (hist.(Array.length hist - 1));
+        let frozen = Pr_arena.freeze a in
+        check_bool "matches persistent build" true
+          (Pr_quadtree.equal_structure frozen
+             (Pr_quadtree.of_points ~capacity:1 ~max_depth:3 dups));
+        check_bool "bulk agrees on the saturated shape" true
+          (Pr_quadtree.equal_structure frozen
+             (Pr_arena.freeze
+                (Pr_arena.of_points_bulk ~capacity:1 ~max_depth:3 dups)));
+        let a' = Pr_arena.thaw frozen in
+        Pr_arena.insert_all a' [ p; p ];
+        check_int "still capped" 3 (Pr_arena.height a');
+        check_int "grown size" 7 (Pr_arena.size a');
+        no_violations "thawed inv" (Pr_arena.check_invariants a');
+        check_bool "frozen snapshot unaffected" true
+          (Pr_quadtree.size frozen = 5));
+    Alcotest.test_case "depth limit beyond the Morton resolution" `Quick
+      (fun () ->
+        (* max_depth > Morton.bits exercises the float continuation
+           below the last code bit: near-coincident points separated
+           only at depth > 21 must still match the reference. *)
+        let base = Point.make 0.123456789 0.987654321 in
+        let eps = ldexp 1.0 (-24) in
+        let pts =
+          [ base; Point.make (base.Point.x +. eps) (base.Point.y +. eps);
+            base; Point.make 0.7 0.2 ]
+        in
+        let reference = Pr_builder.of_points ~capacity:1 ~max_depth:30 pts in
+        let inc = Pr_arena.of_points ~capacity:1 ~max_depth:30 pts in
+        let bulk = Pr_arena.of_points_bulk ~capacity:1 ~max_depth:30 pts in
+        check_bool "incremental matches" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze inc)
+             (Pr_builder.freeze reference));
+        check_bool "bulk matches" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze bulk)
+             (Pr_builder.freeze reference));
+        check_bool "went below the code bits" true (Pr_arena.height inc > 21);
+        no_violations "inv inc" (Pr_arena.check_invariants inc);
+        no_violations "inv bulk" (Pr_arena.check_invariants bulk));
+  ]
+
 (* Bintree *)
 
 let bintree_tests =
@@ -1455,6 +1669,7 @@ let () =
     [
       ("pr_quadtree", pr_tests);
       ("pr_builder", pr_builder_tests);
+      ("pr_arena", pr_arena_tests);
       ("bintree", bintree_tests);
       ("md_tree", md_tests);
       ("point_quadtree", point_quadtree_tests);
