@@ -19,6 +19,10 @@ test:
 # table bytes untouched and emit trace + metrics JSON that `popan obs
 # validate` accepts. The allocation gate re-runs the arena regression
 # explicitly: a no-split arena insert must allocate zero minor words.
+# Finally the bulk smoke: a 2^22-point bulk build must complete on the
+# sort path with no fallback, and the arenas built at jobs 1 and 4 must
+# be byte-identical to the sequential one (compared on encoded frozen
+# trees).
 check: build test
 	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
 	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
@@ -64,13 +68,15 @@ check: build test
 	  echo "obs smoke FAILED: emitted trace/metrics JSON did not validate"; \
 	  rm -rf $$tmp; exit 1; \
 	fi
+	@dune exec --no-build test/bulk_smoke.exe || \
+	  { echo "bulk smoke FAILED: see diagnosis above"; exit 1; }
 
 bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

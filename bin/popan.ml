@@ -9,6 +9,7 @@ module Distribution = Popan_core.Distribution
 module Fixed_point = Popan_core.Fixed_point
 module Population = Popan_core.Population
 module Store = Popan_store.Artifact_store
+module Pr_arena = Popan_trees.Pr_arena
 module Metrics = Popan_obs.Metrics
 module Trace = Popan_obs.Trace
 module Probe = Popan_obs.Probe
@@ -311,6 +312,183 @@ let fig3_cmd =
           $ capacity_term ~default:8 $ csv_term)
   in
   Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (ASCII).") term
+
+(* popan sweep: the occupancy sweep on a free size grid, built for
+   large n. Sizes accept scientific notation, and before any tree is
+   built the command prints the estimated peak arena footprint of the
+   largest build and refuses (without --mmap or --force) when it
+   exceeds the machine's available memory. *)
+
+let size_conv =
+  (* "1048576", "1e6", "2.5e7" — any spelling of a positive whole
+     number. Whole-number sizes up to 2^53 round-trip through the float
+     parse exactly, far beyond any feasible build. *)
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "%s: expected a positive whole number of points (42, 1e6, 2.5e7)"
+             s))
+    in
+    match int_of_string_opt s with
+    | Some n -> if n > 0 then Ok n else fail ()
+    | None -> (
+      match float_of_string_opt s with
+      | Some f
+        when Float.is_finite f && Float.is_integer f && f >= 1.0
+             && f <= 9.007199254740992e15 ->
+        Ok (int_of_float f)
+      | _ -> fail ())
+  in
+  Arg.conv ~docv:"N" (parse, fun ppf n -> Format.fprintf ppf "%d" n)
+
+let mem_available_bytes () =
+  (* MemAvailable is the kernel's own estimate of allocatable memory
+     (free + reclaimable cache); absent on non-Linux systems, in which
+     case the check is skipped rather than guessed. *)
+  match open_in "/proc/meminfo" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+            match String.split_on_char ':' line with
+            | "MemAvailable" :: rest :: _ -> (
+              match
+                String.split_on_char ' ' (String.trim rest)
+                |> List.filter (fun s -> s <> "")
+              with
+              | kb :: _ -> Option.map (fun k -> k * 1024) (int_of_string_opt kb)
+              | [] -> None)
+            | _ -> scan ())
+        in
+        scan ())
+
+let human_bytes b =
+  let f = float_of_int b in
+  if f >= 1073741824.0 then Printf.sprintf "%.1f GiB" (f /. 1073741824.0)
+  else if f >= 1048576.0 then Printf.sprintf "%.1f MiB" (f /. 1048576.0)
+  else Printf.sprintf "%d B" b
+
+let sweep_cmd =
+  let run () sizes model_name trials seed capacity build_jobs mmap force csv =
+    let model =
+      match String.lowercase_ascii model_name with
+      | "uniform" -> Popan_rng.Sampler.Uniform
+      | "gaussian" -> Popan_rng.Sampler.Gaussian { sigma = gaussian_sigma }
+      | other ->
+        failwith (Printf.sprintf "unknown model %S (uniform | gaussian)" other)
+    in
+    let sizes = match sizes with [] -> None | l -> Some l in
+    let largest =
+      List.fold_left max 1
+        (match sizes with Some l -> l | None -> Paper_data.sweep_points)
+    in
+    let backing =
+      if not mmap then None
+      else
+        match Store.default () with
+        | Some s ->
+          Some (Pr_arena.Mmap { dir = Store.segments_dir s ~name:"sweep" })
+        | None ->
+          failwith
+            "--mmap places segment files under the artifact cache; set \
+             --cache DIR (or POPAN_CACHE)"
+    in
+    (* The go / no-go memory check, before any tree is built. *)
+    let footprint = Pr_arena.bulk_footprint ~capacity ~n:largest in
+    Printf.printf "largest build: n = %d, estimated peak arena footprint %s%s\n"
+      largest (human_bytes footprint)
+      (if mmap then " (mmap-backed: pages through the file cache)" else "");
+    (match mem_available_bytes () with
+    | None ->
+      Printf.printf "available memory: unknown (no /proc/meminfo), proceeding\n"
+    | Some avail ->
+      Printf.printf "available memory: %s\n" (human_bytes avail);
+      if (not mmap) && footprint > avail then
+        if force then
+          Printf.printf "footprint exceeds available memory; --force, so on we go\n"
+        else begin
+          Printf.eprintf
+            "popan sweep: estimated footprint %s exceeds available %s\n\
+             rerun with --mmap (build out-of-core under the cache) or --force\n"
+            (human_bytes footprint) (human_bytes avail);
+          exit 1
+        end);
+    let build_jobs =
+      Option.map
+        (fun j -> if j <= 0 then Popan_parallel.recommended_jobs () else j)
+        build_jobs
+    in
+    let rows =
+      Sweep.run ~capacity ?sizes ?build_jobs ?backing ~model ~trials ~seed ()
+    in
+    Printf.printf "%12s  %14s  %10s  %10s\n" "n" "leaves" "occupancy" "stddev";
+    List.iter
+      (fun (r : Sweep.row) ->
+        Printf.printf "%12d  %14.1f  %10.4f  %10.4f\n" r.Sweep.points
+          r.Sweep.nodes r.Sweep.occupancy r.Sweep.occupancy_stddev)
+      rows;
+    Option.iter (fun path -> write_csv path rows) csv
+  in
+  let sizes_term =
+    let doc =
+      "Comma-separated sample sizes. Scientific notation is accepted \
+       ($(b,1e6), $(b,2.5e7)) as long as the value is a positive whole \
+       number. Default: the paper's 64..4096 grid."
+    in
+    Arg.(value & opt (list size_conv) [] & info [ "sizes" ] ~docv:"N,..." ~doc)
+  in
+  let model_term =
+    let doc = "Point model: uniform | gaussian." in
+    Arg.(value & opt string "uniform" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let trials_term =
+    let doc = "Independent trials per size (large-n runs usually want 1)." in
+    Arg.(value & opt int 1 & info [ "t"; "trials" ] ~docv:"TRIALS" ~doc)
+  in
+  let build_jobs_term =
+    let doc =
+      "Worker domains $(i,inside) each bulk build's radix partition (0 = one \
+       per core) — orthogonal to $(b,-j), which fans out whole trials; use \
+       this one when a single tree dwarfs the trial count. Rows are \
+       byte-identical for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "build-jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let mmap_term =
+    let doc =
+      "Back the arena columns with mmap-ed segment files under the artifact \
+       cache's $(b,segments/) directory (requires $(b,--cache) or \
+       $(b,POPAN_CACHE)), so builds larger than RAM page through the file \
+       cache instead of failing."
+    in
+    Arg.(value & flag & info [ "mmap" ] ~doc)
+  in
+  let force_term =
+    let doc =
+      "Build even when the estimated footprint exceeds available memory."
+    in
+    Arg.(value & flag & info [ "force" ] ~doc)
+  in
+  let term =
+    Term.(const run $ setup_term $ sizes_term $ model_term $ trials_term
+          $ seed_term $ capacity_term ~default:8 $ build_jobs_term $ mmap_term
+          $ force_term $ csv_term)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Occupancy sweep on a free size grid, sized for large n: \
+          scientific-notation sizes, an up-front memory check against the \
+          estimated arena footprint, per-build parallelism and optional \
+          out-of-core (mmap) arenas.")
+    term
 
 let ext_branching_cmd =
   let run () points trials seed capacity =
@@ -1118,7 +1296,7 @@ let main_cmd =
     (Cmd.info "popan" ~version:"1.0.0" ~doc)
     [
       theory_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-      fig2_cmd; fig3_cmd; ext_branching_cmd; ext_pmr_cmd; ext_pmr_sweep_cmd;
+      fig2_cmd; fig3_cmd; sweep_cmd; ext_branching_cmd; ext_pmr_cmd; ext_pmr_sweep_cmd;
       ext_bucketsweep_cmd; ext_exthash_cmd;
       ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
       ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;

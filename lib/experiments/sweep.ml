@@ -25,7 +25,8 @@ let grid ?(steps_per_quadrupling = 4) ~lo ~hi () =
   in
   go [] (float_of_int lo)
 
-let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ?build_jobs ?backing
+    ~model ~trials ~seed () =
   if trials <= 0 then invalid_arg "Sweep.run: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
@@ -60,13 +61,22 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed () =
               (fun () ->
                 (* Build-then-measure: the Morton bulk path — same
                    canonical decomposition, one sort instead of n
-                   descents. *)
+                   descents. Streaming the draws straight into the
+                   arena's columns keeps the large-n sizes list-free;
+                   the generator is consumed in index order, so the
+                   stream (and the memoized row) is byte-identical to
+                   the historical list-building path. *)
+                let rng = rngs.(k) in
                 let tree =
-                  Pr_arena.of_points_bulk ~max_depth ~capacity
-                    (Sampler.points rngs.(k) model points)
+                  Pr_arena.bulk_of_fn ?backing ?jobs:build_jobs ~max_depth
+                    ~capacity ~n:points (fun _ -> Sampler.point rng model)
                 in
-                ( float_of_int (Pr_arena.leaf_count tree),
-                  Pr_arena.average_occupancy tree ))))
+                let row =
+                  ( float_of_int (Pr_arena.leaf_count tree),
+                    Pr_arena.average_occupancy tree )
+                in
+                Pr_arena.release tree;
+                row)))
   in
   List.mapi
     (fun i points ->

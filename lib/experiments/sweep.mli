@@ -31,9 +31,20 @@ val grid : ?steps_per_quadrupling:int -> lo:int -> hi:int -> unit -> int list
     When {!Popan_store.Artifact_store.default} is set, each (size,
     trial) measurement is memoized as a ["trial-occ"] artifact keyed by
     model, tree parameters, seed and stream index, so a warm rerun
-    performs zero tree builds and still emits byte-identical rows. *)
+    performs zero tree builds and still emits byte-identical rows.
+
+    Large-n controls (all invisible to the rows): each trial streams its
+    draws straight into the arena with {!Pr_arena.bulk_of_fn} (no boxed
+    point list is ever built), [build_jobs] runs every {e individual}
+    build's radix partition on the deterministic domain pool (orthogonal
+    to [jobs], which fans out whole trials — use [build_jobs] when one
+    tree dwarfs the trial count), and [backing] places the arena columns
+    (e.g. [Pr_arena.Mmap] for builds larger than RAM). The arena's
+    byte-identical parallel contract means the rows are unchanged by any
+    of them. *)
 val run :
   ?capacity:int -> ?max_depth:int -> ?sizes:int list -> ?jobs:int ->
+  ?build_jobs:int -> ?backing:Pr_arena.backing ->
   model:Sampler.point_model -> trials:int -> seed:int -> unit -> row list
 
 (** [run_incremental ?capacity ?max_depth ?sizes ~model ~trials ~seed ()]

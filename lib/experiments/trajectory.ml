@@ -7,8 +7,8 @@ type row = {
   average_occupancy : float;
 }
 
-let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed ()
-    =
+let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ?build_jobs ~model
+    ~trials ~seed () =
   if trials <= 0 then invalid_arg "Trajectory.run: trials <= 0";
   let sizes =
     match sizes with Some s -> s | None -> Paper_data.sweep_points
@@ -39,9 +39,13 @@ let run ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs ~model ~trials ~seed ()
             Store.memo store ~kind:"trial-hist" ~version:1 ~key
               Codec.int_array
               (fun () ->
+                (* Stream the draws, as in Sweep.run: the generator is
+                   consumed in index order, so the histogram matches
+                   the historical list-building path byte for byte. *)
+                let rng = rngs.(k) in
                 let tree =
-                  Pr_arena.of_points_bulk ~max_depth ~capacity
-                    (Sampler.points rngs.(k) model points)
+                  Pr_arena.bulk_of_fn ?jobs:build_jobs ~max_depth ~capacity
+                    ~n:points (fun _ -> Sampler.point rng model)
                 in
                 Pr_arena.occupancy_histogram tree)))
   in

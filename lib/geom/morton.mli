@@ -34,3 +34,35 @@ val deinterleave : int -> int * int
     point. Raises [Invalid_argument] when [depth] is outside
     [0 .. 2*bits]. *)
 val prefix : depth:int -> int -> int
+
+(** {1 Fine (two-word) codes}
+
+    42 bits per axis — an 84-bit interleaved code, which does not fit an
+    OCaml [int]. It is carried as two words: the {e hi} word is exactly
+    {!encode} (the top [bits] bits of each axis, interleaved), the {e lo}
+    word interleaves the next [bits] bits. Tree levels [0 .. bits-1]
+    are decided by the hi word alone, levels [bits .. 2*bits-1] by the
+    lo word — the arena's bulk sort reloads its key column at the
+    boundary instead of comparing 84-bit keys. *)
+
+(** [bits_fine] is the fine per-coordinate resolution: [2 * bits] = 42. *)
+val bits_fine : int
+
+(** [quantize_fine x] is [floor (x *. 2^bits_fine)] for [x] in [[0, 1)]
+    — exact, the multiply only shifts the exponent. *)
+val quantize_fine : float -> int
+
+(** [encode_fine p] is [(hi, lo)]: [hi = encode p], and [lo] interleaves
+    the low [bits] bits of each [bits_fine]-bit ordinate. Raises
+    [Invalid_argument] when [p] is outside the unit square. *)
+val encode_fine : Point.t -> int * int
+
+(** [decode_fine (hi, lo)] recovers the lower-left corner of the
+    [2^-bits_fine] cell containing the encoded point. *)
+val decode_fine : int * int -> Point.t
+
+(** [cell_corner ~depth (hi, lo)] is the lower-left corner of the
+    depth-[depth] quadtree cell containing the encoded point — a dyadic
+    rational [k/2^depth], exactly representable. Raises
+    [Invalid_argument] when [depth] is outside [0 .. bits_fine]. *)
+val cell_corner : depth:int -> int * int -> Point.t

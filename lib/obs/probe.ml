@@ -89,7 +89,12 @@ let builder_insert () = Metrics.incr builder_inserts
 
 let builder_split ~depth =
   Metrics.incr builder_splits;
-  Metrics.observe builder_split_depth (float_of_int depth)
+  (* Guarded here, not just inside [observe]: [float_of_int depth] boxes
+     at this call site even when the registry ignores the value, and
+     builds split often enough for that box to be the arena bulk path's
+     only O(nodes) minor allocation. *)
+  if Metrics.enabled () then
+    Metrics.observe builder_split_depth (float_of_int depth)
 
 (* Arena builds. The bulk path never calls [builder_insert] per point,
    so it bumps the same stable counter by its point count up front: the
@@ -123,6 +128,79 @@ let arena_build kind ~inserts f =
       Metrics.set_gauge arena_minor_words_per_insert
         ((Gc.minor_words () -. before) /. float_of_int inserts)
   end
+
+(* Parallel bulk sort: one span + timing histogram per phase of the
+   orchestrated build (expand / subtrees / stitch), a per-range span for
+   the fan-out (runs on whatever domain claims it — the per-domain story
+   falls out of the counter shards), and the mapped-bytes gauge for
+   mmap-backed arenas. *)
+
+let arena_sort_phase_seconds =
+  Metrics.histogram ~stable:false "arena.sort.phase.seconds"
+    ~bounds:seconds_bounds
+
+let arena_parallel_builds = Metrics.counter "arena.parallel.builds"
+let arena_parallel_tasks = Metrics.counter "arena.parallel.tasks"
+let arena_subtrees_built = Metrics.counter ~stable:false "arena.subtrees.run"
+let arena_bytes_mapped = Metrics.gauge ~stable:false "arena.bytes.mapped"
+
+let arena_phase ~phase f =
+  timed
+    ~span:("arena:sort:" ^ phase)
+    ~args:[ ("phase", Trace.Str phase) ]
+    arena_sort_phase_seconds f
+
+let arena_parallel ~tasks ~jobs:_ =
+  Metrics.incr arena_parallel_builds;
+  Metrics.incr ~by:tasks arena_parallel_tasks
+
+let arena_subtree ~index f =
+  if not (Metrics.enabled () || Trace.enabled ()) then f ()
+  else begin
+    Metrics.incr arena_subtrees_built;
+    Trace.with_span
+      ~args:[ ("range", Trace.Int index) ]
+      "arena:subtree" f
+  end
+
+let arena_mapped_bytes ~bytes =
+  Metrics.set_gauge arena_bytes_mapped (float_of_int bytes)
+
+(* Build-path changes must be loud. Each named fallback bumps a counter
+   and prints one stderr line per process — whatever the observability
+   switches say — so a large-n run cannot quietly take a different build
+   path than the one asked for. The historical instance (bulk builds
+   past 2^21 points silently rerouting to incremental inserts) is gone
+   with the two-word keys; the two that remain are descending past the
+   42-bit Morton resolution (duplicate-heavy data under a deep
+   [max_depth]) and an mmap request degrading to heap backing. *)
+
+let arena_fallbacks = Metrics.counter ~stable:false "arena.fallbacks"
+let arena_deep_float_splits = Metrics.counter "arena.deep.float.splits"
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+let warn_mutex = Mutex.create ()
+
+let warn_once key fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Mutex.lock warn_mutex;
+      let fresh = not (Hashtbl.mem warned key) in
+      if fresh then Hashtbl.add warned key ();
+      Mutex.unlock warn_mutex;
+      if fresh then Printf.eprintf "popan: warning: %s\n%!" msg)
+    fmt
+
+let arena_fallback ~what ~detail =
+  Metrics.incr arena_fallbacks;
+  warn_once what "%s (%s); build path differs from the one requested" what
+    detail
+
+let arena_deep_float ~depth =
+  Metrics.incr arena_deep_float_splits;
+  warn_once "deep-float"
+    "bulk build descending below the 42-bit Morton resolution at depth %d; \
+     switching to float-midpoint splits"
+    depth
 
 (* The domain pool *)
 

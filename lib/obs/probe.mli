@@ -67,6 +67,39 @@ val builder_split : depth:int -> unit
 val arena_build :
   [ `Incremental | `Bulk ] -> inserts:int -> (unit -> unit) -> unit
 
+(** {1 Parallel bulk sort} *)
+
+(** [arena_phase ~phase f] wraps one phase of the orchestrated bulk
+    build ([expand] / [subtrees] / [stitch]) in an [arena:sort:<phase>]
+    span and times it into [arena.sort.phase.seconds]. *)
+val arena_phase : phase:string -> (unit -> 'a) -> 'a
+
+(** [arena_parallel ~tasks ~jobs] counts one orchestrated build
+    ([arena.parallel.builds]) and its range fan-out
+    ([arena.parallel.tasks]). *)
+val arena_parallel : tasks:int -> jobs:int -> unit
+
+(** [arena_subtree ~index f] wraps one subtree range build on whatever
+    domain runs it: [arena:subtree] span plus a per-domain bump of
+    [arena.subtrees.run] (read {!Metrics.counter_shards} for
+    utilization). *)
+val arena_subtree : index:int -> (unit -> 'a) -> 'a
+
+(** [arena_mapped_bytes ~bytes] sets the [arena.bytes.mapped] gauge to
+    the current total of mmap-backed arena segment bytes. *)
+val arena_mapped_bytes : bytes:int -> unit
+
+(** [arena_fallback ~what ~detail] records that a build took a
+    different path than requested ([arena.fallbacks]) and prints a
+    one-per-process stderr warning — large-n runs must never change
+    build path silently. *)
+val arena_fallback : what:string -> detail:string -> unit
+
+(** [arena_deep_float ~depth] counts a split below the 42-bit Morton
+    resolution ([arena.deep.float.splits] — duplicate-heavy data under a
+    deep [max_depth]) and warns once on stderr. *)
+val arena_deep_float : depth:int -> unit
+
 (** {1 The domain pool} *)
 
 (** [pool_map ~tasks ~jobs f] wraps one fan-out: [pool.batch] span,

@@ -22,6 +22,7 @@ let root t = t.root
 let objects_dir t = Filename.concat t.root "objects"
 let tmp_dir t = Filename.concat t.root "tmp"
 let stats_log t = Filename.concat t.root "stats.log"
+let segments_root t = Filename.concat t.root "segments"
 
 let mkdir_p path =
   let rec go path =
@@ -47,6 +48,22 @@ let open_store root =
     base_puts = Atomic.make p;
     tmp_counter = Atomic.make 0;
   }
+
+(* Out-of-core arena segments live inside the store's file layout, but
+   outside [objects/]: they are working state of one build, not
+   content-addressed artifacts — [entries], [verify] and [gc] never see
+   them, and a crashed build's leftovers are plain files under one
+   directory, trivially removable. *)
+let segments_dir t ~name =
+  let ok = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  if name = "" || not (String.for_all ok name) then
+    invalid_arg "Artifact_store.segments_dir: name must be [A-Za-z0-9._-]+";
+  let dir = Filename.concat (segments_root t) name in
+  mkdir_p dir;
+  dir
 
 (* The ambient default, seeded from POPAN_CACHE on first use. *)
 

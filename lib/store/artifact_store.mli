@@ -34,6 +34,15 @@ val open_store : string -> t
 (** [root t] is the store's root directory. *)
 val root : t -> string
 
+(** [segments_dir t ~name] is [root/segments/<name>], created on
+    demand — the store-managed home for mmap-backed arena segment
+    files ([Popan_trees.Pr_arena] with [Mmap] backing), so out-of-core
+    builds live inside the store's file layout without touching the
+    content-addressed object tree: [entries], [verify] and [gc] ignore
+    it. [name] must be nonempty over [[A-Za-z0-9._-]]; raises
+    [Invalid_argument] otherwise. *)
+val segments_dir : t -> name:string -> string
+
 (** {1 The ambient default}
 
     Experiments consult [default ()] when no explicit store is given —

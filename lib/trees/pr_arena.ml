@@ -1,23 +1,23 @@
 open Import
+module Parallel = Popan_parallel
 
-(* 21 bits per coordinate: tree levels 0..21 are decided by integer
-   Morton bits; deeper levels (reachable only when max_depth > bits and
-   more than [capacity] points share a quantized cell) fall back to the
-   same float-midpoint arithmetic as Box.step. *)
+(* 42 bits of Morton resolution per coordinate, carried as two words
+   (Morton.encode_fine): tree levels 0..20 are decided by the hi word —
+   the historical 21-bit-per-axis interleave, still the stored per-slot
+   [codes] entry — and levels 21..41 by the lo word, computed on demand
+   from the float coordinates. Only below depth 42 (duplicate-heavy data
+   under a deep max_depth) does the build fall back to float-midpoint
+   arithmetic, and that path warns via [Probe.arena_deep_float]. *)
 let bits = Morton.bits
+let bits_fine = 2 * bits
+let axis_mask = (1 lsl bits) - 1
 
-(* Morton.quantize, open-coded: calling across the module boundary
-   passes the float boxed (2 words each for x and y, every insert);
-   local arithmetic on a power-of-two constant stays unboxed and is the
-   identical exact computation. *)
+(* Morton.quantize / quantize_fine, open-coded: calling across the
+   module boundary passes the float boxed (2 words each for x and y,
+   every insert); local arithmetic on a power-of-two constant stays
+   unboxed and is the identical exact computation. *)
 let quantize_scale = float_of_int (1 lsl bits)
-
-(* The bulk build partitions packed keys [(code lsl bits) lor slot]:
-   42 code bits above, 21 slot bits below, 63 bits exactly — so the
-   whole key fits an OCaml int and one sequential array carries both
-   the Z-order position and the point identity. Requires n <= slot_mask
-   (~2M points); larger bulk builds fall back to incremental inserts. *)
-let slot_mask = (1 lsl bits) - 1
+let fine_scale = float_of_int (1 lsl bits_fine)
 
 (* Children of a split node occupy four consecutive node ids in MORTON
    pair order — (y >= mid) * 2 + (x >= mid): SW, SE, NW, NE — because
@@ -27,22 +27,41 @@ let slot_mask = (1 lsl bits) - 1
    is the pair. *)
 let quad_pair = [| 2; 3; 0; 1 |]
 
+(* Point, key and scratch columns are Bigarrays: the data lives outside
+   the OCaml heap (minor-heap-free by construction, not by discipline),
+   loads in the radix loops compile to unboxed reads, and a column can
+   be a shared file mapping for out-of-core builds. The integer kind is
+   [Bigarray.int] — a word-sized element whose accessors never box —
+   rather than [int64], whose [get] allocates a boxed Int64 per read and
+   would break the zero-allocation insert claim. One tag bit is lost;
+   62-bit entries are ample for 42-bit codes and slot indices. *)
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type backing = Heap | Mmap of { dir : string }
+
 type t = {
   capacity : int;
   max_depth : int;
   bounds : Box.t;
   unit_bounds : bool;
-  (* Nodes, parallel arrays indexed by node id; node 0 is the root. *)
+  mutable backing : backing;  (* effective: Heap after an mmap failure *)
+  seg_dir : string option;  (* this arena's private segment directory *)
+  mutable seg_bytes : (string * int) list;  (* segment name -> bytes *)
+  (* Nodes, parallel arrays indexed by node id; node 0 is the root.
+     These stay OCaml int arrays: they are tiny next to the point
+     columns (3 words per node vs 8 per point plus sort buffers) and
+     are the one part the parallel stitch rewrites wholesale. *)
   mutable nodes : int;  (* ids in use *)
   mutable child : int array;  (* -1 = leaf; else first of 4 children *)
   mutable count : int array;  (* leaves: number of stored points *)
   mutable head : int array;  (* leaves: first point slot, -1 = none *)
-  (* Points, parallel arrays indexed by slot; slot = insertion rank. *)
+  (* Points, parallel columns indexed by slot; slot = insertion rank. *)
   mutable size : int;
-  mutable xs : float array;
-  mutable ys : float array;
-  mutable codes : int array;
-  mutable next : int array;  (* intrusive per-leaf chain, -1 ends *)
+  mutable xs : farr;
+  mutable ys : farr;
+  mutable codes : iarr;  (* hi Morton word of each slot *)
+  mutable next : iarr;  (* intrusive per-leaf chain, -1 ends *)
   (* O(1) statistics, maintained exactly like Pr_builder's. *)
   mutable leaves : int;
   mutable internals : int;
@@ -50,39 +69,149 @@ type t = {
   hist : int array;  (* capacity + 1 cells; over-full leaves clamp *)
 }
 
-let create ?(max_depth = 16) ?(bounds = Box.unit) ?(reserve = 0) ~capacity ()
-    =
+(* Segment-backed column allocation. Each arena with [Mmap] backing owns
+   a private subdirectory (pid + a process-wide counter, so two arenas
+   never collide on segment files); every column is one file, and
+   growth simply remaps the same file at the larger size — the kernel
+   carries the old contents over, no copy needed. Any failure to map
+   degrades to heap backing, loudly, via [Probe.arena_fallback]. *)
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let arena_counter = Atomic.make 0
+let global_mapped = Atomic.make 0
+
+let note_mapped t name bytes =
+  let old = try List.assoc name t.seg_bytes with Not_found -> 0 in
+  t.seg_bytes <- (name, bytes) :: List.remove_assoc name t.seg_bytes;
+  let delta = bytes - old in
+  let total = Atomic.fetch_and_add global_mapped delta + delta in
+  Probe.arena_mapped_bytes ~bytes:total
+
+let map_column (type a b) dir name (kind : (a, b) Bigarray.kind) n :
+    (a, b, Bigarray.c_layout) Bigarray.Array1.t =
+  let path = Filename.concat dir (name ^ ".seg") in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o600 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (* [map_file] with [shared = true] grows the file to the mapping
+         size; fresh pages read back as zeros. *)
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd kind Bigarray.c_layout true [| n |]))
+
+let heap_f n : farr = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+let heap_i n : iarr = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let mmap_failed t exn =
+  Probe.arena_fallback ~what:"mmap-to-heap"
+    ~detail:
+      (Printf.sprintf "mapping an arena segment failed: %s"
+         (Printexc.to_string exn));
+  t.backing <- Heap
+
+let alloc_f t name n : farr =
+  match t.backing with
+  | Heap -> heap_f n
+  | Mmap { dir } -> (
+    try
+      let a = map_column dir name Bigarray.float64 n in
+      note_mapped t name (8 * n);
+      a
+    with (Unix.Unix_error _ | Sys_error _) as e ->
+      mmap_failed t e;
+      heap_f n)
+
+let alloc_i t name n : iarr =
+  match t.backing with
+  | Heap -> heap_i n
+  | Mmap { dir } -> (
+    try
+      let a = map_column dir name Bigarray.int n in
+      note_mapped t name (8 * n);
+      a
+    with (Unix.Unix_error _ | Sys_error _) as e ->
+      mmap_failed t e;
+      heap_i n)
+
+let release t =
+  match t.seg_dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun (name, _) ->
+        try Sys.remove (Filename.concat dir (name ^ ".seg"))
+        with Sys_error _ -> ())
+      t.seg_bytes;
+    let freed = List.fold_left (fun a (_, b) -> a + b) 0 t.seg_bytes in
+    t.seg_bytes <- [];
+    let total = Atomic.fetch_and_add global_mapped (-freed) - freed in
+    Probe.arena_mapped_bytes ~bytes:total;
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
+
+let create ?(max_depth = 16) ?(bounds = Box.unit) ?(reserve = 0)
+    ?(backing = Heap) ~capacity () =
   if capacity < 1 then invalid_arg "Pr_arena.create: capacity < 1";
   if max_depth < 0 then invalid_arg "Pr_arena.create: max_depth < 0";
   if reserve < 0 then invalid_arg "Pr_arena.create: reserve < 0";
   let hist = Array.make (capacity + 1) 0 in
   hist.(0) <- 1;
   let pcap = max reserve 16 in
-  {
-    capacity;
-    max_depth;
-    bounds;
-    unit_bounds = Box.equal bounds Box.unit;
-    nodes = 1;
-    child = Array.make 16 (-1);
-    count = Array.make 16 0;
-    head = Array.make 16 (-1);
-    size = 0;
-    (* Uninitialized is fine: slots are written before [size] admits
-       them to any read path. *)
-    xs = Array.create_float pcap;
-    ys = Array.create_float pcap;
-    codes = Array.make pcap 0;
-    next = Array.make pcap (-1);
-    leaves = 1;
-    internals = 0;
-    height = 0;
-    hist;
-  }
+  let backing, seg_dir =
+    match backing with
+    | Heap -> (Heap, None)
+    | Mmap { dir } -> (
+      let sub =
+        Filename.concat dir
+          (Printf.sprintf "arena-%d-%d" (Unix.getpid ())
+             (Atomic.fetch_and_add arena_counter 1))
+      in
+      try
+        mkdir_p sub;
+        (Mmap { dir = sub }, Some sub)
+      with Unix.Unix_error _ | Sys_error _ -> (Heap, None))
+  in
+  let t =
+    {
+      capacity;
+      max_depth;
+      bounds;
+      unit_bounds = Box.equal bounds Box.unit;
+      backing;
+      seg_dir;
+      seg_bytes = [];
+      nodes = 1;
+      child = Array.make 16 (-1);
+      count = Array.make 16 0;
+      head = Array.make 16 (-1);
+      size = 0;
+      (* Uninitialized is fine: slots are written before [size] admits
+         them to any read path. *)
+      xs = heap_f 0;
+      ys = heap_f 0;
+      codes = heap_i 0;
+      next = heap_i 0;
+      leaves = 1;
+      internals = 0;
+      height = 0;
+      hist;
+    }
+  in
+  t.xs <- alloc_f t "xs" pcap;
+  t.ys <- alloc_f t "ys" pcap;
+  t.codes <- alloc_i t "codes" pcap;
+  t.next <- alloc_i t "next" pcap;
+  t
 
 let capacity t = t.capacity
 let max_depth t = t.max_depth
 let bounds t = t.bounds
+let backing t = t.backing
 let size t = t.size
 let is_empty t = t.size = 0
 let leaf_count t = t.leaves
@@ -91,22 +220,42 @@ let height t = t.height
 let occupancy_histogram t = Array.copy t.hist
 let average_occupancy t = float_of_int t.size /. float_of_int t.leaves
 
-(* Array growth — the only allocation on the insert path. *)
+(* Estimated peak resident bytes of a bulk build: the four point
+   columns, the four sort columns (keys + slots, ping-ponged), and a
+   generous bound on the node arrays. Advisory — the CLI prints it and
+   checks it against available memory before committing to a build. *)
+let bulk_footprint ~capacity ~n =
+  if capacity < 1 then invalid_arg "Pr_arena.bulk_footprint: capacity < 1";
+  if n < 0 then invalid_arg "Pr_arena.bulk_footprint: n < 0";
+  let n = max n 1 in
+  let columns = 8 * 8 * n in
+  let leaves = 1 + ((n + capacity - 1) / capacity) in
+  let nodes = 1 + (8 * leaves) in
+  columns + (3 * 8 * nodes)
+
+(* Column growth — the only allocation on the insert path. Mmap-backed
+   columns remap the same segment file at the larger size, which
+   preserves contents; the blit below is then a self-copy of identical
+   bytes, harmless, and it is what carries the data for heap columns
+   (including an mmap arena that degraded to heap mid-life). *)
 
 let grow_points t needed =
-  let cap = ref (Array.length t.xs) in
+  let cap = ref (max 16 (Bigarray.Array1.dim t.xs)) in
   while !cap < needed do
     cap := !cap * 2
   done;
   let cap = !cap in
-  let xs = Array.create_float cap
-  and ys = Array.create_float cap
-  and codes = Array.make cap 0
-  and next = Array.make cap (-1) in
-  Array.blit t.xs 0 xs 0 t.size;
-  Array.blit t.ys 0 ys 0 t.size;
-  Array.blit t.codes 0 codes 0 t.size;
-  Array.blit t.next 0 next 0 t.size;
+  let xs = alloc_f t "xs" cap
+  and ys = alloc_f t "ys" cap
+  and codes = alloc_i t "codes" cap
+  and next = alloc_i t "next" cap in
+  let open Bigarray.Array1 in
+  if t.size > 0 then begin
+    blit (sub t.xs 0 t.size) (sub xs 0 t.size);
+    blit (sub t.ys 0 t.size) (sub ys 0 t.size);
+    blit (sub t.codes 0 t.size) (sub codes 0 t.size);
+    blit (sub t.next 0 t.size) (sub next 0 t.size)
+  end;
   t.xs <- xs;
   t.ys <- ys;
   t.codes <- codes;
@@ -161,13 +310,30 @@ let note_leaf t depth count =
    (depth < bits): (y bit << 1) | x bit. *)
 let pair_at code depth = (code lsr (2 * (bits - 1 - depth))) land 3
 
+(* The fine (42-bit) ordinates of a stored slot, computed on demand from
+   the float columns — exact, the multiply only shifts the exponent.
+   Nothing below the hi word is stored per slot: levels 21..41 are rare
+   enough that recomputing beats an extra 8n-byte column. *)
+let fine_x t slot = int_of_float (t.xs.{slot} *. fine_scale)
+let fine_y t slot = int_of_float (t.ys.{slot} *. fine_scale)
+
+(* The lo Morton word of a slot: the next 21 bits of each axis below the
+   stored hi word, interleaved. *)
+let lo_code t slot =
+  Morton.interleave (fine_x t slot land axis_mask) (fine_y t slot land axis_mask)
+
+(* The child pair of fine ordinates at [depth] in [bits, bits_fine). *)
+let pair_fine qx qy depth =
+  let sh = bits_fine - 1 - depth in
+  (((qy lsr sh) land 1) lsl 1) lor ((qx lsr sh) land 1)
+
 (* Absorb [slot] into leaf [node] at [depth], maintaining histogram and
    leaf bookkeeping. Returns [true] when the leaf overflowed (it has
    already been deregistered) and the caller must split it. *)
 let absorb t node depth slot =
   let c = t.count.(node) in
   let old_bucket = if c < t.capacity then c else t.capacity in
-  t.next.(slot) <- t.head.(node);
+  t.next.{slot} <- t.head.(node);
   t.head.(node) <- slot;
   let c = c + 1 in
   t.count.(node) <- c;
@@ -187,50 +353,54 @@ let absorb t node depth slot =
    [base], keyed by the Morton pair at [depth]. Ints only. *)
 let rec distribute_code t base depth slot =
   if slot >= 0 then begin
-    let nxt = t.next.(slot) in
-    let c = base + pair_at t.codes.(slot) depth in
-    t.next.(slot) <- t.head.(c);
+    let nxt = t.next.{slot} in
+    let c = base + pair_at t.codes.{slot} depth in
+    t.next.{slot} <- t.head.(c);
     t.head.(c) <- slot;
     t.count.(c) <- t.count.(c) + 1;
     distribute_code t base depth nxt
   end
 
+(* Same, keyed by the fine ordinates (levels bits .. bits_fine - 1). *)
+let rec distribute_fine t base depth slot =
+  if slot >= 0 then begin
+    let nxt = t.next.{slot} in
+    let c = base + pair_fine (fine_x t slot) (fine_y t slot) depth in
+    t.next.{slot} <- t.head.(c);
+    t.head.(c) <- slot;
+    t.count.(c) <- t.count.(c) + 1;
+    distribute_fine t base depth nxt
+  end
+
 (* Same, keyed by float midpoint comparisons (custom bounds, or cells
-   below the Morton resolution). *)
+   below the fine Morton resolution). *)
 let rec distribute_float t base cx cy slot =
   if slot >= 0 then begin
-    let nxt = t.next.(slot) in
-    let px = if t.xs.(slot) >= cx then 1 else 0 in
-    let py = if t.ys.(slot) >= cy then 2 else 0 in
+    let nxt = t.next.{slot} in
+    let px = if t.xs.{slot} >= cx then 1 else 0 in
+    let py = if t.ys.{slot} >= cy then 2 else 0 in
     let c = base + px + py in
-    t.next.(slot) <- t.head.(c);
+    t.next.{slot} <- t.head.(c);
     t.head.(c) <- slot;
     t.count.(c) <- t.count.(c) + 1;
     distribute_float t base cx cy nxt
   end
 
-(* The cell of a node at [depth] <= bits whose points share the code
-   prefix of [code]: corners are dyadic k/2^depth, exact in floats. *)
-let cell_x0 code depth =
-  let qx, _ = Morton.deinterleave (code lsr (2 * (bits - depth)) lsl (2 * (bits - depth))) in
-  ldexp (float_of_int (qx lsr (bits - depth))) (-depth)
+(* The (exactly representable, dyadic) lower-left corner of the cell at
+   [depth] <= bits_fine containing stored slot [slot]. *)
+let slot_cell_x0 t slot depth =
+  ldexp (float_of_int (fine_x t slot lsr (bits_fine - depth))) (-depth)
 
-let cell_y0 code depth =
-  let _, qy = Morton.deinterleave (code lsr (2 * (bits - depth)) lsl (2 * (bits - depth))) in
-  ldexp (float_of_int (qy lsr (bits - depth))) (-depth)
+let slot_cell_y0 t slot depth =
+  ldexp (float_of_int (fine_y t slot lsr (bits_fine - depth))) (-depth)
 
 (* Split an over-full, deregistered former leaf [node] at [depth]
-   (< max_depth). The code variant keys on Morton bits; when the split
-   would descend below the Morton resolution it switches to the float
-   variant, deriving the (exactly representable) cell from the shared
-   code prefix. *)
+   (< max_depth). Levels above [bits] key on the stored hi word, levels
+   in [bits, bits_fine) on the on-demand fine ordinates; only below the
+   fine resolution (42) does the split switch to float midpoints,
+   deriving the (exactly representable) cell from any chained slot. *)
 let rec split_code t node depth =
-  if depth >= bits then begin
-    let code = t.codes.(t.head.(node)) in
-    let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
-    let side = ldexp 1.0 (-depth) in
-    split_float t node depth x0 y0 (x0 +. side) (y0 +. side)
-  end
+  if depth >= bits then split_fine t node depth
   else begin
     t.internals <- t.internals + 1;
     Probe.builder_split ~depth;
@@ -246,6 +416,32 @@ let rec split_code t node depth =
       let cc = t.count.(c) in
       if cc <= t.capacity || cdepth >= t.max_depth then note_leaf t cdepth cc
       else split_code t c cdepth
+    done
+  end
+
+and split_fine t node depth =
+  if depth >= bits_fine then begin
+    Probe.arena_deep_float ~depth;
+    let s = t.head.(node) in
+    let x0 = slot_cell_x0 t s bits_fine and y0 = slot_cell_y0 t s bits_fine in
+    let side = ldexp 1.0 (-bits_fine) in
+    split_float t node depth x0 y0 (x0 +. side) (y0 +. side)
+  end
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let base = alloc_children t in
+    let chain = t.head.(node) in
+    t.child.(node) <- base;
+    t.head.(node) <- -1;
+    t.count.(node) <- 0;
+    distribute_fine t base depth chain;
+    let cdepth = depth + 1 in
+    for i = 0 to 3 do
+      let c = base + i in
+      let cc = t.count.(c) in
+      if cc <= t.capacity || cdepth >= t.max_depth then note_leaf t cdepth cc
+      else split_fine t c cdepth
     done
   end
 
@@ -272,34 +468,43 @@ and split_float t node depth x0 y0 x1 y1 =
         (if i land 2 = 2 then y1 else cy)
   done
 
-(* Descend by Morton bits (unit bounds, levels above the resolution):
-   ints only, so a no-split insert allocates nothing. *)
+(* Descend by Morton bits (unit bounds): the hi word down to level
+   [bits], then the fine ordinates down to level [bits_fine] — ints
+   only, so a no-split insert allocates nothing at any depth above 42.
+   The equivalence with float midpoints holds level for level: the cell
+   midpoint at depth d <= 41 is the dyadic k/2^(d+1), and
+   [x >= k/2^(d+1)] iff bit (41 - d) of [floor (x * 2^42)] is set,
+   given the shared cell prefix. *)
 let rec insert_code t node depth code slot =
   let base = t.child.(node) in
   if base >= 0 then
     if depth < bits then
       insert_code t (base + pair_at code depth) (depth + 1) code slot
-    else insert_float_deep t node depth slot
+    else insert_fine t node depth (fine_x t slot) (fine_y t slot) slot
   else if absorb t node depth slot then split_code t node depth
 
-(* Below the Morton resolution the stored code no longer separates
-   points; continue from the (exact) cell of the shared prefix with
-   float midpoints. Reached only when max_depth > bits. *)
-and insert_float_deep t node depth slot =
-  let code = t.codes.(slot) in
-  let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
-  let side = ldexp 1.0 (-depth) in
-  insert_float t node depth slot x0 y0 (x0 +. side) (y0 +. side)
+and insert_fine t node depth qx qy slot =
+  let base = t.child.(node) in
+  if base >= 0 then
+    if depth < bits_fine then
+      insert_fine t (base + pair_fine qx qy depth) (depth + 1) qx qy slot
+    else begin
+      let x0 = ldexp (float_of_int qx) (-bits_fine)
+      and y0 = ldexp (float_of_int qy) (-bits_fine) in
+      let side = ldexp 1.0 (-bits_fine) in
+      insert_float t node depth slot x0 y0 (x0 +. side) (y0 +. side)
+    end
+  else if absorb t node depth slot then split_fine t node depth
 
 and insert_float t node depth slot x0 y0 x1 y1 =
   let base = t.child.(node) in
   if base >= 0 then begin
     let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
-    if t.ys.(slot) >= cy then
-      if t.xs.(slot) >= cx then
+    if t.ys.{slot} >= cy then
+      if t.xs.{slot} >= cx then
         insert_float t (base + 3) (depth + 1) slot cx cy x1 y1
       else insert_float t (base + 2) (depth + 1) slot x0 cy cx y1
-    else if t.xs.(slot) >= cx then
+    else if t.xs.{slot} >= cx then
       insert_float t (base + 1) (depth + 1) slot cx y0 x1 cy
     else insert_float t base (depth + 1) slot x0 y0 cx cy
   end
@@ -326,23 +531,23 @@ let insert t p =
   if not (Box.contains t.bounds p) then
     invalid_arg "Pr_arena.insert: point outside bounds";
   Probe.builder_insert ();
-  if t.size >= Array.length t.xs then grow_points t (t.size + 1);
+  if t.size >= Bigarray.Array1.dim t.xs then grow_points t (t.size + 1);
   let slot = t.size in
   t.size <- slot + 1;
   let x = p.Point.x and y = p.Point.y in
-  t.xs.(slot) <- x;
-  t.ys.(slot) <- y;
+  t.xs.{slot} <- x;
+  t.ys.{slot} <- y;
   if t.unit_bounds then begin
     let code =
       Morton.interleave
         (int_of_float (x *. quantize_scale))
         (int_of_float (y *. quantize_scale))
     in
-    t.codes.(slot) <- code;
+    t.codes.{slot} <- code;
     insert_code t 0 0 code slot
   end
   else begin
-    t.codes.(slot) <- point_code t x y;
+    t.codes.{slot} <- point_code t x y;
     let b = t.bounds in
     insert_float t 0 0 slot b.Box.xmin b.Box.ymin b.Box.xmax b.Box.ymax
   end
@@ -356,51 +561,56 @@ let of_points ?max_depth ?bounds ~capacity ps =
   t
 
 (* Morton-order bulk build: a single top-down recursion that radix
-   sorts packed code|slot keys MSD-first, two code bits per level, and
-   emits each node the moment its range is partitioned — leaves appear
-   left to right in Z-order and parents link as the recursion returns.
-   The sort stops exactly where the tree does, so ranges that are
-   already leaf-sized never pay for their remaining code bits. *)
+   sorts two-word keys MSD-first, two code bits per level, and emits
+   each node the moment its range is partitioned — leaves appear left
+   to right in Z-order and parents link as the recursion returns. The
+   sort stops exactly where the tree does, so ranges that are already
+   leaf-sized never pay for their remaining code bits.
 
-(* Chain slots order.(lo..hi-1) onto leaf [node] so traversal yields
-   ascending slot (insertion) order, register it at [depth]. Entries may
-   be raw slots (float path) or packed code|slot keys (Morton path); the
-   mask strips a code prefix and is the identity on raw slots, which are
-   < 2^bits by the bulk-build size guard. *)
-let emit_leaf t order lo hi node depth =
+   Keys are two parallel columns: the key word under scrutiny (hi
+   Morton word for levels 0..20, reloaded in place with the lo word at
+   level 21) and the slot. Nothing packs the slot into the key, so the
+   build has no point-count cap — the historical silent reroute to
+   incremental inserts past 2^21 points is gone. *)
+
+(* Chain slots ss[lo, hi) onto leaf [node] so traversal yields ascending
+   slot (insertion) order, register it at [depth]. *)
+let emit_leaf t (ss : iarr) lo hi node depth =
   let n = hi - lo in
   t.count.(node) <- n;
   if n > 0 then begin
     for k = lo to hi - 2 do
-      t.next.(order.(k) land slot_mask) <- order.(k + 1) land slot_mask
+      t.next.{ss.{k}} <- ss.{k + 1}
     done;
-    t.next.(order.(hi - 1) land slot_mask) <- -1;
-    t.head.(node) <- order.(lo) land slot_mask
+    t.next.{ss.{hi - 1}} <- -1;
+    t.head.(node) <- ss.{lo}
   end;
   note_leaf t depth n
 
-(* Stable 4-way partition of order[lo, hi) by float midpoints, used for
-   custom bounds and for cells below the Morton resolution. [scratch]
-   is a whole-array scratch buffer shared down the recursion; [cnt] is
-   a 4-slot buffer for the counting pass, reused by every node — pair
-   counts land in it branchlessly (indexing, not matching, so random
-   pairs cost no mispredicts), then it holds the running write bases. *)
-let rec build_float t order scratch cnt lo hi node depth x0 y0 x1 y1 =
+(* Stable 4-way partition of slots ss[lo, hi) by float midpoints, used
+   for custom bounds and for cells below the fine Morton resolution.
+   [ds] is a whole-column scratch shared down the recursion; [cnt] is a
+   4-slot buffer for the counting pass, reused by every node — pair
+   counts land in it branchlessly (indexing, not matching), then it
+   holds the running write bases. *)
+let rec build_float t (ss : iarr) (ds : iarr) cnt lo hi node depth x0 y0 x1 y1
+    =
   if hi - lo <= t.capacity || depth >= t.max_depth then
-    emit_leaf t order lo hi node depth
+    emit_leaf t ss lo hi node depth
   else begin
     t.internals <- t.internals + 1;
     Probe.builder_split ~depth;
     let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
     let pair slot =
-      (if t.xs.(slot) >= cx then 1 else 0) + if t.ys.(slot) >= cy then 2 else 0
+      (if t.xs.{slot} >= cx then 1 else 0)
+      + if t.ys.{slot} >= cy then 2 else 0
     in
     cnt.(0) <- 0;
     cnt.(1) <- 0;
     cnt.(2) <- 0;
     cnt.(3) <- 0;
     for k = lo to hi - 1 do
-      let d = pair order.(k) in
+      let d = pair ss.{k} in
       cnt.(d) <- cnt.(d) + 1
     done;
     let e1 = lo + cnt.(0) in
@@ -411,48 +621,198 @@ let rec build_float t order scratch cnt lo hi node depth x0 y0 x1 y1 =
     cnt.(2) <- e2;
     cnt.(3) <- e3;
     for k = lo to hi - 1 do
-      let slot = order.(k) in
+      let slot = ss.{k} in
       let d = pair slot in
       let p = cnt.(d) in
-      scratch.(p) <- slot;
+      ds.{p} <- slot;
       cnt.(d) <- p + 1
     done;
-    Array.blit scratch lo order lo (hi - lo);
+    for k = lo to hi - 1 do
+      ss.{k} <- ds.{k}
+    done;
     let base = alloc_children t in
     t.child.(node) <- base;
     let cdepth = depth + 1 in
-    build_float t order scratch cnt lo e1 base cdepth x0 y0 cx cy;
-    build_float t order scratch cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
-    build_float t order scratch cnt e2 e3 (base + 2) cdepth x0 cy cx y1;
-    build_float t order scratch cnt e3 hi (base + 3) cdepth cx cy x1 y1
+    build_float t ss ds cnt lo e1 base cdepth x0 y0 cx cy;
+    build_float t ss ds cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
+    build_float t ss ds cnt e2 e3 (base + 2) cdepth x0 cy cx y1;
+    build_float t ss ds cnt e3 hi (base + 3) cdepth cx cy x1 y1
   end
 
 (* The Morton twin of [build_float]: a stable counting partition of
-   packed[lo, hi) on the two code bits at [depth] — MSD radix, one level
-   per split. Top-down partitioning only Z-orders the keys as far down
-   as leaves actually form, which is why this beats sorting all 42 code
-   bits up front and then searching for child boundaries; and because
-   the code rides above the slot in each packed key, every pass is one
-   sequential load per element — no indirection through a permutation
-   into a cold codes array. *)
-(* [src] holds this node's keys; the scatter lands in [dst] and the
-   children simply swap the two — no copy back. Sibling ranges are
-   disjoint, so each subtree ping-pongs its own slice independently. *)
-let rec build_sorted t src dst cnt lo hi node depth =
+   (sk, ss)[lo, hi) on the two key bits at [depth] — MSD radix, one
+   level per split. The scatter lands in (dk, ds) and the children swap
+   the buffer pairs — no copy back; sibling ranges are disjoint, so
+   each subtree ping-pongs its own slice independently, which is also
+   what makes the range fan-out below safe on shared buffers. [fine]
+   says the key column already holds lo words; crossing level [bits]
+   reloads the column in place (the hi words are constant across the
+   range there) and continues at the same depth. *)
+let rec build_sorted t (sk : iarr) (ss : iarr) (dk : iarr) (ds : iarr) cnt lo
+    hi node depth fine =
   if hi - lo <= t.capacity || depth >= t.max_depth then
-    emit_leaf t src lo hi node depth
-  else if depth >= bits then begin
-    (* All codes in the range coincide; continue from the shared cell
-       with float midpoints (only reachable when max_depth > bits). The
-       float path reads raw slots, so strip the now-constant code prefix
-       in place. *)
-    let code = src.(lo) lsr bits in
+    emit_leaf t ss lo hi node depth
+  else if depth >= bits && not fine then begin
     for k = lo to hi - 1 do
-      src.(k) <- src.(k) land slot_mask
+      sk.{k} <- lo_code t ss.{k}
     done;
-    let x0 = cell_x0 code depth and y0 = cell_y0 code depth in
+    build_sorted t sk ss dk ds cnt lo hi node depth true
+  end
+  else if depth >= bits_fine then begin
+    (* Below the fine resolution every key coincides; continue from the
+       shared (exactly representable) cell with float midpoints. *)
+    Probe.arena_deep_float ~depth;
+    let s = ss.{lo} in
+    let x0 = slot_cell_x0 t s depth and y0 = slot_cell_y0 t s depth in
     let side = ldexp 1.0 (-depth) in
-    build_float t src dst cnt lo hi node depth x0 y0 (x0 +. side)
+    build_float t ss ds cnt lo hi node depth x0 y0 (x0 +. side) (y0 +. side)
+  end
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let base = alloc_children t in
+    t.child.(node) <- base;
+    let sh =
+      if fine then 2 * (bits_fine - 1 - depth) else 2 * (bits - 1 - depth)
+    in
+    cnt.(0) <- 0;
+    cnt.(1) <- 0;
+    cnt.(2) <- 0;
+    cnt.(3) <- 0;
+    for k = lo to hi - 1 do
+      let d = (sk.{k} lsr sh) land 3 in
+      cnt.(d) <- cnt.(d) + 1
+    done;
+    let e1 = lo + cnt.(0) in
+    let e2 = e1 + cnt.(1) in
+    let e3 = e2 + cnt.(2) in
+    cnt.(0) <- lo;
+    cnt.(1) <- e1;
+    cnt.(2) <- e2;
+    cnt.(3) <- e3;
+    for k = lo to hi - 1 do
+      let kv = sk.{k} in
+      let d = (kv lsr sh) land 3 in
+      let p = cnt.(d) in
+      dk.{p} <- kv;
+      ds.{p} <- ss.{k};
+      cnt.(d) <- p + 1
+    done;
+    let cdepth = depth + 1 in
+    build_sorted t dk ds sk ss cnt lo e1 base cdepth fine;
+    build_sorted t dk ds sk ss cnt e1 e2 (base + 1) cdepth fine;
+    build_sorted t dk ds sk ss cnt e2 e3 (base + 2) cdepth fine;
+    build_sorted t dk ds sk ss cnt e3 hi (base + 3) cdepth fine
+  end
+
+(* The packed single-column twin of [build_sorted], the sequential fast
+   path for n <= 2^21 heap builds: key and slot share one word —
+   [(code lsl 21) lor slot], 63 bits, exactly an OCaml int — in plain
+   int arrays, so every partition pass moves one word per element
+   instead of a key and a slot column entry. This is PR 5's kernel
+   (it was the whole bulk build then, and its 21-bit slot field is why
+   that build capped at 2^21 points), kept because at small n it is
+   measurably faster than the two-column sort — the `ablation:` bench
+   rows price the difference — and extended past depth 21 the same way
+   as [build_sorted]: when a partition range crosses level [bits], the
+   hi code above every slot in the range coincides, so each word is
+   reloaded in place with the lo code over the same slot. Builds that
+   outgrow the slot field (or run parallel, or keep columns in mmap
+   segments) take the two-column path; the choice selects a sort
+   buffer only — both kernels are stable MSD partitions emitting the
+   identical canonical arena, which the bulk-equivalence qcheck
+   properties pin down across the size boundary. *)
+
+let packed_slot_mask = (1 lsl bits) - 1
+
+(* Works on packed words and on raw slots alike: masking a raw slot is
+   the identity (slots fit the field by construction). *)
+let emit_leaf_packed t (order : int array) lo hi node depth =
+  let n = hi - lo in
+  t.count.(node) <- n;
+  if n > 0 then begin
+    for k = lo to hi - 2 do
+      t.next.{order.(k) land packed_slot_mask} <-
+        order.(k + 1) land packed_slot_mask
+    done;
+    t.next.{order.(hi - 1) land packed_slot_mask} <- -1;
+    t.head.(node) <- order.(lo) land packed_slot_mask
+  end;
+  note_leaf t depth n
+
+(* Float-midpoint partition over raw slots in the packed path's int
+   arrays — the [build_float] twin reached only below the fine Morton
+   resolution (the caller strips the constant prefixes first). *)
+let rec build_float_packed t (ss : int array) (ds : int array) cnt lo hi node
+    depth x0 y0 x1 y1 =
+  if hi - lo <= t.capacity || depth >= t.max_depth then
+    emit_leaf_packed t ss lo hi node depth
+  else begin
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+    let pair slot =
+      (if t.xs.{slot} >= cx then 1 else 0)
+      + if t.ys.{slot} >= cy then 2 else 0
+    in
+    cnt.(0) <- 0;
+    cnt.(1) <- 0;
+    cnt.(2) <- 0;
+    cnt.(3) <- 0;
+    for k = lo to hi - 1 do
+      let d = pair ss.(k) in
+      cnt.(d) <- cnt.(d) + 1
+    done;
+    let e1 = lo + cnt.(0) in
+    let e2 = e1 + cnt.(1) in
+    let e3 = e2 + cnt.(2) in
+    cnt.(0) <- lo;
+    cnt.(1) <- e1;
+    cnt.(2) <- e2;
+    cnt.(3) <- e3;
+    for k = lo to hi - 1 do
+      let slot = ss.(k) in
+      let d = pair slot in
+      let p = cnt.(d) in
+      ds.(p) <- slot;
+      cnt.(d) <- p + 1
+    done;
+    Array.blit ds lo ss lo (hi - lo);
+    let base = alloc_children t in
+    t.child.(node) <- base;
+    let cdepth = depth + 1 in
+    build_float_packed t ss ds cnt lo e1 base cdepth x0 y0 cx cy;
+    build_float_packed t ss ds cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
+    build_float_packed t ss ds cnt e2 e3 (base + 2) cdepth x0 cy cx y1;
+    build_float_packed t ss ds cnt e3 hi (base + 3) cdepth cx cy x1 y1
+  end
+
+let rec build_packed t (src : int array) (dst : int array) cnt lo hi node
+    depth fine =
+  if hi - lo <= t.capacity || depth >= t.max_depth then
+    emit_leaf_packed t src lo hi node depth
+  else if depth >= bits && not fine then begin
+    (* Every hi word in the range coincides; reload each word in place
+       with the lo code over the same slot and continue at this
+       depth — the packed mirror of [build_sorted]'s key reload. *)
+    for k = lo to hi - 1 do
+      let slot = src.(k) land packed_slot_mask in
+      src.(k) <- (lo_code t slot lsl bits) lor slot
+    done;
+    build_packed t src dst cnt lo hi node depth true
+  end
+  else if depth >= bits_fine then begin
+    (* Below the fine resolution every key coincides; strip to raw
+       slots and continue from the shared (exactly representable) cell
+       with float midpoints. *)
+    Probe.arena_deep_float ~depth;
+    for k = lo to hi - 1 do
+      src.(k) <- src.(k) land packed_slot_mask
+    done;
+    let s = src.(lo) in
+    let x0 = slot_cell_x0 t s depth and y0 = slot_cell_y0 t s depth in
+    let side = ldexp 1.0 (-depth) in
+    build_float_packed t src dst cnt lo hi node depth x0 y0 (x0 +. side)
       (y0 +. side)
   end
   else begin
@@ -460,7 +820,10 @@ let rec build_sorted t src dst cnt lo hi node depth =
     Probe.builder_split ~depth;
     let base = alloc_children t in
     t.child.(node) <- base;
-    let sh = (2 * (bits - 1 - depth)) + bits in
+    let sh =
+      (if fine then 2 * (bits_fine - 1 - depth) else 2 * (bits - 1 - depth))
+      + bits
+    in
     cnt.(0) <- 0;
     cnt.(1) <- 0;
     cnt.(2) <- 0;
@@ -484,69 +847,335 @@ let rec build_sorted t src dst cnt lo hi node depth =
       cnt.(d) <- p + 1
     done;
     let cdepth = depth + 1 in
-    build_sorted t dst src cnt lo e1 base cdepth;
-    build_sorted t dst src cnt e1 e2 (base + 1) cdepth;
-    build_sorted t dst src cnt e2 e3 (base + 2) cdepth;
-    build_sorted t dst src cnt e3 hi (base + 3) cdepth
+    build_packed t dst src cnt lo e1 base cdepth fine;
+    build_packed t dst src cnt e1 e2 (base + 1) cdepth fine;
+    build_packed t dst src cnt e2 e3 (base + 2) cdepth fine;
+    build_packed t dst src cnt e3 hi (base + 3) cdepth fine
   end
 
-let of_points_bulk ?max_depth ?bounds ~capacity ps =
-  let n = List.length ps in
-  if n > slot_mask then
-    (* Packed keys reserve [bits] low bits for the slot; past that the
-       incremental path builds the same tree (freeze-equal by the qcheck
-       equivalence property), just without the bulk fast path. *)
-    of_points ?max_depth ?bounds ~capacity ps
+(* Domain-parallel orchestration of the same sort, in three phases with
+   a deterministic, task-ordered reduction — the built arena is
+   byte-identical to the sequential build for every job count:
+
+   A. [expand] partitions the top [split_depth] levels sequentially
+      (the same stable scatter), recording a plan: leaf ranges, split
+      nodes, and up to 4^split_depth independent subtree ranges.
+   B. The ranges fan out on the pool. Each task builds its subtree into
+      task-local node arrays (local id 0 = the subtree root), writing
+      only its own slice of the shared key/slot/next columns — ranges
+      are disjoint, so the buffers need no locks. Task results depend
+      only on the range, never on the schedule.
+   C. [replay] walks the plan in sequential DFS order, allocating
+      global node ids exactly as the sequential recursion would —
+      top-level children first, then each task's block, offset-relabeled
+      in task order — and merging the per-task statistics (sums, max
+      height, histogram add). Node ids, chains and counters all land
+      bit-for-bit where the sequential build puts them. *)
+
+type plan =
+  | P_leaf of { lo : int; hi : int; depth : int }
+  | P_task of { id : int }
+  | P_split of { depth : int; parts : plan array }
+
+type range = { r_lo : int; r_hi : int; r_depth : int }
+
+let rec expand t (sk : iarr) (ss : iarr) (dk : iarr) (ds : iarr) cnt acc
+    nacc lo hi depth split_depth =
+  if hi - lo <= t.capacity || depth >= t.max_depth then
+    P_leaf { lo; hi; depth }
+  else if depth >= split_depth then begin
+    let id = !nacc in
+    incr nacc;
+    acc := { r_lo = lo; r_hi = hi; r_depth = depth } :: !acc;
+    P_task { id }
+  end
   else begin
-    let t = create ?max_depth ?bounds ~reserve:n ~capacity () in
-    Probe.arena_build `Bulk ~inserts:n (fun () ->
-        (* Packed keys start in insertion (slot) order; [build_sorted]
-           Z-orders them by stable MSD radix partition as it descends,
-           so equal codes (and slots sharing a leaf) keep ascending slot
-           order throughout. *)
-        let packed = Array.make (max n 1) 0 in
-        let i = ref 0 in
+    let sh = 2 * (bits - 1 - depth) in
+    cnt.(0) <- 0;
+    cnt.(1) <- 0;
+    cnt.(2) <- 0;
+    cnt.(3) <- 0;
+    for k = lo to hi - 1 do
+      let d = (sk.{k} lsr sh) land 3 in
+      cnt.(d) <- cnt.(d) + 1
+    done;
+    let e1 = lo + cnt.(0) in
+    let e2 = e1 + cnt.(1) in
+    let e3 = e2 + cnt.(2) in
+    cnt.(0) <- lo;
+    cnt.(1) <- e1;
+    cnt.(2) <- e2;
+    cnt.(3) <- e3;
+    for k = lo to hi - 1 do
+      let kv = sk.{k} in
+      let d = (kv lsr sh) land 3 in
+      let p = cnt.(d) in
+      dk.{p} <- kv;
+      ds.{p} <- ss.{k};
+      cnt.(d) <- p + 1
+    done;
+    let cdepth = depth + 1 in
+    let p0 = expand t dk ds sk ss cnt acc nacc lo e1 cdepth split_depth in
+    let p1 = expand t dk ds sk ss cnt acc nacc e1 e2 cdepth split_depth in
+    let p2 = expand t dk ds sk ss cnt acc nacc e2 e3 cdepth split_depth in
+    let p3 = expand t dk ds sk ss cnt acc nacc e3 hi cdepth split_depth in
+    P_split { depth; parts = [| p0; p1; p2; p3 |] }
+  end
+
+(* A task-local pseudo-arena: shares the point/key columns (tasks only
+   touch their own slot range) but owns fresh node arrays and counters,
+   so phase B mutates nothing global. *)
+let local_of t =
+  {
+    t with
+    nodes = 1;
+    child = Array.make 64 (-1);
+    count = Array.make 64 0;
+    head = Array.make 64 (-1);
+    leaves = 0;
+    internals = 0;
+    height = 0;
+    hist = Array.make (t.capacity + 1) 0;
+  }
+
+(* Splice a task-local subtree onto global [node]: local id 0 maps onto
+   [node] (pre-allocated by the plan replay), local id k >= 1 onto
+   [offset + k - 1] — the exact ids the sequential DFS would have
+   assigned, because local allocation order is the same DFS. *)
+let graft t l node =
+  let extra = l.nodes - 1 in
+  if t.nodes + extra > Array.length t.child then grow_nodes t (t.nodes + extra);
+  let offset = t.nodes in
+  let relabel c = if c < 0 then c else offset + c - 1 in
+  t.child.(node) <- relabel l.child.(0);
+  t.count.(node) <- l.count.(0);
+  t.head.(node) <- l.head.(0);
+  for k = 1 to l.nodes - 1 do
+    let g = offset + k - 1 in
+    t.child.(g) <- relabel l.child.(k);
+    t.count.(g) <- l.count.(k);
+    t.head.(g) <- l.head.(k)
+  done;
+  t.nodes <- offset + extra;
+  t.leaves <- t.leaves + l.leaves;
+  t.internals <- t.internals + l.internals;
+  if l.height > t.height then t.height <- l.height;
+  Array.iteri (fun i v -> t.hist.(i) <- t.hist.(i) + v) l.hist
+
+let rec replay t results slots_even slots_odd plan node =
+  match plan with
+  | P_leaf { lo; hi; depth } ->
+    let ss = if depth land 1 = 0 then slots_even else slots_odd in
+    emit_leaf t ss lo hi node depth
+  | P_task { id } -> graft t results.(id) node
+  | P_split { depth; parts } ->
+    t.internals <- t.internals + 1;
+    Probe.builder_split ~depth;
+    let base = alloc_children t in
+    t.child.(node) <- base;
+    for i = 0 to 3 do
+      replay t results slots_even slots_odd parts.(i) (base + i)
+    done
+
+let parallel_build t n pool keys slots keys2 slots2 =
+  let jobs = Parallel.Pool.jobs pool in
+  (* Enough ranges to balance the fan-out even when the Z-order is
+     skewed: the smallest k with 4^k >= 8 * jobs, at most 5 levels. *)
+  let split_depth =
+    let k = ref 1 in
+    while (1 lsl (2 * !k)) < 8 * jobs && !k < 5 do
+      incr k
+    done;
+    !k
+  in
+  let cnt = Array.make 4 0 in
+  let acc = ref [] and nacc = ref 0 in
+  let plan =
+    Probe.arena_phase ~phase:"expand" (fun () ->
+        expand t keys slots keys2 slots2 cnt acc nacc 0 n 0 split_depth)
+  in
+  let ranges = Array.of_list (List.rev !acc) in
+  Probe.arena_parallel ~tasks:(Array.length ranges) ~jobs;
+  let results =
+    Probe.arena_phase ~phase:"subtrees" (fun () ->
+        Parallel.Pool.map_array pool (Array.length ranges) ~f:(fun i ->
+            Probe.arena_subtree ~index:i (fun () ->
+                let r = ranges.(i) in
+                let l = local_of t in
+                (* Buffer parity tracks depth: every level above
+                   [r_depth] scattered exactly once. *)
+                let sk, ss, dk, ds =
+                  if r.r_depth land 1 = 0 then (keys, slots, keys2, slots2)
+                  else (keys2, slots2, keys, slots)
+                in
+                build_sorted l sk ss dk ds (Array.make 4 0) r.r_lo r.r_hi 0
+                  r.r_depth false;
+                l)))
+  in
+  Probe.arena_phase ~phase:"stitch" (fun () ->
+      replay t results slots slots2 plan 0)
+
+(* Shared driver for both bulk entry points: points are already in the
+   columns (slots 0 .. n-1) and [t.size = n]; sort and emit. *)
+let bulk_build t n ~jobs ~pool ~packed =
+  (* The root leaf registered by [create] is replaced wholesale by the
+     build's own registration, mirroring Pr_builder.split_node
+     accounting. *)
+  t.leaves <- 0;
+  t.hist.(0) <- 0;
+  t.height <- 0;
+  let parallel_requested = jobs <> None || pool <> None in
+  if not t.unit_bounds then begin
+    (* Codes never steer custom bounds; the float partition handles the
+       whole tree. The fan-out keys on Morton ranges, so it does not
+       apply here — say so rather than quietly building differently. *)
+    if parallel_requested then
+      Probe.arena_fallback ~what:"parallel-custom-bounds"
+        ~detail:"custom bounds build sequentially (float-midpoint path)";
+    let slots = alloc_i t "slots" (max n 1) in
+    let slots2 = alloc_i t "slots2" (max n 1) in
+    for i = 0 to n - 1 do
+      slots.{i} <- i
+    done;
+    let b = t.bounds in
+    let cnt = Array.make 4 0 in
+    build_float t slots slots2 cnt 0 n 0 0 b.Box.xmin b.Box.ymin b.Box.xmax
+      b.Box.ymax
+  end
+  else
+    match packed with
+    | Some packed ->
+      (* The packed fast path (see [build_packed]): one word per element
+         in two plain int arrays, with the key array already built by
+         the caller's fill loop. The arrays are transient sort scratch —
+         at most 16 MB each at the size bound — so a heap build loses
+         nothing of the out-of-core story by using them; mmap-backed
+         arenas keep every buffer in segments and take the column path
+         below. *)
+      let scratch = Array.make (max n 1) 0 in
+      let cnt = Array.make 4 0 in
+      build_packed t packed scratch cnt 0 n 0 0 false
+    | None ->
+      begin
+    let keys = alloc_i t "keys" (max n 1) in
+    let slots = alloc_i t "slots" (max n 1) in
+    let keys2 = alloc_i t "keys2" (max n 1) in
+    let slots2 = alloc_i t "slots2" (max n 1) in
+    for i = 0 to n - 1 do
+      keys.{i} <- t.codes.{i};
+      slots.{i} <- i
+    done;
+    match pool with
+    | Some p -> parallel_build t n p keys slots keys2 slots2
+    | None -> (
+      match jobs with
+      | Some j ->
+        Parallel.Pool.with_pool ~jobs:(max 1 j) (fun p ->
+            parallel_build t n p keys slots keys2 slots2)
+      | None ->
+        let cnt = Array.make 4 0 in
+        build_sorted t keys slots keys2 slots2 cnt 0 n 0 0 false)
+  end
+
+(* Fills slot [i] and returns the stored code, so packed-path callers
+   can build their sort keys inside the fill loop instead of re-reading
+   the codes column in a second pass. *)
+let bulk_fill t i p =
+  if not (Box.contains t.bounds p) then
+    invalid_arg "Pr_arena bulk build: point outside bounds";
+  (* The unit-bounds encode is written out inline rather than routed
+     through [point_code]: a float passed to a non-inlined call gets
+     boxed, and two boxes per point is exactly the O(n) minor-heap
+     traffic the bulk path promises not to have (the alloc test
+     measures this loop). Kept unboxed, the reads feed the Bigarray
+     stores and the quantizing multiply directly. *)
+  if t.unit_bounds then begin
+    let x = p.Point.x and y = p.Point.y in
+    t.xs.{i} <- x;
+    t.ys.{i} <- y;
+    let code =
+      Morton.interleave
+        (int_of_float (x *. quantize_scale))
+        (int_of_float (y *. quantize_scale))
+    in
+    t.codes.{i} <- code;
+    code
+  end
+  else begin
+    t.xs.{i} <- p.Point.x;
+    t.ys.{i} <- p.Point.y;
+    let code = point_code t p.Point.x p.Point.y in
+    t.codes.{i} <- code;
+    code
+  end
+
+(* The packed fast path applies to sequential, heap-backed, unit-bounds
+   builds small enough for single-word keys (see [build_packed]); the
+   entry points share the predicate so they can fuse key packing into
+   their fill loops. *)
+let packed_capable t n ~jobs ~pool =
+  jobs = None && pool = None
+  && n <= packed_slot_mask
+  && t.backing = Heap && t.unit_bounds
+
+let of_points_bulk ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ps =
+  let n = List.length ps in
+  let t = create ?max_depth ?bounds ?backing ~reserve:n ~capacity () in
+  Probe.arena_build `Bulk ~inserts:n (fun () ->
+      let packed =
+        if packed_capable t n ~jobs ~pool then Some (Array.make (max n 1) 0)
+        else None
+      in
+      let i = ref 0 in
+      (match packed with
+      | Some a ->
         List.iter
           (fun p ->
-            if not (Box.contains t.bounds p) then
-              invalid_arg "Pr_arena.of_points_bulk: point outside bounds";
-            let x = p.Point.x and y = p.Point.y in
-            t.xs.(!i) <- x;
-            t.ys.(!i) <- y;
-            let code = point_code t x y in
-            t.codes.(!i) <- code;
-            packed.(!i) <- (code lsl bits) lor !i;
+            let code = bulk_fill t !i p in
+            a.(!i) <- (code lsl bits) lor !i;
             incr i)
-          ps;
-        t.size <- n;
-        (* The root leaf registered by [create] is replaced wholesale by
-           the build's own registration, mirroring Pr_builder.split_node
-           accounting. *)
-        t.leaves <- 0;
-        t.hist.(0) <- 0;
-        t.height <- 0;
-        let scratch = Array.make (max n 1) 0 in
-        let cnt = Array.make 4 0 in
-        if t.unit_bounds then build_sorted t packed scratch cnt 0 n 0 0
-        else begin
-          (* The float partition wants raw slots; codes never steered
-             this path, so drop the prefixes up front. *)
-          for k = 0 to n - 1 do
-            packed.(k) <- packed.(k) land slot_mask
-          done;
-          let b = t.bounds in
-          build_float t packed scratch cnt 0 n 0 0 b.Box.xmin b.Box.ymin
-            b.Box.xmax b.Box.ymax
-        end);
-    t
-  end
+          ps
+      | None ->
+        List.iter
+          (fun p ->
+            ignore (bulk_fill t !i p : int);
+            incr i)
+          ps);
+      t.size <- n;
+      bulk_build t n ~jobs ~pool ~packed);
+  t
+
+let bulk_of_fn ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ~n f =
+  if n < 0 then invalid_arg "Pr_arena.bulk_of_fn: n < 0";
+  let t = create ?max_depth ?bounds ?backing ~reserve:n ~capacity () in
+  Probe.arena_build `Bulk ~inserts:n (fun () ->
+      (* Generation is strictly in slot order 0 .. n-1 on the calling
+         domain, so a stateful generator (an RNG stream) draws exactly
+         as it would filling a list first — without the list. *)
+      let packed =
+        if packed_capable t n ~jobs ~pool then Some (Array.make (max n 1) 0)
+        else None
+      in
+      (match packed with
+      | Some a ->
+        for i = 0 to n - 1 do
+          let code = bulk_fill t i (f i) in
+          a.(i) <- (code lsl bits) lor i
+        done
+      | None ->
+        for i = 0 to n - 1 do
+          ignore (bulk_fill t i (f i) : int)
+        done);
+      t.size <- n;
+      bulk_build t n ~jobs ~pool ~packed);
+  t
 
 (* Analysis paths. *)
 
 let leaf_points t node =
   let rec go acc slot =
     if slot < 0 then acc
-    else go (Point.make t.xs.(slot) t.ys.(slot) :: acc) t.next.(slot)
+    else go (Point.make t.xs.{slot} t.ys.{slot} :: acc) t.next.{slot}
   in
   (* Collect then reverse so the list follows chain order (for an
      incremental build: reverse insertion order, like Pr_builder). *)
@@ -573,13 +1202,13 @@ let fold_leaves t ~init ~f =
 
 let iter_points t ~f =
   for slot = 0 to t.size - 1 do
-    f (Point.make t.xs.(slot) t.ys.(slot))
+    f (Point.make t.xs.{slot} t.ys.{slot})
   done
 
 let points t =
   let acc = ref [] in
   for slot = t.size - 1 downto 0 do
-    acc := Point.make t.xs.(slot) t.ys.(slot) :: !acc
+    acc := Point.make t.xs.{slot} t.ys.{slot} :: !acc
   done;
   !acc
 
@@ -614,11 +1243,11 @@ let thaw tree =
         (fun (p : Point.t) ->
           let s = !slot in
           incr slot;
-          t.xs.(s) <- p.Point.x;
-          t.ys.(s) <- p.Point.y;
-          t.codes.(s) <- point_code t p.Point.x p.Point.y;
-          t.next.(s) <- -1;
-          if !last < 0 then t.head.(node) <- s else t.next.(!last) <- s;
+          t.xs.{s} <- p.Point.x;
+          t.ys.{s} <- p.Point.y;
+          t.codes.{s} <- point_code t p.Point.x p.Point.y;
+          t.next.{s} <- -1;
+          if !last < 0 then t.head.(node) <- s else t.next.{!last} <- s;
           last := s;
           incr count)
         pts;
@@ -660,12 +1289,12 @@ let check_invariants t =
         let s = !slot in
         incr chain;
         incr stored;
-        let p = Point.make t.xs.(s) t.ys.(s) in
+        let p = Point.make t.xs.{s} t.ys.{s} in
         if not (Box.contains box p) then
           report "slot %d outside its leaf cell" s;
-        if t.unit_bounds && t.codes.(s) <> Morton.encode p then
+        if t.unit_bounds && t.codes.{s} <> Morton.encode p then
           report "slot %d code diverges from its coordinates" s;
-        slot := t.next.(s)
+        slot := t.next.{s}
       done;
       if !chain <> c then
         report "leaf count field %d but %d slots chained" c !chain

@@ -8,34 +8,49 @@ open Import
     ([-1] marks a leaf; a non-negative entry is the index of the first
     of four consecutive children), a per-leaf occupancy count, and a
     per-leaf head into an intrusive slot chain. Points live as Morton
-    codes plus parallel [float array] coordinates; each point occupies
-    one slot and leaves thread their slots through a [next] array. There
-    is no per-node boxing and no cons cell anywhere on the build path:
+    codes plus parallel coordinate columns; each point occupies one slot
+    and leaves thread their slots through a [next] column. The point,
+    key and scratch columns are [Bigarray]s ([float64] for coordinates,
+    the word-sized unboxed [int] kind for codes and chains — not
+    [int64], whose accessors box), so the columns live off the OCaml
+    heap entirely, radix loops compile to unboxed loads, and an arena
+    can be {b mmap-backed} ({!backing}) for out-of-core builds larger
+    than RAM. There is no per-node boxing and no cons cell anywhere on
+    the build path:
 
     - {b allocation-free inserts}: over the unit square (the default
       bounds) an insert is an integer walk down the child-base table
       driven by the point's Morton code — two bits per level — followed
-      by three int-array writes. Splits redistribute an intrusive chain
+      by three column writes. Splits redistribute an intrusive chain
       and bump-allocate four node indices. Nothing touches the minor
-      heap except doubling a backing array ([make check] asserts the
+      heap except doubling a backing column ([make check] asserts the
       zero-minor-words claim via [Gc.minor_words]).
     - {b two build paths}: {!of_points} grows incrementally with the
       same O(1) statistics contract as {!Pr_builder} (size / leaves /
       internals / height / occupancy histogram maintained per insert,
-      so per-step snapshots are free), and {!of_points_bulk} sorts the
-      Morton codes once and emits the finished tree in a single pass —
-      leaves left-to-right in Z-order, parents linked as the recursion
-      returns, child ranges found by binary search on the sorted codes.
-    - {b exactness}: over the unit square the Morton bit at level [d]
-      equals the float comparison [x >= midpoint] — cell boundaries at
-      depth <= {!Popan_geom.Morton.bits} are dyadic rationals, exactly
-      representable, and [floor (x *. 2^21)] is computed without
-      rounding — so both build paths produce bit-for-bit the
-      decomposition {!Pr_builder} and {!Pr_quadtree.of_points} produce.
-      Custom bounds and levels below the Morton resolution descend by
-      the same float-midpoint arithmetic as {!Popan_geom.Box.step},
-      preserving the equivalence there too (those paths may box
-      intermediate floats).
+      so per-step snapshots are free), and {!of_points_bulk} /
+      {!bulk_of_fn} sort the Morton keys once — a top-down MSD radix
+      partition, two bits per level — and emit the finished tree in a
+      single pass, leaves left-to-right in Z-order. The bulk path has
+      {b no point-count cap}: keys are two parallel columns (key word +
+      slot), not a packed word, so nothing reroutes to incremental
+      inserts at any n. With [?jobs] or [?pool] the top levels of the
+      radix partition fan independent subtree ranges out on the
+      deterministic {!Popan_parallel} pool and reduce node-id blocks in
+      task order — the resulting arena is {b byte-identical} to the
+      sequential build at every job count.
+    - {b exactness to 42 bits}: over the unit square the Morton bit at
+      level [d] equals the float comparison [x >= midpoint] down to
+      [d < ]{!Popan_geom.Morton.bits_fine}[ = 42] — cell boundaries are
+      dyadic rationals, exactly representable, and [floor (x *. 2^42)]
+      is computed without rounding — so both build paths produce
+      bit-for-bit the decomposition {!Pr_builder} and
+      {!Pr_quadtree.of_points} produce, with integer descent the whole
+      way. Custom bounds (and the pathological regime below 42 bits:
+      duplicate-heavy data under [max_depth > 42], which warns via
+      [Probe.arena_deep_float]) descend by the same float-midpoint
+      arithmetic as {!Popan_geom.Box.step}, preserving the equivalence
+      there too.
 
     {!freeze} converts a build into a persistent {!Pr_quadtree.t} and
     {!thaw} goes the other way, so snapshots, checkpoints and golden
@@ -45,15 +60,25 @@ open Import
 
 type t
 
-(** [create ?max_depth ?bounds ?reserve ~capacity ()] is an empty arena
-    over [bounds] (default the unit square) with leaf capacity
-    [capacity] (>= 1) and depth limit [max_depth] (default 16; >= 0).
-    [reserve] (default 0) pre-sizes the point arrays so the first
-    [reserve] inserts never grow a backing array. Raises
-    [Invalid_argument] on a nonpositive capacity or negative max_depth
-    or reserve. *)
+(** Where the arena's point/key columns live. [Heap] allocates ordinary
+    Bigarrays. [Mmap { dir }] maps each column from a segment file in a
+    private subdirectory of [dir] (created per arena, so arenas never
+    collide), letting builds larger than RAM page through the file
+    cache; growth remaps the same file in place. If mapping ever fails
+    the arena degrades to heap columns — loudly, via
+    [Probe.arena_fallback], never silently. *)
+type backing = Heap | Mmap of { dir : string }
+
+(** [create ?max_depth ?bounds ?reserve ?backing ~capacity ()] is an
+    empty arena over [bounds] (default the unit square) with leaf
+    capacity [capacity] (>= 1) and depth limit [max_depth] (default 16;
+    >= 0). [reserve] (default 0) pre-sizes the point columns so the
+    first [reserve] inserts never grow one. [backing] (default
+    {!Heap}) places the columns. Raises [Invalid_argument] on a
+    nonpositive capacity or negative max_depth or reserve. *)
 val create :
-  ?max_depth:int -> ?bounds:Box.t -> ?reserve:int -> capacity:int -> unit -> t
+  ?max_depth:int -> ?bounds:Box.t -> ?reserve:int -> ?backing:backing ->
+  capacity:int -> unit -> t
 
 (** [capacity t] is the leaf capacity. *)
 val capacity : t -> int
@@ -64,6 +89,10 @@ val max_depth : t -> int
 (** [bounds t] is the root block. *)
 val bounds : t -> Box.t
 
+(** [backing t] is the arena's {e effective} backing: {!Heap} when an
+    {!Mmap} request degraded (see {!backing}). *)
+val backing : t -> backing
+
 (** [size t] is the number of stored points. O(1). *)
 val size : t -> int
 
@@ -73,7 +102,7 @@ val is_empty : t -> bool
 (** [insert t p] adds [p], destructively. Duplicate points are stored
     again (multiset semantics). Raises [Invalid_argument] when [p] is
     outside the bounds. Allocation-free over the unit square except
-    when a backing array doubles. *)
+    when a backing column doubles. *)
 val insert : t -> Point.t -> unit
 
 (** [insert_all t ps] inserts every point of [ps] in order. *)
@@ -85,16 +114,60 @@ val insert_all : t -> Point.t list -> unit
 val of_points :
   ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
 
-(** [of_points_bulk ?max_depth ?bounds ~capacity ps] bulk-loads: encode
-    every point's Morton code, sort once, then emit the tree bottom-up
-    in a single linear pass over the sorted codes. The PR decomposition
-    is canonical, so the result equals {!of_points} on the same points;
-    insertion history is not replayed, which makes this the fast path
-    for build-then-measure experiments. Custom bounds (or cells below
-    the Morton resolution) fall back to an in-place float-midpoint
-    partition with the same split rule. *)
+(** [of_points_bulk ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ps]
+    bulk-loads: encode every point's Morton key, sort once (top-down
+    MSD radix, stopping exactly where leaves form), then emit the tree
+    in a single linear pass. The PR decomposition is canonical, so the
+    result equals {!of_points} on the same points; insertion history is
+    not replayed, which makes this the fast path for build-then-measure
+    experiments. There is no point-count cap.
+
+    [?jobs] (or an existing [?pool] — [jobs] is ignored when both are
+    given) runs the build's subtree ranges on the deterministic domain
+    pool; the finished arena is byte-identical to the sequential build
+    ([jobs] omitted) for every job count, including [jobs = 1]. Custom
+    bounds (or cells below the Morton resolution) fall back to an
+    in-place float-midpoint partition with the same split rule; the
+    fan-out does not apply to custom bounds (a parallel request there
+    warns via [Probe.arena_fallback] and builds sequentially).
+
+    Sequential heap-backed builds with at most [2^21 - 1] points sort
+    packed single-word keys (code shifted over slot) in plain int
+    arrays instead of the two Bigarray key/slot columns — PR 5's
+    kernel, kept because it moves half the words per partition level.
+    The choice selects sort scratch only: both kernels are stable MSD
+    partitions over the same codes, so the finished arena is
+    byte-identical either way. *)
 val of_points_bulk :
-  ?max_depth:int -> ?bounds:Box.t -> capacity:int -> Point.t list -> t
+  ?max_depth:int -> ?bounds:Box.t -> ?backing:backing -> ?jobs:int ->
+  ?pool:Popan_parallel.Pool.t -> capacity:int -> Point.t list -> t
+
+(** [bulk_of_fn ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ~n f]
+    is {!of_points_bulk} on the points [f 0 .. f (n-1)] without ever
+    materializing them as a list — the large-n entry point (a boxed
+    list of 10^8 points costs more than the whole arena). [f] is called
+    strictly in order [0 .. n-1] on the calling domain, so a stateful
+    generator (an RNG stream) draws exactly as it would building the
+    list first. Raises [Invalid_argument] when [n < 0] or some [f i]
+    falls outside the bounds. *)
+val bulk_of_fn :
+  ?max_depth:int -> ?bounds:Box.t -> ?backing:backing -> ?jobs:int ->
+  ?pool:Popan_parallel.Pool.t -> capacity:int -> n:int -> (int -> Point.t) ->
+  t
+
+(** [bulk_footprint ~capacity ~n] estimates the peak resident bytes of
+    a bulk build of [n] points: the four point columns, the four sort
+    columns, and a generous bound on the node arrays. Advisory — the
+    CLI prints it and checks it against available memory before
+    committing to a large build. Raises [Invalid_argument] when
+    [capacity < 1] or [n < 0]. *)
+val bulk_footprint : capacity:int -> n:int -> int
+
+(** [release t] deletes an mmap-backed arena's segment files (no-op for
+    heap arenas). Existing mappings stay readable until collected —
+    POSIX keeps unlinked files alive while mapped — but the arena must
+    not grow afterwards. Idempotent. *)
+val release : t -> unit
 
 (** [leaf_count t] is the number of leaf blocks, counting empty ones.
     O(1). *)

@@ -85,6 +85,41 @@ let tests =
                the allocation meter is broken"
               words
         end);
+    Alcotest.test_case "bulk build allocates O(1) minor words" `Quick
+      (fun () ->
+        (* The whole bulk pipeline — fill, radix partition, leaf
+           emission — runs on Bigarray columns and int arrays, so its
+           minor-heap traffic must not scale with n: a handful of
+           Bigarray handles, closures and the recursion's spine, not a
+           per-point cost. n = 65536 with a per-point budget of 1/16
+           word makes any O(n) leak a loud failure while leaving a few
+           thousand words of fixed overhead. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let n = 65_536 in
+          let rng = Xoshiro.of_int_seed 91 in
+          let pts =
+            Array.init n (fun _ -> Sampler.point rng Sampler.Uniform)
+          in
+          (* Warm-up build: one-time lazy setup (metrics instruments,
+             shared tables) charges the first build only. *)
+          ignore (Pr_arena.bulk_of_fn ~capacity:8 ~n (fun i -> pts.(i)));
+          let tree = ref None in
+          let words =
+            measure (fun () ->
+                tree :=
+                  Some (Pr_arena.bulk_of_fn ~capacity:8 ~n (fun i -> pts.(i))))
+          in
+          (match !tree with
+          | Some t -> Alcotest.check Alcotest.int "all stored" n (Pr_arena.size t)
+          | None -> assert false);
+          if words > float_of_int (n / 16) then
+            Alcotest.failf
+              "bulk build allocated %.0f minor words for n=%d (%.3f \
+               words/point); the Bigarray pipeline must be O(1)"
+              words n
+              (words /. float_of_int n)
+        end);
     Alcotest.test_case "splits and growth stay amortized-modest" `Quick
       (fun () ->
         (* Not zero — splits bump-allocate node quads and growth doubles

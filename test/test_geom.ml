@@ -341,6 +341,63 @@ let morton_tests =
         Morton.prefix ~depth:(2 * k) code = descend Box.unit k 0);
   ]
 
+(* The two-word 42-bit codes *)
+
+let morton_fine_tests =
+  [
+    Alcotest.test_case "fine resolution doubles the coarse one" `Quick
+      (fun () -> check_int "bits_fine" (2 * Morton.bits) Morton.bits_fine);
+    Alcotest.test_case "quantize_fine is exact floor at dyadics" `Quick
+      (fun () ->
+        (* x *. 2^42 only shifts the exponent, so the fine quantizer is
+           floor(x * 2^42) with no rounding step — the exactness the
+           integer descent below depth 21 rests on. *)
+        check_int "half" (1 lsl (Morton.bits_fine - 1))
+          (Morton.quantize_fine 0.5);
+        check_int "just below half"
+          ((1 lsl (Morton.bits_fine - 1)) - 1)
+          (Morton.quantize_fine (0.5 -. epsilon_float));
+        check_int "deep dyadic" (1 lsl 12) (Morton.quantize_fine (0x1.p-30));
+        check_int "zero" 0 (Morton.quantize_fine 0.0));
+    prop "hi word of encode_fine is the coarse code" unit_point (fun p ->
+        fst (Morton.encode_fine p) = Morton.encode p);
+    prop "lo word stays in range" unit_point (fun p ->
+        let _, lo = Morton.encode_fine p in
+        lo >= 0 && lo < 1 lsl (2 * Morton.bits));
+    prop "decode_fine is the containing 2^-42 cell's corner" unit_point
+      (fun p ->
+        let side = Float.ldexp 1.0 (-Morton.bits_fine) in
+        let q = Morton.decode_fine (Morton.encode_fine p) in
+        q.Point.x <= p.Point.x
+        && p.Point.x < q.Point.x +. side
+        && q.Point.y <= p.Point.y
+        && p.Point.y < q.Point.y +. side
+        && Morton.encode_fine q = Morton.encode_fine p);
+    prop "cell_corner at depths beyond 21 contains the point"
+      QCheck2.Gen.(pair unit_point (int_range (Morton.bits + 1) Morton.bits_fine))
+      (fun (p, depth) ->
+        (* The regime the coarse code cannot reach: the corner of the
+           depth-d ancestor cell for 21 < d <= 42 must still satisfy
+           corner <= p < corner + 2^-d on both axes. *)
+        let side = Float.ldexp 1.0 (-depth) in
+        let c = Morton.cell_corner ~depth (Morton.encode_fine p) in
+        c.Point.x <= p.Point.x
+        && p.Point.x < c.Point.x +. side
+        && c.Point.y <= p.Point.y
+        && p.Point.y < c.Point.y +. side);
+    Alcotest.test_case "cell_corner endpoints" `Quick (fun () ->
+        let key = Morton.encode_fine (Point.make 0.637 0.289) in
+        let c0 = Morton.cell_corner ~depth:0 key in
+        check_float "depth 0 is the origin" 0.0 (c0.Point.x +. c0.Point.y);
+        let full = Morton.cell_corner ~depth:Morton.bits_fine key in
+        let q = Morton.decode_fine key in
+        check_float "full depth is decode_fine (x)" q.Point.x full.Point.x;
+        check_float "full depth is decode_fine (y)" q.Point.y full.Point.y;
+        Alcotest.check_raises "depth 43 rejected"
+          (Invalid_argument "Morton.cell_corner: depth out of range") (fun () ->
+            ignore (Morton.cell_corner ~depth:(Morton.bits_fine + 1) key)));
+  ]
+
 let () =
   Alcotest.run "popan_geom"
     [
@@ -350,4 +407,5 @@ let () =
       ("segment", segment_tests);
       ("nd", nd_tests);
       ("morton", morton_tests);
+      ("morton-fine", morton_fine_tests);
     ]

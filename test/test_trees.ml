@@ -681,6 +681,138 @@ let pr_arena_tests =
         no_violations "inv bulk" (Pr_arena.check_invariants bulk));
   ]
 
+(* The parallel / out-of-core bulk path *)
+
+let pr_arena_bulk_tests =
+  [
+    prop "parallel bulk equals sequential at jobs 1, 2 and 4"
+      QCheck2.Gen.(triple (int_range 0 10_000) (int_range 1 6) (int_range 4 12))
+      (fun (seed, capacity, max_depth) ->
+        let pts = uniform_points seed 400 in
+        let sequential =
+          Pr_arena.freeze (Pr_arena.of_points_bulk ~capacity ~max_depth pts)
+        in
+        let reference = Pr_quadtree.of_points ~capacity ~max_depth pts in
+        let builder =
+          Pr_builder.freeze (Pr_builder.of_points ~capacity ~max_depth pts)
+        in
+        List.for_all
+          (fun jobs ->
+            let par =
+              Pr_arena.of_points_bulk ~capacity ~max_depth ~jobs pts
+            in
+            Pr_arena.check_invariants par = []
+            && Pr_quadtree.equal_structure (Pr_arena.freeze par) sequential)
+          [ 1; 2; 4 ]
+        && Pr_quadtree.equal_structure sequential reference
+        && Pr_quadtree.equal_structure sequential builder);
+    prop "bulk_of_fn streams the same tree as the point list"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 300 in
+        let arr = Array.of_list pts in
+        let streamed =
+          Pr_arena.bulk_of_fn ~capacity ~n:(Array.length arr) (fun i ->
+              arr.(i))
+        in
+        Pr_quadtree.equal_structure
+          (Pr_arena.freeze streamed)
+          (Pr_arena.freeze (Pr_arena.of_points_bulk ~capacity pts))
+        && Pr_arena.check_invariants streamed = []);
+    prop "mmap-backed arena equals heap, freeze/thaw round-trips"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 300 in
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ()) "popan-test-segments"
+        in
+        let m =
+          Pr_arena.of_points_bulk ~backing:(Pr_arena.Mmap { dir }) ~capacity
+            ~jobs:2 pts
+        in
+        let mapped = Pr_arena.backing m <> Pr_arena.Heap in
+        let frozen = Pr_arena.freeze m in
+        let round_trip = Pr_arena.freeze (Pr_arena.thaw frozen) in
+        let ok =
+          mapped
+          && Pr_arena.check_invariants m = []
+          && Pr_quadtree.equal_structure frozen
+               (Pr_arena.freeze (Pr_arena.of_points_bulk ~capacity pts))
+          && Pr_quadtree.equal_structure frozen round_trip
+        in
+        Pr_arena.release m;
+        ok);
+    Alcotest.test_case "mmap arena keeps growing through remaps" `Quick
+      (fun () ->
+        (* Incremental inserts double mmap-ed columns through file
+           remaps; the data must survive every growth step. *)
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ()) "popan-test-segments"
+        in
+        let a =
+          Pr_arena.create ~backing:(Pr_arena.Mmap { dir }) ~capacity:4 ()
+        in
+        let pts = uniform_points 77 3000 in
+        List.iter (Pr_arena.insert a) pts;
+        check_int "size" 3000 (Pr_arena.size a);
+        no_violations "inv" (Pr_arena.check_invariants a);
+        check_bool "still mapped" true (Pr_arena.backing a <> Pr_arena.Heap);
+        check_bool "matches heap build" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.of_points ~capacity:4 pts));
+        Pr_arena.release a);
+    Alcotest.test_case "deep collisions split by the lo code word" `Quick
+      (fun () ->
+        (* Points sharing all 21 coarse bits but differing in bits
+           22..30: the build must descend on the lo word — integer
+           arithmetic, no float fallback — and match the reference.
+           With the old single-word keys this shape forced the float
+           path (or, in bulk, a silent incremental fallback). *)
+        let base = 0.3333333 in
+        let pts =
+          List.init 6 (fun k ->
+              Point.make
+                (base +. (float_of_int k *. ldexp 1.0 (-30)))
+                (base +. (float_of_int (k mod 3) *. ldexp 1.0 (-29))))
+        in
+        let reference = Pr_quadtree.of_points ~capacity:1 ~max_depth:32 pts in
+        let seq = Pr_arena.of_points_bulk ~capacity:1 ~max_depth:32 pts in
+        let par =
+          Pr_arena.of_points_bulk ~capacity:1 ~max_depth:32 ~jobs:4 pts
+        in
+        check_bool "deeper than the coarse code" true (Pr_arena.height seq > 21);
+        check_bool "sequential matches reference" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze seq) reference);
+        check_bool "parallel matches reference" true
+          (Pr_quadtree.equal_structure (Pr_arena.freeze par) reference);
+        no_violations "inv seq" (Pr_arena.check_invariants seq);
+        no_violations "inv par" (Pr_arena.check_invariants par));
+    Alcotest.test_case "bulk_of_fn validates" `Quick (fun () ->
+        Alcotest.check_raises "negative n"
+          (Invalid_argument "Pr_arena.bulk_of_fn: n < 0") (fun () ->
+            ignore
+              (Pr_arena.bulk_of_fn ~capacity:2 ~n:(-1) (fun _ ->
+                   Point.origin)));
+        Alcotest.check_raises "point outside bounds"
+          (Invalid_argument "Pr_arena bulk build: point outside bounds")
+          (fun () ->
+            ignore
+              (Pr_arena.bulk_of_fn ~capacity:2 ~n:1 (fun _ ->
+                   Point.make 1.5 0.5))));
+    Alcotest.test_case "footprint estimate is sane and validates" `Quick
+      (fun () ->
+        let f = Pr_arena.bulk_footprint ~capacity:8 ~n:1_000_000 in
+        (* Eight 8-byte columns of n entries, plus node arrays. *)
+        check_bool "covers the columns" true (f >= 64 * 1_000_000);
+        check_bool "stays within 2x the columns" true (f <= 128 * 1_000_000);
+        Alcotest.check_raises "n < 0"
+          (Invalid_argument "Pr_arena.bulk_footprint: n < 0") (fun () ->
+            ignore (Pr_arena.bulk_footprint ~capacity:1 ~n:(-1)));
+        Alcotest.check_raises "capacity < 1"
+          (Invalid_argument "Pr_arena.bulk_footprint: capacity < 1") (fun () ->
+            ignore (Pr_arena.bulk_footprint ~capacity:0 ~n:1)));
+  ]
+
 (* Bintree *)
 
 let bintree_tests =
@@ -1670,6 +1802,7 @@ let () =
       ("pr_quadtree", pr_tests);
       ("pr_builder", pr_builder_tests);
       ("pr_arena", pr_arena_tests);
+      ("pr_arena_bulk", pr_arena_bulk_tests);
       ("bintree", bintree_tests);
       ("md_tree", md_tests);
       ("point_quadtree", point_quadtree_tests);
