@@ -19,16 +19,30 @@ test:
 # table bytes untouched and emit trace + metrics JSON that `popan obs
 # validate` accepts. The allocation gate re-runs the arena regression
 # explicitly: a no-split arena insert must allocate zero minor words.
-# Finally the bulk smoke: a 2^22-point bulk build must complete on the
+# The bulk smoke: a 2^22-point bulk build must complete on the
 # sort path with no fallback, and the arenas built at jobs 1 and 4 must
 # be byte-identical to the sequential one (compared on encoded frozen
-# trees).
+# trees). Finally the churn smoke: a 10^6-operation insert/delete/update
+# stream whose arena must equal a fresh rebuild of the survivors, with
+# trial fan-out byte-identical at jobs 1/2/4.
 check: build test
 	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
 	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
 	else \
 	  echo "alloc smoke FAILED: arena insert hot path allocates"; \
 	  dune exec --no-build test/test_alloc.exe -- test arena 0; exit 1; \
+	fi
+	@if dune exec --no-build test/test_alloc.exe -- test arena 3 >/dev/null 2>&1; then \
+	  echo "alloc smoke: no-merge arena delete allocates zero minor words"; \
+	else \
+	  echo "alloc smoke FAILED: arena delete hot path allocates"; \
+	  dune exec --no-build test/test_alloc.exe -- test arena 3; exit 1; \
+	fi
+	@if dune exec --no-build test/test_alloc.exe -- test arena 4 >/dev/null 2>&1; then \
+	  echo "alloc smoke: slot-reusing arena reinsert allocates zero minor words"; \
+	else \
+	  echo "alloc smoke FAILED: arena reinsert after delete allocates"; \
+	  dune exec --no-build test/test_alloc.exe -- test arena 4; exit 1; \
 	fi
 	@tmp=$$(mktemp -d); \
 	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
@@ -70,13 +84,15 @@ check: build test
 	fi
 	@dune exec --no-build test/bulk_smoke.exe || \
 	  { echo "bulk smoke FAILED: see diagnosis above"; exit 1; }
+	@dune exec --no-build test/churn_smoke.exe || \
+	  { echo "churn smoke FAILED: see diagnosis above"; exit 1; }
 
 bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

@@ -633,6 +633,58 @@ let bench_obs_incr level tag =
     (Staged.stage (fun () ->
          with_obs level (fun () -> Sys.opaque_identity (sweep_incr_once ()))))
 
+(* PR 7 ablation: steady-state churn against insert-only growth. The
+   event stream is generated once up front — the generator is
+   deterministic and independent of the tree — so each run replays the
+   identical operations over a fresh arena. Insert-only prices 4096
+   root-to-leaf descents on top of the 1024-point base build; the mixed
+   stream replaces half of those with deletes (same descent plus the
+   eager-merge check) and folds in moving objects (delete + drifted
+   reinsert), pricing the churn engine's steady-state op against pure
+   growth at an identical op count. *)
+
+let churn_ops = 4096
+
+let churn_spec =
+  Workload.Churn.make ~points:1024 ~trials:1 ~seed:7 ~ops:churn_ops
+    ~insert_fraction:0.5 ~update_fraction:(1.0 /. 3.0) ~drift_sigma:0.01 ()
+
+let churn_initial, churn_events =
+  let rng =
+    List.hd (Workload.Churn.map_trials churn_spec ~f:(fun _ rng -> rng))
+  in
+  let st = Workload.Churn.start churn_spec ~rng in
+  let initial = Array.to_list (Workload.Churn.live st) in
+  let events =
+    Array.init churn_ops (fun _ -> Workload.Churn.step churn_spec st)
+  in
+  (initial, events)
+
+let churn_apply arena = function
+  | Workload.Churn.Insert p -> Pr_arena.insert arena p
+  | Workload.Churn.Delete p -> ignore (Pr_arena.delete arena p)
+  | Workload.Churn.Update (p, q) -> ignore (Pr_arena.update arena p q)
+
+(* The insert-only control draws from its own stream so both benches
+   touch 4096 fresh points nobody else caches. *)
+let churn_insert_stream =
+  let rng = Xoshiro.of_int_seed 7 in
+  Array.of_list (Sampler.points rng Sampler.Uniform churn_ops)
+
+let bench_churn_insert_only =
+  Test.make ~name:"ablation:churn insert-only m=8 base=1024 ops=4096"
+    (Staged.stage (fun () ->
+         let arena = Pr_arena.of_points_bulk ~capacity:8 churn_initial in
+         Array.iter (Pr_arena.insert arena) churn_insert_stream;
+         Sys.opaque_identity (Pr_arena.size arena)))
+
+let bench_churn_mixed =
+  Test.make ~name:"ablation:churn mixed stream m=8 base=1024 ops=4096"
+    (Staged.stage (fun () ->
+         let arena = Pr_arena.of_points_bulk ~capacity:8 churn_initial in
+         Array.iter (churn_apply arena) churn_events;
+         Sys.opaque_identity (Pr_arena.size arena)))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -660,6 +712,7 @@ let all_benches =
       bench_obs_incr `Off "obs-off";
       bench_obs_incr `Metrics_only "obs-metrics";
       bench_obs_incr `Trace "obs-full-trace";
+      bench_churn_insert_only; bench_churn_mixed;
     ]
 
 let run_benchmarks () =
@@ -938,6 +991,55 @@ let print_obs_summary estimates =
       (100.0 *. ((off /. plain) -. 1.0))
   | _ -> ()
 
+
+(* The footprint row of the churn ablation: slots the arena actually
+   holds after the mixed stream (free-list reuse caps the arena at the
+   population's high-water mark) against the slots a naive
+   append-only arena would have burned (one per lifetime insert,
+   deletes only tombstoning). Counted, not timed — appended to the
+   estimates so the JSON trajectory carries both numbers. *)
+let churn_footprint_rows () =
+  let arena = Pr_arena.of_points_bulk ~capacity:8 churn_initial in
+  let lifetime = ref (List.length churn_initial) in
+  Array.iter
+    (fun ev ->
+      (match ev with
+       | Workload.Churn.Insert _ | Workload.Churn.Update _ -> incr lifetime
+       | Workload.Churn.Delete _ -> ());
+      churn_apply arena ev)
+    churn_events;
+  [ ( "popan/churn:footprint slot-reuse high water (slots) ops=4096",
+      Some (float_of_int (Pr_arena.slot_high_water arena)), None );
+    ( "popan/churn:footprint naive append (lifetime inserts) ops=4096",
+      Some (float_of_int !lifetime), None ) ]
+
+(* The churn ablation, stated per-operation: a steady-state churn op
+   against a pure insert at the same base, and the footprint ratio. *)
+let print_churn_summary estimates =
+  let find = find_estimate estimates in
+  (match
+     ( find "ablation:churn insert-only m=8 base=1024 ops=4096",
+       find "ablation:churn mixed stream m=8 base=1024 ops=4096" )
+   with
+  | Some ins, Some mix ->
+    Printf.printf
+      "churn ops: insert-only %.0f ns/op, mixed insert/delete/update %.0f \
+       ns/op -> %+.1f%% (both include the 1024-point base build)\n"
+      (ins /. float_of_int churn_ops)
+      (mix /. float_of_int churn_ops)
+      (100.0 *. ((mix /. ins) -. 1.0))
+  | _ -> ());
+  match
+    ( find "churn:footprint slot-reuse high water (slots) ops=4096",
+      find "churn:footprint naive append (lifetime inserts) ops=4096" )
+  with
+  | Some reuse, Some naive ->
+    Printf.printf
+      "churn footprint: slot high water %.0f slots vs %.0f lifetime \
+       inserts naive-append -> %.2fx smaller\n"
+      reuse naive (naive /. reuse)
+  | _ -> ()
+
 (* Machine-readable perf trajectory: --json FILE (or BENCH_JSON=FILE)
    writes the ns/run estimates as one flat JSON object keyed by bench
    name, so successive PRs can diff the numbers mechanically. *)
@@ -1051,12 +1153,13 @@ let () =
   Printf.printf
     "\ntiming 2^22-point bulk builds (outside bechamel: multi-second \
      kernels)...\n%!";
-  let estimates = estimates @ big_bulk_rows () in
+  let estimates = estimates @ big_bulk_rows () @ churn_footprint_rows () in
   print_parallel_summary estimates;
   print_arena_summary estimates;
   print_bulk_summary estimates;
   print_cache_summary estimates;
   print_obs_summary estimates;
+  print_churn_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
   let clock = Sys.time () in

@@ -661,6 +661,71 @@ let ext_churn_cmd =
           churn vs the insert-only fixed point.")
     term
 
+let churn_cmd =
+  let run () points trials seed capacity ops drift mixes checkpoint_every =
+    let parse_mix s =
+      let bad () =
+        failwith
+          (Printf.sprintf "bad mix %S (want INSERT or INSERT:UPDATE)" s)
+      in
+      let frac f = match float_of_string_opt (String.trim f) with
+        | Some v when v >= 0.0 && v <= 1.0 -> v
+        | _ -> bad ()
+      in
+      match String.split_on_char ':' (String.trim s) with
+      | [ q ] -> (frac q, 0.0)
+      | [ q; u ] -> (frac q, frac u)
+      | _ -> bad ()
+    in
+    let mixes = List.map parse_mix (String.split_on_char ',' mixes) in
+    Table.print
+      (Render.churn_steady_table
+         (Churn.study ~points ~trials ~seed ~ops ~drift_sigma:drift ~mixes
+            ~checkpoint_every ~capacity ()))
+  in
+  let ops_term =
+    let doc = "Churn operations per trial, after the initial build." in
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"OPS" ~doc)
+  in
+  let drift_term =
+    let doc =
+      "Per-axis displacement bound of an update's drift (moving objects \
+       take uniform steps of at most $(docv), reflected at the walls)."
+    in
+    Arg.(value & opt float 0.01 & info [ "drift" ] ~docv:"SIGMA" ~doc)
+  in
+  let mixes_term =
+    let doc =
+      "Comma-separated operation mixes, each $(b,INSERT:UPDATE) (or just \
+       $(b,INSERT)): the insert fraction among non-update operations and \
+       the update fraction among all operations. The default covers a \
+       balanced mix, a moving-object mix and a growing mix."
+    in
+    Arg.(value & opt string "0.5:0,0.5:0.5,0.75:0"
+         & info [ "mixes" ] ~docv:"Q:U,..." ~doc)
+  in
+  let checkpoint_term =
+    let doc =
+      "Save a resumable checkpoint every $(docv) operations (0 = off; \
+       requires $(b,--cache)). A killed run resumes from the newest \
+       checkpoint with byte-identical results."
+    in
+    Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"OPS" ~doc)
+  in
+  let term =
+    Term.(const run $ setup_term $ points_term $ trials_term $ seed_term
+          $ capacity_term ~default:4 $ ops_term $ drift_term $ mixes_term
+          $ checkpoint_term)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Arena churn steady state: run insert/delete/update streams at \
+          several mixes and compare the settled node population with the \
+          blended-transform prediction (delete modeled as the insert \
+          transform's adjoint).")
+    term
+
 let ext_solvers_cmd =
   let run () = Table.print (Render.solver_table (Ext.solver_study ())) in
   let term = Term.(const run $ const ()) in
@@ -742,6 +807,9 @@ let all_cmd =
             ~seed ()));
     Table.print
       (Render.churn_table (Ext.churn_study ~points ~trials:5 ~seed ~capacity:4 ()));
+    Table.print
+      (Render.churn_steady_table
+         (Churn.study ~points ~trials:5 ~seed ~capacity:4 ()));
     Table.print (Render.solver_table (Ext.solver_study ()));
     Table.print (Render.aging_table (Ext.aging_study ~points ~trials ~seed ()))
   in
@@ -1296,7 +1364,8 @@ let main_cmd =
     (Cmd.info "popan" ~version:"1.0.0" ~doc)
     [
       theory_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-      fig2_cmd; fig3_cmd; sweep_cmd; ext_branching_cmd; ext_pmr_cmd; ext_pmr_sweep_cmd;
+      fig2_cmd; fig3_cmd; sweep_cmd; churn_cmd; ext_branching_cmd; ext_pmr_cmd;
+      ext_pmr_sweep_cmd;
       ext_bucketsweep_cmd; ext_exthash_cmd;
       ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
       ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;

@@ -1,0 +1,24 @@
+open Import
+
+(* D[i][j] = e_j T[j][i] / (e_i r_j): reverse every insert transition
+   into j and renormalize by row j's node production, so that
+   e.D = e exactly (the column sum telescopes to e_j r_j / r_j). *)
+let delete_transform ~branching ~capacity =
+  let insert = Pr_model.transform ~branching ~capacity in
+  let t = Transform.matrix insert in
+  let e = Distribution.to_vec (Fixed_point.solve insert).Fixed_point.distribution in
+  let r = Transform.row_sums insert in
+  let n = Transform.types insert in
+  Transform.of_matrix
+    (Matrix.init n n (fun i j ->
+         e.(j) *. Matrix.get t j i /. (e.(i) *. r.(j))))
+
+let blended ~branching ~capacity ~insert_fraction =
+  if not (insert_fraction >= 0.0 && insert_fraction <= 1.0) then
+    invalid_arg "Churn_model.blended: insert_fraction outside [0, 1]";
+  let t = Transform.matrix (Pr_model.transform ~branching ~capacity) in
+  let d = Transform.matrix (delete_transform ~branching ~capacity) in
+  Transform.of_matrix (Matrix.blend insert_fraction t d)
+
+let steady_state ?criterion ~branching ~capacity ~insert_fraction () =
+  Fixed_point.solve ?criterion (blended ~branching ~capacity ~insert_fraction)

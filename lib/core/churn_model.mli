@@ -1,0 +1,58 @@
+open Import
+
+(** The churn extension of the population model: what deletions do to
+    the node-type distribution, and why an insert/delete mix leaves the
+    PR steady state where insertions alone put it.
+
+    The paper's machinery (§III) models growth only: row [i] of the
+    insert transform [T] says what an insertion into a type-[i] node
+    produces, and the expected distribution [e] solves [e·T = a·e]
+    (Perron vector). Deletion is insertion's inverse at the level of
+    {e transitions}: a delete that removes a point from a type-[j] node
+    undoes, in expectation, the insert transitions that flow {e into}
+    [j]. Reversing every insert transition [i -> j] (rate
+    [e_i·T[i][j]]) and renormalizing by the node production [r_i = Σ_j
+    T[i][j]] gives the {b adjoint delete transform}
+
+    {v D[i][j] = e_j · T[j][i] / (e_i · r_j) v}
+
+    which satisfies [e·D = e] {e exactly} (each column sum telescopes:
+    [Σ_i e_i·D[i][j] = e_j·(Σ_i T[j][i])/r_j = e_j]). Hence for any
+    insert fraction [q] the blended matrix [M(q) = q·T + (1−q)·D] has
+    [e·M(q) = (q·a + 1−q)·e]: {b the steady-state distribution under
+    churn is the insert-only fixed point}, independent of the mix — the
+    churn analogue of the paper's population-size independence. The
+    experiment layer validates this the way Tables 1–2 validate [e]
+    itself: simulate a long insert/delete mix over the arena and compare
+    measured occupancy to {!steady_state}. *)
+
+(** [delete_transform ~branching ~capacity] is the adjoint [D] of
+    {!Pr_model.transform}, built from its numerically solved fixed
+    point. Nonnegative with no zero row, so it is a valid
+    {!Transform.t}; its rows do {e not} sum to 1 (deletes destroy
+    nodes through merges, so expected node production per delete is
+    below 1 for merging rows). Raises like {!Pr_model.transform}. *)
+val delete_transform : branching:int -> capacity:int -> Transform.t
+
+(** [blended ~branching ~capacity ~insert_fraction] is
+    [M(q) = q·T + (1−q)·D] for [q = insert_fraction]: the one-operation
+    transform of a workload that inserts with probability [q] and
+    deletes otherwise. [blended ~insert_fraction:1.0] is
+    {!Pr_model.transform} exactly. Raises [Invalid_argument] when
+    [insert_fraction] is outside [0, 1]. *)
+val blended :
+  branching:int -> capacity:int -> insert_fraction:float -> Transform.t
+
+(** [steady_state ?criterion ~branching ~capacity ~insert_fraction ()]
+    solves the blended transform's fixed point by power iteration —
+    the predicted node-type distribution of a churning tree at
+    statistical steady state. By the adjoint identity this equals the
+    insert-only solution for every mix; solving the blend numerically
+    (rather than returning the insert fixed point) is the point: the
+    experiment checks prediction against simulation without assuming
+    the theorem it is testing. The report's [eigenvalue] is the blended
+    node production [q·a + 1−q]. *)
+val steady_state :
+  ?criterion:Convergence.criterion ->
+  branching:int -> capacity:int -> insert_fraction:float -> unit ->
+  Fixed_point.report

@@ -318,6 +318,35 @@ let churn_table rows =
     ~header:[ "population"; "occupancy"; "TV to e"; "leaves" ]
     body
 
+let churn_steady_table rows =
+  let body =
+    List.map
+      (fun (r : Churn.row) ->
+        [
+          Printf.sprintf "%.2f/%.2f" r.Churn.insert_fraction
+            r.Churn.update_fraction;
+          Table.cell_int r.Churn.capacity;
+          Table.cell_float r.Churn.measured_occupancy;
+          Table.cell_float r.Churn.theory_occupancy;
+          Table.cell_percent r.Churn.percent_difference;
+          Table.cell_float ~decimals:3
+            (Popan_core.Distribution.total_variation r.Churn.measured
+               r.Churn.theory);
+          Table.cell_float ~decimals:1 r.Churn.live_mean;
+          Table.cell_float ~decimals:1 r.Churn.leaves_mean;
+          Table.cell_float ~decimals:1 r.Churn.high_water_mean;
+        ])
+      rows
+  in
+  Table.make
+    ~title:
+      "Churn steady state: measured occupancy vs blended-transform \
+       prediction"
+    ~header:
+      [ "ins/upd mix"; "capacity"; "occ (sim)"; "occ (thy)"; "% diff";
+        "TV to e"; "live"; "leaves"; "slots" ]
+    body
+
 let sweep_csv rows =
   ( [ "points"; "nodes"; "occupancy"; "occupancy_stddev" ],
     List.map

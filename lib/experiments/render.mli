@@ -63,6 +63,10 @@ val trajectory_table :
 (** [churn_table rows] renders the insert/delete steady-state study. *)
 val churn_table : Ext.churn_row list -> Popan_report.Table.t
 
+(** [churn_steady_table rows] renders the arena churn experiment: one
+    row per operation mix, simulation vs blended-transform prediction. *)
+val churn_steady_table : Churn.row list -> Popan_report.Table.t
+
 (** [sweep_csv rows] is the (points, nodes, occupancy, stddev) series as
     CSV rows, for {!Popan_report.Csv.write}. *)
 val sweep_csv : Sweep.row list -> string list * string list list

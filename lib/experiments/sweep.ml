@@ -167,6 +167,8 @@ let run_incremental ?(capacity = 8) ?(max_depth = 16) ?sizes ?jobs
                 next_index = idx + 1;
                 have = !have;
                 partial = Array.sub out 0 (idx + 1);
+                ops_done = 0;
+                live = [||];
               }
           | _ -> ()
         done;

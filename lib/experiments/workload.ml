@@ -49,3 +49,121 @@ let map_trials ?jobs w ~f =
   let rngs = trial_rng_array w in
   Parallel.map_list ?jobs w.trials ~f:(fun i ->
       f i (Sampler.points rngs.(i) w.model w.points))
+
+module Churn = struct
+  type spec = {
+    base : t;
+    ops : int;
+    insert_fraction : float;
+    update_fraction : float;
+    drift_sigma : float;
+  }
+
+  let make ?model ?points ?trials ?seed ?(ops = 10_000)
+      ?(insert_fraction = 0.5) ?(update_fraction = 0.0)
+      ?(drift_sigma = 0.01) () =
+    if ops < 0 then invalid_arg "Workload.Churn.make: ops < 0";
+    if not (insert_fraction >= 0.0 && insert_fraction <= 1.0) then
+      invalid_arg "Workload.Churn.make: insert_fraction outside [0, 1]";
+    if not (update_fraction >= 0.0 && update_fraction <= 1.0) then
+      invalid_arg "Workload.Churn.make: update_fraction outside [0, 1]";
+    if not (drift_sigma >= 0.0 && drift_sigma < 1.0) then
+      invalid_arg "Workload.Churn.make: drift_sigma outside [0, 1)";
+    { base = make ?model ?points ?trials ?seed (); ops; insert_fraction;
+      update_fraction; drift_sigma }
+
+  type event =
+    | Insert of Point.t
+    | Delete of Point.t
+    | Update of Point.t * Point.t
+
+  type state = {
+    rng : Xoshiro.t;
+    mutable live : Point.t array;
+    mutable n : int;
+    mutable ops_done : int;
+  }
+
+  let dummy = { Point.x = 0.0; Point.y = 0.0 }
+
+  let restore ~rng ~live ~ops_done =
+    if ops_done < 0 then invalid_arg "Workload.Churn.restore: ops_done < 0";
+    let n = Array.length live in
+    let cap = max 16 n in
+    let arr = Array.make cap dummy in
+    Array.blit live 0 arr 0 n;
+    { rng; live = arr; n; ops_done }
+
+  let start spec ~rng =
+    let initial =
+      Array.of_list (Sampler.points rng spec.base.model spec.base.points)
+    in
+    restore ~rng ~live:initial ~ops_done:0
+
+  let live s = Array.sub s.live 0 s.n
+  let live_count s = s.n
+  let ops_done s = s.ops_done
+  let rng s = s.rng
+
+  let push s p =
+    if s.n = Array.length s.live then begin
+      let grown = Array.make (2 * s.n) dummy in
+      Array.blit s.live 0 grown 0 s.n;
+      s.live <- grown
+    end;
+    s.live.(s.n) <- p;
+    s.n <- s.n + 1
+
+  (* One uniform step of at most [drift_sigma] per axis, reflected at
+     the unit-square walls and clamped just inside the open upper edge
+     so the drifted point stays insertable. *)
+  let drift spec s (p : Point.t) =
+    let wall = 1.0 -. epsilon_float in
+    let bounce v =
+      let v = if v < 0.0 then -.v else v in
+      let v = if v > 1.0 then 2.0 -. v else v in
+      if v < 0.0 then 0.0 else if v > wall then wall else v
+    in
+    let dx = spec.drift_sigma *. ((2.0 *. Xoshiro.float s.rng) -. 1.0) in
+    let dy = spec.drift_sigma *. ((2.0 *. Xoshiro.float s.rng) -. 1.0) in
+    { Point.x = bounce (p.Point.x +. dx); Point.y = bounce (p.Point.y +. dy) }
+
+  let step spec s =
+    let u = Xoshiro.float s.rng in
+    let event =
+      if u < spec.update_fraction && s.n > 0 then begin
+        let k = Xoshiro.int s.rng s.n in
+        let old = s.live.(k) in
+        let moved = drift spec s old in
+        s.live.(k) <- moved;
+        Update (old, moved)
+      end
+      else begin
+        (* Renormalize the non-update mass; an empty tree turns a
+           delete (or update) draw into an insert so the stream never
+           stalls, and the renormalized draw stays deterministic. *)
+        let v =
+          if spec.update_fraction >= 1.0 then 0.0
+          else (u -. spec.update_fraction) /. (1.0 -. spec.update_fraction)
+        in
+        if v < spec.insert_fraction || s.n = 0 then begin
+          let p = Sampler.point s.rng spec.base.model in
+          push s p;
+          Insert p
+        end
+        else begin
+          let k = Xoshiro.int s.rng s.n in
+          let old = s.live.(k) in
+          s.live.(k) <- s.live.(s.n - 1);
+          s.n <- s.n - 1;
+          Delete old
+        end
+      end
+    in
+    s.ops_done <- s.ops_done + 1;
+    event
+
+  let map_trials ?jobs spec ~f =
+    let rngs = trial_rng_array spec.base in
+    Parallel.map_list ?jobs spec.base.trials ~f:(fun i -> f i rngs.(i))
+end

@@ -53,6 +53,14 @@ let sub a b =
 
 let scale c m = init m.nrows m.ncols (fun i j -> c *. m.data.(i).(j))
 
+let blend alpha a b =
+  if not (alpha >= 0.0 && alpha <= 1.0) then
+    invalid_arg "Matrix.blend: alpha outside [0, 1]";
+  check_same "blend" a b;
+  let beta = 1.0 -. alpha in
+  init a.nrows a.ncols (fun i j ->
+      (alpha *. a.data.(i).(j)) +. (beta *. b.data.(i).(j)))
+
 let mul a b =
   if a.ncols <> b.nrows then invalid_arg "Matrix.mul: inner dimension mismatch";
   init a.nrows b.ncols (fun i j ->

@@ -58,6 +58,11 @@ val sub : t -> t -> t
 (** [scale c m] multiplies every element by [c]. *)
 val scale : float -> t -> t
 
+(** [blend alpha a b] is the convex combination [alpha·a + (1−alpha)·b],
+    computed in one pass. Raises [Invalid_argument] when [alpha] is
+    outside [0, 1] (including NaN) or the dimensions differ. *)
+val blend : float -> t -> t -> t
+
 (** [mul a b] is the matrix product; inner dimensions must agree. *)
 val mul : t -> t -> t
 

@@ -166,6 +166,15 @@ let arena_subtree ~index f =
 let arena_mapped_bytes ~bytes =
   Metrics.set_gauge arena_bytes_mapped (float_of_int bytes)
 
+(* Churn: deletes and node merges on the arena. Both are bare counter
+   bumps — the delete path shares insert's zero-allocation claim, so
+   the disabled-probe cost must stay a single predicated increment. *)
+
+let arena_deletes = Metrics.counter "arena.deletes"
+let arena_merges = Metrics.counter "arena.merges"
+let arena_delete () = Metrics.incr arena_deletes
+let arena_merge () = Metrics.incr arena_merges
+
 (* Build-path changes must be loud. Each named fallback bumps a counter
    and prints one stderr line per process — whatever the observability
    switches say — so a large-n run cannot quietly take a different build

@@ -89,6 +89,16 @@ val arena_subtree : index:int -> (unit -> 'a) -> 'a
     the current total of mmap-backed arena segment bytes. *)
 val arena_mapped_bytes : bytes:int -> unit
 
+(** [arena_delete ()] counts one successful point removal
+    ([arena.deletes]). Allocation-free when probes are disabled — the
+    delete path makes the same zero-minor-words claim as insert. *)
+val arena_delete : unit -> unit
+
+(** [arena_merge ()] counts one node collapsing back into a leaf after
+    deletes drained its subtree to at most the leaf capacity
+    ([arena.merges]). *)
+val arena_merge : unit -> unit
+
 (** [arena_fallback ~what ~detail] records that a build took a
     different path than requested ([arena.fallbacks]) and prints a
     one-per-process stderr warning — large-n runs must never change

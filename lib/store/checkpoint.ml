@@ -6,22 +6,30 @@ type growth = {
   next_index : int;
   have : int;
   partial : (float * float) array;
+  ops_done : int;
+  live : Point.t array;
 }
 
 let kind = "ckpt-grow"
-let version = 1
+let version = 2
 
 (* The field order below is the on-disk format; bump [version] when it
-   changes. *)
+   changes. v2 appended the churn fields (ops_done, live) — v1 records
+   are a different version number, so [find] never decodes one here. *)
 let codec =
   let tuple =
     Codec.(
-      triple pr_quadtree xoshiro (triple int int (array (pair float float))))
+      pair
+        (triple pr_quadtree xoshiro
+           (triple int int (array (pair float float))))
+        (pair int (array point)))
   in
   Codec.map tuple
-    ~decode:(fun (tree, rng, (next_index, have, partial)) ->
-      { tree; rng; next_index; have; partial })
-    ~encode:(fun g -> (g.tree, g.rng, (g.next_index, g.have, g.partial)))
+    ~decode:(fun ((tree, rng, (next_index, have, partial)), (ops_done, live))
+             -> { tree; rng; next_index; have; partial; ops_done; live })
+    ~encode:(fun g ->
+      ( (g.tree, g.rng, (g.next_index, g.have, g.partial)),
+        (g.ops_done, g.live) ))
 
 let ckpt_key ~key_base ~index = Printf.sprintf "%s|ckpt=%d" key_base index
 
@@ -39,7 +47,7 @@ let latest store ~key_base ~upto =
       with
       | Some g
         when g.next_index = index + 1
-             && Array.length g.partial = g.next_index ->
+             && (g.ops_done > 0 || Array.length g.partial = g.next_index) ->
         Some g
       | Some _ (* inconsistent record: skip it *) | None -> probe (index - 1)
   in

@@ -67,6 +67,21 @@ type t = {
   mutable internals : int;
   mutable height : int;
   hist : int array;  (* capacity + 1 cells; over-full leaves clamp *)
+  (* Churn bookkeeping. Freed point slots and freed node 4-blocks are
+     recycled through intrusive free lists — a freed slot threads
+     through the [next] column, a freed block through [child] at its
+     base id — so sustained delete/insert churn allocates nothing and
+     the arena footprint is bounded by the live-population high-water
+     mark ([slots]), not by lifetime inserts. [size] stays the live
+     count; [slots] only ever grows. *)
+  mutable slots : int;  (* point-slot high-water mark; size <= slots *)
+  mutable free_slot : int;  (* freed-slot list head via [next], -1 = none *)
+  mutable free_node : int;  (* freed 4-block list head via [child], -1 *)
+  path : int array;  (* delete descent scratch: root-to-leaf node ids *)
+  depth_count : int array;  (* leaves per depth; keeps height exact *)
+  qbuf : farr;  (* query point scratch: floats cross into the int-only
+                   delete descent unboxed via a Bigarray, never as
+                   (boxed) function arguments *)
 }
 
 (* Segment-backed column allocation. Each arena with [Mmap] backing owns
@@ -200,6 +215,15 @@ let create ?(max_depth = 16) ?(bounds = Box.unit) ?(reserve = 0)
       internals = 0;
       height = 0;
       hist;
+      slots = 0;
+      free_slot = -1;
+      free_node = -1;
+      path = Array.make (max_depth + 1) 0;
+      depth_count =
+        (let dc = Array.make (max_depth + 1) 0 in
+         dc.(0) <- 1;
+         dc);
+      qbuf = heap_f 2;
     }
   in
   t.xs <- alloc_f t "xs" pcap;
@@ -214,6 +238,7 @@ let bounds t = t.bounds
 let backing t = t.backing
 let size t = t.size
 let is_empty t = t.size = 0
+let slot_high_water t = t.slots
 let leaf_count t = t.leaves
 let internal_count t = t.internals
 let height t = t.height
@@ -250,11 +275,13 @@ let grow_points t needed =
   and codes = alloc_i t "codes" cap
   and next = alloc_i t "next" cap in
   let open Bigarray.Array1 in
-  if t.size > 0 then begin
-    blit (sub t.xs 0 t.size) (sub xs 0 t.size);
-    blit (sub t.ys 0 t.size) (sub ys 0 t.size);
-    blit (sub t.codes 0 t.size) (sub codes 0 t.size);
-    blit (sub t.next 0 t.size) (sub next 0 t.size)
+  (* Copy up to the slot high-water mark, not [size]: freed slots below
+     it carry the free list through [next] and must survive growth. *)
+  if t.slots > 0 then begin
+    blit (sub t.xs 0 t.slots) (sub xs 0 t.slots);
+    blit (sub t.ys 0 t.slots) (sub ys 0 t.slots);
+    blit (sub t.codes 0 t.slots) (sub codes 0 t.slots);
+    blit (sub t.next 0 t.slots) (sub next 0 t.slots)
   end;
   t.xs <- xs;
   t.ys <- ys;
@@ -277,14 +304,25 @@ let grow_nodes t needed =
   t.count <- count;
   t.head <- head
 
-(* Bump-allocate four consecutive children, returned as their base id.
-   Fresh ids are empty leaves (child -1, count 0, head -1) — the arrays
-   are kept in that state by alloc and by splits turning leaves into
-   internals. *)
+(* Allocate four consecutive children, returned as their base id: a
+   freed 4-block off the free list when one exists (so churn splits
+   allocate nothing), else a bump allocation. Fresh ids are empty
+   leaves (child -1, count 0, head -1) — the reset below restores that
+   state for recycled blocks too. *)
 let alloc_children t =
-  let base = t.nodes in
-  if base + 4 > Array.length t.child then grow_nodes t (base + 4);
-  t.nodes <- base + 4;
+  let base =
+    if t.free_node >= 0 then begin
+      let b = t.free_node in
+      t.free_node <- t.child.(b);
+      b
+    end
+    else begin
+      let b = t.nodes in
+      if b + 4 > Array.length t.child then grow_nodes t (b + 4);
+      t.nodes <- b + 4;
+      b
+    end
+  in
   t.child.(base) <- -1;
   t.child.(base + 1) <- -1;
   t.child.(base + 2) <- -1;
@@ -304,7 +342,18 @@ let note_leaf t depth count =
   t.leaves <- t.leaves + 1;
   let bucket = if count < t.capacity then count else t.capacity in
   t.hist.(bucket) <- t.hist.(bucket) + 1;
+  t.depth_count.(depth) <- t.depth_count.(depth) + 1;
   if depth > t.height then t.height <- depth
+
+(* Deregister a leaf of occupancy [count] at [depth] — the inverse of
+   [note_leaf], except that [height] is not lowered here: callers that
+   can shrink the tree (merges) re-derive it from [depth_count] once
+   the dust settles. *)
+let drop_leaf t depth count =
+  t.leaves <- t.leaves - 1;
+  let bucket = if count < t.capacity then count else t.capacity in
+  t.hist.(bucket) <- t.hist.(bucket) - 1;
+  t.depth_count.(depth) <- t.depth_count.(depth) - 1
 
 (* The two Morton bits separating the children of a node at [depth]
    (depth < bits): (y bit << 1) | x bit. *)
@@ -346,6 +395,7 @@ let absorb t node depth slot =
   else begin
     t.leaves <- t.leaves - 1;
     t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+    t.depth_count.(depth) <- t.depth_count.(depth) - 1;
     true
   end
 
@@ -531,9 +581,22 @@ let insert t p =
   if not (Box.contains t.bounds p) then
     invalid_arg "Pr_arena.insert: point outside bounds";
   Probe.builder_insert ();
-  if t.size >= Bigarray.Array1.dim t.xs then grow_points t (t.size + 1);
-  let slot = t.size in
-  t.size <- slot + 1;
+  (* A freed slot is reused before the high-water mark moves, so a
+     delete/insert steady state never grows a column. *)
+  let slot =
+    if t.free_slot >= 0 then begin
+      let s = t.free_slot in
+      t.free_slot <- t.next.{s};
+      s
+    end
+    else begin
+      if t.slots >= Bigarray.Array1.dim t.xs then grow_points t (t.slots + 1);
+      let s = t.slots in
+      t.slots <- s + 1;
+      s
+    end
+  in
+  t.size <- t.size + 1;
   let x = p.Point.x and y = p.Point.y in
   t.xs.{slot} <- x;
   t.ys.{slot} <- y;
@@ -553,6 +616,191 @@ let insert t p =
   end
 
 let insert_all t ps = List.iter (insert t) ps
+
+(* Deletes. [delete] removes one stored occurrence of a point: locate
+   its leaf by the same integer descent as [insert] — recording the
+   root-to-leaf node ids in the preallocated [path] scratch — unlink
+   the slot from the leaf's intrusive chain, then merge ancestors back
+   into leaves while their subtree population has fallen to at most
+   [capacity]. Freed slots and node 4-blocks go on the intrusive free
+   lists, so a delete (and the reinsert that reuses what it freed)
+   touches nothing but the existing columns: zero minor-heap words on
+   the no-merge path, same claim as insert, enforced by the alloc
+   tests.
+
+   The merge check at an ancestor inspects only its four children: if
+   any child is internal, that child's subtree alone holds more than
+   [capacity] points — every internal node does: splits create them
+   over-full, inserts only add, and eager merging here removes any
+   internal node that drops to [capacity] — so the ancestor cannot
+   collapse either and the upward walk stops. That early exit keeps
+   the post-delete walk O(1) per level, and the maintained invariant
+   is exactly canonicality: a node is internal iff more than
+   [capacity] live points lie under it, the same shape a fresh build
+   of the survivors produces. *)
+
+(* Descend to the leaf whose cell contains the query point, writing
+   every visited node id (the leaf included) into [t.path] and
+   returning the leaf depth. Mirrors [insert_code] / [insert_fine] /
+   [insert_float] regime for regime; the int-only levels pass the
+   query as Morton words and fine ordinates, and the float levels read
+   the coordinates back out of [t.qbuf] (unboxed Bigarray loads). *)
+let rec locate_code t node depth code qx qy =
+  t.path.(depth) <- node;
+  let base = t.child.(node) in
+  if base < 0 then depth
+  else if depth < bits then
+    locate_code t (base + pair_at code depth) (depth + 1) code qx qy
+  else locate_fine t node depth qx qy
+
+and locate_fine t node depth qx qy =
+  t.path.(depth) <- node;
+  let base = t.child.(node) in
+  if base < 0 then depth
+  else if depth < bits_fine then
+    locate_fine t (base + pair_fine qx qy depth) (depth + 1) qx qy
+  else begin
+    let x0 = ldexp (float_of_int qx) (-bits_fine)
+    and y0 = ldexp (float_of_int qy) (-bits_fine) in
+    let side = ldexp 1.0 (-bits_fine) in
+    locate_float t node depth x0 y0 (x0 +. side) (y0 +. side)
+  end
+
+and locate_float t node depth x0 y0 x1 y1 =
+  t.path.(depth) <- node;
+  let base = t.child.(node) in
+  if base < 0 then depth
+  else begin
+    let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+    if t.qbuf.{1} >= cy then
+      if t.qbuf.{0} >= cx then
+        locate_float t (base + 3) (depth + 1) cx cy x1 y1
+      else locate_float t (base + 2) (depth + 1) x0 cy cx y1
+    else if t.qbuf.{0} >= cx then
+      locate_float t (base + 1) (depth + 1) cx y0 x1 cy
+    else locate_float t base (depth + 1) x0 y0 cx cy
+  end
+
+(* Unlink the first slot in [leaf]'s chain equal to the query point in
+   [t.qbuf] and return it, or -1 when absent. Exact float comparison:
+   distinct floats can share a Morton code, so codes cannot stand in
+   for the coordinates here. *)
+let rec unlink_slot t leaf prev slot =
+  if slot < 0 then -1
+  else if t.xs.{slot} = t.qbuf.{0} && t.ys.{slot} = t.qbuf.{1} then begin
+    if prev < 0 then t.head.(leaf) <- t.next.{slot}
+    else t.next.{prev} <- t.next.{slot};
+    slot
+  end
+  else unlink_slot t leaf slot t.next.{slot}
+
+let rec chain_tail t slot =
+  let n = t.next.{slot} in
+  if n < 0 then slot else chain_tail t n
+
+(* Collapse the four leaf children of [parent] (at [depth]) back into a
+   leaf: concatenate their chains in child (Morton pair) order, push
+   the 4-block onto the node free list, and fix every counter except
+   [height] (the caller re-derives it from [depth_count]). *)
+let merge_node t parent depth =
+  Probe.arena_merge ();
+  let base = t.child.(parent) in
+  let cdepth = depth + 1 in
+  let head = ref (-1) and tail = ref (-1) in
+  let total = ref 0 in
+  for i = 0 to 3 do
+    let c = base + i in
+    drop_leaf t cdepth t.count.(c);
+    total := !total + t.count.(c);
+    let h = t.head.(c) in
+    if h >= 0 then begin
+      if !tail < 0 then head := h else t.next.{!tail} <- h;
+      tail := chain_tail t h
+    end;
+    t.child.(c) <- -1;
+    t.count.(c) <- 0;
+    t.head.(c) <- -1
+  done;
+  t.internals <- t.internals - 1;
+  t.child.(parent) <- -1;
+  t.head.(parent) <- !head;
+  t.count.(parent) <- !total;
+  note_leaf t depth !total;
+  t.child.(base) <- t.free_node;
+  t.free_node <- base
+
+(* Walk the recorded path upward from the deleted point's leaf (at
+   [depth]), merging while the parent's children are four leaves whose
+   total occupancy fits one; the first ancestor that cannot merge ends
+   the walk (see the invariant argument above). *)
+let rec merge_up t depth =
+  if depth > 0 then begin
+    let parent = t.path.(depth - 1) in
+    let base = t.child.(parent) in
+    if
+      t.child.(base) < 0
+      && t.child.(base + 1) < 0
+      && t.child.(base + 2) < 0
+      && t.child.(base + 3) < 0
+      && t.count.(base) + t.count.(base + 1) + t.count.(base + 2)
+         + t.count.(base + 3)
+         <= t.capacity
+    then begin
+      merge_node t parent (depth - 1);
+      merge_up t (depth - 1)
+    end
+  end
+
+let delete t p =
+  let x = p.Point.x and y = p.Point.y in
+  if not (Box.contains t.bounds p) then false
+  else begin
+    t.qbuf.{0} <- x;
+    t.qbuf.{1} <- y;
+    let depth =
+      if t.unit_bounds then
+        locate_code t 0 0
+          (Morton.interleave
+             (int_of_float (x *. quantize_scale))
+             (int_of_float (y *. quantize_scale)))
+          (int_of_float (x *. fine_scale))
+          (int_of_float (y *. fine_scale))
+      else begin
+        let b = t.bounds in
+        locate_float t 0 0 b.Box.xmin b.Box.ymin b.Box.xmax b.Box.ymax
+      end
+    in
+    let leaf = t.path.(depth) in
+    let slot = unlink_slot t leaf (-1) t.head.(leaf) in
+    if slot < 0 then false
+    else begin
+      Probe.arena_delete ();
+      t.next.{slot} <- t.free_slot;
+      t.free_slot <- slot;
+      t.size <- t.size - 1;
+      let c = t.count.(leaf) in
+      let old_bucket = if c < t.capacity then c else t.capacity in
+      let c = c - 1 in
+      t.count.(leaf) <- c;
+      t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
+      let bucket = if c < t.capacity then c else t.capacity in
+      t.hist.(bucket) <- t.hist.(bucket) + 1;
+      merge_up t depth;
+      while t.height > 0 && t.depth_count.(t.height) = 0 do
+        t.height <- t.height - 1
+      done;
+      true
+    end
+  end
+
+let update t p q =
+  if not (Box.contains t.bounds q) then
+    invalid_arg "Pr_arena.update: replacement point outside bounds";
+  delete t p
+  && begin
+       insert t q;
+       true
+     end
 
 let of_points ?max_depth ?bounds ~capacity ps =
   let t = create ?max_depth ?bounds ~capacity () in
@@ -936,6 +1184,9 @@ let local_of t =
     internals = 0;
     height = 0;
     hist = Array.make (t.capacity + 1) 0;
+    (* Subtree depths are absolute (tasks start at their range depth),
+       so local per-depth counts add straight into the global array. *)
+    depth_count = Array.make (t.max_depth + 1) 0;
   }
 
 (* Splice a task-local subtree onto global [node]: local id 0 maps onto
@@ -960,7 +1211,10 @@ let graft t l node =
   t.leaves <- t.leaves + l.leaves;
   t.internals <- t.internals + l.internals;
   if l.height > t.height then t.height <- l.height;
-  Array.iteri (fun i v -> t.hist.(i) <- t.hist.(i) + v) l.hist
+  Array.iteri (fun i v -> t.hist.(i) <- t.hist.(i) + v) l.hist;
+  Array.iteri
+    (fun i v -> t.depth_count.(i) <- t.depth_count.(i) + v)
+    l.depth_count
 
 let rec replay t results slots_even slots_odd plan node =
   match plan with
@@ -1024,6 +1278,7 @@ let bulk_build t n ~jobs ~pool ~packed =
   t.leaves <- 0;
   t.hist.(0) <- 0;
   t.height <- 0;
+  t.depth_count.(0) <- 0;
   let parallel_requested = jobs <> None || pool <> None in
   if not t.unit_bounds then begin
     (* Codes never steer custom bounds; the float partition handles the
@@ -1142,6 +1397,7 @@ let of_points_bulk ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ps =
             incr i)
           ps);
       t.size <- n;
+      t.slots <- n;
       bulk_build t n ~jobs ~pool ~packed);
   t
 
@@ -1167,6 +1423,7 @@ let bulk_of_fn ?max_depth ?bounds ?backing ?jobs ?pool ~capacity ~n f =
           ignore (bulk_fill t i (f i) : int)
         done);
       t.size <- n;
+      t.slots <- n;
       bulk_build t n ~jobs ~pool ~packed);
   t
 
@@ -1201,15 +1458,28 @@ let fold_leaves t ~init ~f =
   go init 0 ~depth:0 ~box:t.bounds
 
 let iter_points t ~f =
-  for slot = 0 to t.size - 1 do
-    f (Point.make t.xs.{slot} t.ys.{slot})
-  done
+  (* Walk the leaf chains, not the slot range: once points have been
+     deleted, freed slots lie anywhere below the high-water mark and
+     hold stale coordinates. *)
+  let rec chase slot =
+    if slot >= 0 then begin
+      f (Point.make t.xs.{slot} t.ys.{slot});
+      chase t.next.{slot}
+    end
+  in
+  let rec go node =
+    let base = t.child.(node) in
+    if base < 0 then chase t.head.(node)
+    else
+      for i = 0 to 3 do
+        go (base + i)
+      done
+  in
+  go 0
 
 let points t =
   let acc = ref [] in
-  for slot = t.size - 1 downto 0 do
-    acc := Point.make t.xs.{slot} t.ys.{slot} :: !acc
-  done;
+  iter_points t ~f:(fun p -> acc := p :: !acc);
   !acc
 
 let freeze t =
@@ -1232,6 +1502,7 @@ let thaw tree =
   in
   t.leaves <- 0;
   t.hist.(0) <- 0;
+  t.depth_count.(0) <- 0;
   let slot = ref 0 in
   let rec conv node raw depth =
     match (raw : Pr_quadtree.Raw.raw_node) with
@@ -1263,6 +1534,7 @@ let thaw tree =
   in
   conv 0 (Pr_quadtree.Raw.root tree) 0;
   t.size <- !slot;
+  t.slots <- !slot;
   t
 
 let check_invariants t =
@@ -1275,10 +1547,12 @@ let check_invariants t =
   and deepest = ref 0
   and stored = ref 0 in
   let hist = Array.make (t.capacity + 1) 0 in
+  let depth_count = Array.make (t.max_depth + 1) 0 in
   let rec go node ~depth ~box =
     let base = t.child.(node) in
     if base < 0 then begin
       incr leaves;
+      depth_count.(depth) <- depth_count.(depth) + 1;
       if depth > !deepest then deepest := depth;
       let c = t.count.(node) in
       let bucket = if c < t.capacity then c else t.capacity in
@@ -1320,4 +1594,48 @@ let check_invariants t =
   if !stored <> t.size then
     report "size field %d but %d slots chained" t.size !stored;
   if hist <> t.hist then report "incremental histogram diverges from a recount";
+  if depth_count <> t.depth_count then
+    report "per-depth leaf counts diverge from a recount";
+  (* Canonicality under churn: every internal node must still cover
+     more than [capacity] live points — eager merging's invariant. *)
+  let rec subtree_count node =
+    let base = t.child.(node) in
+    if base < 0 then t.count.(node)
+    else begin
+      let s =
+        subtree_count base
+        + subtree_count (base + 1)
+        + subtree_count (base + 2)
+        + subtree_count (base + 3)
+      in
+      if s <= t.capacity then
+        report "internal node %d covers only %d points (capacity %d): unmerged"
+          node s t.capacity;
+      s
+    end
+  in
+  ignore (subtree_count 0 : int);
+  (* Free-list accounting: stored plus freed slots must tile the slot
+     high-water mark exactly, and tree nodes plus freed 4-blocks the
+     node arena. Walks are cycle-guarded by the element counts. *)
+  let free_slots = ref 0 in
+  let cursor = ref t.free_slot in
+  while !cursor >= 0 && !free_slots <= t.slots do
+    incr free_slots;
+    cursor := t.next.{!cursor}
+  done;
+  if !cursor >= 0 then report "free-slot list does not terminate (cycle?)"
+  else if !stored + !free_slots <> t.slots then
+    report "slot accounting: %d stored + %d free <> %d high-water" !stored
+      !free_slots t.slots;
+  let free_blocks = ref 0 in
+  let cursor = ref t.free_node in
+  while !cursor >= 0 && 4 * !free_blocks <= t.nodes do
+    incr free_blocks;
+    cursor := t.child.(!cursor)
+  done;
+  if !cursor >= 0 then report "free-node list does not terminate (cycle?)"
+  else if !leaves + !internals + (4 * !free_blocks) <> t.nodes then
+    report "node accounting: %d in tree + %d freed <> %d allocated"
+      (!leaves + !internals) (4 * !free_blocks) t.nodes;
   !problems

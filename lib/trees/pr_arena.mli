@@ -108,6 +108,34 @@ val insert : t -> Point.t -> unit
 (** [insert_all t ps] inserts every point of [ps] in order. *)
 val insert_all : t -> Point.t list -> unit
 
+(** [delete t p] removes one stored occurrence of [p] (multiset
+    semantics: duplicates go one at a time) and returns whether a point
+    was removed; absent points — including points outside the bounds —
+    leave the arena untouched and return [false]. The slot is unlinked
+    from its leaf's intrusive chain in O(chain), and every ancestor
+    whose subtree population has fallen to at most [capacity] collapses
+    back into a leaf — eager merging, which keeps the decomposition
+    canonical: after any delete sequence, [freeze t] equals a fresh
+    build over the surviving points. Freed slots and node blocks feed
+    intrusive free lists that later inserts and splits reuse, so the
+    arena footprint is bounded by the live-population high-water mark
+    ({!slot_high_water}), not lifetime inserts — and a churn steady
+    state is allocation-free: a no-merge delete, like a no-split
+    insert, writes zero minor-heap words over the unit square. *)
+val delete : t -> Point.t -> bool
+
+(** [update t p q] is a moving-object step: {!delete} [p] and, when it
+    was present, {!insert} [q], returning whether the move happened
+    ([p] absent leaves the arena untouched). Raises [Invalid_argument]
+    when [q] is outside the bounds (checked before any mutation). *)
+val update : t -> Point.t -> Point.t -> bool
+
+(** [slot_high_water t] is the number of point slots ever in use at
+    once — the bound on column footprint. Equal to [size t] for an
+    arena that never deleted; under churn it tracks peak live
+    population while lifetime inserts grow without bound. O(1). *)
+val slot_high_water : t -> int
+
 (** [of_points ?max_depth ?bounds ~capacity ps] builds by successive
     destructive insertion — the same growth history (and the same
     decomposition) as {!Pr_quadtree.of_points}. *)

@@ -13,7 +13,28 @@ module Sampler = Popan_rng.Sampler
 let f = Printf.sprintf "%.17g"
 let vec v = String.concat " " (List.map f (Popan_numerics.Vec.to_list v))
 
-let () =
+(* `golden_gen churn` dumps only the churn steady-state study, pinned
+   by golden/churn.txt — its own file, so the churn pipeline can evolve
+   without touching the Tables 1–5 snapshot. *)
+let churn_dump () =
+  print_endline "== churn: simulated steady state vs blended transform ==";
+  List.iter
+    (fun (r : Churn.row) ->
+      Printf.printf "mix q %s u %s capacity %d trials %d\n"
+        (f r.Churn.insert_fraction) (f r.Churn.update_fraction)
+        r.Churn.capacity r.Churn.trials;
+      Printf.printf "  theory   %s\n" (vec (Distribution.to_vec r.Churn.theory));
+      Printf.printf "  measured %s\n"
+        (vec (Distribution.to_vec r.Churn.measured));
+      Printf.printf "  occupancy %s theory_occ %s stddev %s pct_diff %s\n"
+        (f r.Churn.measured_occupancy) (f r.Churn.theory_occupancy)
+        (f r.Churn.occupancy_stddev) (f r.Churn.percent_difference);
+      Printf.printf "  live %s leaves %s height %s slots %s\n"
+        (f r.Churn.live_mean) (f r.Churn.leaves_mean) (f r.Churn.height_mean)
+        (f r.Churn.high_water_mean))
+    (Churn.study ~points:600 ~trials:5 ~seed:1987 ~ops:6000 ~capacity:4 ())
+
+let full_dump () =
   let workload = Workload.make ~points:1000 ~trials:10 ~seed:1987 () in
   print_endline "== table1/2: theory vs experiment, capacities 1..8 ==";
   List.iter
@@ -65,3 +86,7 @@ let () =
         (f r.Trajectory.average_occupancy)
         (vec (Distribution.to_vec r.Trajectory.distribution)))
     (Trajectory.run ~capacity:8 ~model:Sampler.Uniform ~trials:10 ~seed:1987 ())
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "churn" then churn_dump ()
+  else full_dump ()

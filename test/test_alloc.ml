@@ -120,6 +120,67 @@ let tests =
               words n
               (words /. float_of_int n)
         end);
+    Alcotest.test_case "no-merge delete allocates zero minor words" `Quick
+      (fun () ->
+        (* The churn twin of the insert claim: with capacity >= live
+           points the root leaf never splits, so deletes never merge —
+           each one is a descent, an unlink and a free-list push, all
+           over Bigarray columns and int arrays. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let pts = points () in
+          let t = Pr_arena.create ~capacity:inserts ~reserve:inserts () in
+          Array.iter (Pr_arena.insert t) pts;
+          ignore (Pr_arena.delete t pts.(0) : bool);
+          let ok = ref true in
+          let words =
+            measure (fun () ->
+                for i = 1 to inserts - 1 do
+                  ok := Pr_arena.delete t pts.(i) && !ok
+                done)
+          in
+          Alcotest.check Alcotest.bool "all deletes hit" true !ok;
+          Alcotest.check Alcotest.int "all removed" 0 (Pr_arena.size t);
+          if words > slack then
+            Alcotest.failf
+              "delete loop allocated %.0f minor words over %d deletes \
+               (%.2f words/delete); the churn hot path must not allocate"
+              words (inserts - 1)
+              (words /. float_of_int (inserts - 1))
+        end);
+    Alcotest.test_case "slot-reusing reinsert allocates zero minor words"
+      `Quick (fun () ->
+        (* Steady-state churn: delete one point, reinsert another,
+           forever. Every insert pops the slot the delete just freed,
+           so the columns never grow and the loop must write zero
+           minor-heap words — the arena footprint claim, measured. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let pts = points () in
+          let t = Pr_arena.create ~capacity:inserts ~reserve:inserts () in
+          Array.iter (Pr_arena.insert t) pts;
+          let high = Pr_arena.slot_high_water t in
+          ignore (Pr_arena.delete t pts.(0) : bool);
+          Pr_arena.insert t pts.(0);
+          let ok = ref true in
+          let words =
+            measure (fun () ->
+                for i = 1 to inserts - 1 do
+                  ok := Pr_arena.delete t pts.(i) && !ok;
+                  Pr_arena.insert t pts.(i)
+                done)
+          in
+          Alcotest.check Alcotest.bool "all deletes hit" true !ok;
+          Alcotest.check Alcotest.int "size steady" inserts (Pr_arena.size t);
+          Alcotest.check Alcotest.int "footprint steady" high
+            (Pr_arena.slot_high_water t);
+          if words > slack then
+            Alcotest.failf
+              "churn loop allocated %.0f minor words over %d delete+insert \
+               pairs (%.2f words/pair); slot reuse must not allocate"
+              words (inserts - 1)
+              (words /. float_of_int (inserts - 1))
+        end);
     Alcotest.test_case "splits and growth stay amortized-modest" `Quick
       (fun () ->
         (* Not zero — splits bump-allocate node quads and growth doubles

@@ -8,6 +8,7 @@ open Popan_experiments
 module Distribution = Popan_core.Distribution
 module Phasing = Popan_core.Phasing
 module Sampler = Popan_rng.Sampler
+module Xoshiro = Popan_rng.Xoshiro
 
 let check_close tol = Alcotest.(check (float tol))
 let check_int = Alcotest.(check int)
@@ -372,6 +373,106 @@ let paper_data_tests =
         done);
   ]
 
+let churn_tests =
+  let spec ?(ops = 2000) ?(q = 0.5) ?(u = 0.3) () =
+    Workload.Churn.make ~points:400 ~trials:3 ~seed:11 ~ops ~insert_fraction:q
+      ~update_fraction:u ()
+  in
+  [
+    Alcotest.test_case "spec validation" `Quick (fun () ->
+        Alcotest.check_raises "ops"
+          (Invalid_argument "Workload.Churn.make: ops < 0") (fun () ->
+            ignore (Workload.Churn.make ~ops:(-1) ()));
+        Alcotest.check_raises "insert_fraction"
+          (Invalid_argument
+             "Workload.Churn.make: insert_fraction outside [0, 1]") (fun () ->
+            ignore (Workload.Churn.make ~insert_fraction:1.5 ()));
+        Alcotest.check_raises "update_fraction"
+          (Invalid_argument
+             "Workload.Churn.make: update_fraction outside [0, 1]") (fun () ->
+            ignore (Workload.Churn.make ~update_fraction:(-0.1) ()));
+        Alcotest.check_raises "drift"
+          (Invalid_argument "Workload.Churn.make: drift_sigma outside [0, 1)")
+          (fun () -> ignore (Workload.Churn.make ~drift_sigma:1.0 ())));
+    Alcotest.test_case "event stream is deterministic per seed" `Quick
+      (fun () ->
+        let s = spec () in
+        let stream () =
+          Workload.Churn.map_trials s ~f:(fun _ rng ->
+              let st = Workload.Churn.start s ~rng in
+              List.init s.Workload.Churn.ops (fun _ ->
+                  Workload.Churn.step s st))
+        in
+        check_bool "replayed" true (stream () = stream ()));
+    Alcotest.test_case "restore replays the uninterrupted tail" `Quick
+      (fun () ->
+        let s = spec () in
+        let rng () =
+          List.hd (Workload.Churn.map_trials s ~f:(fun _ rng -> rng))
+        in
+        (* Uninterrupted: record the tail after a cut point. *)
+        let st = Workload.Churn.start s ~rng:(rng ()) in
+        let cut = 700 in
+        for _ = 1 to cut do ignore (Workload.Churn.step s st) done;
+        let saved_live = Workload.Churn.live st in
+        let saved_rng =
+          Xoshiro.of_words (Xoshiro.to_words (Workload.Churn.rng st))
+        in
+        let tail =
+          List.init (s.Workload.Churn.ops - cut) (fun _ ->
+              Workload.Churn.step s st)
+        in
+        (* Resume from the snapshot: same tail, byte for byte. *)
+        let resumed =
+          Workload.Churn.restore ~rng:saved_rng ~live:saved_live ~ops_done:cut
+        in
+        let tail' =
+          List.init (s.Workload.Churn.ops - cut) (fun _ ->
+              Workload.Churn.step s resumed)
+        in
+        check_bool "tail" true (tail = tail');
+        check_bool "final live" true
+          (Workload.Churn.live st = Workload.Churn.live resumed));
+    Alcotest.test_case "effective insert fraction" `Quick (fun () ->
+        check_close 1e-12 "pure mix" 0.5
+          (Churn.effective_insert_fraction (spec ~q:0.5 ~u:0.0 ()));
+        check_close 1e-12 "updates keep a balanced mix balanced" 0.5
+          (Churn.effective_insert_fraction (spec ~q:0.5 ~u:0.5 ()));
+        check_close 1e-12 "insert-only" 1.0
+          (Churn.effective_insert_fraction (spec ~q:1.0 ~u:0.0 ())));
+    Alcotest.test_case "run is byte-identical across job counts" `Quick
+      (fun () ->
+        let s = spec ~ops:1500 () in
+        let r1 = Churn.run ~jobs:1 s ~capacity:3 in
+        let r2 = Churn.run ~jobs:2 s ~capacity:3 in
+        let r4 = Churn.run ~jobs:4 s ~capacity:3 in
+        check_bool "jobs 2" true (r1 = r2);
+        check_bool "jobs 4" true (r1 = r4));
+    Alcotest.test_case "simulation tracks the blended prediction" `Slow
+      (fun () ->
+        List.iter
+          (fun (r : Churn.row) ->
+            check_bool
+              (Printf.sprintf "pct diff bounded at mix %.2f/%.2f"
+                 r.Churn.insert_fraction r.Churn.update_fraction)
+              true
+              (Float.abs r.Churn.percent_difference < 20.0);
+            check_bool "tv bounded" true
+              (Popan_core.Distribution.total_variation r.Churn.measured
+                 r.Churn.theory
+               < 0.15);
+            (* The adjoint construction makes every mix predict the
+               insert-only fixed point. *)
+            check_close 1e-6 "mix-independent theory"
+              r.Churn.theory_occupancy
+              (Popan_core.Distribution.average_occupancy
+                 (Popan_core.Population.expected_distribution ~branching:4
+                    ~capacity:4 ())
+                   .Popan_core.Fixed_point.distribution))
+          (Churn.study ~points:800 ~trials:4 ~seed:1987 ~ops:8000 ~capacity:4
+             ()));
+  ]
+
 let ext_tests =
   [
     Alcotest.test_case "branching study covers b=2,4,8" `Quick (fun () ->
@@ -597,5 +698,6 @@ let () =
       ("trajectory", trajectory_tests);
       ("paper_data", paper_data_tests);
       ("points_io", points_io_tests);
+      ("churn", churn_tests);
       ("ext", ext_tests);
     ]

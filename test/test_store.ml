@@ -471,6 +471,38 @@ let checkpoint_tests =
         let c = Store.counters resumed_store in
         check_int "computes" 3 c.Store.computes;
         check_bool "checkpoint hits" true (c.Store.hits >= 3));
+    Alcotest.test_case "killed+resumed churn run is byte-identical" `Quick
+      (fun () ->
+        let spec =
+          Workload.Churn.make ~points:300 ~trials:2 ~seed:33 ~ops:1000
+            ~insert_fraction:0.5 ~update_fraction:0.3 ()
+        in
+        let run () = Churn.run ~checkpoint_every:128 spec ~capacity:4 in
+        Store.set_default None;
+        let reference = run () in
+        let full = Store.open_store (temp_root ()) in
+        Store.set_default (Some full);
+        let cold =
+          Fun.protect ~finally:(fun () -> Store.set_default None) run
+        in
+        check_bool "cold = reference" true (cold = reference);
+        check_bool "churn checkpoints were written" true
+          (List.exists
+             (fun e -> e.Store.kind = Checkpoint.kind)
+             (Store.entries full));
+        (* "Kill" the run: only the v2 checkpoints survive, so the rerun
+           must resume mid-stream — thaw the arena, restore the
+           generator — and still land on the same bytes. *)
+        let resumed_store = Store.open_store (temp_root ()) in
+        copy_checkpoints full resumed_store;
+        Store.set_default (Some resumed_store);
+        let resumed =
+          Fun.protect ~finally:(fun () -> Store.set_default None) run
+        in
+        check_bool "resumed = reference" true (resumed = reference);
+        let c = Store.counters resumed_store in
+        check_int "computes" 2 c.Store.computes;
+        check_bool "checkpoint hits" true (c.Store.hits >= 2));
     Alcotest.test_case "corrupt checkpoint is skipped, not trusted" `Quick
       (fun () ->
         with_store (fun s ->
@@ -486,6 +518,8 @@ let checkpoint_tests =
                 next_index = index + 1;
                 have = 100;
                 partial = Array.make (index + 1) (1.0, 2.0);
+                ops_done = 0;
+                live = [||];
               }
             in
             Checkpoint.save s ~key_base:"kb" ~index:1 (g 1);

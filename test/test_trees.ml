@@ -681,6 +681,226 @@ let pr_arena_tests =
         no_violations "inv bulk" (Pr_arena.check_invariants bulk));
   ]
 
+(* Churn: the differential oracle for delete/update.
+
+   A reference interpreter applies the same random insert/delete/update
+   sequence to a plain multiset; afterwards the frozen arena must equal
+   a fresh build over the survivors (the PR decomposition is canonical,
+   so eager merging has no history to hide), the O(1) statistics must
+   match a from-scratch recount, and [check_invariants] must hold —
+   free lists, per-depth counts and the merge invariant included. *)
+
+(* Apply [ops] random operations to [arena] and, in lockstep, to a
+   growable survivor array. Deletes and updates pick a uniform live
+   index (swap-remove), so deletes always target a stored point;
+   inserts draw fresh uniform points. Returns the survivors. *)
+let churn_arena arena rng ~ops ~survivors =
+  let live = ref (Array.of_list survivors) in
+  let n = ref (Array.length !live) in
+  let push p =
+    if !n >= Array.length !live then begin
+      let bigger = Array.make (max 16 (2 * Array.length !live)) p in
+      Array.blit !live 0 bigger 0 !n;
+      live := bigger
+    end;
+    !live.(!n) <- p;
+    incr n
+  in
+  let take i =
+    let p = !live.(i) in
+    decr n;
+    !live.(i) <- !live.(!n);
+    p
+  in
+  for _ = 1 to ops do
+    let u = Xoshiro.float rng in
+    if u < 0.3 || !n = 0 then begin
+      let p = Sampler.point rng Sampler.Uniform in
+      Pr_arena.insert arena p;
+      push p
+    end
+    else if u < 0.65 then begin
+      let p = take (Xoshiro.int rng !n) in
+      if not (Pr_arena.delete arena p) then
+        Alcotest.failf "delete of a live point (%g, %g) failed" p.Point.x
+          p.Point.y
+    end
+    else begin
+      let p = take (Xoshiro.int rng !n) in
+      let q = Sampler.point rng Sampler.Uniform in
+      if not (Pr_arena.update arena p q) then
+        Alcotest.failf "update of a live point (%g, %g) failed" p.Point.x
+          p.Point.y;
+      push q
+    end
+  done;
+  Array.to_list (Array.sub !live 0 !n)
+
+let stats_match_frozen a frozen =
+  Pr_arena.size a = Pr_quadtree.size frozen
+  && Pr_arena.leaf_count a = Pr_quadtree.leaf_count frozen
+  && Pr_arena.internal_count a = Pr_quadtree.internal_count frozen
+  && Pr_arena.height a = Pr_quadtree.height frozen
+  && Pr_arena.occupancy_histogram a = Pr_quadtree.occupancy_histogram frozen
+
+let pr_arena_churn_tests =
+  [
+    prop ~count:40 "churned arena equals a fresh build of the survivors"
+      QCheck2.Gen.(triple (int_range 0 10_000) (int_range 1 6) (int_range 2 16))
+      (fun (seed, capacity, max_depth) ->
+        let pts = uniform_points seed 150 in
+        let a = Pr_arena.of_points ~capacity ~max_depth pts in
+        let rng = Xoshiro.of_int_seed (seed + 1) in
+        let survivors = churn_arena a rng ~ops:400 ~survivors:pts in
+        let frozen = Pr_arena.freeze a in
+        Pr_quadtree.equal_structure frozen
+          (Pr_quadtree.of_points ~capacity ~max_depth survivors)
+        && stats_match_frozen a frozen
+        && Pr_arena.check_invariants a = []);
+    prop ~count:20 "survivor rebuilds are byte-identical at jobs 1, 2 and 4"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 5))
+      (fun (seed, capacity) ->
+        (* The churned arena is structurally equal to the bulk rebuild
+           of its survivors, and that rebuild does not depend on the
+           job count down to the last byte. *)
+        let pts = uniform_points seed 120 in
+        let a = Pr_arena.of_points ~capacity pts in
+        let rng = Xoshiro.of_int_seed (seed + 2) in
+        let survivors = churn_arena a rng ~ops:300 ~survivors:pts in
+        let enc jobs =
+          Popan_store.Codec.(
+            encode pr_quadtree
+              (Pr_arena.freeze
+                 (Pr_arena.of_points_bulk ~capacity ?jobs survivors)))
+        in
+        let sequential = enc None in
+        sequential = enc (Some 1)
+        && sequential = enc (Some 2)
+        && sequential = enc (Some 4)
+        && Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Popan_store.Codec.(decode pr_quadtree) sequential));
+    prop ~count:30 "delete everything, then refill from empty"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        let pts = uniform_points seed 200 in
+        let a = Pr_arena.of_points ~capacity pts in
+        let high = Pr_arena.slot_high_water a in
+        (* Delete in an order unrelated to insertion. *)
+        List.iter
+          (fun p ->
+            if not (Pr_arena.delete a p) then Alcotest.fail "delete failed")
+          (List.rev pts);
+        let empty_ok =
+          Pr_arena.is_empty a
+          && Pr_arena.leaf_count a = 1
+          && Pr_arena.internal_count a = 0
+          && Pr_arena.height a = 0
+          && (Pr_arena.occupancy_histogram a).(0) = 1
+          && Pr_arena.check_invariants a = []
+        in
+        let refill = uniform_points (seed + 7) 200 in
+        Pr_arena.insert_all a refill;
+        empty_ok
+        && Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.of_points ~capacity refill)
+        (* Every slot and node block was recycled: same footprint as
+           the first fill, not one word more. *)
+        && Pr_arena.slot_high_water a = high
+        && Pr_arena.check_invariants a = []);
+    Alcotest.test_case "duplicate-heavy churn at max_depth saturation" `Quick
+      (fun () ->
+        (* Over-full leaves at the depth limit: deletes must unwind the
+           clamped histogram cell one duplicate at a time and merge the
+           saturated spine back to the root leaf. *)
+        let p = Point.make 0.3 0.3 in
+        let q = Point.make 0.30000001 0.30000001 in
+        let dups = [ p; q; p; q; p; p ] in
+        let a = Pr_arena.of_points ~capacity:1 ~max_depth:3 dups in
+        let expect rest =
+          no_violations "inv" (Pr_arena.check_invariants a);
+          check_bool "matches rebuild" true
+            (Pr_quadtree.equal_structure (Pr_arena.freeze a)
+               (Pr_quadtree.of_points ~capacity:1 ~max_depth:3 rest))
+        in
+        check_bool "delete one dup" true (Pr_arena.delete a p);
+        expect [ q; p; q; p; p ];
+        check_bool "delete another" true (Pr_arena.delete a p);
+        expect [ q; q; p; p ];
+        check_bool "update a dup off the pile" true
+          (Pr_arena.update a q (Point.make 0.9 0.1));
+        expect [ q; p; p; Point.make 0.9 0.1 ];
+        check_bool "drain" true
+          (Pr_arena.delete a q && Pr_arena.delete a p && Pr_arena.delete a p
+          && Pr_arena.delete a (Point.make 0.9 0.1));
+        check_bool "empty" true (Pr_arena.is_empty a);
+        check_int "height back to zero" 0 (Pr_arena.height a);
+        expect []);
+    Alcotest.test_case "delete misses: absent, out of bounds, emptied" `Quick
+      (fun () ->
+        let pts = uniform_points 77 50 in
+        let a = Pr_arena.of_points ~capacity:3 pts in
+        let frozen = Pr_arena.freeze a in
+        check_bool "absent point" false (Pr_arena.delete a (Point.make 0.123 0.456));
+        check_bool "outside bounds" false (Pr_arena.delete a (Point.make 1.5 0.5));
+        check_bool "absent update" false
+          (Pr_arena.update a (Point.make 0.123 0.456) (Point.make 0.5 0.5));
+        check_bool "untouched" true
+          (Pr_quadtree.equal_structure frozen (Pr_arena.freeze a));
+        Alcotest.check_raises "update target out of bounds"
+          (Invalid_argument "Pr_arena.update: replacement point outside bounds")
+          (fun () ->
+            ignore (Pr_arena.update a (List.hd pts) (Point.make 2.0 0.5)));
+        check_bool "failed update mutated nothing" true
+          (Pr_quadtree.equal_structure frozen (Pr_arena.freeze a)));
+    prop ~count:30 "churn on custom bounds follows the float descent"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 5))
+      (fun (seed, capacity) ->
+        let bounds = Box.make ~xmin:(-3.0) ~ymin:2.0 ~xmax:11.0 ~ymax:9.5 in
+        let scale (p : Point.t) =
+          Point.make ((p.Point.x *. 14.0) -. 3.0) ((p.Point.y *. 7.5) +. 2.0)
+        in
+        let pts = List.map scale (uniform_points seed 80) in
+        let a = Pr_arena.of_points ~bounds ~capacity pts in
+        let rng = Xoshiro.of_int_seed (seed + 3) in
+        (* Delete half the points, reinsert fresh scaled ones. *)
+        let victims = List.filteri (fun i _ -> i mod 2 = 0) pts in
+        let keep = List.filteri (fun i _ -> i mod 2 = 1) pts in
+        List.iter
+          (fun p ->
+            if not (Pr_arena.delete a p) then Alcotest.fail "delete failed")
+          victims;
+        let fresh =
+          List.map scale (Sampler.points rng Sampler.Uniform 40)
+        in
+        Pr_arena.insert_all a fresh;
+        Pr_quadtree.equal_structure (Pr_arena.freeze a)
+          (Pr_quadtree.of_points ~bounds ~capacity (keep @ fresh))
+        && Pr_arena.check_invariants a = []);
+    prop ~count:30 "constant-size churn never grows the footprint"
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, capacity) ->
+        (* delete-one/insert-one forever: live population is constant,
+           so the slot high-water mark must never move — the free lists
+           really do bound the arena by live points. *)
+        let pts = uniform_points seed 100 in
+        let a = Pr_arena.of_points ~capacity pts in
+        let high = Pr_arena.slot_high_water a in
+        let rng = Xoshiro.of_int_seed (seed + 4) in
+        let live = Array.of_list pts in
+        for _ = 1 to 500 do
+          let i = Xoshiro.int rng (Array.length live) in
+          let q = Sampler.point rng Sampler.Uniform in
+          if not (Pr_arena.update a live.(i) q) then
+            Alcotest.fail "update failed";
+          live.(i) <- q
+        done;
+        Pr_arena.slot_high_water a = high
+        && Pr_arena.size a = Array.length live
+        && Pr_quadtree.equal_structure (Pr_arena.freeze a)
+             (Pr_quadtree.of_points ~capacity (Array.to_list live))
+        && Pr_arena.check_invariants a = []);
+  ]
+
 (* The parallel / out-of-core bulk path *)
 
 let pr_arena_bulk_tests =
@@ -1802,6 +2022,7 @@ let () =
       ("pr_quadtree", pr_tests);
       ("pr_builder", pr_builder_tests);
       ("pr_arena", pr_arena_tests);
+      ("pr_arena_churn", pr_arena_churn_tests);
       ("pr_arena_bulk", pr_arena_bulk_tests);
       ("bintree", bintree_tests);
       ("md_tree", md_tests);
