@@ -24,7 +24,11 @@ test:
 # be byte-identical to the sequential one (compared on encoded frozen
 # trees). Finally the churn smoke: a 10^6-operation insert/delete/update
 # stream whose arena must equal a fresh rebuild of the survivors, with
-# trial fan-out byte-identical at jobs 1/2/4.
+# trial fan-out byte-identical at jobs 1/2/4. The serve smoke: spawn
+# `popan serve` at jobs 1/2/4, drive two framed 10k-query mixed batches
+# through the wire protocol while the churn writer publishes epochs,
+# verify every response byte-for-byte against an in-process sequential
+# oracle, and assert a truncated frame is refused.
 check: build test
 	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
 	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
@@ -86,13 +90,15 @@ check: build test
 	  { echo "bulk smoke FAILED: see diagnosis above"; exit 1; }
 	@dune exec --no-build test/churn_smoke.exe || \
 	  { echo "churn smoke FAILED: see diagnosis above"; exit 1; }
+	@dune exec --no-build test/serve_smoke.exe -- _build/default/bin/popan.exe || \
+	  { echo "serve smoke FAILED: see diagnosis above"; exit 1; }
 
 bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

@@ -685,6 +685,93 @@ let bench_churn_mixed =
          Array.iter (churn_apply arena) churn_events;
          Sys.opaque_identity (Pr_arena.size arena)))
 
+(* PR 8 serving ablation: a 1024-query mixed batch (ranges, counts,
+   k-NN, nearest, point-in-cell) over a 16384-point arena, answered
+   three ways — arena-native sequentially, arena-native fanned out on
+   the deterministic pool at 1/2/4 domains, and the pre-PR 8 shape:
+   freeze the arena into the persistent tree and query that (the freeze
+   is part of the measured cost — it is what serving a batch used to
+   require). The arena and batch are generated once; every run replays
+   the identical queries. *)
+
+module Wire = Popan_serve.Wire
+module Server = Popan_serve.Server
+
+let serve_n = 16_384
+let serve_batch = 1_024
+
+let serve_arena =
+  let rng = Xoshiro.of_int_seed 1987 in
+  Pr_arena.of_points_bulk ~capacity:8 (Sampler.points rng Sampler.Uniform serve_n)
+
+let serve_queries =
+  let rng = Xoshiro.of_int_seed 271828 in
+  let open Popan_geom in
+  Array.init serve_batch (fun i ->
+      let p = Point.make (Xoshiro.float rng) (Xoshiro.float rng) in
+      match i mod 5 with
+      | 0 ->
+        let w = 0.005 +. (0.05 *. Xoshiro.float rng) in
+        let x = (1.0 -. w) *. Xoshiro.float rng in
+        let y = (1.0 -. w) *. Xoshiro.float rng in
+        Wire.Range (Box.make ~xmin:x ~ymin:y ~xmax:(x +. w) ~ymax:(y +. w))
+      | 1 ->
+        Wire.Count
+          (Box.make ~xmin:0.0 ~ymin:0.0
+             ~xmax:(Float.max 0.01 p.Point.x)
+             ~ymax:(Float.max 0.01 p.Point.y))
+      | 2 -> Wire.Knn (1 + (i mod 16), p)
+      | 3 -> Wire.Nearest p
+      | _ -> Wire.Cell p)
+
+(* The persistent-tree evaluation the freeze-then-query baseline runs
+   per query — the pre-arena serving shape, producing the same
+   [Wire.answer] payloads the arena path does. *)
+let persistent_eval tree (q : Wire.query) : Wire.answer =
+  match q with
+  | Wire.Range b -> Wire.Points (Array.of_list (Pr_quadtree.query_box tree b))
+  | Wire.Count b -> Wire.Count_of (Pr_quadtree.count_in_box tree b)
+  | Wire.Knn (k, p) ->
+    Wire.Points (Array.of_list (Pr_quadtree.k_nearest tree k p))
+  | Wire.Nearest p -> (
+    match Pr_quadtree.nearest tree p with
+    | None -> Wire.Points [||]
+    | Some q -> Wire.Points [| q |])
+  | Wire.Cell p ->
+    let depth, box, pts = Pr_quadtree.leaf_at tree p in
+    Wire.Cell_info (depth, box, Array.of_list pts)
+
+let bench_serve_sequential =
+  Test.make
+    ~name:(Printf.sprintf "serve:batch %d mixed arena-native seq n=%d"
+             serve_batch serve_n)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Array.map (Server.eval serve_arena) serve_queries)))
+
+(* One pool per job count, spawned once: the benches time the batch,
+   not domain startup. *)
+let serve_pools =
+  List.map (fun jobs -> (jobs, Popan_parallel.Pool.create ~jobs ()))
+    [ 1; 2; 4 ]
+
+let bench_serve_jobs jobs =
+  let pool = List.assoc jobs serve_pools in
+  Test.make
+    ~name:(parallel_bench_name
+             (format_of_string "serve:batch 1024 mixed arena-native n=16384 j=%d")
+             jobs)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Server.run_batch pool serve_arena serve_queries)))
+
+let bench_serve_freeze_then_query =
+  Test.make
+    ~name:(Printf.sprintf "serve:batch %d mixed freeze-then-query n=%d"
+             serve_batch serve_n)
+    (Staged.stage (fun () ->
+         let tree = Pr_arena.freeze serve_arena in
+         Sys.opaque_identity (Array.map (persistent_eval tree) serve_queries)))
+
 let all_benches =
   Test.make_grouped ~name:"popan"
     [
@@ -713,6 +800,9 @@ let all_benches =
       bench_obs_incr `Metrics_only "obs-metrics";
       bench_obs_incr `Trace "obs-full-trace";
       bench_churn_insert_only; bench_churn_mixed;
+      bench_serve_sequential;
+      bench_serve_jobs 1; bench_serve_jobs 2; bench_serve_jobs 4;
+      bench_serve_freeze_then_query;
     ]
 
 let run_benchmarks () =
@@ -1013,6 +1103,100 @@ let churn_footprint_rows () =
     ( "popan/churn:footprint naive append (lifetime inserts) ops=4096",
       Some (float_of_int !lifetime), None ) ]
 
+(* The partial-match cost rows: nodes visited by a full-height
+   x-strip query (x specified, y unconstrained) averaged over 64 random
+   strips, at two tree sizes 16x apart. Flajolet/Puech-style analysis
+   gives the visited-node count of a partial-match query growth
+   exponent (sqrt(17) - 3) / 2 ~ 0.5616 (the Curien-Joseph constant for
+   one specified coordinate of two); the empirical exponent is the
+   log-ratio of the two averages. Counted, not timed — appended to the
+   estimates so the JSON trajectory carries the measurement and the
+   exponent (scaled x1000 to survive the JSON's one-decimal format). *)
+let cj_exponent = (sqrt 17.0 -. 3.0) /. 2.0
+
+let partial_match_visited n =
+  let rng = Xoshiro.of_int_seed 12345 in
+  let arena =
+    Pr_arena.of_points_bulk ~capacity:8 (Sampler.points rng Sampler.Uniform n)
+  in
+  let strips = 64 in
+  let total = ref 0 in
+  let qrng = Xoshiro.of_int_seed 54321 in
+  for _ = 1 to strips do
+    let x = Xoshiro.float qrng in
+    let strip =
+      Popan_geom.Box.make ~xmin:x ~ymin:0.0
+        ~xmax:(Float.min 1.0 (x +. 1e-9))
+        ~ymax:1.0
+    in
+    let _, visited = Pr_arena.count_in_box_visited arena strip in
+    total := !total + visited
+  done;
+  float_of_int !total /. float_of_int strips
+
+let partial_match_rows () =
+  let n1 = 4_096 and n2 = 65_536 in
+  let v1 = partial_match_visited n1 and v2 = partial_match_visited n2 in
+  let exponent =
+    log (v2 /. v1) /. log (float_of_int n2 /. float_of_int n1)
+  in
+  [ ( Printf.sprintf "serve:partial-match visited nodes strip n=%d" n1,
+      Some v1, None );
+    ( Printf.sprintf "serve:partial-match visited nodes strip n=%d" n2,
+      Some v2, None );
+    ( "serve:partial-match empirical exponent x1000 (CJ 561.6)",
+      Some (exponent *. 1000.0), None ) ]
+  |> List.map (fun (name, v, r) -> ("popan/" ^ name, v, r))
+
+(* The serving ablation, stated against the acceptance bar: the batch
+   answered arena-native must beat freezing into the persistent tree
+   and querying that; plus the pool scaling rows and the partial-match
+   exponent against Curien-Joseph. *)
+let print_serve_summary estimates =
+  let find = find_estimate estimates in
+  (match
+     ( find
+         (Printf.sprintf "serve:batch %d mixed arena-native seq n=%d"
+            serve_batch serve_n),
+       find
+         (Printf.sprintf "serve:batch %d mixed freeze-then-query n=%d"
+            serve_batch serve_n) )
+   with
+  | Some native, Some freeze ->
+    Printf.printf
+      "serve batch (%d mixed queries, n=%d): arena-native %.2f ms/run, \
+       freeze-then-query %.2f ms/run -> %.2fx (bar: arena-native wins)\n"
+      serve_batch serve_n (native /. 1e6) (freeze /. 1e6) (freeze /. native)
+  | _ -> ());
+  (match
+     ( find
+         (parallel_bench_name
+            (format_of_string
+               "serve:batch 1024 mixed arena-native n=16384 j=%d") 1),
+       find
+         (parallel_bench_name
+            (format_of_string
+               "serve:batch 1024 mixed arena-native n=16384 j=%d") 4) )
+   with
+  | Some s1, Some s4 ->
+    Printf.printf
+      "serve batch on the pool: j=1 %.2f ms/run, j=4 %.2f ms/run -> %.2fx %s\n"
+      (s1 /. 1e6) (s4 /. 1e6) (s1 /. s4)
+      (if single_core then "ratio; time-slicing on one core, not speedup"
+       else "speedup")
+  | _ -> ());
+  match
+    ( find "serve:partial-match visited nodes strip n=4096",
+      find "serve:partial-match visited nodes strip n=65536",
+      find "serve:partial-match empirical exponent x1000 (CJ 561.6)" )
+  with
+  | Some v1, Some v2, Some e ->
+    Printf.printf
+      "partial match (x-strip): %.1f nodes at n=4096, %.1f at n=65536 -> \
+       empirical exponent %.3f vs (sqrt 17 - 3)/2 = %.4f\n"
+      v1 v2 (e /. 1000.0) cj_exponent
+  | _ -> ()
+
 (* The churn ablation, stated per-operation: a steady-state churn op
    against a pure insert at the same base, and the footprint ratio. *)
 let print_churn_summary estimates =
@@ -1153,13 +1337,17 @@ let () =
   Printf.printf
     "\ntiming 2^22-point bulk builds (outside bechamel: multi-second \
      kernels)...\n%!";
-  let estimates = estimates @ big_bulk_rows () @ churn_footprint_rows () in
+  let estimates =
+    estimates @ big_bulk_rows () @ churn_footprint_rows ()
+    @ partial_match_rows ()
+  in
   print_parallel_summary estimates;
   print_arena_summary estimates;
   print_bulk_summary estimates;
   print_cache_summary estimates;
   print_obs_summary estimates;
   print_churn_summary estimates;
+  print_serve_summary estimates;
   Option.iter (fun path -> write_json path estimates) (json_request ());
   Printf.printf "\n== popan bench: full regeneration (paper parameters) ==\n\n%!";
   let clock = Sys.time () in

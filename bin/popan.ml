@@ -1355,6 +1355,87 @@ let obs_cmd =
           --metrics-out.")
     [ obs_report_cmd; obs_validate_cmd ]
 
+(* The serving engine *)
+
+let serve_cmd =
+  let run () points capacity seed churn_ops insert_fraction update_fraction
+      drift socket mmap =
+    let config =
+      {
+        Popan_serve.Server.default_config with
+        base_points = points;
+        capacity;
+        seed;
+        churn_ops;
+        insert_fraction;
+        update_fraction;
+        drift_sigma = drift;
+        mmap_dir = mmap;
+      }
+    in
+    (* The wire protocol owns stdout; everything human-facing goes to
+       stderr. *)
+    Printf.eprintf
+      "popan serve: %d points, capacity %d, seed %d, %d churn ops/batch%s\n%!"
+      points capacity seed churn_ops
+      (match socket with
+      | Some path -> Printf.sprintf ", socket %s" path
+      | None -> ", stdin/stdout");
+    Popan_serve.Server.run ?socket config;
+    Printf.eprintf "popan serve: shut down cleanly\n%!"
+  in
+  let churn_ops_term =
+    let doc =
+      "Churn operations the writer applies concurrently with each batch \
+       (a new epoch is published per batch); 0 serves a static tree."
+    in
+    Arg.(value & opt int 256 & info [ "churn-ops" ] ~docv:"OPS" ~doc)
+  in
+  let insert_fraction_term =
+    let doc = "Fraction of non-update churn operations that insert." in
+    Arg.(value & opt float 0.5 & info [ "insert-fraction" ] ~docv:"Q" ~doc)
+  in
+  let update_fraction_term =
+    let doc = "Fraction of churn operations that move a live point." in
+    Arg.(value & opt float (1.0 /. 3.0)
+         & info [ "update-fraction" ] ~docv:"U" ~doc)
+  in
+  let drift_term =
+    let doc = "Per-axis bound of an update's displacement." in
+    Arg.(value & opt float 0.01 & info [ "drift" ] ~docv:"SIGMA" ~doc)
+  in
+  let socket_term =
+    let doc =
+      "Listen on a Unix socket at $(docv) (one connection) instead of \
+       stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let mmap_term =
+    let doc =
+      "Back the live arena's point columns with mmap segment files under \
+       $(docv); shutdown releases them."
+    in
+    Arg.(value & opt (some string) None & info [ "mmap" ] ~docv:"DIR" ~doc)
+  in
+  let points_term =
+    let doc = "Initial population of the served tree." in
+    Arg.(value & opt int 10_000 & info [ "n"; "points" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(const run $ setup_term $ points_term $ capacity_term ~default:8
+          $ seed_term $ churn_ops_term $ insert_fraction_term
+          $ update_fraction_term $ drift_term $ socket_term $ mmap_term)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve batched spatial queries (range / k-NN / point-in-cell) over \
+          the framed wire protocol, answering each batch from a pinned \
+          epoch snapshot while a concurrent churn writer publishes the \
+          next epoch. Responses are byte-identical at every -j.")
+    term
+
 let main_cmd =
   let doc =
     "population analysis for hierarchical data structures (Nelson & Samet, \
@@ -1369,7 +1450,7 @@ let main_cmd =
       ext_bucketsweep_cmd; ext_exthash_cmd;
       ext_gridfile_cmd; ext_excell_cmd; ext_hashmodel_cmd; ext_trajectory_cmd; ext_churn_cmd;
       ext_solvers_cmd; ext_aging_cmd; measure_cmd; selftest_cmd; all_cmd;
-      report_cmd; cache_cmd; obs_cmd;
+      report_cmd; cache_cmd; obs_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

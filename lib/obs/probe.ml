@@ -295,6 +295,52 @@ let sample_gc () =
       (float_of_int s.Gc.major_collections)
   end
 
+(* The serving layer. Admission metrics for the wire-protocol request
+   loop: per-kernel query counters are stable (they count what was
+   asked, independent of scheduling); batch timing, queue depth and
+   epoch-lifecycle gauges are unstable per-schedule facts. *)
+
+let serve_batches = Metrics.counter "serve.batches"
+let serve_range_queries = Metrics.counter "serve.queries.range"
+let serve_count_queries = Metrics.counter "serve.queries.count"
+let serve_knn_queries = Metrics.counter "serve.queries.knn"
+let serve_nearest_queries = Metrics.counter "serve.queries.nearest"
+let serve_cell_queries = Metrics.counter "serve.queries.cell"
+let serve_malformed_frames = Metrics.counter "serve.malformed.frames"
+let serve_epochs_published = Metrics.counter "serve.epochs.published"
+let serve_epochs_retired = Metrics.counter "serve.epochs.retired"
+let serve_queue_depth = Metrics.gauge ~stable:false "serve.queue.depth"
+let serve_epoch_id = Metrics.gauge ~stable:false "serve.epoch.id"
+let serve_epoch_age = Metrics.gauge ~stable:false "serve.epoch.age.batches"
+
+let serve_batch_seconds =
+  Metrics.histogram ~stable:false "serve.batch.seconds" ~bounds:seconds_bounds
+
+let serve_query ~kernel =
+  Metrics.incr
+    (match kernel with
+    | `Range -> serve_range_queries
+    | `Count -> serve_count_queries
+    | `Knn -> serve_knn_queries
+    | `Nearest -> serve_nearest_queries
+    | `Cell -> serve_cell_queries)
+
+let serve_batch ~queries ~jobs f =
+  Metrics.incr serve_batches;
+  Metrics.set_gauge serve_queue_depth (float_of_int queries);
+  timed ~span:"serve:batch"
+    ~args:[ ("queries", Trace.Int queries); ("jobs", Trace.Int jobs) ]
+    serve_batch_seconds f
+
+let serve_publish ~epoch =
+  Metrics.incr serve_epochs_published;
+  Metrics.set_gauge serve_epoch_id (float_of_int epoch);
+  Metrics.set_gauge serve_epoch_age 0.0
+
+let serve_retire () = Metrics.incr serve_epochs_retired
+let serve_epoch_batch ~age = Metrics.set_gauge serve_epoch_age (float_of_int age)
+let serve_malformed () = Metrics.incr serve_malformed_frames
+
 (* Experiment trials *)
 
 let trial ~experiment ~index ?n f =

@@ -157,6 +157,44 @@ val store_compute : unit -> unit
     of interest. No-op while the registry is disabled. *)
 val sample_gc : unit -> unit
 
+(** {1 The serving layer}
+
+    Admission metrics for the wire-protocol request loop. Per-kernel
+    query counters ([serve.queries.*]) and the epoch-lifecycle
+    counters ([serve.epochs.*], [serve.malformed.frames]) are stable —
+    they count what was asked and published, independent of
+    scheduling; batch timing, queue depth and epoch-age gauges are
+    unstable per-schedule facts. *)
+
+(** [serve_query ~kernel] counts one admitted query by kernel
+    ([serve.queries.range] / [.count] / [.knn] / [.nearest] /
+    [.cell]). *)
+val serve_query :
+  kernel:[ `Range | `Count | `Knn | `Nearest | `Cell ] -> unit
+
+(** [serve_batch ~queries ~jobs f] wraps one batch execution: a
+    [serve:batch] span, [serve.batches], the [serve.queue.depth] gauge
+    (admitted queries awaiting this batch) and [serve.batch.seconds]. *)
+val serve_batch : queries:int -> jobs:int -> (unit -> 'a) -> 'a
+
+(** [serve_publish ~epoch] counts an epoch publication
+    ([serve.epochs.published]) and resets the [serve.epoch.id] /
+    [serve.epoch.age.batches] gauges. *)
+val serve_publish : epoch:int -> unit
+
+(** [serve_retire ()] counts an epoch whose last pin dropped and whose
+    arena was reclaimed ([serve.epochs.retired]). *)
+val serve_retire : unit -> unit
+
+(** [serve_epoch_batch ~age] sets [serve.epoch.age.batches] — batches
+    answered from the current epoch since it was published. *)
+val serve_epoch_batch : age:int -> unit
+
+(** [serve_malformed ()] counts a rejected request frame
+    ([serve.malformed.frames]) — truncation, checksum mismatch, or an
+    undecodable payload. *)
+val serve_malformed : unit -> unit
+
 (** {1 Experiment trials} *)
 
 (** [trial ~experiment ~index ?n f] wraps one trial task in a

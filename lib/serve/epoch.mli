@@ -1,0 +1,78 @@
+open Import
+
+(** Epoch snapshots: the serving layer's reader/writer seam.
+
+    A writer applies churn to its own live arena and periodically
+    {!publish}es a frozen {!Pr_arena.snapshot} of it; readers {!pin}
+    the current epoch for the duration of a batch and query its arena
+    with the arena-native kernels. Snapshots share no mutable state
+    with the writer's arena or with each other, so a pinned epoch is
+    immutable by construction — readers can never observe a torn
+    snapshot, whatever the writer does concurrently.
+
+    Lifecycle: publishing supersedes the previous epoch; a superseded
+    epoch stays alive while pins hold it and is reclaimed
+    ({!Pr_arena.release} plus [serve.epochs.retired]) the moment its
+    last pin drops. {!shutdown} reclaims everything. All operations are
+    mutex-protected: the writer may publish from one domain while
+    readers pin from another. *)
+
+type epoch
+
+(** [id e] is the epoch's sequence number (0 for the bootstrap epoch,
+    then 1, 2, ... in publication order). *)
+val id : epoch -> int
+
+(** [arena e] is the epoch's frozen arena. Callers must only query it —
+    never insert, delete or release. *)
+val arena : epoch -> Pr_arena.t
+
+(** [pins e] is the epoch's current pin count. *)
+val pins : epoch -> int
+
+type t
+
+(** [create arena] boots the store with [arena] as epoch 0. The store
+    takes ownership: [arena] is released when superseded and unpinned
+    (so hand in a {!Pr_arena.snapshot}, not the writer's live arena). *)
+val create : Pr_arena.t -> t
+
+(** [publish t arena] installs [arena] as the new current epoch and
+    reclaims any superseded epoch no reader holds. Ownership transfers
+    as in {!create}. *)
+val publish : t -> Pr_arena.t -> epoch
+
+(** [current t] is the current epoch, unpinned — a peek, valid only
+    under an existing pin or for its [id]. *)
+val current : t -> epoch
+
+(** [current_id t] is [id (current t)]. *)
+val current_id : t -> int
+
+(** [live_count t] is the number of epochs whose arenas are alive (the
+    current one plus pinned superseded ones). *)
+val live_count : t -> int
+
+(** [pin t] pins and returns the current epoch: its arena stays alive —
+    even across subsequent {!publish}es — until a matching {!unpin}. *)
+val pin : t -> epoch
+
+(** [unpin t e] drops one pin; a superseded epoch whose last pin drops
+    is reclaimed immediately. Raises [Invalid_argument] if [e] is not
+    pinned. *)
+val unpin : t -> epoch -> unit
+
+(** [shutdown t] retires every live epoch, releasing mmap-backed
+    segments. The store must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** [check_invariants t] audits the epoch store: the current epoch is
+    live, ids are unique and below the allocator, no retired or
+    negatively-pinned epoch lingers, every superseded epoch still live
+    is pinned, and each epoch's arena passes
+    {!Pr_arena.check_invariants} — in particular its slot accounting
+    (stored + free lists tile the high-water mark), the cross-epoch
+    slot-ownership audit: snapshots own their slots outright, so one
+    epoch's churn can never free another's slot. Returns the problems
+    found (empty when healthy). *)
+val check_invariants : t -> string list

@@ -1,0 +1,233 @@
+open Import
+
+(* Sequential evaluation of one query against one arena — this single
+   function is both what the pool's tasks run and the oracle the tests
+   replay, so "batched equals sequential" is equality of schedules, not
+   of two implementations. *)
+let eval arena (q : Wire.query) : Wire.answer =
+  match q with
+  | Wire.Range b ->
+    Probe.serve_query ~kernel:`Range;
+    Wire.Points (Array.of_list (Pr_arena.query_box arena b))
+  | Wire.Count b ->
+    Probe.serve_query ~kernel:`Count;
+    Wire.Count_of (Pr_arena.count_in_box arena b)
+  | Wire.Knn (k, p) -> (
+    Probe.serve_query ~kernel:`Knn;
+    match Pr_arena.k_nearest arena k p with
+    | ps -> Wire.Points (Array.of_list ps)
+    | exception Invalid_argument m -> Wire.Rejected m)
+  | Wire.Nearest p -> (
+    Probe.serve_query ~kernel:`Nearest;
+    match Pr_arena.nearest arena p with
+    | None -> Wire.Points [||]
+    | Some q -> Wire.Points [| q |])
+  | Wire.Cell p -> (
+    Probe.serve_query ~kernel:`Cell;
+    match Pr_arena.cell_at arena p with
+    | depth, box, pts -> Wire.Cell_info (depth, box, Array.of_list pts)
+    | exception Invalid_argument m -> Wire.Rejected m)
+
+(* Fan a batch out on the deterministic pool. [map_array]'s contract —
+   results in index order, byte-identical at every job count — is what
+   makes the whole response deterministic; the chunk keeps per-task
+   overhead amortized over thousands of tiny queries. *)
+let run_batch ?(chunk = 256) pool arena queries =
+  let n = Array.length queries in
+  Probe.serve_batch ~queries:n ~jobs:(Parallel.Pool.jobs pool) (fun () ->
+      Parallel.Pool.map_array ~chunk pool n ~f:(fun i -> eval arena queries.(i)))
+
+type config = {
+  jobs : int option;  (** pool width; [None] = the session default *)
+  capacity : int;  (** leaf capacity of the served tree *)
+  base_points : int;  (** initial population *)
+  seed : int;  (** master seed: population and churn stream *)
+  churn_ops : int;  (** writer ops applied concurrently per batch; 0 = static *)
+  insert_fraction : float;
+  update_fraction : float;
+  drift_sigma : float;
+  mmap_dir : string option;  (** back the live arena's columns with mmap *)
+}
+
+let default_config =
+  {
+    jobs = None;
+    capacity = 8;
+    base_points = 10_000;
+    seed = 1987;
+    churn_ops = 256;
+    insert_fraction = 0.5;
+    update_fraction = 1.0 /. 3.0;
+    drift_sigma = 0.01;
+    mmap_dir = None;
+  }
+
+type t = {
+  config : config;
+  pool : Parallel.Pool.t;
+  owns_pool : bool;
+  live : Pr_arena.t;  (** the writer's arena; only the writer touches it *)
+  epochs : Epoch.t;
+  churn : (Workload.Churn.spec * Workload.Churn.state) option;
+  mutable batches : int;
+  mutable epoch_batches : int;  (** batches answered from the current epoch *)
+}
+
+let create ?pool config =
+  if config.base_points < 0 then invalid_arg "Server.create: base_points < 0";
+  if config.churn_ops < 0 then invalid_arg "Server.create: churn_ops < 0";
+  let spec =
+    Workload.Churn.make ~points:(max 1 config.base_points) ~trials:1
+      ~seed:config.seed
+      ~ops:(max 1 config.churn_ops)
+      ~insert_fraction:config.insert_fraction
+      ~update_fraction:config.update_fraction ~drift_sigma:config.drift_sigma
+      ()
+  in
+  let rng = List.hd (Workload.Churn.map_trials spec ~f:(fun _ rng -> rng)) in
+  let state = Workload.Churn.start spec ~rng in
+  let base =
+    if config.base_points = 0 then []
+    else Array.to_list (Workload.Churn.live state)
+  in
+  let backing =
+    Option.map (fun dir -> Pr_arena.Mmap { dir }) config.mmap_dir
+  in
+  let live = Pr_arena.of_points_bulk ?backing ~capacity:config.capacity base in
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Parallel.Pool.create ?jobs:config.jobs (), true)
+  in
+  {
+    config;
+    pool;
+    owns_pool;
+    live;
+    epochs = Epoch.create (Pr_arena.snapshot live);
+    churn = (if config.churn_ops > 0 then Some (spec, state) else None);
+    batches = 0;
+    epoch_batches = 0;
+  }
+
+let epochs t = t.epochs
+let pool t = t.pool
+let batches t = t.batches
+
+let apply_churn t ops =
+  match t.churn with
+  | None -> ()
+  | Some (spec, state) ->
+    for _ = 1 to ops do
+      match Workload.Churn.step spec state with
+      | Workload.Churn.Insert p -> Pr_arena.insert t.live p
+      | Workload.Churn.Delete p -> ignore (Pr_arena.delete t.live p : bool)
+      | Workload.Churn.Update (p, q) ->
+        ignore (Pr_arena.update t.live p q : bool)
+    done
+
+(* Answer one batch from a pinned epoch while the churn writer advances
+   the live arena on its own domain. The overlap is real — the writer
+   mutates [t.live] during the batch — but readers only ever see the
+   pinned snapshot, which shares nothing with [t.live], so answers are
+   torn-free and depend only on the epoch's contents; and the churn
+   stream itself is deterministic, so the next published epoch is too.
+   Responses are therefore byte-identical at every job count. *)
+let run_queries t queries =
+  let e = Epoch.pin t.epochs in
+  let writer =
+    match t.churn with
+    | Some _ when t.config.churn_ops > 0 ->
+      Some (Domain.spawn (fun () -> apply_churn t t.config.churn_ops))
+    | _ -> None
+  in
+  let answers =
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Domain.join writer;
+        (* Publish after the writer lands: each batch serves epoch [n]
+           and leaves epoch [n+1] installed for the next one. *)
+        (match t.churn with
+        | Some _ ->
+          ignore (Epoch.publish t.epochs (Pr_arena.snapshot t.live)
+                   : Epoch.epoch);
+          t.epoch_batches <- 0
+        | None ->
+          t.epoch_batches <- t.epoch_batches + 1;
+          Probe.serve_epoch_batch ~age:t.epoch_batches);
+        Epoch.unpin t.epochs e)
+      (fun () -> run_batch t.pool (Epoch.arena e) queries)
+  in
+  t.batches <- t.batches + 1;
+  (Epoch.id e, answers)
+
+let handle t (req : Wire.request) : Wire.response * bool =
+  match req with
+  | Wire.Batch queries ->
+    let epoch, answers = run_queries t queries in
+    (Wire.Answers { epoch; answers }, true)
+  | Wire.Stats ->
+    ( Wire.Stats_info
+        {
+          epoch = Epoch.current_id t.epochs;
+          size = Pr_arena.size t.live;
+          batches = t.batches;
+          live_epochs = Epoch.live_count t.epochs;
+        },
+      true )
+  | Wire.Quit -> (Wire.Bye, false)
+
+let shutdown t =
+  Epoch.shutdown t.epochs;
+  Pr_arena.release t.live;
+  if t.owns_pool then Parallel.Pool.shutdown t.pool;
+  (* The at-exit flushes only cover experiment commands; a server must
+     leave its admission counters in the store's stats log itself. *)
+  Option.iter Store.flush_counters (Store.default ())
+
+let serve_channels t ic oc =
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  let rec loop () =
+    match Wire.read_request ic with
+    | None -> ()
+    | Some (Error reason) ->
+      (* A bad frame leaves the stream position undefined: refuse the
+         request and stop reading rather than resynchronize by
+         guesswork. *)
+      Probe.serve_malformed ();
+      Wire.write_response oc (Wire.Refused reason)
+    | Some (Ok req) ->
+      let resp, continue = handle t req in
+      Wire.write_response oc resp;
+      if continue then loop ()
+  in
+  loop ()
+
+let serve_socket t path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      let fd, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () ->
+          (try flush oc with Sys_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> serve_channels t ic oc))
+
+let run ?pool ?socket config =
+  let t = create ?pool config in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      match socket with
+      | None -> serve_channels t stdin stdout
+      | Some path -> serve_socket t path)

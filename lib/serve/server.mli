@@ -1,0 +1,83 @@
+open Import
+
+(** The request loop: batched arena-native query execution over epoch
+    snapshots, behind the {!Wire} protocol.
+
+    One server owns a live arena (the churn writer's), an {!Epoch}
+    store of published snapshots, and a deterministic domain pool. A
+    [Batch] request pins the current epoch, fans its queries out on the
+    pool ([map_array]'s task-ordered reduction makes the response
+    byte-identical at every job count), and — when churn is configured —
+    concurrently applies the next slice of the deterministic churn
+    stream to the live arena on a separate domain, publishing the
+    resulting snapshot as the next epoch before the response is
+    written. Readers never observe a torn snapshot: epochs share no
+    mutable state with the live arena. *)
+
+(** [eval arena q] answers one query sequentially — the same function
+    the pool's tasks run, and the oracle tests replay. *)
+val eval : Pr_arena.t -> Wire.query -> Wire.answer
+
+(** [run_batch ?chunk pool arena queries] answers a whole batch on the
+    pool, results in request order. Wrapped in the [serve:batch] probe
+    (queue-depth gauge, latency histogram, per-kernel counters). *)
+val run_batch :
+  ?chunk:int ->
+  Parallel.Pool.t -> Pr_arena.t -> Wire.query array -> Wire.answer array
+
+type config = {
+  jobs : int option;  (** pool width; [None] = the session default *)
+  capacity : int;  (** leaf capacity of the served tree *)
+  base_points : int;  (** initial population *)
+  seed : int;  (** master seed: population and churn stream *)
+  churn_ops : int;
+      (** writer operations applied concurrently with each batch;
+          [0] serves a static tree and never publishes *)
+  insert_fraction : float;
+  update_fraction : float;
+  drift_sigma : float;
+  mmap_dir : string option;  (** back the live arena's columns with mmap *)
+}
+
+(** 10k uniform points at capacity 8, seed 1987, 256 churn ops per
+    batch with the PR 7 churn defaults, heap-backed. *)
+val default_config : config
+
+type t
+
+(** [create ?pool config] builds the initial population
+    (deterministically from [config.seed]), publishes epoch 0, and
+    readies the pool ([?pool] borrows an existing one, which
+    {!shutdown} then leaves running). Raises [Invalid_argument] on
+    negative [base_points] or [churn_ops]. *)
+val create : ?pool:Parallel.Pool.t -> config -> t
+
+val epochs : t -> Epoch.t
+val pool : t -> Parallel.Pool.t
+
+(** [batches t] counts batches answered so far. *)
+val batches : t -> int
+
+(** [run_queries t queries] answers one batch as described above and
+    returns the answering epoch's id with the answers. *)
+val run_queries : t -> Wire.query array -> int * Wire.answer array
+
+(** [handle t req] dispatches one request; the boolean is false when
+    the loop should stop ([Quit]). *)
+val handle : t -> Wire.request -> Wire.response * bool
+
+(** [serve_channels t ic oc] reads framed requests from [ic] and writes
+    framed responses to [oc] until EOF, [Quit], or a malformed frame
+    (refused, then the loop stops — a broken frame leaves the stream
+    position undefined). *)
+val serve_channels : t -> in_channel -> out_channel -> unit
+
+(** [shutdown t] retires every epoch and releases the live arena's
+    mmap segments, shuts down an owned pool, and flushes the obs
+    counters to the default artifact store when one is configured. *)
+val shutdown : t -> unit
+
+(** [run ?pool ?socket config] is the whole lifecycle: {!create},
+    serve on stdin/stdout (or accept one connection on the Unix socket
+    [?socket]), then {!shutdown} — which runs even if serving raises. *)
+val run : ?pool:Parallel.Pool.t -> ?socket:string -> config -> unit

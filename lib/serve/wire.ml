@@ -1,0 +1,170 @@
+open Import
+
+type query =
+  | Range of Box.t
+  | Count of Box.t
+  | Knn of int * Point.t
+  | Nearest of Point.t
+  | Cell of Point.t
+
+type request = Batch of query array | Stats | Quit
+
+type answer =
+  | Points of Point.t array
+  | Count_of of int
+  | Cell_info of int * Box.t * Point.t array
+  | Rejected of string
+
+type response =
+  | Answers of { epoch : int; answers : answer array }
+  | Stats_info of { epoch : int; size : int; batches : int; live_epochs : int }
+  | Refused of string
+  | Bye
+
+let version = 1
+let request_kind = "serve-req"
+let response_kind = "serve-resp"
+
+(* One frame key for the whole protocol: the store's framing insists on
+   a key (its content-addressing defense); the serving loop has no
+   content address, so a fixed key doubles as a protocol marker. *)
+let frame_key = "serve"
+
+let query =
+  let open Codec in
+  choice
+    ~tag:(function
+      | Range _ -> 0 | Count _ -> 1 | Knn _ -> 2 | Nearest _ -> 3 | Cell _ -> 4)
+    [
+      ( 0,
+        map box
+          ~decode:(fun b -> Range b)
+          ~encode:(function Range b -> b | _ -> assert false) );
+      ( 1,
+        map box
+          ~decode:(fun b -> Count b)
+          ~encode:(function Count b -> b | _ -> assert false) );
+      ( 2,
+        map (pair int point)
+          ~decode:(fun (k, p) -> Knn (k, p))
+          ~encode:(function Knn (k, p) -> (k, p) | _ -> assert false) );
+      ( 3,
+        map point
+          ~decode:(fun p -> Nearest p)
+          ~encode:(function Nearest p -> p | _ -> assert false) );
+      ( 4,
+        map point
+          ~decode:(fun p -> Cell p)
+          ~encode:(function Cell p -> p | _ -> assert false) );
+    ]
+
+let request =
+  let open Codec in
+  choice
+    ~tag:(function Batch _ -> 0 | Stats -> 1 | Quit -> 2)
+    [
+      ( 0,
+        map (array query)
+          ~decode:(fun qs -> Batch qs)
+          ~encode:(function Batch qs -> qs | _ -> assert false) );
+      (1, map (list u8) ~decode:(fun _ -> Stats) ~encode:(fun _ -> []));
+      (2, map (list u8) ~decode:(fun _ -> Quit) ~encode:(fun _ -> []));
+    ]
+
+let answer =
+  let open Codec in
+  choice
+    ~tag:(function
+      | Points _ -> 0 | Count_of _ -> 1 | Cell_info _ -> 2 | Rejected _ -> 3)
+    [
+      ( 0,
+        map (array point)
+          ~decode:(fun ps -> Points ps)
+          ~encode:(function Points ps -> ps | _ -> assert false) );
+      ( 1,
+        map int
+          ~decode:(fun n -> Count_of n)
+          ~encode:(function Count_of n -> n | _ -> assert false) );
+      ( 2,
+        map
+          (triple int box (array point))
+          ~decode:(fun (d, b, ps) -> Cell_info (d, b, ps))
+          ~encode:(function
+            | Cell_info (d, b, ps) -> (d, b, ps) | _ -> assert false) );
+      ( 3,
+        map string
+          ~decode:(fun m -> Rejected m)
+          ~encode:(function Rejected m -> m | _ -> assert false) );
+    ]
+
+let response =
+  let open Codec in
+  choice
+    ~tag:(function
+      | Answers _ -> 0 | Stats_info _ -> 1 | Refused _ -> 2 | Bye -> 3)
+    [
+      ( 0,
+        map
+          (pair int (array answer))
+          ~decode:(fun (epoch, answers) -> Answers { epoch; answers })
+          ~encode:(function
+            | Answers { epoch; answers } -> (epoch, answers)
+            | _ -> assert false) );
+      ( 1,
+        map
+          (pair (pair int int) (pair int int))
+          ~decode:(fun ((epoch, size), (batches, live_epochs)) ->
+            Stats_info { epoch; size; batches; live_epochs })
+          ~encode:(function
+            | Stats_info { epoch; size; batches; live_epochs } ->
+              ((epoch, size), (batches, live_epochs))
+            | _ -> assert false) );
+      ( 2,
+        map string
+          ~decode:(fun m -> Refused m)
+          ~encode:(function Refused m -> m | _ -> assert false) );
+      (3, map (list u8) ~decode:(fun _ -> Bye) ~encode:(fun _ -> []));
+    ]
+
+(* Length-prefixed framing over channels: 4 bytes big-endian, then one
+   "PSTO" artifact (versioned, checksummed). The length prefix bounds
+   the read; everything inside it is validated by the store's frame
+   check, so truncation surfaces as [Truncated] and corruption as
+   [Checksum_mismatch] — both read as a malformed request, never as a
+   wrong answer. *)
+
+let max_frame = 1 lsl 26 (* 64 MiB: refuse absurd prefixes outright *)
+
+let write_frame oc ~kind codec v =
+  let s = Codec.to_artifact ~kind ~version ~key:frame_key codec v in
+  let n = String.length s in
+  output_byte oc ((n lsr 24) land 0xff);
+  output_byte oc ((n lsr 16) land 0xff);
+  output_byte oc ((n lsr 8) land 0xff);
+  output_byte oc (n land 0xff);
+  output_string oc s;
+  flush oc
+
+let read_frame ic ~kind codec =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | b0 -> (
+    try
+      let b1 = input_byte ic in
+      let b2 = input_byte ic in
+      let b3 = input_byte ic in
+      let n = (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3 in
+      if n > max_frame then
+        Some (Error (Printf.sprintf "frame length %d exceeds limit" n))
+      else begin
+        let s = really_input_string ic n in
+        match Codec.of_artifact ~kind ~version ~key:frame_key codec s with
+        | Ok v -> Some (Ok v)
+        | Error e -> Some (Error (Codec.error_to_string e))
+      end
+    with End_of_file -> Some (Error "truncated frame"))
+
+let write_request oc r = write_frame oc ~kind:request_kind request r
+let read_request ic = read_frame ic ~kind:request_kind request
+let write_response oc r = write_frame oc ~kind:response_kind response r
+let read_response ic = read_frame ic ~kind:response_kind response

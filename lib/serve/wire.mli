@@ -1,0 +1,67 @@
+open Import
+
+(** The serving wire protocol: request/response types, their codecs,
+    and length-prefixed channel framing.
+
+    Every frame on the wire is [4 bytes big-endian payload length]
+    followed by one "PSTO" artifact ({!Codec.to_artifact}) of kind
+    {!request_kind} or {!response_kind} at protocol {!version} — so a
+    frame carries the store's magic, versioning and FNV-1a64 checksum.
+    A truncated frame reads as [Truncated], a corrupted one as
+    [Checksum_mismatch]; both surface as [Error] from {!read_frame},
+    never as a silently wrong value. *)
+
+(** One query against an epoch's arena. *)
+type query =
+  | Range of Box.t  (** all points in the (half-open) box *)
+  | Count of Box.t  (** their number only *)
+  | Knn of int * Point.t  (** the k nearest points, nearest first *)
+  | Nearest of Point.t  (** the single nearest point *)
+  | Cell of Point.t  (** the leaf cell containing the point *)
+
+type request =
+  | Batch of query array  (** answer all, one epoch, task-ordered *)
+  | Stats  (** server introspection *)
+  | Quit  (** orderly shutdown *)
+
+(** One query's result, positionally matching the request batch. *)
+type answer =
+  | Points of Point.t array
+      (** [Range]: members; [Knn]: nearest first; [Nearest]: 0 or 1 *)
+  | Count_of of int
+  | Cell_info of int * Box.t * Point.t array  (** depth, block, contents *)
+  | Rejected of string  (** an invalid query (e.g. out-of-bounds cell) *)
+
+type response =
+  | Answers of { epoch : int; answers : answer array }
+  | Stats_info of { epoch : int; size : int; batches : int; live_epochs : int }
+  | Refused of string  (** the request frame was malformed *)
+  | Bye  (** acknowledges [Quit] *)
+
+(** Protocol version, embedded in every frame's artifact header. *)
+val version : int
+
+val request_kind : string
+val response_kind : string
+
+(** The codecs, exposed for tests and custom transports. *)
+val query : query Codec.t
+
+val request : request Codec.t
+val answer : answer Codec.t
+val response : response Codec.t
+
+(** [write_frame oc ~kind codec v] frames and writes [v], then flushes. *)
+val write_frame : out_channel -> kind:string -> 'a Codec.t -> 'a -> unit
+
+(** [read_frame ic ~kind codec] reads one frame: [None] at a clean EOF
+    (no length prefix at all), [Some (Error reason)] on truncation, a
+    bad checksum, an over-limit length prefix or an undecodable
+    payload, [Some (Ok v)] otherwise. *)
+val read_frame :
+  in_channel -> kind:string -> 'a Codec.t -> ('a, string) result option
+
+val write_request : out_channel -> request -> unit
+val read_request : in_channel -> (request, string) result option
+val write_response : out_channel -> response -> unit
+val read_response : in_channel -> (response, string) result option

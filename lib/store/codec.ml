@@ -210,6 +210,34 @@ let int_array = array int
 let map c ~decode:f ~encode:g =
   { write = (fun buffer v -> c.write buffer (g v)); read = (fun cur -> f (c.read cur)) }
 
+(* A tagged union: one byte of case tag, then the selected case's
+   payload. [map] cannot express sum types (it needs a total inverse);
+   this is the variant-codec builder the wire protocol's request and
+   response types are built from. *)
+let choice ~tag cases =
+  List.iter
+    (fun (t, _) ->
+      if t < 0 || t > 255 then invalid_arg "Codec.choice: tag out of range";
+      if List.length (List.filter (fun (u, _) -> u = t) cases) > 1 then
+        invalid_arg (Printf.sprintf "Codec.choice: duplicate tag %d" t))
+    cases;
+  {
+    write =
+      (fun buffer v ->
+        let t = tag v in
+        match List.assoc_opt t cases with
+        | None -> invalid_arg (Printf.sprintf "Codec.choice: unknown tag %d" t)
+        | Some c ->
+          Buffer.add_char buffer (Char.chr t);
+          c.write buffer v);
+    read =
+      (fun cur ->
+        let t = read_byte cur in
+        match List.assoc_opt t cases with
+        | None -> fail "bad choice tag %d" t
+        | Some c -> c.read cur);
+  }
+
 (* Domain codecs *)
 
 let point =

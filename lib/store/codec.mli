@@ -81,6 +81,15 @@ val int_array : int array t
     writing). *)
 val map : 'a t -> decode:('a -> 'b) -> encode:('b -> 'a) -> 'b t
 
+(** [choice ~tag cases] is the variant-codec builder ({!map} cannot
+    express sum types): writing emits [tag v] as one byte followed by
+    the matching case codec's payload; reading dispatches on the tag
+    byte. Each case codec typically wraps {!map} around one
+    constructor. Raises [Invalid_argument] at construction on a tag
+    outside 0..255 or a duplicate tag, and at write time when [tag v]
+    names no case; an unknown tag on the wire is malformed input. *)
+val choice : tag:('a -> int) -> (int * 'a t) list -> 'a t
+
 (** {1 Domain codecs} *)
 
 val point : Point.t t

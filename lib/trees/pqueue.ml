@@ -78,3 +78,36 @@ let drain q =
     match pop_min q with None -> List.rev acc | Some e -> go (e :: acc)
   in
   go []
+
+(* A bounded best-k collector on top of the min-heap: keys are negated
+   distances, so the root is the current kth-best (worst retained)
+   candidate and every offer costs O(log k). Shared by the persistent
+   and arena k-NN kernels so the pruning bound lives in one place. *)
+module Neighbors = struct
+  type nonrec 'a t = { k : int; heap : 'a t }
+
+  let create k =
+    if k < 0 then invalid_arg "Pqueue.Neighbors.create: k < 0";
+    { k; heap = create () }
+
+  let capacity n = n.k
+  let size n = size n.heap
+
+  let worst n =
+    if n.k = 0 then 0.0
+    else if size n < n.k then Float.infinity
+    else
+      match peek_min n.heap with
+      | Some (neg_d, _) -> -.neg_d
+      | None -> Float.infinity
+
+  let offer n ~dist v =
+    if dist < worst n then begin
+      insert n.heap (-.dist) v;
+      if size n > n.k then ignore (pop_min n.heap)
+    end
+
+  let drain_nearest n =
+    (* The negated-distance heap drains farthest-first. *)
+    List.rev_map snd (drain n.heap)
+end

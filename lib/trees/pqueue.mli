@@ -26,3 +26,35 @@ val peek_min : 'a t -> (float * 'a) option
 
 (** [drain q] pops everything, in priority order. *)
 val drain : 'a t -> (float * 'a) list
+
+(** A bounded "best k by distance" collector shared by the persistent
+    and arena k-nearest-neighbor kernels. Internally a {!t} keyed on
+    negated distance (a bounded max-heap), so offers are O(log k) and
+    the current pruning bound is O(1). *)
+module Neighbors : sig
+  type 'a t
+
+  (** [create k] collects the [k] nearest offers. Raises
+      [Invalid_argument] if [k < 0]; [k = 0] accepts nothing. *)
+  val create : int -> 'a t
+
+  (** [capacity n] is the [k] passed to {!create}. *)
+  val capacity : 'a t -> int
+
+  (** [size n] is the number of candidates currently retained. *)
+  val size : 'a t -> int
+
+  (** [worst n] is the pruning bound: the kth-best distance retained so
+      far, [infinity] while fewer than [k] candidates are held, and
+      [0.0] when [k = 0] (nothing can improve an empty answer). Offers
+      at distance [>= worst n] are rejected, as are subtree visits. *)
+  val worst : 'a t -> float
+
+  (** [offer n ~dist v] retains [v] iff [dist < worst n], evicting the
+      current worst when full. NaN distances are rejected by the
+      underlying heap's [insert]. *)
+  val offer : 'a t -> dist:float -> 'a -> unit
+
+  (** [drain_nearest n] empties the collector, nearest-first. *)
+  val drain_nearest : 'a t -> 'a list
+end

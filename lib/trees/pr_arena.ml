@@ -1482,6 +1482,292 @@ let points t =
   iter_points t ~f:(fun p -> acc := p :: !acc);
   !acc
 
+(* --- Arena-native query kernels --------------------------------------
+
+   These walk the child-base table and the slot columns directly — no
+   freeze to a boxed {!Pr_quadtree} per query — and mutate nothing, so
+   any number of domains may query one arena concurrently (the serving
+   layer fans batches out over a shared epoch snapshot). Candidates are
+   tested as raw floats straight off the columns; only accepted points
+   are boxed into results. *)
+
+(* Squared distance from [(x, y)] to the closed extent of [b]; 0 inside.
+   The clamp form matches [Pr_quadtree.distance_sq_to_box] bit for bit,
+   which the differential suites rely on. *)
+let dist_sq_to_box x y (b : Box.t) =
+  let cx = Float.max b.Box.xmin (Float.min x b.Box.xmax) in
+  let cy = Float.max b.Box.ymin (Float.min y b.Box.ymax) in
+  let dx = x -. cx and dy = y -. cy in
+  (dx *. dx) +. (dy *. dy)
+
+(* Fold the half-open containment test of [Box.contains] over a leaf
+   chain without building the per-leaf point list. *)
+let query_box t target =
+  let xmin = target.Box.xmin and xmax = target.Box.xmax in
+  let ymin = target.Box.ymin and ymax = target.Box.ymax in
+  let acc = ref [] in
+  let rec go node ~box =
+    if Box.intersects box target then begin
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let slot = ref t.head.(node) in
+        while !slot >= 0 do
+          let s = !slot in
+          let x = t.xs.{s} and y = t.ys.{s} in
+          if x >= xmin && x < xmax && y >= ymin && y < ymax then
+            acc := Point.make x y :: !acc;
+          slot := t.next.{s}
+        done
+      end
+      else
+        for q = 0 to 3 do
+          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+        done
+    end
+  in
+  go 0 ~box:t.bounds;
+  !acc
+
+let count_in_box t target =
+  let xmin = target.Box.xmin and xmax = target.Box.xmax in
+  let ymin = target.Box.ymin and ymax = target.Box.ymax in
+  let acc = ref 0 in
+  let rec go node ~box =
+    if Box.intersects box target then begin
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let slot = ref t.head.(node) in
+        while !slot >= 0 do
+          let s = !slot in
+          let x = t.xs.{s} and y = t.ys.{s} in
+          if x >= xmin && x < xmax && y >= ymin && y < ymax then incr acc;
+          slot := t.next.{s}
+        done
+      end
+      else
+        for q = 0 to 3 do
+          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+        done
+    end
+  in
+  go 0 ~box:t.bounds;
+  !acc
+
+(* [count_in_box] that also counts nodes touched (pruned subtrees cost
+   their root's intersection test, nothing below) — the observable for
+   the Curien–Joseph partial-match cost exponent, which predicts the
+   visited-node count of a degenerate range query (a full-height strip)
+   to grow as n^((sqrt 17 - 3) / 2). *)
+let count_in_box_visited t target =
+  let xmin = target.Box.xmin and xmax = target.Box.xmax in
+  let ymin = target.Box.ymin and ymax = target.Box.ymax in
+  let acc = ref 0 in
+  let visited = ref 0 in
+  let rec go node ~box =
+    incr visited;
+    if Box.intersects box target then begin
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let slot = ref t.head.(node) in
+        while !slot >= 0 do
+          let s = !slot in
+          let x = t.xs.{s} and y = t.ys.{s} in
+          if x >= xmin && x < xmax && y >= ymin && y < ymax then incr acc;
+          slot := t.next.{s}
+        done
+      end
+      else
+        for q = 0 to 3 do
+          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+        done
+    end
+  in
+  go 0 ~box:t.bounds;
+  (!acc, !visited)
+
+(* Rank a node's four children by box distance, closest first, ties by
+   child order. Insertion sort over index pairs packed as locals — the
+   two 4-cell arrays per internal node are the kernels' only traversal
+   allocation, and they stay local so concurrent queries never share
+   scratch. *)
+let ranked_children px py ~box =
+  let boxes = Array.init 4 (fun q -> Box.child box (Quadrant.of_index q)) in
+  let order = [| 0; 1; 2; 3 |] in
+  let dist q = dist_sq_to_box px py boxes.(q) in
+  for i = 1 to 3 do
+    let v = order.(i) in
+    let dv = dist v in
+    let j = ref (i - 1) in
+    while !j >= 0 && dist order.(!j) > dv do
+      order.(!j + 1) <- order.(!j);
+      decr j
+    done;
+    order.(!j + 1) <- v
+  done;
+  (order, boxes)
+
+let nearest t (p : Point.t) =
+  if t.size = 0 then None
+  else begin
+    let px = p.Point.x and py = p.Point.y in
+    let bx = ref 0.0 and by = ref 0.0 in
+    let best_d = ref Float.infinity in
+    let found = ref false in
+    let rec go node ~box =
+      if dist_sq_to_box px py box < !best_d then begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          let slot = ref t.head.(node) in
+          while !slot >= 0 do
+            let s = !slot in
+            let x = t.xs.{s} and y = t.ys.{s} in
+            let dx = x -. px and dy = y -. py in
+            let d = (dx *. dx) +. (dy *. dy) in
+            if d < !best_d then begin
+              best_d := d;
+              bx := x;
+              by := y;
+              found := true
+            end;
+            slot := t.next.{s}
+          done
+        end
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    go 0 ~box:t.bounds;
+    if !found then Some (Point.make !bx !by) else None
+  end
+
+let k_nearest t k (p : Point.t) =
+  if k < 0 then invalid_arg "Pr_arena.k_nearest: k < 0";
+  if k = 0 || t.size = 0 then []
+  else begin
+    let px = p.Point.x and py = p.Point.y in
+    (* The same shared bounded collector as [Pr_quadtree.k_nearest]. *)
+    let nbrs = Pqueue.Neighbors.create k in
+    let rec go node ~box =
+      if dist_sq_to_box px py box < Pqueue.Neighbors.worst nbrs then begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          let slot = ref t.head.(node) in
+          while !slot >= 0 do
+            let s = !slot in
+            let x = t.xs.{s} and y = t.ys.{s} in
+            let dx = x -. px and dy = y -. py in
+            let d = (dx *. dx) +. (dy *. dy) in
+            if d < Pqueue.Neighbors.worst nbrs then
+              Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
+            slot := t.next.{s}
+          done
+        end
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    go 0 ~box:t.bounds;
+    Pqueue.Neighbors.drain_nearest nbrs
+  end
+
+let cell_at t (p : Point.t) =
+  if not (Box.contains t.bounds p) then
+    invalid_arg "Pr_arena.cell_at: point outside bounds";
+  let rec go node ~depth ~box =
+    let base = t.child.(node) in
+    if base < 0 then (depth, box, node)
+    else begin
+      let q = Box.quadrant_of box p in
+      go
+        (base + quad_pair.(Quadrant.to_index q))
+        ~depth:(depth + 1) ~box:(Box.child box q)
+    end
+  in
+  let depth, box, node = go 0 ~depth:0 ~box:t.bounds in
+  (depth, box, leaf_points t node)
+
+let mem t (p : Point.t) =
+  Box.contains t.bounds p
+  && begin
+    let rec go node ~box =
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let rec chase slot =
+          slot >= 0
+          && ((t.xs.{slot} = p.Point.x && t.ys.{slot} = p.Point.y)
+             || chase t.next.{slot})
+        in
+        chase t.head.(node)
+      end
+      else begin
+        let q = Box.quadrant_of box p in
+        go (base + quad_pair.(Quadrant.to_index q)) ~box:(Box.child box q)
+      end
+    in
+    go 0 ~box:t.bounds
+  end
+
+(* --- Snapshots -------------------------------------------------------
+
+   An O(n) column copy, always heap-backed: Bigarray blits for the point
+   columns up to the slot high-water mark and array blits for the node
+   tables, free lists and counters included, so the copy is a full arena
+   in its own right ([check_invariants] passes, churn may continue on
+   either side). This is the epoch-publication primitive: far cheaper
+   than freeze-then-thaw (no boxed node graph, no per-point cons), and
+   completely disjoint from the source, so readers of the snapshot never
+   observe writer mutations. *)
+let snapshot t =
+  let pcap = max 16 t.slots in
+  let s =
+    {
+      capacity = t.capacity;
+      max_depth = t.max_depth;
+      bounds = t.bounds;
+      unit_bounds = t.unit_bounds;
+      backing = Heap;
+      seg_dir = None;
+      seg_bytes = [];
+      nodes = t.nodes;
+      child = Array.copy t.child;
+      count = Array.copy t.count;
+      head = Array.copy t.head;
+      size = t.size;
+      xs = heap_f pcap;
+      ys = heap_f pcap;
+      codes = heap_i pcap;
+      next = heap_i pcap;
+      leaves = t.leaves;
+      internals = t.internals;
+      height = t.height;
+      hist = Array.copy t.hist;
+      slots = t.slots;
+      free_slot = t.free_slot;
+      free_node = t.free_node;
+      path = Array.make (t.max_depth + 1) 0;
+      depth_count = Array.copy t.depth_count;
+      qbuf = heap_f 2;
+    }
+  in
+  if t.slots > 0 then begin
+    let open Bigarray.Array1 in
+    blit (sub t.xs 0 t.slots) (sub s.xs 0 t.slots);
+    blit (sub t.ys 0 t.slots) (sub s.ys 0 t.slots);
+    blit (sub t.codes 0 t.slots) (sub s.codes 0 t.slots);
+    blit (sub t.next 0 t.slots) (sub s.next 0 t.slots)
+  end;
+  s
+
 let freeze t =
   let rec conv node =
     let base = t.child.(node) in

@@ -233,6 +233,59 @@ val iter_points : t -> f:(Point.t -> unit) -> unit
 (** [points t] lists all stored points (in no specified order). *)
 val points : t -> Point.t list
 
+(** {2 Arena-native queries}
+
+    The query kernels walk the structure-of-arrays columns directly —
+    no freeze to {!Pr_quadtree} per query — and mutate nothing, so any
+    number of domains may query one arena concurrently; the serving
+    layer fans batched queries out over a shared epoch {!snapshot}.
+    Each kernel is differential-tested against its {!Pr_quadtree}
+    counterpart. *)
+
+(** [query_box t b] lists the stored points inside [b] (half-open, as
+    {!Box.contains}), in no specified but deterministic order. Subtrees
+    whose cells miss [b] are pruned. *)
+val query_box : t -> Box.t -> Point.t list
+
+(** [count_in_box t b] is [List.length (query_box t b)] without
+    materializing the points. *)
+val count_in_box : t -> Box.t -> int
+
+(** [count_in_box_visited t b] is [count_in_box t b] paired with the
+    number of tree nodes the traversal touched (a pruned subtree costs
+    exactly its root) — the observable for the partial-match cost
+    analysis: on a full-height strip query the visited count grows as
+    [n^((sqrt 17 - 3) / 2)] (Curien–Joseph). *)
+val count_in_box_visited : t -> Box.t -> int * int
+
+(** [nearest t p] is a stored point at minimal Euclidean distance from
+    [p] (ties arbitrary), or [None] when empty. Children are visited
+    closest-first under the same clamp-distance bound as
+    {!Pr_quadtree.nearest}. *)
+val nearest : t -> Point.t -> Point.t option
+
+(** [k_nearest t k p] is up to [k] stored points closest to [p],
+    nearest first (ties arbitrary), via the shared
+    {!Pqueue.Neighbors} bound. Raises [Invalid_argument] if [k < 0]. *)
+val k_nearest : t -> int -> Point.t -> Point.t list
+
+(** [cell_at t p] is the leaf cell containing [p]: its depth, its
+    block, and the points stored in it — the arena analog of
+    {!Pr_quadtree.leaf_at}. Raises [Invalid_argument] when [p] is
+    outside the bounds. *)
+val cell_at : t -> Point.t -> int * Box.t * Point.t list
+
+(** [mem t p] is whether some stored point equals [p] exactly. *)
+val mem : t -> Point.t -> bool
+
+(** [snapshot t] is an independent heap-backed deep copy of the arena —
+    columns, node tables, free lists and counters — sharing no mutable
+    state with [t]: churn may continue on either side without the other
+    observing it. O(slot high-water) Bigarray/array blits, far cheaper
+    than [thaw (freeze t)] (no boxed node graph, no per-point cons).
+    This is the epoch-publication primitive of the serving layer. *)
+val snapshot : t -> t
+
 (** [freeze t] is the persistent tree with exactly [t]'s decomposition
     and contents: [equal_structure (freeze t) (Pr_quadtree.of_points
     ... same points ...)] always holds. O(nodes + points); the result

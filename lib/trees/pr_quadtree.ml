@@ -221,26 +221,13 @@ let k_nearest t k p =
   if k < 0 then invalid_arg "Pr_quadtree.k_nearest: k < 0";
   if k = 0 then []
   else begin
-    (* A bounded max-heap of the k best candidates: a {!Pqueue} (min-heap)
-       keyed on negated distance, so the current kth distance is at the
-       root and every offer is O(log k). *)
-    let heap = Pqueue.create () in
-    let worst () =
-      if Pqueue.size heap < k then Float.infinity
-      else
-        match Pqueue.peek_min heap with
-        | Some (neg_d, _) -> -.neg_d
-        | None -> Float.infinity
-    in
-    let offer q =
-      let d = Point.distance_sq p q in
-      if d < worst () then begin
-        Pqueue.insert heap (-.d) q;
-        if Pqueue.size heap > k then ignore (Pqueue.pop_min heap)
-      end
-    in
+    (* The shared bounded best-k collector ({!Pqueue.Neighbors}) keeps
+       the kth distance at its root, so every offer is O(log k) and the
+       subtree-pruning bound is O(1). *)
+    let nbrs = Pqueue.Neighbors.create k in
+    let offer q = Pqueue.Neighbors.offer nbrs ~dist:(Point.distance_sq p q) q in
     let rec go node box =
-      if distance_sq_to_box p box < worst () then
+      if distance_sq_to_box p box < Pqueue.Neighbors.worst nbrs then
         match node with
         | Leaf pts -> List.iter offer pts
         | Node children ->
@@ -256,8 +243,7 @@ let k_nearest t k p =
           List.iter (fun (c, b) -> go c b) order
     in
     go t.root t.bounds;
-    (* Draining the negated-distance heap yields farthest-first. *)
-    List.rev_map snd (Pqueue.drain heap)
+    Pqueue.Neighbors.drain_nearest nbrs
   end
 
 type nn_entry = Nn_block of node * Box.t | Nn_point of Point.t

@@ -1,0 +1,455 @@
+(* Tests for the serving subsystem: arena-native query kernels
+   (differential against Pr_quadtree, over fresh and churned arenas),
+   the shared neighbor queue, epoch snapshots and pinning, the wire
+   codecs and framing, and batch byte-identity across job counts. *)
+
+module Point = Popan_geom.Point
+module Box = Popan_geom.Box
+module Xoshiro = Popan_rng.Xoshiro
+module Sampler = Popan_rng.Sampler
+module Pqueue = Popan_trees.Pqueue
+module Pr_arena = Popan_trees.Pr_arena
+module Pr_quadtree = Popan_trees.Pr_quadtree
+module Workload = Popan_experiments.Workload
+module Codec = Popan_store.Codec
+module Parallel = Popan_parallel
+module Epoch = Popan_serve.Epoch
+module Wire = Popan_serve.Wire
+module Server = Popan_serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let prop ?(count = 60) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let uniform_points seed n =
+  Sampler.points (Xoshiro.of_int_seed seed) Sampler.Uniform n
+
+let sorted_points ps = List.sort Point.compare ps
+
+(* A random arena that has really churned: build from a base population,
+   then run a deterministic insert/delete/update stream through it, so
+   slot and node free lists are populated and chains are merge-shuffled. *)
+let churned_arena ~seed ~base ~ops =
+  let spec =
+    Workload.Churn.make ~points:(max 1 base) ~trials:1 ~seed ~ops:(max 1 ops)
+      ~insert_fraction:0.5 ~update_fraction:(1.0 /. 3.0) ~drift_sigma:0.05 ()
+  in
+  let rng = List.hd (Workload.Churn.map_trials spec ~f:(fun _ r -> r)) in
+  let st = Workload.Churn.start spec ~rng in
+  let arena =
+    Pr_arena.of_points_bulk ~capacity:4
+      (Array.to_list (Workload.Churn.live st))
+  in
+  for _ = 1 to ops do
+    match Workload.Churn.step spec st with
+    | Workload.Churn.Insert p -> Pr_arena.insert arena p
+    | Workload.Churn.Delete p -> ignore (Pr_arena.delete arena p : bool)
+    | Workload.Churn.Update (p, q) -> ignore (Pr_arena.update arena p q : bool)
+  done;
+  arena
+
+(* Generators *)
+
+let gen_box =
+  QCheck2.Gen.(
+    let* x0 = float_bound_inclusive 0.98 in
+    let* y0 = float_bound_inclusive 0.98 in
+    let* w = float_range 0.01 (1.0 -. x0) in
+    let* h = float_range 0.01 (1.0 -. y0) in
+    return (Box.make ~xmin:x0 ~ymin:y0 ~xmax:(x0 +. w) ~ymax:(y0 +. h)))
+
+let gen_point =
+  QCheck2.Gen.(
+    let* x = float_bound_exclusive 1.0 in
+    let* y = float_bound_exclusive 1.0 in
+    return (Point.make x y))
+
+(* A population with its arena and frozen oracle: half the runs a fresh
+   bulk build, half a churned arena (free lists live, chains shuffled).
+   The oracle tree is frozen from the arena itself, so both sides hold
+   exactly the same multiset whatever the churn stream did. *)
+let gen_pair =
+  QCheck2.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* churn = bool in
+    let arena =
+      if churn then churned_arena ~seed ~base:300 ~ops:600
+      else
+        Pr_arena.of_points_bulk ~capacity:4
+          (uniform_points seed (100 + (seed mod 400)))
+    in
+    return (arena, Pr_arena.freeze arena))
+
+(* The shared neighbor queue *)
+
+let neighbors_tests =
+  [
+    Alcotest.test_case "create validates" `Quick (fun () ->
+        Alcotest.check_raises "k" (Invalid_argument "Pqueue.Neighbors.create: k < 0")
+          (fun () -> ignore (Pqueue.Neighbors.create (-1))));
+    Alcotest.test_case "k = 0 accepts nothing" `Quick (fun () ->
+        let n = Pqueue.Neighbors.create 0 in
+        Alcotest.(check (float 0.0)) "worst" 0.0 (Pqueue.Neighbors.worst n);
+        Pqueue.Neighbors.offer n ~dist:0.5 "a";
+        check_int "size" 0 (Pqueue.Neighbors.size n));
+    Alcotest.test_case "keeps the k best, nearest first" `Quick (fun () ->
+        let n = Pqueue.Neighbors.create 3 in
+        List.iteri
+          (fun i d -> Pqueue.Neighbors.offer n ~dist:d i)
+          [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+        Alcotest.(check (list int)) "best three" [ 1; 3; 4 ]
+          (Pqueue.Neighbors.drain_nearest n));
+    Alcotest.test_case "worst tracks the kth distance" `Quick (fun () ->
+        let n = Pqueue.Neighbors.create 2 in
+        check_bool "empty -> infinite" true
+          (Pqueue.Neighbors.worst n = Float.infinity);
+        Pqueue.Neighbors.offer n ~dist:3.0 ();
+        check_bool "underfull -> infinite" true
+          (Pqueue.Neighbors.worst n = Float.infinity);
+        Pqueue.Neighbors.offer n ~dist:1.0 ();
+        Alcotest.(check (float 0.0)) "full -> kth" 3.0 (Pqueue.Neighbors.worst n);
+        Pqueue.Neighbors.offer n ~dist:2.0 ();
+        Alcotest.(check (float 0.0)) "evicted" 2.0 (Pqueue.Neighbors.worst n));
+  ]
+
+(* Arena-native kernels, differential against the persistent tree *)
+
+let knn_distances p ps = List.map (Point.distance_sq p) ps
+
+let kernel_tests =
+  [
+    prop ~count:80 "query_box ≡ Pr_quadtree.query_box"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, tree), b) ->
+        sorted_points (Pr_arena.query_box arena b)
+        = sorted_points (Pr_quadtree.query_box tree b));
+    prop ~count:80 "count_in_box ≡ Pr_quadtree.count_in_box"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, tree), b) ->
+        Pr_arena.count_in_box arena b = Pr_quadtree.count_in_box tree b);
+    prop ~count:60 "count_in_box_visited counts the same points"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, _), b) ->
+        let count, visited = Pr_arena.count_in_box_visited arena b in
+        count = Pr_arena.count_in_box arena b && visited >= 1);
+    prop ~count:80 "k_nearest ≡ Pr_quadtree.k_nearest (distances)"
+      QCheck2.Gen.(triple gen_pair gen_point (int_range 0 20))
+      (fun ((arena, tree), p, k) ->
+        (* Ties break arbitrarily, so compare the distance profiles —
+           exact float equality, both sides use the same arithmetic —
+           and membership of every returned point. *)
+        let a = Pr_arena.k_nearest arena k p in
+        let t = Pr_quadtree.k_nearest tree k p in
+        knn_distances p a = knn_distances p t
+        && List.for_all (Pr_quadtree.mem tree) a);
+    prop ~count:80 "nearest ≡ Pr_quadtree.nearest (distance)"
+      QCheck2.Gen.(pair gen_pair gen_point)
+      (fun ((arena, tree), p) ->
+        match (Pr_arena.nearest arena p, Pr_quadtree.nearest tree p) with
+        | None, None -> true
+        | Some a, Some t ->
+          Point.distance_sq p a = Point.distance_sq p t
+          && Pr_quadtree.mem tree a
+        | _ -> false);
+    prop ~count:80 "cell_at ≡ Pr_quadtree.leaf_at"
+      QCheck2.Gen.(pair gen_pair gen_point)
+      (fun ((arena, tree), p) ->
+        let da, ba, pa = Pr_arena.cell_at arena p in
+        let dt, bt, pt = Pr_quadtree.leaf_at tree p in
+        da = dt && Box.equal ba bt && sorted_points pa = sorted_points pt);
+    prop ~count:80 "mem ≡ Pr_quadtree.mem"
+      QCheck2.Gen.(pair gen_pair gen_point)
+      (fun ((arena, tree), p) ->
+        (* Probe both a random point (almost surely absent) and a point
+           known to be stored. *)
+        Pr_arena.mem arena p = Pr_quadtree.mem tree p
+        && (Pr_arena.is_empty arena
+           || List.for_all (Pr_arena.mem arena)
+                (match Pr_arena.points arena with
+                | [] -> []
+                | q :: _ -> [ q ])));
+    Alcotest.test_case "k_nearest validates" `Quick (fun () ->
+        let arena = Pr_arena.of_points_bulk ~capacity:4 (uniform_points 7 50) in
+        Alcotest.check_raises "k" (Invalid_argument "Pr_arena.k_nearest: k < 0")
+          (fun () -> ignore (Pr_arena.k_nearest arena (-1) (Point.make 0.5 0.5))));
+    Alcotest.test_case "cell_at validates" `Quick (fun () ->
+        let arena = Pr_arena.of_points_bulk ~capacity:4 (uniform_points 7 50) in
+        Alcotest.check_raises "outside"
+          (Invalid_argument "Pr_arena.cell_at: point outside bounds") (fun () ->
+            ignore (Pr_arena.cell_at arena (Point.make 2.0 0.5))));
+  ]
+
+(* Snapshots *)
+
+let arena_bytes a = Codec.encode Codec.pr_quadtree (Pr_arena.freeze a)
+
+let snapshot_tests =
+  [
+    prop ~count:30 "snapshot is a faithful independent copy"
+      QCheck2.Gen.(int_range 1 1_000_000)
+      (fun seed ->
+        let arena = churned_arena ~seed ~base:200 ~ops:400 in
+        let snap = Pr_arena.snapshot arena in
+        let before = arena_bytes arena in
+        (* The copy matches, passes its own audit, and survives churn on
+           the source untouched. *)
+        arena_bytes snap = before
+        && Pr_arena.check_invariants snap = []
+        && begin
+             List.iter
+               (fun p -> ignore (Pr_arena.delete arena p : bool))
+               (Pr_arena.points arena);
+             Pr_arena.insert arena (Point.make 0.25 0.75);
+             arena_bytes snap = before
+           end);
+    Alcotest.test_case "snapshot of an empty arena" `Quick (fun () ->
+        let arena = Pr_arena.create ~capacity:4 () in
+        let snap = Pr_arena.snapshot arena in
+        check_int "size" 0 (Pr_arena.size snap);
+        Alcotest.(check (list string)) "invariants" []
+          (Pr_arena.check_invariants snap));
+  ]
+
+(* Epochs: lifecycle, pinning, reclamation *)
+
+let epoch_tests =
+  [
+    Alcotest.test_case "publish supersedes, unpinned epochs retire" `Quick
+      (fun () ->
+        let arena = Pr_arena.of_points_bulk ~capacity:4 (uniform_points 3 100) in
+        let t = Epoch.create (Pr_arena.snapshot arena) in
+        check_int "boot epoch" 0 (Epoch.current_id t);
+        check_int "live" 1 (Epoch.live_count t);
+        ignore (Epoch.publish t (Pr_arena.snapshot arena) : Epoch.epoch);
+        check_int "next epoch" 1 (Epoch.current_id t);
+        (* Nobody pinned epoch 0: it is gone. *)
+        check_int "live after publish" 1 (Epoch.live_count t);
+        Alcotest.(check (list string)) "invariants" [] (Epoch.check_invariants t));
+    Alcotest.test_case "a pinned epoch survives concurrent deletes" `Quick
+      (fun () ->
+        (* The kill-mid-batch scenario: a reader pins, the writer deletes
+           every point and publishes twice; the pinned epoch's contents
+           must be byte-identical throughout, and reclamation must wait
+           for the unpin. *)
+        let live = Pr_arena.of_points_bulk ~capacity:4 (uniform_points 5 500) in
+        let t = Epoch.create (Pr_arena.snapshot live) in
+        let pinned = Epoch.pin t in
+        let before = arena_bytes (Epoch.arena pinned) in
+        List.iter
+          (fun p -> ignore (Pr_arena.delete live p : bool))
+          (Pr_arena.points live);
+        ignore (Epoch.publish t (Pr_arena.snapshot live) : Epoch.epoch);
+        ignore (Epoch.publish t (Pr_arena.snapshot live) : Epoch.epoch);
+        check_bool "pinned epoch unchanged" true
+          (arena_bytes (Epoch.arena pinned) = before);
+        check_int "pinned + current live" 2 (Epoch.live_count t);
+        Alcotest.(check (list string)) "invariants" [] (Epoch.check_invariants t);
+        Epoch.unpin t pinned;
+        check_int "reclaimed after unpin" 1 (Epoch.live_count t);
+        Alcotest.(check (list string)) "invariants after unpin" []
+          (Epoch.check_invariants t));
+    Alcotest.test_case "unpin validates" `Quick (fun () ->
+        let arena = Pr_arena.of_points_bulk ~capacity:4 (uniform_points 9 50) in
+        let t = Epoch.create (Pr_arena.snapshot arena) in
+        let e = Epoch.current t in
+        Alcotest.check_raises "not pinned"
+          (Invalid_argument "Epoch.unpin: epoch not pinned") (fun () ->
+            Epoch.unpin t e));
+  ]
+
+(* Wire codecs and framing *)
+
+let gen_query =
+  QCheck2.Gen.(
+    let* tag = int_range 0 4 in
+    match tag with
+    | 0 -> map (fun b -> Wire.Range b) gen_box
+    | 1 -> map (fun b -> Wire.Count b) gen_box
+    | 2 ->
+      let* k = int_range 0 16 in
+      map (fun p -> Wire.Knn (k, p)) gen_point
+    | 3 -> map (fun p -> Wire.Nearest p) gen_point
+    | _ -> map (fun p -> Wire.Cell p) gen_point)
+
+let gen_request =
+  QCheck2.Gen.(
+    let* tag = int_range 0 5 in
+    match tag with
+    | 0 | 1 | 2 ->
+      let* qs = array_size (int_range 0 50) gen_query in
+      return (Wire.Batch qs)
+    | 3 -> return Wire.Stats
+    | _ -> return Wire.Quit)
+
+let roundtrip codec v = Codec.decode codec (Codec.encode codec v) = v
+
+let frame_roundtrip v =
+  let path = Filename.temp_file "popan" ".frame" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Wire.write_request oc v;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match Wire.read_request ic with
+          | Some (Ok v') -> v' = v
+          | _ -> false))
+
+let corrupt_frame_rejected ~mangle =
+  let path = Filename.temp_file "popan" ".frame" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Wire.write_request oc (Wire.Batch [| Wire.Count Box.unit |]);
+      close_out oc;
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let raw = mangle raw in
+      let oc = open_out_bin path in
+      output_string oc raw;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match Wire.read_request ic with
+          | Some (Error _) -> true
+          | _ -> false))
+
+let wire_tests =
+  [
+    prop ~count:100 "request codec round-trips" gen_request (fun r ->
+        roundtrip Wire.request r);
+    prop ~count:60 "query codec round-trips" gen_query (fun q ->
+        roundtrip Wire.query q);
+    prop ~count:40 "framed request round-trips" gen_request frame_roundtrip;
+    Alcotest.test_case "truncated frame is rejected" `Quick (fun () ->
+        check_bool "truncated" true
+          (corrupt_frame_rejected ~mangle:(fun raw ->
+               String.sub raw 0 (String.length raw - 3))));
+    Alcotest.test_case "corrupted frame is rejected" `Quick (fun () ->
+        check_bool "flipped byte" true
+          (corrupt_frame_rejected ~mangle:(fun raw ->
+               let b = Bytes.of_string raw in
+               let i = String.length raw - 1 in
+               Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+               Bytes.to_string b)));
+    Alcotest.test_case "unknown choice tag is malformed" `Quick (fun () ->
+        match Codec.decode Wire.query "\xff" with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "tag 255 decoded");
+  ]
+
+(* Batched execution: byte-identity across job counts *)
+
+let answers_bytes answers =
+  Codec.encode (Codec.array Wire.answer) answers
+
+let batch_tests =
+  [
+    Alcotest.test_case "batch results byte-identical at jobs 1/2/4" `Quick
+      (fun () ->
+        let arena = churned_arena ~seed:11 ~base:2_000 ~ops:4_000 in
+        let rng = Xoshiro.of_int_seed 42 in
+        let queries =
+          Array.init 3_000 (fun i ->
+              let p = Point.make (Xoshiro.float rng) (Xoshiro.float rng) in
+              match i mod 5 with
+              | 0 ->
+                let w = 0.01 +. (0.2 *. Xoshiro.float rng) in
+                let x = (1.0 -. w) *. Xoshiro.float rng in
+                let y = (1.0 -. w) *. Xoshiro.float rng in
+                Wire.Range
+                  (Box.make ~xmin:x ~ymin:y ~xmax:(x +. w) ~ymax:(y +. w))
+              | 1 ->
+                Wire.Count
+                  (Box.make ~xmin:0.0 ~ymin:0.0 ~xmax:(max 0.01 p.Point.x)
+                     ~ymax:(max 0.01 p.Point.y))
+              | 2 -> Wire.Knn (1 + (i mod 16), p)
+              | 3 -> Wire.Nearest p
+              | _ -> Wire.Cell p)
+        in
+        let run jobs =
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              answers_bytes (Server.run_batch pool arena queries))
+        in
+        let sequential = Array.map (Server.eval arena) queries in
+        let b1 = run 1 and b2 = run 2 and b4 = run 4 in
+        check_bool "jobs 1 = sequential" true (b1 = answers_bytes sequential);
+        check_bool "jobs 2 = jobs 1" true (b2 = b1);
+        check_bool "jobs 4 = jobs 1" true (b4 = b1));
+  ]
+
+(* The server loop end to end, in process *)
+
+let server_tests =
+  [
+    Alcotest.test_case "batches answer from a pinned epoch while churning"
+      `Quick (fun () ->
+        let config =
+          {
+            Server.default_config with
+            base_points = 1_000;
+            churn_ops = 200;
+            jobs = Some 2;
+          }
+        in
+        let t = Server.create config in
+        Fun.protect
+          ~finally:(fun () -> Server.shutdown t)
+          (fun () ->
+            let queries =
+              Array.init 500 (fun i ->
+                  Wire.Knn (1 + (i mod 8), Point.make 0.3 0.7))
+            in
+            let e0, a0 = Server.run_queries t queries in
+            let e1, a1 = Server.run_queries t queries in
+            check_int "first batch epoch" 0 e0;
+            check_int "second batch epoch" 1 e1;
+            check_int "answers" 500 (Array.length a0);
+            check_int "answers" 500 (Array.length a1);
+            Alcotest.(check (list string)) "epoch invariants" []
+              (Epoch.check_invariants (Server.epochs t));
+            check_int "batches" 2 (Server.batches t)));
+    Alcotest.test_case "handle Stats and Quit" `Quick (fun () ->
+        let config =
+          { Server.default_config with base_points = 100; churn_ops = 0 }
+        in
+        let t = Server.create config in
+        Fun.protect
+          ~finally:(fun () -> Server.shutdown t)
+          (fun () ->
+            (match Server.handle t Wire.Stats with
+            | Wire.Stats_info { epoch; size; batches; live_epochs }, true ->
+              check_int "epoch" 0 epoch;
+              check_int "size" 100 size;
+              check_int "batches" 0 batches;
+              check_int "live" 1 live_epochs
+            | _ -> Alcotest.fail "bad stats response");
+            match Server.handle t Wire.Quit with
+            | Wire.Bye, false -> ()
+            | _ -> Alcotest.fail "bad quit response"));
+  ]
+
+let () =
+  Alcotest.run "popan-serve"
+    [
+      ("neighbors", neighbors_tests);
+      ("kernels", kernel_tests);
+      ("snapshot", snapshot_tests);
+      ("epochs", epoch_tests);
+      ("wire", wire_tests);
+      ("batch", batch_tests);
+      ("server", server_tests);
+    ]
