@@ -28,7 +28,11 @@ test:
 # `popan serve` at jobs 1/2/4, drive two framed 10k-query mixed batches
 # through the wire protocol while the churn writer publishes epochs,
 # verify every response byte-for-byte against an in-process sequential
-# oracle, and assert a truncated frame is refused.
+# oracle, and assert a truncated frame is refused. The obs-top smoke:
+# start `popan serve` on a Unix socket with full telemetry under churn,
+# self-warm two batches, scrape it once with `popan obs top --prom`,
+# and require the exposition to pass the Prometheus line-grammar
+# validator.
 check: build test
 	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
 	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
@@ -92,13 +96,42 @@ check: build test
 	  { echo "churn smoke FAILED: see diagnosis above"; exit 1; }
 	@dune exec --no-build test/serve_smoke.exe -- _build/default/bin/popan.exe || \
 	  { echo "serve smoke FAILED: see diagnosis above"; exit 1; }
+	@tmp=$$(mktemp -d); \
+	dune exec --no-build bin/popan.exe -- serve --socket $$tmp/sock \
+	  --telemetry --warm 2 -n 5000 --churn-ops 128 2>$$tmp/serve.log & \
+	pid=$$!; \
+	i=0; while [ ! -S $$tmp/sock ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	if [ ! -S $$tmp/sock ]; then \
+	  echo "obs-top smoke FAILED: server socket never appeared"; \
+	  cat $$tmp/serve.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
+	fi; \
+	dune exec --no-build bin/popan.exe -- obs top --socket $$tmp/sock --once --prom \
+	  > $$tmp/prom.txt; \
+	wait $$pid || { echo "obs-top smoke FAILED: server exited unclean"; \
+	  cat $$tmp/serve.log; rm -rf $$tmp; exit 1; }; \
+	if dune exec --no-build bin/popan.exe -- obs validate $$tmp/prom.txt; then \
+	  echo "obs-top smoke: live scrape over the socket validates as Prometheus"; \
+	  rm -rf $$tmp; \
+	else \
+	  echo "obs-top smoke FAILED: scraped exposition did not validate"; \
+	  cat $$tmp/serve.log; rm -rf $$tmp; exit 1; \
+	fi
+	@if [ -f BENCH_PR9.json ]; then \
+	  if grep -qF '"popan/serve:batch 1024 mixed arena-native n=16384 j=1"' BENCH_PR9.json \
+	     && grep -qF '"popan/serve:batch 1024 mixed arena-native n=16384 j=1 telemetry"' BENCH_PR9.json; then \
+	    echo "bench trajectory: obs-off and telemetry ablation keys present in BENCH_PR9.json"; \
+	  else \
+	    echo "bench trajectory FAILED: telemetry ablation keys missing from BENCH_PR9.json"; \
+	    exit 1; \
+	  fi; \
+	fi
 
 bench:
 	dune exec bench/main.exe
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

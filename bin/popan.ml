@@ -14,6 +14,9 @@ module Metrics = Popan_obs.Metrics
 module Trace = Popan_obs.Trace
 module Probe = Popan_obs.Probe
 module Obs_json = Popan_obs.Obs_json
+module Event = Popan_obs.Event
+module Flight = Popan_obs.Flight
+module Sketch = Popan_obs.Sketch
 
 (* Common command-line options *)
 
@@ -73,17 +76,37 @@ let metrics_out_term =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let events_term =
+  let doc =
+    "Append every structured event as line JSON to $(docv) (truncated on \
+     open, flushed per event — $(b,tail -f) and external collectors work)."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let no_event_stderr_term =
+  let doc =
+    "Do not mirror Warn-and-above events (degrade warnings, refused \
+     frames, slow queries) to stderr."
+  in
+  Arg.(value & flag & info [ "no-event-stderr" ] ~doc)
+
 (* All knobs land in ambient state consulted by every experiment entry
    point, so extension studies inherit them too. Counters flush to the
    store's log at exit, which is what lets a later `popan cache stats`
    prove a warm rerun computed nothing; trace and metrics exports are
    likewise written at exit, after every fan-out has joined. *)
-let setup jobs cache no_cache trace metrics metrics_out =
+let setup jobs cache no_cache trace metrics metrics_out events no_event_stderr =
   Popan_parallel.set_default_jobs jobs;
   (match trace with
   | Some _ -> Probe.set_level `Trace
   | None ->
     if metrics || metrics_out <> None then Probe.set_level `Metrics_only);
+  if no_event_stderr then Event.set_stderr_mirror false;
+  Option.iter
+    (fun path ->
+      Event.set_sink_file path;
+      at_exit Event.close_sink)
+    events;
   Option.iter
     (fun path ->
       at_exit (fun () ->
@@ -114,7 +137,7 @@ let setup jobs cache no_cache trace metrics metrics_out =
 
 let setup_term =
   Term.(const setup $ jobs_term $ cache_term $ no_cache_term $ trace_term
-        $ metrics_term $ metrics_out_term)
+        $ metrics_term $ metrics_out_term $ events_term $ no_event_stderr_term)
 
 let points_term =
   let doc = "Points per trial." in
@@ -1238,24 +1261,70 @@ let parse_obs_file file =
 
 let obs_file_term =
   let doc =
-    "A metrics registry JSON ($(b,--metrics-out)) or Chrome trace JSON \
-     ($(b,--trace)) file; the shape tells them apart."
+    "A metrics registry JSON ($(b,--metrics-out)), Chrome trace JSON \
+     ($(b,--trace)), line-JSON event log ($(b,--events)) or Prometheus \
+     text exposition ($(b,popan obs top --prom)) file; the shape tells \
+     them apart."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
+(* An --events sink: one JSON object per line, each a valid event. *)
+let validate_event_lines raw =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' raw)
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | l :: rest -> (
+      match Obs_json.parse l with
+      | Error msg -> Error (Printf.sprintf "event line %d: %s" (n + 1) msg)
+      | Ok j -> (
+        match Event.validate_line j with
+        | Error msg -> Error (Printf.sprintf "event line %d: %s" (n + 1) msg)
+        | Ok () -> go (n + 1) rest))
+  in
+  go 0 lines
+
 let obs_validate_cmd =
   let run file =
-    let json = parse_obs_file file in
+    let raw =
+      match slurp file with
+      | exception Sys_error msg ->
+        Printf.eprintf "popan obs: %s\n" msg;
+        exit 1
+      | raw -> raw
+    in
+    let trimmed = String.trim raw in
     let result =
-      match json with
-      | Obs_json.List _ ->
+      if trimmed = "" then Error "empty file"
+      else if trimmed.[0] = '[' || trimmed.[0] = '{' then begin
+        match Obs_json.parse raw with
+        | Ok (Obs_json.List _ as json) ->
+          Result.map
+            (Printf.sprintf "valid Chrome trace (%d events)")
+            (Trace.validate_chrome json)
+        | Ok json when Obs_json.member "event" json <> None ->
+          Result.map
+            (Printf.sprintf "valid event log (%d events)")
+            (validate_event_lines raw)
+        | Ok json ->
+          Result.map
+            (Printf.sprintf "valid metrics registry (%d instruments)")
+            (Metrics.validate_json json)
+        | Error _ when trimmed.[0] = '{' ->
+          (* Not one JSON document but starts like an object: a
+             multi-line event log. *)
+          Result.map
+            (Printf.sprintf "valid event log (%d events)")
+            (validate_event_lines raw)
+        | Error msg -> Error msg
+      end
+      else
         Result.map
-          (Printf.sprintf "valid Chrome trace (%d events)")
-          (Trace.validate_chrome json)
-      | _ ->
-        Result.map
-          (Printf.sprintf "valid metrics registry (%d instruments)")
-          (Metrics.validate_json json)
+          (Printf.sprintf "valid Prometheus exposition (%d samples)")
+          (Metrics.validate_prometheus raw)
     in
     match result with
     | Ok msg -> Printf.printf "%s: %s\n" file msg
@@ -1267,8 +1336,8 @@ let obs_validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:
-         "Check an emitted trace or metrics file against its schema; exit \
-          nonzero when it does not conform.")
+         "Check an emitted trace, metrics, event-log or Prometheus file \
+          against its schema; exit nonzero when it does not conform.")
     term
 
 let obs_report_trace file events =
@@ -1347,19 +1416,151 @@ let obs_report_cmd =
           or metrics file (every instrument).")
     term
 
+(* Live telemetry against a running server: hold one connection (the
+   server serves exactly one) and poll the Telemetry exchange. *)
+
+let snapshot_count (s : Sketch.snapshot) =
+  Array.fold_left (fun acc (_, n) -> acc + n) s.zeros s.buckets
+
+let render_telemetry socket (t : Popan_serve.Wire.telemetry) =
+  Printf.printf "popan serve @ %s — epoch %d, %d points, %d batches, %d live \
+                 epoch%s\n"
+    socket t.epoch t.size t.batches t.live_epochs
+    (if t.live_epochs = 1 then "" else "s");
+  let find name =
+    Option.map snd (Array.find_opt (fun (n, _) -> n = name) t.sketches)
+  in
+  let q s p = Option.value (Sketch.snapshot_quantile s p) ~default:0.0 in
+  let any = ref false in
+  Printf.printf "  %-8s %9s %11s %11s %11s %9s %9s\n" "kernel" "count"
+    "lat p50" "lat p99" "lat max~" "vis p50" "vis p99";
+  List.iter
+    (fun kind ->
+      match (find ("serve.latency." ^ kind), find ("serve.visited." ^ kind)) with
+      | Some lat, vis when snapshot_count lat > 0 ->
+        any := true;
+        let vq p = match vis with Some v -> q v p | None -> 0.0 in
+        Printf.printf "  %-8s %9d %10.0fus %10.0fus %10.0fus %9.0f %9.0f\n"
+          kind (snapshot_count lat)
+          (1e6 *. q lat 0.5)
+          (1e6 *. q lat 0.99)
+          (1e6 *. q lat 1.0)
+          (vq 0.5) (vq 0.99)
+      | _ -> ())
+    [ "range"; "count"; "knn"; "nearest"; "cell" ];
+  if not !any then
+    print_string
+      "  (no per-query sketches yet: start the server with --telemetry \
+       and drive some batches, e.g. --warm)\n";
+  let tail n l =
+    let len = List.length l in
+    List.filteri (fun i _ -> i >= len - n) l
+  in
+  (match tail 5 (Array.to_list t.events) with
+  | [] -> ()
+  | evs ->
+    print_string "  recent events:\n";
+    List.iter (fun e -> Printf.printf "    %s\n" e) evs);
+  (match tail 5 (Array.to_list t.flight) with
+  | [] -> ()
+  | fs ->
+    print_string "  flight tail:\n";
+    List.iter
+      (fun (f : Flight.entry) ->
+        Printf.printf "    %-8s epoch %-4d %8.0fus  visited %-6d%s\n"
+          (Probe.serve_kernel_name f.kind)
+          f.epoch (1e6 *. f.latency) f.visited
+          (if f.note = "" then "" else " " ^ f.note))
+      fs)
+
+let obs_top_cmd =
+  let run socket interval once prom =
+    let module Wire = Popan_serve.Wire in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "popan obs top: cannot connect to %s: %s\n" socket
+        (Unix.error_message e);
+      exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_in ic true;
+    set_binary_mode_out oc true;
+    let poll () =
+      Wire.write_request oc Wire.Telemetry;
+      match Wire.read_response ic with
+      | Some (Ok (Wire.Telemetry_info t)) -> t
+      | Some (Ok _) ->
+        Printf.eprintf "popan obs top: unexpected response kind\n";
+        exit 1
+      | Some (Error e) ->
+        Printf.eprintf "popan obs top: malformed response: %s\n" e;
+        exit 1
+      | None ->
+        Printf.eprintf "popan obs top: server closed the connection\n";
+        exit 1
+    in
+    let step () =
+      let t = poll () in
+      if prom then print_string t.Wire.prometheus
+      else render_telemetry socket t;
+      flush stdout
+    in
+    step ();
+    if not once then
+      while true do
+        Unix.sleepf interval;
+        step ()
+      done
+  in
+  let socket_term =
+    let doc = "The Unix socket a $(b,popan serve --socket) is listening on." in
+    Arg.(required
+         & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let interval_term =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_term =
+    let doc = "Poll once and exit (the server, which serves exactly one \
+               connection, then shuts down on EOF)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let prom_term =
+    let doc =
+      "Print the server's Prometheus text exposition verbatim instead of \
+       the dashboard (pipe into $(b,popan obs validate))."
+    in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let term =
+    Term.(const run $ socket_term $ interval_term $ once_term $ prom_term)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running server's Telemetry exchange over its socket and \
+          render per-kernel latency/visited quantiles, recent events and \
+          the flight-recorder tail.")
+    term
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
        ~doc:
-         "Inspect and validate the observability output of --trace and \
-          --metrics-out.")
-    [ obs_report_cmd; obs_validate_cmd ]
+         "Inspect and validate observability output: --trace / \
+          --metrics-out / --events files, Prometheus exports, and a live \
+          server's telemetry.")
+    [ obs_report_cmd; obs_validate_cmd; obs_top_cmd ]
 
 (* The serving engine *)
 
 let serve_cmd =
   let run () points capacity seed churn_ops insert_fraction update_fraction
-      drift socket mmap =
+      drift socket mmap telemetry no_flight slow_ms warm =
     let config =
       {
         Popan_serve.Server.default_config with
@@ -1373,6 +1574,15 @@ let serve_cmd =
         mmap_dir = mmap;
       }
     in
+    (* The flight recorder is on by default — it is the "what just
+       happened" answer and costs a few scalar writes per query — while
+       sketches and counters ride the metrics registry behind
+       --telemetry. *)
+    if not no_flight then Flight.enable ();
+    if telemetry then Metrics.set_enabled true;
+    Option.iter
+      (fun ms -> Flight.set_slow_threshold (ms /. 1000.0))
+      slow_ms;
     (* The wire protocol owns stdout; everything human-facing goes to
        stderr. *)
     Printf.eprintf
@@ -1381,7 +1591,7 @@ let serve_cmd =
       (match socket with
       | Some path -> Printf.sprintf ", socket %s" path
       | None -> ", stdin/stdout");
-    Popan_serve.Server.run ?socket config;
+    Popan_serve.Server.run ?socket ~warm_batches:warm config;
     Printf.eprintf "popan serve: shut down cleanly\n%!"
   in
   let churn_ops_term =
@@ -1422,10 +1632,40 @@ let serve_cmd =
     let doc = "Initial population of the served tree." in
     Arg.(value & opt int 10_000 & info [ "n"; "points" ] ~docv:"N" ~doc)
   in
+  let telemetry_term =
+    let doc =
+      "Enable the metrics registry for the run: per-kernel latency and \
+       visited-node sketches, counters and the batch-latency histogram, \
+       all served back through the Telemetry exchange and $(b,popan obs \
+       top)."
+    in
+    Arg.(value & flag & info [ "telemetry" ] ~doc)
+  in
+  let no_flight_term =
+    let doc = "Disable the always-on flight recorder of recent requests." in
+    Arg.(value & flag & info [ "no-flight" ] ~doc)
+  in
+  let slow_ms_term =
+    let doc =
+      "Log any query slower than $(docv) milliseconds as a \
+       $(b,serve.slow_query) event (the slow-query log)."
+    in
+    Arg.(value
+         & opt (some float) None
+         & info [ "slow-query-ms" ] ~docv:"MS" ~doc)
+  in
+  let warm_term =
+    let doc =
+      "Answer $(docv) deterministic mixed self-batches of 1024 queries \
+       before serving, so telemetry has data to show immediately."
+    in
+    Arg.(value & opt int 0 & info [ "warm" ] ~docv:"BATCHES" ~doc)
+  in
   let term =
     Term.(const run $ setup_term $ points_term $ capacity_term ~default:8
           $ seed_term $ churn_ops_term $ insert_fraction_term
-          $ update_fraction_term $ drift_term $ socket_term $ mmap_term)
+          $ update_fraction_term $ drift_term $ socket_term $ mmap_term
+          $ telemetry_term $ no_flight_term $ slow_ms_term $ warm_term)
   in
   Cmd.v
     (Cmd.info "serve"

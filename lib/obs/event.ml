@@ -1,0 +1,128 @@
+type level = Debug | Info | Warn | Error
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let ring_capacity = 256
+
+(* All state behind one mutex: events are rare by contract, so a global
+   lock beats per-domain rings here — it buys total order (the [seq]
+   field) and a race-free sink for the price of a lock nobody contends. *)
+let mutex = Mutex.create ()
+let ring : string array = Array.make ring_capacity ""
+let emitted = ref 0
+let mirror = ref true
+let sink : out_channel option ref = ref None
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let set_stderr_mirror b = locked (fun () -> mirror := b)
+
+let close_sink () =
+  locked (fun () ->
+      match !sink with
+      | None -> ()
+      | Some oc ->
+        sink := None;
+        (try flush oc with Sys_error _ -> ());
+        (try close_out_noerr oc with Sys_error _ -> ()))
+
+let set_sink_file path =
+  close_sink ();
+  let oc = open_out path in
+  locked (fun () -> sink := Some oc)
+
+let reset () =
+  locked (fun () ->
+      Array.fill ring 0 ring_capacity "";
+      emitted := 0)
+
+let standard_keys = [ "ts"; "seq"; "level"; "event" ]
+
+let render ~ts ~seq ~level ~name fields =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer "{\"ts\":";
+  Buffer.add_string buffer (Printf.sprintf "%.6f" ts);
+  Buffer.add_string buffer ",\"seq\":";
+  Buffer.add_string buffer (string_of_int seq);
+  Buffer.add_string buffer ",\"level\":\"";
+  Buffer.add_string buffer (level_name level);
+  Buffer.add_string buffer "\",\"event\":\"";
+  Obs_json.escape_into buffer name;
+  Buffer.add_char buffer '"';
+  List.iter
+    (fun (k, v) ->
+      if not (List.mem k standard_keys) then begin
+        Buffer.add_string buffer ",\"";
+        Obs_json.escape_into buffer k;
+        Buffer.add_string buffer "\":";
+        match v with
+        | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+        | Int n -> Buffer.add_string buffer (string_of_int n)
+        | Float f -> Buffer.add_string buffer (Obs_json.float_repr f)
+        | Str s ->
+          Buffer.add_char buffer '"';
+          Obs_json.escape_into buffer s;
+          Buffer.add_char buffer '"'
+      end)
+    fields;
+  Buffer.add_char buffer '}';
+  Buffer.contents buffer
+
+let emit ?(level = Info) name fields =
+  let ts = Unix.gettimeofday () in
+  locked (fun () ->
+      let seq = !emitted in
+      let line = render ~ts ~seq ~level ~name fields in
+      ring.(seq mod ring_capacity) <- line;
+      emitted := seq + 1;
+      (match !sink with
+      | Some oc -> (
+        try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ())
+      | None -> ());
+      if !mirror && level_rank level >= level_rank Warn then
+        Printf.eprintf "%s\n%!" line)
+
+let count () = locked (fun () -> !emitted)
+let dropped () = locked (fun () -> max 0 (!emitted - ring_capacity))
+
+let recent ?limit () =
+  locked (fun () ->
+      let n = min !emitted ring_capacity in
+      let n = match limit with Some l -> min n (max 0 l) | None -> n in
+      List.init n (fun i -> ring.((!emitted - n + i) mod ring_capacity)))
+
+let validate_line j =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    match Option.bind (Obs_json.member "ts" j) Obs_json.number_opt with
+    | Some _ -> Ok ()
+    | None -> Error "missing numeric \"ts\""
+  in
+  let* () =
+    match Option.bind (Obs_json.member "seq" j) Obs_json.int_opt with
+    | Some n when n >= 0 -> Ok ()
+    | _ -> Error "missing non-negative integer \"seq\""
+  in
+  let* () =
+    match Option.bind (Obs_json.member "level" j) Obs_json.string_opt with
+    | Some ("debug" | "info" | "warn" | "error") -> Ok ()
+    | Some s -> Error (Printf.sprintf "unknown level %S" s)
+    | None -> Error "missing \"level\" string"
+  in
+  match Option.bind (Obs_json.member "event" j) Obs_json.string_opt with
+  | Some "" -> Error "empty \"event\" name"
+  | Some _ -> Ok ()
+  | None -> Error "missing \"event\" string"

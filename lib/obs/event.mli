@@ -1,0 +1,65 @@
+(** A structured line-JSON event log for rare, meaningful occurrences:
+    arena degrade paths, serve lifecycle (epoch publish/pin/retire,
+    shutdown), refused frames, slow queries.
+
+    Unlike {!Metrics} and {!Trace}, events are always on — there is no
+    enable switch, because events fire a handful of times per run and
+    each one matters. Every emit renders one JSON object
+    [{"ts":..., "seq":N, "level":"warn", "event":"arena.fallback", ...fields}]
+    and fans it out to three places:
+
+    - a bounded in-memory ring of recent events (capacity
+      {!ring_capacity}, overwrite-oldest) that the serve layer's
+      [Telemetry] response and [popan obs top] read back;
+    - an optional sink file (one JSON object per line, flushed per
+      event — line-JSON so [tail -f] and external collectors work);
+    - stderr, for events at [Warn] and above, unless the mirror is
+      switched off ([--no-event-stderr]) — this is the structured
+      replacement for the old one-off [Printf.eprintf] warnings.
+
+    Emission takes a global mutex; events are rare by contract, so this
+    is never on a hot path. *)
+
+type level = Debug | Info | Warn | Error
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+val level_name : level -> string
+
+(** [emit ?level name fields] records one event. [name] is a dotted
+    lowercase path ([serve.epoch.publish]); [fields] become top-level
+    JSON members after the standard [ts]/[seq]/[level]/[event] four
+    (field names colliding with those are skipped). Default level
+    [Info]. *)
+val emit : ?level:level -> string -> (string * value) list -> unit
+
+val ring_capacity : int
+
+(** [recent ?limit ()] is the rendered lines still in the ring, oldest
+    first (at most [limit], default everything retained). *)
+val recent : ?limit:int -> unit -> string list
+
+(** [count ()] is the number of events ever emitted; [dropped ()] how
+    many have been overwritten out of the ring. *)
+val count : unit -> int
+
+val dropped : unit -> int
+
+(** [set_stderr_mirror b] switches the Warn-and-above stderr mirror
+    (default on). *)
+val set_stderr_mirror : bool -> unit
+
+(** [set_sink_file path] opens (truncates) [path] and writes every
+    subsequent event to it; [close_sink ()] flushes and closes. Raises
+    [Sys_error] if the path cannot be opened. *)
+val set_sink_file : string -> unit
+
+val close_sink : unit -> unit
+
+(** [reset ()] clears the ring and counters (the sink and mirror
+    settings stay). Test plumbing; call only while quiescent. *)
+val reset : unit -> unit
+
+(** [validate_line j] checks one parsed event line against the schema:
+    numeric [ts], integer [seq], a known [level], a nonempty [event]
+    string. *)
+val validate_line : Obs_json.t -> (unit, string) result

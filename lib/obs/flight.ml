@@ -1,0 +1,142 @@
+type entry = {
+  ts : float;
+  domain : int;
+  kind : int;
+  epoch : int;
+  latency : float;
+  visited : int;
+  note : string;
+}
+
+let max_shards = 128
+let default_capacity = 512
+
+(* Ring slots as parallel arrays, the [Trace] layout: recording writes
+   five scalars and one pointer, allocating nothing. *)
+type ring = {
+  capacity : int;
+  tss : float array;
+  kinds : int array;
+  epochs : int array;
+  latencies : float array;
+  visiteds : int array;
+  notes : string array;
+  mutable count : int;  (* total records ever; index = count mod capacity *)
+}
+
+let enabled_flag = Atomic.make false
+let capacity_setting = Atomic.make default_capacity
+let rings : ring option array = Array.make max_shards None
+
+(* Atomic over a boxed float: read on every record, written rarely. *)
+let slow_setting = Atomic.make infinity
+
+let set_slow_threshold s = Atomic.set slow_setting s
+let slow_threshold () = Atomic.get slow_setting
+
+let enable ?capacity () =
+  (match capacity with
+  | Some c -> Atomic.set capacity_setting (max 16 c)
+  | None -> ());
+  let want = Atomic.get capacity_setting in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r when r.capacity <> want -> rings.(i) <- None
+      | _ -> ())
+    rings;
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let my_ring () =
+  let s = (Domain.self () :> int) land (max_shards - 1) in
+  match rings.(s) with
+  | Some r -> r
+  | None ->
+    let capacity = Atomic.get capacity_setting in
+    let r =
+      {
+        capacity;
+        tss = Array.make capacity 0.0;
+        kinds = Array.make capacity 0;
+        epochs = Array.make capacity 0;
+        latencies = Array.make capacity 0.0;
+        visiteds = Array.make capacity 0;
+        notes = Array.make capacity "";
+        count = 0;
+      }
+    in
+    (* Distinct domains write distinct slots; a recycled domain id
+       adopts its predecessor's ring. *)
+    rings.(s) <- Some r;
+    r
+
+let record ~kind ~epoch ~latency ~visited ~note =
+  if Atomic.get enabled_flag then begin
+    let r = my_ring () in
+    let i = r.count mod r.capacity in
+    r.tss.(i) <- Unix.gettimeofday ();
+    r.kinds.(i) <- kind;
+    r.epochs.(i) <- epoch;
+    r.latencies.(i) <- latency;
+    r.visiteds.(i) <- visited;
+    r.notes.(i) <- note;
+    r.count <- r.count + 1;
+    if latency > Atomic.get slow_setting then
+      Event.emit ~level:Event.Warn "serve.slow_query"
+        [
+          ("kind", Event.Int kind);
+          ("epoch", Event.Int epoch);
+          ("latency", Event.Float latency);
+          ("visited", Event.Int visited);
+        ]
+  end
+
+let total () =
+  Array.fold_left
+    (fun acc r -> match r with Some r -> acc + r.count | None -> acc)
+    0 rings
+
+let dropped () =
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | Some r -> acc + max 0 (r.count - r.capacity)
+      | None -> acc)
+    0 rings
+
+let recent ?limit () =
+  let acc = ref [] in
+  Array.iteri
+    (fun shard r ->
+      match r with
+      | None -> ()
+      | Some r ->
+        let n = min r.count r.capacity in
+        for j = 0 to n - 1 do
+          let i = (r.count - n + j) mod r.capacity in
+          acc :=
+            {
+              ts = r.tss.(i);
+              domain = shard;
+              kind = r.kinds.(i);
+              epoch = r.epochs.(i);
+              latency = r.latencies.(i);
+              visited = r.visiteds.(i);
+              note = r.notes.(i);
+            }
+            :: !acc
+        done)
+    rings;
+  let all =
+    List.stable_sort (fun a b -> Float.compare a.ts b.ts) (List.rev !acc)
+  in
+  match limit with
+  | None -> all
+  | Some l ->
+    let n = List.length all in
+    if n <= l then all else List.filteri (fun i _ -> i >= n - l) all
+
+let reset () = Array.iter (Option.iter (fun r -> r.count <- 0)) rings

@@ -1,0 +1,64 @@
+(** The serving flight recorder: a cheap per-domain ring of the most
+    recent request records, always on while a server runs, so "which
+    query stalled" has an answer even when metrics were never enabled.
+
+    Each record is five scalars and two pointer writes into
+    preallocated parallel arrays — no allocation, no lock (a domain
+    writes only its own ring, exactly like {!Metrics} shards). Records
+    carry the request kind (a small integer code owned by the caller —
+    {!Probe.serve_kernel_name} maps the serving layer's codes back to
+    names), the answering epoch, the latency, the visited-node count
+    and a note (the refusal reason; [""] for accepted queries).
+
+    A slow-query threshold turns the recorder into a slow log: any
+    record over the threshold also emits a [serve.slow_query] event
+    through {!Event} (rate-unbounded in principle, but a threshold is
+    by definition crossed rarely; pick one accordingly).
+
+    Merged reads ({!recent}, {!total}) are exact when the recording
+    domains have been joined, the same contract as {!Metrics}. *)
+
+type entry = {
+  ts : float;  (** absolute epoch seconds, for ordering merged rings *)
+  domain : int;
+  kind : int;
+  epoch : int;
+  latency : float;  (** seconds *)
+  visited : int;
+  note : string;
+}
+
+val default_capacity : int
+
+(** [enable ?capacity ()] switches recording on ([capacity] is per
+    domain, default {!default_capacity}, min 16). Call before the
+    recording domains start, as with {!Trace.enable}. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [set_slow_threshold seconds] arms the slow-query log;
+    [infinity] (the default) disarms it. *)
+val set_slow_threshold : float -> unit
+
+val slow_threshold : unit -> float
+
+(** [record ~kind ~epoch ~latency ~visited ~note] appends one request
+    record to the calling domain's ring (no-op while disabled). *)
+val record :
+  kind:int -> epoch:int -> latency:float -> visited:int -> note:string -> unit
+
+(** [recent ?limit ()] merges every domain's retained records, oldest
+    first by timestamp (at most [limit] newest, default all). *)
+val recent : ?limit:int -> unit -> entry list
+
+(** [total ()] counts records ever written; [dropped ()] those
+    overwritten out of their ring. *)
+val total : unit -> int
+
+val dropped : unit -> int
+
+(** [reset ()] empties every ring and re-arms nothing else. Call only
+    while quiescent. *)
+val reset : unit -> unit

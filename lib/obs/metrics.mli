@@ -31,6 +31,7 @@
 type counter
 type gauge
 type histogram
+type sketch
 
 (** [set_enabled b] switches the registry on or off. Off is the default;
     updates (except [~always] counters) become no-ops. *)
@@ -55,11 +56,38 @@ val gauge : ?stable:bool -> string -> gauge
     bounds. *)
 val histogram : ?stable:bool -> string -> bounds:float array -> histogram
 
+(** [sketch name] registers a mergeable {!Sketch} instrument (per-query
+    latency and visited-count distributions on the serving path).
+    Shards are allocated lazily on each domain's first record, so an
+    unused sketch costs one pointer array. Like histograms, the merged
+    state is integer bucket counts, so a [~stable] sketch (the default)
+    exports byte-identically at any job count; register latency
+    sketches [~stable:false]. Re-registration with different
+    parameters raises [Invalid_argument]. Defaults mirror
+    {!Sketch.create}: [alpha = 0.01] over [[1e-9, 1e9]]. *)
+val sketch :
+  ?stable:bool ->
+  ?alpha:float ->
+  ?min_value:float ->
+  ?max_value:float ->
+  string ->
+  sketch
+
+(** [log_bounds ~per_decade ~lo ~hi] is the geometric bucket-edge array
+    for latency histograms: [per_decade] bounds per power of ten from
+    [lo] to [hi] inclusive, strictly increasing — wide enough that
+    realistic observations never saturate into the overflow bucket. *)
+val log_bounds : per_decade:int -> lo:float -> hi:float -> float array
+
 (** {1 Updates} *)
 
 val incr : ?by:int -> counter -> unit
 val set_gauge : gauge -> float -> unit
 val observe : histogram -> float -> unit
+
+(** [record_sketch s v] records one observation into the calling
+    domain's shard: a flag check, one [log], one integer increment. *)
+val record_sketch : sketch -> float -> unit
 
 (** {1 Merged reads} *)
 
@@ -79,6 +107,21 @@ val histogram_counts : histogram -> int array
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 val histogram_bounds : histogram -> float array
+
+(** [sketch_merged s] merges every domain shard into a fresh sketch.
+    Merging adds commutative integer counts, so the result depends only
+    on the recorded multiset of values, not the schedule. *)
+val sketch_merged : sketch -> Sketch.t
+
+val sketch_count : sketch -> int
+val sketch_quantile : sketch -> float -> float option
+
+(** [sketch_snapshots ?stable_only ?prefix ()] is every registered
+    sketch (name-sorted, optionally filtered to a name prefix such as
+    ["serve."]) with its merged snapshot — the [Telemetry] wire
+    response's payload. *)
+val sketch_snapshots :
+  ?stable_only:bool -> ?prefix:string -> unit -> (string * Sketch.snapshot) list
 
 (** {1 Export and maintenance} *)
 
@@ -102,7 +145,26 @@ val to_json : ?stable_only:bool -> unit -> string
 val report : unit -> string
 
 (** [validate_json j] checks a parsed {!to_json} document against the
-    schema: the [popan-metrics-1] marker, integer counters, histogram
-    [counts] one longer than [bounds] and summing to [count]. Returns
-    the number of instruments, or a description of the first problem. *)
+    schema: the [popan-metrics-2] marker (v1 documents without the
+    [sketches] section stay valid), integer counters, histogram
+    [counts] one longer than [bounds] and summing to [count], sketch
+    buckets as ascending [[index, positive count]] pairs with [total =
+    zeros + sum]. Returns the number of instruments, or a description
+    of the first problem. *)
 val validate_json : Obs_json.t -> (int, string) result
+
+(** [to_prometheus ()] renders the registry in the Prometheus text
+    exposition format: names on the [popan_] prefix with dots as
+    underscores, counters and gauges as single samples, histograms as
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count], sketches
+    as summaries (quantile series at 0.5/0.9/0.99/0.999 plus
+    [_sum]/[_count]). *)
+val to_prometheus : unit -> string
+
+(** [validate_prometheus text] is the line-grammar checker for the text
+    exposition format: metric/label name alphabets, label value
+    escapes, parseable values, every sample preceded by its family's
+    TYPE declaration, histogram buckets cumulative and ending at
+    [le="+Inf"] in agreement with [_count]. Returns the number of
+    sample lines, or a description of the first problem. *)
+val validate_prometheus : string -> (int, string) result

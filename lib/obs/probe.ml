@@ -189,24 +189,34 @@ let arena_deep_float_splits = Metrics.counter "arena.deep.float.splits"
 let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
 let warn_mutex = Mutex.create ()
 
-let warn_once key fmt =
+(* Degrade warnings flow through the structured event log: one event
+   per distinct key per process (a deep bulk build may take millions of
+   deep-float splits; the counter counts them all, the event fires
+   once). {!Event} mirrors Warn-level events to stderr unless the
+   mirror was switched off, preserving the old loud-by-default
+   behavior while making the warning visible to tooling. *)
+let warn_once key fields fmt =
   Printf.ksprintf
     (fun msg ->
       Mutex.lock warn_mutex;
       let fresh = not (Hashtbl.mem warned key) in
       if fresh then Hashtbl.add warned key ();
       Mutex.unlock warn_mutex;
-      if fresh then Printf.eprintf "popan: warning: %s\n%!" msg)
+      if fresh then
+        Event.emit ~level:Event.Warn key
+          (fields @ [ ("message", Event.Str msg) ]))
     fmt
 
 let arena_fallback ~what ~detail =
   Metrics.incr arena_fallbacks;
-  warn_once what "%s (%s); build path differs from the one requested" what
-    detail
+  warn_once "arena.fallback"
+    [ ("what", Event.Str what); ("detail", Event.Str detail) ]
+    "%s (%s); build path differs from the one requested" what detail
 
 let arena_deep_float ~depth =
   Metrics.incr arena_deep_float_splits;
-  warn_once "deep-float"
+  warn_once "arena.deep_float"
+    [ ("depth", Event.Int depth) ]
     "bulk build descending below the 42-bit Morton resolution at depth %d; \
      switching to float-midpoint splits"
     depth
@@ -313,8 +323,44 @@ let serve_queue_depth = Metrics.gauge ~stable:false "serve.queue.depth"
 let serve_epoch_id = Metrics.gauge ~stable:false "serve.epoch.id"
 let serve_epoch_age = Metrics.gauge ~stable:false "serve.epoch.age.batches"
 
+(* Log-spaced bounds (three per decade, 1us .. 100s) instead of the
+   coarse [seconds_bounds]: serve batches cluster within one decade, so
+   decade-wide buckets flattened the latency story the histogram was
+   supposed to tell. *)
 let serve_batch_seconds =
-  Metrics.histogram ~stable:false "serve.batch.seconds" ~bounds:seconds_bounds
+  Metrics.histogram ~stable:false "serve.batch.seconds"
+    ~bounds:(Metrics.log_bounds ~per_decade:3 ~lo:1e-6 ~hi:100.0)
+
+let serve_kernel_code = function
+  | `Range -> 0
+  | `Count -> 1
+  | `Knn -> 2
+  | `Nearest -> 3
+  | `Cell -> 4
+
+let serve_kernel_name = function
+  | 0 -> "range"
+  | 1 -> "count"
+  | 2 -> "knn"
+  | 3 -> "nearest"
+  | 4 -> "cell"
+  | _ -> "unknown"
+
+(* Per-kind distributions. Latency sketches record wall-clock seconds
+   (schedule-dependent, so unstable); visited-node sketches record the
+   exact node count a query kernel touched — a pure function of tree
+   shape and query, so their stable exports are byte-identical at any
+   job count. Visited counts are small integers, so the sketch range
+   starts at 1 with no relative-error waste on sub-unit values. *)
+let serve_latency_sketches =
+  Array.init 5 (fun k ->
+      Metrics.sketch ~stable:false
+        ("serve.latency." ^ serve_kernel_name k))
+
+let serve_visited_sketches =
+  Array.init 5 (fun k ->
+      Metrics.sketch ~min_value:1.0 ~max_value:1e9
+        ("serve.visited." ^ serve_kernel_name k))
 
 let serve_query ~kernel =
   Metrics.incr
@@ -325,6 +371,18 @@ let serve_query ~kernel =
     | `Nearest -> serve_nearest_queries
     | `Cell -> serve_cell_queries)
 
+(* One switch for the batch loop: when neither the flight recorder nor
+   the registry wants per-query facts, the server runs the plain
+   kernels and this telemetry layer costs exactly one flag check per
+   batch. *)
+let serve_telemetry_on () = Flight.enabled () || Metrics.enabled ()
+
+let serve_query_done ~kernel ~epoch ~latency ~visited ~note =
+  let k = serve_kernel_code kernel in
+  Metrics.record_sketch serve_latency_sketches.(k) latency;
+  Metrics.record_sketch serve_visited_sketches.(k) (float_of_int visited);
+  Flight.record ~kind:k ~epoch ~latency ~visited ~note
+
 let serve_batch ~queries ~jobs f =
   Metrics.incr serve_batches;
   Metrics.set_gauge serve_queue_depth (float_of_int queries);
@@ -332,14 +390,30 @@ let serve_batch ~queries ~jobs f =
     ~args:[ ("queries", Trace.Int queries); ("jobs", Trace.Int jobs) ]
     serve_batch_seconds f
 
-let serve_publish ~epoch =
+let serve_publish ~epoch ~size =
   Metrics.incr serve_epochs_published;
   Metrics.set_gauge serve_epoch_id (float_of_int epoch);
-  Metrics.set_gauge serve_epoch_age 0.0
+  Metrics.set_gauge serve_epoch_age 0.0;
+  Event.emit "serve.epoch.publish"
+    [ ("epoch", Event.Int epoch); ("size", Event.Int size) ]
 
-let serve_retire () = Metrics.incr serve_epochs_retired
+let serve_pin ~epoch =
+  Event.emit ~level:Event.Debug "serve.epoch.pin" [ ("epoch", Event.Int epoch) ]
+
+let serve_retire ~epoch =
+  Metrics.incr serve_epochs_retired;
+  Event.emit "serve.epoch.retire" [ ("epoch", Event.Int epoch) ]
+
 let serve_epoch_batch ~age = Metrics.set_gauge serve_epoch_age (float_of_int age)
-let serve_malformed () = Metrics.incr serve_malformed_frames
+
+let serve_malformed ~reason =
+  Metrics.incr serve_malformed_frames;
+  Event.emit ~level:Event.Warn "serve.refused"
+    [ ("reason", Event.Str reason) ]
+
+let serve_shutdown ~batches ~epoch =
+  Event.emit "serve.shutdown"
+    [ ("batches", Event.Int batches); ("epoch", Event.Int epoch) ]
 
 (* Experiment trials *)
 

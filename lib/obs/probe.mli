@@ -100,14 +100,16 @@ val arena_delete : unit -> unit
 val arena_merge : unit -> unit
 
 (** [arena_fallback ~what ~detail] records that a build took a
-    different path than requested ([arena.fallbacks]) and prints a
-    one-per-process stderr warning — large-n runs must never change
-    build path silently. *)
+    different path than requested ([arena.fallbacks]) and emits a
+    one-per-process [arena.fallback] {!Event} at [Warn] — mirrored to
+    stderr unless {!Event.set_stderr_mirror}[ false] — because large-n
+    runs must never change build path silently. *)
 val arena_fallback : what:string -> detail:string -> unit
 
 (** [arena_deep_float ~depth] counts a split below the 42-bit Morton
     resolution ([arena.deep.float.splits] — duplicate-heavy data under a
-    deep [max_depth]) and warns once on stderr. *)
+    deep [max_depth]) and emits a one-per-process [arena.deep_float]
+    event at [Warn]. *)
 val arena_deep_float : depth:int -> unit
 
 (** {1 The domain pool} *)
@@ -172,28 +174,64 @@ val sample_gc : unit -> unit
 val serve_query :
   kernel:[ `Range | `Count | `Knn | `Nearest | `Cell ] -> unit
 
+(** [serve_kernel_name code] is the short kernel name behind a
+    {!Flight.entry}'s integer [kind] ("range", "count", "knn",
+    "nearest", "cell"; "unknown" otherwise). *)
+val serve_kernel_name : int -> string
+
+(** [serve_telemetry_on ()] is true when either the flight recorder or
+    the metrics registry wants per-query facts. The batch loop reads it
+    once per batch: false means the plain (uninstrumented) kernels run
+    and telemetry costs exactly that one check. *)
+val serve_telemetry_on : unit -> bool
+
+(** [serve_query_done ~kernel ~epoch ~latency ~visited ~note] records
+    one answered query: latency seconds into the unstable
+    [serve.latency.<kind>] sketch, the visited-node count into the
+    stable [serve.visited.<kind>] sketch, and a flight-recorder entry
+    (which emits the [serve.slow_query] event past the threshold). *)
+val serve_query_done :
+  kernel:[ `Range | `Count | `Knn | `Nearest | `Cell ] ->
+  epoch:int ->
+  latency:float ->
+  visited:int ->
+  note:string ->
+  unit
+
 (** [serve_batch ~queries ~jobs f] wraps one batch execution: a
     [serve:batch] span, [serve.batches], the [serve.queue.depth] gauge
-    (admitted queries awaiting this batch) and [serve.batch.seconds]. *)
+    (admitted queries awaiting this batch) and the log-spaced (three
+    buckets per decade, 1us–100s) [serve.batch.seconds] histogram. *)
 val serve_batch : queries:int -> jobs:int -> (unit -> 'a) -> 'a
 
-(** [serve_publish ~epoch] counts an epoch publication
-    ([serve.epochs.published]) and resets the [serve.epoch.id] /
-    [serve.epoch.age.batches] gauges. *)
-val serve_publish : epoch:int -> unit
+(** [serve_publish ~epoch ~size] counts an epoch publication
+    ([serve.epochs.published]), resets the [serve.epoch.id] /
+    [serve.epoch.age.batches] gauges and emits a [serve.epoch.publish]
+    event. *)
+val serve_publish : epoch:int -> size:int -> unit
 
-(** [serve_retire ()] counts an epoch whose last pin dropped and whose
-    arena was reclaimed ([serve.epochs.retired]). *)
-val serve_retire : unit -> unit
+(** [serve_pin ~epoch] emits a [Debug]-level [serve.epoch.pin] event —
+    below the default stderr mirror, visible in the event ring. *)
+val serve_pin : epoch:int -> unit
+
+(** [serve_retire ~epoch] counts an epoch whose last pin dropped and
+    whose arena was reclaimed ([serve.epochs.retired]); emits
+    [serve.epoch.retire]. *)
+val serve_retire : epoch:int -> unit
 
 (** [serve_epoch_batch ~age] sets [serve.epoch.age.batches] — batches
     answered from the current epoch since it was published. *)
 val serve_epoch_batch : age:int -> unit
 
-(** [serve_malformed ()] counts a rejected request frame
+(** [serve_malformed ~reason] counts a rejected request frame
     ([serve.malformed.frames]) — truncation, checksum mismatch, or an
-    undecodable payload. *)
-val serve_malformed : unit -> unit
+    undecodable payload — and emits a [serve.refused] event at
+    [Warn]. *)
+val serve_malformed : reason:string -> unit
+
+(** [serve_shutdown ~batches ~epoch] emits the [serve.shutdown]
+    lifecycle event as the request loop exits. *)
+val serve_shutdown : batches:int -> epoch:int -> unit
 
 (** {1 Experiment trials} *)
 

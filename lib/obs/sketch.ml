@@ -1,0 +1,193 @@
+type t = {
+  alpha : float;
+  min_value : float;
+  max_value : float;
+  log_gamma : float;
+  inv_log_gamma : float;
+  scale : float;  (* 2 / (gamma + 1): bucket i estimates scale * gamma^i *)
+  lo : int;  (* bucket index of min_value *)
+  counts : int array;  (* buckets lo .. lo + length - 1 *)
+  mutable zeros : int;
+  mutable total : int;
+  mutable sum : float;
+}
+
+type snapshot = {
+  alpha : float;
+  min_value : float;
+  max_value : float;
+  zeros : int;
+  sum : float;
+  buckets : (int * int) array;
+}
+
+let create ?(alpha = 0.01) ?(min_value = 1e-9) ?(max_value = 1e9) () =
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg "Sketch.create: alpha must be in (0, 1)";
+  if
+    not
+      (Float.is_finite min_value && Float.is_finite max_value
+      && min_value > 0.0 && min_value < max_value)
+  then invalid_arg "Sketch.create: need 0 < min_value < max_value, finite";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  let log_gamma = Float.log gamma in
+  let index v = int_of_float (Float.ceil (Float.log v /. log_gamma)) in
+  let lo = index min_value in
+  let hi = index max_value in
+  {
+    alpha;
+    min_value;
+    max_value;
+    log_gamma;
+    inv_log_gamma = 1.0 /. log_gamma;
+    scale = 2.0 /. (gamma +. 1.0);
+    lo;
+    counts = Array.make (hi - lo + 1) 0;
+    zeros = 0;
+    total = 0;
+    sum = 0.0;
+  }
+
+let alpha (t : t) = t.alpha
+let count (t : t) = t.total
+let sum (t : t) = t.sum
+
+let record (t : t) v =
+  (* [v >= min_value] is false for NaN too, so junk lands in the zero
+     bucket instead of producing an unspecified [int_of_float]. *)
+  if v >= t.min_value then begin
+    let i =
+      if v >= t.max_value then Array.length t.counts - 1
+      else begin
+        let i = int_of_float (Float.ceil (Float.log v *. t.inv_log_gamma)) in
+        (* log/ceil rounding can land one bucket outside at the range
+           edges; clamping there costs at most the documented alpha. *)
+        let i = i - t.lo in
+        if i < 0 then 0
+        else if i >= Array.length t.counts then Array.length t.counts - 1
+        else i
+      end
+    in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+  else t.zeros <- t.zeros + 1;
+  t.total <- t.total + 1;
+  if Float.is_finite v then t.sum <- t.sum +. v
+
+let estimate (t : t) i = t.scale *. Float.exp (float_of_int (t.lo + i) *. t.log_gamma)
+
+let quantile (t : t) q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Sketch.quantile: q must be in [0, 1]";
+  if t.total = 0 then None
+  else begin
+    let rank = q *. float_of_int (t.total - 1) in
+    if float_of_int t.zeros > rank then Some 0.0
+    else begin
+      let cum = ref t.zeros in
+      let found = ref None in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           cum := !cum + t.counts.(i);
+           if float_of_int !cum > rank then begin
+             found := Some (estimate t i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !found with
+      | Some _ as r -> r
+      | None -> Some (estimate t (Array.length t.counts - 1))
+    end
+  end
+
+let same_parameters (a : t) (b : t) =
+  a.alpha = b.alpha && a.min_value = b.min_value && a.max_value = b.max_value
+
+let merge_into ~(into : t) (src : t) =
+  if not (same_parameters into src) then
+    invalid_arg "Sketch.merge_into: mismatched sketch parameters";
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) src.counts;
+  into.zeros <- into.zeros + src.zeros;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum
+
+let copy (t : t) =
+  let fresh =
+    create ~alpha:t.alpha ~min_value:t.min_value ~max_value:t.max_value ()
+  in
+  merge_into ~into:fresh t;
+  fresh
+
+let reset (t : t) =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.zeros <- 0;
+  t.total <- 0;
+  t.sum <- 0.0
+
+let snapshot (t : t) =
+  let nonzero = ref 0 in
+  Array.iter (fun n -> if n <> 0 then incr nonzero) t.counts;
+  let buckets = Array.make !nonzero (0, 0) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n <> 0 then begin
+        buckets.(!j) <- (t.lo + i, n);
+        incr j
+      end)
+    t.counts;
+  {
+    alpha = t.alpha;
+    min_value = t.min_value;
+    max_value = t.max_value;
+    zeros = t.zeros;
+    sum = t.sum;
+    buckets;
+  }
+
+let of_snapshot (s : snapshot) =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () =
+    check
+      (s.alpha > 0.0 && s.alpha < 1.0)
+      "sketch snapshot: alpha out of (0, 1)"
+  in
+  let* () =
+    check
+      (Float.is_finite s.min_value && Float.is_finite s.max_value
+      && s.min_value > 0.0 && s.min_value < s.max_value)
+      "sketch snapshot: bad value range"
+  in
+  let* () = check (s.zeros >= 0) "sketch snapshot: negative zero count" in
+  let* () = check (not (Float.is_nan s.sum)) "sketch snapshot: NaN sum" in
+  let t =
+    create ~alpha:s.alpha ~min_value:s.min_value ~max_value:s.max_value ()
+  in
+  let hi = t.lo + Array.length t.counts - 1 in
+  let* () =
+    Array.fold_left
+      (fun acc (i, n) ->
+        let* prev = acc in
+        let* () =
+          check (i >= t.lo && i <= hi) "sketch snapshot: bucket index out of range"
+        in
+        let* () = check (n > 0) "sketch snapshot: non-positive bucket count" in
+        let* () =
+          check
+            (match prev with None -> true | Some p -> i > p)
+            "sketch snapshot: bucket indices not ascending"
+        in
+        Ok (Some i))
+      (Ok None) s.buckets
+    |> Result.map (fun _ -> ())
+  in
+  Array.iter (fun (i, n) -> t.counts.(i - t.lo) <- n) s.buckets;
+  t.zeros <- s.zeros;
+  t.total <- Array.fold_left (fun acc (_, n) -> acc + n) s.zeros s.buckets;
+  t.sum <- s.sum;
+  Ok t
+
+let snapshot_quantile s q =
+  match of_snapshot s with Ok t -> quantile t q | Error _ -> None

@@ -28,7 +28,7 @@ let retire e =
   if not e.retired then begin
     e.retired <- true;
     Pr_arena.release e.arena;
-    Probe.serve_retire ()
+    Probe.serve_retire ~epoch:e.id
   end
 
 let sweep t =
@@ -40,7 +40,7 @@ let sweep t =
 
 let create arena =
   let e = { id = 0; arena; pins = 0; retired = false } in
-  Probe.serve_publish ~epoch:0;
+  Probe.serve_publish ~epoch:0 ~size:(Pr_arena.size arena);
   { mutex = Mutex.create (); current = e; live = [ e ]; next_id = 1 }
 
 let locked t f =
@@ -54,7 +54,7 @@ let publish t arena =
       t.current <- e;
       t.live <- e :: t.live;
       sweep t;
-      Probe.serve_publish ~epoch:e.id;
+      Probe.serve_publish ~epoch:e.id ~size:(Pr_arena.size arena);
       e)
 
 let current t = locked t (fun () -> t.current)
@@ -65,6 +65,7 @@ let pin t =
   locked t (fun () ->
       let e = t.current in
       e.pins <- e.pins + 1;
+      Probe.serve_pin ~epoch:e.id;
       e)
 
 let unpin t e =

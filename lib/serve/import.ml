@@ -10,3 +10,7 @@ module Codec = Popan_store.Codec
 module Store = Popan_store.Artifact_store
 module Workload = Popan_experiments.Workload
 module Probe = Popan_obs.Probe
+module Metrics = Popan_obs.Metrics
+module Event = Popan_obs.Event
+module Flight = Popan_obs.Flight
+module Sketch = Popan_obs.Sketch

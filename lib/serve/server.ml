@@ -28,14 +28,64 @@ let eval arena (q : Wire.query) : Wire.answer =
     | depth, box, pts -> Wire.Cell_info (depth, box, Array.of_list pts)
     | exception Invalid_argument m -> Wire.Rejected m)
 
+(* [eval] under full telemetry: the visited-counting kernel variants
+   plus a per-query clock, feeding the latency/visited sketches and the
+   flight recorder through [serve_query_done]. A separate copy of the
+   dispatch so the plain [eval] — the oracle the tests replay — keeps
+   its exact instruction stream. *)
+let eval_instrumented arena ~epoch (q : Wire.query) : Wire.answer =
+  let start = Unix.gettimeofday () in
+  let finish kernel ~visited ~note answer =
+    Probe.serve_query_done ~kernel ~epoch
+      ~latency:(Unix.gettimeofday () -. start)
+      ~visited ~note;
+    answer
+  in
+  match q with
+  | Wire.Range b ->
+    Probe.serve_query ~kernel:`Range;
+    let ps, visited = Pr_arena.query_box_visited arena b in
+    finish `Range ~visited ~note:"" (Wire.Points (Array.of_list ps))
+  | Wire.Count b ->
+    Probe.serve_query ~kernel:`Count;
+    let n, visited = Pr_arena.count_in_box_visited arena b in
+    finish `Count ~visited ~note:"" (Wire.Count_of n)
+  | Wire.Knn (k, p) -> (
+    Probe.serve_query ~kernel:`Knn;
+    match Pr_arena.k_nearest_visited arena k p with
+    | ps, visited ->
+      finish `Knn ~visited ~note:"" (Wire.Points (Array.of_list ps))
+    | exception Invalid_argument m ->
+      finish `Knn ~visited:0 ~note:m (Wire.Rejected m))
+  | Wire.Nearest p ->
+    Probe.serve_query ~kernel:`Nearest;
+    let found, visited = Pr_arena.nearest_visited arena p in
+    finish `Nearest ~visited ~note:""
+      (Wire.Points (match found with None -> [||] | Some q -> [| q |]))
+  | Wire.Cell p -> (
+    Probe.serve_query ~kernel:`Cell;
+    match Pr_arena.cell_at_visited arena p with
+    | (depth, box, pts), visited ->
+      finish `Cell ~visited ~note:""
+        (Wire.Cell_info (depth, box, Array.of_list pts))
+    | exception Invalid_argument m ->
+      finish `Cell ~visited:0 ~note:m (Wire.Rejected m))
+
 (* Fan a batch out on the deterministic pool. [map_array]'s contract —
    results in index order, byte-identical at every job count — is what
    makes the whole response deterministic; the chunk keeps per-task
-   overhead amortized over thousands of tiny queries. *)
-let run_batch ?(chunk = 256) pool arena queries =
+   overhead amortized over thousands of tiny queries. Telemetry is one
+   flag check per batch: off, the tasks run the plain [eval]; on, the
+   instrumented copy. *)
+let run_batch ?(chunk = 256) ?(epoch = 0) pool arena queries =
   let n = Array.length queries in
+  let f =
+    if Probe.serve_telemetry_on () then fun i ->
+      eval_instrumented arena ~epoch queries.(i)
+    else fun i -> eval arena queries.(i)
+  in
   Probe.serve_batch ~queries:n ~jobs:(Parallel.Pool.jobs pool) (fun () ->
-      Parallel.Pool.map_array ~chunk pool n ~f:(fun i -> eval arena queries.(i)))
+      Parallel.Pool.map_array ~chunk pool n ~f)
 
 type config = {
   jobs : int option;  (** pool width; [None] = the session default *)
@@ -156,10 +206,37 @@ let run_queries t queries =
           t.epoch_batches <- t.epoch_batches + 1;
           Probe.serve_epoch_batch ~age:t.epoch_batches);
         Epoch.unpin t.epochs e)
-      (fun () -> run_batch t.pool (Epoch.arena e) queries)
+      (fun () -> run_batch ~epoch:(Epoch.id e) t.pool (Epoch.arena e) queries)
   in
   t.batches <- t.batches + 1;
   (Epoch.id e, answers)
+
+(* Deterministic mixed self-batches (the serve smoke's query mix,
+   seeded from the config), so a freshly started server has telemetry
+   to show before — or without — a client driving load. *)
+let warm t ~batches ~queries:qn =
+  let rng = Xoshiro.of_int_seed (t.config.seed lxor 0x77a7) in
+  for _ = 1 to batches do
+    let qs =
+      Array.init qn (fun i ->
+          let p = Point.make (Xoshiro.float rng) (Xoshiro.float rng) in
+          match i mod 5 with
+          | 0 ->
+            let w = 0.005 +. (0.05 *. Xoshiro.float rng) in
+            let x = (1.0 -. w) *. Xoshiro.float rng in
+            let y = (1.0 -. w) *. Xoshiro.float rng in
+            Wire.Range (Box.make ~xmin:x ~ymin:y ~xmax:(x +. w) ~ymax:(y +. w))
+          | 1 ->
+            Wire.Count
+              (Box.make ~xmin:0.0 ~ymin:0.0
+                 ~xmax:(Float.max 0.01 p.Point.x)
+                 ~ymax:(Float.max 0.01 p.Point.y))
+          | 2 -> Wire.Knn (1 + (i mod 16), p)
+          | 3 -> Wire.Nearest p
+          | _ -> Wire.Cell p)
+    in
+    ignore (run_queries t qs : int * Wire.answer array)
+  done
 
 let handle t (req : Wire.request) : Wire.response * bool =
   match req with
@@ -175,9 +252,25 @@ let handle t (req : Wire.request) : Wire.response * bool =
           live_epochs = Epoch.live_count t.epochs;
         },
       true )
+  | Wire.Telemetry ->
+    ( Wire.Telemetry_info
+        {
+          epoch = Epoch.current_id t.epochs;
+          size = Pr_arena.size t.live;
+          batches = t.batches;
+          live_epochs = Epoch.live_count t.epochs;
+          metrics_json = Metrics.to_json ();
+          prometheus = Metrics.to_prometheus ();
+          sketches =
+            Array.of_list (Metrics.sketch_snapshots ~prefix:"serve." ());
+          events = Array.of_list (Event.recent ());
+          flight = Array.of_list (Flight.recent ());
+        },
+      true )
   | Wire.Quit -> (Wire.Bye, false)
 
 let shutdown t =
+  Probe.serve_shutdown ~batches:t.batches ~epoch:(Epoch.current_id t.epochs);
   Epoch.shutdown t.epochs;
   Pr_arena.release t.live;
   if t.owns_pool then Parallel.Pool.shutdown t.pool;
@@ -195,7 +288,7 @@ let serve_channels t ic oc =
       (* A bad frame leaves the stream position undefined: refuse the
          request and stop reading rather than resynchronize by
          guesswork. *)
-      Probe.serve_malformed ();
+      Probe.serve_malformed ~reason;
       Wire.write_response oc (Wire.Refused reason)
     | Some (Ok req) ->
       let resp, continue = handle t req in
@@ -223,11 +316,12 @@ let serve_socket t path =
           try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> serve_channels t ic oc))
 
-let run ?pool ?socket config =
+let run ?pool ?socket ?(warm_batches = 0) config =
   let t = create ?pool config in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
+      if warm_batches > 0 then warm t ~batches:warm_batches ~queries:1024;
       match socket with
       | None -> serve_channels t stdin stdout
       | Some path -> serve_socket t path)

@@ -15,14 +15,25 @@ open Import
     mutable state with the live arena. *)
 
 (** [eval arena q] answers one query sequentially — the same function
-    the pool's tasks run, and the oracle tests replay. *)
+    the pool's tasks run when telemetry is off, and the oracle tests
+    replay. *)
 val eval : Pr_arena.t -> Wire.query -> Wire.answer
 
-(** [run_batch ?chunk pool arena queries] answers a whole batch on the
-    pool, results in request order. Wrapped in the [serve:batch] probe
-    (queue-depth gauge, latency histogram, per-kernel counters). *)
+(** [eval_instrumented arena ~epoch q] is {!eval} under full telemetry:
+    the visited-counting kernels plus a per-query clock, recorded
+    through {!Probe.serve_query_done} (latency/visited sketches and the
+    flight recorder). Same answers as {!eval}, always. *)
+val eval_instrumented : Pr_arena.t -> epoch:int -> Wire.query -> Wire.answer
+
+(** [run_batch ?chunk ?epoch pool arena queries] answers a whole batch
+    on the pool, results in request order, wrapped in the [serve:batch]
+    probe (queue-depth gauge, latency histogram, per-kernel counters).
+    Telemetry costs one {!Probe.serve_telemetry_on} check per batch:
+    off, the tasks run the plain {!eval}; on, {!eval_instrumented}
+    tagged with [epoch] (default 0). *)
 val run_batch :
   ?chunk:int ->
+  ?epoch:int ->
   Parallel.Pool.t -> Pr_arena.t -> Wire.query array -> Wire.answer array
 
 type config = {
@@ -62,6 +73,13 @@ val batches : t -> int
     returns the answering epoch's id with the answers. *)
 val run_queries : t -> Wire.query array -> int * Wire.answer array
 
+(** [warm t ~batches ~queries] answers [batches] deterministic mixed
+    self-batches of [queries] queries each (seeded from the config):
+    they count toward {!batches} and advance churn epochs exactly like
+    client batches, so a freshly started server has telemetry to show
+    before a client drives load ([popan serve --warm]). *)
+val warm : t -> batches:int -> queries:int -> unit
+
 (** [handle t req] dispatches one request; the boolean is false when
     the loop should stop ([Quit]). *)
 val handle : t -> Wire.request -> Wire.response * bool
@@ -77,7 +95,9 @@ val serve_channels : t -> in_channel -> out_channel -> unit
     counters to the default artifact store when one is configured. *)
 val shutdown : t -> unit
 
-(** [run ?pool ?socket config] is the whole lifecycle: {!create},
+(** [run ?pool ?socket ?warm_batches config] is the whole lifecycle:
+    {!create}, [warm_batches] self-batches of 1024 queries (default 0),
     serve on stdin/stdout (or accept one connection on the Unix socket
     [?socket]), then {!shutdown} — which runs even if serving raises. *)
-val run : ?pool:Parallel.Pool.t -> ?socket:string -> config -> unit
+val run :
+  ?pool:Parallel.Pool.t -> ?socket:string -> ?warm_batches:int -> config -> unit

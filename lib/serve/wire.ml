@@ -7,7 +7,7 @@ type query =
   | Nearest of Point.t
   | Cell of Point.t
 
-type request = Batch of query array | Stats | Quit
+type request = Batch of query array | Stats | Quit | Telemetry
 
 type answer =
   | Points of Point.t array
@@ -15,13 +15,29 @@ type answer =
   | Cell_info of int * Box.t * Point.t array
   | Rejected of string
 
+type telemetry = {
+  epoch : int;
+  size : int;
+  batches : int;
+  live_epochs : int;
+  metrics_json : string;
+  prometheus : string;
+  sketches : (string * Sketch.snapshot) array;
+  events : string array;
+  flight : Flight.entry array;
+}
+
 type response =
   | Answers of { epoch : int; answers : answer array }
   | Stats_info of { epoch : int; size : int; batches : int; live_epochs : int }
+  | Telemetry_info of telemetry
   | Refused of string
   | Bye
 
-let version = 1
+(* Version 2: the [Telemetry] request and its response arm. The version
+   sits in every frame's artifact header, so a v1 peer refuses a v2
+   frame outright instead of misparsing it. *)
+let version = 2
 let request_kind = "serve-req"
 let response_kind = "serve-resp"
 
@@ -61,7 +77,7 @@ let query =
 let request =
   let open Codec in
   choice
-    ~tag:(function Batch _ -> 0 | Stats -> 1 | Quit -> 2)
+    ~tag:(function Batch _ -> 0 | Stats -> 1 | Quit -> 2 | Telemetry -> 3)
     [
       ( 0,
         map (array query)
@@ -69,6 +85,7 @@ let request =
           ~encode:(function Batch qs -> qs | _ -> assert false) );
       (1, map (list u8) ~decode:(fun _ -> Stats) ~encode:(fun _ -> []));
       (2, map (list u8) ~decode:(fun _ -> Quit) ~encode:(fun _ -> []));
+      (3, map (list u8) ~decode:(fun _ -> Telemetry) ~encode:(fun _ -> []));
     ]
 
 let answer =
@@ -97,11 +114,66 @@ let answer =
           ~encode:(function Rejected m -> m | _ -> assert false) );
     ]
 
+(* The sketch and flight-entry codecs transport the records verbatim;
+   semantic validation (ascending buckets, positive counts) lives in
+   [Sketch.of_snapshot], which the displaying client runs. *)
+let sketch_snapshot =
+  let open Codec in
+  map
+    (pair
+       (triple float float float)
+       (pair (pair int float) (array (pair int int))))
+    ~decode:(fun ((alpha, min_value, max_value), ((zeros, sum), buckets)) ->
+      { Sketch.alpha; min_value; max_value; zeros; sum; buckets })
+    ~encode:(fun (s : Sketch.snapshot) ->
+      ((s.alpha, s.min_value, s.max_value), ((s.zeros, s.sum), s.buckets)))
+
+let flight_entry =
+  let open Codec in
+  map
+    (pair (triple float int int) (pair (pair int float) (pair int string)))
+    ~decode:(fun ((ts, domain, kind), ((epoch, latency), (visited, note))) ->
+      { Flight.ts; domain; kind; epoch; latency; visited; note })
+    ~encode:(fun (e : Flight.entry) ->
+      ((e.ts, e.domain, e.kind), ((e.epoch, e.latency), (e.visited, e.note))))
+
+let telemetry =
+  let open Codec in
+  map
+    (pair
+       (pair (pair int int) (pair int int))
+       (pair (pair string string)
+          (triple
+             (array (pair string sketch_snapshot))
+             (array string) (array flight_entry))))
+    ~decode:(fun
+        ( ((epoch, size), (batches, live_epochs)),
+          ((metrics_json, prometheus), (sketches, events, flight)) )
+      ->
+      {
+        epoch;
+        size;
+        batches;
+        live_epochs;
+        metrics_json;
+        prometheus;
+        sketches;
+        events;
+        flight;
+      })
+    ~encode:(fun t ->
+      ( ((t.epoch, t.size), (t.batches, t.live_epochs)),
+        ((t.metrics_json, t.prometheus), (t.sketches, t.events, t.flight)) ))
+
 let response =
   let open Codec in
   choice
     ~tag:(function
-      | Answers _ -> 0 | Stats_info _ -> 1 | Refused _ -> 2 | Bye -> 3)
+      | Answers _ -> 0
+      | Stats_info _ -> 1
+      | Refused _ -> 2
+      | Bye -> 3
+      | Telemetry_info _ -> 4)
     [
       ( 0,
         map
@@ -124,6 +196,10 @@ let response =
           ~decode:(fun m -> Refused m)
           ~encode:(function Refused m -> m | _ -> assert false) );
       (3, map (list u8) ~decode:(fun _ -> Bye) ~encode:(fun _ -> []));
+      ( 4,
+        map telemetry
+          ~decode:(fun t -> Telemetry_info t)
+          ~encode:(function Telemetry_info t -> t | _ -> assert false) );
     ]
 
 (* Length-prefixed framing over channels: 4 bytes big-endian, then one

@@ -23,6 +23,7 @@ type request =
   | Batch of query array  (** answer all, one epoch, task-ordered *)
   | Stats  (** server introspection *)
   | Quit  (** orderly shutdown *)
+  | Telemetry  (** the full scrape: metrics, quantiles, recent events *)
 
 (** One query's result, positionally matching the request batch. *)
 type answer =
@@ -32,13 +33,33 @@ type answer =
   | Cell_info of int * Box.t * Point.t array  (** depth, block, contents *)
   | Rejected of string  (** an invalid query (e.g. out-of-bounds cell) *)
 
+(** The [Telemetry] scrape: server identity and counters, both metric
+    exports rendered server-side (so a collector needs no popan code),
+    the merged serve-path sketch snapshots, the recent event lines, and
+    the flight recorder's retained request records. *)
+type telemetry = {
+  epoch : int;
+  size : int;
+  batches : int;
+  live_epochs : int;
+  metrics_json : string;  (** {!Metrics.to_json} at scrape time *)
+  prometheus : string;  (** {!Metrics.to_prometheus} at scrape time *)
+  sketches : (string * Sketch.snapshot) array;
+      (** name-sorted [serve.*] sketches, merged across domains *)
+  events : string array;  (** {!Event.recent}, oldest first *)
+  flight : Flight.entry array;  (** {!Flight.recent}, oldest first *)
+}
+
 type response =
   | Answers of { epoch : int; answers : answer array }
   | Stats_info of { epoch : int; size : int; batches : int; live_epochs : int }
+  | Telemetry_info of telemetry
   | Refused of string  (** the request frame was malformed *)
   | Bye  (** acknowledges [Quit] *)
 
-(** Protocol version, embedded in every frame's artifact header. *)
+(** Protocol version, embedded in every frame's artifact header — [2]
+    since the [Telemetry] exchange was added. A v1 peer refuses a v2
+    frame on its version check rather than misparsing it. *)
 val version : int
 
 val request_kind : string
@@ -49,6 +70,7 @@ val query : query Codec.t
 
 val request : request Codec.t
 val answer : answer Codec.t
+val telemetry : telemetry Codec.t
 val response : response Codec.t
 
 (** [write_frame oc ~kind codec v] frames and writes [v], then flushes. *)

@@ -1717,6 +1717,126 @@ let mem t (p : Point.t) =
     go 0 ~box:t.bounds
   end
 
+(* Visited-counting duplicates of the query kernels, for the serving
+   layer's per-query telemetry. Same cost accounting as
+   [count_in_box_visited]: every node entered counts one — a pruned
+   subtree costs its root's bound test, nothing below — so the counts
+   line up with the partial-match exponent the population analysis
+   predicts. Kept as separate copies rather than a counter threaded
+   through the plain kernels, so the uninstrumented hot path keeps its
+   exact instruction stream. *)
+
+let query_box_visited t target =
+  let xmin = target.Box.xmin and xmax = target.Box.xmax in
+  let ymin = target.Box.ymin and ymax = target.Box.ymax in
+  let acc = ref [] in
+  let visited = ref 0 in
+  let rec go node ~box =
+    incr visited;
+    if Box.intersects box target then begin
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let slot = ref t.head.(node) in
+        while !slot >= 0 do
+          let s = !slot in
+          let x = t.xs.{s} and y = t.ys.{s} in
+          if x >= xmin && x < xmax && y >= ymin && y < ymax then
+            acc := Point.make x y :: !acc;
+          slot := t.next.{s}
+        done
+      end
+      else
+        for q = 0 to 3 do
+          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+        done
+    end
+  in
+  go 0 ~box:t.bounds;
+  (!acc, !visited)
+
+let nearest_visited t (p : Point.t) =
+  if t.size = 0 then (None, 0)
+  else begin
+    let px = p.Point.x and py = p.Point.y in
+    let bx = ref 0.0 and by = ref 0.0 in
+    let best_d = ref Float.infinity in
+    let found = ref false in
+    let visited = ref 0 in
+    let rec go node ~box =
+      incr visited;
+      if dist_sq_to_box px py box < !best_d then begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          let slot = ref t.head.(node) in
+          while !slot >= 0 do
+            let s = !slot in
+            let x = t.xs.{s} and y = t.ys.{s} in
+            let dx = x -. px and dy = y -. py in
+            let d = (dx *. dx) +. (dy *. dy) in
+            if d < !best_d then begin
+              best_d := d;
+              bx := x;
+              by := y;
+              found := true
+            end;
+            slot := t.next.{s}
+          done
+        end
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    go 0 ~box:t.bounds;
+    ((if !found then Some (Point.make !bx !by) else None), !visited)
+  end
+
+let k_nearest_visited t k (p : Point.t) =
+  if k < 0 then invalid_arg "Pr_arena.k_nearest_visited: k < 0";
+  if k = 0 || t.size = 0 then ([], 0)
+  else begin
+    let px = p.Point.x and py = p.Point.y in
+    let nbrs = Pqueue.Neighbors.create k in
+    let visited = ref 0 in
+    let rec go node ~box =
+      incr visited;
+      if dist_sq_to_box px py box < Pqueue.Neighbors.worst nbrs then begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          let slot = ref t.head.(node) in
+          while !slot >= 0 do
+            let s = !slot in
+            let x = t.xs.{s} and y = t.ys.{s} in
+            let dx = x -. px and dy = y -. py in
+            let d = (dx *. dx) +. (dy *. dy) in
+            if d < Pqueue.Neighbors.worst nbrs then
+              Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
+            slot := t.next.{s}
+          done
+        end
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    go 0 ~box:t.bounds;
+    (Pqueue.Neighbors.drain_nearest nbrs, !visited)
+  end
+
+(* A point descent enters one node per level: the root-to-leaf path of
+   [depth] internal steps visits [depth + 1] nodes. *)
+let cell_at_visited t (p : Point.t) =
+  let ((depth, _, _) as cell) = cell_at t p in
+  (cell, depth + 1)
+
 (* --- Snapshots -------------------------------------------------------
 
    An O(n) column copy, always heap-backed: Bigarray blits for the point

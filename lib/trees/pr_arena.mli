@@ -278,6 +278,27 @@ val cell_at : t -> Point.t -> int * Box.t * Point.t list
 (** [mem t p] is whether some stored point equals [p] exactly. *)
 val mem : t -> Point.t -> bool
 
+(** {2 Visited-counting kernels}
+
+    Each [_visited] kernel returns the plain kernel's answer paired
+    with the number of tree nodes the traversal entered, under
+    {!count_in_box_visited}'s accounting (a pruned subtree costs
+    exactly its root). The serving layer records these counts into the
+    stable [serve.visited.*] sketches — the live analog of the
+    population analysis' cost observables. Separate copies, so the
+    uninstrumented kernels keep their exact instruction stream. *)
+
+val query_box_visited : t -> Box.t -> Point.t list * int
+val nearest_visited : t -> Point.t -> Point.t option * int
+
+(** Raises [Invalid_argument] if [k < 0]. *)
+val k_nearest_visited : t -> int -> Point.t -> Point.t list * int
+
+(** [cell_at_visited t p] is [cell_at t p] with its visited count
+    [depth + 1] — a point descent enters one node per level. Raises
+    [Invalid_argument] when [p] is outside the bounds. *)
+val cell_at_visited : t -> Point.t -> (int * Box.t * Point.t list) * int
+
 (** [snapshot t] is an independent heap-backed deep copy of the arena —
     columns, node tables, free lists and counters — sharing no mutable
     state with [t]: churn may continue on either side without the other

@@ -14,6 +14,9 @@ module Xoshiro = Popan_rng.Xoshiro
 module Codec = Popan_store.Codec
 module Wire = Popan_serve.Wire
 module Server = Popan_serve.Server
+module Metrics = Popan_obs.Metrics
+module Sketch = Popan_obs.Sketch
+module Obs_json = Popan_obs.Obs_json
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -170,6 +173,84 @@ let truncated_frame_refused () =
   close_in ic;
   wait_clean pid "truncation"
 
+(* The telemetry conversation: a server spawned with [--telemetry]
+   answers the same two batches, then a [Telemetry] scrape must come
+   back internally consistent — a validating Prometheus exposition and
+   metrics registry, every query accounted for in the latency sketches,
+   the epoch-publish events retained, and a populated flight ring. *)
+let telemetry_scrape_consistent () =
+  let what = "telemetry" in
+  let pid, ic, oc =
+    spawn_serve
+      [ "-j"; "2";
+        "-n"; string_of_int base_points;
+        "--seed"; string_of_int seed;
+        "--churn-ops"; string_of_int churn_ops;
+        "--telemetry" ]
+  in
+  Wire.write_request oc (Wire.Batch queries);
+  (match expect_response ic what with
+  | Wire.Answers _ -> ()
+  | _ -> fail "%s: expected Answers" what);
+  Wire.write_request oc (Wire.Batch queries);
+  (match expect_response ic what with
+  | Wire.Answers _ -> ()
+  | _ -> fail "%s: expected Answers" what);
+  Wire.write_request oc Wire.Telemetry;
+  let info =
+    match expect_response ic what with
+    | Wire.Telemetry_info info -> info
+    | _ -> fail "%s: expected Telemetry_info" what
+  in
+  Wire.write_request oc Wire.Quit;
+  (match expect_response ic what with
+  | Wire.Bye -> ()
+  | _ -> fail "%s: expected Bye" what);
+  close_out oc;
+  close_in ic;
+  wait_clean pid what;
+  if info.Wire.batches <> 2 then
+    fail "%s: scrape reports %d batches, expected 2" what info.Wire.batches;
+  (match Metrics.validate_prometheus info.Wire.prometheus with
+  | Ok n when n > 0 -> ()
+  | Ok _ -> fail "%s: empty Prometheus exposition" what
+  | Error m -> fail "%s: invalid Prometheus exposition: %s" what m);
+  (match Obs_json.parse info.Wire.metrics_json with
+  | Error m -> fail "%s: unparseable metrics JSON: %s" what m
+  | Ok j -> (
+    match Metrics.validate_json j with
+    | Ok _ -> ()
+    | Error m -> fail "%s: invalid metrics JSON: %s" what m));
+  let latency_total =
+    Array.fold_left
+      (fun acc (name, snap) ->
+        if String.length name >= 14 && String.sub name 0 14 = "serve.latency."
+        then
+          match Sketch.of_snapshot snap with
+          | Ok s -> acc + Sketch.count s
+          | Error m -> fail "%s: sketch %s invalid: %s" what name m
+        else acc)
+      0 info.Wire.sketches
+  in
+  if latency_total <> 2 * batch_size then
+    fail "%s: latency sketches hold %d records, expected %d" what
+      latency_total (2 * batch_size);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  if
+    not
+      (Array.exists
+         (fun l -> contains l "serve.epoch.publish")
+         info.Wire.events)
+  then fail "%s: no epoch-publish event in the scrape" what;
+  if Array.length info.Wire.flight = 0 then
+    fail "%s: flight recorder came back empty" what
+
 let () =
   if not (Sys.file_exists popan_exe) then
     fail "serve smoke: %s not found (run from the repo root after a build)"
@@ -180,8 +261,10 @@ let () =
       check_against_oracle jobs result)
     [ 1; 2; 4 ];
   truncated_frame_refused ();
+  telemetry_scrape_consistent ();
   Printf.printf
     "serve smoke: 2x %d-query batches over the wire byte-identical to the \
      sequential oracle at jobs 1/2/4 (epochs 0 -> 1 under live churn); \
-     truncated frame refused\n"
+     truncated frame refused; full-telemetry scrape consistent (every \
+     query in the sketches, publish events retained)\n"
     batch_size

@@ -16,6 +16,9 @@ module Metrics = Popan_obs.Metrics
 module Trace = Popan_obs.Trace
 module Probe = Popan_obs.Probe
 module Obs_json = Popan_obs.Obs_json
+module Sketch = Popan_obs.Sketch
+module Event = Popan_obs.Event
+module Flight = Popan_obs.Flight
 module Parallel = Popan_parallel
 module Sweep = Popan_experiments.Sweep
 module Store = Popan_store.Artifact_store
@@ -217,6 +220,326 @@ let metrics_tests =
               (contains "t.stab.h" stable)));
   ]
 
+(* The quantile sketch: the relative-error bound proven against an
+   exact sorted array, merge determinism, and the wire snapshot. *)
+
+let quantile_grid = [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ]
+
+(* The sketch selects the bucket of the observation at rank
+   [q * (count - 1)] (first cumulative count exceeding the rank); the
+   exact analog over a sorted array is the element at index
+   [floor (q * (n - 1))]. Comparing with the same rank rule makes the
+   bound sharp: the estimate must sit within [alpha] of that exact
+   observation, never "one observation over". *)
+let exact_quantile sorted q =
+  sorted.(int_of_float (Float.floor (q *. float_of_int (Array.length sorted - 1))))
+
+let sketch_tests =
+  [
+    prop ~count:200 "every grid quantile is within alpha of the exact \
+                     sorted-array quantile"
+      QCheck2.Gen.(
+        pair
+          (oneofl [ 0.01; 0.02; 0.05 ])
+          (list_size (int_range 1 300) (float_range (-3.0) 3.0)))
+      (fun (alpha, exponents) ->
+        let values =
+          List.map (fun e -> Float.exp (e *. Float.log 10.0)) exponents
+        in
+        let s = Sketch.create ~alpha () in
+        List.iter (Sketch.record s) values;
+        let sorted = Array.of_list (List.sort Float.compare values) in
+        List.for_all
+          (fun q ->
+            let exact = exact_quantile sorted q in
+            match Sketch.quantile s q with
+            | None -> false
+            | Some est ->
+              Float.abs (est -. exact) <= (alpha *. exact) +. 1e-9)
+          quantile_grid);
+    Alcotest.test_case "zeros, clamps and junk land where documented" `Quick
+      (fun () ->
+        let s = Sketch.create ~min_value:1.0 ~max_value:100.0 () in
+        List.iter (Sketch.record s)
+          [ 0.0; -5.0; Float.nan; 0.5; 2.0; 1e9; Float.infinity ];
+        check_int "all counted" 7 (Sketch.count s);
+        (* 4 sub-min observations out of 7: ranks 0..3 report 0. *)
+        check_bool "low quantile is the zero bucket" true
+          (Sketch.quantile s 0.0 = Some 0.0);
+        (match Sketch.quantile s 1.0 with
+        | Some v -> check_bool "clamped top stays near max_value" true
+            (v > 50.0 && v < 200.0)
+        | None -> Alcotest.fail "empty");
+        match Sketch.quantile s 1.5 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "q out of range accepted");
+    Alcotest.test_case "merge equals recording the union" `Quick (fun () ->
+        let a = Sketch.create () and b = Sketch.create () in
+        let union = Sketch.create () in
+        for i = 1 to 500 do
+          let v = float_of_int i *. 0.37 in
+          Sketch.record (if i mod 2 = 0 then a else b) v;
+          Sketch.record union v
+        done;
+        Sketch.merge_into ~into:a b;
+        check_int "counts" (Sketch.count union) (Sketch.count a);
+        List.iter
+          (fun q ->
+            check_bool "quantile" true
+              (Sketch.quantile a q = Sketch.quantile union q))
+          quantile_grid;
+        let other = Sketch.create ~alpha:0.05 () in
+        match Sketch.merge_into ~into:a other with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "mismatched parameters merged");
+    Alcotest.test_case "snapshot round-trips through of_snapshot" `Quick
+      (fun () ->
+        let s = Sketch.create () in
+        for i = 1 to 300 do
+          Sketch.record s (Float.exp (float_of_int (i mod 17) -. 8.0))
+        done;
+        Sketch.record s 0.0;
+        let snap = Sketch.snapshot s in
+        match Sketch.of_snapshot snap with
+        | Error msg -> Alcotest.failf "own snapshot rejected: %s" msg
+        | Ok s' ->
+          check_int "count" (Sketch.count s) (Sketch.count s');
+          List.iter
+            (fun q ->
+              check_bool "quantile" true
+                (Sketch.quantile s q = Sketch.quantile s' q))
+            quantile_grid;
+          check_bool "snapshot_quantile agrees" true
+            (Sketch.snapshot_quantile snap 0.9 = Sketch.quantile s 0.9));
+    Alcotest.test_case "of_snapshot rejects tampered snapshots" `Quick
+      (fun () ->
+        let s = Sketch.create () in
+        List.iter (Sketch.record s) [ 0.5; 1.0; 2.0 ];
+        let snap = Sketch.snapshot s in
+        let reject what (snap : Sketch.snapshot) =
+          match Sketch.of_snapshot snap with
+          | Ok _ -> Alcotest.failf "accepted %s" what
+          | Error _ -> ()
+        in
+        reject "alpha out of range" { snap with alpha = 1.5 };
+        reject "inverted range" { snap with min_value = 10.0; max_value = 1.0 };
+        reject "negative zeros" { snap with zeros = -1 };
+        reject "NaN sum" { snap with sum = Float.nan };
+        reject "descending buckets"
+          { snap with buckets = [| (5, 1); (3, 1) |] };
+        reject "non-positive count" { snap with buckets = [| (5, 0) |] };
+        reject "index out of range" { snap with buckets = [| (max_int, 1) |] });
+    Alcotest.test_case "registry sketches export byte-identically at jobs \
+                        1/2/4" `Quick (fun () ->
+        let per_jobs jobs =
+          with_obs `Metrics_only (fun () ->
+              let sk = Metrics.sketch "t.sk.det" in
+              ignore
+                (Parallel.map_array ~jobs 96 ~f:(fun i ->
+                     Metrics.record_sketch sk
+                       (float_of_int (1 + (i * 37 mod 101)));
+                     i));
+              ( Metrics.to_json ~stable_only:true (),
+                Metrics.sketch_quantile sk 0.5,
+                Metrics.sketch_count sk ))
+        in
+        check_bool "stable export, median and count all equal" true
+          (all_equal (List.map per_jobs job_counts)));
+    Alcotest.test_case "sketch registration: idempotent, parameter clashes \
+                        raise, disabled registry ignores records" `Quick
+      (fun () ->
+        with_obs `Off (fun () ->
+            let sk = Metrics.sketch "t.sk.gate" in
+            Metrics.record_sketch sk 1.0;
+            check_int "gated" 0 (Metrics.sketch_count sk));
+        with_obs `Metrics_only (fun () ->
+            let sk = Metrics.sketch "t.sk.idem" ~alpha:0.02 in
+            let sk' = Metrics.sketch "t.sk.idem" ~alpha:0.02 in
+            Metrics.record_sketch sk 1.0;
+            Metrics.record_sketch sk' 2.0;
+            check_int "both handles hit one sketch" 2
+              (Metrics.sketch_count sk);
+            match Metrics.sketch "t.sk.idem" ~alpha:0.05 with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "re-registered with different alpha"));
+  ]
+
+(* The Prometheus exporter against its own line-grammar checker. *)
+
+let prometheus_tests =
+  [
+    Alcotest.test_case "to_prometheus validates against the line grammar"
+      `Quick (fun () ->
+        with_obs `Metrics_only (fun () ->
+            Metrics.incr (Metrics.counter "t.prom.c") ~by:3;
+            Metrics.set_gauge (Metrics.gauge "t.prom.g") 1.5;
+            let h = Metrics.histogram "t.prom.h" ~bounds:[| 0.1; 1.0 |] in
+            List.iter (Metrics.observe h) [ 0.05; 0.5; 5.0 ];
+            let sk = Metrics.sketch "t.prom.s" in
+            for i = 1 to 100 do
+              Metrics.record_sketch sk (float_of_int i)
+            done;
+            let text = Metrics.to_prometheus () in
+            match Metrics.validate_prometheus text with
+            | Ok n -> check_bool "samples rendered" true (n > 10)
+            | Error msg -> Alcotest.failf "invalid exposition: %s" msg));
+    Alcotest.test_case "line grammar rejects malformed expositions" `Quick
+      (fun () ->
+        List.iter
+          (fun (what, text) ->
+            match Metrics.validate_prometheus text with
+            | Ok _ -> Alcotest.failf "accepted %s" what
+            | Error _ -> ())
+          [
+            ("sample before TYPE", "popan_x 1\n");
+            ("bad metric name", "# TYPE 9bad counter\n9bad 1\n");
+            ("bad type", "# TYPE popan_x wibble\npopan_x 1\n");
+            ("unparseable value", "# TYPE popan_x counter\npopan_x one\n");
+            ( "unterminated label",
+              "# TYPE popan_x counter\npopan_x{a=\"b 1\n" );
+            ( "missing label separator",
+              "# TYPE popan_x counter\npopan_x{a=\"b\"c=\"d\"} 1\n" );
+            ( "non-cumulative buckets",
+              "# TYPE popan_h histogram\npopan_h_bucket{le=\"1.0\"} 5\n\
+               popan_h_bucket{le=\"2.0\"} 3\npopan_h_bucket{le=\"+Inf\"} 5\n\
+               popan_h_sum 1.0\npopan_h_count 5\n" );
+            ( "le bounds not increasing",
+              "# TYPE popan_h histogram\npopan_h_bucket{le=\"2.0\"} 1\n\
+               popan_h_bucket{le=\"1.0\"} 2\npopan_h_bucket{le=\"+Inf\"} 2\n\
+               popan_h_sum 1.0\npopan_h_count 2\n" );
+            ( "+Inf bucket disagrees with _count",
+              "# TYPE popan_h histogram\npopan_h_bucket{le=\"1.0\"} 1\n\
+               popan_h_bucket{le=\"+Inf\"} 2\npopan_h_sum 1.0\n\
+               popan_h_count 3\n" );
+          ]);
+  ]
+
+(* The structured event log. *)
+
+let with_quiet_events f =
+  Event.set_stderr_mirror false;
+  Event.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Event.reset ();
+      Event.set_stderr_mirror true)
+    f
+
+let event_tests =
+  [
+    Alcotest.test_case "ring retains the newest; every line validates"
+      `Quick (fun () ->
+        with_quiet_events (fun () ->
+            for i = 1 to Event.ring_capacity + 25 do
+              Event.emit "t.ev"
+                [ ("i", Event.Int i); ("half", Event.Bool (i mod 2 = 0)) ]
+            done;
+            check_int "count" (Event.ring_capacity + 25) (Event.count ());
+            check_int "dropped" 25 (Event.dropped ());
+            let lines = Event.recent () in
+            check_int "retained" Event.ring_capacity (List.length lines);
+            List.iter
+              (fun l ->
+                match Event.validate_line (parse_exn l) with
+                | Ok () -> ()
+                | Error msg -> Alcotest.failf "invalid line %s: %s" l msg)
+              lines;
+            match Obs_json.member "i" (parse_exn (List.hd lines)) with
+            | Some (Obs_json.Int i) -> check_int "oldest retained" 26 i
+            | _ -> Alcotest.fail "field i missing"));
+    Alcotest.test_case "validate_line rejects bad event lines" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            match Event.validate_line (parse_exn s) with
+            | Ok () -> Alcotest.failf "accepted %s" s
+            | Error _ -> ())
+          [
+            {|{"seq":0,"level":"info","event":"x"}|};
+            {|{"ts":1.0,"seq":-1,"level":"info","event":"x"}|};
+            {|{"ts":1.0,"seq":0,"level":"loud","event":"x"}|};
+            {|{"ts":1.0,"seq":0,"level":"info","event":""}|};
+            {|{"ts":1.0,"seq":0,"level":"info"}|};
+          ]);
+    Alcotest.test_case "sink file receives flushed line JSON" `Quick
+      (fun () ->
+        let path = Filename.temp_file "popan-events" ".jsonl" in
+        with_quiet_events (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                Event.close_sink ();
+                try Sys.remove path with Sys_error _ -> ())
+              (fun () ->
+                Event.set_sink_file path;
+                Event.emit ~level:Event.Warn "t.sink"
+                  [ ("ok", Event.Bool true) ];
+                (* Flushed per event: readable before close. *)
+                let ic = open_in path in
+                let line =
+                  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                      input_line ic)
+                in
+                match Event.validate_line (parse_exn line) with
+                | Ok () -> ()
+                | Error m -> Alcotest.failf "sink line invalid: %s" m)));
+  ]
+
+(* The flight recorder. *)
+
+let with_flight ?capacity f =
+  Flight.reset ();
+  Flight.enable ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_slow_threshold infinity;
+      Flight.disable ();
+      Flight.reset ();
+      (* Restore the default ring size for later tests. *)
+      Flight.enable ~capacity:Flight.default_capacity ();
+      Flight.disable ())
+    f
+
+let flight_tests =
+  [
+    Alcotest.test_case "ring retains newest; totals and drops count" `Quick
+      (fun () ->
+        with_flight ~capacity:16 (fun () ->
+            for i = 1 to 40 do
+              Flight.record ~kind:(i mod 5) ~epoch:i ~latency:1e-6
+                ~visited:i ~note:""
+            done;
+            check_int "total" 40 (Flight.total ());
+            check_int "dropped" 24 (Flight.dropped ());
+            let entries = Flight.recent () in
+            check_int "retained" 16 (List.length entries);
+            check_int "oldest retained" 25 (List.hd entries).Flight.epoch;
+            check_int "limit keeps newest" 40
+              (match Flight.recent ~limit:1 () with
+              | [ e ] -> e.Flight.epoch
+              | l -> List.length l)));
+    Alcotest.test_case "disabled recorder records nothing" `Quick (fun () ->
+        Flight.reset ();
+        Flight.disable ();
+        Flight.record ~kind:0 ~epoch:0 ~latency:1.0 ~visited:1 ~note:"";
+        check_int "nothing recorded" 0 (Flight.total ());
+        check_bool "disabled" false (Flight.enabled ()));
+    Alcotest.test_case "slow-query threshold emits a serve.slow_query event"
+      `Quick (fun () ->
+        with_quiet_events (fun () ->
+            with_flight (fun () ->
+                Flight.set_slow_threshold 0.001;
+                Flight.record ~kind:0 ~epoch:3 ~latency:0.0005 ~visited:5
+                  ~note:"";
+                check_int "fast query: no event" 0 (Event.count ());
+                Flight.record ~kind:2 ~epoch:3 ~latency:0.5 ~visited:900
+                  ~note:"";
+                check_int "slow query: one event" 1 (Event.count ());
+                let line = List.hd (Event.recent ()) in
+                match Obs_json.member "event" (parse_exn line) with
+                | Some (Obs_json.Str "serve.slow_query") -> ()
+                | _ -> Alcotest.failf "unexpected event line %s" line)));
+  ]
+
 (* The end-to-end determinism claim: a real experiment records
    byte-identical stable metrics at 1, 2 and 4 domains. *)
 
@@ -371,6 +694,10 @@ let () =
     [
       ("obs_json", json_tests);
       ("metrics", metrics_tests);
+      ("sketch", sketch_tests);
+      ("prometheus", prometheus_tests);
+      ("event", event_tests);
+      ("flight", flight_tests);
       ("sweep_metrics", sweep_metrics_tests);
       ("trace", trace_tests);
       ("store_obs", store_obs_tests);

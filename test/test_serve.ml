@@ -16,6 +16,11 @@ module Parallel = Popan_parallel
 module Epoch = Popan_serve.Epoch
 module Wire = Popan_serve.Wire
 module Server = Popan_serve.Server
+module Metrics = Popan_obs.Metrics
+module Event = Popan_obs.Event
+module Flight = Popan_obs.Flight
+module Sketch = Popan_obs.Sketch
+module Probe = Popan_obs.Probe
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -275,12 +280,13 @@ let gen_query =
 
 let gen_request =
   QCheck2.Gen.(
-    let* tag = int_range 0 5 in
+    let* tag = int_range 0 6 in
     match tag with
     | 0 | 1 | 2 ->
       let* qs = array_size (int_range 0 50) gen_query in
       return (Wire.Batch qs)
     | 3 -> return Wire.Stats
+    | 4 -> return Wire.Telemetry
     | _ -> return Wire.Quit)
 
 let roundtrip codec v = Codec.decode codec (Codec.encode codec v) = v
@@ -442,6 +448,194 @@ let server_tests =
             | _ -> Alcotest.fail "bad quit response"));
   ]
 
+(* The Telemetry exchange: codec payloads with real sketch snapshots,
+   framing rejection on the response side, the instrumented evaluator's
+   answer identity, and a live scrape through [handle]. *)
+
+let sample_telemetry () =
+  let s = Sketch.create () in
+  for i = 1 to 200 do
+    Sketch.record s (float_of_int i *. 1e-4)
+  done;
+  Sketch.record s 0.0;
+  let entry i =
+    {
+      Flight.ts = 1e9 +. float_of_int i;
+      domain = i mod 3;
+      kind = i mod 5;
+      epoch = i;
+      latency = 1e-5 *. float_of_int i;
+      visited = 3 * i;
+      note = (if i mod 7 = 0 then "cell out of tree" else "");
+    }
+  in
+  {
+    Wire.epoch = 3;
+    size = 10_000;
+    batches = 12;
+    live_epochs = 2;
+    metrics_json = {|{"schema":"popan-metrics-2"}|};
+    prometheus = "# TYPE popan_x counter\npopan_x 1\n";
+    sketches =
+      [|
+        ("serve.latency.range", Sketch.snapshot s);
+        ("serve.visited.range", Sketch.snapshot s);
+      |];
+    events =
+      [| {|{"ts":1.0,"seq":0,"level":"info","event":"serve.epoch.publish"}|} |];
+    flight = Array.init 9 entry;
+  }
+
+let corrupt_response_frame_rejected ~mangle =
+  let path = Filename.temp_file "popan" ".frame" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Wire.write_response oc (Wire.Telemetry_info (sample_telemetry ()));
+      close_out oc;
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let raw = mangle raw in
+      let oc = open_out_bin path in
+      output_string oc raw;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match Wire.read_response ic with
+          | Some (Error _) -> true
+          | _ -> false))
+
+let with_telemetry f =
+  Metrics.reset ();
+  Event.reset ();
+  Flight.reset ();
+  Metrics.set_enabled true;
+  Flight.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Flight.disable ();
+      Metrics.reset ();
+      Event.reset ();
+      Flight.reset ())
+    f
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "telemetry response round-trips with snapshots intact"
+      `Quick (fun () ->
+        let t = sample_telemetry () in
+        check_bool "codec round-trip" true
+          (roundtrip Wire.response (Wire.Telemetry_info t));
+        match Codec.decode Wire.response (Codec.encode Wire.response (Wire.Telemetry_info t)) with
+        | Wire.Telemetry_info t' ->
+          let _, snap = t'.Wire.sketches.(0) in
+          check_bool "decoded snapshot still validates" true
+            (Result.is_ok (Sketch.of_snapshot snap));
+          check_bool "quantiles survive the wire" true
+            (Sketch.snapshot_quantile snap 0.9
+            = Sketch.snapshot_quantile (snd t.Wire.sketches.(0)) 0.9)
+        | _ -> Alcotest.fail "decoded to a different response");
+    Alcotest.test_case "truncated telemetry response frame is rejected"
+      `Quick (fun () ->
+        check_bool "truncated" true
+          (corrupt_response_frame_rejected ~mangle:(fun raw ->
+               String.sub raw 0 (String.length raw - 3))));
+    Alcotest.test_case "corrupted telemetry response frame is rejected"
+      `Quick (fun () ->
+        check_bool "flipped byte" true
+          (corrupt_response_frame_rejected ~mangle:(fun raw ->
+               let b = Bytes.of_string raw in
+               let i = String.length raw / 2 in
+               Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+               Bytes.to_string b)));
+    prop ~count:40 "eval_instrumented answers exactly as eval"
+      QCheck2.Gen.(pair gen_pair gen_query)
+      (fun ((arena, _), q) ->
+        Server.eval_instrumented arena ~epoch:0 q = Server.eval arena q);
+    Alcotest.test_case "handle Telemetry scrapes a consistent snapshot"
+      `Quick (fun () ->
+        with_telemetry (fun () ->
+            let config =
+              {
+                Server.default_config with
+                base_points = 500;
+                churn_ops = 100;
+                jobs = Some 2;
+              }
+            in
+            let t = Server.create config in
+            Fun.protect
+              ~finally:(fun () -> Server.shutdown t)
+              (fun () ->
+                let queries =
+                  Array.init 200 (fun i ->
+                      Wire.Knn (1 + (i mod 8), Point.make 0.3 0.7))
+                in
+                ignore (Server.run_queries t queries);
+                match Server.handle t Wire.Telemetry with
+                | Wire.Telemetry_info info, true ->
+                  check_int "epoch advanced by the churn batch" 1
+                    info.Wire.epoch;
+                  check_int "batches" 1 info.Wire.batches;
+                  check_bool "size" true (info.Wire.size > 0);
+                  (match Metrics.validate_prometheus info.Wire.prometheus with
+                  | Ok n -> check_bool "prometheus samples" true (n > 0)
+                  | Error m -> Alcotest.failf "bad prometheus: %s" m);
+                  (match Popan_obs.Obs_json.parse info.Wire.metrics_json with
+                  | Ok j ->
+                    (match Metrics.validate_json j with
+                    | Ok n -> check_bool "instruments" true (n > 0)
+                    | Error m -> Alcotest.failf "bad metrics json: %s" m)
+                  | Error m -> Alcotest.failf "unparseable metrics json: %s" m);
+                  let sketch_count name =
+                    match
+                      Array.find_opt
+                        (fun (n, _) -> n = name)
+                        info.Wire.sketches
+                    with
+                    | None -> Alcotest.failf "sketch %s missing" name
+                    | Some (_, snap) -> (
+                      match Sketch.of_snapshot snap with
+                      | Ok s -> Sketch.count s
+                      | Error m -> Alcotest.failf "sketch %s invalid: %s" name m)
+                  in
+                  check_int "one latency record per query" 200
+                    (sketch_count "serve.latency.knn");
+                  check_int "one visited record per query" 200
+                    (sketch_count "serve.visited.knn");
+                  let contains hay needle =
+                    let nl = String.length needle and hl = String.length hay in
+                    let rec go i =
+                      i + nl <= hl
+                      && (String.sub hay i nl = needle || go (i + 1))
+                    in
+                    go 0
+                  in
+                  check_bool "publish event scraped" true
+                    (Array.exists
+                       (fun l -> contains l "serve.epoch.publish")
+                       info.Wire.events);
+                  check_int "one flight record per query" 200
+                    (Array.length info.Wire.flight);
+                  Array.iter
+                    (fun e ->
+                      check_int "flight kind is knn" 2 e.Flight.kind;
+                      check_int "flight epoch is the pinned epoch" 0
+                        e.Flight.epoch;
+                      check_bool "flight visited positive" true
+                        (e.Flight.visited > 0))
+                    info.Wire.flight
+                | _ -> Alcotest.fail "bad telemetry response")));
+  ]
+
 let () =
   Alcotest.run "popan-serve"
     [
@@ -452,4 +646,5 @@ let () =
       ("wire", wire_tests);
       ("batch", batch_tests);
       ("server", server_tests);
+      ("telemetry", telemetry_tests);
     ]
