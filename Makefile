@@ -28,11 +28,18 @@ test:
 # `popan serve` at jobs 1/2/4, drive two framed 10k-query mixed batches
 # through the wire protocol while the churn writer publishes epochs,
 # verify every response byte-for-byte against an in-process sequential
-# oracle, and assert a truncated frame is refused. The obs-top smoke:
-# start `popan serve` on a Unix socket with full telemetry under churn,
-# self-warm two batches, scrape it once with `popan obs top --prom`,
-# and require the exposition to pass the Prometheus line-grammar
-# validator.
+# oracle — with Morton batch-sorting on (the default) AND under
+# --no-batch-sort, so the schedule provably never reaches the wire —
+# serve two sequential clients on one socket, and assert a truncated
+# frame is refused. The query alloc smoke: count-in-box on the
+# integer-descent path must allocate zero minor words per query. The
+# obs-top smoke: start `popan serve` on a Unix socket with full
+# telemetry under churn, self-warm two batches, scrape it once with
+# `popan obs top --prom --quit` (the quit also proves a client can shut
+# the accept loop down), and require the exposition to pass the
+# Prometheus line-grammar validator. Finally the pruning gate: when the
+# bench trajectory JSON is present, the paired 2^22 rows must show the
+# pruned count-in-box >= 5x the unpruned walk at 90% selectivity.
 check: build test
 	@if dune exec --no-build test/test_alloc.exe -- test arena 0 >/dev/null 2>&1; then \
 	  echo "alloc smoke: no-split arena insert allocates zero minor words"; \
@@ -51,6 +58,12 @@ check: build test
 	else \
 	  echo "alloc smoke FAILED: arena reinsert after delete allocates"; \
 	  dune exec --no-build test/test_alloc.exe -- test arena 4; exit 1; \
+	fi
+	@if dune exec --no-build test/test_alloc.exe -- test arena 6 >/dev/null 2>&1; then \
+	  echo "alloc smoke: integer-descent count/nearest allocate zero minor words"; \
+	else \
+	  echo "alloc smoke FAILED: query integer-descent path allocates"; \
+	  dune exec --no-build test/test_alloc.exe -- test arena 6; exit 1; \
 	fi
 	@tmp=$$(mktemp -d); \
 	dune exec --no-build bin/popan.exe -- table4 -j 1 > $$tmp/seq.txt; \
@@ -105,7 +118,7 @@ check: build test
 	  echo "obs-top smoke FAILED: server socket never appeared"; \
 	  cat $$tmp/serve.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; \
 	fi; \
-	dune exec --no-build bin/popan.exe -- obs top --socket $$tmp/sock --once --prom \
+	dune exec --no-build bin/popan.exe -- obs top --socket $$tmp/sock --once --prom --quit \
 	  > $$tmp/prom.txt; \
 	wait $$pid || { echo "obs-top smoke FAILED: server exited unclean"; \
 	  cat $$tmp/serve.log; rm -rf $$tmp; exit 1; }; \
@@ -116,12 +129,27 @@ check: build test
 	  echo "obs-top smoke FAILED: scraped exposition did not validate"; \
 	  cat $$tmp/serve.log; rm -rf $$tmp; exit 1; \
 	fi
-	@if [ -f BENCH_PR9.json ]; then \
-	  if grep -qF '"popan/serve:batch 1024 mixed arena-native n=16384 j=1"' BENCH_PR9.json \
-	     && grep -qF '"popan/serve:batch 1024 mixed arena-native n=16384 j=1 telemetry"' BENCH_PR9.json; then \
-	    echo "bench trajectory: obs-off and telemetry ablation keys present in BENCH_PR9.json"; \
+	@if [ -f BENCH_PR10.json ]; then \
+	  if grep -qF '"popan/query:count-in-box pruned sel=90% n=65536"' BENCH_PR10.json \
+	     && grep -qF '"popan/query:count-in-box unpruned sel=90% n=65536"' BENCH_PR10.json \
+	     && grep -qF '"popan/query:range pruned sel=25% n=65536"' BENCH_PR10.json \
+	     && grep -qF '"popan/serve:batch 1024 mixed arrival-order n=16384 j=1"' BENCH_PR10.json \
+	     && grep -qF '"popan/query:count-in-box paired pruned sel=90% n=4194304"' BENCH_PR10.json \
+	     && grep -qF '"popan/query:count-in-box paired unpruned sel=90% n=4194304"' BENCH_PR10.json; then \
+	    echo "bench trajectory: pruning and batch-order ablation keys present in BENCH_PR10.json"; \
 	  else \
-	    echo "bench trajectory FAILED: telemetry ablation keys missing from BENCH_PR9.json"; \
+	    echo "bench trajectory FAILED: query ablation keys missing from BENCH_PR10.json"; \
+	    exit 1; \
+	  fi; \
+	  if awk -F': ' ' \
+	       /"popan\/query:count-in-box paired unpruned sel=90% n=4194304"/ { u = $$2 + 0 } \
+	       /"popan\/query:count-in-box paired pruned sel=90% n=4194304"/ { p = $$2 + 0 } \
+	       END { if (p > 0 && u >= 5 * p) exit 0; \
+	             printf "pruned=%.0f ns unpruned=%.0f ns ratio=%.2f\n", p, u, u / p; \
+	             exit 1 }' BENCH_PR10.json; then \
+	    echo "pruning gate: containment-pruned count_in_box >= 5x unpruned at 90% selectivity, n=2^22"; \
+	  else \
+	    echo "pruning gate FAILED: pruned count_in_box below the 5x bar (see ratio above)"; \
 	    exit 1; \
 	  fi; \
 	fi
@@ -131,7 +159,7 @@ bench:
 
 # Machine-readable perf trajectory: ns/run per micro-bench as flat JSON.
 # Override the output per PR: make bench-json BENCH_JSON=BENCH_PR2.json
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	dune exec bench/main.exe -- --json $(BENCH_JSON)
 

@@ -1416,8 +1416,9 @@ let obs_report_cmd =
           or metrics file (every instrument).")
     term
 
-(* Live telemetry against a running server: hold one connection (the
-   server serves exactly one) and poll the Telemetry exchange. *)
+(* Live telemetry against a running server: hold a connection and poll
+   the Telemetry exchange. The server accepts clients sequentially, so
+   a dashboard left open blocks other clients until it disconnects. *)
 
 let snapshot_count (s : Sketch.snapshot) =
   Array.fold_left (fun acc (_, n) -> acc + n) s.zeros s.buckets
@@ -1474,7 +1475,7 @@ let render_telemetry socket (t : Popan_serve.Wire.telemetry) =
       fs)
 
 let obs_top_cmd =
-  let run socket interval once prom =
+  let run socket interval once prom quit =
     let module Wire = Popan_serve.Wire in
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (match Unix.connect fd (Unix.ADDR_UNIX socket) with
@@ -1512,7 +1513,19 @@ let obs_top_cmd =
       while true do
         Unix.sleepf interval;
         step ()
-      done
+      done;
+    (* --quit: ask the server to shut down after the last scrape. The
+       accept loop otherwise keeps the server alive for the next
+       client; scripted one-shot scrapes want the whole thing torn
+       down. *)
+    if quit then begin
+      Wire.write_request oc Wire.Quit;
+      match Wire.read_response ic with
+      | Some (Ok Wire.Bye) -> ()
+      | _ ->
+        Printf.eprintf "popan obs top: server did not acknowledge Quit\n";
+        exit 1
+    end
   in
   let socket_term =
     let doc = "The Unix socket a $(b,popan serve --socket) is listening on." in
@@ -1525,9 +1538,16 @@ let obs_top_cmd =
     Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
   in
   let once_term =
-    let doc = "Poll once and exit (the server, which serves exactly one \
-               connection, then shuts down on EOF)." in
+    let doc = "Poll once and exit (the server keeps running and accepts \
+               its next client; add $(b,--quit) to shut it down too)." in
     Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let quit_term =
+    let doc =
+      "Send the server a Quit after the final poll, shutting it down \
+       (pairs with $(b,--once) for scripted one-shot scrapes)."
+    in
+    Arg.(value & flag & info [ "quit" ] ~doc)
   in
   let prom_term =
     let doc =
@@ -1537,7 +1557,8 @@ let obs_top_cmd =
     Arg.(value & flag & info [ "prom" ] ~doc)
   in
   let term =
-    Term.(const run $ socket_term $ interval_term $ once_term $ prom_term)
+    Term.(const run $ socket_term $ interval_term $ once_term $ prom_term
+          $ quit_term)
   in
   Cmd.v
     (Cmd.info "top"
@@ -1560,7 +1581,7 @@ let obs_cmd =
 
 let serve_cmd =
   let run () points capacity seed churn_ops insert_fraction update_fraction
-      drift socket mmap telemetry no_flight slow_ms warm =
+      drift socket mmap telemetry no_flight slow_ms warm no_batch_sort =
     let config =
       {
         Popan_serve.Server.default_config with
@@ -1572,6 +1593,7 @@ let serve_cmd =
         update_fraction;
         drift_sigma = drift;
         mmap_dir = mmap;
+        batch_sort = not no_batch_sort;
       }
     in
     (* The flight recorder is on by default — it is the "what just
@@ -1616,8 +1638,8 @@ let serve_cmd =
   in
   let socket_term =
     let doc =
-      "Listen on a Unix socket at $(docv) (one connection) instead of \
-       stdin/stdout."
+      "Listen on a Unix socket at $(docv) instead of stdin/stdout, \
+       accepting clients one after another until one sends Quit."
     in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
@@ -1661,11 +1683,20 @@ let serve_cmd =
     in
     Arg.(value & opt int 0 & info [ "warm" ] ~docv:"BATCHES" ~doc)
   in
+  let no_batch_sort_term =
+    let doc =
+      "Run each batch's queries in arrival order instead of Morton order \
+       of their anchors. Response bytes are identical either way — the \
+       sort only reorders the computation for cache locality."
+    in
+    Arg.(value & flag & info [ "no-batch-sort" ] ~doc)
+  in
   let term =
     Term.(const run $ setup_term $ points_term $ capacity_term ~default:8
           $ seed_term $ churn_ops_term $ insert_fraction_term
           $ update_fraction_term $ drift_term $ socket_term $ mmap_term
-          $ telemetry_term $ no_flight_term $ slow_ms_term $ warm_term)
+          $ telemetry_term $ no_flight_term $ slow_ms_term $ warm_term
+          $ no_batch_sort_term)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1,0 +1,12 @@
+external now_ns : unit -> (int[@untagged])
+  = "popan_clock_monotonic_ns_byte" "popan_clock_monotonic_ns"
+[@@noalloc]
+
+let seconds_between t0 t1 = float_of_int (t1 - t0) *. 1e-9
+
+(* One realtime read at startup pins the monotonic timescale to the
+   epoch; every later wall-clock timestamp is arithmetic on it. *)
+let wall_origin = Unix.gettimeofday ()
+let mono_origin = now_ns ()
+
+let to_epoch t = wall_origin +. (float_of_int (t - mono_origin) *. 1e-9)

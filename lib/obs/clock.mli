@@ -1,0 +1,45 @@
+(** Monotonic nanosecond clock for hot-path timing.
+
+    [Unix.gettimeofday] is a realtime vDSO read plus a boxed float per
+    call — about 40ns on the serving box, and the instrumented query
+    path needs two reads per query.  [now_ns] reads [CLOCK_MONOTONIC]
+    and returns untagged nanoseconds as an immediate [int] (63 bits
+    holds ~146 years), so a latency measurement is two allocation-free
+    external calls.  The external is re-declared here, not hidden
+    behind a [val]: an opaque signature would force callers through a
+    closure and box the result, which is the exact cost this module
+    exists to remove.  Wall-clock timestamps for display (the
+    flight-recorder ring) are synthesized from a wall/monotonic offset
+    captured at program start, so the hot path never touches the
+    realtime clock. *)
+
+external now_ns : unit -> (int[@untagged])
+  = "popan_clock_monotonic_ns_byte" "popan_clock_monotonic_ns"
+[@@noalloc]
+(** Current [CLOCK_MONOTONIC] reading in nanoseconds.  Meaningful only
+    as a difference or through {!to_epoch}; the epoch of the raw count
+    is unspecified (boot time on Linux). *)
+
+val seconds_between : int -> int -> float
+(** [seconds_between t0 t1] is the elapsed seconds from reading [t0] to
+    reading [t1]. *)
+
+val to_epoch : int -> float
+(** Map a {!now_ns} reading onto the [Unix.gettimeofday] timescale
+    using the offset captured at module initialization.  Drift between
+    the two clocks (NTP slew) is irrelevant at telemetry display
+    granularity. *)
+
+val wall_origin : float
+(** The [Unix.gettimeofday] reading captured at module initialization —
+    the realtime anchor {!to_epoch} adds deltas to. *)
+
+val mono_origin : int
+(** The {!now_ns} reading captured alongside {!wall_origin}.
+
+    Both origins are exposed so a hot path can open-code
+    [wall_origin +. float_of_int (t - mono_origin) *. 1e-9] where the
+    result feeds an unboxed store (a float-array or mutable-float-field
+    write): calling {!to_epoch} instead would box the returned float on
+    non-flambda builds — one allocation per call, which is the cost this
+    module exists to remove.  Cold paths should call {!to_epoch}. *)

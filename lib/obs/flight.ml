@@ -21,7 +21,10 @@ type ring = {
   latencies : float array;
   visiteds : int array;
   notes : string array;
-  mutable count : int;  (* total records ever; index = count mod capacity *)
+  mutable count : int;  (* total records ever *)
+  mutable pos : int;  (* next write slot; always count mod capacity,
+                         kept separately so the writer wraps with a
+                         compare instead of an integer division *)
 }
 
 let enabled_flag = Atomic.make false
@@ -66,6 +69,7 @@ let my_ring () =
         visiteds = Array.make capacity 0;
         notes = Array.make capacity "";
         count = 0;
+        pos = 0;
       }
     in
     (* Distinct domains write distinct slots; a recycled domain id
@@ -73,16 +77,47 @@ let my_ring () =
     rings.(s) <- Some r;
     r
 
-let record ~kind ~epoch ~latency ~visited ~note =
+let record ~ts ~kind ~epoch ~latency ~visited ~note =
   if Atomic.get enabled_flag then begin
     let r = my_ring () in
-    let i = r.count mod r.capacity in
-    r.tss.(i) <- Unix.gettimeofday ();
+    let i = r.pos in
+    r.tss.(i) <- ts;
     r.kinds.(i) <- kind;
     r.epochs.(i) <- epoch;
     r.latencies.(i) <- latency;
     r.visiteds.(i) <- visited;
     r.notes.(i) <- note;
+    r.pos <- (let p = i + 1 in if p = r.capacity then 0 else p);
+    r.count <- r.count + 1;
+    if latency > Atomic.get slow_setting then
+      Event.emit ~level:Event.Warn "serve.slow_query"
+        [
+          ("kind", Event.Int kind);
+          ("epoch", Event.Int epoch);
+          ("latency", Event.Float latency);
+          ("visited", Event.Int visited);
+        ]
+  end
+
+(* [record]'s body with the timestamp and latency derived in place from
+   two raw monotonic readings. The epoch/seconds floats are computed
+   locally and flow straight into the ring's float-array stores and
+   register compares, so nothing boxes — calling [record] with
+   call-site floats costs two allocations per call on non-flambda
+   builds, which the per-query serve path can't absorb. *)
+let record_ns ~t0 ~t1 ~kind ~epoch ~visited ~note =
+  if Atomic.get enabled_flag then begin
+    let r = my_ring () in
+    let i = r.pos in
+    r.tss.(i) <-
+      Clock.wall_origin +. (float_of_int (t0 - Clock.mono_origin) *. 1e-9);
+    r.kinds.(i) <- kind;
+    r.epochs.(i) <- epoch;
+    let latency = float_of_int (t1 - t0) *. 1e-9 in
+    r.latencies.(i) <- latency;
+    r.visiteds.(i) <- visited;
+    r.notes.(i) <- note;
+    r.pos <- (let p = i + 1 in if p = r.capacity then 0 else p);
     r.count <- r.count + 1;
     if latency > Atomic.get slow_setting then
       Event.emit ~level:Event.Warn "serve.slow_query"
@@ -139,4 +174,9 @@ let recent ?limit () =
     let n = List.length all in
     if n <= l then all else List.filteri (fun i _ -> i >= n - l) all
 
-let reset () = Array.iter (Option.iter (fun r -> r.count <- 0)) rings
+let reset () =
+  Array.iter
+    (Option.iter (fun r ->
+         r.count <- 0;
+         r.pos <- 0))
+    rings

@@ -44,10 +44,26 @@ val set_slow_threshold : float -> unit
 
 val slow_threshold : unit -> float
 
-(** [record ~kind ~epoch ~latency ~visited ~note] appends one request
-    record to the calling domain's ring (no-op while disabled). *)
+(** [record ~ts ~kind ~epoch ~latency ~visited ~note] appends one
+    request record to the calling domain's ring (no-op while disabled).
+    [ts] is the request's wall-clock stamp, passed in by the caller —
+    the instrumented query path already read the clock for the latency
+    measurement, and a third [gettimeofday] per query is real money on
+    the telemetry overhead bar. *)
 val record :
+  ts:float ->
   kind:int -> epoch:int -> latency:float -> visited:int -> note:string -> unit
+
+(** [record_ns ~t0 ~t1 ~kind ~epoch ~visited ~note] is {!record} fed by
+    two raw {!Clock.now_ns} readings: the wall stamp and latency
+    seconds are derived inside, flowing straight into the ring's
+    float-array stores, so no float crosses the call boundary and the
+    hot path allocates nothing (a float argument to a non-inlined call
+    boxes on non-flambda builds). The serving path uses this; [record]
+    remains for callers that already hold floats. *)
+val record_ns :
+  t0:int ->
+  t1:int -> kind:int -> epoch:int -> visited:int -> note:string -> unit
 
 (** [recent ?limit ()] merges every domain's retained records, oldest
     first by timestamp (at most [limit] newest, default all). *)

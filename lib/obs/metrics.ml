@@ -205,24 +205,35 @@ let observe h v =
     h.h_sums.(s) <- h.h_sums.(s) +. v
   end
 
+(* Only the owning domain writes slot [i]; a recycled domain id adopts
+   its predecessor's shard, as counters do. *)
+let sketch_shard s i =
+  match s.s_shards.(i) with
+  | Some sk -> sk
+  | None ->
+    let sk =
+      Sketch.create ~alpha:s.s_alpha ~min_value:s.s_min_value
+        ~max_value:s.s_max_value ()
+    in
+    s.s_shards.(i) <- Some sk;
+    sk
+
 let record_sketch s v =
+  if Atomic.get enabled_flag then Sketch.record (sketch_shard s (shard_index ())) v
+
+(* The serve per-query triple — admission counter, nanosecond latency,
+   visited count; the integers cross the boundary unboxed — resolved
+   behind one enabled check and one shard lookup. At ~150ns of total
+   telemetry per query, every duplicated atomic read and domain-id
+   fetch was worth folding away. *)
+let record_query c s ~ns s' ~n =
   if Atomic.get enabled_flag then begin
     let i = shard_index () in
-    let sk =
-      match s.s_shards.(i) with
-      | Some sk -> sk
-      | None ->
-        let sk =
-          Sketch.create ~alpha:s.s_alpha ~min_value:s.s_min_value
-            ~max_value:s.s_max_value ()
-        in
-        (* Only the owning domain writes slot [i]; a recycled domain id
-           adopts its predecessor's shard, as counters do. *)
-        s.s_shards.(i) <- Some sk;
-        sk
-    in
-    Sketch.record sk v
+    c.c_shards.(i) <- c.c_shards.(i) + 1;
+    Sketch.record_ns (sketch_shard s i) ns;
+    Sketch.record_int (sketch_shard s' i) n
   end
+  else if c.c_always then incr c
 
 (* Merged reads *)
 

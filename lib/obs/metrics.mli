@@ -89,6 +89,18 @@ val observe : histogram -> float -> unit
     domain's shard: a flag check, one [log], one integer increment. *)
 val record_sketch : sketch -> float -> unit
 
+(** [record_query c s ~ns s' ~n] bumps counter [c], records [ns * 1e-9]
+    seconds into [s] (via {!Sketch.record_ns}) and the integer [n] into
+    [s'] (via {!Sketch.record_int}) behind a single enabled check and
+    shard resolution. This is the serve per-query hot triple —
+    admission count, latency, visited nodes — with integer arguments
+    because a float crossing this non-inlined call would box on
+    non-flambda builds, and at ~150ns of telemetry per query every
+    duplicated atomic read, domain-id fetch and allocation showed up
+    on the overhead bar. ([c]'s [~always] flag is still honored while
+    the registry is disabled.) *)
+val record_query : counter -> sketch -> ns:int -> sketch -> n:int -> unit
+
 (** {1 Merged reads} *)
 
 val counter_value : counter -> int

@@ -221,6 +221,17 @@ let arena_deep_float ~depth =
      switching to float-midpoint splits"
     depth
 
+(* Query kernels leaving the integer-descent fast path (custom bounds,
+   or an arena split below the fine Morton grid): same discipline as
+   the build fallbacks — count every occurrence, warn once. *)
+let arena_query_fallbacks = Metrics.counter "arena.query.fallbacks"
+
+let arena_query_fallback () =
+  Metrics.incr arena_query_fallbacks;
+  warn_once "arena.query_fallback" []
+    "query kernel on the float-midpoint fallback path (custom bounds or \
+     deeper-than-42 arena); integer cell descent does not apply"
+
 (* The domain pool *)
 
 let pool_maps = Metrics.counter "pool.maps"
@@ -317,6 +328,18 @@ let serve_knn_queries = Metrics.counter "serve.queries.knn"
 let serve_nearest_queries = Metrics.counter "serve.queries.nearest"
 let serve_cell_queries = Metrics.counter "serve.queries.cell"
 let serve_malformed_frames = Metrics.counter "serve.malformed.frames"
+
+(* Subtrees answered wholesale by containment pruning in the
+   instrumented range/count kernels — a pure function of tree shape and
+   query, hence stable; bumped only on the telemetry path so the plain
+   kernels keep their exact instruction stream. *)
+let serve_pruned_subtrees_total = Metrics.counter "serve.pruned.subtrees"
+
+(* One bump per query, not per event: a large-box count prunes dozens
+   of subtrees, and a sharded-counter increment per event is the kind
+   of per-node cost the instrumented kernels must not carry. *)
+let serve_pruned_subtrees n =
+  if n > 0 then Metrics.incr ~by:n serve_pruned_subtrees_total
 let serve_epochs_published = Metrics.counter "serve.epochs.published"
 let serve_epochs_retired = Metrics.counter "serve.epochs.retired"
 let serve_queue_depth = Metrics.gauge ~stable:false "serve.queue.depth"
@@ -377,11 +400,30 @@ let serve_query ~kernel =
    batch. *)
 let serve_telemetry_on () = Flight.enabled () || Metrics.enabled ()
 
-let serve_query_done ~kernel ~epoch ~latency ~visited ~note =
+(* The admission counters again, indexed by kernel code, so the hot
+   path below reaches its counter with one load instead of a match. *)
+let serve_query_counters =
+  [|
+    serve_range_queries;
+    serve_count_queries;
+    serve_knn_queries;
+    serve_nearest_queries;
+    serve_cell_queries;
+  |]
+
+(* Reads the stop clock itself and bumps the admission counter the
+   plain [eval] takes through [serve_query], so the instrumented path
+   makes ONE probe call and ONE registry touch per query with nothing
+   but immediates crossing the boundaries — the latency floats are
+   derived inside [Metrics] / [Flight] where they feed unboxed
+   stores. *)
+let serve_query_done ~kernel ~epoch ~t0 ~visited ~note =
+  let t1 = Clock.now_ns () in
   let k = serve_kernel_code kernel in
-  Metrics.record_sketch serve_latency_sketches.(k) latency;
-  Metrics.record_sketch serve_visited_sketches.(k) (float_of_int visited);
-  Flight.record ~kind:k ~epoch ~latency ~visited ~note
+  Metrics.record_query serve_query_counters.(k)
+    serve_latency_sketches.(k) ~ns:(t1 - t0)
+    serve_visited_sketches.(k) ~n:visited;
+  Flight.record_ns ~t0 ~t1 ~kind:k ~epoch ~visited ~note
 
 let serve_batch ~queries ~jobs f =
   Metrics.incr serve_batches;

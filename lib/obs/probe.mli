@@ -112,15 +112,27 @@ val arena_fallback : what:string -> detail:string -> unit
     event at [Warn]. *)
 val arena_deep_float : depth:int -> unit
 
+(** [arena_query_fallback ()] counts a query kernel taking the
+    float-midpoint fallback instead of integer cell descent
+    ([arena.query.fallbacks] — custom bounds, or an arena split below
+    the 42-bit fine grid) and emits a one-per-process
+    [arena.query_fallback] event at [Warn] — the same loud-degrade
+    discipline as the build fallbacks. *)
+val arena_query_fallback : unit -> unit
+
 (** {1 The domain pool} *)
 
 (** [pool_map ~tasks ~jobs f] wraps one fan-out: [pool.batch] span,
     [pool.maps] / [pool.tasks] counters, [pool.jobs] gauge. *)
 val pool_map : tasks:int -> jobs:int -> (unit -> 'a) -> 'a
 
-(** [pool_task ~index f] wraps one task on whatever domain runs it:
-    [task] span, [pool.task.seconds] timing, and a per-domain bump of
-    [pool.tasks.run] (read {!Metrics.counter_shards} for utilization). *)
+(** [pool_task ~index f] wraps one claimed chunk — the pool's
+    scheduling unit, [index] its first element — on whatever domain
+    runs it: [task] span, [pool.task.seconds] timing, and a per-domain
+    bump of [pool.tasks.run] (read {!Metrics.counter_shards} for
+    utilization). Chunk-granular on purpose: a per-element span costs
+    two clock reads plus a histogram observation inside every task
+    body, which a fast serve kernel can't absorb. *)
 val pool_task : index:int -> (unit -> 'a) -> 'a
 
 (** [pool_reduce ~tasks f] wraps the indexed reduction that assembles
@@ -170,7 +182,9 @@ val sample_gc : unit -> unit
 
 (** [serve_query ~kernel] counts one admitted query by kernel
     ([serve.queries.range] / [.count] / [.knn] / [.nearest] /
-    [.cell]). *)
+    [.cell]). The plain [eval] path calls this; the instrumented path
+    gets the same bump inside {!serve_query_done}, so the counters
+    agree whichever path a batch ran. *)
 val serve_query :
   kernel:[ `Range | `Count | `Knn | `Nearest | `Cell ] -> unit
 
@@ -179,21 +193,37 @@ val serve_query :
     "nearest", "cell"; "unknown" otherwise). *)
 val serve_kernel_name : int -> string
 
+(** [serve_pruned_subtrees n] counts [n] subtrees answered wholesale
+    by containment pruning in the instrumented range/count kernels
+    ([serve.pruned.subtrees] — stable: a pure function of tree shape
+    and queries, independent of scheduling). The kernels tally locally
+    and flush once per query so the counter costs O(1) per query, not
+    O(pruning events). Bumped only on the telemetry path; the plain
+    kernels prune identically but stay probe-free. *)
+val serve_pruned_subtrees : int -> unit
+
 (** [serve_telemetry_on ()] is true when either the flight recorder or
     the metrics registry wants per-query facts. The batch loop reads it
     once per batch: false means the plain (uninstrumented) kernels run
     and telemetry costs exactly that one check. *)
 val serve_telemetry_on : unit -> bool
 
-(** [serve_query_done ~kernel ~epoch ~latency ~visited ~note] records
-    one answered query: latency seconds into the unstable
-    [serve.latency.<kind>] sketch, the visited-node count into the
-    stable [serve.visited.<kind>] sketch, and a flight-recorder entry
-    (which emits the [serve.slow_query] event past the threshold). *)
+(** [serve_query_done ~kernel ~epoch ~t0 ~visited ~note] records one
+    answered query from its start reading [t0] ({!Clock.now_ns}): reads
+    the stop clock, bumps the [serve.queries.*] admission counter (the
+    instrumented path's replacement for {!serve_query}), records
+    latency into the unstable [serve.latency.<kind>] sketch and the
+    visited-node count into the stable [serve.visited.<kind>] sketch
+    (both behind one enabled check and shard lookup), and appends a
+    flight-recorder entry (which emits the [serve.slow_query] event
+    past the threshold). Everything crossing this boundary is an
+    immediate — the latency/timestamp floats are derived inside the
+    recorders, straight into unboxed stores — so one instrumented
+    query costs one probe call and zero allocations. *)
 val serve_query_done :
   kernel:[ `Range | `Count | `Knn | `Nearest | `Cell ] ->
   epoch:int ->
-  latency:float ->
+  t0:int ->
   visited:int ->
   note:string ->
   unit

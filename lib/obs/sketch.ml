@@ -10,6 +10,10 @@ type t = {
   mutable zeros : int;
   mutable total : int;
   mutable sum : float;
+  (* Memoized bucket index per small integer value, filled on first
+     use by the exact [record] computation — pure in the parameters,
+     so it never appears in snapshots, merges or resets. *)
+  mutable int_index : int array option;
 }
 
 type snapshot = {
@@ -46,33 +50,79 @@ let create ?(alpha = 0.01) ?(min_value = 1e-9) ?(max_value = 1e9) () =
     zeros = 0;
     total = 0;
     sum = 0.0;
+    int_index = None;
   }
 
 let alpha (t : t) = t.alpha
 let count (t : t) = t.total
 let sum (t : t) = t.sum
 
+(* The bucket an in-range value lands in — the one place the log/ceil
+   arithmetic lives, so [record] and the [record_int] memo can never
+   disagree on a value's bucket. *)
+let bucket_index (t : t) v =
+  if v >= t.max_value then Array.length t.counts - 1
+  else begin
+    let i = int_of_float (Float.ceil (Float.log v *. t.inv_log_gamma)) in
+    (* log/ceil rounding can land one bucket outside at the range
+       edges; clamping there costs at most the documented alpha. *)
+    let i = i - t.lo in
+    if i < 0 then 0
+    else if i >= Array.length t.counts then Array.length t.counts - 1
+    else i
+  end
+
 let record (t : t) v =
   (* [v >= min_value] is false for NaN too, so junk lands in the zero
      bucket instead of producing an unspecified [int_of_float]. *)
   if v >= t.min_value then begin
-    let i =
-      if v >= t.max_value then Array.length t.counts - 1
-      else begin
-        let i = int_of_float (Float.ceil (Float.log v *. t.inv_log_gamma)) in
-        (* log/ceil rounding can land one bucket outside at the range
-           edges; clamping there costs at most the documented alpha. *)
-        let i = i - t.lo in
-        if i < 0 then 0
-        else if i >= Array.length t.counts then Array.length t.counts - 1
-        else i
-      end
-    in
+    let i = bucket_index t v in
     t.counts.(i) <- t.counts.(i) + 1
   end
   else t.zeros <- t.zeros + 1;
   t.total <- t.total + 1;
   if Float.is_finite v then t.sum <- t.sum +. v
+
+(* Small integers cover the serve visited-node sketches, where [log]
+   was the per-query cost that mattered. The memo table caches the
+   index [bucket_index] assigns to each small n, so the recorded state
+   is bit-for-bit what [record (float_of_int n)] produces — order- and
+   path-independent, which the stable exports rely on. *)
+let int_table_size = 4096
+
+let record_int (t : t) n =
+  let v = float_of_int n in
+  if v >= t.min_value && v < t.max_value && n < int_table_size then begin
+    let table =
+      match t.int_index with
+      | Some table -> table
+      | None ->
+        let table = Array.make int_table_size (-1) in
+        t.int_index <- Some table;
+        table
+    in
+    let i =
+      match table.(n) with
+      | -1 ->
+        let i = bucket_index t v in
+        table.(n) <- i;
+        i
+      | i -> i
+    in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v
+  end
+  else record t v
+
+(* Latencies memoize poorly: nanosecond readings spread over thousands
+   of distinct values, so an index table would trade the [log] for
+   cold cache lines competing with the query kernels' own working set
+   (measured as a wash on the mean and extra run-to-run variance).
+   They take the plain [record] path; the value is derived from the
+   integer reading at the last possible boundary (Metrics) so the
+   serving path itself never carries a float argument. *)
+let record_ns (t : t) ns = record t (float_of_int ns *. 1e-9)
 
 let estimate (t : t) i = t.scale *. Float.exp (float_of_int (t.lo + i) *. t.log_gamma)
 

@@ -53,6 +53,25 @@ val alpha : t -> float
     non-finite values fall in the zero or top bucket as documented. *)
 val record : t -> float -> unit
 
+(** [record_int t n] is exactly [record t (float_of_int n)] — same
+    buckets, totals and sums — but for small in-range [n] it reads a
+    per-sketch memo table instead of recomputing the [log], cutting the
+    per-observation cost to a few loads and stores. Built for the
+    serve visited-node sketches, where the log was the dominant
+    per-query telemetry cost. The memo is filled by the [record]
+    computation itself, so which entry path recorded a value can never
+    change the resulting state. *)
+val record_int : t -> int -> unit
+
+(** [record_ns t ns] is [record t (float_of_int ns *. 1e-9)] — integer
+    nanoseconds in, seconds recorded. The serve latency sketches' entry
+    point: latency values are too spread out for the {!record_int} memo
+    to pay for its cache footprint, so this takes the plain [record]
+    path; the int argument exists so the per-query serving path never
+    passes a float across a call boundary (which would box it on
+    non-flambda builds). *)
+val record_ns : t -> int -> unit
+
 (** [count t] is the number of recorded observations, zeros included. *)
 val count : t -> int
 

@@ -2,6 +2,7 @@
 
 module Point = Popan_geom.Point
 module Box = Popan_geom.Box
+module Morton = Popan_geom.Morton
 module Xoshiro = Popan_rng.Xoshiro
 module Pr_arena = Popan_trees.Pr_arena
 module Pr_quadtree = Popan_trees.Pr_quadtree
@@ -10,6 +11,7 @@ module Codec = Popan_store.Codec
 module Store = Popan_store.Artifact_store
 module Workload = Popan_experiments.Workload
 module Probe = Popan_obs.Probe
+module Clock = Popan_obs.Clock
 module Metrics = Popan_obs.Metrics
 module Event = Popan_obs.Event
 module Flight = Popan_obs.Flight

@@ -30,54 +30,95 @@ let eval arena (q : Wire.query) : Wire.answer =
 
 (* [eval] under full telemetry: the visited-counting kernel variants
    plus a per-query clock, feeding the latency/visited sketches and the
-   flight recorder through [serve_query_done]. A separate copy of the
-   dispatch so the plain [eval] — the oracle the tests replay — keeps
-   its exact instruction stream. *)
+   flight recorder through [serve_query_done] — which reads the stop
+   clock, bumps the admission counter, and takes only immediates, so
+   each arm is kernel + one probe call with no closure and no boxing.
+   A separate copy of the dispatch so the plain [eval] — the oracle the
+   tests replay — keeps its exact instruction stream. *)
 let eval_instrumented arena ~epoch (q : Wire.query) : Wire.answer =
-  let start = Unix.gettimeofday () in
-  let finish kernel ~visited ~note answer =
-    Probe.serve_query_done ~kernel ~epoch
-      ~latency:(Unix.gettimeofday () -. start)
-      ~visited ~note;
-    answer
-  in
+  let t0 = Clock.now_ns () in
   match q with
   | Wire.Range b ->
-    Probe.serve_query ~kernel:`Range;
     let ps, visited = Pr_arena.query_box_visited arena b in
-    finish `Range ~visited ~note:"" (Wire.Points (Array.of_list ps))
+    let answer = Wire.Points (Array.of_list ps) in
+    Probe.serve_query_done ~kernel:`Range ~epoch ~t0 ~visited ~note:"";
+    answer
   | Wire.Count b ->
-    Probe.serve_query ~kernel:`Count;
     let n, visited = Pr_arena.count_in_box_visited arena b in
-    finish `Count ~visited ~note:"" (Wire.Count_of n)
+    Probe.serve_query_done ~kernel:`Count ~epoch ~t0 ~visited ~note:"";
+    Wire.Count_of n
   | Wire.Knn (k, p) -> (
-    Probe.serve_query ~kernel:`Knn;
     match Pr_arena.k_nearest_visited arena k p with
     | ps, visited ->
-      finish `Knn ~visited ~note:"" (Wire.Points (Array.of_list ps))
+      let answer = Wire.Points (Array.of_list ps) in
+      Probe.serve_query_done ~kernel:`Knn ~epoch ~t0 ~visited ~note:"";
+      answer
     | exception Invalid_argument m ->
-      finish `Knn ~visited:0 ~note:m (Wire.Rejected m))
+      Probe.serve_query_done ~kernel:`Knn ~epoch ~t0 ~visited:0 ~note:m;
+      Wire.Rejected m)
   | Wire.Nearest p ->
-    Probe.serve_query ~kernel:`Nearest;
     let found, visited = Pr_arena.nearest_visited arena p in
-    finish `Nearest ~visited ~note:""
-      (Wire.Points (match found with None -> [||] | Some q -> [| q |]))
+    let answer =
+      Wire.Points (match found with None -> [||] | Some q -> [| q |])
+    in
+    Probe.serve_query_done ~kernel:`Nearest ~epoch ~t0 ~visited ~note:"";
+    answer
   | Wire.Cell p -> (
-    Probe.serve_query ~kernel:`Cell;
     match Pr_arena.cell_at_visited arena p with
     | (depth, box, pts), visited ->
-      finish `Cell ~visited ~note:""
-        (Wire.Cell_info (depth, box, Array.of_list pts))
+      let answer = Wire.Cell_info (depth, box, Array.of_list pts) in
+      Probe.serve_query_done ~kernel:`Cell ~epoch ~t0 ~visited ~note:"";
+      answer
     | exception Invalid_argument m ->
-      finish `Cell ~visited:0 ~note:m (Wire.Rejected m))
+      Probe.serve_query_done ~kernel:`Cell ~epoch ~t0 ~visited:0 ~note:m;
+      Wire.Rejected m)
+
+(* Morton scheduling key of one query: the Z-order cell of its anchor —
+   a box's low corner, a probe's own point — clamped into the unit
+   square. Queries anchored in one cell walk largely the same root-path
+   and subtree, so sorting a batch by this key lines consecutive tasks
+   up on warm node and column cache lines. *)
+let anchor_code (q : Wire.query) =
+  match q with
+  | Wire.Range b | Wire.Count b ->
+    Morton.encode_clamped (Point.make b.Box.xmin b.Box.ymin)
+  | Wire.Knn (_, p) | Wire.Nearest p | Wire.Cell p -> Morton.encode_clamped p
+
+(* The scheduling permutation packs (key, index) into single ints —
+   42 key bits above [sort_idx_bits] index bits, 62 total — so one flat
+   [Array.sort] on ints yields a total order (indices break key ties)
+   and the permutation is deterministic by construction. Batches too
+   large for the index field keep arrival order. *)
+let sort_idx_bits = 20
+let sort_idx_mask = (1 lsl sort_idx_bits) - 1
+
+let schedule_order queries =
+  let n = Array.length queries in
+  if n <= 1 || n > sort_idx_mask then None
+  else begin
+    let keyed =
+      Array.init n (fun i ->
+          (anchor_code queries.(i) lsl sort_idx_bits) lor i)
+    in
+    Array.sort compare keyed;
+    Some keyed
+  end
 
 (* Fan a batch out on the deterministic pool. [map_array]'s contract —
    results in index order, byte-identical at every job count — is what
    makes the whole response deterministic; the chunk keeps per-task
    overhead amortized over thousands of tiny queries. Telemetry is one
    flag check per batch: off, the tasks run the plain [eval]; on, the
-   instrumented copy. *)
-let run_batch ?(chunk = 256) ?(epoch = 0) pool arena queries =
+   instrumented copy.
+
+   With [sort] (the default), tasks run in Morton order of the query
+   anchors and the inverse permutation scatters answers back to arrival
+   positions. The response bytes are invariant under the reordering:
+   each answer is a pure function of (arena, query), the scatter is the
+   exact inverse of the sort's permutation, and the sort itself is
+   deterministic — so sorted-vs-arrival and every job count all produce
+   the identical response, which serve_smoke pins down byte for byte. *)
+let run_batch ?(chunk = 256) ?(epoch = 0) ?(sort = true) pool arena queries =
   let n = Array.length queries in
   let f =
     if Probe.serve_telemetry_on () then fun i ->
@@ -85,7 +126,18 @@ let run_batch ?(chunk = 256) ?(epoch = 0) pool arena queries =
     else fun i -> eval arena queries.(i)
   in
   Probe.serve_batch ~queries:n ~jobs:(Parallel.Pool.jobs pool) (fun () ->
-      Parallel.Pool.map_array ~chunk pool n ~f)
+      match (if sort then schedule_order queries else None) with
+      | None -> Parallel.Pool.map_array ~chunk pool n ~f
+      | Some keyed ->
+        let sorted =
+          Parallel.Pool.map_array ~chunk pool n ~f:(fun j ->
+              f (keyed.(j) land sort_idx_mask))
+        in
+        let out = Array.make n sorted.(0) in
+        for j = 0 to n - 1 do
+          out.(keyed.(j) land sort_idx_mask) <- sorted.(j)
+        done;
+        out)
 
 type config = {
   jobs : int option;  (** pool width; [None] = the session default *)
@@ -97,6 +149,7 @@ type config = {
   update_fraction : float;
   drift_sigma : float;
   mmap_dir : string option;  (** back the live arena's columns with mmap *)
+  batch_sort : bool;  (** Morton-sort batch work (response bytes unchanged) *)
 }
 
 let default_config =
@@ -110,6 +163,7 @@ let default_config =
     update_fraction = 1.0 /. 3.0;
     drift_sigma = 0.01;
     mmap_dir = None;
+    batch_sort = true;
   }
 
 type t = {
@@ -206,7 +260,9 @@ let run_queries t queries =
           t.epoch_batches <- t.epoch_batches + 1;
           Probe.serve_epoch_batch ~age:t.epoch_batches);
         Epoch.unpin t.epochs e)
-      (fun () -> run_batch ~epoch:(Epoch.id e) t.pool (Epoch.arena e) queries)
+      (fun () ->
+        run_batch ~epoch:(Epoch.id e) ~sort:t.config.batch_sort t.pool
+          (Epoch.arena e) queries)
   in
   t.batches <- t.batches + 1;
   (Epoch.id e, answers)
@@ -278,25 +334,35 @@ let shutdown t =
      leave its admission counters in the store's stats log itself. *)
   Option.iter Store.flush_counters (Store.default ())
 
+(* Drive one client conversation to its end. Returns [true] when the
+   client asked the server to quit ([Wire.Quit]), [false] when the
+   conversation merely ended — EOF or a malformed frame — and the
+   server should keep accepting. *)
 let serve_channels t ic oc =
   set_binary_mode_in ic true;
   set_binary_mode_out oc true;
   let rec loop () =
     match Wire.read_request ic with
-    | None -> ()
+    | None -> false
     | Some (Error reason) ->
       (* A bad frame leaves the stream position undefined: refuse the
          request and stop reading rather than resynchronize by
          guesswork. *)
       Probe.serve_malformed ~reason;
-      Wire.write_response oc (Wire.Refused reason)
+      Wire.write_response oc (Wire.Refused reason);
+      false
     | Some (Ok req) ->
       let resp, continue = handle t req in
       Wire.write_response oc resp;
-      if continue then loop ()
+      if continue then loop () else true
   in
   loop ()
 
+(* Accept clients one after another on the same socket until one of
+   them sends [Quit]. Conversations are strictly sequential — the next
+   accept happens only after the previous client's fd is closed — so
+   the epoch/churn cadence any single client observes is the same as it
+   was under the one-shot accept, just resumable by a later client. *)
 let serve_socket t path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
@@ -307,14 +373,20 @@ let serve_socket t path =
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
     (fun () ->
-      let fd, _ = Unix.accept sock in
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      Fun.protect
-        ~finally:(fun () ->
-          (try flush oc with Sys_error _ -> ());
-          try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () -> serve_channels t ic oc))
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let quit =
+          Fun.protect
+            ~finally:(fun () ->
+              (try flush oc with Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve_channels t ic oc)
+        in
+        if not quit then accept_loop ()
+      in
+      accept_loop ())
 
 let run ?pool ?socket ?(warm_batches = 0) config =
   let t = create ?pool config in
@@ -323,5 +395,5 @@ let run ?pool ?socket ?(warm_batches = 0) config =
     (fun () ->
       if warm_batches > 0 then warm t ~batches:warm_batches ~queries:1024;
       match socket with
-      | None -> serve_channels t stdin stdout
+      | None -> ignore (serve_channels t stdin stdout : bool)
       | Some path -> serve_socket t path)

@@ -25,15 +25,25 @@ val eval : Pr_arena.t -> Wire.query -> Wire.answer
     flight recorder). Same answers as {!eval}, always. *)
 val eval_instrumented : Pr_arena.t -> epoch:int -> Wire.query -> Wire.answer
 
-(** [run_batch ?chunk ?epoch pool arena queries] answers a whole batch
-    on the pool, results in request order, wrapped in the [serve:batch]
-    probe (queue-depth gauge, latency histogram, per-kernel counters).
-    Telemetry costs one {!Probe.serve_telemetry_on} check per batch:
-    off, the tasks run the plain {!eval}; on, {!eval_instrumented}
-    tagged with [epoch] (default 0). *)
+(** [run_batch ?chunk ?epoch ?sort pool arena queries] answers a whole
+    batch on the pool, results in request order, wrapped in the
+    [serve:batch] probe (queue-depth gauge, latency histogram,
+    per-kernel counters). Telemetry costs one
+    {!Probe.serve_telemetry_on} check per batch: off, the tasks run the
+    plain {!eval}; on, {!eval_instrumented} tagged with [epoch]
+    (default 0).
+
+    With [sort] (the default), tasks are scheduled in Morton order of
+    the query anchors — a box's low corner, a probe point — so
+    consecutive tasks touch overlapping root paths and warm column
+    cache lines. A deterministic inverse permutation scatters the
+    answers back to arrival positions: the response is byte-identical
+    to [~sort:false] at every job count (batches over [2^20] queries
+    fall back to arrival order). *)
 val run_batch :
   ?chunk:int ->
   ?epoch:int ->
+  ?sort:bool ->
   Parallel.Pool.t -> Pr_arena.t -> Wire.query array -> Wire.answer array
 
 type config = {
@@ -48,10 +58,13 @@ type config = {
   update_fraction : float;
   drift_sigma : float;
   mmap_dir : string option;  (** back the live arena's columns with mmap *)
+  batch_sort : bool;
+      (** Morton-sort batch work before fan-out; the response bytes are
+          identical either way — this only reorders the computation *)
 }
 
 (** 10k uniform points at capacity 8, seed 1987, 256 churn ops per
-    batch with the PR 7 churn defaults, heap-backed. *)
+    batch with the PR 7 churn defaults, heap-backed, batch sorting on. *)
 val default_config : config
 
 type t
@@ -87,8 +100,10 @@ val handle : t -> Wire.request -> Wire.response * bool
 (** [serve_channels t ic oc] reads framed requests from [ic] and writes
     framed responses to [oc] until EOF, [Quit], or a malformed frame
     (refused, then the loop stops — a broken frame leaves the stream
-    position undefined). *)
-val serve_channels : t -> in_channel -> out_channel -> unit
+    position undefined). Returns [true] iff the conversation ended with
+    [Quit] — the client asked the server itself to stop, as opposed to
+    merely hanging up. *)
+val serve_channels : t -> in_channel -> out_channel -> bool
 
 (** [shutdown t] retires every epoch and releases the live arena's
     mmap segments, shuts down an owned pool, and flushes the obs
@@ -97,7 +112,8 @@ val shutdown : t -> unit
 
 (** [run ?pool ?socket ?warm_batches config] is the whole lifecycle:
     {!create}, [warm_batches] self-batches of 1024 queries (default 0),
-    serve on stdin/stdout (or accept one connection on the Unix socket
-    [?socket]), then {!shutdown} — which runs even if serving raises. *)
+    serve on stdin/stdout (or accept sequential connections on the Unix
+    socket [?socket] until a client sends [Quit]), then {!shutdown} —
+    which runs even if serving raises. *)
 val run :
   ?pool:Parallel.Pool.t -> ?socket:string -> ?warm_batches:int -> config -> unit

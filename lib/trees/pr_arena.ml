@@ -19,6 +19,13 @@ let axis_mask = (1 lsl bits) - 1
 let quantize_scale = float_of_int (1 lsl bits)
 let fine_scale = float_of_int (1 lsl bits_fine)
 
+(* 2^-42 is a power of two, so multiplying a fine ordinate by it is the
+   exact dyadic cell corner k/2^42 — identical floats to the midpoint
+   cascade [Box.child] would produce. The query kernels descend on fine
+   integers and materialize corners only when a float compare needs
+   them. *)
+let inv_fine_scale = 1.0 /. fine_scale
+
 (* Children of a split node occupy four consecutive node ids in MORTON
    pair order — (y >= mid) * 2 + (x >= mid): SW, SE, NW, NE — because
    that is the order a sorted code array yields them. Quadrant order
@@ -54,7 +61,11 @@ type t = {
      are the one part the parallel stitch rewrites wholesale. *)
   mutable nodes : int;  (* ids in use *)
   mutable child : int array;  (* -1 = leaf; else first of 4 children *)
-  mutable count : int array;  (* leaves: number of stored points *)
+  mutable count : int array;  (* live points in the node's subtree: a
+                                 leaf's chain length, an internal node's
+                                 exact descendant total. The query
+                                 kernels prune on containment by adding
+                                 this in O(1). *)
   mutable head : int array;  (* leaves: first point slot, -1 = none *)
   (* Points, parallel columns indexed by slot; slot = insertion rank. *)
   mutable size : int;
@@ -458,7 +469,8 @@ let rec split_code t node depth =
     let chain = t.head.(node) in
     t.child.(node) <- base;
     t.head.(node) <- -1;
-    t.count.(node) <- 0;
+    (* [t.count.(node)] keeps the overflowed chain total: with subtree
+       counts it is exactly the new internal node's population. *)
     distribute_code t base depth chain;
     let cdepth = depth + 1 in
     for i = 0 to 3 do
@@ -484,7 +496,6 @@ and split_fine t node depth =
     let chain = t.head.(node) in
     t.child.(node) <- base;
     t.head.(node) <- -1;
-    t.count.(node) <- 0;
     distribute_fine t base depth chain;
     let cdepth = depth + 1 in
     for i = 0 to 3 do
@@ -503,7 +514,6 @@ and split_float t node depth x0 y0 x1 y1 =
   let chain = t.head.(node) in
   t.child.(node) <- base;
   t.head.(node) <- -1;
-  t.count.(node) <- 0;
   distribute_float t base cx cy chain;
   let cdepth = depth + 1 in
   for i = 0 to 3 do
@@ -528,16 +538,24 @@ and split_float t node depth x0 y0 x1 y1 =
 let rec insert_code t node depth code slot =
   let base = t.child.(node) in
   if base >= 0 then
-    if depth < bits then
+    if depth < bits then begin
+      (* Subtree counts: every internal node on the descent gains the
+         point. Regime hand-offs below re-enter the SAME node, so the
+         increment lives only in the branches that actually step to a
+         child. *)
+      t.count.(node) <- t.count.(node) + 1;
       insert_code t (base + pair_at code depth) (depth + 1) code slot
+    end
     else insert_fine t node depth (fine_x t slot) (fine_y t slot) slot
   else if absorb t node depth slot then split_code t node depth
 
 and insert_fine t node depth qx qy slot =
   let base = t.child.(node) in
   if base >= 0 then
-    if depth < bits_fine then
+    if depth < bits_fine then begin
+      t.count.(node) <- t.count.(node) + 1;
       insert_fine t (base + pair_fine qx qy depth) (depth + 1) qx qy slot
+    end
     else begin
       let x0 = ldexp (float_of_int qx) (-bits_fine)
       and y0 = ldexp (float_of_int qy) (-bits_fine) in
@@ -549,6 +567,7 @@ and insert_fine t node depth qx qy slot =
 and insert_float t node depth slot x0 y0 x1 y1 =
   let base = t.child.(node) in
   if base >= 0 then begin
+    t.count.(node) <- t.count.(node) + 1;
     let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
     if t.ys.{slot} >= cy then
       if t.xs.{slot} >= cx then
@@ -738,13 +757,13 @@ let rec merge_up t depth =
     let parent = t.path.(depth - 1) in
     let base = t.child.(parent) in
     if
-      t.child.(base) < 0
+      (* The parent's subtree count is the four children's total —
+         exactly the occupancy of the merged leaf. *)
+      t.count.(parent) <= t.capacity
+      && t.child.(base) < 0
       && t.child.(base + 1) < 0
       && t.child.(base + 2) < 0
       && t.child.(base + 3) < 0
-      && t.count.(base) + t.count.(base + 1) + t.count.(base + 2)
-         + t.count.(base + 3)
-         <= t.capacity
     then begin
       merge_node t parent (depth - 1);
       merge_up t (depth - 1)
@@ -785,6 +804,12 @@ let delete t p =
       t.hist.(old_bucket) <- t.hist.(old_bucket) - 1;
       let bucket = if c < t.capacity then c else t.capacity in
       t.hist.(bucket) <- t.hist.(bucket) + 1;
+      (* Subtree counts: every recorded ancestor loses the point. The
+         leaf itself (path.(depth)) was decremented above. *)
+      for d = 0 to depth - 1 do
+        let a = t.path.(d) in
+        t.count.(a) <- t.count.(a) - 1
+      done;
       merge_up t depth;
       while t.height > 0 && t.depth_count.(t.height) = 0 do
         t.height <- t.height - 1
@@ -880,6 +905,7 @@ let rec build_float t (ss : iarr) (ds : iarr) cnt lo hi node depth x0 y0 x1 y1
     done;
     let base = alloc_children t in
     t.child.(node) <- base;
+    t.count.(node) <- hi - lo;
     let cdepth = depth + 1 in
     build_float t ss ds cnt lo e1 base cdepth x0 y0 cx cy;
     build_float t ss ds cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
@@ -920,6 +946,7 @@ let rec build_sorted t (sk : iarr) (ss : iarr) (dk : iarr) (ds : iarr) cnt lo
     Probe.builder_split ~depth;
     let base = alloc_children t in
     t.child.(node) <- base;
+    t.count.(node) <- hi - lo;
     let sh =
       if fine then 2 * (bits_fine - 1 - depth) else 2 * (bits - 1 - depth)
     in
@@ -1028,6 +1055,7 @@ let rec build_float_packed t (ss : int array) (ds : int array) cnt lo hi node
     Array.blit ds lo ss lo (hi - lo);
     let base = alloc_children t in
     t.child.(node) <- base;
+    t.count.(node) <- hi - lo;
     let cdepth = depth + 1 in
     build_float_packed t ss ds cnt lo e1 base cdepth x0 y0 cx cy;
     build_float_packed t ss ds cnt e1 e2 (base + 1) cdepth cx y0 x1 cy;
@@ -1068,6 +1096,7 @@ let rec build_packed t (src : int array) (dst : int array) cnt lo hi node
     Probe.builder_split ~depth;
     let base = alloc_children t in
     t.child.(node) <- base;
+    t.count.(node) <- hi - lo;
     let sh =
       (if fine then 2 * (bits_fine - 1 - depth) else 2 * (bits - 1 - depth))
       + bits
@@ -1123,7 +1152,7 @@ let rec build_packed t (src : int array) (dst : int array) cnt lo hi node
 type plan =
   | P_leaf of { lo : int; hi : int; depth : int }
   | P_task of { id : int }
-  | P_split of { depth : int; parts : plan array }
+  | P_split of { depth : int; lo : int; hi : int; parts : plan array }
 
 type range = { r_lo : int; r_hi : int; r_depth : int }
 
@@ -1167,7 +1196,7 @@ let rec expand t (sk : iarr) (ss : iarr) (dk : iarr) (ds : iarr) cnt acc
     let p1 = expand t dk ds sk ss cnt acc nacc e1 e2 cdepth split_depth in
     let p2 = expand t dk ds sk ss cnt acc nacc e2 e3 cdepth split_depth in
     let p3 = expand t dk ds sk ss cnt acc nacc e3 hi cdepth split_depth in
-    P_split { depth; parts = [| p0; p1; p2; p3 |] }
+    P_split { depth; lo; hi; parts = [| p0; p1; p2; p3 |] }
   end
 
 (* A task-local pseudo-arena: shares the point/key columns (tasks only
@@ -1222,11 +1251,12 @@ let rec replay t results slots_even slots_odd plan node =
     let ss = if depth land 1 = 0 then slots_even else slots_odd in
     emit_leaf t ss lo hi node depth
   | P_task { id } -> graft t results.(id) node
-  | P_split { depth; parts } ->
+  | P_split { depth; lo; hi; parts } ->
     t.internals <- t.internals + 1;
     Probe.builder_split ~depth;
     let base = alloc_children t in
     t.child.(node) <- base;
+    t.count.(node) <- hi - lo;
     for i = 0 to 3 do
       replay t results slots_even slots_odd parts.(i) (base + i)
     done
@@ -1487,9 +1517,35 @@ let points t =
    These walk the child-base table and the slot columns directly — no
    freeze to a boxed {!Pr_quadtree} per query — and mutate nothing, so
    any number of domains may query one arena concurrently (the serving
-   layer fans batches out over a shared epoch snapshot). Candidates are
-   tested as raw floats straight off the columns; only accepted points
-   are boxed into results. *)
+   layer fans batches out over a shared epoch snapshot).
+
+   Two structural upgrades over a plain box-descent walk:
+
+   Containment pruning. Every node carries its exact subtree population
+   ([t.count]), so when the target box contains a node's whole cell the
+   kernel answers for the subtree without testing a single point:
+   [count_in_box] adds the stored count in O(1) and [query_box] drains
+   the subtree's leaf chains with no per-point box test. Cost then
+   tracks the visited-node frontier — the Curien–Joseph partial-match
+   regime — instead of the answer's population. Cells are half-open on
+   their high edges (exactly [Box.contains]'s convention, enforced by
+   the [>= mid] distribution rule at every split), so cell ⊆ target
+   reduces to four closed corner compares.
+
+   Integer cell descent. For unit-bounds arenas no deeper than the fine
+   Morton resolution — the overwhelmingly common case — the range and
+   count kernels carry cells as fine integer corners [(qx0, qy0)] with
+   a side exponent, materializing the exact dyadic corner floats
+   [k / 2^42] only for the target compares: no [Box.child] record per
+   visited node, and the traversal allocates zero minor words (asserted
+   in test_alloc). Custom bounds or deeper-than-42 arenas take the
+   float-midpoint fallback — same answers, still containment-pruned,
+   one [Probe.arena_query_fallback] warning per process. The two paths
+   compare identical float values: dyadic corners at depth <= 42 are
+   exactly representable, and [Box.child]'s midpoint cascade reproduces
+   them bit for bit, which is what lets the *_visited twins keep the
+   box-descent form and still mirror the fast path's traversal node for
+   node. *)
 
 (* Squared distance from [(x, y)] to the closed extent of [b]; 0 inside.
    The clamp form matches [Pr_quadtree.distance_sq_to_box] bit for bit,
@@ -1500,9 +1556,211 @@ let dist_sq_to_box x y (b : Box.t) =
   let dx = x -. cx and dy = y -. cy in
   (dx *. dx) +. (dy *. dy)
 
-(* Fold the half-open containment test of [Box.contains] over a leaf
-   chain without building the per-leaf point list. *)
+(* Integer descent applies when every cell is a dyadic sub-cell of the
+   unit square no finer than the 2^-42 grid: custom bounds never
+   qualify, and a leaf below depth 42 means some cells are. *)
+let int_descent t = t.unit_bounds && t.height <= bits_fine
+
+(* Chain folds, threaded tail-recursively so the counting walk builds
+   no closure and touches no ref cell. The target travels as the query
+   box itself (one record per query, allocated by the caller), never as
+   unpacked float arguments — floats crossing a call boundary would box
+   on every leaf. *)
+let rec count_chain t (target : Box.t) slot acc =
+  if slot < 0 then acc
+  else begin
+    let x = t.xs.{slot} and y = t.ys.{slot} in
+    let acc =
+      if
+        x >= target.Box.xmin && x < target.Box.xmax && y >= target.Box.ymin
+        && y < target.Box.ymax
+      then acc + 1
+      else acc
+    in
+    count_chain t target t.next.{slot} acc
+  end
+
+let rec filter_chain t (target : Box.t) slot acc =
+  if slot < 0 then acc
+  else begin
+    let x = t.xs.{slot} and y = t.ys.{slot} in
+    let acc =
+      if
+        x >= target.Box.xmin && x < target.Box.xmax && y >= target.Box.ymin
+        && y < target.Box.ymax
+      then Point.make x y :: acc
+      else acc
+    in
+    filter_chain t target t.next.{slot} acc
+  end
+
+(* Cons a chain (head to tail) and a whole subtree (children in
+   quadrant order NW, NE, SW, SE — pair ids 2, 3, 0, 1) onto [acc]:
+   exactly the accumulation order of the unpruned walk when every point
+   passes, so pruning never reorders a result list. *)
+let rec drain_chain t slot acc =
+  if slot < 0 then acc
+  else drain_chain t t.next.{slot} (Point.make t.xs.{slot} t.ys.{slot} :: acc)
+
+let rec drain_subtree t node acc =
+  let base = t.child.(node) in
+  if base < 0 then drain_chain t t.head.(node) acc
+  else begin
+    let acc = drain_subtree t (base + 2) acc in
+    let acc = drain_subtree t (base + 3) acc in
+    let acc = drain_subtree t (base + 0) acc in
+    drain_subtree t (base + 1) acc
+  end
+
+(* The integer-descent counting walk. [shift] is the cell's side
+   exponent on the fine grid (root: [bits_fine]); a child halves the
+   side and offsets its corner by [hs]. Disjointness and containment
+   are the same predicates the box walk tests, on bit-identical corner
+   values. *)
+let rec count_int t (target : Box.t) node qx0 qy0 shift acc =
+  let side = 1 lsl shift in
+  let x0 = float_of_int qx0 *. inv_fine_scale
+  and y0 = float_of_int qy0 *. inv_fine_scale
+  and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+  and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+  if
+    x0 >= target.Box.xmax || target.Box.xmin >= x1 || y0 >= target.Box.ymax
+    || target.Box.ymin >= y1
+  then acc (* disjoint *)
+  else if
+    target.Box.xmin <= x0 && x1 <= target.Box.xmax && target.Box.ymin <= y0
+    && y1 <= target.Box.ymax
+  then acc + t.count.(node) (* contained: the whole subtree in O(1) *)
+  else begin
+    let base = t.child.(node) in
+    if base < 0 then count_chain t target t.head.(node) acc
+    else begin
+      let h = shift - 1 in
+      let hs = 1 lsl h in
+      let acc = count_int t target (base + 2) qx0 (qy0 + hs) h acc in
+      let acc = count_int t target (base + 3) (qx0 + hs) (qy0 + hs) h acc in
+      let acc = count_int t target (base + 0) qx0 qy0 h acc in
+      count_int t target (base + 1) (qx0 + hs) qy0 h acc
+    end
+  end
+
+(* The integer-descent range walk: same traversal, consing hits. *)
+let rec range_int t (target : Box.t) node qx0 qy0 shift acc =
+  let side = 1 lsl shift in
+  let x0 = float_of_int qx0 *. inv_fine_scale
+  and y0 = float_of_int qy0 *. inv_fine_scale
+  and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+  and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+  if
+    x0 >= target.Box.xmax || target.Box.xmin >= x1 || y0 >= target.Box.ymax
+    || target.Box.ymin >= y1
+  then acc
+  else if
+    target.Box.xmin <= x0 && x1 <= target.Box.xmax && target.Box.ymin <= y0
+    && y1 <= target.Box.ymax
+  then drain_subtree t node acc
+  else begin
+    let base = t.child.(node) in
+    if base < 0 then filter_chain t target t.head.(node) acc
+    else begin
+      let h = shift - 1 in
+      let hs = 1 lsl h in
+      let acc = range_int t target (base + 2) qx0 (qy0 + hs) h acc in
+      let acc = range_int t target (base + 3) (qx0 + hs) (qy0 + hs) h acc in
+      let acc = range_int t target (base + 0) qx0 qy0 h acc in
+      range_int t target (base + 1) (qx0 + hs) qy0 h acc
+    end
+  end
+
+(* [cell ⊆ target] on float corners, for the fallback and *_visited
+   walks: sound for closed corner compares because every cell owns its
+   low edges and excludes its high ones. *)
+let box_contains_cell (target : Box.t) (cell : Box.t) =
+  target.Box.xmin <= cell.Box.xmin
+  && cell.Box.xmax <= target.Box.xmax
+  && target.Box.ymin <= cell.Box.ymin
+  && cell.Box.ymax <= target.Box.ymax
+
+(* Float-midpoint fallbacks (custom bounds, or arenas split below the
+   fine grid): [Box.child] descent, still containment-pruned, same
+   answers as the integer walks where both apply. *)
+let count_float_pruned t target =
+  let acc = ref 0 in
+  let rec go node ~box =
+    if Box.intersects box target then
+      if box_contains_cell target box then acc := !acc + t.count.(node)
+      else begin
+        let base = t.child.(node) in
+        if base < 0 then acc := count_chain t target t.head.(node) !acc
+        else
+          for q = 0 to 3 do
+            go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+          done
+      end
+  in
+  go 0 ~box:t.bounds;
+  !acc
+
+let range_float_pruned t target =
+  let acc = ref [] in
+  let rec go node ~box =
+    if Box.intersects box target then
+      if box_contains_cell target box then acc := drain_subtree t node !acc
+      else begin
+        let base = t.child.(node) in
+        if base < 0 then acc := filter_chain t target t.head.(node) !acc
+        else
+          for q = 0 to 3 do
+            go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+          done
+      end
+  in
+  go 0 ~box:t.bounds;
+  !acc
+
+let count_in_box t target =
+  if int_descent t then count_int t target 0 0 0 bits_fine 0
+  else begin
+    Probe.arena_query_fallback ();
+    count_float_pruned t target
+  end
+
 let query_box t target =
+  if int_descent t then range_int t target 0 0 0 bits_fine []
+  else begin
+    Probe.arena_query_fallback ();
+    range_float_pruned t target
+  end
+
+(* The pre-pruning kernels, kept callable for the ablation benches and
+   the pruned-visits-is-monotone property: every node whose cell meets
+   the target is entered and every chained point is tested. *)
+let count_in_box_unpruned t target =
+  let xmin = target.Box.xmin and xmax = target.Box.xmax in
+  let ymin = target.Box.ymin and ymax = target.Box.ymax in
+  let acc = ref 0 in
+  let rec go node ~box =
+    if Box.intersects box target then begin
+      let base = t.child.(node) in
+      if base < 0 then begin
+        let slot = ref t.head.(node) in
+        while !slot >= 0 do
+          let s = !slot in
+          let x = t.xs.{s} and y = t.ys.{s} in
+          if x >= xmin && x < xmax && y >= ymin && y < ymax then incr acc;
+          slot := t.next.{s}
+        done
+      end
+      else
+        for q = 0 to 3 do
+          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
+        done
+    end
+  in
+  go 0 ~box:t.bounds;
+  !acc
+
+let query_box_unpruned t target =
   let xmin = target.Box.xmin and xmax = target.Box.xmax in
   let ymin = target.Box.ymin and ymax = target.Box.ymax in
   let acc = ref [] in
@@ -1528,37 +1786,98 @@ let query_box t target =
   go 0 ~box:t.bounds;
   !acc
 
-let count_in_box t target =
-  let xmin = target.Box.xmin and xmax = target.Box.xmax in
-  let ymin = target.Box.ymin and ymax = target.Box.ymax in
-  let acc = ref 0 in
-  let rec go node ~box =
-    if Box.intersects box target then begin
-      let base = t.child.(node) in
-      if base < 0 then begin
-        let slot = ref t.head.(node) in
-        while !slot >= 0 do
-          let s = !slot in
-          let x = t.xs.{s} and y = t.ys.{s} in
-          if x >= xmin && x < xmax && y >= ymin && y < ymax then incr acc;
-          slot := t.next.{s}
-        done
-      end
-      else
-        for q = 0 to 3 do
-          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
-        done
-    end
-  in
-  go 0 ~box:t.bounds;
-  !acc
-
-(* [count_in_box] that also counts nodes touched (pruned subtrees cost
-   their root's intersection test, nothing below) — the observable for
-   the Curien–Joseph partial-match cost exponent, which predicts the
-   visited-node count of a degenerate range query (a full-height strip)
-   to grow as n^((sqrt 17 - 3) / 2). *)
+(* [count_in_box] that also counts nodes touched (a pruned subtree —
+   disjoint or contained — costs exactly its root's test, nothing
+   below) — the observable for the Curien–Joseph partial-match cost
+   exponent, which predicts the visited-node count of a degenerate
+   range query (a full-height strip) to grow as n^((sqrt 17 - 3) / 2).
+   A separate copy of the kernel, so the instrumentation (visit tally,
+   [Probe.serve_pruned_subtrees]) stays off the uninstrumented kernels
+   entirely; both descents — integer fast path and float fallback —
+   are carried, with corner values bit-identical between them, so the
+   visit count mirrors the plain kernel's traversal exactly. *)
 let count_in_box_visited t target =
+  (* Pruning events tally locally and flush once per query: a
+     per-event probe would put a sharded-counter increment inside the
+     descent. *)
+  let pruned = ref 0 in
+  if int_descent t then begin
+    (* The visit tally rides the return value — register adds on the
+       way back up — while the running count lives in a ref touched
+       only at contained subtrees and boundary leaves. A per-node
+       [incr] on a heap cell was the twins' largest remaining cost
+       against the telemetry overhead bar: a large-box count visits
+       hundreds of nodes, each paying a load/add/store. *)
+    let count = ref 0 in
+    let rec go node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      if
+        x0 >= target.Box.xmax || target.Box.xmin >= x1
+        || y0 >= target.Box.ymax || target.Box.ymin >= y1
+      then 1
+      else if
+        target.Box.xmin <= x0 && x1 <= target.Box.xmax
+        && target.Box.ymin <= y0 && y1 <= target.Box.ymax
+      then begin
+        incr pruned;
+        count := !count + t.count.(node);
+        1
+      end
+      else begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          count := count_chain t target t.head.(node) !count;
+          1
+        end
+        else begin
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let v = go (base + 2) qx0 (qy0 + hs) h in
+          let v = v + go (base + 3) (qx0 + hs) (qy0 + hs) h in
+          let v = v + go (base + 0) qx0 qy0 h in
+          1 + v + go (base + 1) (qx0 + hs) qy0 h
+        end
+      end
+    in
+    let visited = go 0 0 0 bits_fine in
+    Probe.serve_pruned_subtrees !pruned;
+    (!count, visited)
+  end
+  else begin
+    Probe.arena_query_fallback ();
+    let visited = ref 0 in
+    let acc = ref 0 in
+    let rec go node ~box =
+      incr visited;
+      if Box.intersects box target then
+        if box_contains_cell target box then begin
+          incr pruned;
+          acc := !acc + t.count.(node)
+        end
+        else begin
+          let base = t.child.(node) in
+          if base < 0 then acc := count_chain t target t.head.(node) !acc
+          else
+            for q = 0 to 3 do
+              go
+                (base + quad_pair.(q))
+                ~box:(Box.child box (Quadrant.of_index q))
+            done
+        end
+    in
+    go 0 ~box:t.bounds;
+    Probe.serve_pruned_subtrees !pruned;
+    (!acc, !visited)
+  end
+
+(* The unpruned visit counter, for the monotonicity property (pruned
+   visits <= unpruned visits on every box) and the with/without
+   exponent ablation. *)
+let count_in_box_unpruned_visited t target =
   let xmin = target.Box.xmin and xmax = target.Box.xmax in
   let ymin = target.Box.ymin and ymax = target.Box.ymax in
   let acc = ref 0 in
@@ -1586,9 +1905,11 @@ let count_in_box_visited t target =
   (!acc, !visited)
 
 (* Rank a node's four children by box distance, closest first, ties by
-   child order. Insertion sort over index pairs packed as locals — the
-   two 4-cell arrays per internal node are the kernels' only traversal
-   allocation, and they stay local so concurrent queries never share
+   child order. Insertion sort over index pairs packed as locals. Used
+   only by the *_visited twins and the float fallback, where the two
+   4-cell arrays per internal node are tolerable; the hot nearest /
+   k-NN path packs the same ranking into one int (below) and allocates
+   nothing. The arrays stay local so concurrent queries never share
    scratch. *)
 let ranked_children px py ~box =
   let boxes = Array.init 4 (fun q -> Box.child box (Quadrant.of_index q)) in
@@ -1606,43 +1927,142 @@ let ranked_children px py ~box =
   done;
   (order, boxes)
 
+(* rank4 — the allocation-free twin of [ranked_children], written out
+   inline at each use instead of defined as a function: four float
+   arguments crossing a non-inlined call boundary box on every internal
+   node visited (this compiler is not flambda). Each quadrant's rank is
+   how many quadrants sort strictly before it (distance, ties by
+   quadrant index — exactly the stable insertion sort's order), and the
+   permutation packs into one int, two bits per rank; decode with
+   [(perm lsr (2 * i)) land 3] for visit position [i]. The copies in
+   [nearest], [k_nearest] and their [_visited] twins must stay in
+   sync. *)
+
 let nearest t (p : Point.t) =
   if t.size = 0 then None
   else begin
     let px = p.Point.x and py = p.Point.y in
-    let bx = ref 0.0 and by = ref 0.0 in
-    let best_d = ref Float.infinity in
+    (* Best-so-far state lives in a flat float array — unboxed writes —
+       because a [float ref] boxes a fresh float on every [:=]. Layout:
+       [| best distance²; best x; best y |]. *)
+    let best = [| Float.infinity; 0.0; 0.0 |] in
     let found = ref false in
-    let rec go node ~box =
-      if dist_sq_to_box px py box < !best_d then begin
+    let scan_chain node =
+      let slot = ref t.head.(node) in
+      while !slot >= 0 do
+        let s = !slot in
+        let x = t.xs.{s} and y = t.ys.{s} in
+        let dx = x -. px and dy = y -. py in
+        let d = (dx *. dx) +. (dy *. dy) in
+        if d < best.(0) then begin
+          best.(0) <- d;
+          best.(1) <- x;
+          best.(2) <- y;
+          found := true
+        end;
+        slot := t.next.{s}
+      done
+    in
+    (* Integer descent: cells as fine corners, the clamp of
+       [dist_sq_to_box] written out on exact dyadic corner floats (a
+       float-argument helper would box at every call). Child distances
+       are computed inline in quadrant order NW, NE, SW, SE. *)
+    let rec go_int node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      let cx = if px < x0 then x0 else if px > x1 then x1 else px in
+      let cy = if py < y0 then y0 else if py > y1 then y1 else py in
+      let dx = px -. cx and dy = py -. cy in
+      if (dx *. dx) +. (dy *. dy) < best.(0) then begin
         let base = t.child.(node) in
-        if base < 0 then begin
-          let slot = ref t.head.(node) in
-          while !slot >= 0 do
-            let s = !slot in
-            let x = t.xs.{s} and y = t.ys.{s} in
-            let dx = x -. px and dy = y -. py in
-            let d = (dx *. dx) +. (dy *. dy) in
-            if d < !best_d then begin
-              best_d := d;
-              bx := x;
-              by := y;
-              found := true
-            end;
-            slot := t.next.{s}
-          done
-        end
+        if base < 0 then scan_chain node
         else begin
-          let order, boxes = ranked_children px py ~box in
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let xm = float_of_int (qx0 + hs) *. inv_fine_scale
+          and ym = float_of_int (qy0 + hs) *. inv_fine_scale in
+          let d0 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d1 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d2 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d3 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          (* rank4, written out inline: see its comment — a float
+             argument crossing a non-inlined call boxes per node. *)
+          let r0 =
+            (if d1 < d0 then 1 else 0)
+            + (if d2 < d0 then 1 else 0)
+            + if d3 < d0 then 1 else 0
+          in
+          let r1 =
+            (if d0 <= d1 then 1 else 0)
+            + (if d2 < d1 then 1 else 0)
+            + if d3 < d1 then 1 else 0
+          in
+          let r2 =
+            (if d0 <= d2 then 1 else 0)
+            + (if d1 <= d2 then 1 else 0)
+            + if d3 < d2 then 1 else 0
+          in
+          let r3 =
+            (if d0 <= d3 then 1 else 0)
+            + (if d1 <= d3 then 1 else 0)
+            + if d2 <= d3 then 1 else 0
+          in
+          let perm =
+            (0 lsl (2 * r0)) lor (1 lsl (2 * r1)) lor (2 lsl (2 * r2))
+            lor (3 lsl (2 * r3))
+          in
           for i = 0 to 3 do
-            let q = order.(i) in
-            go (base + quad_pair.(q)) ~box:boxes.(q)
+            match (perm lsr (2 * i)) land 3 with
+            | 0 -> go_int (base + 2) qx0 (qy0 + hs) h
+            | 1 -> go_int (base + 3) (qx0 + hs) (qy0 + hs) h
+            | 2 -> go_int (base + 0) qx0 qy0 h
+            | _ -> go_int (base + 1) (qx0 + hs) qy0 h
           done
         end
       end
     in
-    go 0 ~box:t.bounds;
-    if !found then Some (Point.make !bx !by) else None
+    let rec go_float node ~box =
+      if dist_sq_to_box px py box < best.(0) then begin
+        let base = t.child.(node) in
+        if base < 0 then scan_chain node
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go_float (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    if int_descent t then go_int 0 0 0 bits_fine
+    else begin
+      Probe.arena_query_fallback ();
+      go_float 0 ~box:t.bounds
+    end;
+    if !found then Some (Point.make best.(1) best.(2)) else None
   end
 
 let k_nearest t k (p : Point.t) =
@@ -1652,31 +2072,113 @@ let k_nearest t k (p : Point.t) =
     let px = p.Point.x and py = p.Point.y in
     (* The same shared bounded collector as [Pr_quadtree.k_nearest]. *)
     let nbrs = Pqueue.Neighbors.create k in
-    let rec go node ~box =
-      if dist_sq_to_box px py box < Pqueue.Neighbors.worst nbrs then begin
+    let scan_chain node =
+      let slot = ref t.head.(node) in
+      while !slot >= 0 do
+        let s = !slot in
+        let x = t.xs.{s} and y = t.ys.{s} in
+        let dx = x -. px and dy = y -. py in
+        let d = (dx *. dx) +. (dy *. dy) in
+        if d < Pqueue.Neighbors.worst nbrs then
+          Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
+        slot := t.next.{s}
+      done
+    in
+    let rec go_int node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      let cx = if px < x0 then x0 else if px > x1 then x1 else px in
+      let cy = if py < y0 then y0 else if py > y1 then y1 else py in
+      let dx = px -. cx and dy = py -. cy in
+      if (dx *. dx) +. (dy *. dy) < Pqueue.Neighbors.worst nbrs then begin
         let base = t.child.(node) in
-        if base < 0 then begin
-          let slot = ref t.head.(node) in
-          while !slot >= 0 do
-            let s = !slot in
-            let x = t.xs.{s} and y = t.ys.{s} in
-            let dx = x -. px and dy = y -. py in
-            let d = (dx *. dx) +. (dy *. dy) in
-            if d < Pqueue.Neighbors.worst nbrs then
-              Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
-            slot := t.next.{s}
-          done
-        end
+        if base < 0 then scan_chain node
         else begin
-          let order, boxes = ranked_children px py ~box in
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let xm = float_of_int (qx0 + hs) *. inv_fine_scale
+          and ym = float_of_int (qy0 + hs) *. inv_fine_scale in
+          let d0 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d1 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d2 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d3 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          (* rank4, written out inline: see its comment — a float
+             argument crossing a non-inlined call boxes per node. *)
+          let r0 =
+            (if d1 < d0 then 1 else 0)
+            + (if d2 < d0 then 1 else 0)
+            + if d3 < d0 then 1 else 0
+          in
+          let r1 =
+            (if d0 <= d1 then 1 else 0)
+            + (if d2 < d1 then 1 else 0)
+            + if d3 < d1 then 1 else 0
+          in
+          let r2 =
+            (if d0 <= d2 then 1 else 0)
+            + (if d1 <= d2 then 1 else 0)
+            + if d3 < d2 then 1 else 0
+          in
+          let r3 =
+            (if d0 <= d3 then 1 else 0)
+            + (if d1 <= d3 then 1 else 0)
+            + if d2 <= d3 then 1 else 0
+          in
+          let perm =
+            (0 lsl (2 * r0)) lor (1 lsl (2 * r1)) lor (2 lsl (2 * r2))
+            lor (3 lsl (2 * r3))
+          in
           for i = 0 to 3 do
-            let q = order.(i) in
-            go (base + quad_pair.(q)) ~box:boxes.(q)
+            match (perm lsr (2 * i)) land 3 with
+            | 0 -> go_int (base + 2) qx0 (qy0 + hs) h
+            | 1 -> go_int (base + 3) (qx0 + hs) (qy0 + hs) h
+            | 2 -> go_int (base + 0) qx0 qy0 h
+            | _ -> go_int (base + 1) (qx0 + hs) qy0 h
           done
         end
       end
     in
-    go 0 ~box:t.bounds;
+    let rec go_float node ~box =
+      if dist_sq_to_box px py box < Pqueue.Neighbors.worst nbrs then begin
+        let base = t.child.(node) in
+        if base < 0 then scan_chain node
+        else begin
+          let order, boxes = ranked_children px py ~box in
+          for i = 0 to 3 do
+            let q = order.(i) in
+            go_float (base + quad_pair.(q)) ~box:boxes.(q)
+          done
+        end
+      end
+    in
+    if int_descent t then go_int 0 0 0 bits_fine
+    else begin
+      Probe.arena_query_fallback ();
+      go_float 0 ~box:t.bounds
+    end;
     Pqueue.Neighbors.drain_nearest nbrs
   end
 
@@ -1720,79 +2222,231 @@ let mem t (p : Point.t) =
 (* Visited-counting duplicates of the query kernels, for the serving
    layer's per-query telemetry. Same cost accounting as
    [count_in_box_visited]: every node entered counts one — a pruned
-   subtree costs its root's bound test, nothing below — so the counts
-   line up with the partial-match exponent the population analysis
-   predicts. Kept as separate copies rather than a counter threaded
-   through the plain kernels, so the uninstrumented hot path keeps its
-   exact instruction stream. *)
+   subtree, whether pruned by disjointness or by containment, costs its
+   root's test and nothing below (the containment drain walks chains,
+   but chain work is answer emission, not traversal cost) — so the
+   counts line up with the partial-match exponent the population
+   analysis predicts. Kept as separate copies rather than a counter
+   threaded through the plain kernels, so the uninstrumented hot path
+   keeps its exact instruction stream. Each twin carries the same two
+   descents as its plain kernel — the integer fast path and the float
+   fallback — because telemetry must stay within 10% of the plain
+   batch: a box-descent-only twin was measured at more than 2x the
+   integer kernels, which would price the *instrumentation* at the cost
+   of the slower *traversal*. The corner floats are bit-identical
+   between the descents, so the visit counts are too. On the integer
+   descents the tally itself rides the recursion's return value — pure
+   register adds on the way back up — because at hundreds of visited
+   nodes per large query, even one heap-cell [incr] per node was
+   measurable against the telemetry overhead bar. *)
 
 let query_box_visited t target =
-  let xmin = target.Box.xmin and xmax = target.Box.xmax in
-  let ymin = target.Box.ymin and ymax = target.Box.ymax in
-  let acc = ref [] in
-  let visited = ref 0 in
-  let rec go node ~box =
-    incr visited;
-    if Box.intersects box target then begin
-      let base = t.child.(node) in
-      if base < 0 then begin
-        let slot = ref t.head.(node) in
-        while !slot >= 0 do
-          let s = !slot in
-          let x = t.xs.{s} and y = t.ys.{s} in
-          if x >= xmin && x < xmax && y >= ymin && y < ymax then
-            acc := Point.make x y :: !acc;
-          slot := t.next.{s}
-        done
+  let pruned = ref 0 in
+  if int_descent t then begin
+    (* Visit tally in the return value, answer points in a ref touched
+       only where points are emitted — same shape (and reason) as
+       [count_in_box_visited]. The ref updates happen in the same
+       traversal order the threaded accumulator did, so the result
+       list is unchanged. *)
+    let pts = ref [] in
+    let rec go node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      if
+        x0 >= target.Box.xmax || target.Box.xmin >= x1
+        || y0 >= target.Box.ymax || target.Box.ymin >= y1
+      then 1
+      else if
+        target.Box.xmin <= x0 && x1 <= target.Box.xmax
+        && target.Box.ymin <= y0 && y1 <= target.Box.ymax
+      then begin
+        incr pruned;
+        pts := drain_subtree t node !pts;
+        1
       end
-      else
-        for q = 0 to 3 do
-          go (base + quad_pair.(q)) ~box:(Box.child box (Quadrant.of_index q))
-        done
-    end
-  in
-  go 0 ~box:t.bounds;
-  (!acc, !visited)
+      else begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          pts := filter_chain t target t.head.(node) !pts;
+          1
+        end
+        else begin
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let v = go (base + 2) qx0 (qy0 + hs) h in
+          let v = v + go (base + 3) (qx0 + hs) (qy0 + hs) h in
+          let v = v + go (base + 0) qx0 qy0 h in
+          1 + v + go (base + 1) (qx0 + hs) qy0 h
+        end
+      end
+    in
+    let visited = go 0 0 0 bits_fine in
+    Probe.serve_pruned_subtrees !pruned;
+    (!pts, visited)
+  end
+  else begin
+    Probe.arena_query_fallback ();
+    let visited = ref 0 in
+    let acc = ref [] in
+    let rec go node ~box =
+      incr visited;
+      if Box.intersects box target then
+        if box_contains_cell target box then begin
+          incr pruned;
+          acc := drain_subtree t node !acc
+        end
+        else begin
+          let base = t.child.(node) in
+          if base < 0 then acc := filter_chain t target t.head.(node) !acc
+          else
+            for q = 0 to 3 do
+              go
+                (base + quad_pair.(q))
+                ~box:(Box.child box (Quadrant.of_index q))
+            done
+        end
+    in
+    go 0 ~box:t.bounds;
+    Probe.serve_pruned_subtrees !pruned;
+    (!acc, !visited)
+  end
 
 let nearest_visited t (p : Point.t) =
   if t.size = 0 then (None, 0)
   else begin
     let px = p.Point.x and py = p.Point.y in
-    let bx = ref 0.0 and by = ref 0.0 in
-    let best_d = ref Float.infinity in
+    let best = [| Float.infinity; 0.0; 0.0 |] in
     let found = ref false in
+    (* Fallback-path tally only; the integer descent returns its visit
+       count (see [count_in_box_visited] for why). *)
     let visited = ref 0 in
-    let rec go node ~box =
-      incr visited;
-      if dist_sq_to_box px py box < !best_d then begin
+    let scan_chain node =
+      let slot = ref t.head.(node) in
+      while !slot >= 0 do
+        let s = !slot in
+        let x = t.xs.{s} and y = t.ys.{s} in
+        let dx = x -. px and dy = y -. py in
+        let d = (dx *. dx) +. (dy *. dy) in
+        if d < best.(0) then begin
+          best.(0) <- d;
+          best.(1) <- x;
+          best.(2) <- y;
+          found := true
+        end;
+        slot := t.next.{s}
+      done
+    in
+    let rec go_int node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      let cx = if px < x0 then x0 else if px > x1 then x1 else px in
+      let cy = if py < y0 then y0 else if py > y1 then y1 else py in
+      let dx = px -. cx and dy = py -. cy in
+      if (dx *. dx) +. (dy *. dy) < best.(0) then begin
         let base = t.child.(node) in
         if base < 0 then begin
-          let slot = ref t.head.(node) in
-          while !slot >= 0 do
-            let s = !slot in
-            let x = t.xs.{s} and y = t.ys.{s} in
-            let dx = x -. px and dy = y -. py in
-            let d = (dx *. dx) +. (dy *. dy) in
-            if d < !best_d then begin
-              best_d := d;
-              bx := x;
-              by := y;
-              found := true
-            end;
-            slot := t.next.{s}
-          done
+          scan_chain node;
+          1
         end
+        else begin
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let xm = float_of_int (qx0 + hs) *. inv_fine_scale
+          and ym = float_of_int (qy0 + hs) *. inv_fine_scale in
+          let d0 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d1 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d2 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d3 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          (* rank4, written out inline: see its comment — a float
+             argument crossing a non-inlined call boxes per node. *)
+          let r0 =
+            (if d1 < d0 then 1 else 0)
+            + (if d2 < d0 then 1 else 0)
+            + if d3 < d0 then 1 else 0
+          in
+          let r1 =
+            (if d0 <= d1 then 1 else 0)
+            + (if d2 < d1 then 1 else 0)
+            + if d3 < d1 then 1 else 0
+          in
+          let r2 =
+            (if d0 <= d2 then 1 else 0)
+            + (if d1 <= d2 then 1 else 0)
+            + if d3 < d2 then 1 else 0
+          in
+          let r3 =
+            (if d0 <= d3 then 1 else 0)
+            + (if d1 <= d3 then 1 else 0)
+            + if d2 <= d3 then 1 else 0
+          in
+          let perm =
+            (0 lsl (2 * r0)) lor (1 lsl (2 * r1)) lor (2 lsl (2 * r2))
+            lor (3 lsl (2 * r3))
+          in
+          let v = ref 1 in
+          for i = 0 to 3 do
+            v :=
+              !v
+              + (match (perm lsr (2 * i)) land 3 with
+                | 0 -> go_int (base + 2) qx0 (qy0 + hs) h
+                | 1 -> go_int (base + 3) (qx0 + hs) (qy0 + hs) h
+                | 2 -> go_int (base + 0) qx0 qy0 h
+                | _ -> go_int (base + 1) (qx0 + hs) qy0 h)
+          done;
+          !v
+        end
+      end
+      else 1
+    in
+    let rec go_float node ~box =
+      incr visited;
+      if dist_sq_to_box px py box < best.(0) then begin
+        let base = t.child.(node) in
+        if base < 0 then scan_chain node
         else begin
           let order, boxes = ranked_children px py ~box in
           for i = 0 to 3 do
             let q = order.(i) in
-            go (base + quad_pair.(q)) ~box:boxes.(q)
+            go_float (base + quad_pair.(q)) ~box:boxes.(q)
           done
         end
       end
     in
-    go 0 ~box:t.bounds;
-    ((if !found then Some (Point.make !bx !by) else None), !visited)
+    let visits =
+      if int_descent t then go_int 0 0 0 bits_fine
+      else begin
+        Probe.arena_query_fallback ();
+        go_float 0 ~box:t.bounds;
+        !visited
+      end
+    in
+    ((if !found then Some (Point.make best.(1) best.(2)) else None), visits)
   end
 
 let k_nearest_visited t k (p : Point.t) =
@@ -1801,34 +2455,128 @@ let k_nearest_visited t k (p : Point.t) =
   else begin
     let px = p.Point.x and py = p.Point.y in
     let nbrs = Pqueue.Neighbors.create k in
+    (* Fallback-path tally only, as in [nearest_visited]. *)
     let visited = ref 0 in
-    let rec go node ~box =
+    let scan_chain node =
+      let slot = ref t.head.(node) in
+      while !slot >= 0 do
+        let s = !slot in
+        let x = t.xs.{s} and y = t.ys.{s} in
+        let dx = x -. px and dy = y -. py in
+        let d = (dx *. dx) +. (dy *. dy) in
+        if d < Pqueue.Neighbors.worst nbrs then
+          Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
+        slot := t.next.{s}
+      done
+    in
+    let rec go_int node qx0 qy0 shift =
+      let side = 1 lsl shift in
+      let x0 = float_of_int qx0 *. inv_fine_scale
+      and y0 = float_of_int qy0 *. inv_fine_scale
+      and x1 = float_of_int (qx0 + side) *. inv_fine_scale
+      and y1 = float_of_int (qy0 + side) *. inv_fine_scale in
+      let cx = if px < x0 then x0 else if px > x1 then x1 else px in
+      let cy = if py < y0 then y0 else if py > y1 then y1 else py in
+      let dx = px -. cx and dy = py -. cy in
+      if (dx *. dx) +. (dy *. dy) < Pqueue.Neighbors.worst nbrs then begin
+        let base = t.child.(node) in
+        if base < 0 then begin
+          scan_chain node;
+          1
+        end
+        else begin
+          let h = shift - 1 in
+          let hs = 1 lsl h in
+          let xm = float_of_int (qx0 + hs) *. inv_fine_scale
+          and ym = float_of_int (qy0 + hs) *. inv_fine_scale in
+          let d0 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d1 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < ym then ym else if py > y1 then y1 else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d2 =
+            let cx = if px < x0 then x0 else if px > xm then xm else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          let d3 =
+            let cx = if px < xm then xm else if px > x1 then x1 else px
+            and cy = if py < y0 then y0 else if py > ym then ym else py in
+            let dx = px -. cx and dy = py -. cy in
+            (dx *. dx) +. (dy *. dy)
+          in
+          (* rank4, written out inline: see its comment — a float
+             argument crossing a non-inlined call boxes per node. *)
+          let r0 =
+            (if d1 < d0 then 1 else 0)
+            + (if d2 < d0 then 1 else 0)
+            + if d3 < d0 then 1 else 0
+          in
+          let r1 =
+            (if d0 <= d1 then 1 else 0)
+            + (if d2 < d1 then 1 else 0)
+            + if d3 < d1 then 1 else 0
+          in
+          let r2 =
+            (if d0 <= d2 then 1 else 0)
+            + (if d1 <= d2 then 1 else 0)
+            + if d3 < d2 then 1 else 0
+          in
+          let r3 =
+            (if d0 <= d3 then 1 else 0)
+            + (if d1 <= d3 then 1 else 0)
+            + if d2 <= d3 then 1 else 0
+          in
+          let perm =
+            (0 lsl (2 * r0)) lor (1 lsl (2 * r1)) lor (2 lsl (2 * r2))
+            lor (3 lsl (2 * r3))
+          in
+          let v = ref 1 in
+          for i = 0 to 3 do
+            v :=
+              !v
+              + (match (perm lsr (2 * i)) land 3 with
+                | 0 -> go_int (base + 2) qx0 (qy0 + hs) h
+                | 1 -> go_int (base + 3) (qx0 + hs) (qy0 + hs) h
+                | 2 -> go_int (base + 0) qx0 qy0 h
+                | _ -> go_int (base + 1) (qx0 + hs) qy0 h)
+          done;
+          !v
+        end
+      end
+      else 1
+    in
+    let rec go_float node ~box =
       incr visited;
       if dist_sq_to_box px py box < Pqueue.Neighbors.worst nbrs then begin
         let base = t.child.(node) in
-        if base < 0 then begin
-          let slot = ref t.head.(node) in
-          while !slot >= 0 do
-            let s = !slot in
-            let x = t.xs.{s} and y = t.ys.{s} in
-            let dx = x -. px and dy = y -. py in
-            let d = (dx *. dx) +. (dy *. dy) in
-            if d < Pqueue.Neighbors.worst nbrs then
-              Pqueue.Neighbors.offer nbrs ~dist:d (Point.make x y);
-            slot := t.next.{s}
-          done
-        end
+        if base < 0 then scan_chain node
         else begin
           let order, boxes = ranked_children px py ~box in
           for i = 0 to 3 do
             let q = order.(i) in
-            go (base + quad_pair.(q)) ~box:boxes.(q)
+            go_float (base + quad_pair.(q)) ~box:boxes.(q)
           done
         end
       end
     in
-    go 0 ~box:t.bounds;
-    (Pqueue.Neighbors.drain_nearest nbrs, !visited)
+    let visits =
+      if int_descent t then go_int 0 0 0 bits_fine
+      else begin
+        Probe.arena_query_fallback ();
+        go_float 0 ~box:t.bounds;
+        !visited
+      end
+    in
+    (Pqueue.Neighbors.drain_nearest nbrs, visits)
   end
 
 (* A point descent enters one node per level: the root-to-leaf path of
@@ -1934,9 +2682,12 @@ let thaw tree =
       t.internals <- t.internals + 1;
       let base = alloc_children t in
       t.child.(node) <- base;
+      let before = !slot in
       Array.iteri
         (fun q c -> conv (base + quad_pair.(q)) c (depth + 1))
-        children
+        children;
+      (* Subtree count: every slot consumed under this node. *)
+      t.count.(node) <- !slot - before
   in
   conv 0 (Pr_quadtree.Raw.root tree) 0;
   t.size <- !slot;
@@ -2017,6 +2768,11 @@ let check_invariants t =
       if s <= t.capacity then
         report "internal node %d covers only %d points (capacity %d): unmerged"
           node s t.capacity;
+      (* Subtree-count maintenance: the stored per-node count must equal
+         a recount — the containment-pruning kernels answer from it. *)
+      if t.count.(node) <> s then
+        report "internal node %d count field %d but subtree holds %d" node
+          t.count.(node) s;
       s
     end
   in

@@ -240,28 +240,60 @@ val points : t -> Point.t list
     number of domains may query one arena concurrently; the serving
     layer fans batched queries out over a shared epoch {!snapshot}.
     Each kernel is differential-tested against its {!Pr_quadtree}
-    counterpart. *)
+    counterpart.
+
+    Two structural properties of the range/count kernels:
+
+    {b Containment pruning.} Every node carries its exact subtree
+    population, so a node whose cell the target box fully contains is
+    answered wholesale — {!count_in_box} adds the stored count in O(1),
+    {!query_box} drains the subtree's chains with no per-point test.
+    Cost tracks the visited-node frontier (the Curien–Joseph
+    partial-match regime), not the answer's population. Soundness rests
+    on cells being half-open on their high edges, exactly
+    {!Box.contains}'s convention.
+
+    {b Integer cell descent.} Unit-bounds arenas no deeper than the
+    42-bit fine Morton grid descend on integer cell corners — no box
+    record per visited node, zero minor words allocated per query.
+    Custom bounds or deeper arenas fall back to float-midpoint descent
+    (same answers, still containment-pruned) and say so once per
+    process via [Probe.arena_query_fallback]. *)
 
 (** [query_box t b] lists the stored points inside [b] (half-open, as
-    {!Box.contains}), in no specified but deterministic order. Subtrees
-    whose cells miss [b] are pruned. *)
+    {!Box.contains}), in no specified but deterministic order —
+    identical, element for element, to {!query_box_unpruned}'s.
+    Subtrees whose cells miss [b] are pruned; subtrees whose cells [b]
+    contains are drained without per-point tests. *)
 val query_box : t -> Box.t -> Point.t list
 
 (** [count_in_box t b] is [List.length (query_box t b)] without
-    materializing the points. *)
+    materializing the points; boxes containing whole subtree cells are
+    answered from the stored per-node counts in O(frontier). *)
 val count_in_box : t -> Box.t -> int
 
 (** [count_in_box_visited t b] is [count_in_box t b] paired with the
-    number of tree nodes the traversal touched (a pruned subtree costs
-    exactly its root) — the observable for the partial-match cost
-    analysis: on a full-height strip query the visited count grows as
-    [n^((sqrt 17 - 3) / 2)] (Curien–Joseph). *)
+    number of tree nodes the traversal touched (a pruned subtree —
+    disjoint or contained — costs exactly its root) — the observable
+    for the partial-match cost analysis: on a full-height strip query
+    the visited count grows as [n^((sqrt 17 - 3) / 2)]
+    (Curien–Joseph). *)
 val count_in_box_visited : t -> Box.t -> int * int
+
+(** The pre-pruning kernels, kept callable for ablation benches and the
+    monotonicity property (pruned visits <= unpruned visits on every
+    box): identical answers, but every intersecting subtree is entered
+    and every chained point tested. *)
+
+val query_box_unpruned : t -> Box.t -> Point.t list
+val count_in_box_unpruned : t -> Box.t -> int
+val count_in_box_unpruned_visited : t -> Box.t -> int * int
 
 (** [nearest t p] is a stored point at minimal Euclidean distance from
     [p] (ties arbitrary), or [None] when empty. Children are visited
     closest-first under the same clamp-distance bound as
-    {!Pr_quadtree.nearest}. *)
+    {!Pr_quadtree.nearest}; the child ranking packs into one int — no
+    per-node scratch arrays. *)
 val nearest : t -> Point.t -> Point.t option
 
 (** [k_nearest t k p] is up to [k] stored points closest to [p],

@@ -105,15 +105,17 @@ let expect_response ic what =
 
 (* One full conversation at a given job count: two batches, stats,
    quit. Returns the per-batch (epoch, answer bytes) and the reported
-   tree size. *)
-let converse jobs =
-  let what = Printf.sprintf "jobs %d" jobs in
+   tree size. [extra] rides along on the command line — the
+   [--no-batch-sort] runs reuse the whole conversation. *)
+let converse ?(extra = []) ?(what = "jobs") jobs =
+  let what = Printf.sprintf "%s %d" what jobs in
   let pid, ic, oc =
     spawn_serve
-      [ "-j"; string_of_int jobs;
-        "-n"; string_of_int base_points;
-        "--seed"; string_of_int seed;
-        "--churn-ops"; string_of_int churn_ops ]
+      ([ "-j"; string_of_int jobs;
+         "-n"; string_of_int base_points;
+         "--seed"; string_of_int seed;
+         "--churn-ops"; string_of_int churn_ops ]
+      @ extra)
   in
   let batch () =
     Wire.write_request oc (Wire.Batch queries);
@@ -139,18 +141,18 @@ let converse jobs =
   if batches <> 2 then fail "%s: reported %d batches, expected 2" what batches;
   ([ b1; b2 ], size)
 
-let check_against_oracle jobs (batches, size) =
+let check_against_oracle ?(what = "jobs") jobs (batches, size) =
   List.iteri
     (fun i ((epoch, bytes), (oracle_epoch, oracle_answers)) ->
       if epoch <> oracle_epoch then
-        fail "jobs %d batch %d: answered from epoch %d, oracle epoch %d" jobs
-          (i + 1) epoch oracle_epoch;
+        fail "%s %d batch %d: answered from epoch %d, oracle epoch %d" what
+          jobs (i + 1) epoch oracle_epoch;
       if not (String.equal bytes (answer_bytes oracle_answers)) then
-        fail "jobs %d batch %d: answers differ from the sequential oracle"
-          jobs (i + 1))
+        fail "%s %d batch %d: answers differ from the sequential oracle"
+          what jobs (i + 1))
     (List.combine batches oracle_batches);
   if size <> oracle_size then
-    fail "jobs %d: served tree size %d, oracle %d" jobs size oracle_size
+    fail "%s %d: served tree size %d, oracle %d" what jobs size oracle_size
 
 (* A frame that lies about its length: header says 64 bytes, body has
    8, then EOF. The server must answer Refused and stop — never guess
@@ -172,6 +174,78 @@ let truncated_frame_refused () =
   | Some _ -> fail "truncation: server kept talking after a broken frame");
   close_in ic;
   wait_clean pid "truncation"
+
+(* Sequential clients on one Unix socket: the server must survive a
+   client that hangs up without Quit, accept the next one with its
+   churn state intact — the second client's batch is the oracle's
+   SECOND batch — and shut down only when a client finally sends
+   Quit. *)
+let multi_client_socket () =
+  let what = "socket" in
+  let dir = Filename.temp_file "popan_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "sock" in
+  let argv =
+    [| popan_exe; "serve"; "--socket"; path; "-j"; "2";
+       "-n"; string_of_int base_points;
+       "--seed"; string_of_int seed;
+       "--churn-ops"; string_of_int churn_ops |]
+  in
+  let pid = Unix.create_process popan_exe argv Unix.stdin Unix.stdout Unix.stderr in
+  let rec wait_sock tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then fail "%s: server never bound %s" what path
+      else begin
+        Unix.sleepf 0.05;
+        wait_sock (tries - 1)
+      end
+  in
+  wait_sock 200;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_in ic true;
+    set_binary_mode_out oc true;
+    (fd, ic, oc)
+  in
+  let batch_of (oracle_epoch, oracle_answers) client ic oc =
+    Wire.write_request oc (Wire.Batch queries);
+    match expect_response ic what with
+    | Wire.Answers { epoch; answers } ->
+      if epoch <> oracle_epoch then
+        fail "%s client %d: answered from epoch %d, oracle epoch %d" what
+          client epoch oracle_epoch;
+      if not (String.equal (answer_bytes answers) (answer_bytes oracle_answers))
+      then fail "%s client %d: answers differ from the oracle" what client
+    | _ -> fail "%s client %d: expected Answers" what client
+  in
+  (* Client 1 answers a batch and hangs up mid-conversation — no Quit. *)
+  let fd1, ic1, oc1 = connect () in
+  batch_of (List.nth oracle_batches 0) 1 ic1 oc1;
+  flush oc1;
+  Unix.close fd1;
+  (* Client 2 finds the same server, churn advanced by exactly one
+     batch, and shuts it down. *)
+  let fd2, ic2, oc2 = connect () in
+  batch_of (List.nth oracle_batches 1) 2 ic2 oc2;
+  Wire.write_request oc2 Wire.Stats;
+  (match expect_response ic2 what with
+  | Wire.Stats_info { batches; _ } ->
+    if batches <> 2 then
+      fail "%s: second client sees %d batches, expected 2" what batches
+  | _ -> fail "%s: expected Stats_info" what);
+  Wire.write_request oc2 Wire.Quit;
+  (match expect_response ic2 what with
+  | Wire.Bye -> ()
+  | _ -> fail "%s: expected Bye" what);
+  flush oc2;
+  Unix.close fd2;
+  wait_clean pid what;
+  (try Sys.remove path with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
 
 (* The telemetry conversation: a server spawned with [--telemetry]
    answers the same two batches, then a [Telemetry] scrape must come
@@ -260,11 +334,22 @@ let () =
       let result = converse jobs in
       check_against_oracle jobs result)
     [ 1; 2; 4 ];
+  (* The oracle answers with Morton batch-sorting on (the default):
+     matching it with the sort disabled proves the schedule never
+     reaches the wire. *)
+  List.iter
+    (fun jobs ->
+      let result = converse ~extra:[ "--no-batch-sort" ] ~what:"no-sort" jobs in
+      check_against_oracle ~what:"no-sort" jobs result)
+    [ 1; 2; 4 ];
+  multi_client_socket ();
   truncated_frame_refused ();
   telemetry_scrape_consistent ();
   Printf.printf
     "serve smoke: 2x %d-query batches over the wire byte-identical to the \
-     sequential oracle at jobs 1/2/4 (epochs 0 -> 1 under live churn); \
-     truncated frame refused; full-telemetry scrape consistent (every \
-     query in the sketches, publish events retained)\n"
+     sequential oracle at jobs 1/2/4, with and without --no-batch-sort \
+     (epochs 0 -> 1 under live churn); two sequential socket clients \
+     served, state intact; truncated frame refused; full-telemetry \
+     scrape consistent (every query in the sketches, publish events \
+     retained)\n"
     batch_size

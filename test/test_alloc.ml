@@ -200,6 +200,76 @@ let tests =
           Alcotest.check Alcotest.bool "bounded" true
             (words /. float_of_int inserts < 4.0)
         end);
+    Alcotest.test_case
+      "integer-descent count and nearest allocate zero minor words" `Quick
+      (fun () ->
+        (* The read-path claim: on a unit-square arena no deeper than 42
+           levels, [count_in_box] descends on integer cell coordinates
+           and [nearest] ranks quadrants through packed int scratch —
+           neither touches the minor heap. The boxes and probe points
+           are built before the meter starts; the loops fold into int
+           accumulators so nothing escapes. *)
+        if not native then print_endline "skipped: bytecode boxes floats"
+        else begin
+          let module Box = Popan_geom.Box in
+          let pts = points () in
+          let t = Pr_arena.create ~capacity:8 ~reserve:inserts () in
+          Array.iter (Pr_arena.insert t) pts;
+          let queries = 1_000 in
+          let rng = Xoshiro.of_int_seed 4242 in
+          let boxes =
+            Array.init queries (fun _ ->
+                let w = 0.01 +. (0.4 *. Xoshiro.float rng) in
+                let x = (1.0 -. w) *. Xoshiro.float rng in
+                let y = (1.0 -. w) *. Xoshiro.float rng in
+                Box.make ~xmin:x ~ymin:y ~xmax:(x +. w) ~ymax:(y +. w))
+          in
+          let probes =
+            Array.init queries (fun _ ->
+                Sampler.point rng Sampler.Uniform)
+          in
+          ignore (Pr_arena.count_in_box t boxes.(0) : int);
+          (match Pr_arena.nearest t probes.(0) with
+          | Some _ -> ()
+          | None -> assert false);
+          let total = ref 0 in
+          let count_words =
+            measure (fun () ->
+                for i = 0 to queries - 1 do
+                  total := !total + Pr_arena.count_in_box t boxes.(i)
+                done)
+          in
+          Alcotest.check Alcotest.bool "counts nonzero" true (!total > 0);
+          if count_words > slack then
+            Alcotest.failf
+              "count_in_box allocated %.0f minor words over %d queries \
+               (%.2f words/query); the integer-descent path must not \
+               allocate"
+              count_words queries
+              (count_words /. float_of_int queries);
+          let found = ref 0 in
+          let nearest_words =
+            measure (fun () ->
+                for i = 0 to queries - 1 do
+                  match Pr_arena.nearest t probes.(i) with
+                  | Some _ -> incr found
+                  | None -> ()
+                done)
+          in
+          Alcotest.check Alcotest.int "all probes answered" queries !found;
+          (* [nearest] has a constant per-call cost — the descent
+             closures, the best-so-far scratch array and the
+             [Some point] answer, ~53 words — and a zero per-node cost:
+             the budget of 64 words/query passes on the constant but
+             fails loudly on any per-node allocation (each visited node
+             would add boxing on top). *)
+          if nearest_words > (64.0 *. float_of_int queries) +. slack then
+            Alcotest.failf
+              "nearest allocated %.0f minor words over %d queries (%.2f \
+               words/query); the descent must only allocate its answer"
+              nearest_words queries
+              (nearest_words /. float_of_int queries)
+        end);
   ]
 
 let () = Alcotest.run "popan_alloc" [ ("arena", tests) ]

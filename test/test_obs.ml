@@ -505,7 +505,7 @@ let flight_tests =
       (fun () ->
         with_flight ~capacity:16 (fun () ->
             for i = 1 to 40 do
-              Flight.record ~kind:(i mod 5) ~epoch:i ~latency:1e-6
+              Flight.record ~ts:0.0 ~kind:(i mod 5) ~epoch:i ~latency:1e-6
                 ~visited:i ~note:""
             done;
             check_int "total" 40 (Flight.total ());
@@ -520,7 +520,7 @@ let flight_tests =
     Alcotest.test_case "disabled recorder records nothing" `Quick (fun () ->
         Flight.reset ();
         Flight.disable ();
-        Flight.record ~kind:0 ~epoch:0 ~latency:1.0 ~visited:1 ~note:"";
+        Flight.record ~ts:0.0 ~kind:0 ~epoch:0 ~latency:1.0 ~visited:1 ~note:"";
         check_int "nothing recorded" 0 (Flight.total ());
         check_bool "disabled" false (Flight.enabled ()));
     Alcotest.test_case "slow-query threshold emits a serve.slow_query event"
@@ -528,10 +528,10 @@ let flight_tests =
         with_quiet_events (fun () ->
             with_flight (fun () ->
                 Flight.set_slow_threshold 0.001;
-                Flight.record ~kind:0 ~epoch:3 ~latency:0.0005 ~visited:5
+                Flight.record ~ts:0.0 ~kind:0 ~epoch:3 ~latency:0.0005 ~visited:5
                   ~note:"";
                 check_int "fast query: no event" 0 (Event.count ());
-                Flight.record ~kind:2 ~epoch:3 ~latency:0.5 ~visited:900
+                Flight.record ~ts:0.0 ~kind:2 ~epoch:3 ~latency:0.5 ~visited:900
                   ~note:"";
                 check_int "slow query: one event" 1 (Event.count ());
                 let line = List.hd (Event.recent ()) in

@@ -186,6 +186,132 @@ let kernel_tests =
             ignore (Pr_arena.cell_at arena (Point.make 2.0 0.5))));
   ]
 
+(* The pruned kernels against their unpruned twins, and the boundary
+   semantics both must share: half-open edges, targets that coincide
+   with cells, degenerate boxes, duplicate chains at max depth. *)
+
+let dup_arena ~copies =
+  (* A duplicate chain saturated past the split depth: every copy of
+     the point lands in the same deepest cell, so the chain outgrows
+     [capacity] where splitting can no longer separate it. *)
+  let arena = Pr_arena.create ~capacity:2 () in
+  let p = Point.make 0.3 0.7 in
+  for _ = 1 to copies do
+    Pr_arena.insert arena p
+  done;
+  arena
+
+let pruning_tests =
+  [
+    prop ~count:100 "query_box ≡ query_box_unpruned (exact order)"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, _), b) ->
+        (* Element-for-element, not as multisets: the bulk subtree drain
+           must emit exactly the sequence the per-leaf walk does. *)
+        Pr_arena.query_box arena b = Pr_arena.query_box_unpruned arena b);
+    prop ~count:100 "count_in_box ≡ count_in_box_unpruned"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, _), b) ->
+        Pr_arena.count_in_box arena b = Pr_arena.count_in_box_unpruned arena b);
+    prop ~count:80 "pruned visits ≤ unpruned visits, same count"
+      QCheck2.Gen.(pair gen_pair gen_box)
+      (fun ((arena, _), b) ->
+        let count_p, visited_p = Pr_arena.count_in_box_visited arena b in
+        let count_u, visited_u = Pr_arena.count_in_box_unpruned_visited arena b in
+        count_p = count_u && visited_p <= visited_u && visited_p >= 1);
+    Alcotest.test_case "half-open edges: low edge in, high edge out" `Quick
+      (fun () ->
+        let pts =
+          [
+            Point.make 0.25 0.25;
+            Point.make 0.5 0.5;
+            Point.make 0.5 0.25;
+            Point.make 0.25 0.5;
+            Point.make 0.375 0.375;
+          ]
+        in
+        let arena = Pr_arena.of_points_bulk ~capacity:1 pts in
+        let b = Box.make ~xmin:0.25 ~ymin:0.25 ~xmax:0.5 ~ymax:0.5 in
+        (* Only the low-corner point and the interior point: every
+           point with x = xmax or y = ymax is outside the half-open
+           box. *)
+        check_int "count" 2 (Pr_arena.count_in_box arena b);
+        Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+          "query" [ (0.25, 0.25); (0.375, 0.375) ]
+          (List.sort compare
+             (List.map
+                (fun (p : Point.t) -> (p.Point.x, p.Point.y))
+                (Pr_arena.query_box arena b))));
+    Alcotest.test_case "target exactly a cell triggers containment" `Quick
+      (fun () ->
+        (* [0.25, 0.5) x [0.25, 0.5) is precisely a depth-2 cell: the
+           pruned kernel must stop at that subtree's root while the
+           unpruned one walks all its leaves — and both agree on the
+           answer, including the cell's own boundary points. *)
+        let rng = Xoshiro.of_int_seed 55 in
+        let pts =
+          Point.make 0.25 0.25 :: Point.make 0.5 0.5
+          :: List.init 600 (fun _ ->
+                 Point.make (Xoshiro.float rng) (Xoshiro.float rng))
+        in
+        let arena = Pr_arena.of_points_bulk ~capacity:2 pts in
+        let b = Box.make ~xmin:0.25 ~ymin:0.25 ~xmax:0.5 ~ymax:0.5 in
+        check_int "count agrees" (Pr_arena.count_in_box_unpruned arena b)
+          (Pr_arena.count_in_box arena b);
+        check_bool "range agrees" true
+          (Pr_arena.query_box arena b = Pr_arena.query_box_unpruned arena b);
+        let _, visited_p = Pr_arena.count_in_box_visited arena b in
+        let _, visited_u = Pr_arena.count_in_box_unpruned_visited arena b in
+        check_bool "containment actually pruned" true (visited_p < visited_u));
+    Alcotest.test_case "whole unit square counts everything in O(root)" `Quick
+      (fun () ->
+        let arena = churned_arena ~seed:23 ~base:800 ~ops:1_600 in
+        check_int "count = size" (Pr_arena.size arena)
+          (Pr_arena.count_in_box arena Box.unit);
+        let _, visited = Pr_arena.count_in_box_visited arena Box.unit in
+        check_int "root containment: one visit" 1 visited);
+    Alcotest.test_case "degenerate point and line boxes are empty" `Quick
+      (fun () ->
+        (* [Box.make] rejects zero-measure boxes, but the record type is
+           open: a client can ship one over the wire. Half-open
+           semantics make them contain nothing — even when their edges
+           pass straight through stored points. *)
+        let arena =
+          Pr_arena.of_points_bulk ~capacity:2
+            (Point.make 0.3 0.7 :: uniform_points 3 300)
+        in
+        let point_box = { Box.xmin = 0.3; ymin = 0.7; xmax = 0.3; ymax = 0.7 } in
+        let line_box = { Box.xmin = 0.0; ymin = 0.7; xmax = 1.0; ymax = 0.7 } in
+        List.iter
+          (fun b ->
+            check_int "count empty" 0 (Pr_arena.count_in_box arena b);
+            check_int "count unpruned empty" 0
+              (Pr_arena.count_in_box_unpruned arena b);
+            check_bool "range empty" true (Pr_arena.query_box arena b = []))
+          [ point_box; line_box ]);
+    Alcotest.test_case "duplicate chain at max depth: count and drain" `Quick
+      (fun () ->
+        let copies = 40 in
+        let arena = dup_arena ~copies in
+        check_int "all copies counted" copies
+          (Pr_arena.count_in_box arena Box.unit);
+        check_int "drain returns every copy" copies
+          (List.length (Pr_arena.query_box arena Box.unit));
+        (* A tight box around the point still finds the whole chain;
+           one epsilon to the side finds none of it. *)
+        let hit = Box.make ~xmin:0.29 ~ymin:0.69 ~xmax:0.31 ~ymax:0.71 in
+        let miss = Box.make ~xmin:0.31 ~ymin:0.69 ~xmax:0.33 ~ymax:0.71 in
+        check_int "tight box" copies (Pr_arena.count_in_box arena hit);
+        check_int "tight box unpruned" copies
+          (Pr_arena.count_in_box_unpruned arena hit);
+        check_int "miss box" 0 (Pr_arena.count_in_box arena miss);
+        match Pr_arena.nearest arena (Point.make 0.9 0.1) with
+        | Some p ->
+          check_bool "nearest finds the dup point" true
+            (p.Point.x = 0.3 && p.Point.y = 0.7)
+        | None -> Alcotest.fail "nearest found nothing");
+  ]
+
 (* Snapshots *)
 
 let arena_bytes a = Codec.encode Codec.pr_quadtree (Pr_arena.freeze a)
@@ -394,7 +520,17 @@ let batch_tests =
         let b1 = run 1 and b2 = run 2 and b4 = run 4 in
         check_bool "jobs 1 = sequential" true (b1 = answers_bytes sequential);
         check_bool "jobs 2 = jobs 1" true (b2 = b1);
-        check_bool "jobs 4 = jobs 1" true (b4 = b1));
+        check_bool "jobs 4 = jobs 1" true (b4 = b1);
+        (* The Morton schedule only reorders computation: turning it off
+           must leave the response bytes untouched at every job
+           count. *)
+        let run_unsorted jobs =
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              answers_bytes (Server.run_batch ~sort:false pool arena queries))
+        in
+        check_bool "unsorted jobs 1 = sorted" true (run_unsorted 1 = b1);
+        check_bool "unsorted jobs 2 = sorted" true (run_unsorted 2 = b1);
+        check_bool "unsorted jobs 4 = sorted" true (run_unsorted 4 = b1));
   ]
 
 (* The server loop end to end, in process *)
@@ -641,6 +777,7 @@ let () =
     [
       ("neighbors", neighbors_tests);
       ("kernels", kernel_tests);
+      ("pruning", pruning_tests);
       ("snapshot", snapshot_tests);
       ("epochs", epoch_tests);
       ("wire", wire_tests);
